@@ -1,0 +1,39 @@
+"""A1–A3 — ablations of SAER's design choices (DESIGN.md §5).
+
+One table, four variants on identical graphs at the contended c = 1.5:
+batch-vs-partial rejection (A1), permanent-vs-transient blocking (A2),
+and with- vs without-replacement sampling (A3).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_ablations(n=1024, c=1.5, d=4, trials=8, processes=bench_processes),
+        rounds=1,
+        iterations=1,
+    )
+    # Ablations are not in the E-registry; print/persist directly.
+    text = format_table(rows, title="A1-A3 — design-choice ablations (c=1.5, d=4, n=1024)")
+    print("\n" + text)
+    from pathlib import Path
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "ablations.txt").write_text(text + f"\nmeta: { {k: v for k, v in meta.items() if k != 'records'} }\n")
+
+    by = {r["variant"]: r for r in rows}
+    base = by["saer (baseline)"]
+    # Every variant keeps the load cap and completes.
+    for row in rows:
+        assert row["max_load_worst"] <= row["capacity"], row
+        assert row["completed"] == row["trials"], row
+    # A1: partial acceptance can only help (never slower than batch reject).
+    assert by["partial-accept"]["rounds_median"] <= base["rounds_median"]
+    # A2: transient saturation (RAES) completes no later than burning (E5).
+    assert by["raes (transient)"]["rounds_median"] <= base["rounds_median"]
+    # A3: distinct sampling avoids same-client collisions — work no worse
+    # than a small factor of the baseline.
+    assert by["distinct-sampling"]["work_per_client"] <= 1.5 * base["work_per_client"]

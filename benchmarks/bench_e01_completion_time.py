@@ -1,0 +1,30 @@
+"""E1 — Theorem 1 (completion): SAER finishes in O(log n) rounds.
+
+Regenerates the completion-time table: median rounds vs n on Δ-regular
+graphs with Δ = ⌈log₂² n⌉, in the contended regime (c = 1.5, d = 4),
+against the proof's 3·log₂ n horizon.
+"""
+
+from repro.experiments import run_e01_completion
+
+
+def test_e01_completion_time(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e01_completion(
+            ns=(256, 512, 1024, 2048, 4096),
+            trials=8,
+            processes=bench_processes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E1", rows, meta)
+    # Shape: every trial completed, inside the proof horizon.
+    for row in rows:
+        assert row["completed"] == row["trials"], f"incomplete runs at n={row['n']}"
+        assert row["within_horizon"], f"horizon exceeded at n={row['n']}"
+    # Shape: growth is logarithmic-like, far from polynomial.
+    assert meta["power_exponent"] < 0.35, meta["power_exponent"]
+    # Shape: rounds do grow with n (positive log-slope).
+    assert meta["log2_r2"] >= 0.0
+    assert rows[-1]["rounds_median"] >= rows[0]["rounds_median"]

@@ -1,0 +1,28 @@
+"""E2 — Theorem 1 (work): total message count is Θ(n).
+
+Regenerates the work table: messages per client must be flat in n
+(equivalently the work-vs-n power-law exponent is ≈ 1).
+"""
+
+from repro.experiments import run_e02_work
+
+
+def test_e02_work_linear(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e02_work(
+            ns=(256, 512, 1024, 2048, 4096),
+            trials=8,
+            processes=bench_processes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E2", rows, meta)
+    # Shape: work scales linearly in n.
+    assert 0.9 <= meta["power_exponent"] <= 1.1, meta["power_exponent"]
+    # Shape: per-client work flat across a 16× range of n.
+    per_client = [row["work_per_client_mean"] for row in rows]
+    assert max(per_client) / min(per_client) < 1.6, per_client
+    # Work can never be below one round trip per ball.
+    for row in rows:
+        assert row["work_per_client_mean"] >= row["naive_lower_bound"]

@@ -1,0 +1,26 @@
+"""E3 — the protocol invariant: max server load never exceeds ⌊c·d⌋.
+
+Sweeps graph families × protocols × (c, d) and counts violations (the
+paper's remark (i): *if* the protocol terminates, the load bound is
+structural — we additionally verify it holds for non-terminating runs).
+"""
+
+from repro.experiments import run_e03_max_load
+
+
+def test_e03_max_load_invariant(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e03_max_load(
+            n=1024,
+            settings=((1.5, 4), (2.0, 2), (4.0, 2)),
+            families=("regular", "trust", "near_regular", "er"),
+            trials=5,
+            processes=bench_processes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E3", rows, meta)
+    assert meta["total_violations"] == 0
+    for row in rows:
+        assert row["max_load_max"] <= row["capacity"], row

@@ -1,0 +1,32 @@
+"""E4 — Lemma 4 / 19: the burned fraction S_t stays ≤ 1/2.
+
+At the paper's analysis-scale c the bound is guaranteed w.h.p.; the
+table also shows the practical-c regimes where S_t approaches (but in
+our runs never crosses) 1/2 — the empirical content of the lemma.
+"""
+
+from repro.experiments import run_e04_burned_fraction
+
+
+def test_e04_burned_fraction(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e04_burned_fraction(
+            ns=(256, 1024, 4096),
+            trials=6,
+            include_paper_c=True,
+            processes=bench_processes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E4", rows, meta)
+    # Hard guarantee at the paper's c: every trial satisfies the lemma.
+    for row in rows:
+        if row["c_regime"] == "paper":
+            ok, total = row["lemma4_ok"].split("/")
+            assert ok == total, row
+            assert row["max_s_t_worst"] <= 0.5
+    # Informative: at c = 2 the burned fraction is already far below 1/2.
+    for row in rows:
+        if row["c_regime"] == "practical-2":
+            assert row["max_s_t_worst"] <= 0.5, row

@@ -1,0 +1,24 @@
+"""E5 — Corollary 2: RAES stochastically dominates SAER.
+
+Uses the slot-level coupling (same uniform per ball slot per round for
+both protocols): the dominance then holds *pathwise*, which the bench
+asserts in 100% of coupled trials.
+"""
+
+from repro.experiments import run_e05_dominance
+
+
+def test_e05_raes_dominance(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e05_dominance(
+            ns=(256, 1024), cs=(1.5, 2.0), trials=10, processes=bench_processes
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E5", rows, meta)
+    assert meta["all_nested"], "RAES alive set escaped SAER's in some round"
+    assert meta["all_dominated"]
+    for row in rows:
+        assert row["raes_no_later"] == row["trials"], row
+        assert row["raes_rounds_mean"] <= row["saer_rounds_mean"] + 1e-9

@@ -1,0 +1,33 @@
+"""E6 — "sufficiently large c": the threshold behaviour in c.
+
+Sweeps c from starvation (c·d below the per-server offered load — every
+server burns, the protocol stalls) through the practical knee (c ≈ 1.5)
+to the paper's analysis scale (c = 32), exhibiting that the analysis
+constants are very conservative (footnote 12).
+"""
+
+from repro.experiments import run_e06_c_threshold
+
+
+def test_e06_c_threshold(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e06_c_threshold(
+            n=1024,
+            cs=(1.0, 1.2, 1.35, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0),
+            trials=8,
+            processes=bench_processes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E6", rows, meta)
+    by_c = {row["c"]: row for row in rows}
+    # Starvation regime: c=1 gives capacity 4 = E[received]; burnout.
+    assert by_c[1.0]["completion_rate"] == 0.0
+    # Comfortable regime: any c >= 2 completes always, fast.
+    for c in (2.0, 3.0, 4.0, 8.0, 16.0, 32.0):
+        assert by_c[c]["completion_rate"] == 1.0, c
+    # Speed is monotone-ish: paper-scale c no slower than the knee.
+    assert by_c[32.0]["rounds_median"] <= by_c[1.5]["rounds_median"]
+    # Work blows up only in the failing regime.
+    assert by_c[1.0]["work_per_client"] > 5 * by_c[2.0]["work_per_client"]

@@ -1,0 +1,30 @@
+"""E7 — the degree hypothesis Δ = Ω(log² n), and the dense regime of [4].
+
+Sweeps the degree of a random regular graph from log n (below the
+theorem's regime — where failures appear) through log² n up to the
+complete graph (the Becchetti et al. dense case).
+"""
+
+from repro.experiments import run_e07_degree_sweep
+
+
+def test_e07_degree_sweep(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e07_degree_sweep(n=1024, trials=8, processes=bench_processes),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E7", rows, meta)
+    by_regime = {row["degree_regime"]: row for row in rows}
+    # Inside the theorem's regime: always completes, within horizon.
+    for regime in ("log² n", "n/4", "n (complete)"):
+        row = by_regime[regime]
+        assert row["completion_rate"] == 1.0, regime
+        assert row["rounds_max"] <= row["horizon"], regime
+    # Below the regime the guarantee visibly degrades: lower completion
+    # rate or strictly slower completion than at log² n.
+    low, ref = by_regime["log n"], by_regime["log² n"]
+    assert (
+        low["completion_rate"] < 1.0
+        or low["rounds_median"] > ref["rounds_median"]
+    ), (low, ref)

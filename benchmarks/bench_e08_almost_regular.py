@@ -1,0 +1,25 @@
+"""E8 — the almost-regularity allowance ρ = Δ_max(S)/Δ_min(C) = O(1).
+
+Regenerates the table for ρ-band near-regular families plus the paper's
+extremal example (a few √n-degree clients and O(1)-degree servers) —
+the theorem's guarantee should be insensitive to constant ρ.
+"""
+
+from repro.experiments import run_e08_almost_regular
+
+
+def test_e08_almost_regular(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e08_almost_regular(
+            n=1024, ratios=(1, 2, 4), trials=8, processes=bench_processes
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E8", rows, meta)
+    for row in rows:
+        assert row["completed"] == row["trials"], row
+        assert row["rounds_max"] <= row["horizon"], row
+    # Completion time varies only mildly across the ρ families.
+    medians = [row["rounds_median"] for row in rows]
+    assert max(medians) <= 3 * max(min(medians), 1), medians

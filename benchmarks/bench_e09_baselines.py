@@ -1,0 +1,37 @@
+"""E9 — the §1.3 trade-off table: SAER/RAES vs greedy and threshold baselines.
+
+Columns regenerate the paper's qualitative comparison: sequential greedy
+achieves lower max load but takes Θ(n) sequential steps and requires
+servers to disclose loads; the threshold protocols get O(d) load in a
+handful of parallel rounds with 1-bit replies.
+"""
+
+from repro.experiments import run_e09_baselines
+
+
+def test_e09_baselines(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e09_baselines(n=1024, trials=5, processes=bench_processes),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E9", rows, meta)
+    by_algo = {row["algorithm"]: row for row in rows}
+    cap = meta["capacity"]
+    # SAER/RAES: bounded load, logarithmic parallel time, no disclosure.
+    for name in ("saer", "raes"):
+        row = by_algo[name]
+        assert row["max_load_max"] <= cap
+        assert row["rounds_max"] <= 30  # ≪ the 4096 sequential steps
+        assert not row["discloses_loads"]
+    # Sequential greedy: better load, but serial and disclosing.
+    greedy = by_algo["greedy_best_of_2"]
+    assert greedy["discloses_loads"]
+    assert greedy["steps_max"] == 1024 * meta["d"]
+    assert greedy["max_load_max"] <= by_algo["saer"]["max_load_max"]
+    # One-choice: the no-coordination baseline has the worst max load.
+    assert by_algo["one_choice"]["max_load_mean"] >= greedy["max_load_mean"]
+    # Godfrey: near-optimal load at Θ(n·Δ) work.
+    godfrey = by_algo["godfrey_greedy"]
+    assert godfrey["max_load_max"] <= greedy["max_load_max"]
+    assert godfrey["work_mean"] > greedy["work_mean"]

@@ -1,0 +1,26 @@
+"""E10 — Lemmas 11-13: Stage-I exponential decay and the γ envelope.
+
+Two regimes on one graph: at the paper's c the measured K_t must stay
+below the γ_t envelope and r_t(N(v)) below 2dΔ·Π γ (the process in fact
+finishes almost immediately — the envelope is very conservative); at a
+contended c the multi-round geometric decay of r_t is visible and its
+measured rate is reported.
+"""
+
+from repro.experiments import run_e10_stage1
+
+
+def test_e10_stage1_decay(benchmark, reporter):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e10_stage1(n=4096, d=4, contended_c=1.5, seed=1010),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E10", rows, meta)
+    assert meta["all_K_below_gamma"]
+    assert meta["all_r_below_envelope"]
+    # The contended run decays geometrically while r is Ω(log n):
+    assert meta["contended_decay_geometric_mean"] is not None
+    assert meta["contended_decay_geometric_mean"] < 0.7
+    # Stage-II envelope stays below 1/2 at the paper's c (Lemma 14 premise).
+    assert meta["delta_envelope_max"] <= 0.5

@@ -1,0 +1,24 @@
+"""E11 — §3.2: alive balls shrink by ≥ a constant factor per round.
+
+The work analysis shows the alive-ball count drops by factor ≥ 4/5 per
+round w.h.p. while at least nd/log n balls are alive; measured ratios
+in that heavy regime must respect the bound (they are in fact far
+smaller — close to the burned fraction S_t).
+"""
+
+from repro.experiments import run_e11_alive_decay
+
+
+def test_e11_alive_decay(benchmark, reporter, bench_processes):
+    rows, meta = benchmark.pedantic(
+        lambda: run_e11_alive_decay(
+            ns=(1024, 4096), trials=10, processes=bench_processes
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reporter.report("E11", rows, meta)
+    for row in rows:
+        assert row["within_bound"], row
+        assert row["decay_ratio_worst"] <= 0.8
+        assert row["heavy_rounds_mean"] >= 1

@@ -1,0 +1,50 @@
+"""Engine microbenchmarks: simulation throughput (not a paper table).
+
+Real pytest-benchmark timing of the vectorized engine — the number the
+HPC guide says to measure before optimizing.  Reports balls-assigned
+per second for one SAER run at two scales and for the coupled run.
+"""
+
+import math
+
+import pytest
+
+from repro.core import run_coupled, run_saer
+from repro.graphs import random_regular_bipartite
+
+
+@pytest.fixture(scope="module")
+def graph_4k():
+    n = 4096
+    return random_regular_bipartite(n, math.ceil(math.log2(n) ** 2), seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph_16k():
+    n = 16384
+    return random_regular_bipartite(n, math.ceil(math.log2(n) ** 2), seed=0)
+
+
+def test_engine_throughput_4k(benchmark, graph_4k):
+    res = benchmark(lambda: run_saer(graph_4k, 1.5, 4, seed=1))
+    assert res.completed
+    benchmark.extra_info["balls"] = res.total_balls
+    benchmark.extra_info["rounds"] = res.rounds
+
+
+def test_engine_throughput_16k(benchmark, graph_16k):
+    res = benchmark(lambda: run_saer(graph_16k, 1.5, 4, seed=1))
+    assert res.completed
+    benchmark.extra_info["balls"] = res.total_balls
+    benchmark.extra_info["rounds"] = res.rounds
+
+
+def test_coupled_throughput_4k(benchmark, graph_4k):
+    cp = benchmark(lambda: run_coupled(graph_4k, 1.5, 4, seed=1))
+    assert cp.nested_every_round
+
+
+def test_comfortable_c_single_round_4k(benchmark, graph_4k):
+    """The c >= 3 regime: one round, pure vectorized hot path."""
+    res = benchmark(lambda: run_saer(graph_4k, 8.0, 4, seed=1))
+    assert res.rounds <= 2

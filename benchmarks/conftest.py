@@ -1,0 +1,59 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one experiment table (DESIGN.md §5).  Tables are
+(1) printed, (2) written to ``benchmarks/results/<id>.txt``, and
+(3) echoed in the terminal summary so they survive pytest's capture —
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` yields a
+self-contained results artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import get_experiment
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_COLLECTED: list[str] = []
+
+
+class TableReporter:
+    """Collects experiment tables for the end-of-run summary."""
+
+    def report(self, exp_id: str, rows, meta: dict | None = None) -> str:
+        spec = get_experiment(exp_id)
+        text = format_table(rows, title=f"{spec.id} — {spec.title}  [{spec.paper_ref}]")
+        if meta:
+            printable = {k: v for k, v in meta.items() if k != "records"}
+            text += f"\nmeta: {printable}"
+        text += f"\nexpected shape: {spec.expected_shape}"
+        _COLLECTED.append(text)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{spec.id.lower()}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture(scope="session")
+def reporter() -> TableReporter:
+    return TableReporter()
+
+
+@pytest.fixture(scope="session")
+def bench_processes() -> int:
+    """Worker processes for the experiment runners inside benches."""
+    cores = os.cpu_count() or 1
+    return max(1, cores - 2)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _COLLECTED:
+        terminalreporter.write_sep("=", "regenerated experiment tables")
+        for text in _COLLECTED:
+            terminalreporter.write_line("")
+            for line in text.splitlines():
+                terminalreporter.write_line(line)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Proximity-constrained CDN: assign user requests to nearby edge caches.
+
+The introduction's motivating scenario ii): "clients and servers are
+placed over a metric space so that only non-random client-server
+interactions turn out to be feasible because of proximity constraints."
+
+We place users and edge caches uniformly in a unit torus, connect each
+user to every cache within radius r, and compare:
+
+* **SAER** — the paper's protocol: O(log n) parallel rounds, load
+  capped at ⌊c·d⌋ by construction, caches never reveal their load;
+* **one-choice** — each request to a random nearby cache (no
+  coordination);
+* **Godfrey greedy** — sequential least-loaded placement (the quality
+  ceiling, at the cost of serial execution and load disclosure).
+
+Run:  python examples/cdn_edge_assignment.py
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.baselines import godfrey_greedy, one_choice
+
+
+def main() -> None:
+    n = 2048
+    d = 3  # requests per user
+    # Target mean degree ~ 2 log² n: comfortably in Theorem 1's regime.
+    target_degree = 2 * math.log2(n) ** 2
+    radius = math.sqrt(target_degree / (math.pi * n))
+
+    print(f"Placing {n} users and {n} edge caches in a unit torus")
+    print(f"(connection radius {radius:.4f}, target degree ~{target_degree:.0f}) ...")
+    graph = repro.graphs.geometric_bipartite(n, n, radius, seed=7)
+    rep = repro.graphs.degree_report(graph)
+    print(f"  degrees: users [{rep.client_degree_min}, {rep.client_degree_max}], "
+          f"caches [{rep.server_degree_min}, {rep.server_degree_max}]")
+    print(f"  isolated users: {rep.isolated_clients}")
+
+    # Geometric placement can strand a user outside every cache's radius;
+    # such users need out-of-band handling, so give them zero demand here.
+    demands = np.where(graph.client_degrees > 0, d, 0).astype(np.int64)
+    total = int(demands.sum())
+
+    print(f"\nAssigning {total} requests with saer(c=2, d={d}) ...")
+    res = repro.run_saer(graph, c=2.0, d=d, demands=demands, seed=8)
+    print(f"  completed in {res.rounds} parallel rounds, {res.work} messages")
+    print(f"  max cache load: {res.max_load} (cap {res.params.capacity})")
+    hist = np.bincount(res.loads, minlength=res.params.capacity + 1)
+    print(f"  load histogram (0..{res.params.capacity}): {hist.tolist()}")
+
+    print("\nBaselines on the same topology:")
+    oc = one_choice(graph, d=1, seed=9)  # per-ball API needs uniform demand;
+    # compare shapes on a single request per user for fairness of scale.
+    print(f"  one-choice   : max load {oc.max_load} (no coordination)")
+    gg = godfrey_greedy(graph, d=1, seed=10)
+    print(f"  godfrey      : max load {gg.max_load} "
+          f"(sequential, {gg.work} messages, discloses loads)")
+    print(f"  saer         : max load <= {res.params.capacity} in {res.rounds} rounds, "
+          "1-bit replies only")
+
+
+if __name__ == "__main__":
+    main()

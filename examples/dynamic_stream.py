@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Online request streams and topology churn: the §4 conjecture, live.
+
+The paper closes with: "we believe that the simple structure of saer can
+well manage such a dynamic scenario and achieves a metastable regime
+with good performances."  This example runs our dynamic SAER (burn
+recovery + Poisson arrivals + trust-set churn) at three offered loads
+and prints the backlog trajectory — bounded below the capacity knee,
+divergent above it.
+
+Run:  python examples/dynamic_stream.py
+"""
+
+import repro
+from repro.analysis import format_table
+from repro.dynamic import PoissonArrivals, RewireChurn, run_dynamic_saer
+
+
+def sparkline(series, width: int = 48) -> str:
+    """Coarse ASCII sparkline of a non-negative series."""
+    import numpy as np
+
+    blocks = " .:-=+*#%@"
+    arr = np.asarray(series, dtype=float)
+    if arr.size > width:
+        arr = arr[:: max(1, arr.size // width)][:width]
+    top = arr.max() or 1.0
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)), len(blocks) - 1)] for v in arr)
+
+
+def main() -> None:
+    n = 512
+    graph = repro.graphs.trust_subsets(n, n, 81, seed=31)
+    horizon = 400
+
+    rows = []
+    curves = {}
+    for rate in (0.2, 0.6, 1.5):
+        res = run_dynamic_saer(
+            graph,
+            c=2.0,
+            d=4,
+            arrivals=PoissonArrivals(rate),
+            horizon=horizon,
+            churn=RewireChurn(0.02),
+            recovery=8,
+            seed=32,
+        )
+        lat = res.latency_stats()
+        rows.append(
+            {
+                "offered/round": f"{rate * n:.0f}",
+                "metastable": res.is_metastable(),
+                "final_backlog": int(res.backlog[-1]),
+                "backlog_slope": round(res.backlog_slope(), 2),
+                "latency_p50": lat["p50"],
+                "latency_p95": lat["p95"],
+                "burned_frac": round(float(res.burned_fraction[-1]), 2),
+            }
+        )
+        curves[rate] = res.backlog
+
+    print(format_table(rows, title=f"dynamic saer, n={n}, horizon={horizon} rounds"))
+    print("\nbacklog trajectories (time →):")
+    for rate, series in curves.items():
+        print(f"  λ·n={rate * n:6.0f}  |{sparkline(series)}|")
+    print(
+        "\nBelow the knee the backlog flat-lines (metastable, as the paper\n"
+        "conjectures); above it the burn/recovery cycle cannot keep up and\n"
+        "the queue grows linearly."
+    )
+
+
+if __name__ == "__main__":
+    main()

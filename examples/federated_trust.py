@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Trust-restricted load balancing: each client only uses trusted servers.
+
+The introduction's motivating scenario i): "based on previous
+experiences, a client (a server) may decide to send (accept) the
+requests only to (from) a fixed subset of trusted servers (clients)."
+— this is Godfrey's random-cluster input model, built by
+:func:`repro.graphs.trust_subsets`.
+
+The demo also shows the privacy property from remark (ii) after
+Algorithm 1: only servers know ``c``, replies are a single bit, so
+clients cannot estimate server loads — we sweep ``c`` to show the
+operator-side trade-off (smaller c = tighter load cap, more rounds).
+
+Run:  python examples/federated_trust.py
+"""
+
+import math
+
+import repro
+from repro.analysis import format_table
+from repro.theory import completion_horizon
+
+
+def main() -> None:
+    n = 1024
+    k = math.ceil(math.log2(n) ** 2)  # trusted servers per client
+    d = 4
+
+    print(f"{n} clients, each trusting {k} of {n} servers (random clusters)\n")
+    graph = repro.graphs.trust_subsets(n, n, k, seed=21)
+
+    rows = []
+    for c in (1.25, 1.5, 2.0, 3.0, 4.0):
+        res = repro.run_saer(graph, c=c, d=d, seed=22)
+        rows.append(
+            {
+                "c": c,
+                "load_cap": res.params.capacity,
+                "completed": res.completed,
+                "rounds": res.rounds,
+                "horizon": completion_horizon(n),
+                "max_load": res.max_load,
+                "messages_per_client": round(res.work_per_client, 1),
+                "burned_servers": res.blocked_servers,
+            }
+        )
+    print(format_table(rows, title="saer(c, d=4) on the trust topology"))
+    print(
+        "\nOperator trade-off: c=1.25 squeezes the load cap to "
+        f"{int(1.25 * d)} but burns many servers and needs more rounds;\n"
+        "c>=2 completes in a handful of rounds with loads well under the cap.\n"
+        "Throughout, clients only ever see accept/reject bits."
+    )
+
+
+if __name__ == "__main__":
+    main()

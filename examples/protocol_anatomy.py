@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Anatomy of a SAER run: the proof's quantities, measured round by round.
+
+Traces a contended run (c = 1.5) and prints, per round, the series the
+analysis of Theorem 1 is built on:
+
+* alive balls and their per-round decay (§3.2's ≥ 4/5 factor),
+* ``max_v r_t(N(v))`` — the neighborhood request mass (Lemmas 10-13),
+* ``S_t`` — the max burned fraction (Lemma 4's ≤ 1/2), and
+* ``K_t`` — the received-mass proxy with ``S_t ≤ K_t`` (eq. 3),
+
+then prints the theory-side γ/δ envelopes at the paper's analysis-scale
+``c`` for contrast.
+
+Run:  python examples/protocol_anatomy.py
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.analysis import format_table
+from repro.theory import (
+    c_min_regular,
+    completion_horizon,
+    delta_sequence,
+    gamma_sequence,
+    stage1_length,
+)
+
+
+def main() -> None:
+    n, d, c = 2048, 4, 1.5
+    degree = math.ceil(math.log2(n) ** 2)
+    graph = repro.graphs.random_regular_bipartite(n, degree, seed=41)
+
+    res = repro.run_saer(graph, c=c, d=d, seed=42, trace=repro.TraceLevel.FULL)
+    tr = res.trace
+
+    rows = []
+    alive = np.asarray(tr.alive_before)
+    for t in range(res.rounds):
+        rows.append(
+            {
+                "t": t + 1,
+                "alive": int(alive[t]),
+                "decay": round(alive[t + 1] / alive[t], 3) if t + 1 < len(alive) and alive[t] else None,
+                "r_neigh_max": int(tr.r_neigh_max[t]),
+                "S_t": round(float(tr.s_t[t]), 3),
+                "K_t": round(float(tr.k_t[t]), 3),
+                "newly_burned": int(tr.newly_blocked[t]),
+            }
+        )
+    print(format_table(rows, title=f"saer(c={c}, d={d}) on {degree}-regular, n={n}"))
+    print(f"\ncompleted={res.completed} in {res.rounds} rounds "
+          f"(horizon {completion_horizon(n)}), max load {res.max_load} <= {res.params.capacity}")
+    print(f"max_t S_t = {tr.max_s_t():.3f}  — Lemma 4 bounds this by 0.5 for "
+          "analysis-scale c; measured here at practical c.\n")
+
+    eta = degree / math.log2(n) ** 2
+    c_paper = c_min_regular(eta, d)
+    T = stage1_length(n, d, degree, c_paper)
+    gam = gamma_sequence(c_paper, 6)
+    delta = delta_sequence(n, d, degree, c_paper, T, T + 4)
+    print(f"Theory envelopes at the paper's c = {c_paper:.0f} (η = {eta:.2f}):")
+    print(f"  Stage I lasts T = {T} rounds; γ_1..γ_5 = "
+          + ", ".join(f"{g:.4f}" for g in gam[1:6]))
+    print(f"  Stage II envelope δ_T..δ_(T+4) = "
+          + ", ".join(f"{x:.4f}" for x in delta)
+          + "  (all <= 1/2, as Lemma 14 requires)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

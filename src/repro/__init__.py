@@ -1,0 +1,88 @@
+"""repro — Parallel Load Balancing on Constrained Client-Server Topologies.
+
+A production-quality reproduction of Clementi, Natale & Ziccardi (SPAA
+2020): the **SAER** parallel load-balancing protocol, its sibling
+**RAES** (Becchetti et al., SODA 2020), the bipartite client-server
+substrates they run on, sequential and parallel baselines, the theory
+module implementing the paper's recurrences and bounds, and a Monte
+Carlo experiment harness that regenerates every quantitative claim of
+the paper (see DESIGN.md §5 and EXPERIMENTS.md).
+
+Quickstart::
+
+    import repro
+
+    g = repro.graphs.random_regular_bipartite(n=1024, degree=64, seed=1)
+    res = repro.run_saer(g, c=8.0, d=2, seed=2)
+    assert res.completed and res.max_load <= 16
+    print(res.rounds, res.work_per_client)
+"""
+
+from . import agents, analysis, baselines, core, dynamic, graphs, parallel, theory
+from .core import (
+    CoupledResult,
+    ProtocolParams,
+    RaesPolicy,
+    RunOptions,
+    RunResult,
+    SaerPolicy,
+    Trace,
+    TraceLevel,
+    run_coupled,
+    run_protocol,
+    run_raes,
+    run_saer,
+)
+from .errors import (
+    ExperimentError,
+    GraphConstructionError,
+    GraphValidationError,
+    NonTerminationError,
+    ProtocolConfigError,
+    ReproError,
+    TapeExhaustedError,
+)
+from .graphs import BipartiteGraph
+from .rng import RandomTape, make_rng, spawn_rngs, spawn_seeds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "graphs",
+    "core",
+    "agents",
+    "baselines",
+    "theory",
+    "parallel",
+    "analysis",
+    "dynamic",
+    # protocol API
+    "run_saer",
+    "run_raes",
+    "run_protocol",
+    "run_coupled",
+    "ProtocolParams",
+    "RunOptions",
+    "RunResult",
+    "CoupledResult",
+    "SaerPolicy",
+    "RaesPolicy",
+    "Trace",
+    "TraceLevel",
+    # substrate API
+    "BipartiteGraph",
+    "RandomTape",
+    "make_rng",
+    "spawn_seeds",
+    "spawn_rngs",
+    # errors
+    "ReproError",
+    "GraphConstructionError",
+    "GraphValidationError",
+    "ProtocolConfigError",
+    "NonTerminationError",
+    "TapeExhaustedError",
+    "ExperimentError",
+]

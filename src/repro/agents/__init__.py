@@ -1,0 +1,35 @@
+"""A faithful, object-level implementation of the distributed model M (§2.1).
+
+Clients and servers are individual Python objects that exchange
+:class:`~repro.agents.messages.BallRequest` / 1-bit
+:class:`~repro.agents.messages.Reply` messages through a
+:class:`~repro.agents.network.SynchronousNetwork`, which enforces the
+model's information constraints: requests carry only a ball ID, replies
+carry only accept/reject, servers never reveal loads, and only the
+servers know the threshold parameter ``c`` (the privacy remark after
+Algorithm 1).
+
+This layer is deliberately *independent* of the vectorized engine in
+:mod:`repro.core` — same tape in, same execution out, verified by the
+equivalence tests.  It is slower (per-message Python), so use it as the
+semantic oracle and for demos, and the engine for experiments.
+"""
+
+from .client import ClientAgent
+from .messages import BallRequest, Reply
+from .network import SynchronousNetwork
+from .server import RaesServerAgent, SaerServerAgent, ServerAgent
+from .simulator import run_agent_protocol, run_agent_raes, run_agent_saer
+
+__all__ = [
+    "BallRequest",
+    "Reply",
+    "ClientAgent",
+    "ServerAgent",
+    "SaerServerAgent",
+    "RaesServerAgent",
+    "SynchronousNetwork",
+    "run_agent_protocol",
+    "run_agent_saer",
+    "run_agent_raes",
+]

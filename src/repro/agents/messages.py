@@ -1,0 +1,39 @@
+"""Message types of model M.
+
+The model allows exactly two message kinds (§2.1): a client may send a
+ball ID to a server along an edge, and the server answers that request
+with a single bit.  The dataclasses carry routing fields (sender ids)
+because the simulation needs to deliver replies; a real deployment
+would get those from the transport layer, not the payload — the
+*protocol-visible* content is only the ball ID and the bit, which the
+tests enforce by checking that no load/threshold information appears in
+any message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BallRequest", "Reply"]
+
+
+@dataclass(frozen=True)
+class BallRequest:
+    """Phase-1 message: client ``client_id`` submits ball ``ball_slot``.
+
+    ``ball_slot`` is the client's *local* label for the ball (footnote
+    10: "it suffices that each client keeps a local labeling of its ball
+    set").
+    """
+
+    client_id: int
+    ball_slot: int
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Phase-2 message: the server's one-bit answer to a request."""
+
+    client_id: int
+    ball_slot: int
+    accept: bool

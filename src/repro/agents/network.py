@@ -1,0 +1,89 @@
+"""Synchronous message transport between client and server agents.
+
+The network is the only component that knows the graph: clients address
+servers by *local link index* and the network resolves link ``j`` of
+client ``v`` to the ``j``-th entry of ``N(v)`` (sorted CSR row).  It
+counts every message (requests up, replies down) — this is the §2.1
+*work* measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.bipartite import BipartiteGraph
+from .client import ClientAgent
+from .messages import BallRequest, Reply
+from .server import ServerAgent
+
+__all__ = ["SynchronousNetwork"]
+
+
+class SynchronousNetwork:
+    """Delivers one synchronous round of Phase-1/Phase-2 traffic.
+
+    The round structure mirrors Algorithm 1 exactly:
+
+    1. every client with alive balls draws destinations and submits
+       requests (messages counted on send);
+    2. each server answers its whole batch with accept/reject bits
+       (messages counted on reply);
+    3. clients apply their replies.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        clients: list[ClientAgent],
+        servers: list[ServerAgent],
+    ):
+        if len(clients) != graph.n_clients or len(servers) != graph.n_servers:
+            raise ValueError("agent counts must match the graph sides")
+        self.graph = graph
+        self.clients = clients
+        self.servers = servers
+        self.messages_sent = 0
+        self.rounds_run = 0
+
+    def run_round(self, uniforms_per_client: list[np.ndarray]) -> int:
+        """Execute one round; returns the number of balls assigned.
+
+        ``uniforms_per_client[v]`` holds client ``v``'s pre-drawn
+        uniforms for this round (one per alive ball, slot order) — the
+        canonical tape contract shared with the vectorized engine.
+        """
+        self.rounds_run += 1
+        # Phase 1: submit.  Iterate clients in ascending index order (the
+        # canonical order); deliver into per-server batches, preserving
+        # arrival order (irrelevant to the decision, which is per-batch).
+        inboxes: list[list[BallRequest]] = [[] for _ in self.servers]
+        for v, client in enumerate(self.clients):
+            if client.done:
+                continue
+            row = self.graph.neighbors_of_client(v)
+            for link, req in client.phase1(uniforms_per_client[v]):
+                u = int(row[link])
+                inboxes[u].append(req)
+                self.messages_sent += 1
+        # Phase 2: servers answer their batches.
+        outboxes: list[list[Reply]] = [[] for _ in self.clients]
+        for server in self.servers:
+            batch = inboxes[server.server_id]
+            if not batch:
+                # An empty batch produces no replies; the decision rule
+                # is vacuous (and for SAER, receiving zero balls can
+                # never trip the burn threshold).
+                continue
+            for reply in server.phase2(batch):
+                outboxes[reply.client_id].append(reply)
+                self.messages_sent += 1
+        # Clients apply replies.
+        assigned = 0
+        for v, client in enumerate(self.clients):
+            if outboxes[v]:
+                assigned += client.receive_replies(outboxes[v])
+        return assigned
+
+    @property
+    def all_done(self) -> bool:
+        return all(c.done for c in self.clients)

@@ -1,0 +1,97 @@
+"""Server entities of model M: the SAER and RAES Phase-2 rules, scalar form.
+
+These re-implement the decision rules *independently* of the vectorized
+:mod:`repro.core.policies` (per-object integer state instead of NumPy
+arrays), which is what makes the engine/agents equivalence tests a real
+cross-check rather than a tautology.
+"""
+
+from __future__ import annotations
+
+from .messages import BallRequest, Reply
+
+__all__ = ["ServerAgent", "SaerServerAgent", "RaesServerAgent"]
+
+
+class ServerAgent:
+    """Base server: knows the threshold ``capacity = ⌊c·d⌋`` (servers,
+    unlike clients, are configured with the global parameter — remark
+    (ii) after Algorithm 1)."""
+
+    name = "abstract"
+
+    def __init__(self, server_id: int, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.server_id = server_id
+        self.capacity = capacity
+        self.load = 0  # accepted balls, d_in
+
+    def phase2(self, batch: list[BallRequest]) -> list[Reply]:
+        """Answer this round's batch with one bit per request."""
+        raise NotImplementedError
+
+    @property
+    def is_blocked(self) -> bool:
+        """Would this server reject any non-empty batch right now?"""
+        raise NotImplementedError
+
+
+class SaerServerAgent(ServerAgent):
+    """SAER rule (Algorithm 1 lines 7-17): burn on cumulative *received*.
+
+    State: ``received_total`` counts every ball ever received (even in
+    rounds whose batch was rejected, and even after burning — the
+    clients keep sending because the protocol is non-adaptive);
+    ``burned`` is permanent.
+    """
+
+    name = "saer"
+
+    def __init__(self, server_id: int, capacity: int):
+        super().__init__(server_id, capacity)
+        self.received_total = 0
+        self.burned = False
+
+    def phase2(self, batch: list[BallRequest]) -> list[Reply]:
+        self.received_total += len(batch)
+        if self.burned:
+            accept = False
+        elif self.received_total > self.capacity:
+            accept = False
+            self.burned = True
+        else:
+            accept = True
+        if accept:
+            self.load += len(batch)
+        return [Reply(r.client_id, r.ball_slot, accept) for r in batch]
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.burned
+
+
+class RaesServerAgent(ServerAgent):
+    """RAES rule [4]: reject a batch iff accepting it would exceed capacity.
+
+    No permanent state: a saturated server accepts again in a lighter
+    round, as long as ``load + |batch| ≤ capacity``.
+    """
+
+    name = "raes"
+
+    def __init__(self, server_id: int, capacity: int):
+        super().__init__(server_id, capacity)
+        self.saturation_events = 0
+
+    def phase2(self, batch: list[BallRequest]) -> list[Reply]:
+        accept = self.load + len(batch) <= self.capacity
+        if accept:
+            self.load += len(batch)
+        elif batch:
+            self.saturation_events += 1
+        return [Reply(r.client_id, r.ball_slot, accept) for r in batch]
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.load >= self.capacity

@@ -1,0 +1,142 @@
+"""Agent-level protocol runner, API-compatible with the vectorized engine.
+
+Returns the same :class:`~repro.core.results.RunResult` as
+:func:`repro.core.run_protocol`, and consumes a
+:class:`~repro.rng.RandomTape` in the identical canonical order, so::
+
+    tape = RandomTape(seed=7)
+    fast = run_saer(g, c, d, tape=tape)
+    tape.rewind()
+    slow = run_agent_saer(g, c, d, tape=tape)
+    assert fast.rounds == slow.rounds and fast.work == slow.work
+    assert np.array_equal(fast.loads, slow.loads)
+
+holds exactly (this is asserted by the integration tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ProtocolParams, RunOptions
+from ..core.results import RunResult
+from ..errors import GraphValidationError, NonTerminationError, ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import RandomTape
+from .client import ClientAgent
+from .network import SynchronousNetwork
+from .server import RaesServerAgent, SaerServerAgent
+
+__all__ = ["run_agent_protocol", "run_agent_saer", "run_agent_raes"]
+
+_SERVER_KINDS = {"saer": SaerServerAgent, "raes": RaesServerAgent}
+
+
+def run_agent_protocol(
+    graph: BipartiteGraph,
+    params: ProtocolParams,
+    policy: str = "saer",
+    *,
+    seed=None,
+    tape: RandomTape | None = None,
+    demands=None,
+    options: RunOptions | None = None,
+    slot_mode: bool = False,
+) -> RunResult:
+    """Run the protocol with real message-passing agents.
+
+    Parameters mirror :func:`repro.core.run_protocol`; only ``trace`` is
+    unsupported here (use the engine for traced runs — they are the same
+    execution anyway).
+    """
+    if tape is not None and seed is not None:
+        raise ProtocolConfigError("pass either seed or tape, not both")
+    if policy not in _SERVER_KINDS:
+        raise ProtocolConfigError(f"unknown policy {policy!r}; known: {sorted(_SERVER_KINDS)}")
+    opts = options or RunOptions()
+    n_c, n_s = graph.n_clients, graph.n_servers
+
+    if demands is None:
+        dem = np.full(n_c, params.d, dtype=np.int64)
+    else:
+        dem = np.asarray(demands, dtype=np.int64)
+        if dem.shape != (n_c,):
+            raise ProtocolConfigError(f"demands must have shape ({n_c},)")
+        if np.any(dem < 0) or np.any(dem > params.d):
+            raise ProtocolConfigError("demands must lie in [0, d]")
+    if np.any((graph.client_degrees == 0) & (dem > 0)):
+        raise GraphValidationError("clients with balls but no neighbors cannot terminate")
+
+    degrees = graph.client_degrees
+    clients = [ClientAgent(v, int(degrees[v]), int(dem[v])) for v in range(n_c)]
+    server_cls = _SERVER_KINDS[policy]
+    servers = [server_cls(u, params.capacity) for u in range(n_s)]
+    net = SynchronousNetwork(graph, clients, servers)
+
+    tp = tape if tape is not None else RandomTape(seed)
+    total_balls = int(dem.sum())
+    slot_starts = np.zeros(n_c + 1, dtype=np.int64)
+    np.cumsum(dem, out=slot_starts[1:])
+    cap = opts.cap_for(max(n_c, n_s))
+
+    assigned = 0
+    rounds = 0
+    while assigned < total_balls and rounds < cap:
+        rounds += 1
+        if slot_mode:
+            # Every slot consumes one uniform; clients read the entries
+            # of their still-alive local slots.
+            u_all = tp.draw(total_balls)
+            per_client = [
+                u_all[slot_starts[v] + np.asarray(clients[v].alive_slots, dtype=np.int64)]
+                if clients[v].alive_slots
+                else np.empty(0, dtype=np.float64)
+                for v in range(n_c)
+            ]
+        else:
+            # Only alive balls consume tape, in client-ascending order —
+            # the same canonical order as the engine's fast path.
+            counts = [c.n_alive for c in clients]
+            u_round = tp.draw(int(sum(counts)))
+            per_client = []
+            pos = 0
+            for k in counts:
+                per_client.append(u_round[pos : pos + k])
+                pos += k
+        assigned += net.run_round(per_client)
+
+    completed = assigned == total_balls
+    loads = np.array([s.load for s in servers], dtype=np.int64)
+    result = RunResult(
+        protocol=policy,
+        graph_name=graph.name,
+        n_clients=n_c,
+        n_servers=n_s,
+        params=params,
+        completed=completed,
+        rounds=rounds,
+        work=net.messages_sent,
+        total_balls=total_balls,
+        assigned_balls=assigned,
+        alive_balls=total_balls - assigned,
+        max_load=int(loads.max()) if n_s else 0,
+        blocked_servers=sum(1 for s in servers if s.is_blocked),
+        loads=loads if opts.record_loads else None,
+        trace=None,
+        seed_info=repr(seed) if seed is not None else "tape",
+    )
+    if not completed and opts.raise_on_cap:
+        raise NonTerminationError(
+            f"agent {policy} did not finish within {cap} rounds", result=result
+        )
+    return result
+
+
+def run_agent_saer(graph, c: float, d: int, **kwargs) -> RunResult:
+    """Agent-level ``saer(c, d)``; see :func:`run_agent_protocol`."""
+    return run_agent_protocol(graph, ProtocolParams(c=c, d=d), "saer", **kwargs)
+
+
+def run_agent_raes(graph, c: float, d: int, **kwargs) -> RunResult:
+    """Agent-level ``raes(c, d)``; see :func:`run_agent_protocol`."""
+    return run_agent_protocol(graph, ProtocolParams(c=c, d=d), "raes", **kwargs)

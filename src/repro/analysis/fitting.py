@@ -1,0 +1,92 @@
+"""Least-squares fits for the scaling shapes the experiments assert.
+
+* E1 asserts completion time is logarithmic → :func:`fit_log2`
+  (``y = a + b·log₂ n``) should explain the data (high R²) and a
+  power-law fit should find an exponent near 0.
+* E2 asserts work is linear → :func:`fit_powerlaw` on (n, work) should
+  find exponent ≈ 1, equivalently work/n flat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_log2", "fit_linear", "fit_powerlaw"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A 2-parameter least-squares fit ``y ≈ intercept + slope·g(x)``.
+
+    ``model`` names the transform ``g``; ``r2`` is the coefficient of
+    determination in the (possibly transformed) fitting space.
+    """
+
+    model: str
+    intercept: float
+    slope: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.model == "log2":
+            g = np.log2(x)
+        elif self.model == "linear":
+            g = x
+        elif self.model == "powerlaw":
+            # fit was log y = intercept + slope * log x
+            return np.exp(self.intercept) * x**self.slope
+        else:  # pragma: no cover - guarded by constructors
+            raise ValueError(f"unknown model {self.model}")
+        return self.intercept + self.slope * g
+
+    def describe(self) -> str:
+        if self.model == "log2":
+            return f"y = {self.intercept:.3f} + {self.slope:.3f}·log2(n)   (R²={self.r2:.3f})"
+        if self.model == "linear":
+            return f"y = {self.intercept:.3f} + {self.slope:.3f}·n   (R²={self.r2:.3f})"
+        return f"y = {math.exp(self.intercept):.3g}·n^{self.slope:.3f}   (R²={self.r2:.3f})"
+
+
+def _ls(g: np.ndarray, y: np.ndarray, model: str) -> FitResult:
+    if g.size != y.size or g.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    A = np.column_stack([np.ones_like(g), g])
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    pred = A @ coef
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return FitResult(model=model, intercept=float(coef[0]), slope=float(coef[1]), r2=r2)
+
+
+def fit_log2(x, y) -> FitResult:
+    """Fit ``y = a + b·log₂ x`` (the Theorem-1 completion-time shape)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0):
+        raise ValueError("x must be positive for a log fit")
+    return _ls(np.log2(x), y, "log2")
+
+
+def fit_linear(x, y) -> FitResult:
+    """Fit ``y = a + b·x`` (the Θ(n) work shape)."""
+    return _ls(
+        np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64), "linear"
+    )
+
+
+def fit_powerlaw(x, y) -> FitResult:
+    """Fit ``y = C·x^b`` by least squares in log-log space.
+
+    The exponent ``slope`` is the scaling diagnostic: ≈0 for
+    logarithmic-or-flat quantities, ≈1 for linear ones.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("x and y must be positive for a power-law fit")
+    return _ls(np.log(x), np.log(y), "powerlaw")

@@ -1,0 +1,78 @@
+"""Load-distribution statistics for comparing allocation quality.
+
+The paper's quality measure is the max load, but comparing allocators
+(E9, ablations) benefits from distributional views: imbalance ratios,
+Gini coefficient, tail quantiles, and the fraction of servers at the
+cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadStats", "load_stats"]
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Summary of a final server-load vector."""
+
+    n_servers: int
+    total_load: int
+    max_load: int
+    mean_load: float
+    nonzero_servers: int
+    p50: float
+    p95: float
+    p99: float
+    imbalance: float  # max / mean (1.0 = perfectly even), inf if mean 0
+    gini: float  # 0 = perfectly even, -> 1 = concentrated
+    at_capacity_fraction: float  # servers with load == cap (nan if cap unknown)
+
+    def as_dict(self) -> dict:
+        return {
+            "max_load": self.max_load,
+            "mean_load": round(self.mean_load, 3),
+            "p95": self.p95,
+            "p99": self.p99,
+            "imbalance": round(self.imbalance, 3) if np.isfinite(self.imbalance) else None,
+            "gini": round(self.gini, 4),
+            "at_capacity_frac": round(self.at_capacity_fraction, 4)
+            if not np.isnan(self.at_capacity_fraction)
+            else None,
+        }
+
+
+def load_stats(loads, capacity: int | None = None) -> LoadStats:
+    """Compute :class:`LoadStats` from a per-server load vector."""
+    arr = np.asarray(loads, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("loads must be one-dimensional")
+    if arr.size and arr.min() < 0:
+        raise ValueError("loads must be non-negative")
+    n = int(arr.size)
+    total = int(arr.sum())
+    mean = total / n if n else 0.0
+    mx = int(arr.max()) if n else 0
+    # Gini via the sorted-rank identity; 0 for empty/all-zero.
+    if n and total:
+        srt = np.sort(arr).astype(np.float64)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        gini = float((2.0 * np.sum(ranks * srt)) / (n * total) - (n + 1.0) / n)
+    else:
+        gini = 0.0
+    return LoadStats(
+        n_servers=n,
+        total_load=total,
+        max_load=mx,
+        mean_load=mean,
+        nonzero_servers=int(np.count_nonzero(arr)),
+        p50=float(np.median(arr)) if n else 0.0,
+        p95=float(np.quantile(arr, 0.95)) if n else 0.0,
+        p99=float(np.quantile(arr, 0.99)) if n else 0.0,
+        imbalance=(mx / mean) if mean > 0 else float("inf") if mx else 1.0,
+        gini=gini,
+        at_capacity_fraction=float(np.mean(arr == capacity)) if (n and capacity is not None) else float("nan"),
+    )

@@ -1,0 +1,85 @@
+"""Terminal-friendly ASCII plots for traces and load distributions.
+
+The execution environment has no plotting stack; these render the
+experiment series well enough to eyeball shapes in bench output and
+examples (sparklines for time series, bar histograms for loads).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "histogram", "series_panel"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(series: Iterable[float], width: int = 60) -> str:
+    """One-line density sparkline of a non-negative series.
+
+    Values are down-sampled to ``width`` points and mapped onto a
+    10-level character ramp scaled by the series max.
+    """
+    arr = np.asarray(list(series), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if np.any(arr < 0):
+        raise ValueError("sparkline expects non-negative values")
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).astype(np.int64)
+        arr = arr[idx]
+    top = arr.max()
+    if top == 0:
+        return " " * arr.size
+    levels = np.minimum((arr / top * (len(_BLOCKS) - 1)).astype(np.int64), len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[v] for v in levels)
+
+
+def histogram(
+    values: Iterable[float],
+    bins: int | Sequence[float] = 10,
+    width: int = 40,
+    label: str = "count",
+) -> str:
+    """Multi-line horizontal bar histogram.
+
+    Integer-valued data with a small range (server loads!) gets one bin
+    per integer automatically when ``bins`` is an int larger than the
+    range.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(no data)"
+    if isinstance(bins, int):
+        lo, hi = arr.min(), arr.max()
+        if float(lo).is_integer() and float(hi).is_integer() and hi - lo + 1 <= bins:
+            edges = np.arange(lo - 0.5, hi + 1.5)
+        else:
+            edges = np.linspace(lo, hi, bins + 1)
+    else:
+        edges = np.asarray(bins, dtype=np.float64)
+    counts, edges = np.histogram(arr, bins=edges)
+    top = counts.max() or 1
+    lines = []
+    for i, cnt in enumerate(counts):
+        left, right = edges[i], edges[i + 1]
+        mid = (left + right) / 2.0
+        tag = f"{mid:8.4g}" if not float(mid).is_integer() else f"{int(mid):8d}"
+        bar = "#" * int(round(cnt / top * width))
+        lines.append(f"{tag} | {bar} {cnt}")
+    return "\n".join(lines) + f"\n{'':8s} +-- {label}"
+
+
+def series_panel(named_series: dict[str, Iterable[float]], width: int = 60) -> str:
+    """Stacked labelled sparklines, one per named series."""
+    if not named_series:
+        return "(no series)"
+    pad = max(len(k) for k in named_series)
+    out = []
+    for name, series in named_series.items():
+        arr = list(series)
+        peak = max(arr) if arr else 0
+        out.append(f"{name.rjust(pad)} |{sparkline(arr, width)}| max={peak:g}")
+    return "\n".join(out)

@@ -1,0 +1,83 @@
+"""ASCII table formatting and CSV export for experiment records.
+
+The benchmark harness prints its regenerated "paper tables" through
+:func:`format_table`, so every bench's stdout is a self-contained,
+paste-able result table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import os
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "write_csv", "records_to_csv"]
+
+
+def _fmt_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render records as an aligned ASCII table.
+
+    ``columns`` selects and orders the fields (default: keys of the
+    first row, in insertion order).  Missing values render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt_cell(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in cells)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+        out.write("=" * len(header) + "\n")
+    out.write(header + "\n")
+    out.write(sep + "\n")
+    out.write(body)
+    return out.getvalue()
+
+
+def records_to_csv(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Records as a CSV string (same column logic as :func:`format_table`)."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for r in rows:
+        writer.writerow({c: r.get(c) for c in cols})
+    return buf.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping],
+    path: str | os.PathLike,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write records to a CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(records_to_csv(rows, columns))

@@ -1,0 +1,38 @@
+"""Baseline allocation algorithms the paper compares against (§1.3).
+
+Sequential (one ball at a time, servers disclose loads):
+
+* :func:`one_choice` — throw each ball at one uniform neighbor; the
+  folklore ``Θ(log n/log log n)`` max-load baseline.
+* :func:`greedy_best_of_k` — Azar et al.'s best-of-k, restricted to
+  neighborhoods as in Kenthapadi & Panigrahy [19].
+* :func:`godfrey_greedy` — Godfrey's rule [17]: a uniformly random
+  *least-loaded* server of the whole neighborhood.
+
+Parallel (synchronous rounds, symmetric, non-adaptive):
+
+* :func:`run_parallel_greedy` — the Adler–Chakrabarti–Rasmussen-style
+  k-request/collision protocol [25].
+* :func:`run_threshold_protocol` — the generic per-round threshold
+  family [25, 22] (accept up to ``T`` balls per round, re-throw excess);
+  SAER/RAES are the *cumulative*-threshold members of this family.
+
+All baselines report the same work measure as the core engine (messages
+= requests + replies) so cross-protocol tables are apples-to-apples.
+The sequential ones additionally report ``steps`` (= balls placed) to
+make the parallel-vs-sequential completion-time contrast explicit.
+"""
+
+from .results import BaselineResult
+from .parallel_greedy import run_parallel_greedy
+from .sequential import godfrey_greedy, greedy_best_of_k, one_choice
+from .threshold import run_threshold_protocol
+
+__all__ = [
+    "BaselineResult",
+    "one_choice",
+    "greedy_best_of_k",
+    "godfrey_greedy",
+    "run_parallel_greedy",
+    "run_threshold_protocol",
+]

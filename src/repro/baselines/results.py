@@ -1,0 +1,63 @@
+"""Shared result record for baseline allocators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline allocation.
+
+    ``rounds`` is 0 for sequential algorithms (they have no synchronous
+    round structure; their time cost is ``steps`` sequential ball
+    placements).  ``work`` counts messages exactly as the core engine
+    does (each probe/request plus its reply).  ``discloses_loads``
+    records whether the algorithm requires servers to reveal load
+    information — the privacy axis the paper contrasts SAER against
+    greedy on (§1.3).
+    """
+
+    algorithm: str
+    graph_name: str
+    n_clients: int
+    n_servers: int
+    completed: bool
+    rounds: int
+    steps: int
+    work: int
+    total_balls: int
+    assigned_balls: int
+    max_load: int
+    discloses_loads: bool
+    loads: Optional[np.ndarray] = field(default=None, repr=False)
+    params: dict = field(default_factory=dict)
+
+    @property
+    def alive_balls(self) -> int:
+        return self.total_balls - self.assigned_balls
+
+    @property
+    def work_per_ball(self) -> float:
+        return self.work / self.total_balls if self.total_balls else 0.0
+
+    def summary(self) -> dict:
+        out = {
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "n": self.n_clients,
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "steps": self.steps,
+            "work": self.work,
+            "work_per_ball": round(self.work_per_ball, 3),
+            "max_load": self.max_load,
+            "discloses_loads": self.discloses_loads,
+        }
+        out.update(self.params)
+        return out

@@ -1,0 +1,139 @@
+"""Command-line interface: run experiments and print their tables.
+
+Usage::
+
+    repro-lb list
+    repro-lb info E4
+    repro-lb run E1 [--trials 10] [--seed 7] [--processes 8] [--csv out.csv]
+    repro-lb run all
+
+(Equivalently ``python -m repro.cli …``.)  The same runners back the
+pytest-benchmark suite in ``benchmarks/``; the CLI exists for quick
+interactive regeneration of a single table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_table, write_csv
+from .errors import ExperimentError
+from .experiments import get_experiment, list_experiments
+from .experiments import runners as runner_mod
+
+__all__ = ["main", "run_experiment"]
+
+
+def run_experiment(exp_id: str, *, trials: int | None = None, seed=None, processes=None):
+    """Invoke the registered runner for ``exp_id``; returns (rows, meta)."""
+    spec = get_experiment(exp_id)
+    fn = getattr(runner_mod, spec.runner)
+    kwargs = {}
+    if trials is not None and "trials" in fn.__code__.co_varnames:
+        kwargs["trials"] = trials
+    if seed is not None:
+        kwargs["seed"] = seed
+    if processes is not None and "processes" in fn.__code__.co_varnames:
+        kwargs["processes"] = processes
+    return fn(**kwargs)
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        {"id": s.id, "title": s.title, "paper_ref": s.paper_ref, "bench": s.bench}
+        for s in list_experiments()
+    ]
+    print(format_table(rows, title="Registered experiments"))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    spec = get_experiment(args.experiment)
+    print(f"{spec.id}: {spec.title}")
+    print(f"  claim:    {spec.claim}")
+    print(f"  paper:    {spec.paper_ref}")
+    print(f"  runner:   repro.experiments.runners.{spec.runner}")
+    print(f"  bench:    {spec.bench}")
+    print(f"  expected: {spec.expected_shape}")
+    if spec.modules:
+        print(f"  modules:  {', '.join(spec.modules)}")
+    return 0
+
+
+def _run_ablations(args) -> tuple[list, dict, str]:
+    from .experiments.ablations import run_ablations
+
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.processes is not None:
+        kwargs["processes"] = args.processes
+    rows, meta = run_ablations(**kwargs)
+    return rows, meta, "A1-A3 — design-choice ablations"
+
+
+def _cmd_run(args) -> int:
+    target = args.experiment.lower()
+    if target == "ablations":
+        rows, meta, title = _run_ablations(args)
+        print(format_table(rows, title=title))
+        printable = {k: v for k, v in meta.items() if k != "records"}
+        print("meta:", printable)
+        if args.csv:
+            write_csv(rows, args.csv)
+            print(f"wrote {args.csv}")
+        return 0
+    ids = [s.id for s in list_experiments()] if target == "all" else [args.experiment]
+    for exp_id in ids:
+        spec = get_experiment(exp_id)
+        rows, meta = run_experiment(
+            exp_id, trials=args.trials, seed=args.seed, processes=args.processes
+        )
+        print(format_table(rows, title=f"{spec.id} — {spec.title}"))
+        printable = {k: v for k, v in meta.items() if k != "records"}
+        if printable:
+            print("meta:", printable)
+        print()
+        if args.csv and len(ids) == 1:
+            write_csv(rows, args.csv)
+            print(f"wrote {args.csv}")
+    if target == "all":
+        rows, meta, title = _run_ablations(args)
+        print(format_table(rows, title=title))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Regenerate the experiment tables of the SAER reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all registered experiments")
+    p_info = sub.add_parser("info", help="describe one experiment")
+    p_info.add_argument("experiment", help="experiment id, e.g. E4")
+    p_run = sub.add_parser("run", help="run an experiment and print its table")
+    p_run.add_argument("experiment", help="experiment id (E1..E12), 'ablations', or 'all'")
+    p_run.add_argument("--trials", type=int, default=None, help="override trial count")
+    p_run.add_argument("--seed", type=int, default=None, help="override root seed")
+    p_run.add_argument(
+        "--processes", type=int, default=None, help="worker processes (1 = serial)"
+    )
+    p_run.add_argument("--csv", default=None, help="also write the table to a CSV file")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        return _cmd_run(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

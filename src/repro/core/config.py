@@ -1,0 +1,90 @@
+"""Protocol parameters and run options.
+
+The protocol of Algorithm 1 is ``saer(c, d)``: every client starts with
+(at most) ``d`` balls, and a server rejects-and-burns once it has
+received more than ``c·d`` balls in total.  The integer *capacity*
+``⌊c·d⌋`` is the actual threshold used by the implementation, which lets
+experiments sweep non-integer ``c`` cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolConfigError
+
+__all__ = ["ProtocolParams", "RunOptions", "default_round_cap"]
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """The ``(c, d)`` parameters of ``saer(c, d)`` / ``raes(c, d)``.
+
+    Attributes
+    ----------
+    c:
+        The threshold multiplier.  The paper's analysis uses the very
+        conservative ``c ≥ max(32ρ, 288/(ηd))``; experiments show single
+        digits suffice in practice (experiment E6).  Must satisfy
+        ``c ≥ 1`` or no server could even hold one client's balls.
+    d:
+        The request number — balls per client, a constant in the paper.
+    """
+
+    c: float
+    d: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.d, int) or isinstance(self.d, bool):
+            raise ProtocolConfigError(f"d must be an int; got {self.d!r}")
+        if self.d < 1:
+            raise ProtocolConfigError(f"d must be >= 1; got {self.d}")
+        if not math.isfinite(self.c) or self.c < 1.0:
+            raise ProtocolConfigError(f"c must be a finite number >= 1; got {self.c}")
+
+    @property
+    def capacity(self) -> int:
+        """The integer server threshold ``⌊c·d⌋`` (max admissible load)."""
+        return int(math.floor(self.c * self.d))
+
+
+def default_round_cap(n: int) -> int:
+    """Default safety cap on rounds: well above the ``3·ln n`` horizon.
+
+    Theorem 1 proves completion within ``3 log n`` rounds w.h.p. for
+    suitable ``c``; the cap is 10× that (plus slack for tiny ``n``) so a
+    mis-parameterized run terminates with ``completed=False`` instead of
+    spinning forever.
+    """
+    return max(60, int(30 * math.log(max(n, 2))))
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options orthogonal to the protocol itself.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard cap on rounds; ``None`` means :func:`default_round_cap`.
+    raise_on_cap:
+        If True, hitting the cap raises
+        :class:`~repro.errors.NonTerminationError` (carrying the partial
+        result); otherwise the partial result is returned with
+        ``completed=False``.
+    record_loads:
+        Keep the final per-server load vector in the result (cheap; on
+        by default).
+    """
+
+    max_rounds: int | None = None
+    raise_on_cap: bool = False
+    record_loads: bool = True
+
+    def cap_for(self, n: int) -> int:
+        if self.max_rounds is not None:
+            if self.max_rounds < 1:
+                raise ProtocolConfigError("max_rounds must be >= 1")
+            return self.max_rounds
+        return default_round_cap(n)

@@ -1,0 +1,172 @@
+"""Slot-level coupling of SAER and RAES — the mechanism behind Corollary 2.
+
+The paper transfers Theorem 1 from SAER to RAES by noting that "the
+number of accepted client requests at every round of the raes process is
+stochastically dominated by the same random variable in the saer
+process".  The natural coupling realizes this *pathwise*: give both
+protocols the same uniform ``u_{t,v,i}`` for every round ``t``, client
+``v`` and ball slot ``i`` (the paper defines ``z_t^(i)(v,u)`` at every
+round even for already-accepted balls, which is exactly what makes this
+well-defined).
+
+Under that coupling the dominance is deterministic, by induction on
+rounds: if RAES's alive set is contained in SAER's, then every server
+receives in SAER a superset of the balls it receives in RAES; hence a
+server's cumulative received count in SAER dominates its accepted load
+in RAES, so RAES can never reject a batch whose SAER copy was accepted.
+Containment of alive sets is therefore preserved — and the engine
+asserts it every round (``nested_every_round``).
+
+This module runs the two policies in lockstep on shared per-round slot
+uniforms and reports per-round alive counts for both, giving experiment
+E5 its table and the tests a falsifiable invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import RandomTape, make_rng
+from .config import ProtocolParams, RunOptions
+from .engine import _resolve_demands, draw_destinations
+from .policies import RaesPolicy, SaerPolicy
+from .results import RunResult
+
+__all__ = ["CoupledResult", "run_coupled"]
+
+
+@dataclass
+class CoupledResult:
+    """Outcome of a coupled SAER/RAES execution.
+
+    ``alive_saer[t]`` / ``alive_raes[t]`` are alive-ball counts at the
+    *start* of round ``t+1``'s iteration (index 0 = initial ``n·d``).
+    ``nested_every_round`` is the pathwise-dominance invariant: RAES's
+    alive slot set stayed a subset of SAER's in every round.
+    """
+
+    saer: RunResult
+    raes: RunResult
+    alive_saer: np.ndarray
+    alive_raes: np.ndarray
+    nested_every_round: bool
+
+    @property
+    def raes_no_later(self) -> bool:
+        """Did RAES complete no later than SAER (both completing)?"""
+        if not (self.saer.completed and self.raes.completed):
+            return self.raes.completed or not self.saer.completed
+        return self.raes.rounds <= self.saer.rounds
+
+    def summary(self) -> dict:
+        return {
+            "n": self.saer.n_clients,
+            "c": self.saer.params.c,
+            "d": self.saer.params.d,
+            "saer_rounds": self.saer.rounds,
+            "raes_rounds": self.raes.rounds,
+            "saer_completed": self.saer.completed,
+            "raes_completed": self.raes.completed,
+            "nested_every_round": self.nested_every_round,
+            "raes_no_later": self.raes_no_later,
+        }
+
+
+class _CoupledLeg:
+    """One protocol's slot-level state inside the coupled loop."""
+
+    def __init__(self, policy, slot_client: np.ndarray, total: int):
+        self.policy = policy
+        self.slot_client = slot_client
+        self.alive = np.ones(total, dtype=bool)
+        self.assigned = 0
+        self.work = 0
+        self.rounds_to_complete: int | None = 0 if total == 0 else None
+
+    def step(self, graph: BipartiteGraph, u_all: np.ndarray, n_servers: int, round_no: int) -> None:
+        if self.rounds_to_complete is not None:
+            return
+        send_idx = np.flatnonzero(self.alive)
+        senders = self.slot_client[send_idx]
+        dest = draw_destinations(graph, senders, u_all[send_idx])
+        received = np.bincount(dest, minlength=n_servers)
+        accept = self.policy.decide(received)
+        ok = accept[dest]
+        self.alive[send_idx[ok]] = False
+        self.assigned += int(np.count_nonzero(ok))
+        self.work += 2 * senders.size
+        if not self.alive.any():
+            self.rounds_to_complete = round_no
+
+
+def run_coupled(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    *,
+    seed=None,
+    tape: RandomTape | None = None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> CoupledResult:
+    """Run SAER and RAES on one shared slot tape; see module docstring."""
+    if tape is not None and seed is not None:
+        raise ProtocolConfigError("pass either seed or tape, not both")
+    params = ProtocolParams(c=c, d=d)
+    opts = options or RunOptions()
+    dem = _resolve_demands(graph, d, demands)
+    total = int(dem.sum())
+    n_c, n_s = graph.n_clients, graph.n_servers
+    slot_client = np.repeat(np.arange(n_c, dtype=np.int64), dem)
+    tp = tape if tape is not None else RandomTape(make_rng(seed))
+    cap = opts.cap_for(max(n_c, n_s))
+
+    saer = _CoupledLeg(SaerPolicy(n_s, params.capacity), slot_client, total)
+    raes = _CoupledLeg(RaesPolicy(n_s, params.capacity), slot_client, total)
+
+    alive_saer = [total]
+    alive_raes = [total]
+    nested = True
+    rounds = 0
+    while rounds < cap and (saer.rounds_to_complete is None or raes.rounds_to_complete is None):
+        rounds += 1
+        u_all = tp.draw(total)
+        saer.step(graph, u_all, n_s, rounds)
+        raes.step(graph, u_all, n_s, rounds)
+        alive_saer.append(total - saer.assigned)
+        alive_raes.append(total - raes.assigned)
+        if np.any(raes.alive & ~saer.alive):
+            nested = False
+
+    def _result(leg: _CoupledLeg, name: str) -> RunResult:
+        done = leg.rounds_to_complete is not None
+        return RunResult(
+            protocol=name,
+            graph_name=graph.name,
+            n_clients=n_c,
+            n_servers=n_s,
+            params=params,
+            completed=done,
+            rounds=leg.rounds_to_complete if done else rounds,
+            work=leg.work,
+            total_balls=total,
+            assigned_balls=leg.assigned,
+            alive_balls=total - leg.assigned,
+            max_load=leg.policy.max_load,
+            blocked_servers=int(leg.policy.blocked_mask().sum()),
+            loads=leg.policy.loads.copy() if opts.record_loads else None,
+            trace=None,
+            seed_info=repr(seed) if seed is not None else "tape",
+        )
+
+    return CoupledResult(
+        saer=_result(saer, "saer"),
+        raes=_result(raes, "raes"),
+        alive_saer=np.asarray(alive_saer, dtype=np.int64),
+        alive_raes=np.asarray(alive_raes, dtype=np.int64),
+        nested_every_round=nested,
+    )

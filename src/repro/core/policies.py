@@ -1,0 +1,130 @@
+"""Server-side decision policies: SAER (burned) and RAES (saturated).
+
+Both protocols share the client side (re-submit every alive ball to a
+uniform random neighbor each round) and differ only in Phase 2, the
+server rule.  The engine is therefore generic over a ``ServerPolicy``:
+
+* :class:`SaerPolicy` — Algorithm 1 / Definition 3.  A server counts
+  every ball it has ever *received* (accepted or not); the round whose
+  batch pushes that count above ``⌊c·d⌋`` is rejected wholesale and the
+  server is **burned** forever after.
+* :class:`RaesPolicy` — Becchetti et al.'s rule.  A server rejects a
+  round's batch iff *accepting* it would push its accepted load above
+  ``⌊c·d⌋``; there is no permanent state, so a saturated server can
+  accept again in a later, lighter round.
+
+Both guarantee max load ≤ ``⌊c·d⌋`` by construction; the engine's tests
+assert it as an invariant anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolConfigError
+
+__all__ = ["ServerPolicy", "SaerPolicy", "RaesPolicy"]
+
+
+class ServerPolicy:
+    """Interface for Phase-2 server decision rules.
+
+    A policy owns all per-server state.  ``decide`` is called once per
+    round with the vector of balls received by each server and must
+    return a boolean accept mask; the policy updates its own state
+    (loads, burned flags, …) as a side effect.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, n_servers: int, capacity: int):
+        if n_servers < 0:
+            raise ProtocolConfigError("n_servers must be non-negative")
+        if capacity < 1:
+            raise ProtocolConfigError(f"capacity must be >= 1; got {capacity}")
+        self.n_servers = n_servers
+        self.capacity = capacity
+        self.loads = np.zeros(n_servers, dtype=np.int64)
+
+    def decide(self, received: np.ndarray) -> np.ndarray:
+        """Given per-server received counts, return the accept mask."""
+        raise NotImplementedError
+
+    def blocked_mask(self) -> np.ndarray:
+        """Servers that would reject *any* non-empty batch right now.
+
+        For SAER this is the burned set (Definition 3); for RAES it is
+        the set of servers already at full capacity.  Used by the metric
+        layer to compute ``S_t``.
+        """
+        raise NotImplementedError
+
+    @property
+    def max_load(self) -> int:
+        return int(self.loads.max()) if self.n_servers else 0
+
+
+class SaerPolicy(ServerPolicy):
+    """SAER: *Stop Accepting if Exceeding Requests* (Algorithm 1).
+
+    State:
+
+    * ``cum_received`` — ``Σ_{i≤t} r_i(u)``, counting every received
+      ball regardless of acceptance (this is what Definition 3 burns on),
+    * ``burned`` — permanent rejection flag,
+    * ``loads`` — accepted balls (final assignment loads).
+    """
+
+    name = "saer"
+
+    def __init__(self, n_servers: int, capacity: int):
+        super().__init__(n_servers, capacity)
+        self.cum_received = np.zeros(n_servers, dtype=np.int64)
+        self.burned = np.zeros(n_servers, dtype=bool)
+        self.newly_burned_last_round = 0
+
+    def decide(self, received: np.ndarray) -> np.ndarray:
+        # Burned servers keep receiving (clients are non-adaptive) but the
+        # count no longer matters; we still accumulate it so traces show
+        # the true r_t(u).
+        self.cum_received += received
+        over = self.cum_received > self.capacity
+        newly = over & ~self.burned
+        accept = ~self.burned & ~over
+        self.burned |= newly
+        self.newly_burned_last_round = int(np.count_nonzero(newly))
+        self.loads[accept] += received[accept]
+        return accept
+
+    def blocked_mask(self) -> np.ndarray:
+        return self.burned.copy()
+
+
+class RaesPolicy(ServerPolicy):
+    """RAES: *Request a link, then Accept if Enough Space* [4].
+
+    A server is *saturated* in a round when accepting that round's batch
+    would exceed capacity; it rejects the whole batch but keeps no other
+    state, so saturation is per-round, not permanent.
+    """
+
+    name = "raes"
+
+    def __init__(self, n_servers: int, capacity: int):
+        super().__init__(n_servers, capacity)
+        self.saturated_rounds = np.zeros(n_servers, dtype=np.int64)
+        self.newly_burned_last_round = 0  # kept for interface symmetry; counts saturation events
+
+    def decide(self, received: np.ndarray) -> np.ndarray:
+        accept = self.loads + received <= self.capacity
+        rejected = ~accept
+        self.saturated_rounds[rejected] += 1
+        self.newly_burned_last_round = int(np.count_nonzero(rejected & (received > 0)))
+        self.loads[accept] += received[accept]
+        return accept
+
+    def blocked_mask(self) -> np.ndarray:
+        # A full server rejects any non-empty batch; servers below
+        # capacity may still reject large batches, but "blocked" in the
+        # S_t sense means unconditionally rejecting.
+        return self.loads >= self.capacity

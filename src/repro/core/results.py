@@ -1,0 +1,115 @@
+"""Result record for a single protocol execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .config import ProtocolParams
+from .metrics import Trace
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol run.
+
+    Attributes
+    ----------
+    protocol:
+        ``"saer"`` or ``"raes"`` (or a custom policy name).
+    completed:
+        True iff every ball was assigned within the round cap.  When
+        False, ``rounds`` equals the cap and ``alive_balls`` counts the
+        leftovers — failure is data, not an exception, because several
+        experiments measure failure rates (E6, E7).
+    rounds:
+        Number of executed rounds (the paper's *completion time* when
+        ``completed``).
+    work:
+        Total messages exchanged: 2 per request (ball ID up, 1-bit reply
+        down), matching §3.2's ``W``.
+    total_balls / assigned_balls / alive_balls:
+        Ball accounting; ``total = assigned + alive`` always.
+    max_load / loads:
+        Final server loads.  The protocol guarantees
+        ``max_load ≤ ⌊c·d⌋`` unconditionally.
+    blocked_servers:
+        Burned servers (SAER) or at-capacity servers (RAES) at the end.
+    trace:
+        Optional per-round series (see :class:`~repro.core.metrics.Trace`).
+    """
+
+    protocol: str
+    graph_name: str
+    n_clients: int
+    n_servers: int
+    params: ProtocolParams
+    completed: bool
+    rounds: int
+    work: int
+    total_balls: int
+    assigned_balls: int
+    alive_balls: int
+    max_load: int
+    blocked_servers: int
+    loads: Optional[np.ndarray] = field(default=None, repr=False)
+    trace: Optional[Trace] = field(default=None, repr=False)
+    seed_info: str = ""
+
+    def __post_init__(self) -> None:
+        if self.assigned_balls + self.alive_balls != self.total_balls:
+            raise ValueError(
+                "ball accounting broken: "
+                f"{self.assigned_balls} + {self.alive_balls} != {self.total_balls}"
+            )
+
+    @property
+    def work_per_ball(self) -> float:
+        """Messages per ball — Θ(1) iff total work is Θ(n·d) (Theorem 1)."""
+        return self.work / self.total_balls if self.total_balls else 0.0
+
+    @property
+    def work_per_client(self) -> float:
+        """Messages per client — the normalized work of experiment E2."""
+        return self.work / self.n_clients if self.n_clients else 0.0
+
+    def summary(self) -> dict:
+        """Flat dict for aggregation and table output."""
+        return {
+            "protocol": self.protocol,
+            "graph": self.graph_name,
+            "n": self.n_clients,
+            "c": self.params.c,
+            "d": self.params.d,
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "work": self.work,
+            "work_per_client": round(self.work_per_client, 3),
+            "max_load": self.max_load,
+            "capacity": self.params.capacity,
+            "assigned": self.assigned_balls,
+            "alive": self.alive_balls,
+            "blocked_servers": self.blocked_servers,
+        }
+
+    def to_dict(self, include_loads: bool = False, include_trace: bool = True) -> dict:
+        """Full JSON-serializable export (for archiving experiment runs)."""
+        out = self.summary()
+        out["n_servers"] = self.n_servers
+        out["seed_info"] = self.seed_info
+        if include_loads and self.loads is not None:
+            out["loads"] = self.loads.tolist()
+        if include_trace and self.trace is not None:
+            out["trace"] = self.trace.as_dict()
+        return out
+
+    def to_json(self, path, include_loads: bool = False) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(include_loads=include_loads), fh, indent=2)

@@ -1,0 +1,236 @@
+"""Client-side protocol variants (§4: "our protocol, or simple variants of it").
+
+The paper's conclusion invites the study of simple SAER variants.  Two
+natural ones change only the *client* behaviour (the server rule — and
+hence the load cap — is untouched):
+
+* :func:`run_saer_with_retry_budget` — a ball gives up after ``budget``
+  rejections (client impatience / request deadlines).  Termination is
+  then guaranteed within ``budget·round-cap``; the price is *dropped*
+  balls, which the result reports.  ``budget=None`` recovers plain SAER.
+* :func:`run_saer_with_backoff` — after a rejection, a ball re-submits
+  each round only with probability ``retry_prob`` (randomized backoff).
+  This spreads retries over time, lowering per-round collision mass at
+  the cost of longer completion; ``retry_prob=1.0`` recovers plain SAER.
+
+Both consume the :class:`~repro.rng.RandomTape` in a documented order
+(per round: first one coin per backlogged ball — backoff only — then one
+destination uniform per sending ball, client-ascending / slot-ascending)
+so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import RandomTape
+from .config import ProtocolParams, RunOptions
+from .engine import _resolve_demands, draw_destinations
+from .policies import SaerPolicy
+from .results import RunResult
+
+__all__ = ["VariantResult", "run_saer_with_retry_budget", "run_saer_with_backoff"]
+
+
+@dataclass
+class VariantResult:
+    """A :class:`RunResult` plus the variant-specific counters."""
+
+    run: RunResult
+    dropped_balls: int = 0
+    deferred_sends: int = 0  # backoff: ball-rounds spent waiting
+
+    def summary(self) -> dict:
+        out = self.run.summary()
+        out["dropped_balls"] = self.dropped_balls
+        out["deferred_sends"] = self.deferred_sends
+        return out
+
+
+def _setup(graph, c, d, seed, tape, demands):
+    if tape is not None and seed is not None:
+        raise ProtocolConfigError("pass either seed or tape, not both")
+    params = ProtocolParams(c=c, d=d)
+    dem = _resolve_demands(graph, d, demands)
+    tp = tape if tape is not None else RandomTape(seed)
+    slot_client = np.repeat(np.arange(graph.n_clients, dtype=np.int64), dem)
+    return params, dem, tp, slot_client
+
+
+def _make_result(
+    graph: BipartiteGraph,
+    params: ProtocolParams,
+    pol: SaerPolicy,
+    *,
+    protocol: str,
+    rounds: int,
+    work: int,
+    total: int,
+    assigned: int,
+    settled: bool,
+    opts: RunOptions,
+    seed,
+) -> RunResult:
+    return RunResult(
+        protocol=protocol,
+        graph_name=graph.name,
+        n_clients=graph.n_clients,
+        n_servers=graph.n_servers,
+        params=params,
+        completed=settled,
+        rounds=rounds,
+        work=work,
+        total_balls=total,
+        assigned_balls=assigned,
+        alive_balls=total - assigned,
+        max_load=pol.max_load,
+        blocked_servers=int(pol.blocked_mask().sum()),
+        loads=pol.loads.copy() if opts.record_loads else None,
+        trace=None,
+        seed_info=repr(seed) if seed is not None else "tape",
+    )
+
+
+def run_saer_with_retry_budget(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    budget: int | None,
+    *,
+    seed=None,
+    tape: RandomTape | None = None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> VariantResult:
+    """SAER where each ball tolerates at most ``budget`` rejections.
+
+    A ball whose rejection count reaches ``budget`` is *dropped* (the
+    client stops re-submitting it).  ``completed`` in the returned run
+    means "no ball still alive" — i.e. every ball was either assigned or
+    dropped; the drop count is in :attr:`VariantResult.dropped_balls`.
+    """
+    if budget is not None and budget < 1:
+        raise ProtocolConfigError("budget must be >= 1 (or None for unlimited)")
+    opts = options or RunOptions()
+    params, dem, tp, slot_client = _setup(graph, c, d, seed, tape, demands)
+    total = int(dem.sum())
+    n_s = graph.n_servers
+    pol = SaerPolicy(n_s, params.capacity)
+    alive = np.ones(total, dtype=bool)
+    rejections = np.zeros(total, dtype=np.int64)
+    cap = opts.cap_for(max(graph.n_clients, n_s))
+    assigned = 0
+    dropped = 0
+    work = 0
+    rounds = 0
+    while alive.any() and rounds < cap:
+        rounds += 1
+        send_idx = np.flatnonzero(alive)
+        senders = slot_client[send_idx]
+        u = tp.draw(senders.size)
+        dest = draw_destinations(graph, senders, u)
+        received = np.bincount(dest, minlength=n_s)
+        accept = pol.decide(received)
+        ok = accept[dest]
+        alive[send_idx[ok]] = False
+        assigned += int(np.count_nonzero(ok))
+        work += 2 * senders.size
+        rejected_slots = send_idx[~ok]
+        rejections[rejected_slots] += 1
+        if budget is not None:
+            give_up = rejected_slots[rejections[rejected_slots] >= budget]
+            if give_up.size:
+                alive[give_up] = False
+                dropped += int(give_up.size)
+    settled = not alive.any()
+    run = _make_result(
+        graph,
+        params,
+        pol,
+        protocol="saer+budget",
+        rounds=rounds,
+        work=work,
+        total=total,
+        assigned=assigned,
+        settled=settled,
+        opts=opts,
+        seed=seed,
+    )
+    return VariantResult(run=run, dropped_balls=dropped)
+
+
+def run_saer_with_backoff(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    retry_prob: float,
+    *,
+    seed=None,
+    tape: RandomTape | None = None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> VariantResult:
+    """SAER with randomized retry backoff.
+
+    Fresh balls always submit in their first round; a previously-rejected
+    ball re-submits each round independently with probability
+    ``retry_prob`` and otherwise waits.  ``retry_prob=1.0`` is plain
+    SAER (and consumes the tape identically to the engine's fast path
+    apart from the per-ball coin draws).
+    """
+    if not (0.0 < retry_prob <= 1.0):
+        raise ProtocolConfigError("retry_prob must be in (0, 1]")
+    opts = options or RunOptions()
+    params, dem, tp, slot_client = _setup(graph, c, d, seed, tape, demands)
+    total = int(dem.sum())
+    n_s = graph.n_servers
+    pol = SaerPolicy(n_s, params.capacity)
+    alive = np.ones(total, dtype=bool)
+    backlogged = np.zeros(total, dtype=bool)  # rejected at least once
+    cap = opts.cap_for(max(graph.n_clients, n_s))
+    assigned = 0
+    deferred = 0
+    work = 0
+    rounds = 0
+    while alive.any() and rounds < cap:
+        rounds += 1
+        # Coin phase: backlogged alive balls flip a retry coin (canonical
+        # order: ascending slot index).
+        candidates = np.flatnonzero(alive)
+        is_back = backlogged[candidates]
+        back_idx = candidates[is_back]
+        coins = tp.draw(back_idx.size)
+        retry = coins < retry_prob
+        sending = np.concatenate([candidates[~is_back], back_idx[retry]])
+        sending.sort()
+        deferred += int(back_idx.size - np.count_nonzero(retry))
+        if sending.size == 0:
+            continue
+        senders = slot_client[sending]
+        u = tp.draw(senders.size)
+        dest = draw_destinations(graph, senders, u)
+        received = np.bincount(dest, minlength=n_s)
+        accept = pol.decide(received)
+        ok = accept[dest]
+        alive[sending[ok]] = False
+        backlogged[sending[~ok]] = True
+        assigned += int(np.count_nonzero(ok))
+        work += 2 * senders.size
+    run = _make_result(
+        graph,
+        params,
+        pol,
+        protocol="saer+backoff",
+        rounds=rounds,
+        work=work,
+        total=total,
+        assigned=assigned,
+        settled=not alive.any(),
+        opts=opts,
+        seed=seed,
+    )
+    return VariantResult(run=run, deferred_sends=deferred)

@@ -1,0 +1,32 @@
+"""The paper's §4 future-work scenario, built out: dynamic SAER.
+
+"We are particularly intrigued by the analysis of our protocol … in the
+presence of a dynamic framework where, for instance, the client requests
+arrive on line and some random topology change may happen during the
+protocol execution. … we believe that the simple structure of saer can
+well manage such a dynamic scenario and achieves a metastable regime
+with good performances."
+
+This subpackage implements exactly that scenario:
+
+* online ball arrivals (:class:`PoissonArrivals`, :class:`BatchArrivals`),
+* random topology churn (:class:`RewireChurn` — clients resample their
+  trusted server set),
+* a SAER variant with *burn recovery* (a burned server resets after a
+  fixed number of rounds — without recovery, sustained arrivals
+  eventually burn every server and the system must diverge),
+* metastability diagnostics on the backlog process (experiment E12).
+"""
+
+from .arrivals import ArrivalProcess, BatchArrivals, PoissonArrivals
+from .churn import RewireChurn
+from .simulator import DynamicResult, run_dynamic_saer
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BatchArrivals",
+    "RewireChurn",
+    "DynamicResult",
+    "run_dynamic_saer",
+]

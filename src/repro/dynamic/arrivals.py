@@ -1,0 +1,77 @@
+"""Online request arrival processes for the dynamic scenario (E12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "BatchArrivals"]
+
+
+class ArrivalProcess:
+    """Interface: per-round new-ball counts per client.
+
+    ``sample(rng, n_clients, round_no)`` returns an int array of new
+    balls appearing at each client at the start of that round.
+    """
+
+    def sample(self, rng: np.random.Generator, n_clients: int, round_no: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def expected_per_round(self, n_clients: int) -> float:
+        """Expected total arrivals per round (for capacity/stability math)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals: total ``~Poisson(rate_per_client·n)`` per round,
+    spread uniformly over clients.
+
+    ``rate_per_client`` is the offered load knob of E12.  The system's
+    service capacity is at most one assignment per arrival slot, and the
+    burn/recovery cycle throttles effective capacity further, so backlog
+    stability depends on this rate (the metastable-vs-divergent table).
+    """
+
+    rate_per_client: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_client < 0:
+            raise ValueError("rate_per_client must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n_clients: int, round_no: int) -> np.ndarray:
+        total = rng.poisson(self.rate_per_client * n_clients)
+        if total == 0:
+            return np.zeros(n_clients, dtype=np.int64)
+        owners = rng.integers(0, n_clients, size=total)
+        return np.bincount(owners, minlength=n_clients).astype(np.int64)
+
+    def expected_per_round(self, n_clients: int) -> float:
+        return self.rate_per_client * n_clients
+
+
+@dataclass(frozen=True)
+class BatchArrivals(ArrivalProcess):
+    """Deterministic bursts: ``batch_size`` balls every ``period`` rounds.
+
+    Exercises the protocol's burst absorption (worst case for the
+    per-round threshold, since a burst concentrates arrivals in time).
+    """
+
+    batch_size: int
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0 or self.period < 1:
+            raise ValueError("need batch_size >= 0 and period >= 1")
+
+    def sample(self, rng: np.random.Generator, n_clients: int, round_no: int) -> np.ndarray:
+        if round_no % self.period != 0:
+            return np.zeros(n_clients, dtype=np.int64)
+        owners = rng.integers(0, n_clients, size=self.batch_size)
+        return np.bincount(owners, minlength=n_clients).astype(np.int64)
+
+    def expected_per_round(self, n_clients: int) -> float:
+        return self.batch_size / self.period

@@ -1,0 +1,233 @@
+"""Dynamic SAER: online arrivals, churn, and burn recovery (experiment E12).
+
+Semantics (our concretization of §4's sketch — documented substitution):
+
+* Time is still synchronous rounds.  At the start of each round new
+  balls arrive per the :class:`~repro.dynamic.arrivals.ArrivalProcess`;
+  each ball belongs to the client it arrived at and must be assigned to
+  a server in that client's *current* neighborhood.
+* Every alive ball is submitted each round to a uniform random current
+  neighbor — the unchanged SAER client rule.
+* Servers run the SAER rule *per epoch*: a server counts received balls
+  and burns when the count exceeds ``⌊c·d⌋``; a burned server recovers
+  after ``recovery`` rounds, resetting its received counter (modelling
+  capacity that frees up as earlier work drains).  ``recovery=None``
+  disables recovery — the static protocol, which must diverge under
+  sustained arrivals (every server eventually burns; useful as the E12
+  control row).
+* With probability ``churn.rate`` a client's neighborhood is resampled
+  each round (see :class:`~repro.dynamic.churn.RewireChurn`).
+
+The interesting output is the *backlog* process (alive balls per round)
+and per-ball assignment latency: the paper conjectures a metastable
+regime — bounded backlog — for moderate offered load, which E12's table
+exhibits, including the divergence above the capacity knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import ProtocolParams
+from ..errors import ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import make_rng
+from .arrivals import ArrivalProcess
+from .churn import RewireChurn
+
+__all__ = ["DynamicResult", "run_dynamic_saer"]
+
+
+@dataclass
+class DynamicResult:
+    """Series and summary statistics of a dynamic run.
+
+    ``backlog[t]`` is the number of alive balls after round ``t``'s
+    assignments; ``latencies`` collects rounds-to-assignment for every
+    assigned ball.  :meth:`backlog_slope` and :meth:`is_metastable` are
+    the stability diagnostics used by the E12 table.
+    """
+
+    horizon: int
+    backlog: np.ndarray
+    arrivals: np.ndarray
+    assigned: np.ndarray
+    burned_fraction: np.ndarray
+    rewired_clients: np.ndarray
+    latencies: np.ndarray
+    params: ProtocolParams
+    offered_load: float
+    recovery: int | None
+    dropped: int = 0
+
+    def backlog_slope(self) -> float:
+        """Least-squares slope of the backlog over the last half horizon.
+
+        ≈0 (relative to the arrival rate) means the queue is not
+        growing — the metastable signature; ≫0 means divergence.
+        """
+        half = self.backlog[self.horizon // 2 :]
+        if half.size < 2:
+            return 0.0
+        t = np.arange(half.size, dtype=np.float64)
+        A = np.column_stack([np.ones_like(t), t])
+        coef, *_ = np.linalg.lstsq(A, half.astype(np.float64), rcond=None)
+        return float(coef[1])
+
+    def is_metastable(self, tolerance: float = 0.05) -> bool:
+        """Backlog growth below ``tolerance`` × arrival rate per round."""
+        if self.offered_load == 0:
+            return True
+        return self.backlog_slope() <= tolerance * self.offered_load
+
+    def latency_stats(self) -> dict:
+        if self.latencies.size == 0:
+            return {"mean": float("nan"), "p50": float("nan"), "p95": float("nan")}
+        return {
+            "mean": float(self.latencies.mean()),
+            "p50": float(np.median(self.latencies)),
+            "p95": float(np.quantile(self.latencies, 0.95)),
+        }
+
+    def summary(self) -> dict:
+        lat = self.latency_stats()
+        return {
+            "horizon": self.horizon,
+            "offered_per_round": round(self.offered_load, 3),
+            "recovery": self.recovery,
+            "final_backlog": int(self.backlog[-1]) if self.backlog.size else 0,
+            "mean_backlog_2nd_half": float(self.backlog[self.horizon // 2 :].mean())
+            if self.backlog.size
+            else 0.0,
+            "backlog_slope": round(self.backlog_slope(), 4),
+            "metastable": self.is_metastable(),
+            "latency_mean": round(lat["mean"], 3),
+            "latency_p95": lat["p95"],
+            "burned_frac_final": float(self.burned_fraction[-1])
+            if self.burned_fraction.size
+            else 0.0,
+        }
+
+
+def run_dynamic_saer(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    arrivals: ArrivalProcess,
+    horizon: int,
+    *,
+    churn: RewireChurn | None = None,
+    recovery: int | None = None,
+    seed=None,
+) -> DynamicResult:
+    """Simulate dynamic SAER for ``horizon`` rounds; see module docstring.
+
+    ``d`` here only sets the burn threshold ``⌊c·d⌋`` (arriving balls
+    are individual requests; the static protocol's per-client demand has
+    no dynamic analogue).
+    """
+    if horizon < 1:
+        raise ProtocolConfigError("horizon must be >= 1")
+    if recovery is not None and recovery < 1:
+        raise ProtocolConfigError("recovery must be >= 1 when given")
+    params = ProtocolParams(c=c, d=d)
+    rng = make_rng(seed)
+    n_c, n_s = graph.n_clients, graph.n_servers
+    neighbor_lists = [graph.neighbors_of_client(v).copy() for v in range(n_c)]
+
+    # Flat CSR view of the (mutable) neighbor lists, rebuilt only when
+    # churn changes them — keeps the per-round destination gather fully
+    # vectorized even with six-figure backlogs.
+    def rebuild_flat():
+        degs = np.array([nl.size for nl in neighbor_lists], dtype=np.int64)
+        indptr = np.zeros(n_c + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        indices = (
+            np.concatenate(neighbor_lists) if indptr[-1] else np.empty(0, dtype=np.int64)
+        )
+        return degs, indptr, indices
+
+    degs, indptr, indices = rebuild_flat()
+
+    # Server state (SAER with optional epoch recovery).
+    cum_received = np.zeros(n_s, dtype=np.int64)
+    burned = np.zeros(n_s, dtype=bool)
+    burn_clock = np.zeros(n_s, dtype=np.int64)
+    capacity = params.capacity
+
+    # Alive ball table.
+    owners = np.empty(0, dtype=np.int64)
+    births = np.empty(0, dtype=np.int64)
+
+    backlog = np.zeros(horizon, dtype=np.int64)
+    arr_series = np.zeros(horizon, dtype=np.int64)
+    asg_series = np.zeros(horizon, dtype=np.int64)
+    burned_frac = np.zeros(horizon, dtype=np.float64)
+    rewired = np.zeros(horizon, dtype=np.int64)
+    latencies: list[np.ndarray] = []
+    dropped = 0
+
+    for t in range(horizon):
+        # Recovery of burned servers.
+        if recovery is not None and burned.any():
+            burn_clock[burned] += 1
+            healed = burned & (burn_clock >= recovery)
+            burned[healed] = False
+            cum_received[healed] = 0
+            burn_clock[healed] = 0
+        # Churn.
+        if churn is not None:
+            rewired[t] = churn.apply(rng, neighbor_lists, n_s)
+            if rewired[t]:
+                degs, indptr, indices = rebuild_flat()
+        # Arrivals (dropped at isolated clients — cannot ever be served).
+        new_counts = arrivals.sample(rng, n_c, t)
+        deg0 = degs == 0
+        if deg0.any():
+            dropped += int(new_counts[deg0].sum())
+            new_counts[deg0] = 0
+        arr_series[t] = int(new_counts.sum())
+        if arr_series[t]:
+            new_owners = np.repeat(np.arange(n_c, dtype=np.int64), new_counts)
+            owners = np.concatenate([owners, new_owners])
+            births = np.concatenate([births, np.full(new_owners.size, t, dtype=np.int64)])
+        if owners.size == 0:
+            burned_frac[t] = burned.mean() if n_s else 0.0
+            continue
+        # Phase 1: every alive ball to a uniform current neighbor, via
+        # the flat CSR view (vectorized gather).
+        u = rng.random(owners.size)
+        own_deg = degs[owners]
+        offs = np.minimum((u * own_deg).astype(np.int64), own_deg - 1)
+        dest = indices[indptr[owners] + offs]
+        received = np.bincount(dest, minlength=n_s)
+        # Phase 2: SAER rule.
+        cum_received += received
+        over = cum_received > capacity
+        newly = over & ~burned
+        accept = ~burned & ~over
+        burned |= newly
+        ok = accept[dest]
+        if ok.any():
+            latencies.append((t - births[ok]).astype(np.int64))
+        asg_series[t] = int(np.count_nonzero(ok))
+        owners = owners[~ok]
+        births = births[~ok]
+        backlog[t] = owners.size
+        burned_frac[t] = float(burned.mean()) if n_s else 0.0
+
+    return DynamicResult(
+        horizon=horizon,
+        backlog=backlog,
+        arrivals=arr_series,
+        assigned=asg_series,
+        burned_fraction=burned_frac,
+        rewired_clients=rewired,
+        latencies=np.concatenate(latencies) if latencies else np.empty(0, dtype=np.int64),
+        params=params,
+        offered_load=arrivals.expected_per_round(n_c),
+        recovery=recovery,
+        dropped=dropped,
+    )

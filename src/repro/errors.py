@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. are left
+alone).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphConstructionError",
+    "GraphValidationError",
+    "ProtocolConfigError",
+    "NonTerminationError",
+    "TapeExhaustedError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphConstructionError(ReproError):
+    """A graph generator could not realize the requested parameters.
+
+    Raised, e.g., when a degree sequence is infeasible (``n * d_c`` not
+    divisible appropriately for a biregular graph) or a rejection-sampling
+    generator exceeded its retry budget.
+    """
+
+
+class GraphValidationError(ReproError):
+    """A :class:`~repro.graphs.bipartite.BipartiteGraph` invariant failed.
+
+    Raised by constructors and validators when CSR arrays are
+    inconsistent, indices are out of range, or a protocol precondition
+    (e.g. "every client has at least one neighbor") is violated.
+    """
+
+
+class ProtocolConfigError(ReproError):
+    """Invalid protocol parameters (e.g. ``c < 1``, ``d < 1``)."""
+
+
+class NonTerminationError(ReproError):
+    """A protocol run hit its round cap before all balls were assigned.
+
+    Carries the partial :class:`~repro.core.results.RunResult` in
+    :attr:`result` so callers can inspect how far the process got.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class TapeExhaustedError(ReproError):
+    """A :class:`~repro.rng.RandomTape` ran out of pre-drawn values."""
+
+
+class ExperimentError(ReproError):
+    """An experiment registry lookup or runner configuration failed."""

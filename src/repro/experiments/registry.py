@@ -1,0 +1,169 @@
+"""The experiment catalog: one entry per regenerated paper claim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata tying a paper claim to the code that regenerates it.
+
+    ``runner`` names the function in :mod:`repro.experiments.runners`;
+    ``bench`` names the pytest-benchmark module; ``expected_shape`` is
+    the acceptance criterion (shape, not absolute numbers — see
+    DESIGN.md §5).
+    """
+
+    id: str
+    title: str
+    claim: str
+    paper_ref: str
+    runner: str
+    bench: str
+    expected_shape: str
+    modules: tuple[str, ...] = field(default_factory=tuple)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in [
+        ExperimentSpec(
+            id="E1",
+            title="Completion time is O(log n)",
+            claim="saer(c,d) completes within 3·log n rounds w.h.p. on Δ-regular graphs with Δ = Ω(log² n)",
+            paper_ref="Theorem 1 (completion); Lemma 4",
+            runner="run_e01_completion",
+            bench="benchmarks/bench_e01_completion_time.py",
+            expected_shape="median rounds fit a + b·log2(n) with R² high; all runs within the 3·log2(n) horizon",
+            modules=("repro.core.policies", "repro.graphs.generators", "repro.analysis.fitting"),
+        ),
+        ExperimentSpec(
+            id="E2",
+            title="Total work is Θ(n)",
+            claim="saer(c,d) exchanges Θ(n) messages in total, w.h.p.",
+            paper_ref="Theorem 1 (work); §3.2",
+            runner="run_e02_work",
+            bench="benchmarks/bench_e02_work_linear.py",
+            expected_shape="work/n flat across n; power-law exponent of work vs n ≈ 1",
+            modules=("repro.core.engine", "repro.core.metrics"),
+        ),
+        ExperimentSpec(
+            id="E3",
+            title="Max load never exceeds c·d",
+            claim="on termination every server's load is at most c·d (protocol invariant)",
+            paper_ref="§1.1 / remark (i) after Algorithm 1",
+            runner="run_e03_max_load",
+            bench="benchmarks/bench_e03_max_load.py",
+            expected_shape="0 violations across all graph families and (c,d) settings",
+            modules=("repro.core.policies",),
+        ),
+        ExperimentSpec(
+            id="E4",
+            title="Burned fraction stays below 1/2",
+            claim="S_t ≤ 1/2 for all t ≤ 3·log n, w.h.p., for c above the analysis threshold",
+            paper_ref="Lemma 4 (regular); Lemma 19 (almost-regular)",
+            runner="run_e04_burned_fraction",
+            bench="benchmarks/bench_e04_burned_fraction.py",
+            expected_shape="max_t S_t ≤ 1/2 in every trial at the paper's c; small even at practical c",
+            modules=("repro.core.metrics",),
+        ),
+        ExperimentSpec(
+            id="E5",
+            title="RAES dominates SAER",
+            claim="the accepted-requests process of raes stochastically dominates saer's",
+            paper_ref="Corollary 2",
+            runner="run_e05_dominance",
+            bench="benchmarks/bench_e05_raes_dominance.py",
+            expected_shape="under slot coupling: RAES alive set nested in SAER's every round; RAES completes no later, in 100% of coupled trials",
+            modules=("repro.core.coupling",),
+        ),
+        ExperimentSpec(
+            id="E6",
+            title="Threshold behaviour in c",
+            claim="a sufficiently large constant c makes the protocol terminate fast; the analysis constants (32, 288/(ηd)) are conservative",
+            paper_ref="Theorem 1 ('sufficiently large c'); footnote 12",
+            runner="run_e06_c_threshold",
+            bench="benchmarks/bench_e06_c_threshold.py",
+            expected_shape="failures / long completions at c near 1; fast and flat completion once c is a small constant",
+            modules=("repro.core.policies",),
+        ),
+        ExperimentSpec(
+            id="E7",
+            title="Degree hypothesis Δ = Ω(log² n)",
+            claim="the guarantee needs Δ_min(C) ≥ η·log² n; dense graphs recover the Becchetti et al. regime",
+            paper_ref="Theorem 1 hypothesis; §1.2 overview; §4 (open: o(log² n))",
+            runner="run_e07_degree_sweep",
+            bench="benchmarks/bench_e07_degree_sweep.py",
+            expected_shape="completion degrades as Δ falls below ~log² n at fixed c; dense Δ behaves like the complete graph",
+            modules=("repro.graphs.generators",),
+        ),
+        ExperimentSpec(
+            id="E8",
+            title="Almost-regular allowance",
+            claim="the bound holds for any Δ_max(S)/Δ_min(C) ≤ ρ = O(1), including the √n-client / O(1)-server example",
+            paper_ref="Theorem 1; discussion after it; Appendix D",
+            runner="run_e08_almost_regular",
+            bench="benchmarks/bench_e08_almost_regular.py",
+            expected_shape="O(log n)-like completion persists across ρ = O(1) families incl. paper_extremal",
+            modules=("repro.graphs.generators.paper_extremal", "repro.graphs.properties"),
+        ),
+        ExperimentSpec(
+            id="E9",
+            title="Baselines trade-off table",
+            claim="sequential greedy gets lower max load but Θ(n·k) sequential steps and discloses loads; SAER gets O(d) load in O(log n) parallel rounds with 1-bit replies",
+            paper_ref="§1.3; remark (ii) after Algorithm 1",
+            runner="run_e09_baselines",
+            bench="benchmarks/bench_e09_baselines.py",
+            expected_shape="greedy max load < SAER max load ≤ c·d; SAER rounds ≪ greedy steps; disclosure column",
+            modules=("repro.baselines",),
+        ),
+        ExperimentSpec(
+            id="E10",
+            title="Stage-I exponential decay",
+            claim="r_t(N(v)) decays exponentially while Ω(log n); K_t stays below the γ_t envelope",
+            paper_ref="Lemmas 11-13 (regular); 21-22 (general); recurrence (11)",
+            runner="run_e10_stage1",
+            bench="benchmarks/bench_e10_stage1_decay.py",
+            expected_shape="measured K_t ≤ γ_t and measured r_t max ≤ 2dΔ·Πγ envelope at the paper's c",
+            modules=("repro.theory.recurrences", "repro.core.metrics"),
+        ),
+        ExperimentSpec(
+            id="E11",
+            title="Alive-ball decay factor 4/5",
+            claim="while ≥ nd/log n balls are alive, their number shrinks by factor ≥ 4/5 per round w.h.p.",
+            paper_ref="§3.2, eq. (20)",
+            runner="run_e11_alive_decay",
+            bench="benchmarks/bench_e11_alive_decay.py",
+            expected_shape="per-round alive ratios ≤ 4/5 in the heavy regime across trials",
+            modules=("repro.core.metrics",),
+        ),
+        ExperimentSpec(
+            id="E12",
+            title="Dynamic metastability",
+            claim="(§4 conjecture) with online arrivals and churn, saer with recovery reaches a metastable bounded-backlog regime below capacity",
+            paper_ref="§4 Conclusions and Future Work",
+            runner="run_e12_dynamic",
+            bench="benchmarks/bench_e12_dynamic_metastable.py",
+            expected_shape="backlog slope ≈ 0 below the capacity knee, divergent above; no-recovery control diverges",
+            modules=("repro.dynamic",),
+        ),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (``"E1"``..``"E12"``, case-insensitive)."""
+    key = exp_id.upper()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All experiments in id order."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS, key=lambda s: int(s[1:]))]

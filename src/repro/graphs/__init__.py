@@ -1,0 +1,46 @@
+"""Bipartite client-server graph substrate.
+
+The paper's model is a bipartite graph ``G((C, S), E)`` where clients
+may only contact servers in their neighborhood.  This subpackage
+provides the immutable CSR representation (:class:`BipartiteGraph`),
+the generator zoo used by the experiments, structural property reports,
+and serialization.
+"""
+
+from .bipartite import BipartiteGraph
+from .generators import (
+    biregular,
+    community_bipartite,
+    complete_bipartite,
+    erdos_renyi_bipartite,
+    geometric_bipartite,
+    near_regular,
+    paper_extremal,
+    random_regular_bipartite,
+    trust_subsets,
+)
+from .properties import (
+    GraphReport,
+    almost_regularity_ratio,
+    degree_report,
+    eta_for,
+    theorem1_hypotheses,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "random_regular_bipartite",
+    "community_bipartite",
+    "biregular",
+    "erdos_renyi_bipartite",
+    "geometric_bipartite",
+    "trust_subsets",
+    "near_regular",
+    "paper_extremal",
+    "complete_bipartite",
+    "GraphReport",
+    "degree_report",
+    "almost_regularity_ratio",
+    "eta_for",
+    "theorem1_hypotheses",
+]

@@ -1,0 +1,242 @@
+"""Immutable CSR bipartite graph used by every protocol and metric.
+
+Design notes
+------------
+The hot loops of the simulation index client neighborhoods millions of
+times per run, so the representation is two flat CSR adjacency
+structures (client→server and server→client) built once and never
+mutated.  Multi-edges are disallowed: Algorithm 1 samples *with
+replacement from the neighbor set*, so parallel edges would silently
+bias the destination distribution.
+
+Clients are indexed ``0..n_clients-1`` and servers ``0..n_servers-1``
+in separate index spaces (the paper's local-labels assumption means no
+global node ids are needed; separate spaces make that explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphValidationError
+
+__all__ = ["BipartiteGraph"]
+
+
+def _build_csr(n_src: int, n_dst: int, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) for src→dst adjacency from an edge array.
+
+    ``pairs`` is an ``(m, 2)`` int array of (src, dst).  Neighbor lists
+    come out sorted by dst index, which makes tape-replay order
+    deterministic and binary-searchable.
+    """
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    srt = pairs[order]
+    counts = np.bincount(srt[:, 0], minlength=n_src)
+    indptr = np.zeros(n_src + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, np.ascontiguousarray(srt[:, 1].astype(np.int64))
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """An immutable bipartite client-server graph in dual-CSR form.
+
+    Attributes
+    ----------
+    n_clients, n_servers:
+        Sizes of the two sides.  The paper assumes ``n_clients ==
+        n_servers == n`` but nothing in the protocols needs that, so the
+        library supports unequal sides.
+    client_indptr, client_indices:
+        CSR adjacency client→server: the neighbors of client ``v`` are
+        ``client_indices[client_indptr[v]:client_indptr[v+1]]``, sorted.
+    server_indptr, server_indices:
+        CSR adjacency server→client, derived from the same edge set.
+    """
+
+    n_clients: int
+    n_servers: int
+    client_indptr: np.ndarray
+    client_indices: np.ndarray
+    server_indptr: np.ndarray
+    server_indices: np.ndarray
+    name: str = field(default="bipartite", compare=False)
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def from_edges(
+        n_clients: int,
+        n_servers: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        name: str = "bipartite",
+        validate: bool = True,
+    ) -> "BipartiteGraph":
+        """Build a graph from (client, server) pairs.
+
+        Raises :class:`GraphValidationError` on out-of-range endpoints or
+        duplicate edges.
+        """
+        if n_clients < 0 or n_servers < 0:
+            raise GraphValidationError("side sizes must be non-negative")
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphValidationError(f"edges must be (m, 2); got shape {arr.shape}")
+        if validate and arr.size:
+            if arr[:, 0].min() < 0 or arr[:, 0].max() >= n_clients:
+                raise GraphValidationError("client index out of range")
+            if arr[:, 1].min() < 0 or arr[:, 1].max() >= n_servers:
+                raise GraphValidationError("server index out of range")
+            keys = arr[:, 0].astype(np.int64) * np.int64(max(n_servers, 1)) + arr[:, 1]
+            if np.unique(keys).size != keys.size:
+                raise GraphValidationError("duplicate edges are not allowed (sampling bias)")
+        c_indptr, c_indices = _build_csr(n_clients, n_servers, arr)
+        s_indptr, s_indices = _build_csr(n_servers, n_clients, arr[:, ::-1])
+        return BipartiteGraph(
+            n_clients=n_clients,
+            n_servers=n_servers,
+            client_indptr=c_indptr,
+            client_indices=c_indices,
+            server_indptr=s_indptr,
+            server_indices=s_indices,
+            name=name,
+        )
+
+    @staticmethod
+    def from_neighbor_lists(
+        neighbor_lists: Sequence[Sequence[int]],
+        n_servers: int,
+        *,
+        name: str = "bipartite",
+    ) -> "BipartiteGraph":
+        """Build from per-client neighbor lists (validates and sorts)."""
+        edges: list[tuple[int, int]] = []
+        for v, nbrs in enumerate(neighbor_lists):
+            for u in nbrs:
+                edges.append((v, int(u)))
+        return BipartiteGraph.from_edges(len(neighbor_lists), n_servers, edges, name=name)
+
+    # -- invariants ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all CSR invariants; raise :class:`GraphValidationError` on failure.
+
+        Constructors already validate; this is for graphs loaded from
+        disk or constructed field-by-field.
+        """
+        ci, cx = self.client_indptr, self.client_indices
+        si, sx = self.server_indptr, self.server_indices
+        if ci.shape != (self.n_clients + 1,) or si.shape != (self.n_servers + 1,):
+            raise GraphValidationError("indptr length mismatch")
+        if ci[0] != 0 or si[0] != 0:
+            raise GraphValidationError("indptr must start at 0")
+        if np.any(np.diff(ci) < 0) or np.any(np.diff(si) < 0):
+            raise GraphValidationError("indptr must be non-decreasing")
+        if ci[-1] != cx.size or si[-1] != sx.size:
+            raise GraphValidationError("indptr tail must equal indices length")
+        if cx.size != sx.size:
+            raise GraphValidationError("edge count differs between directions")
+        if cx.size and (cx.min() < 0 or cx.max() >= self.n_servers):
+            raise GraphValidationError("client_indices out of range")
+        if sx.size and (sx.min() < 0 or sx.max() >= self.n_clients):
+            raise GraphValidationError("server_indices out of range")
+        # Per-row sortedness and no duplicates; also cross-check that the
+        # two directions encode the same edge set.
+        for v in range(self.n_clients):
+            row = cx[ci[v] : ci[v + 1]]
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                raise GraphValidationError(f"client {v} neighbor list not strictly sorted")
+        for u in range(self.n_servers):
+            row = sx[si[u] : si[u + 1]]
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                raise GraphValidationError(f"server {u} neighbor list not strictly sorted")
+        fwd = {(v, int(u)) for v in range(self.n_clients) for u in cx[ci[v] : ci[v + 1]]}
+        rev = {(int(v), u) for u in range(self.n_servers) for v in sx[si[u] : si[u + 1]]}
+        if fwd != rev:
+            raise GraphValidationError("forward/reverse adjacency disagree")
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges |E|."""
+        return int(self.client_indices.size)
+
+    @property
+    def client_degrees(self) -> np.ndarray:
+        """Degree of every client, ``Δ_v`` for ``v ∈ C``."""
+        return np.diff(self.client_indptr)
+
+    @property
+    def server_degrees(self) -> np.ndarray:
+        """Degree of every server, ``Δ_u`` for ``u ∈ S``."""
+        return np.diff(self.server_indptr)
+
+    def neighbors_of_client(self, v: int) -> np.ndarray:
+        """Sorted server neighborhood ``N(v)`` (a view, do not mutate)."""
+        return self.client_indices[self.client_indptr[v] : self.client_indptr[v + 1]]
+
+    def neighbors_of_server(self, u: int) -> np.ndarray:
+        """Sorted client neighborhood ``N(u)`` (a view, do not mutate)."""
+        return self.server_indices[self.server_indptr[u] : self.server_indptr[u + 1]]
+
+    def degree_min_clients(self) -> int:
+        """``Δ_min(C)`` as defined in §2.1 (0 for an empty client side)."""
+        deg = self.client_degrees
+        return int(deg.min()) if deg.size else 0
+
+    def degree_max_servers(self) -> int:
+        """``Δ_max(S)`` as defined in §2.1 (0 for an empty server side)."""
+        deg = self.server_degrees
+        return int(deg.max()) if deg.size else 0
+
+    def has_isolated_clients(self) -> bool:
+        """True if some client has no admissible server (protocol cannot finish)."""
+        return bool(np.any(self.client_degrees == 0))
+
+    # -- conversions -------------------------------------------------------
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Client×server 0/1 adjacency as ``scipy.sparse.csr_matrix``.
+
+        Used by the metric layer for ``r_t(N(v)) = A @ r_t`` and
+        ``S_t(v) = (A @ burned) / Δ_v`` matvecs.
+        """
+        data = np.ones(self.n_edges, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self.client_indices.astype(np.int64), self.client_indptr.astype(np.int64)),
+            shape=(self.n_clients, self.n_servers),
+        )
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array of (client, server), row-sorted."""
+        rows = np.repeat(np.arange(self.n_clients, dtype=np.int64), self.client_degrees)
+        return np.column_stack([rows, self.client_indices])
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with nodes ``('c', v)`` / ``('s', u)``.
+
+        Optional dependency: imported lazily so the core library does not
+        require networkx.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from((("c", int(v)) for v in range(self.n_clients)), bipartite=0)
+        g.add_nodes_from((("s", int(u)) for u in range(self.n_servers)), bipartite=1)
+        g.add_edges_from((("c", int(v)), ("s", int(u))) for v, u in self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BipartiteGraph(name={self.name!r}, n_clients={self.n_clients}, "
+            f"n_servers={self.n_servers}, n_edges={self.n_edges})"
+        )

@@ -1,0 +1,484 @@
+"""Random bipartite graph generators used throughout the experiments.
+
+Each generator returns an immutable :class:`~repro.graphs.bipartite.BipartiteGraph`
+(simple — no parallel edges, see that module's docstring) and accepts a
+``seed`` in any form :func:`repro.rng.make_rng` understands.
+
+Families provided (and where the paper needs them):
+
+* :func:`random_regular_bipartite` — the Δ-regular graphs of §3.
+* :func:`biregular` — unequal sides, constant degrees per side.
+* :func:`near_regular` — client degrees spread over ``[Δ, ρΔ]``,
+  exercising the almost-regularity allowance of Theorem 1.
+* :func:`paper_extremal` — the "non-extremal example" after Theorem 1:
+  most clients of degree ``Θ(log² n)``, a few of degree ``Θ(√n)``,
+  a few servers of degree ``O(1)``.
+* :func:`erdos_renyi_bipartite`, :func:`geometric_bipartite`,
+  :func:`trust_subsets` — the application-flavoured topologies from the
+  introduction (random, proximity-constrained, trust-restricted).
+* :func:`complete_bipartite` — the dense case of prior work [4, 25].
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import GraphConstructionError
+from ..rng import make_rng
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "random_regular_bipartite",
+    "community_bipartite",
+    "biregular",
+    "near_regular",
+    "paper_extremal",
+    "erdos_renyi_bipartite",
+    "geometric_bipartite",
+    "trust_subsets",
+    "complete_bipartite",
+]
+
+_MAX_RESTARTS = 50
+_MAX_REPAIR_PASSES = 300
+
+
+def _sample_distinct(rng: np.random.Generator, n: int, k: int) -> np.ndarray:
+    """Sample ``k`` distinct integers from ``range(n)`` (sorted).
+
+    Rejection sampling when ``k`` is small relative to ``n`` (the common
+    case: neighborhoods are ``polylog(n)``); falls back to a partial
+    permutation otherwise.  O(k) expected vs O(n) for ``rng.choice``.
+    """
+    if k > n:
+        raise GraphConstructionError(f"cannot sample {k} distinct values from range({n})")
+    if k == n:
+        return np.arange(n, dtype=np.int64)
+    if k > n // 8:
+        return np.sort(rng.permutation(n)[:k].astype(np.int64))
+    picked = np.unique(rng.integers(0, n, size=int(k * 1.3) + 8))
+    while picked.size < k:
+        extra = rng.integers(0, n, size=k)
+        picked = np.unique(np.concatenate([picked, extra]))
+    if picked.size > k:
+        picked = rng.choice(picked, size=k, replace=False)
+    return np.sort(picked.astype(np.int64))
+
+
+def _repair_duplicates(pairs: np.ndarray, n_servers: int, rng: np.random.Generator) -> bool:
+    """Make a configuration-model edge list simple via endpoint swaps.
+
+    Swapping the server endpoints of two edges preserves every degree on
+    both sides, so the repaired graph keeps the prescribed degree
+    sequence exactly.  Returns True on success, False if the random walk
+    failed to clear all duplicates within the pass budget (caller then
+    restarts from a fresh pairing).
+    """
+    m = pairs.shape[0]
+    for _ in range(_MAX_REPAIR_PASSES):
+        keys = pairs[:, 0].astype(np.int64) * np.int64(n_servers) + pairs[:, 1]
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        dup_sorted = np.zeros(m, dtype=bool)
+        if m > 1:
+            dup_sorted[1:] = sk[1:] == sk[:-1]
+        dup_idx = order[dup_sorted]
+        if dup_idx.size == 0:
+            return True
+        partners = rng.integers(0, m, size=dup_idx.size)
+        for i, j in zip(dup_idx.tolist(), partners.tolist()):
+            if i == j:
+                continue
+            pairs[i, 1], pairs[j, 1] = pairs[j, 1], pairs[i, 1]
+    return False
+
+
+def _configuration_bipartite(
+    client_degrees: np.ndarray,
+    server_degrees: np.ndarray,
+    rng: np.random.Generator,
+    name: str,
+) -> BipartiteGraph:
+    """Exact-degree-sequence bipartite graph via the configuration model.
+
+    Pairs client stubs with a random permutation of server stubs, then
+    repairs parallel edges by degree-preserving swaps.  Restarts with a
+    fresh permutation if the repair walk stalls.
+    """
+    client_degrees = np.asarray(client_degrees, dtype=np.int64)
+    server_degrees = np.asarray(server_degrees, dtype=np.int64)
+    if client_degrees.sum() != server_degrees.sum():
+        raise GraphConstructionError(
+            f"degree sums differ: clients {int(client_degrees.sum())} vs "
+            f"servers {int(server_degrees.sum())}"
+        )
+    if np.any(client_degrees < 0) or np.any(server_degrees < 0):
+        raise GraphConstructionError("degrees must be non-negative")
+    if np.any(client_degrees > server_degrees.size):
+        raise GraphConstructionError("a client degree exceeds the number of servers")
+    if np.any(server_degrees > client_degrees.size):
+        raise GraphConstructionError("a server degree exceeds the number of clients")
+    n_clients, n_servers = client_degrees.size, server_degrees.size
+    total = int(client_degrees.sum())
+    # Dense regime: the swap-repair walk stalls when few non-edges remain.
+    # Realize the complement sequence (sparse) and invert — complementation
+    # maps degree d to (other side size - d) exactly.
+    if total > (n_clients * n_servers) // 2 and total < n_clients * n_servers:
+        if n_clients * n_servers > (1 << 26):
+            raise GraphConstructionError(
+                "dense degree sequence too large for complementation "
+                f"({n_clients}×{n_servers}); reduce density or size"
+            )
+        comp = _configuration_bipartite(
+            n_servers - client_degrees, n_clients - server_degrees, rng, name="tmp-complement"
+        )
+        mask = np.ones((n_clients, n_servers), dtype=bool)
+        e = comp.edges()
+        mask[e[:, 0], e[:, 1]] = False
+        rows, cols = np.nonzero(mask)
+        return BipartiteGraph.from_edges(
+            n_clients, n_servers, np.column_stack([rows, cols]), name=name, validate=False
+        )
+    if total == n_clients * n_servers:
+        g = complete_bipartite(n_clients, n_servers)
+        return BipartiteGraph(
+            n_clients=g.n_clients,
+            n_servers=g.n_servers,
+            client_indptr=g.client_indptr,
+            client_indices=g.client_indices,
+            server_indptr=g.server_indptr,
+            server_indices=g.server_indices,
+            name=name,
+        )
+    client_stubs = np.repeat(np.arange(n_clients, dtype=np.int64), client_degrees)
+    server_stubs = np.repeat(np.arange(n_servers, dtype=np.int64), server_degrees)
+    for _ in range(_MAX_RESTARTS):
+        pairs = np.column_stack([client_stubs, rng.permutation(server_stubs)])
+        if _repair_duplicates(pairs, n_servers, rng):
+            return BipartiteGraph.from_edges(n_clients, n_servers, pairs, name=name)
+    raise GraphConstructionError(
+        "configuration model failed to produce a simple graph "
+        f"(n_clients={n_clients}, n_servers={n_servers}); degrees too close to complete?"
+    )
+
+
+def random_regular_bipartite(n: int, degree: int, seed=None) -> BipartiteGraph:
+    """Random Δ-regular bipartite graph on ``n`` clients and ``n`` servers.
+
+    This is the topology of §3 (the regular case of Theorem 1): every
+    client and every server has degree exactly ``degree``.
+    """
+    if n <= 0:
+        raise GraphConstructionError("n must be positive")
+    if not (0 < degree <= n):
+        raise GraphConstructionError(f"degree must be in [1, n]; got {degree} with n={n}")
+    rng = make_rng(seed)
+    deg = np.full(n, degree, dtype=np.int64)
+    # Dense sequences (degree > n/2, including the complete graph) are
+    # handled inside _configuration_bipartite via complementation.
+    return _configuration_bipartite(deg, deg, rng, name=f"regular(n={n},deg={degree})")
+
+
+def biregular(n_clients: int, n_servers: int, client_degree: int, seed=None) -> BipartiteGraph:
+    """Biregular graph: every client has degree ``client_degree``.
+
+    Server degrees are as equal as the divisibility allows: all equal to
+    ``n_clients*client_degree / n_servers`` when that is an integer, and
+    differing by at most one otherwise (the remainder is spread over a
+    random subset of servers).
+    """
+    if n_clients <= 0 or n_servers <= 0:
+        raise GraphConstructionError("side sizes must be positive")
+    if not (0 < client_degree <= n_servers):
+        raise GraphConstructionError("client_degree must be in [1, n_servers]")
+    rng = make_rng(seed)
+    total = n_clients * client_degree
+    base, rem = divmod(total, n_servers)
+    if base >= n_clients and rem:
+        raise GraphConstructionError("server degrees would exceed the number of clients")
+    sdeg = np.full(n_servers, base, dtype=np.int64)
+    if rem:
+        bump = rng.choice(n_servers, size=rem, replace=False)
+        sdeg[bump] += 1
+    cdeg = np.full(n_clients, client_degree, dtype=np.int64)
+    return _configuration_bipartite(
+        cdeg, sdeg, rng, name=f"biregular(nc={n_clients},ns={n_servers},cdeg={client_degree})"
+    )
+
+
+def near_regular(
+    n: int,
+    degree_lo: int,
+    degree_hi: int,
+    seed=None,
+) -> BipartiteGraph:
+    """Almost-regular graph: client degrees uniform in ``[degree_lo, degree_hi]``.
+
+    Server degrees are balanced to match the (random) total, so the
+    almost-regularity ratio ``Δ_max(S)/Δ_min(C)`` stays close to
+    ``degree_hi/degree_lo`` — the ρ knob of Theorem 1.
+    """
+    if n <= 0:
+        raise GraphConstructionError("n must be positive")
+    if not (0 < degree_lo <= degree_hi <= n):
+        raise GraphConstructionError("need 0 < degree_lo <= degree_hi <= n")
+    rng = make_rng(seed)
+    cdeg = rng.integers(degree_lo, degree_hi + 1, size=n).astype(np.int64)
+    total = int(cdeg.sum())
+    base, rem = divmod(total, n)
+    sdeg = np.full(n, base, dtype=np.int64)
+    if rem:
+        bump = rng.choice(n, size=rem, replace=False)
+        sdeg[bump] += 1
+    return _configuration_bipartite(
+        cdeg, sdeg, rng, name=f"near_regular(n={n},lo={degree_lo},hi={degree_hi})"
+    )
+
+
+def paper_extremal(n: int, eta: float = 1.0, seed=None) -> BipartiteGraph:
+    """The degree-variance example discussed after Theorem 1.
+
+    Builds a graph where
+
+    * most clients have the minimal degree ``Δ_min = ⌈η log² n⌉``,
+    * ``⌈log n⌉`` *heavy* clients have degree ``⌈√n⌉``,
+    * ``⌈log n⌉`` *weak* servers have degree ``O(1)`` (they appear in
+      only a couple of neighborhoods),
+    * every other server has degree ``Θ(log² n)``.
+
+    The theorem's hypotheses hold: ``Δ_min(C) ≥ η log² n`` and
+    ``Δ_max(S)/Δ_min(C)`` is bounded by a constant (the construction
+    balances normal-server degrees within a factor ~2 of ``Δ_min``).
+    """
+    if n < 16:
+        raise GraphConstructionError("paper_extremal needs n >= 16")
+    rng = make_rng(seed)
+    log_n = math.log(n)
+    d_min = max(2, math.ceil(eta * log_n * log_n))
+    d_heavy = min(n, math.ceil(math.sqrt(n)))
+    k = max(1, math.ceil(log_n))  # number of heavy clients and of weak servers
+    if d_min > n or d_heavy > n:
+        raise GraphConstructionError("n too small for the requested eta")
+
+    cdeg = np.full(n, d_min, dtype=np.int64)
+    cdeg[:k] = max(d_heavy, d_min)
+    total = int(cdeg.sum())
+
+    # Weak servers receive a constant degree; the remaining mass is
+    # spread nearly evenly over normal servers.
+    weak_deg = 2
+    n_weak = k
+    rest = total - weak_deg * n_weak
+    n_normal = n - n_weak
+    base, rem = divmod(rest, n_normal)
+    if base >= n:
+        raise GraphConstructionError("degree mass too large; reduce eta")
+    sdeg = np.empty(n, dtype=np.int64)
+    sdeg[:n_weak] = weak_deg
+    sdeg[n_weak:] = base
+    if rem:
+        bump = n_weak + rng.choice(n_normal, size=rem, replace=False)
+        sdeg[bump] += 1
+    g = _configuration_bipartite(cdeg, sdeg, rng, name=f"paper_extremal(n={n},eta={eta})")
+    return g
+
+
+def erdos_renyi_bipartite(
+    n_clients: int,
+    n_servers: int,
+    p: float,
+    seed=None,
+) -> BipartiteGraph:
+    """Bipartite Erdős–Rényi graph: each (client, server) edge present w.p. ``p``.
+
+    Implemented per client as a Binomial degree draw followed by a
+    distinct-server sample, which is exactly equivalent and avoids an
+    O(n²) dense mask.
+    """
+    if n_clients <= 0 or n_servers <= 0:
+        raise GraphConstructionError("side sizes must be positive")
+    if not (0.0 <= p <= 1.0):
+        raise GraphConstructionError(f"p must be in [0, 1]; got {p}")
+    rng = make_rng(seed)
+    degrees = rng.binomial(n_servers, p, size=n_clients)
+    edges: list[np.ndarray] = []
+    for v in range(n_clients):
+        k = int(degrees[v])
+        if k == 0:
+            continue
+        nbrs = _sample_distinct(rng, n_servers, k)
+        edges.append(np.column_stack([np.full(k, v, dtype=np.int64), nbrs]))
+    pairs = np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
+    return BipartiteGraph.from_edges(
+        n_clients, n_servers, pairs, name=f"er(nc={n_clients},ns={n_servers},p={p:g})"
+    )
+
+
+def geometric_bipartite(
+    n_clients: int,
+    n_servers: int,
+    radius: float,
+    seed=None,
+    torus: bool = True,
+) -> BipartiteGraph:
+    """Proximity graph: points in the unit square, edge iff within ``radius``.
+
+    Models the introduction's "clients and servers are placed over a
+    metric space … only proximity-feasible interactions".  With
+    ``torus=True`` distances wrap, so expected degrees are uniform
+    ``≈ n·π·radius²`` with no boundary effects.
+
+    Uses a cell grid so the pair search is ``O(n · expected_degree)``
+    rather than ``O(n²)``.
+    """
+    if n_clients <= 0 or n_servers <= 0:
+        raise GraphConstructionError("side sizes must be positive")
+    if not (0.0 < radius <= math.sqrt(2.0)):
+        raise GraphConstructionError("radius must be in (0, sqrt(2)]")
+    rng = make_rng(seed)
+    cpos = rng.random((n_clients, 2))
+    spos = rng.random((n_servers, 2))
+    ncell = max(1, int(1.0 / radius))
+    cell_w = 1.0 / ncell
+
+    def cell_of(pts: np.ndarray) -> np.ndarray:
+        return np.minimum((pts / cell_w).astype(np.int64), ncell - 1)
+
+    scell = cell_of(spos)
+    buckets: dict[tuple[int, int], np.ndarray] = {}
+    keys = scell[:, 0] * ncell + scell[:, 1]
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    starts = np.searchsorted(sk, np.arange(ncell * ncell))
+    ends = np.searchsorted(sk, np.arange(ncell * ncell) + 1)
+    for cell in range(ncell * ncell):
+        if ends[cell] > starts[cell]:
+            buckets[(cell // ncell, cell % ncell)] = order[starts[cell] : ends[cell]]
+
+    r2 = radius * radius
+    edges: list[np.ndarray] = []
+    ccell = cell_of(cpos)
+    for v in range(n_clients):
+        cx, cy = int(ccell[v, 0]), int(ccell[v, 1])
+        cand: list[np.ndarray] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                gx, gy = cx + dx, cy + dy
+                if torus:
+                    gx %= ncell
+                    gy %= ncell
+                elif not (0 <= gx < ncell and 0 <= gy < ncell):
+                    continue
+                b = buckets.get((gx, gy))
+                if b is not None:
+                    cand.append(b)
+        if not cand:
+            continue
+        cidx = np.unique(np.concatenate(cand))
+        diff = spos[cidx] - cpos[v]
+        if torus:
+            diff = np.abs(diff)
+            diff = np.minimum(diff, 1.0 - diff)
+        hit = cidx[(diff * diff).sum(axis=1) <= r2]
+        if hit.size:
+            edges.append(np.column_stack([np.full(hit.size, v, dtype=np.int64), hit]))
+    pairs = np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
+    return BipartiteGraph.from_edges(
+        n_clients,
+        n_servers,
+        pairs,
+        name=f"geometric(nc={n_clients},ns={n_servers},r={radius:g},torus={torus})",
+    )
+
+
+def trust_subsets(n_clients: int, n_servers: int, k: int, seed=None) -> BipartiteGraph:
+    """Godfrey's random-cluster model: each client trusts ``k`` random servers.
+
+    Each neighborhood ``N(v)`` is a uniform ``k``-subset of the servers,
+    independently per client — the "fixed subset of trusted servers"
+    scenario from the introduction and from [17].
+    """
+    if n_clients <= 0 or n_servers <= 0:
+        raise GraphConstructionError("side sizes must be positive")
+    if not (0 < k <= n_servers):
+        raise GraphConstructionError("k must be in [1, n_servers]")
+    rng = make_rng(seed)
+    edges = np.empty((n_clients * k, 2), dtype=np.int64)
+    for v in range(n_clients):
+        edges[v * k : (v + 1) * k, 0] = v
+        edges[v * k : (v + 1) * k, 1] = _sample_distinct(rng, n_servers, k)
+    return BipartiteGraph.from_edges(
+        n_clients, n_servers, edges, name=f"trust(nc={n_clients},ns={n_servers},k={k})"
+    )
+
+
+def community_bipartite(
+    n: int,
+    n_groups: int,
+    k_within: int,
+    k_across: int,
+    seed=None,
+) -> BipartiteGraph:
+    """Community-structured trust graph: correlated neighborhoods.
+
+    Clients and servers are split into ``n_groups`` equal communities;
+    each client trusts ``k_within`` servers of its own community and
+    ``k_across`` servers elsewhere.  Unlike :func:`trust_subsets`, the
+    neighborhoods of same-community clients overlap heavily, so burned
+    servers are *shared* — the stochastic-dependence structure the
+    paper's analysis must cope with (§1.2), in concentrated form.  Used
+    as an adversarial family in the invariant tests.
+    """
+    if n <= 0 or n_groups <= 0:
+        raise GraphConstructionError("n and n_groups must be positive")
+    if n % n_groups != 0:
+        raise GraphConstructionError(f"n={n} must be divisible by n_groups={n_groups}")
+    group = n // n_groups
+    if not (0 <= k_within <= group):
+        raise GraphConstructionError(f"k_within must be in [0, {group}]")
+    if not (0 <= k_across <= n - group):
+        raise GraphConstructionError(f"k_across must be in [0, {n - group}]")
+    if k_within + k_across == 0:
+        raise GraphConstructionError("every client needs at least one trusted server")
+    rng = make_rng(seed)
+    edges: list[np.ndarray] = []
+    all_servers = np.arange(n, dtype=np.int64)
+    for v in range(n):
+        gidx = v // group
+        own = all_servers[gidx * group : (gidx + 1) * group]
+        rows = []
+        if k_within:
+            rows.append(own[_sample_distinct(rng, group, k_within)])
+        if k_across:
+            others = np.concatenate(
+                [all_servers[: gidx * group], all_servers[(gidx + 1) * group :]]
+            )
+            rows.append(others[_sample_distinct(rng, others.size, k_across)])
+        nbrs = np.concatenate(rows)
+        edges.append(np.column_stack([np.full(nbrs.size, v, dtype=np.int64), nbrs]))
+    pairs = np.concatenate(edges)
+    return BipartiteGraph.from_edges(
+        n,
+        n,
+        pairs,
+        name=f"community(n={n},groups={n_groups},kin={k_within},kout={k_across})",
+    )
+
+
+def complete_bipartite(n_clients: int, n_servers: int) -> BipartiteGraph:
+    """The complete bipartite graph — the classic balls-into-bins setting.
+
+    This is the dense topology of the prior work the paper builds on
+    ([25], [4] with Δ = n); useful as the reference point in the degree
+    sweep (experiment E7).
+    """
+    if n_clients <= 0 or n_servers <= 0:
+        raise GraphConstructionError("side sizes must be positive")
+    rows = np.repeat(np.arange(n_clients, dtype=np.int64), n_servers)
+    cols = np.tile(np.arange(n_servers, dtype=np.int64), n_clients)
+    pairs = np.column_stack([rows, cols])
+    return BipartiteGraph.from_edges(
+        n_clients, n_servers, pairs, name=f"complete(nc={n_clients},ns={n_servers})", validate=False
+    )

@@ -1,0 +1,153 @@
+"""Structural property reports and Theorem-1 hypothesis checks.
+
+The paper's guarantee is parameterized by three structural quantities
+(§2.1 and Theorem 1):
+
+* ``Δ_min(C)`` — minimum client degree,
+* ``Δ_max(S)`` — maximum server degree,
+* the *almost-regularity ratio* ``ρ = Δ_max(S)/Δ_min(C)``,
+* the density constant ``η`` with ``Δ_min(C) ≥ η log² n``.
+
+This module computes them and packages a human-readable report used by
+the experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "GraphReport",
+    "degree_report",
+    "almost_regularity_ratio",
+    "eta_for",
+    "theorem1_hypotheses",
+]
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Summary of the degree structure of a bipartite graph.
+
+    ``eta`` and ``rho`` are the constants of Theorem 1 *realized by this
+    graph* (so the theorem applies with any ``η ≤ eta`` and ``ρ ≥ rho``).
+    ``eta`` is ``inf`` for graphs of fewer than 2 clients (log² n = 0).
+    """
+
+    n_clients: int
+    n_servers: int
+    n_edges: int
+    client_degree_min: int
+    client_degree_max: int
+    client_degree_mean: float
+    server_degree_min: int
+    server_degree_max: int
+    server_degree_mean: float
+    rho: float
+    eta: float
+    isolated_clients: int
+    isolated_servers: int
+
+    def satisfies_theorem1(self, eta: float, rho: float) -> bool:
+        """Whether the graph meets ``Δ_min(C) ≥ η log² n`` and ratio ≤ ρ."""
+        n = max(self.n_clients, self.n_servers)
+        if n < 2:
+            return self.client_degree_min > 0
+        need = eta * math.log(n) ** 2
+        return self.client_degree_min >= need and self.rho <= rho
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for table/CSV output."""
+        return {
+            "n_clients": self.n_clients,
+            "n_servers": self.n_servers,
+            "n_edges": self.n_edges,
+            "client_deg_min": self.client_degree_min,
+            "client_deg_max": self.client_degree_max,
+            "client_deg_mean": round(self.client_degree_mean, 3),
+            "server_deg_min": self.server_degree_min,
+            "server_deg_max": self.server_degree_max,
+            "server_deg_mean": round(self.server_degree_mean, 3),
+            "rho": round(self.rho, 4) if math.isfinite(self.rho) else self.rho,
+            "eta": round(self.eta, 4) if math.isfinite(self.eta) else self.eta,
+            "isolated_clients": self.isolated_clients,
+            "isolated_servers": self.isolated_servers,
+        }
+
+
+def degree_report(graph: BipartiteGraph) -> GraphReport:
+    """Compute the full :class:`GraphReport` for ``graph``."""
+    cdeg = graph.client_degrees
+    sdeg = graph.server_degrees
+    cmin = int(cdeg.min()) if cdeg.size else 0
+    smax = int(sdeg.max()) if sdeg.size else 0
+    return GraphReport(
+        n_clients=graph.n_clients,
+        n_servers=graph.n_servers,
+        n_edges=graph.n_edges,
+        client_degree_min=cmin,
+        client_degree_max=int(cdeg.max()) if cdeg.size else 0,
+        client_degree_mean=float(cdeg.mean()) if cdeg.size else 0.0,
+        server_degree_min=int(sdeg.min()) if sdeg.size else 0,
+        server_degree_max=smax,
+        server_degree_mean=float(sdeg.mean()) if sdeg.size else 0.0,
+        rho=almost_regularity_ratio(graph),
+        eta=eta_for(graph),
+        isolated_clients=int(np.sum(cdeg == 0)),
+        isolated_servers=int(np.sum(sdeg == 0)),
+    )
+
+
+def almost_regularity_ratio(graph: BipartiteGraph) -> float:
+    """``ρ = Δ_max(S) / Δ_min(C)`` (``inf`` if some client is isolated).
+
+    Theorem 1 requires this to be bounded by a constant.  Note the paper
+    observes ``Δ_min(C) ≤ Δ_max(S)`` always (a counting argument), so a
+    finite value is ≥ 1.
+    """
+    dmin = graph.degree_min_clients()
+    if dmin == 0:
+        return math.inf
+    return graph.degree_max_servers() / dmin
+
+
+def eta_for(graph: BipartiteGraph) -> float:
+    """Largest ``η`` such that ``Δ_min(C) ≥ η log² n`` holds for this graph.
+
+    ``n`` is taken as ``max(|C|, |S|)``; returns ``inf`` when ``log² n``
+    is zero (n ≤ 1... strictly n < 2) so degenerate graphs never fail the
+    check spuriously.
+    """
+    n = max(graph.n_clients, graph.n_servers)
+    if n < 2:
+        return math.inf
+    denom = math.log(n) ** 2
+    return graph.degree_min_clients() / denom
+
+
+def theorem1_hypotheses(graph: BipartiteGraph, eta: float, rho: float) -> tuple[bool, str]:
+    """Check Theorem 1's hypotheses; return (ok, human-readable reason).
+
+    Used by experiment runners to annotate which sweep points are inside
+    versus outside the theorem's regime (e.g. the Δ = o(log² n) rows of
+    experiment E7 are *expected* to be outside).
+    """
+    rep = degree_report(graph)
+    n = max(graph.n_clients, graph.n_servers)
+    if rep.isolated_clients:
+        return False, f"{rep.isolated_clients} isolated clients (cannot terminate)"
+    if n >= 2:
+        need = eta * math.log(n) ** 2
+        if rep.client_degree_min < need:
+            return (
+                False,
+                f"Δ_min(C)={rep.client_degree_min} < η·log²n={need:.1f} (outside regime)",
+            )
+    if rep.rho > rho:
+        return False, f"ρ={rep.rho:.2f} > {rho} (too irregular)"
+    return True, "hypotheses satisfied"

@@ -1,0 +1,21 @@
+"""Trial-level parallelism and parameter sweeps.
+
+The protocols themselves are simulated (the GIL makes thread-level
+parallelism useless for this workload), so the parallel axis of the
+library is *across* independent Monte-Carlo trials and sweep points:
+``ProcessPoolExecutor`` workers, each with a ``SeedSequence.spawn``-ed
+private stream (never share or reuse streams across processes).
+"""
+
+from .aggregate import aggregate_records, summarize
+from .pool import map_parallel, monte_carlo
+from .sweep import ParameterGrid, run_sweep
+
+__all__ = [
+    "map_parallel",
+    "monte_carlo",
+    "ParameterGrid",
+    "run_sweep",
+    "summarize",
+    "aggregate_records",
+]

@@ -1,0 +1,81 @@
+"""Aggregation of trial records into table rows."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["summarize", "aggregate_records"]
+
+
+def summarize(values: Iterable[float]) -> dict:
+    """Summary statistics of a sample: mean, std, quantiles, 95% CI.
+
+    The CI half-width uses the normal approximation
+    ``1.96·s/√n`` — adequate for the trial counts experiments use (≥10)
+    and cheap; use :func:`repro.analysis.stats.bootstrap_ci` when the
+    statistic is a quantile or the sample is tiny.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {
+            "n": 0,
+            "mean": math.nan,
+            "std": math.nan,
+            "min": math.nan,
+            "median": math.nan,
+            "max": math.nan,
+            "q10": math.nan,
+            "q90": math.nan,
+            "ci95": math.nan,
+        }
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": std,
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+        "q10": float(np.quantile(arr, 0.10)),
+        "q90": float(np.quantile(arr, 0.90)),
+        "ci95": 1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0,
+    }
+
+
+def aggregate_records(
+    records: Sequence[Mapping],
+    group_by: Sequence[str],
+    fields: Sequence[str],
+) -> list[dict]:
+    """Group flat records and summarize numeric fields per group.
+
+    Returns one row per distinct ``group_by`` tuple (in first-seen
+    order) with columns ``{field}_{stat}`` for each requested field plus
+    the grouping keys.  Boolean fields aggregate to their mean (i.e. a
+    rate), which is how completion rates are reported.
+    """
+    groups: dict[tuple, list[Mapping]] = defaultdict(list)
+    order: list[tuple] = []
+    for rec in records:
+        key = tuple(rec[k] for k in group_by)
+        if key not in groups:
+            order.append(key)
+        groups[key].append(rec)
+    rows: list[dict] = []
+    for key in order:
+        bucket = groups[key]
+        row: dict = dict(zip(group_by, key))
+        row["trials"] = len(bucket)
+        for f in fields:
+            vals = [float(rec[f]) for rec in bucket if rec.get(f) is not None]
+            stats = summarize(vals)
+            row[f"{f}_mean"] = stats["mean"]
+            row[f"{f}_median"] = stats["median"]
+            row[f"{f}_max"] = stats["max"]
+            row[f"{f}_ci95"] = stats["ci95"]
+        rows.append(row)
+    return rows

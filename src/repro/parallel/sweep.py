@@ -1,0 +1,90 @@
+"""Cartesian parameter sweeps over Monte-Carlo trials.
+
+A :class:`ParameterGrid` is an ordered dict of ``name -> values``; its
+points enumerate the cartesian product in row-major order (first key
+slowest), which keeps experiment tables stable across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..rng import spawn_seeds
+from .pool import map_parallel
+
+__all__ = ["ParameterGrid", "run_sweep"]
+
+
+class ParameterGrid:
+    """An ordered cartesian product of named parameter values."""
+
+    def __init__(self, **axes: Sequence):
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, vals in axes.items():
+            if len(vals) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        self.axes: dict[str, list] = {k: list(v) for k, v in axes.items()}
+
+    def points(self) -> list[dict]:
+        """All grid points as dicts, row-major (first axis slowest)."""
+        names = list(self.axes)
+        out = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            out.append(dict(zip(names, combo)))
+        return out
+
+    def __len__(self) -> int:
+        n = 1
+        for vals in self.axes.values():
+            n *= len(vals)
+        return n
+
+    def __iter__(self):
+        return iter(self.points())
+
+
+class _PointRunner:
+    """Picklable adapter: one sweep point × one trial → one record."""
+
+    def __init__(self, point_fn: Callable[[Mapping, np.random.SeedSequence, int], dict]):
+        self.point_fn = point_fn
+
+    def __call__(self, task) -> dict:
+        point, seed_seq, trial = task
+        record = self.point_fn(point, seed_seq, trial)
+        out = dict(point)
+        out["trial"] = trial
+        out.update(record)
+        return out
+
+
+def run_sweep(
+    point_fn: Callable[[Mapping, np.random.SeedSequence, int], dict],
+    grid: ParameterGrid,
+    *,
+    n_trials: int = 1,
+    seed=None,
+    processes: int | None = None,
+    chunksize: int = 1,
+) -> list[dict]:
+    """Evaluate ``point_fn(point, seed_seq, trial)`` over grid × trials.
+
+    Returns one flat record per (point, trial): the point's parameters,
+    the trial index, and whatever dict the worker returned.  Every task
+    gets an independent spawned seed; task order (and thus seeds) is
+    deterministic in (point index, trial index).
+    """
+    points = grid.points()
+    n_tasks = len(points) * n_trials
+    seeds = spawn_seeds(seed, n_tasks)
+    tasks = []
+    i = 0
+    for point in points:
+        for trial in range(n_trials):
+            tasks.append((point, seeds[i], trial))
+            i += 1
+    return map_parallel(_PointRunner(point_fn), tasks, processes=processes, chunksize=chunksize)

@@ -1,0 +1,53 @@
+"""The paper's analysis machinery as computable functions.
+
+* :mod:`repro.theory.recurrences` — the sequences ``γ_t`` (eq. 11/32)
+  and ``δ_t`` (eq. 17/39), stage-I length ``T``, and the Lemma-12
+  property checker.
+* :mod:`repro.theory.bounds` — the constants and horizons of Theorem 1 /
+  Lemmas 4 and 19 (``c_min``, the ``3 log n`` horizon, work bounds).
+* :mod:`repro.theory.concentration` — the Appendix-A toolbox: Chernoff
+  for negatively associated variables (Theorem 16) and the method of
+  bounded differences (Theorem 17).
+"""
+
+from .bounds import (
+    c_min_almost_regular,
+    c_min_regular,
+    completion_horizon,
+    min_degree_required,
+    whp_failure_bound,
+    work_bound,
+)
+from .concentration import (
+    chernoff_upper_tail,
+    chernoff_upper_tail_threshold,
+    mobd_tail,
+    one_choice_max_load_estimate,
+)
+from .recurrences import (
+    alpha_for,
+    delta_sequence,
+    gamma_products,
+    gamma_sequence,
+    lemma12_holds,
+    stage1_length,
+)
+
+__all__ = [
+    "gamma_sequence",
+    "gamma_products",
+    "delta_sequence",
+    "stage1_length",
+    "alpha_for",
+    "lemma12_holds",
+    "c_min_regular",
+    "c_min_almost_regular",
+    "completion_horizon",
+    "min_degree_required",
+    "work_bound",
+    "whp_failure_bound",
+    "chernoff_upper_tail",
+    "chernoff_upper_tail_threshold",
+    "mobd_tail",
+    "one_choice_max_load_estimate",
+]

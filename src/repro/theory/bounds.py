@@ -1,0 +1,95 @@
+"""Theorem-level constants and horizons as computable functions.
+
+These are the quantities an experiment needs to *situate* a run against
+the paper: the analysis threshold for ``c``, the ``3 log n`` completion
+horizon, the minimum degree, and the work bound.  All logs follow the
+base-2 convention justified in :mod:`repro.theory.recurrences`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "c_min_regular",
+    "c_min_almost_regular",
+    "completion_horizon",
+    "min_degree_required",
+    "work_bound",
+    "whp_failure_bound",
+]
+
+
+def c_min_regular(eta: float, d: int) -> float:
+    """Lemma 4's requirement: ``c ≥ max(32, 288/(d·η))`` (regular case).
+
+    ``η`` is the degree-density constant (``Δ ≥ η log² n``).  The paper
+    stresses this is *not optimized*; experiment E6 shows single-digit
+    ``c`` suffices in practice.
+    """
+    if eta <= 0 or d < 1:
+        raise ValueError("need eta > 0 and d >= 1")
+    return max(32.0, 288.0 / (d * eta))
+
+
+def c_min_almost_regular(eta: float, d: int, rho: float) -> float:
+    """Lemma 19's requirement: ``c ≥ max(32·ρ, 288/(η·d))``.
+
+    ``ρ`` bounds ``Δ_max(S)/Δ_min(C)``; the regular case is ``ρ = 1``.
+    """
+    if rho < 1.0:
+        raise ValueError("rho must be >= 1 (counting argument: Δ_min(C) <= Δ_max(S))")
+    if eta <= 0 or d < 1:
+        raise ValueError("need eta > 0 and d >= 1")
+    return max(32.0 * rho, 288.0 / (eta * d))
+
+
+def completion_horizon(n: int) -> int:
+    """The proof's completion horizon ``⌈3 log₂ n⌉`` (Theorem 1 / Lemma 4).
+
+    Within this many rounds every ball is assigned w.h.p. when the
+    hypotheses hold; the union-bound arithmetic
+    ``(1/2)^{3 log n} = n^{-3}`` pins the base to 2.
+    """
+    if n < 2:
+        return 1
+    return math.ceil(3.0 * math.log2(n))
+
+
+def min_degree_required(n: int, eta: float) -> float:
+    """Theorem 1's degree hypothesis ``Δ_min(C) ≥ η·log² n`` (base 2)."""
+    if n < 2:
+        return 0.0
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    return eta * math.log2(n) ** 2
+
+
+def work_bound(n: int, d: int, slack: float = 4.0) -> float:
+    """A concrete Θ(n·d) work envelope for sanity checks.
+
+    §3.2 shows the alive-ball count decays geometrically (factor ≤ 4/5
+    per round while large), giving total work ``Θ(n·d)``.  With the
+    Lemma-4 guarantee ``S_t ≤ 1/2``, each ball is re-sent with
+    probability ≤ 1/2 per round, so expected sends per ball ≤ 2 and
+    expected work ≤ ``2·2·n·d``.  ``slack`` converts that expectation
+    into a generous test envelope (default 4 ⇒ bound ``4·n·d``
+    messages ... i.e. ``2·slack_adjusted``); experiments report the
+    measured constant.
+    """
+    if n < 1 or d < 1:
+        raise ValueError("need n >= 1 and d >= 1")
+    return slack * n * d
+
+
+def whp_failure_bound(n: int) -> float:
+    """The probability budget of Lemma 4/19: failure ≤ ``1/n²``.
+
+    Useful when sizing Monte-Carlo trial counts: at ``n = 1024``,
+    observing even one Lemma-4 violation in hundreds of trials would be
+    wildly inconsistent with the theory (as long as ``c`` meets the
+    analysis threshold).
+    """
+    if n < 2:
+        return 1.0
+    return 1.0 / (n * n)

@@ -1,0 +1,99 @@
+"""Appendix-A concentration toolbox (Theorems 16 and 17) plus folklore bounds.
+
+Implemented as plain tail-probability calculators so tests and
+experiment annotations can quote the exact bound the paper invokes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_upper_tail_threshold",
+    "mobd_tail",
+    "one_choice_max_load_estimate",
+    "binomial_upper_tail",
+]
+
+
+def chernoff_upper_tail(mu: float, eps: float) -> float:
+    """Theorem 16: ``P(X ≥ (1+ε)μ) ≤ exp(-ε²μ/3)`` for ``ε ∈ (0, 1]``.
+
+    Valid for sums of negatively associated 0/1 variables — the paper
+    applies it with ``ε = 1`` to the request sums ``r_t(N(v))``
+    (Lemma 10/11), whose summands ``z·X`` are negatively associated by
+    Lemma 9(3).
+    """
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if not (0.0 < eps <= 1.0):
+        raise ValueError("eps must be in (0, 1]")
+    return math.exp(-(eps * eps) * mu / 3.0)
+
+
+def chernoff_upper_tail_threshold(mu: float, prob: float) -> float:
+    """Smallest ``ε ∈ (0, 1]`` with ``chernoff_upper_tail(mu, ε) ≤ prob``.
+
+    Returns ``inf`` when even ``ε = 1`` cannot reach ``prob`` (i.e.
+    ``μ < 3·ln(1/prob)``) — the regime where the paper switches from
+    Stage I to Stage II because concentration on ``r_t`` fails below
+    ``Θ(log n)``.
+    """
+    if mu <= 0:
+        return math.inf
+    if not (0.0 < prob < 1.0):
+        raise ValueError("prob must be in (0, 1)")
+    eps = math.sqrt(3.0 * math.log(1.0 / prob) / mu)
+    return eps if eps <= 1.0 else math.inf
+
+
+def mobd_tail(m_dev: float, betas) -> float:
+    """Method of bounded differences: ``P(f - μ ≥ M) ≤ exp(-2M²/Σβ_j²)``.
+
+    This is McDiarmid's inequality with the standard ``Σβ_j²``
+    denominator.  (The paper's Theorem 17 statement prints ``Σβ_j`` —
+    a typo; the §3.2 application with constant ``β_j = 2cd`` is
+    unaffected up to constants.)
+    """
+    if m_dev < 0:
+        raise ValueError("M must be non-negative")
+    b = np.asarray(betas, dtype=np.float64)
+    if b.size == 0 or np.any(b < 0):
+        raise ValueError("betas must be a non-empty sequence of non-negative reals")
+    denom = float(np.sum(b * b))
+    if denom == 0.0:
+        return 0.0 if m_dev > 0 else 1.0
+    return math.exp(-2.0 * m_dev * m_dev / denom)
+
+
+def one_choice_max_load_estimate(n: int) -> float:
+    """The folklore ``ln n / ln ln n`` scale of one-choice max load.
+
+    For n balls into n bins uniformly, the max load is
+    ``(1 + o(1))·ln n/ln ln n`` w.h.p. — the baseline that best-of-k
+    beats exponentially (§1.3).  Used to sanity-check the one-choice
+    baseline's measured max load (within a small constant factor).
+    """
+    if n < 3:
+        return float(n)
+    return math.log(n) / math.log(math.log(n))
+
+
+def binomial_upper_tail(n: int, p: float, k: int) -> float:
+    """Exact ``P(Bin(n, p) ≥ k)`` via the regularized incomplete beta.
+
+    Small utility used by tests to size rare-event assertions without
+    pulling in a stats dependency beyond scipy.
+    """
+    from scipy.stats import binom
+
+    if not (0 <= p <= 1):
+        raise ValueError("p must be in [0, 1]")
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    return float(binom.sf(k - 1, n, p))

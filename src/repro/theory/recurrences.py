@@ -1,0 +1,186 @@
+"""The paper's recurrences: ``γ_t`` (eq. 11/32), ``δ_t`` (eq. 17/39), stage-I length.
+
+A note on logarithm bases: the paper writes ``log`` throughout.  The
+completion-time arithmetic in §3 ("the probability the ball is not
+accepted for all rounds ``t ≤ 3 log n`` … is ``(1/2)^{3 log n} =
+(1/n)^3``") only balances with ``log = log₂``, so horizon computations
+in :mod:`repro.theory.bounds` use base 2.  The recurrences below take
+whatever horizon the caller supplies, so the base question does not
+arise here; where a ``log n`` appears *inside* a formula (``δ_t``,
+stage-I threshold ``12 log n``) we follow the same base-2 convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "gamma_sequence",
+    "gamma_products",
+    "delta_sequence",
+    "stage1_length",
+    "stage1_length_bound",
+    "alpha_for",
+    "lemma12_holds",
+]
+
+
+def _log(n: float) -> float:
+    """``log n`` in the paper's convention (base 2); see module docstring."""
+    return math.log2(n)
+
+
+def gamma_sequence(c: float, t_max: int, ratio: float = 1.0) -> np.ndarray:
+    """The sequence ``γ_0..γ_{t_max}`` of recurrence (11) / (32).
+
+    ``γ_0 = 1`` and ``γ_t = (2·ratio/c) · Σ_{i=1}^{t} Π_{j=0}^{i-1} γ_j``,
+    where ``ratio = Δ_max(S)/Δ_min(C)`` (1 in the regular case, giving
+    eq. 11; the primed sequence of eq. 32 otherwise).  Equivalent to the
+    increment form (21): ``γ_{t+1} = γ_t + (2·ratio/c)·Π_{j≤t} γ_j``.
+
+    The γ's are the conditional envelope for ``K_t`` during Stage I: the
+    proof shows ``K_t ≤ γ_t`` w.h.p. round by round (Lemma 13/22).
+    """
+    if t_max < 0:
+        raise ValueError("t_max must be >= 0")
+    if c <= 0 or ratio <= 0:
+        raise ValueError("c and ratio must be positive")
+    coef = 2.0 * ratio / c
+    out = np.empty(t_max + 1, dtype=np.float64)
+    out[0] = 1.0
+    prod = 1.0  # Π_{j=0}^{t-1} γ_j, starts as γ_0's contribution for i=1
+    acc = 0.0  # Σ_{i=1}^{t} Π_{j<i} γ_j
+    # For c below the Lemma-12 regime the sequence can diverge; let it
+    # saturate to inf quietly (the divergence itself is the information).
+    with np.errstate(over="ignore"):
+        for t in range(1, t_max + 1):
+            acc += prod
+            out[t] = coef * acc
+            prod *= out[t]
+    return out
+
+
+def gamma_products(c: float, t_max: int, ratio: float = 1.0) -> np.ndarray:
+    """``P_t = Π_{j=0}^{t-1} γ_j`` for ``t = 0..t_max`` (``P_0 = 1``).
+
+    This is the factor by which the conditional expectation of
+    ``r_t(N(v))`` shrinks (Lemma 11: ``E[r_t(N(v)) | …] ≤ dΔ·P_{t}``),
+    and Lemma 12 shows ``P_t ≤ α^{-t}``.
+    """
+    gam = gamma_sequence(c, max(t_max - 1, 0), ratio)
+    out = np.empty(t_max + 1, dtype=np.float64)
+    out[0] = 1.0
+    for t in range(1, t_max + 1):
+        out[t] = out[t - 1] * gam[t - 1]
+    return out
+
+
+def alpha_for(c: float, ratio: float = 1.0) -> float:
+    """The decay base α of Lemma 12: largest α with ``2·ratio/c ≤ 1/α²``.
+
+    Returns ``sqrt(c/(2·ratio))``.  Lemma 12 additionally needs
+    ``α ≥ 2`` (i.e. ``c ≥ 8·ratio``); callers check that with
+    :func:`lemma12_holds` or directly.  The paper takes ``c ≥ 32·ratio``
+    so that ``α ≥ 4`` and ``P_T ≤ (1/4)^T``.
+    """
+    if c <= 0 or ratio <= 0:
+        raise ValueError("c and ratio must be positive")
+    return math.sqrt(c / (2.0 * ratio))
+
+
+def lemma12_holds(c: float, t_max: int, ratio: float = 1.0) -> bool:
+    """Numerically verify the claims of Lemma 12 up to ``t_max``.
+
+    For ``α = alpha_for(c, ratio)`` with ``α ≥ 2``: (i) ``γ`` is
+    non-decreasing, (ii) ``γ_t ≤ 1/α`` for ``t ≥ 1``, (iii) the product
+    bound ``Π_{j=0}^{t-1} γ_j ≤ α^{-t}``.
+
+    **Paper discrepancy note.** As printed, claim (iii) is quantified
+    over ``t ≥ 1``, but at ``t = 1`` the product is ``γ_0 = 1 > 1/α`` —
+    an off-by-one in the statement (the proof in Appendix B bounds the
+    *terms* ``γ_t ≤ 1/α - 1/α^{t+1}``, which yields the product bound
+    only from ``t = 2``; it is exactly tight there since
+    ``γ_1 = 2/c = α^{-2}``).  We therefore verify (iii) for ``t ≥ 2``
+    together with the corrected all-``t`` form
+    ``Π_{j<t} γ_j ≤ α^{-(t-1)}``.  Nothing downstream is affected: the
+    Lemma 13 application only needs geometric decay of the product.
+    Returns False when ``α < 2`` (hypothesis not met) — useful for
+    sweeping c.
+    """
+    alpha = alpha_for(c, ratio)
+    if alpha < 2.0:
+        return False
+    gam = gamma_sequence(c, t_max, ratio)
+    # "increasing" holds from t >= 1 (γ_0 = 1 sits above γ_1 = 2·ratio/c;
+    # eq. 21 gives positive increments only between consecutive t >= 1).
+    if np.any(np.diff(gam[1:]) < -1e-15):
+        return False
+    if t_max >= 1 and np.any(gam[1:] > 1.0 / alpha + 1e-12):
+        return False
+    prods = gamma_products(c, t_max, ratio)
+    ts = np.arange(t_max + 1, dtype=np.float64)
+    if t_max >= 2 and np.any(prods[2:] > alpha ** (-ts[2:]) + 1e-12):
+        return False
+    if t_max >= 1 and np.any(prods[1:] > alpha ** (-(ts[1:] - 1.0)) + 1e-12):
+        return False
+    return True
+
+
+def stage1_length(n: int, d: int, delta: float, c: float, ratio: float = 1.0) -> int:
+    """The stage-I length ``T``: the smallest ``T ≥ 1`` with
+    ``d·Δ·Π_{j=0}^{T-1} γ_j ≤ 12 log n`` (eq. 14 / 36).
+
+    ``delta`` is ``Δ`` in the regular case and ``Δ_max(S)`` in the
+    general case (eq. 36 uses ``d·Δ_max(S)``).  Returns 1 when the
+    threshold already holds at ``T = 1``.
+    """
+    if n < 2 or d < 1 or delta <= 0:
+        raise ValueError("need n >= 2, d >= 1, delta > 0")
+    target = 12.0 * _log(n)
+    gam = gamma_sequence(c, 1, ratio)  # grown lazily below
+    prod = 1.0
+    t = 0
+    # The cap prevents an infinite loop for c too small for decay; the
+    # product then stops shrinking and we bail at the horizon.
+    cap = max(64, int(10 * _log(n)))
+    gammas = gamma_sequence(c, cap, ratio)
+    for t in range(1, cap + 1):
+        prod *= gammas[t - 1]
+        if d * delta * prod <= target:
+            return t
+    return cap
+
+
+def stage1_length_bound(n: int, d: int, delta: float) -> float:
+    """The closed-form bound ``T ≤ ½·log(dΔ/(12 log n))`` from Lemma 13.
+
+    Valid under ``c ≥ 32`` (α ≥ 4).  Can be < 1 when ``dΔ`` is already
+    below ``12 log n``; callers should clamp as needed.
+    """
+    if n < 2 or d < 1 or delta <= 0:
+        raise ValueError("need n >= 2, d >= 1, delta > 0")
+    inner = d * delta / (12.0 * _log(n))
+    return 0.5 * _log(max(inner, 1.0))
+
+
+def delta_sequence(
+    n: int,
+    d: int,
+    delta: float,
+    c: float,
+    t_start: int,
+    t_end: int,
+) -> np.ndarray:
+    """The stage-II envelope ``δ_t = 1/4 + 24·t·log n/(c·d·Δ)`` (eq. 17 / 39).
+
+    Returns the values for ``t = t_start..t_end`` inclusive.  In the
+    general case pass ``delta = Δ_min(C)`` (eq. 39).  Lemma 14 needs
+    ``δ_t ≤ 1/2`` throughout ``t ≤ 3 log n``, which the paper secures
+    via ``c ≥ 288/(η·d)``.
+    """
+    if t_end < t_start:
+        raise ValueError("t_end must be >= t_start")
+    ts = np.arange(t_start, t_end + 1, dtype=np.float64)
+    return 0.25 + 24.0 * ts * _log(n) / (c * d * delta)

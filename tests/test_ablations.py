@@ -1,0 +1,70 @@
+"""Tests for the ablation runner and the A3 sampling variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import draw_destinations_distinct, run_saer
+from repro.errors import ProtocolConfigError
+from repro.experiments.ablations import run_ablations
+from repro.graphs import BipartiteGraph
+
+
+class TestDistinctSampling:
+    def test_destinations_distinct_within_client(self, regular_graph):
+        rng = np.random.default_rng(0)
+        clients = np.array([0, 3, 7])
+        counts = np.array([4, 1, 5])
+        dest = draw_destinations_distinct(regular_graph, clients, counts, rng.random(10))
+        assert len(set(dest[:4].tolist())) == 4
+        assert len(set(dest[5:].tolist())) == 5
+
+    def test_destinations_belong_to_neighborhoods(self, regular_graph):
+        rng = np.random.default_rng(1)
+        clients = np.array([2, 5])
+        counts = np.array([3, 3])
+        dest = draw_destinations_distinct(regular_graph, clients, counts, rng.random(6))
+        n0 = set(regular_graph.neighbors_of_client(2).tolist())
+        n1 = set(regular_graph.neighbors_of_client(5).tolist())
+        assert set(dest[:3].tolist()) <= n0
+        assert set(dest[3:].tolist()) <= n1
+
+    def test_wraps_when_balls_exceed_degree(self):
+        g = BipartiteGraph.from_edges(1, 2, [(0, 0), (0, 1)])
+        rng = np.random.default_rng(2)
+        dest = draw_destinations_distinct(g, np.array([0]), np.array([5]), rng.random(5))
+        # first two distinct, then a fresh pass
+        assert len(set(dest[:2].tolist())) == 2
+        assert set(dest.tolist()) <= {0, 1}
+
+    def test_uniform_count_mismatch(self, regular_graph):
+        with pytest.raises(ValueError):
+            draw_destinations_distinct(
+                regular_graph, np.array([0]), np.array([2]), np.array([0.5])
+            )
+
+    def test_run_saer_without_replacement_invariants(self, regular_graph):
+        res = run_saer(regular_graph, 1.5, 4, seed=3, sampling="without_replacement")
+        assert res.max_load <= res.params.capacity
+        assert res.assigned_balls + res.alive_balls == res.total_balls
+
+    def test_incompatible_with_slot_mode(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer(
+                regular_graph, 2.0, 2, seed=0, sampling="without_replacement", slot_mode=True
+            )
+
+    def test_unknown_sampling_rejected(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer(regular_graph, 2.0, 2, seed=0, sampling="bogus")
+
+
+class TestAblationRunner:
+    def test_small_run_shape(self):
+        rows, meta = run_ablations(n=128, c=1.5, d=4, trials=2, processes=1, seed=9)
+        assert len(rows) == 4
+        variants = {r["variant"] for r in rows}
+        assert "saer (baseline)" in variants
+        assert "distinct-sampling" in variants
+        for row in rows:
+            assert row["max_load_worst"] <= row["capacity"]
+            assert row["completed"] == row["trials"]

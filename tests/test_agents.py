@@ -1,0 +1,171 @@
+"""Agent-model tests, including exact equivalence with the fast engine."""
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    BallRequest,
+    ClientAgent,
+    RaesServerAgent,
+    Reply,
+    SaerServerAgent,
+    run_agent_raes,
+    run_agent_saer,
+)
+from repro.core import run_raes, run_saer
+from repro.core.config import RunOptions
+from repro.errors import GraphValidationError, ProtocolConfigError
+from repro.graphs import BipartiteGraph, random_regular_bipartite, trust_subsets
+from repro.rng import RandomTape
+
+
+class TestEngineAgentEquivalence:
+    """The load-bearing cross-check: two independent implementations of
+    model M must produce bit-identical executions from one tape."""
+
+    @pytest.mark.parametrize("protocol", ["saer", "raes"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_equivalence_alive_mode(self, small_regular_graph, protocol, seed):
+        fast_fn = run_saer if protocol == "saer" else run_raes
+        slow_fn = run_agent_saer if protocol == "saer" else run_agent_raes
+        tape = RandomTape(seed=seed)
+        fast = fast_fn(small_regular_graph, 1.5, 3, tape=tape)
+        tape.rewind()
+        slow = slow_fn(small_regular_graph, 1.5, 3, tape=tape)
+        assert fast.completed == slow.completed
+        assert fast.rounds == slow.rounds
+        assert fast.work == slow.work
+        assert fast.max_load == slow.max_load
+        assert fast.blocked_servers == slow.blocked_servers
+        assert np.array_equal(fast.loads, slow.loads)
+
+    @pytest.mark.parametrize("protocol", ["saer", "raes"])
+    def test_exact_equivalence_slot_mode(self, small_regular_graph, protocol):
+        fast_fn = run_saer if protocol == "saer" else run_raes
+        slow_fn = run_agent_saer if protocol == "saer" else run_agent_raes
+        tape = RandomTape(seed=5)
+        fast = fast_fn(small_regular_graph, 2.0, 3, tape=tape, slot_mode=True)
+        tape.rewind()
+        slow = slow_fn(small_regular_graph, 2.0, 3, tape=tape, slot_mode=True)
+        assert fast.rounds == slow.rounds
+        assert fast.work == slow.work
+        assert np.array_equal(fast.loads, slow.loads)
+
+    def test_equivalence_on_irregular_graph(self):
+        g = trust_subsets(48, 48, 9, seed=6)
+        tape = RandomTape(seed=10)
+        fast = run_saer(g, 1.5, 2, tape=tape)
+        tape.rewind()
+        slow = run_agent_saer(g, 1.5, 2, tape=tape)
+        assert fast.rounds == slow.rounds
+        assert np.array_equal(fast.loads, slow.loads)
+
+    def test_equivalence_with_demands(self, small_regular_graph):
+        n = small_regular_graph.n_clients
+        demands = np.arange(n, dtype=np.int64) % 3
+        tape = RandomTape(seed=4)
+        fast = run_saer(small_regular_graph, 2.0, 2, demands=demands, tape=tape)
+        tape.rewind()
+        slow = run_agent_saer(small_regular_graph, 2.0, 2, demands=demands, tape=tape)
+        assert fast.rounds == slow.rounds
+        assert np.array_equal(fast.loads, slow.loads)
+
+    def test_equivalence_in_failing_regime(self):
+        g = random_regular_bipartite(32, 8, seed=1)
+        opts = RunOptions(max_rounds=15)
+        tape = RandomTape(seed=3)
+        fast = run_saer(g, 1.0, 4, tape=tape, options=opts)
+        tape.rewind()
+        slow = run_agent_saer(g, 1.0, 4, tape=tape, options=opts)
+        assert not fast.completed and not slow.completed
+        assert fast.alive_balls == slow.alive_balls
+        assert np.array_equal(fast.loads, slow.loads)
+
+
+class TestClientAgent:
+    def test_phase1_slot_order_and_links(self):
+        c = ClientAgent(client_id=3, n_links=4, demand=2)
+        out = c.phase1(np.array([0.0, 0.99]))
+        assert [link for link, _ in out] == [0, 3]
+        assert [r.ball_slot for _, r in out] == [0, 1]
+        assert all(r.client_id == 3 for _, r in out)
+
+    def test_wrong_uniform_count_rejected(self):
+        c = ClientAgent(0, 4, 2)
+        with pytest.raises(ValueError):
+            c.phase1(np.array([0.5]))
+
+    def test_receive_replies_retires_balls(self):
+        c = ClientAgent(0, 4, 2)
+        done = c.receive_replies([Reply(0, 0, True), Reply(0, 1, False)])
+        assert done == 1
+        assert c.alive_slots == [1]
+        assert not c.done
+        c.receive_replies([Reply(0, 1, True)])
+        assert c.done
+
+    def test_zero_demand_starts_done(self):
+        assert ClientAgent(0, 4, 0).done
+
+    def test_balls_without_links_rejected(self):
+        with pytest.raises(ValueError):
+            ClientAgent(0, 0, 1)
+
+
+class TestServerAgents:
+    def test_saer_burn_sequence(self):
+        s = SaerServerAgent(0, capacity=3)
+        batch = [BallRequest(0, 0), BallRequest(1, 0)]
+        replies = s.phase2(batch)
+        assert all(r.accept for r in replies)
+        assert s.load == 2
+        # 2 + 2 = 4 > 3: reject and burn
+        replies = s.phase2(batch)
+        assert not any(r.accept for r in replies)
+        assert s.burned and s.is_blocked
+        assert s.load == 2
+        # stays burned even for tiny batches
+        assert not s.phase2([BallRequest(2, 0)])[0].accept
+
+    def test_raes_resaturation(self):
+        s = RaesServerAgent(0, capacity=3)
+        assert s.phase2([BallRequest(0, 0), BallRequest(0, 1)])[0].accept
+        assert not s.phase2([BallRequest(1, 0), BallRequest(1, 1)])[0].accept
+        assert s.saturation_events == 1
+        assert s.phase2([BallRequest(1, 0)])[0].accept  # 2+1 <= 3
+        assert s.load == 3
+        assert s.is_blocked  # now full
+
+    def test_replies_carry_only_one_bit(self):
+        """Model M: replies expose accept/reject and routing, nothing else
+        (no loads, no thresholds)."""
+        s = SaerServerAgent(0, capacity=2)
+        reply = s.phase2([BallRequest(4, 1)])[0]
+        assert set(vars(reply)) == {"client_id", "ball_slot", "accept"}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SaerServerAgent(0, capacity=0)
+
+
+class TestAgentRunnerApi:
+    def test_unknown_policy(self, small_regular_graph):
+        from repro.agents.simulator import run_agent_protocol
+        from repro.core.config import ProtocolParams
+
+        with pytest.raises(ProtocolConfigError):
+            run_agent_protocol(small_regular_graph, ProtocolParams(c=2.0, d=1), "nope")
+
+    def test_isolated_clients_rejected(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        with pytest.raises(GraphValidationError):
+            run_agent_saer(g, 2.0, 1, seed=0)
+
+    def test_seed_and_tape_exclusive(self, small_regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_agent_saer(small_regular_graph, 2.0, 1, seed=1, tape=RandomTape(seed=2))
+
+    def test_seed_run_completes(self, small_regular_graph):
+        res = run_agent_saer(small_regular_graph, 4.0, 2, seed=0)
+        assert res.completed
+        assert res.max_load <= 8

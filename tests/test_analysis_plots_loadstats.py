@@ -1,0 +1,107 @@
+"""Tests for ASCII plots and load-distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import histogram, load_stats, series_panel, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_by_width(self):
+        s = sparkline(range(1000), width=50)
+        assert len(s) <= 50
+
+    def test_flat_zero_series(self):
+        assert set(sparkline([0, 0, 0])) == {" "}
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4], width=5)
+        # non-decreasing character density
+        ramp = " .:-=+*#%@"
+        levels = [ramp.index(ch) for ch in s]
+        assert levels == sorted(levels)
+        assert levels[-1] == len(ramp) - 1  # max maps to densest char
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([-1, 2])
+
+
+class TestHistogram:
+    def test_integer_loads_one_bin_each(self):
+        out = histogram([0, 1, 1, 2, 2, 2], bins=10)
+        lines = out.splitlines()
+        # bins 0,1,2 plus the footer
+        assert len(lines) == 4
+        assert lines[2].strip().endswith("3")  # count of load-2
+
+    def test_counts_sum(self):
+        data = np.random.default_rng(0).integers(0, 5, 100)
+        out = histogram(data)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()[:-1]]
+        assert sum(counts) == 100
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+
+class TestSeriesPanel:
+    def test_labels_and_rows(self):
+        out = series_panel({"a": [1, 2, 3], "bb": [3, 2, 1]})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("a")
+        assert "max=3" in lines[0]
+
+    def test_empty(self):
+        assert series_panel({}) == "(no series)"
+
+
+class TestLoadStats:
+    def test_uniform_loads(self):
+        s = load_stats([3, 3, 3, 3], capacity=6)
+        assert s.max_load == 3
+        assert s.mean_load == 3.0
+        assert s.imbalance == 1.0
+        assert s.gini == pytest.approx(0.0, abs=1e-12)
+        assert s.at_capacity_fraction == 0.0
+
+    def test_concentrated_loads(self):
+        s = load_stats([0, 0, 0, 12])
+        assert s.max_load == 12
+        assert s.imbalance == 4.0
+        assert s.gini == pytest.approx(0.75)
+        assert s.nonzero_servers == 1
+
+    def test_at_capacity_fraction(self):
+        s = load_stats([6, 6, 3, 0], capacity=6)
+        assert s.at_capacity_fraction == 0.5
+
+    def test_empty_and_zero(self):
+        s = load_stats([])
+        assert s.max_load == 0 and s.gini == 0.0
+        z = load_stats([0, 0])
+        assert z.imbalance == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_stats([[1, 2]])
+        with pytest.raises(ValueError):
+            load_stats([-1, 2])
+
+    def test_as_dict(self):
+        d = load_stats([1, 2, 3], capacity=4).as_dict()
+        for key in ("max_load", "gini", "imbalance", "at_capacity_frac"):
+            assert key in d
+
+    def test_on_real_run(self, regular_graph):
+        import repro
+
+        res = repro.run_saer(regular_graph, 1.5, 4, seed=0)
+        s = load_stats(res.loads, capacity=res.params.capacity)
+        assert s.total_load == res.assigned_balls
+        assert s.max_load == res.max_load
+        assert 0.0 <= s.gini <= 1.0

@@ -1,0 +1,152 @@
+"""Tests for sequential and parallel baseline allocators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    godfrey_greedy,
+    greedy_best_of_k,
+    one_choice,
+    run_parallel_greedy,
+    run_threshold_protocol,
+)
+from repro.core.config import RunOptions
+from repro.errors import GraphValidationError, ProtocolConfigError
+from repro.graphs import BipartiteGraph, complete_bipartite, random_regular_bipartite
+
+
+class TestOneChoice:
+    def test_all_assigned_and_conserved(self, regular_graph):
+        res = one_choice(regular_graph, d=2, seed=0)
+        assert res.completed
+        assert res.assigned_balls == res.total_balls == 2 * regular_graph.n_clients
+        assert res.loads.sum() == res.total_balls
+
+    def test_destinations_respect_neighborhoods(self):
+        g = BipartiteGraph.from_edges(2, 3, [(0, 0), (1, 2)])
+        res = one_choice(g, d=3, seed=1)
+        assert res.loads.tolist() == [3, 0, 3]
+
+    def test_work_is_two_per_ball(self, regular_graph):
+        res = one_choice(regular_graph, d=2, seed=0)
+        assert res.work == 2 * res.total_balls
+
+    def test_isolated_client_rejected(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        with pytest.raises(GraphValidationError):
+            one_choice(g, d=1, seed=0)
+
+    def test_no_load_disclosure(self, regular_graph):
+        assert not one_choice(regular_graph, d=1, seed=0).discloses_loads
+
+
+class TestGreedyBestOfK:
+    def test_beats_one_choice_on_dense_graph(self):
+        """The power of two choices: best-of-2 max load well below
+        one-choice on the complete graph (Azar et al.)."""
+        g = complete_bipartite(512, 512)
+        mc = one_choice(g, d=1, seed=0).max_load
+        g2 = greedy_best_of_k(g, d=1, k=2, seed=0).max_load
+        assert g2 < mc
+
+    def test_k1_equals_one_choice_distribution(self, regular_graph):
+        res = greedy_best_of_k(regular_graph, d=1, k=1, seed=5)
+        assert res.completed
+        assert res.loads.sum() == res.total_balls
+
+    def test_discloses_loads(self, regular_graph):
+        assert greedy_best_of_k(regular_graph, d=1, k=2, seed=0).discloses_loads
+
+    def test_work_scales_with_k(self, regular_graph):
+        w2 = greedy_best_of_k(regular_graph, d=1, k=2, seed=0).work
+        w4 = greedy_best_of_k(regular_graph, d=1, k=4, seed=0).work
+        assert w4 > w2
+
+    def test_bad_k(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            greedy_best_of_k(regular_graph, d=1, k=0)
+
+    def test_deterministic(self, regular_graph):
+        a = greedy_best_of_k(regular_graph, d=2, k=2, seed=3)
+        b = greedy_best_of_k(regular_graph, d=2, k=2, seed=3)
+        assert np.array_equal(a.loads, b.loads)
+
+
+class TestGodfreyGreedy:
+    def test_near_optimal_on_regular_graph(self, regular_graph):
+        """Scanning the whole Ω(log n) neighborhood achieves max load
+        within a whisker of the optimum d (Godfrey's theorem regime)."""
+        d = 2
+        res = godfrey_greedy(regular_graph, d=d, seed=0)
+        assert res.completed
+        assert res.max_load <= d + 2
+
+    def test_no_worse_than_best_of_2(self, regular_graph):
+        g2 = greedy_best_of_k(regular_graph, d=2, k=2, seed=1).max_load
+        gf = godfrey_greedy(regular_graph, d=2, seed=1).max_load
+        assert gf <= g2
+
+    def test_work_is_neighborhood_scan(self, regular_graph):
+        res = godfrey_greedy(regular_graph, d=1, seed=0)
+        deg = int(regular_graph.client_degrees[0])
+        assert res.work == res.total_balls * (2 * deg + 2)
+
+
+class TestThresholdProtocol:
+    def test_completes_and_respects_cumulative_cap(self, regular_graph):
+        res = run_threshold_protocol(regular_graph, d=2, threshold=2, cumulative_cap=6, seed=0)
+        assert res.completed
+        assert res.max_load <= 6
+
+    def test_per_round_threshold_bounds_load_growth(self, regular_graph):
+        res = run_threshold_protocol(regular_graph, d=2, threshold=1, seed=1)
+        assert res.completed
+        assert res.max_load <= res.rounds  # at most T=1 accepted per round
+
+    def test_partial_acceptance_splits_batches(self):
+        """Unlike SAER's all-or-nothing batches, threshold accepts up to
+        T from an oversized batch."""
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 0), (0, 1), (1, 1)])
+        res = run_threshold_protocol(g, d=2, threshold=1, seed=2)
+        assert res.completed
+
+    def test_impossible_cap_does_not_hang(self):
+        g = BipartiteGraph.from_edges(2, 1, [(0, 0), (1, 0)])
+        res = run_threshold_protocol(
+            g, d=2, threshold=4, cumulative_cap=1, seed=0, options=RunOptions(max_rounds=10)
+        )
+        assert not res.completed
+        assert res.rounds == 10
+
+    def test_bad_params(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_threshold_protocol(regular_graph, d=0, threshold=1)
+        with pytest.raises(ProtocolConfigError):
+            run_threshold_protocol(regular_graph, d=1, threshold=0)
+        with pytest.raises(ProtocolConfigError):
+            run_threshold_protocol(regular_graph, d=1, threshold=1, cumulative_cap=0)
+
+
+class TestParallelGreedy:
+    def test_completes(self, regular_graph):
+        res = run_parallel_greedy(regular_graph, d=2, k=2, seed=0)
+        assert res.completed
+        assert res.loads.sum() == res.total_balls
+
+    def test_each_ball_assigned_once(self, regular_graph):
+        res = run_parallel_greedy(regular_graph, d=3, k=2, seed=1)
+        assert res.assigned_balls == res.total_balls
+
+    def test_more_grants_converges_faster(self, regular_graph):
+        slow = run_parallel_greedy(regular_graph, d=2, k=2, grants_per_round=1, seed=2)
+        fast = run_parallel_greedy(regular_graph, d=2, k=2, grants_per_round=4, seed=2)
+        assert fast.rounds <= slow.rounds
+
+    def test_work_counts_k_requests(self, regular_graph):
+        res = run_parallel_greedy(regular_graph, d=1, k=3, seed=0)
+        # first round alone costs 2*3 per ball
+        assert res.work >= 6 * res.total_balls
+
+    def test_bad_params(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_parallel_greedy(regular_graph, d=1, k=0)

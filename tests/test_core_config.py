@@ -1,0 +1,57 @@
+"""Tests for protocol parameters and run options."""
+
+import pytest
+
+from repro.core.config import ProtocolParams, RunOptions, default_round_cap
+from repro.errors import ProtocolConfigError
+
+
+class TestProtocolParams:
+    def test_capacity_is_floor_cd(self):
+        assert ProtocolParams(c=2.5, d=3).capacity == 7
+        assert ProtocolParams(c=2.0, d=3).capacity == 6
+        assert ProtocolParams(c=1.0, d=1).capacity == 1
+
+    def test_d_must_be_positive_int(self):
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=2.0, d=0)
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=2.0, d=-1)
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=2.0, d=2.5)  # type: ignore[arg-type]
+
+    def test_bool_d_rejected(self):
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=2.0, d=True)  # type: ignore[arg-type]
+
+    def test_c_below_one_rejected(self):
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=0.9, d=2)
+
+    def test_c_non_finite_rejected(self):
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=float("inf"), d=2)
+        with pytest.raises(ProtocolConfigError):
+            ProtocolParams(c=float("nan"), d=2)
+
+    def test_frozen(self):
+        p = ProtocolParams(c=2.0, d=2)
+        with pytest.raises(Exception):
+            p.c = 3.0  # type: ignore[misc]
+
+
+class TestRunOptions:
+    def test_default_cap_scales_with_log(self):
+        assert default_round_cap(2) == 60  # floor kicks in
+        assert default_round_cap(10**6) > default_round_cap(10**3)
+
+    def test_cap_for_uses_override(self):
+        assert RunOptions(max_rounds=5).cap_for(10**6) == 5
+
+    def test_cap_for_default(self):
+        n = 4096
+        assert RunOptions().cap_for(n) == default_round_cap(n)
+
+    def test_bad_override(self):
+        with pytest.raises(ProtocolConfigError):
+            RunOptions(max_rounds=0).cap_for(10)

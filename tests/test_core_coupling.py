@@ -1,0 +1,100 @@
+"""Tests for the slot-level SAER/RAES coupling (Corollary 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_coupled, run_raes, run_saer
+from repro.core.config import RunOptions
+from repro.errors import ProtocolConfigError
+from repro.graphs import random_regular_bipartite, trust_subsets
+from repro.rng import RandomTape
+
+
+class TestDominanceInvariant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nested_every_round_regular(self, regular_graph, seed):
+        cp = run_coupled(regular_graph, c=1.5, d=4, seed=seed)
+        assert cp.nested_every_round
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_nested_on_trust_graphs(self, trust_graph, seed):
+        cp = run_coupled(trust_graph, c=1.5, d=3, seed=seed)
+        assert cp.nested_every_round
+
+    def test_alive_counts_dominated(self, regular_graph):
+        cp = run_coupled(regular_graph, c=1.5, d=4, seed=11)
+        assert np.all(cp.alive_raes <= cp.alive_saer)
+
+    def test_raes_completes_no_later(self, regular_graph):
+        for seed in range(5):
+            cp = run_coupled(regular_graph, c=1.5, d=4, seed=seed)
+            if cp.saer.completed:
+                assert cp.raes.completed
+                assert cp.raes.rounds <= cp.saer.rounds
+
+    def test_dominance_in_contended_regime(self):
+        """Even when SAER burns out, RAES (coupled) must do no worse."""
+        g = random_regular_bipartite(64, 16, seed=0)
+        cp = run_coupled(g, c=1.0, d=4, seed=2, options=RunOptions(max_rounds=40))
+        assert np.all(cp.alive_raes <= cp.alive_saer)
+        assert cp.nested_every_round
+
+
+class TestCoupledMechanics:
+    def test_initial_alive_counts(self, regular_graph):
+        cp = run_coupled(regular_graph, c=2.0, d=3, seed=0)
+        total = 3 * regular_graph.n_clients
+        assert cp.alive_saer[0] == total
+        assert cp.alive_raes[0] == total
+
+    def test_alive_series_non_increasing(self, regular_graph):
+        cp = run_coupled(regular_graph, c=1.5, d=4, seed=1)
+        assert np.all(np.diff(cp.alive_saer) <= 0)
+        assert np.all(np.diff(cp.alive_raes) <= 0)
+
+    def test_load_invariants_both_legs(self, regular_graph):
+        cp = run_coupled(regular_graph, c=1.5, d=4, seed=3)
+        cap = cp.saer.params.capacity
+        assert cp.saer.max_load <= cap
+        assert cp.raes.max_load <= cap
+
+    def test_deterministic_for_seed(self, regular_graph):
+        a = run_coupled(regular_graph, c=1.5, d=4, seed=9)
+        b = run_coupled(regular_graph, c=1.5, d=4, seed=9)
+        assert np.array_equal(a.alive_saer, b.alive_saer)
+        assert np.array_equal(a.alive_raes, b.alive_raes)
+
+    def test_seed_and_tape_exclusive(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_coupled(regular_graph, c=2.0, d=2, seed=1, tape=RandomTape(seed=2))
+
+    def test_summary_keys(self, regular_graph):
+        s = run_coupled(regular_graph, c=2.0, d=2, seed=0).summary()
+        for k in ("saer_rounds", "raes_rounds", "nested_every_round", "raes_no_later"):
+            assert k in s
+
+
+class TestCouplingMatchesSlotModeRuns:
+    def test_saer_leg_equals_standalone_slot_run(self, small_regular_graph):
+        """The coupled SAER leg is exactly a slot-mode SAER run on the
+        same tape: RAES reads the same per-round block without advancing
+        it further, and (by dominance) RAES never outlasts SAER, so the
+        coupled loop draws exactly the blocks the standalone run draws."""
+        tape = RandomTape(seed=77)
+        cp = run_coupled(small_regular_graph, c=1.5, d=3, tape=tape)
+        tape2 = RandomTape(seed=77)
+        solo = run_saer(small_regular_graph, c=1.5, d=3, tape=tape2, slot_mode=True)
+        assert solo.completed == cp.saer.completed
+        assert solo.rounds == cp.saer.rounds
+        assert solo.work == cp.saer.work
+        assert np.array_equal(solo.loads, cp.saer.loads)
+
+    def test_raes_leg_vs_standalone(self, small_regular_graph):
+        tape = RandomTape(seed=88)
+        cp = run_coupled(small_regular_graph, c=2.0, d=3, tape=tape)
+        tape2 = RandomTape(seed=88)
+        solo = run_raes(small_regular_graph, c=2.0, d=3, tape=tape2, slot_mode=True)
+        assert solo.completed == cp.raes.completed
+        if solo.completed:
+            assert solo.rounds == cp.raes.rounds
+            assert np.array_equal(solo.loads, cp.raes.loads)

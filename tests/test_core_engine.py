@@ -1,0 +1,223 @@
+"""Tests for the vectorized round engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProtocolParams,
+    RunOptions,
+    TraceLevel,
+    run_protocol,
+    run_raes,
+    run_saer,
+)
+from repro.core.engine import draw_destinations
+from repro.errors import (
+    GraphValidationError,
+    NonTerminationError,
+    ProtocolConfigError,
+)
+from repro.graphs import BipartiteGraph, random_regular_bipartite
+from repro.rng import RandomTape
+
+
+class TestBasicRuns:
+    def test_completes_with_comfortable_c(self, regular_graph):
+        res = run_saer(regular_graph, c=4.0, d=2, seed=0)
+        assert res.completed
+        assert res.assigned_balls == res.total_balls == 2 * regular_graph.n_clients
+        assert res.alive_balls == 0
+
+    def test_load_invariant(self, regular_graph):
+        for seed in range(3):
+            res = run_saer(regular_graph, c=1.5, d=4, seed=seed)
+            assert res.max_load <= res.params.capacity
+
+    def test_loads_sum_to_assigned(self, regular_graph):
+        res = run_saer(regular_graph, c=2.0, d=3, seed=1)
+        assert res.loads.sum() == res.assigned_balls
+
+    def test_work_is_twice_requests(self, regular_graph):
+        res = run_saer(regular_graph, c=4.0, d=2, seed=2, trace=TraceLevel.BASIC)
+        assert res.work == 2 * int(np.sum(res.trace.requests))
+
+    def test_work_lower_bound(self, regular_graph):
+        # every ball is sent at least once, each send costs 2 messages
+        res = run_saer(regular_graph, c=4.0, d=2, seed=3)
+        assert res.work >= 2 * res.total_balls
+
+    def test_raes_completes(self, regular_graph):
+        res = run_raes(regular_graph, c=2.0, d=2, seed=4)
+        assert res.completed
+        assert res.protocol == "raes"
+
+    def test_deterministic_given_seed(self, regular_graph):
+        a = run_saer(regular_graph, c=1.5, d=4, seed=99)
+        b = run_saer(regular_graph, c=1.5, d=4, seed=99)
+        assert a.rounds == b.rounds
+        assert a.work == b.work
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_different_seeds_differ(self, regular_graph):
+        a = run_saer(regular_graph, c=1.5, d=4, seed=1)
+        b = run_saer(regular_graph, c=1.5, d=4, seed=2)
+        assert not np.array_equal(a.loads, b.loads)
+
+    def test_summary_keys(self, regular_graph):
+        s = run_saer(regular_graph, c=2.0, d=2, seed=0).summary()
+        for k in ("protocol", "rounds", "work", "max_load", "completed"):
+            assert k in s
+
+
+class TestTapeSemantics:
+    def test_tape_replay_reproduces_run(self, regular_graph):
+        tape = RandomTape(seed=42)
+        a = run_saer(regular_graph, c=1.5, d=4, tape=tape)
+        tape.rewind()
+        b = run_saer(regular_graph, c=1.5, d=4, tape=tape)
+        assert a.rounds == b.rounds and a.work == b.work
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_seed_and_tape_mutually_exclusive(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer(regular_graph, c=2.0, d=2, seed=1, tape=RandomTape(seed=2))
+
+    def test_slot_mode_consumes_nd_per_round(self, regular_graph):
+        tape = RandomTape(seed=0)
+        res = run_saer(regular_graph, c=4.0, d=2, tape=tape, slot_mode=True)
+        assert tape.position == res.rounds * regular_graph.n_clients * 2
+
+    def test_alive_mode_consumes_less_after_round1(self, regular_graph):
+        tape = RandomTape(seed=0)
+        res = run_saer(regular_graph, c=4.0, d=2, tape=tape, slot_mode=False)
+        if res.rounds > 1:
+            assert tape.position < res.rounds * regular_graph.n_clients * 2
+
+    def test_slot_and_alive_modes_agree_round1(self, regular_graph):
+        # With c high enough to finish in one round the two modes are
+        # byte-identical (no dead slots yet).
+        t1, t2 = RandomTape(seed=7), RandomTape(seed=7)
+        a = run_saer(regular_graph, c=8.0, d=2, tape=t1, slot_mode=False)
+        b = run_saer(regular_graph, c=8.0, d=2, tape=t2, slot_mode=True)
+        if a.rounds == b.rounds == 1:
+            assert np.array_equal(a.loads, b.loads)
+
+
+class TestDrawDestinations:
+    def test_maps_uniform_to_neighbor_row(self):
+        g = BipartiteGraph.from_edges(2, 4, [(0, 1), (0, 3), (1, 0), (1, 2)])
+        senders = np.array([0, 0, 1, 1])
+        u = np.array([0.0, 0.99, 0.0, 0.51])
+        dest = draw_destinations(g, senders, u)
+        assert dest.tolist() == [1, 3, 0, 2]
+
+    def test_u_close_to_one_stays_in_range(self):
+        g = BipartiteGraph.from_edges(1, 3, [(0, 0), (0, 1), (0, 2)])
+        dest = draw_destinations(g, np.array([0]), np.array([0.9999999999999999]))
+        assert dest[0] == 2
+
+
+class TestDemands:
+    def test_general_demands_respected(self, regular_graph):
+        n = regular_graph.n_clients
+        demands = np.zeros(n, dtype=np.int64)
+        demands[: n // 2] = 2
+        res = run_saer(regular_graph, c=4.0, d=3, demands=demands, seed=0)
+        assert res.completed
+        assert res.total_balls == int(demands.sum())
+
+    def test_zero_demands_complete_in_zero_rounds(self, regular_graph):
+        res = run_saer(
+            regular_graph,
+            c=2.0,
+            d=2,
+            demands=np.zeros(regular_graph.n_clients, dtype=np.int64),
+            seed=0,
+        )
+        assert res.completed and res.rounds == 0 and res.work == 0
+
+    def test_demands_above_d_rejected(self, regular_graph):
+        demands = np.full(regular_graph.n_clients, 5, dtype=np.int64)
+        with pytest.raises(ProtocolConfigError):
+            run_saer(regular_graph, c=2.0, d=4, demands=demands, seed=0)
+
+    def test_wrong_shape_rejected(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer(regular_graph, c=2.0, d=2, demands=np.array([1, 2]), seed=0)
+
+
+class TestFailureModes:
+    def test_isolated_client_rejected_up_front(self):
+        g = BipartiteGraph.from_edges(3, 3, [(0, 0), (1, 1)])  # client 2 isolated
+        with pytest.raises(GraphValidationError):
+            run_saer(g, c=2.0, d=1, seed=0)
+
+    def test_isolated_client_ok_with_zero_demand(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        res = run_saer(g, c=2.0, d=1, demands=np.array([1, 0]), seed=0)
+        assert res.completed
+
+    def test_round_cap_returns_incomplete(self):
+        # c=1, d=4 burns out: capacity 4 but expected 4 received/server.
+        g = random_regular_bipartite(64, 16, seed=0)
+        res = run_saer(g, c=1.0, d=4, seed=1, options=RunOptions(max_rounds=20))
+        assert not res.completed
+        assert res.rounds == 20
+        assert res.alive_balls > 0
+
+    def test_raise_on_cap(self):
+        g = random_regular_bipartite(64, 16, seed=0)
+        with pytest.raises(NonTerminationError) as exc_info:
+            run_saer(
+                g, c=1.0, d=4, seed=1, options=RunOptions(max_rounds=10, raise_on_cap=True)
+            )
+        assert exc_info.value.result is not None
+        assert not exc_info.value.result.completed
+
+    def test_unknown_policy_rejected(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_protocol(regular_graph, ProtocolParams(c=2.0, d=2), "bogus", seed=0)
+
+
+class TestTraceLevels:
+    def test_none_has_no_trace(self, regular_graph):
+        res = run_saer(regular_graph, c=2.0, d=2, seed=0, trace=TraceLevel.NONE)
+        assert res.trace is None
+
+    def test_basic_counts_rounds(self, regular_graph):
+        res = run_saer(regular_graph, c=2.0, d=2, seed=0, trace=TraceLevel.BASIC)
+        assert res.trace.n_rounds == res.rounds
+        assert res.trace.alive_before[0] == res.total_balls
+        assert int(np.sum(res.trace.accepted)) == res.assigned_balls
+
+    def test_full_records_proof_quantities(self, regular_graph):
+        res = run_saer(regular_graph, c=1.5, d=4, seed=0, trace=TraceLevel.FULL)
+        tr = res.trace
+        assert len(tr.s_t) == res.rounds
+        assert len(tr.k_t) == res.rounds
+        # S_t <= K_t (eq. 3), pointwise
+        assert np.all(np.asarray(tr.s_t) <= np.asarray(tr.k_t) + 1e-9)
+        # K_t is non-decreasing (it is a cumulative sum)
+        assert np.all(np.diff(np.asarray(tr.k_t)) >= -1e-12)
+
+    def test_trace_work_matches_result(self, regular_graph):
+        res = run_saer(regular_graph, c=2.0, d=2, seed=0, trace=TraceLevel.BASIC)
+        assert res.trace.work_cum[-1] == res.work
+
+    def test_record_loads_off(self, regular_graph):
+        res = run_saer(
+            regular_graph, c=2.0, d=2, seed=0, options=RunOptions(record_loads=False)
+        )
+        assert res.loads is None
+
+
+class TestBurnedMonotonicity:
+    def test_blocked_total_non_decreasing(self, regular_graph):
+        res = run_saer(regular_graph, c=1.5, d=4, seed=5, trace=TraceLevel.BASIC)
+        blocked = np.asarray(res.trace.blocked_total)
+        assert np.all(np.diff(blocked) >= 0)
+
+    def test_s_t_non_decreasing_for_saer(self, regular_graph):
+        res = run_saer(regular_graph, c=1.5, d=4, seed=6, trace=TraceLevel.FULL)
+        s = np.asarray(res.trace.s_t)
+        assert np.all(np.diff(s) >= -1e-12)

@@ -1,0 +1,139 @@
+"""Unit tests for the SAER/RAES server decision rules (array form)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import RaesPolicy, SaerPolicy
+from repro.errors import ProtocolConfigError
+
+
+def recv(n, **at):
+    out = np.zeros(n, dtype=np.int64)
+    for idx, val in at.items():
+        out[int(idx.lstrip("s"))] = val
+    return out
+
+
+class TestSaerPolicy:
+    def test_accepts_below_capacity(self):
+        pol = SaerPolicy(n_servers=3, capacity=5)
+        acc = pol.decide(recv(3, s0=5, s1=2))
+        assert acc.tolist() == [True, True, True]
+        assert pol.loads.tolist() == [5, 2, 0]
+        assert not pol.burned.any()
+
+    def test_burns_strictly_above_capacity(self):
+        pol = SaerPolicy(3, capacity=5)
+        acc = pol.decide(recv(3, s0=6))
+        assert not acc[0]
+        assert pol.burned[0]
+        assert pol.loads[0] == 0  # the tripping batch is rejected wholesale
+
+    def test_exactly_capacity_is_fine(self):
+        pol = SaerPolicy(1, capacity=4)
+        assert pol.decide(recv(1, s0=4))[0]
+        assert pol.loads[0] == 4
+
+    def test_cumulative_received_counts_across_rounds(self):
+        pol = SaerPolicy(1, capacity=4)
+        assert pol.decide(recv(1, s0=3))[0]
+        # 3 + 2 = 5 > 4: reject round 2's batch, burn, keep load 3
+        assert not pol.decide(recv(1, s0=2))[0]
+        assert pol.burned[0]
+        assert pol.loads[0] == 3
+
+    def test_burned_stays_burned_and_counts_received(self):
+        pol = SaerPolicy(1, capacity=2)
+        pol.decide(recv(1, s0=3))  # burn
+        assert not pol.decide(recv(1, s0=1))[0]
+        assert pol.cum_received[0] == 4
+        assert pol.loads[0] == 0
+
+    def test_rejected_batch_still_counts_toward_received(self):
+        """Definition 3 counts *received* balls, accepted or not."""
+        pol = SaerPolicy(1, capacity=5)
+        pol.decide(recv(1, s0=6))  # burned; received=6
+        assert pol.cum_received[0] == 6
+
+    def test_zero_batch_never_burns(self):
+        pol = SaerPolicy(2, capacity=1)
+        for _ in range(10):
+            pol.decide(np.zeros(2, dtype=np.int64))
+        assert not pol.burned.any()
+
+    def test_newly_burned_counter(self):
+        pol = SaerPolicy(3, capacity=2)
+        pol.decide(recv(3, s0=3, s1=3))
+        assert pol.newly_burned_last_round == 2
+        pol.decide(recv(3, s2=3))
+        assert pol.newly_burned_last_round == 1
+
+    def test_blocked_mask_is_burned(self):
+        pol = SaerPolicy(2, capacity=1)
+        pol.decide(recv(2, s1=2))
+        assert pol.blocked_mask().tolist() == [False, True]
+
+    def test_max_load(self):
+        pol = SaerPolicy(2, capacity=10)
+        pol.decide(recv(2, s0=4, s1=7))
+        assert pol.max_load == 7
+
+    def test_capacity_validation(self):
+        with pytest.raises(ProtocolConfigError):
+            SaerPolicy(2, capacity=0)
+        with pytest.raises(ProtocolConfigError):
+            SaerPolicy(-1, capacity=3)
+
+
+class TestRaesPolicy:
+    def test_rejects_batch_that_would_overflow(self):
+        pol = RaesPolicy(1, capacity=4)
+        assert pol.decide(recv(1, s0=3))[0]
+        assert not pol.decide(recv(1, s0=2))[0]  # 3+2 > 4
+        assert pol.loads[0] == 3
+
+    def test_reaccepts_after_saturated_round(self):
+        """The key SAER/RAES difference: saturation is not permanent."""
+        pol = RaesPolicy(1, capacity=4)
+        pol.decide(recv(1, s0=3))
+        pol.decide(recv(1, s0=5))  # rejected
+        assert pol.decide(recv(1, s0=1))[0]  # 3+1 <= 4: accepted again
+        assert pol.loads[0] == 4
+
+    def test_exact_fill_accepted(self):
+        pol = RaesPolicy(1, capacity=4)
+        assert pol.decide(recv(1, s0=4))[0]
+        assert pol.loads[0] == 4
+
+    def test_full_server_blocked(self):
+        pol = RaesPolicy(1, capacity=2)
+        pol.decide(recv(1, s0=2))
+        assert pol.blocked_mask()[0]
+        assert not pol.decide(recv(1, s0=1))[0]
+
+    def test_saturated_rounds_counter(self):
+        pol = RaesPolicy(1, capacity=1)
+        pol.decide(recv(1, s0=2))
+        pol.decide(recv(1, s0=2))
+        assert pol.saturated_rounds[0] == 2
+
+    def test_load_never_exceeds_capacity(self):
+        rng = np.random.default_rng(0)
+        pol = RaesPolicy(5, capacity=7)
+        for _ in range(50):
+            pol.decide(rng.integers(0, 4, size=5))
+        assert pol.loads.max() <= 7
+
+
+class TestSaerVsRaesSemantics:
+    def test_saer_stricter_than_raes_on_same_stream(self):
+        """A received-count burn can only make SAER reject more."""
+        batches = [recv(1, s0=2), recv(1, s0=2), recv(1, s0=1), recv(1, s0=1)]
+        saer, raes = SaerPolicy(1, capacity=4), RaesPolicy(1, capacity=4)
+        for b in batches:
+            a_s = saer.decide(b.copy())[0]
+            a_r = raes.decide(b.copy())[0]
+            # identical streams: RAES accepts whenever SAER does
+            if a_s:
+                assert a_r
+        assert raes.loads[0] >= saer.loads[0]

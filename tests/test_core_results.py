@@ -1,0 +1,76 @@
+"""Tests for the RunResult record."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProtocolParams, RunResult
+
+
+def make_result(**overrides) -> RunResult:
+    base = dict(
+        protocol="saer",
+        graph_name="g",
+        n_clients=10,
+        n_servers=10,
+        params=ProtocolParams(c=2.0, d=2),
+        completed=True,
+        rounds=3,
+        work=120,
+        total_balls=20,
+        assigned_balls=20,
+        alive_balls=0,
+        max_load=4,
+        blocked_servers=1,
+        loads=np.array([2] * 10),
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestRunResult:
+    def test_ball_accounting_enforced(self):
+        with pytest.raises(ValueError):
+            make_result(assigned_balls=19)  # 19 + 0 != 20
+
+    def test_work_per_ball(self):
+        r = make_result()
+        assert r.work_per_ball == 6.0
+        assert r.work_per_client == 12.0
+
+    def test_zero_balls(self):
+        r = make_result(total_balls=0, assigned_balls=0, alive_balls=0, work=0)
+        assert r.work_per_ball == 0.0
+
+    def test_summary_roundtrip(self):
+        s = make_result().summary()
+        assert s["capacity"] == 4
+        assert s["completed"] is True
+        assert s["work_per_client"] == 12.0
+
+    def test_incomplete_result(self):
+        r = make_result(completed=False, assigned_balls=15, alive_balls=5)
+        assert not r.completed
+        assert r.alive_balls == 5
+
+    def test_to_dict_loads_opt_in(self):
+        r = make_result()
+        assert "loads" not in r.to_dict()
+        assert r.to_dict(include_loads=True)["loads"] == [2] * 10
+
+    def test_to_json_roundtrip(self, tmp_path):
+        import json
+
+        r = make_result()
+        path = tmp_path / "run.json"
+        r.to_json(path, include_loads=True)
+        data = json.loads(path.read_text())
+        assert data["rounds"] == 3
+        assert data["loads"] == [2] * 10
+
+    def test_to_dict_includes_trace_when_present(self, regular_graph):
+        import repro
+
+        res = repro.run_saer(regular_graph, 2.0, 2, seed=0, trace=repro.TraceLevel.BASIC)
+        d = res.to_dict()
+        assert "trace" in d
+        assert len(d["trace"]["alive_before"]) == res.rounds

@@ -1,0 +1,97 @@
+"""Tests for the §4 client-side variants: retry budgets and backoff."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import run_saer_with_backoff, run_saer_with_retry_budget
+from repro.core.config import RunOptions
+from repro.errors import ProtocolConfigError
+from repro.graphs import random_regular_bipartite
+
+
+class TestRetryBudget:
+    def test_unlimited_budget_matches_plain_saer(self, regular_graph):
+        tape = repro.RandomTape(seed=1)
+        plain = repro.run_saer(regular_graph, 1.5, 4, tape=tape)
+        tape.rewind()
+        var = run_saer_with_retry_budget(regular_graph, 1.5, 4, budget=None, tape=tape)
+        assert var.dropped_balls == 0
+        assert var.run.rounds == plain.rounds
+        assert var.run.work == plain.work
+        assert np.array_equal(var.run.loads, plain.loads)
+
+    def test_budget_one_drops_every_rejection(self):
+        g = random_regular_bipartite(64, 16, seed=0)
+        var = run_saer_with_retry_budget(g, 1.0, 4, budget=1, seed=2)
+        # capacity == expected load: many rejections, each a drop
+        assert var.run.completed  # settled: everything assigned or dropped
+        assert var.dropped_balls > 0
+        assert var.run.assigned_balls + var.dropped_balls == var.run.total_balls
+
+    def test_settles_even_in_burnout_regime(self):
+        """With a finite budget the protocol always terminates, even where
+        plain SAER stalls forever (the c=1 burnout regime of E6)."""
+        g = random_regular_bipartite(64, 16, seed=1)
+        var = run_saer_with_retry_budget(
+            g, 1.0, 4, budget=5, seed=3, options=RunOptions(max_rounds=100)
+        )
+        assert var.run.completed
+        assert var.run.rounds < 100
+
+    def test_larger_budget_drops_fewer(self):
+        g = random_regular_bipartite(128, 32, seed=2)
+        small = run_saer_with_retry_budget(g, 1.2, 4, budget=2, seed=4)
+        large = run_saer_with_retry_budget(g, 1.2, 4, budget=20, seed=4)
+        assert large.dropped_balls <= small.dropped_balls
+
+    def test_load_cap_holds(self, regular_graph):
+        var = run_saer_with_retry_budget(regular_graph, 1.5, 4, budget=3, seed=5)
+        assert var.run.max_load <= var.run.params.capacity
+
+    def test_bad_budget(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer_with_retry_budget(regular_graph, 2.0, 2, budget=0, seed=0)
+
+    def test_summary_has_drop_count(self, regular_graph):
+        var = run_saer_with_retry_budget(regular_graph, 1.5, 4, budget=3, seed=6)
+        assert "dropped_balls" in var.summary()
+
+
+class TestBackoff:
+    def test_prob_one_assigns_everything(self, regular_graph):
+        var = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=1.0, seed=1)
+        assert var.run.completed
+        assert var.deferred_sends == 0
+
+    def test_partial_prob_defers_sends(self, regular_graph):
+        var = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=0.5, seed=2)
+        assert var.run.completed
+        assert var.deferred_sends > 0
+
+    def test_backoff_trades_rounds_for_collisions(self, regular_graph):
+        """Lower retry probability ⇒ more rounds but no more total work
+        than ~the plain run (each deferred send is a send not made)."""
+        eager = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=1.0, seed=3)
+        lazy = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=0.3, seed=3)
+        assert lazy.run.rounds >= eager.run.rounds
+        assert lazy.run.completed
+
+    def test_load_cap_and_conservation(self, regular_graph):
+        var = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=0.5, seed=4)
+        run = var.run
+        assert run.max_load <= run.params.capacity
+        assert run.assigned_balls + run.alive_balls == run.total_balls
+        assert int(run.loads.sum()) == run.assigned_balls
+
+    def test_deterministic_for_seed(self, regular_graph):
+        a = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=0.5, seed=7)
+        b = run_saer_with_backoff(regular_graph, 1.5, 4, retry_prob=0.5, seed=7)
+        assert a.run.rounds == b.run.rounds
+        assert np.array_equal(a.run.loads, b.run.loads)
+
+    def test_bad_prob(self, regular_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_saer_with_backoff(regular_graph, 2.0, 2, retry_prob=0.0, seed=0)
+        with pytest.raises(ProtocolConfigError):
+            run_saer_with_backoff(regular_graph, 2.0, 2, retry_prob=1.5, seed=0)

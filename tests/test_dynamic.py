@@ -1,0 +1,163 @@
+"""Tests for the dynamic (online arrivals + churn) extension."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    BatchArrivals,
+    PoissonArrivals,
+    RewireChurn,
+    run_dynamic_saer,
+)
+from repro.errors import ProtocolConfigError
+from repro.graphs import trust_subsets
+
+
+@pytest.fixture(scope="module")
+def dyn_graph():
+    return trust_subsets(128, 128, 12, seed=55)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean(self):
+        rng = np.random.default_rng(0)
+        proc = PoissonArrivals(rate_per_client=0.5)
+        totals = [proc.sample(rng, 100, t).sum() for t in range(200)]
+        assert abs(np.mean(totals) - 50.0) < 5.0
+        assert proc.expected_per_round(100) == 50.0
+
+    def test_poisson_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert PoissonArrivals(0.0).sample(rng, 10, 0).sum() == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-0.1)
+
+    def test_batch_period(self):
+        rng = np.random.default_rng(0)
+        proc = BatchArrivals(batch_size=30, period=3)
+        assert proc.sample(rng, 10, 0).sum() == 30
+        assert proc.sample(rng, 10, 1).sum() == 0
+        assert proc.sample(rng, 10, 3).sum() == 30
+        assert proc.expected_per_round(10) == 10.0
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            BatchArrivals(-1)
+        with pytest.raises(ValueError):
+            BatchArrivals(1, period=0)
+
+
+class TestChurn:
+    def test_preserves_degrees(self, dyn_graph):
+        rng = np.random.default_rng(1)
+        lists = [dyn_graph.neighbors_of_client(v).copy() for v in range(dyn_graph.n_clients)]
+        degrees = [len(x) for x in lists]
+        churn = RewireChurn(rate=1.0)
+        churn.apply(rng, lists, dyn_graph.n_servers)
+        assert [len(x) for x in lists] == degrees
+        for row in lists:
+            assert np.unique(row).size == row.size  # still distinct
+            assert row.min() >= 0 and row.max() < dyn_graph.n_servers
+
+    def test_zero_rate_no_op(self, dyn_graph):
+        rng = np.random.default_rng(2)
+        lists = [dyn_graph.neighbors_of_client(v).copy() for v in range(8)]
+        before = [x.copy() for x in lists]
+        assert RewireChurn(0.0).apply(rng, lists, dyn_graph.n_servers) == 0
+        for a, b in zip(before, lists):
+            assert np.array_equal(a, b)
+
+    def test_rate_one_rewires_all(self, dyn_graph):
+        rng = np.random.default_rng(3)
+        lists = [dyn_graph.neighbors_of_client(v).copy() for v in range(16)]
+        assert RewireChurn(1.0).apply(rng, lists, dyn_graph.n_servers) == 16
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            RewireChurn(1.5)
+
+
+class TestDynamicSimulator:
+    def test_zero_arrivals_stays_empty(self, dyn_graph):
+        res = run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.0), horizon=20, seed=0)
+        assert res.backlog.max() == 0
+        assert res.latencies.size == 0
+        assert res.is_metastable()
+
+    def test_subcritical_is_metastable(self, dyn_graph):
+        res = run_dynamic_saer(
+            dyn_graph, 2.0, 4, PoissonArrivals(0.1), horizon=300, recovery=8, seed=1
+        )
+        assert res.is_metastable()
+        assert res.backlog[-1] < 5 * res.offered_load
+
+    def test_no_recovery_diverges_under_sustained_load(self, dyn_graph):
+        """Without recovery every server eventually burns; backlog must
+        grow linearly — the E12 control row."""
+        res = run_dynamic_saer(
+            dyn_graph, 2.0, 4, PoissonArrivals(0.5), horizon=300, recovery=None, seed=2
+        )
+        assert not res.is_metastable()
+        assert res.burned_fraction[-1] == 1.0
+        assert res.backlog[-1] > res.backlog[res.horizon // 2]
+
+    def test_supercritical_diverges_even_with_recovery(self, dyn_graph):
+        res = run_dynamic_saer(
+            dyn_graph, 2.0, 4, PoissonArrivals(3.0), horizon=200, recovery=8, seed=3
+        )
+        assert not res.is_metastable()
+
+    def test_latencies_recorded_and_nonnegative(self, dyn_graph):
+        res = run_dynamic_saer(
+            dyn_graph, 2.0, 4, PoissonArrivals(0.2), horizon=100, recovery=8, seed=4
+        )
+        assert res.latencies.size > 0
+        assert res.latencies.min() >= 0
+        stats = res.latency_stats()
+        assert stats["p50"] <= stats["p95"]
+
+    def test_churn_runs(self, dyn_graph):
+        res = run_dynamic_saer(
+            dyn_graph,
+            2.0,
+            4,
+            PoissonArrivals(0.2),
+            horizon=100,
+            churn=RewireChurn(0.1),
+            recovery=8,
+            seed=5,
+        )
+        assert res.rewired_clients.sum() > 0
+        assert res.is_metastable()
+
+    def test_burst_arrivals_absorbed(self, dyn_graph):
+        res = run_dynamic_saer(
+            dyn_graph,
+            2.0,
+            4,
+            BatchArrivals(batch_size=64, period=10),
+            horizon=200,
+            recovery=8,
+            seed=6,
+        )
+        assert res.is_metastable()
+
+    def test_summary_keys(self, dyn_graph):
+        res = run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.1), horizon=50, seed=7)
+        s = res.summary()
+        for k in ("final_backlog", "backlog_slope", "metastable", "latency_mean"):
+            assert k in s
+
+    def test_validation(self, dyn_graph):
+        with pytest.raises(ProtocolConfigError):
+            run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.1), horizon=0)
+        with pytest.raises(ProtocolConfigError):
+            run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.1), horizon=10, recovery=0)
+
+    def test_deterministic_for_seed(self, dyn_graph):
+        a = run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.2), horizon=60, seed=8)
+        b = run_dynamic_saer(dyn_graph, 2.0, 4, PoissonArrivals(0.2), horizon=60, seed=8)
+        assert np.array_equal(a.backlog, b.backlog)
+        assert np.array_equal(a.latencies, b.latencies)

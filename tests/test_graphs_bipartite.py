@@ -1,0 +1,135 @@
+"""Tests for the CSR bipartite graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs import BipartiteGraph
+
+
+def tiny() -> BipartiteGraph:
+    # 3 clients, 4 servers
+    return BipartiteGraph.from_edges(
+        3, 4, [(0, 0), (0, 2), (1, 1), (1, 2), (1, 3), (2, 0)]
+    )
+
+
+class TestConstruction:
+    def test_sizes(self):
+        g = tiny()
+        assert g.n_clients == 3 and g.n_servers == 4 and g.n_edges == 6
+
+    def test_neighbors_sorted(self):
+        g = tiny()
+        assert g.neighbors_of_client(1).tolist() == [1, 2, 3]
+        assert g.neighbors_of_server(0).tolist() == [0, 2]
+
+    def test_degrees(self):
+        g = tiny()
+        assert g.client_degrees.tolist() == [2, 3, 1]
+        assert g.server_degrees.tolist() == [2, 1, 2, 1]
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_edges(2, 2, [])
+        assert g.n_edges == 0
+        assert g.has_isolated_clients()
+
+    def test_from_neighbor_lists(self):
+        g = BipartiteGraph.from_neighbor_lists([[0, 1], [1]], n_servers=2)
+        assert g.n_edges == 3
+        assert g.neighbors_of_client(0).tolist() == [0, 1]
+
+    def test_out_of_range_client_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(2, 2, [(2, 0)])
+
+    def test_out_of_range_server_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(2, 2, [(0, 5)])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(2, 2, [(-1, 0)])
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(2, 2, [(0, 1), (0, 1)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(2, 2, np.array([[0, 1, 2]]))
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_edges(-1, 2, [])
+
+
+class TestInvariants:
+    def test_validate_passes_on_good_graph(self):
+        tiny().validate()
+
+    def test_validate_catches_direction_mismatch(self):
+        g = tiny()
+        bad = BipartiteGraph(
+            n_clients=g.n_clients,
+            n_servers=g.n_servers,
+            client_indptr=g.client_indptr,
+            client_indices=g.client_indices.copy(),
+            server_indptr=g.server_indptr,
+            server_indices=g.server_indices.copy(),
+        )
+        bad.client_indices[0] = 1  # break the forward edge set only
+        with pytest.raises(GraphValidationError):
+            bad.validate()
+
+    def test_validate_catches_bad_indptr(self):
+        g = tiny()
+        ptr = g.client_indptr.copy()
+        ptr[1] = 99
+        bad = BipartiteGraph(
+            n_clients=3,
+            n_servers=4,
+            client_indptr=ptr,
+            client_indices=g.client_indices,
+            server_indptr=g.server_indptr,
+            server_indices=g.server_indices,
+        )
+        with pytest.raises(GraphValidationError):
+            bad.validate()
+
+    def test_degree_sums_match(self, regular_graph):
+        assert regular_graph.client_degrees.sum() == regular_graph.server_degrees.sum()
+
+    def test_min_max_helpers(self):
+        g = tiny()
+        assert g.degree_min_clients() == 1
+        assert g.degree_max_servers() == 2
+
+
+class TestConversions:
+    def test_edges_roundtrip(self):
+        g = tiny()
+        g2 = BipartiteGraph.from_edges(3, 4, g.edges())
+        assert np.array_equal(g.client_indptr, g2.client_indptr)
+        assert np.array_equal(g.client_indices, g2.client_indices)
+
+    def test_to_scipy_shape_and_degrees(self):
+        g = tiny()
+        a = g.to_scipy()
+        assert a.shape == (3, 4)
+        assert np.array_equal(np.asarray(a.sum(axis=1)).ravel(), g.client_degrees)
+        assert np.array_equal(np.asarray(a.sum(axis=0)).ravel(), g.server_degrees)
+
+    def test_scipy_matvec_counts_neighborhood_mass(self):
+        g = tiny()
+        served = np.array([1.0, 0.0, 1.0, 0.0])
+        per_client = g.to_scipy() @ served
+        # client 0 neighbors {0,2} -> 2; client 1 {1,2,3} -> 1; client 2 {0} -> 1
+        assert per_client.tolist() == [2.0, 1.0, 1.0]
+
+    def test_to_networkx(self):
+        g = tiny()
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 7
+        assert nx_g.number_of_edges() == 6
+        assert nx_g.has_edge(("c", 1), ("s", 3))

@@ -1,0 +1,73 @@
+"""Round-trip tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs import random_regular_bipartite
+from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
+
+
+def graphs_equal(a, b) -> bool:
+    return (
+        a.n_clients == b.n_clients
+        and a.n_servers == b.n_servers
+        and np.array_equal(a.client_indptr, b.client_indptr)
+        and np.array_equal(a.client_indices, b.client_indices)
+        and np.array_equal(a.server_indptr, b.server_indptr)
+        and np.array_equal(a.server_indices, b.server_indices)
+    )
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = random_regular_bipartite(40, 7, seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert graphs_equal(g, g2)
+        assert g2.name == g.name
+
+    def test_load_validates(self, tmp_path):
+        g = random_regular_bipartite(10, 3, seed=0)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        # corrupt: rewrite with a broken indices array
+        data = dict(np.load(path, allow_pickle=False))
+        data["client_indices"] = data["client_indices"].copy()
+        data["client_indices"][0] = 99
+        np.savez_compressed(path, **data)
+        with pytest.raises(GraphValidationError):
+            load_npz(path)
+
+    def test_version_check(self, tmp_path):
+        g = random_regular_bipartite(10, 3, seed=0)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(GraphValidationError):
+            load_npz(path)
+
+
+class TestEdgelist:
+    def test_roundtrip(self, tmp_path):
+        g = random_regular_bipartite(25, 4, seed=7)
+        path = tmp_path / "g.edges"
+        save_edgelist(g, path)
+        g2 = load_edgelist(path)
+        assert graphs_equal(g, g2)
+        assert g2.name == g.name
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphValidationError):
+            load_edgelist(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# n_clients=2 n_servers=2\n\n0 0\n\n1 1\n")
+        g = load_edgelist(path)
+        assert g.n_edges == 2

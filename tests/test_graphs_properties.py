@@ -1,0 +1,87 @@
+"""Tests for degree reports and Theorem-1 hypothesis checks."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    BipartiteGraph,
+    almost_regularity_ratio,
+    degree_report,
+    eta_for,
+    random_regular_bipartite,
+    theorem1_hypotheses,
+)
+
+
+class TestDegreeReport:
+    def test_regular_graph_report(self):
+        g = random_regular_bipartite(64, 9, seed=0)
+        rep = degree_report(g)
+        assert rep.client_degree_min == rep.client_degree_max == 9
+        assert rep.server_degree_min == rep.server_degree_max == 9
+        assert rep.rho == 1.0
+        assert rep.isolated_clients == 0
+        assert rep.n_edges == 64 * 9
+
+    def test_eta_matches_definition(self):
+        g = random_regular_bipartite(64, 9, seed=0)
+        assert math.isclose(eta_for(g), 9 / math.log(64) ** 2)
+
+    def test_rho_with_isolated_client_is_inf(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        assert almost_regularity_ratio(g) == math.inf
+
+    def test_as_dict_keys(self):
+        rep = degree_report(random_regular_bipartite(16, 4, seed=1))
+        d = rep.as_dict()
+        for key in ("n_clients", "rho", "eta", "isolated_clients"):
+            assert key in d
+
+    def test_satisfies_theorem1_method(self):
+        g = random_regular_bipartite(64, 36, seed=2)  # log2^2(64)=36
+        rep = degree_report(g)
+        assert rep.satisfies_theorem1(eta=1.0, rho=1.5) or rep.satisfies_theorem1(
+            eta=rep.eta, rho=1.0
+        )
+
+
+class TestHypothesesCheck:
+    def test_ok_graph(self):
+        g = random_regular_bipartite(64, 40, seed=0)
+        ok, reason = theorem1_hypotheses(g, eta=1.0, rho=2.0)
+        assert ok, reason
+
+    def test_isolated_client_fails(self):
+        g = BipartiteGraph.from_edges(3, 3, [(0, 0), (1, 1)])
+        ok, reason = theorem1_hypotheses(g, eta=0.1, rho=100.0)
+        assert not ok
+        assert "isolated" in reason
+
+    def test_low_degree_fails(self):
+        g = random_regular_bipartite(64, 2, seed=0)
+        ok, reason = theorem1_hypotheses(g, eta=1.0, rho=2.0)
+        assert not ok
+        assert "outside regime" in reason
+
+    def test_irregular_fails(self):
+        # one client with degree 1, others dense: rho explodes
+        edges = [(0, 0)]
+        for v in range(1, 8):
+            for u in range(8):
+                edges.append((v, u))
+        g = BipartiteGraph.from_edges(8, 8, edges)
+        ok, reason = theorem1_hypotheses(g, eta=0.0001, rho=1.5)
+        assert not ok
+
+
+class TestCountingArgument:
+    def test_dmin_clients_le_dmax_servers(self):
+        """The paper's counting argument: Δ_min(C) <= Δ_max(S) always."""
+        for seed in range(5):
+            g = random_regular_bipartite(32, 5, seed=seed)
+            assert g.degree_min_clients() <= g.degree_max_servers()
+
+    def test_rho_at_least_one_when_finite(self, trust_graph):
+        rho = almost_regularity_ratio(trust_graph)
+        assert rho >= 1.0

@@ -1,0 +1,157 @@
+"""Tests for the process-pool harness, sweeps and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParameterGrid,
+    aggregate_records,
+    map_parallel,
+    monte_carlo,
+    run_sweep,
+    summarize,
+)
+from repro.parallel.pool import default_processes
+
+
+def _square(x):
+    return x * x
+
+
+def _trial(seed_seq, index):
+    rng = np.random.default_rng(seed_seq)
+    return {"index": index, "value": float(rng.random())}
+
+
+def _point(point, seed_seq, trial):
+    rng = np.random.default_rng(seed_seq)
+    return {"value": point["a"] * 10 + float(rng.random())}
+
+
+class TestMapParallel:
+    def test_serial_matches_comprehension(self):
+        assert map_parallel(_square, [1, 2, 3], processes=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        out = map_parallel(_square, list(range(40)), processes=4)
+        assert out == [x * x for x in range(40)]
+
+    def test_empty(self):
+        assert map_parallel(_square, [], processes=4) == []
+
+    def test_default_processes_bounds(self):
+        assert default_processes(1) == 1
+        assert default_processes(1000) >= 1
+
+
+class TestMonteCarlo:
+    def test_trial_count_and_order(self):
+        out = monte_carlo(_trial, 5, seed=1, processes=1)
+        assert [r["index"] for r in out] == list(range(5))
+
+    def test_deterministic_for_seed(self):
+        a = monte_carlo(_trial, 6, seed=42, processes=1)
+        b = monte_carlo(_trial, 6, seed=42, processes=1)
+        assert a == b
+
+    def test_serial_parallel_identical(self):
+        """Results must not depend on the degree of parallelism."""
+        a = monte_carlo(_trial, 8, seed=7, processes=1)
+        b = monte_carlo(_trial, 8, seed=7, processes=4)
+        assert a == b
+
+    def test_trials_independent(self):
+        out = monte_carlo(_trial, 10, seed=0, processes=1)
+        vals = [r["value"] for r in out]
+        assert len(set(vals)) == 10
+
+    def test_zero_trials(self):
+        assert monte_carlo(_trial, 0, seed=0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(_trial, -1, seed=0)
+
+
+class TestParameterGrid:
+    def test_points_row_major(self):
+        grid = ParameterGrid(a=[1, 2], b=["x", "y"])
+        pts = grid.points()
+        assert pts == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_len(self):
+        assert len(ParameterGrid(a=[1, 2, 3], b=[1, 2])) == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid(a=[])
+        with pytest.raises(ValueError):
+            ParameterGrid()
+
+    def test_iter(self):
+        assert list(ParameterGrid(a=[5])) == [{"a": 5}]
+
+
+class TestRunSweep:
+    def test_record_shape(self):
+        grid = ParameterGrid(a=[1, 2])
+        recs = run_sweep(_point, grid, n_trials=3, seed=0, processes=1)
+        assert len(recs) == 6
+        assert {r["a"] for r in recs} == {1, 2}
+        assert {r["trial"] for r in recs} == {0, 1, 2}
+
+    def test_deterministic_and_pool_invariant(self):
+        grid = ParameterGrid(a=[1, 2, 3])
+        a = run_sweep(_point, grid, n_trials=2, seed=9, processes=1)
+        b = run_sweep(_point, grid, n_trials=2, seed=9, processes=3)
+        assert a == b
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["median"] == 2.5
+        assert s["n"] == 4
+        assert s["ci95"] > 0
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s["mean"] == 7.0 and s["std"] == 0.0 and s["ci95"] == 0.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s["n"] == 0
+        assert np.isnan(s["mean"])
+
+
+class TestAggregateRecords:
+    def test_grouping_and_stats(self):
+        recs = [
+            {"g": "a", "v": 1.0},
+            {"g": "a", "v": 3.0},
+            {"g": "b", "v": 10.0},
+        ]
+        rows = aggregate_records(recs, group_by=["g"], fields=["v"])
+        assert len(rows) == 2
+        a_row = rows[0]
+        assert a_row["g"] == "a"
+        assert a_row["trials"] == 2
+        assert a_row["v_mean"] == 2.0
+        assert a_row["v_max"] == 3.0
+
+    def test_first_seen_order(self):
+        recs = [{"g": "z", "v": 1}, {"g": "a", "v": 2}]
+        rows = aggregate_records(recs, group_by=["g"], fields=["v"])
+        assert [r["g"] for r in rows] == ["z", "a"]
+
+    def test_bool_field_becomes_rate(self):
+        recs = [{"g": 1, "ok": True}, {"g": 1, "ok": False}]
+        rows = aggregate_records(recs, group_by=["g"], fields=["ok"])
+        assert rows[0]["ok_mean"] == 0.5

@@ -1,0 +1,138 @@
+"""Tests for seed management and the replayable random tape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TapeExhaustedError
+from repro.rng import RandomTape, TapeRecorder, make_rng, spawn_rngs, spawn_seeds
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_from_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = make_rng(ss).random(3)
+        b = make_rng(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+    def test_children_differ(self):
+        s1, s2 = spawn_seeds(0, 2)
+        a = np.random.default_rng(s1).random(8)
+        b = np.random.default_rng(s2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_across_calls(self):
+        a = np.random.default_rng(spawn_seeds(5, 3)[2]).random(4)
+        b = np.random.default_rng(spawn_seeds(5, 3)[2]).random(4)
+        assert np.array_equal(a, b)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(3, 4)
+        assert len(rngs) == 4
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+class TestRandomTapeLive:
+    def test_values_in_unit_interval(self):
+        tape = RandomTape(seed=1)
+        vals = tape.draw(1000)
+        assert vals.min() >= 0.0 and vals.max() < 1.0
+
+    def test_rewind_replays_identically(self):
+        tape = RandomTape(seed=2)
+        first = tape.draw(50).copy()
+        tape.rewind()
+        again = tape.draw(50)
+        assert np.array_equal(first, again)
+
+    def test_rewind_then_draw_more_extends(self):
+        tape = RandomTape(seed=3)
+        tape.draw(10)
+        tape.rewind()
+        more = tape.draw(25)
+        assert more.size == 25
+        assert tape.position == 25
+
+    def test_draw_zero(self):
+        tape = RandomTape(seed=4)
+        assert tape.draw(0).size == 0
+
+    def test_draw_negative_raises(self):
+        with pytest.raises(ValueError):
+            RandomTape(seed=0).draw(-1)
+
+    def test_draw_one_scalar(self):
+        v = RandomTape(seed=5).draw_one()
+        assert isinstance(v, float) and 0.0 <= v < 1.0
+
+    def test_fork_replays_consumed_prefix(self):
+        tape = RandomTape(seed=6)
+        consumed = tape.draw(30).copy()
+        fork = tape.fork()
+        assert np.array_equal(fork.draw(30), consumed)
+
+    def test_position_tracks(self):
+        tape = RandomTape(seed=7)
+        tape.draw(4)
+        tape.draw(6)
+        assert tape.position == 10
+
+
+class TestRandomTapeFixed:
+    def test_replays_given_values(self):
+        vals = np.array([0.1, 0.5, 0.9])
+        tape = RandomTape(values=vals)
+        assert np.array_equal(tape.draw(3), vals)
+
+    def test_exhaustion_raises(self):
+        tape = RandomTape(values=[0.1, 0.2])
+        tape.draw(2)
+        with pytest.raises(TapeExhaustedError):
+            tape.draw(1)
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError):
+            RandomTape(values=[0.5, 1.0])
+        with pytest.raises(ValueError):
+            RandomTape(values=[-0.1])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            RandomTape(values=np.zeros((2, 2)))
+
+    def test_len(self):
+        assert len(RandomTape(values=[0.1, 0.2, 0.3])) == 3
+
+
+class TestTapeRecorder:
+    def test_roundtrip(self):
+        rec = TapeRecorder()
+        rec.append(0.25)
+        rec.append([0.5, 0.75])
+        tape = rec.to_tape()
+        assert np.allclose(tape.draw(3), [0.25, 0.5, 0.75])
+
+    def test_empty(self):
+        tape = TapeRecorder().to_tape()
+        with pytest.raises(TapeExhaustedError):
+            tape.draw(1)

@@ -1,0 +1,112 @@
+"""Statistical agreement tests: measured behaviour vs theory predictions.
+
+These assert distributional facts with wide safety margins (fixed seeds,
+5-sigma-ish slack) — they catch systematic implementation bias, not
+noise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import greedy_best_of_k, one_choice
+from repro.core import TraceLevel  # noqa: F401 - used in TestSaerAtPaperConstants
+from repro.graphs import complete_bipartite, random_regular_bipartite
+from repro.theory import (
+    c_min_regular,
+    completion_horizon,
+    one_choice_max_load_estimate,
+    whp_failure_bound,
+)
+
+
+class TestOneChoiceDistribution:
+    def test_max_load_matches_folklore_scale(self):
+        """n balls into n bins: max load ≈ ln n / ln ln n (within 3×)."""
+        n = 4096
+        g = complete_bipartite(n, n)
+        est = one_choice_max_load_estimate(n)
+        maxes = [one_choice(g, d=1, seed=s).max_load for s in range(5)]
+        assert all(est / 3 <= m <= 3 * est + 3 for m in maxes), (maxes, est)
+
+    def test_loads_mean_is_d(self):
+        g = random_regular_bipartite(512, 64, seed=0)
+        res = one_choice(g, d=3, seed=1)
+        assert res.loads.mean() == pytest.approx(3.0)
+
+    def test_two_choices_beats_one_substantially(self):
+        """Azar et al.: best-of-2 ≈ log log n ≪ log n/log log n."""
+        n = 4096
+        g = complete_bipartite(n, n)
+        oc = np.mean([one_choice(g, d=1, seed=s).max_load for s in range(3)])
+        b2 = np.mean([greedy_best_of_k(g, d=1, k=2, seed=s).max_load for s in range(3)])
+        assert b2 < oc
+        assert b2 <= math.log2(math.log2(n)) + 3  # ~ lg lg n + slack
+
+
+class TestSaerAtPaperConstants:
+    """At the analysis-scale c the w.h.p. statements should essentially
+    never fail — the failure budget is 1/n² per run."""
+
+    def test_lemma4_never_violated(self):
+        n, d = 512, 2
+        deg = math.ceil(math.log2(n) ** 2)
+        eta = deg / math.log2(n) ** 2
+        c = c_min_regular(eta, d)
+        budget = whp_failure_bound(n)
+        assert budget < 1e-4
+        g = random_regular_bipartite(n, deg, seed=7)
+        for s in range(5):
+            res = repro.run_saer(g, c, d, seed=s, trace=TraceLevel.FULL)
+            assert res.completed
+            assert res.trace.max_s_t() <= 0.5
+
+    def test_completion_well_within_horizon(self):
+        n, d = 512, 2
+        deg = math.ceil(math.log2(n) ** 2)
+        c = c_min_regular(deg / math.log2(n) ** 2, d)
+        g = random_regular_bipartite(n, deg, seed=8)
+        for s in range(5):
+            res = repro.run_saer(g, c, d, seed=s)
+            assert res.completed
+            assert res.rounds <= completion_horizon(n)
+
+    def test_work_linear_constant_small(self):
+        """At paper c, work per ball should be ~2 messages (no retries)."""
+        n, d = 512, 2
+        deg = math.ceil(math.log2(n) ** 2)
+        c = c_min_regular(deg / math.log2(n) ** 2, d)
+        g = random_regular_bipartite(n, deg, seed=9)
+        res = repro.run_saer(g, c, d, seed=0)
+        assert res.work_per_ball <= 2.5
+
+
+class TestEngineUnbiasedness:
+    def test_round1_destination_marginals_uniform(self):
+        """Each server's expected round-1 batch is d·Δ/Δ = d; check the
+        empirical mean and a generous max deviation over many trials."""
+        n, deg, d = 256, 32, 2
+        g = random_regular_bipartite(n, deg, seed=3)
+        trials = 40
+        loads = np.zeros(n)
+        for s in range(trials):
+            # comfortable c: round 1 accepts everything, so final loads
+            # equal the round-1 batch sizes.
+            loads += repro.run_saer(g, 8.0, d, seed=s).loads
+        mean = loads / trials
+        assert abs(mean.mean() - d) < 1e-9  # exact: all balls placed
+        # Per-server deviation: Binomial(nd, 1/n)-ish across 40 trials.
+        sigma = math.sqrt(d / trials)
+        assert np.all(np.abs(mean - d) < 6 * sigma + 0.5)
+
+    def test_saer_raes_agree_when_no_pressure(self, regular_graph):
+        """With capacity far above the offered load the two protocols
+        execute identically (no rejections at all)."""
+        tape = repro.RandomTape(seed=5)
+        a = repro.run_saer(regular_graph, 16.0, 2, tape=tape)
+        tape.rewind()
+        b = repro.run_raes(regular_graph, 16.0, 2, tape=tape)
+        assert a.rounds == b.rounds == 1
+        assert np.array_equal(a.loads, b.loads)

@@ -1,0 +1,227 @@
+"""Tests for the theory module: recurrences, bounds, concentration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    alpha_for,
+    c_min_almost_regular,
+    c_min_regular,
+    chernoff_upper_tail,
+    chernoff_upper_tail_threshold,
+    completion_horizon,
+    delta_sequence,
+    gamma_products,
+    gamma_sequence,
+    lemma12_holds,
+    min_degree_required,
+    mobd_tail,
+    one_choice_max_load_estimate,
+    stage1_length,
+    whp_failure_bound,
+    work_bound,
+)
+from repro.theory.concentration import binomial_upper_tail
+from repro.theory.recurrences import stage1_length_bound
+
+
+class TestGammaSequence:
+    def test_base_case(self):
+        gam = gamma_sequence(c=32, t_max=0)
+        assert gam[0] == 1.0
+
+    def test_gamma1_closed_form(self):
+        """γ_1 = (2/c)·Π_{j<1} γ_j = 2/c (eq. 11)."""
+        for c in (8.0, 16.0, 32.0, 100.0):
+            assert gamma_sequence(c, 1)[1] == pytest.approx(2.0 / c)
+
+    def test_increment_form_eq21(self):
+        """γ_{t+1} = γ_t + (2/c)·Π_{j≤t} γ_j (eq. 21)."""
+        c = 32.0
+        gam = gamma_sequence(c, 6)
+        for t in range(1, 6):
+            assert gam[t + 1] == pytest.approx(gam[t] + (2 / c) * np.prod(gam[: t + 1]))
+
+    def test_monotone_increasing(self):
+        gam = gamma_sequence(32, 20)
+        assert np.all(np.diff(gam[1:]) >= -1e-15)
+
+    def test_ratio_parameter_scales_gamma1(self):
+        assert gamma_sequence(32, 1, ratio=2.0)[1] == pytest.approx(4.0 / 32.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gamma_sequence(0, 5)
+        with pytest.raises(ValueError):
+            gamma_sequence(8, -1)
+
+
+class TestGammaProducts:
+    def test_p0_and_p1(self):
+        prods = gamma_products(32, 3)
+        assert prods[0] == 1.0
+        assert prods[1] == 1.0  # Π over j<1 is γ_0 = 1
+        assert prods[2] == pytest.approx(gamma_sequence(32, 1)[1])
+
+    def test_products_decay_geometrically(self):
+        """Lemma 12 (iii), corrected quantifier: Π_{j<t} γ_j <= α^{-t}
+        for t >= 2 (the paper states t >= 1, an off-by-one — at t=1 the
+        product is γ_0 = 1; see lemma12_holds docstring)."""
+        c = 32.0
+        alpha = alpha_for(c)
+        prods = gamma_products(c, 10)
+        for t in range(2, 11):
+            assert prods[t] <= alpha ** (-t) + 1e-12
+        # at t=2 the bound is exactly tight: γ_1 = 2/c = α^{-2}
+        assert prods[2] == pytest.approx(alpha**-2)
+        # the all-t corrected form
+        for t in range(1, 11):
+            assert prods[t] <= alpha ** (-(t - 1)) + 1e-12
+
+
+class TestLemma12:
+    def test_alpha_formula(self):
+        assert alpha_for(32.0) == pytest.approx(4.0)
+        assert alpha_for(8.0) == pytest.approx(2.0)
+        assert alpha_for(32.0, ratio=2.0) == pytest.approx(math.sqrt(8.0))
+
+    def test_holds_at_paper_c(self):
+        assert lemma12_holds(32.0, 50)
+        assert lemma12_holds(100.0, 50)
+
+    def test_holds_at_boundary(self):
+        assert lemma12_holds(8.0, 50)
+
+    def test_fails_below_boundary(self):
+        assert not lemma12_holds(7.0, 50)
+
+    def test_gamma_bounded_by_inverse_alpha(self):
+        c = 32.0
+        gam = gamma_sequence(c, 40)
+        assert np.all(gam[1:] <= 1.0 / alpha_for(c) + 1e-12)
+
+    def test_ratio_variant(self):
+        # c >= 32ρ keeps the general-case sequence in regime
+        assert lemma12_holds(64.0, 30, ratio=2.0)
+        assert not lemma12_holds(8.0, 30, ratio=2.0)
+
+
+class TestStage1Length:
+    def test_definition_minimality(self):
+        """T is the *smallest* t with d·Δ·Π_{j<t} γ_j <= 12 log n."""
+        n, d, delta, c = 4096, 4, 144, 32.0
+        T = stage1_length(n, d, delta, c)
+        prods = gamma_products(c, T + 1)
+        target = 12 * math.log2(n)
+        assert d * delta * prods[T] <= target
+        if T > 1:
+            assert d * delta * prods[T - 1] > target
+
+    def test_closed_form_bound(self):
+        """Lemma 13: T <= (1/2)·log(dΔ/(12 log n)) for c >= 32."""
+        n, d, delta = 4096, 4, 144
+        T = stage1_length(n, d, delta, 32.0)
+        assert T <= max(1.0, stage1_length_bound(n, d, delta)) + 1
+
+    def test_small_mass_gives_t1(self):
+        assert stage1_length(1024, 1, 2, 32.0) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            stage1_length(1, 1, 10, 32.0)
+
+
+class TestDeltaSequence:
+    def test_formula(self):
+        n, d, delta, c = 1024, 4, 100, 72.0
+        seq = delta_sequence(n, d, delta, c, t_start=2, t_end=4)
+        expect = 0.25 + 24 * 2 * math.log2(n) / (c * d * delta)
+        assert seq[0] == pytest.approx(expect)
+        assert seq.size == 3
+
+    def test_below_half_under_paper_c(self):
+        """Lemma 14 needs δ_t <= 1/2 for t <= 3 log n; guaranteed when
+        c >= 288/(η d) and Δ >= η log² n."""
+        n, d = 1024, 4
+        delta = math.ceil(math.log2(n) ** 2)
+        eta = delta / math.log2(n) ** 2
+        c = c_min_regular(eta, d)
+        horizon = completion_horizon(n)
+        seq = delta_sequence(n, d, delta, c, t_start=1, t_end=horizon)
+        assert np.all(seq <= 0.5 + 1e-12)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            delta_sequence(64, 1, 10, 32.0, t_start=5, t_end=4)
+
+
+class TestBounds:
+    def test_c_min_regular(self):
+        assert c_min_regular(1.0, 4) == max(32.0, 288.0 / 4)
+        assert c_min_regular(100.0, 4) == 32.0
+
+    def test_c_min_almost_regular(self):
+        assert c_min_almost_regular(1.0, 4, rho=1.0) == max(32.0, 72.0)
+        assert c_min_almost_regular(100.0, 4, rho=2.0) == 64.0
+        with pytest.raises(ValueError):
+            c_min_almost_regular(1.0, 4, rho=0.5)
+
+    def test_completion_horizon_base2(self):
+        assert completion_horizon(1024) == 30
+        assert completion_horizon(2) == 3
+        assert completion_horizon(1) == 1
+
+    def test_min_degree(self):
+        assert min_degree_required(1024, 1.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            min_degree_required(1024, -1.0)
+
+    def test_work_bound(self):
+        assert work_bound(100, 4) == 1600.0
+        with pytest.raises(ValueError):
+            work_bound(0, 1)
+
+    def test_whp_budget(self):
+        assert whp_failure_bound(1000) == pytest.approx(1e-6)
+        assert whp_failure_bound(1) == 1.0
+
+
+class TestConcentration:
+    def test_chernoff_value(self):
+        assert chernoff_upper_tail(30.0, 1.0) == pytest.approx(math.exp(-10.0))
+
+    def test_chernoff_eps_range(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10.0, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10.0, 0.0)
+
+    def test_chernoff_threshold_inverse(self):
+        mu = 100.0
+        eps = chernoff_upper_tail_threshold(mu, 1e-4)
+        assert chernoff_upper_tail(mu, eps) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_chernoff_threshold_infeasible(self):
+        """Below Θ(log n) mass no ε <= 1 suffices — the reason the proof
+        switches to Stage II."""
+        assert chernoff_upper_tail_threshold(1.0, 1e-9) == math.inf
+
+    def test_mobd_matches_mcdiarmid(self):
+        # f with n coordinates, each Lipschitz 1, deviation M: e^{-2M²/n}
+        assert mobd_tail(10.0, np.ones(100)) == pytest.approx(math.exp(-2.0))
+
+    def test_mobd_zero_betas(self):
+        assert mobd_tail(1.0, [0.0, 0.0]) == 0.0
+        assert mobd_tail(0.0, [0.0]) == 1.0
+
+    def test_one_choice_scale(self):
+        est = one_choice_max_load_estimate(10**6)
+        assert 4.0 < est < 8.0  # ln(1e6)/lnln(1e6) ≈ 5.26
+
+    def test_binomial_tail_exact_small(self):
+        # P(Bin(2, 0.5) >= 1) = 3/4
+        assert binomial_upper_tail(2, 0.5, 1) == pytest.approx(0.75)
+        assert binomial_upper_tail(2, 0.5, 0) == 1.0
+        assert binomial_upper_tail(2, 0.5, 3) == 0.0
