@@ -18,7 +18,8 @@ Quickstart::
     print(res.rounds, res.work_per_client)
 """
 
-from . import agents, analysis, baselines, core, dynamic, graphs, parallel, theory
+from . import agents, analysis, baselines, batch, core, dynamic, graphs, parallel, theory
+from .batch import BatchResult, run_raes_batched, run_saer_batched, run_trials_batched
 from .core import (
     CoupledResult,
     ProtocolParams,
@@ -52,6 +53,7 @@ __all__ = [
     # subpackages
     "graphs",
     "core",
+    "batch",
     "agents",
     "baselines",
     "theory",
@@ -63,6 +65,11 @@ __all__ = [
     "run_raes",
     "run_protocol",
     "run_coupled",
+    # batched (trial-vectorized) API
+    "run_trials_batched",
+    "run_saer_batched",
+    "run_raes_batched",
+    "BatchResult",
     "ProtocolParams",
     "RunOptions",
     "RunResult",

@@ -1,0 +1,30 @@
+"""Trial-vectorized batched execution of the paper's protocols.
+
+Where :mod:`repro.core` runs one protocol trial per call, this subsystem
+runs ``R`` independent trials on the same graph as a single set of 2-D
+numpy operations (trial axis × ball/server axis), with per-trial round
+counters and early per-trial termination.  It is the in-process half of
+the library's two-level parallelism model — batched trials *within* a
+process, process-pool workers *across* sweep points (see
+:mod:`repro.parallel`) — and is trial-for-trial bit-identical to the
+reference engine under matching seeds.
+
+Entry points: :func:`run_trials_batched` (generic),
+:func:`run_saer_batched` / :func:`run_raes_batched` (convenience), and
+:class:`BatchResult` with its ``to_run_results()`` adapter back to
+per-trial :class:`~repro.core.results.RunResult` records.
+"""
+
+from .engine import run_raes_batched, run_saer_batched, run_trials_batched
+from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
+from .results import BatchResult
+
+__all__ = [
+    "run_trials_batched",
+    "run_saer_batched",
+    "run_raes_batched",
+    "BatchResult",
+    "BatchedServerPolicy",
+    "BatchedSaerPolicy",
+    "BatchedRaesPolicy",
+]

@@ -1,0 +1,391 @@
+"""Trial-vectorized engine: R independent protocol runs as one 2-D computation.
+
+Why
+---
+Every experiment in this repo is a Monte-Carlo estimate built from
+hundreds of independent runs, but :func:`repro.core.engine.run_protocol`
+executes one trial per call, so a sweep pays the full per-round numpy
+dispatch cost — *and* the per-round ``O(n)`` fixed cost (policy state
+updates, ``bincount`` clears, degree lookups) — once per trial.  This
+engine stacks the trial axis into the arrays themselves: one round of
+*all* active trials is a single set of flat-array operations.
+
+How
+---
+The alive balls of all trials live in two flat arrays, ``ball_trial``
+and ``ball_client``, kept sorted trial-major then client-major — the
+same canonical order in which the reference engine consumes its random
+tape.  Per round:
+
+* per-trial uniforms are drawn from per-trial generators (one
+  ``Generator.random(k)`` call per active trial, so trial ``r`` consumes
+  *exactly* the stream that ``run_protocol(seed=seeds[r])`` would);
+* destinations come from the shared CSR graph exactly as in
+  :func:`repro.core.engine.draw_destinations`;
+* Phase-2 decisions are made on the combined key ``trial·n_s + dest``:
+  a segmented ``bincount`` over all trials at once (dense path), or a
+  sort-based sparse update touching only the (trial, server) pairs that
+  received balls this round (late rounds, when alive balls are few);
+* accepted balls are dropped by boolean compaction, which preserves the
+  canonical order; a trial leaves the active set when its last ball is
+  assigned or it hits the round cap.
+
+Equivalence contract
+--------------------
+For matching per-trial seeds (and the default ``with_replacement`` /
+non-slot draw mode), trial ``r`` of :func:`run_trials_batched` produces
+*bit-identical* results to ``run_protocol(graph, params, policy,
+seed=seeds[r])`` — rounds, work, max_load, blocked servers, and the full
+per-server load vector.  ``tests/test_batch_engine.py`` asserts this
+trial-for-trial across policies, demand vectors, and graph families.
+
+Not supported (use the reference engine): per-round traces,
+``slot_mode`` tape semantics, and ``without_replacement`` sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from ..core.config import ProtocolParams, RunOptions
+from ..core.engine import _resolve_demands
+from ..errors import NonTerminationError, ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import make_rng, spawn_seeds
+from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
+from .results import BatchResult
+
+__all__ = ["run_trials_batched", "run_saer_batched", "run_raes_batched"]
+
+BatchPolicyLike = Union[str, BatchedServerPolicy, Callable[[int, int, int], BatchedServerPolicy]]
+
+_BATCH_POLICY_REGISTRY: dict[str, Callable[[int, int, int], BatchedServerPolicy]] = {
+    "saer": BatchedSaerPolicy,
+    "raes": BatchedRaesPolicy,
+}
+
+# Switch to the sparse Phase-2 path once the balls in flight are this
+# many times fewer than the dense state slab (A·n_s) they would touch
+# (crossover tuned on the n=10⁴, R=64 benchmark of BENCH_batch.json).
+_SPARSE_FACTOR = 4
+
+
+def _make_batch_policy(
+    policy: BatchPolicyLike, n_trials: int, n_servers: int, capacity: int
+) -> BatchedServerPolicy:
+    if isinstance(policy, BatchedServerPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            factory = _BATCH_POLICY_REGISTRY[policy.lower()]
+        except KeyError:
+            raise ProtocolConfigError(
+                f"unknown batched policy {policy!r}; known: {sorted(_BATCH_POLICY_REGISTRY)}"
+            ) from None
+        return factory(n_trials, n_servers, capacity)
+    return policy(n_trials, n_servers, capacity)
+
+
+def run_trials_batched(
+    graph: BipartiteGraph,
+    params: ProtocolParams,
+    policy: BatchPolicyLike = "saer",
+    *,
+    n_trials: int | None = None,
+    seeds: Sequence | None = None,
+    seed=None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> BatchResult:
+    """Run ``R`` independent trials of one protocol as a single batch.
+
+    Parameters
+    ----------
+    graph, params, policy:
+        Shared topology, ``(c, d)``, and the Phase-2 rule (``"saer"``,
+        ``"raes"``, a :class:`BatchedServerPolicy`, or a factory taking
+        ``(n_trials, n_servers, capacity)``).
+    n_trials / seeds / seed:
+        Either pass ``seeds`` (one seed-like per trial — each trial's
+        stream is exactly what ``run_protocol(seed=seeds[r])`` would
+        consume), or ``n_trials`` plus a root ``seed`` that is spawned
+        into per-trial children via :func:`repro.rng.spawn_seeds`.
+    demands:
+        Optional per-client ball counts in ``[0, d]``, shared by every
+        trial (trial randomness is in the destination draws, not the
+        demand vector).
+    options:
+        Round cap and error behaviour, as in the reference engine.  With
+        ``raise_on_cap``, :class:`~repro.errors.NonTerminationError` is
+        raised if *any* trial hits the cap (carrying the full
+        :class:`BatchResult` in ``result``).
+
+    Returns
+    -------
+    BatchResult
+        Per-trial arrays plus the shared scalars; see
+        :meth:`BatchResult.to_run_results` for the per-trial adapter.
+    """
+    if seeds is not None:
+        seed_list = list(seeds)
+        if n_trials is not None and n_trials != len(seed_list):
+            raise ProtocolConfigError(
+                f"n_trials={n_trials} disagrees with len(seeds)={len(seed_list)}"
+            )
+        if seed is not None:
+            raise ProtocolConfigError("pass either seeds or a root seed, not both")
+    else:
+        if n_trials is None:
+            raise ProtocolConfigError("pass n_trials (with an optional root seed) or seeds")
+        if n_trials < 0:
+            raise ProtocolConfigError(f"n_trials must be non-negative; got {n_trials}")
+        seed_list = spawn_seeds(seed, n_trials)
+    R = len(seed_list)
+
+    opts = options or RunOptions()
+    dem = _resolve_demands(graph, params.d, demands)
+    total_balls = int(dem.sum())
+    n_c, n_s = graph.n_clients, graph.n_servers
+    cap = opts.cap_for(max(n_c, n_s))
+    # cum_received grows by at most total_balls per round, so this bounds
+    # every cumulative counter; loads never exceed capacity.  Narrow
+    # state dtypes halve (or quarter) the per-round policy traffic.
+    state_dtype = np.int32 if total_balls * max(cap, 1) < 2**31 - 1 else np.int64
+    load_dtype = np.int16 if params.capacity < 2**15 - 1 else state_dtype
+    pol = _make_batch_policy(policy, R, n_s, params.capacity)
+    pol.astype_state(state_dtype, load_dtype)
+    gens = [make_rng(s) for s in seed_list]
+    # Per-trial stream read-ahead: uniforms are pre-drawn in blocks and
+    # served from the buffer, collapsing the ~rounds×trials generator
+    # calls of the tail into a handful per trial.  Exact by construction:
+    # numpy Generators produce identical values regardless of how draws
+    # are batched into calls, so served values match the reference
+    # engine's round-by-round consumption position for position.
+    rng_bufs: list = [None] * R
+    rng_pos = [0] * R
+
+    # Narrow index dtypes cut memory traffic on the per-ball passes (the
+    # engine's dominant cost): edge offsets need to span n_edges (int32
+    # for any feasible simulation), while client/server ids usually fit
+    # int16, which also keeps the gathered CSR indices table L2/L3
+    # resident.  All three fall back to wider types for huge inputs.
+    base_dtype = np.int32 if graph.n_edges < 2**31 - 1 else np.int64
+    client_dtype = np.int16 if n_c < 2**15 - 1 else base_dtype
+    server_dtype = np.int16 if n_s < 2**15 - 1 else base_dtype
+    indptr = graph.client_indptr.astype(base_dtype)
+    indices = graph.client_indices.astype(server_dtype)
+    degrees = np.diff(indptr).astype(server_dtype)  # a degree is at most n_s
+    # Regular graphs (the paper's main family) need no per-ball degree or
+    # indptr gathers: N(v)[j] sits at the closed form v·Δ + j.
+    reg_deg = 0
+    if n_c and degrees.size and int(degrees.min()) == int(degrees.max()):
+        reg_deg = int(degrees[0])
+
+    # Alive balls of all trials, flat and sorted trial-major then
+    # client-major (the canonical tape order).  The trial axis is kept
+    # implicit: `active` (global trial ids) and `sent` (per-trial alive
+    # counts) delimit consecutive segments of the per-ball array; boolean
+    # compaction preserves both the segmentation and the canonical order.
+    # Regular graphs carry each ball's CSR row start v·Δ directly (saves
+    # a per-ball multiply every round); irregular graphs carry client ids.
+    if reg_deg:
+        template = np.repeat(np.arange(n_c, dtype=base_dtype) * base_dtype(reg_deg), dem)
+        ball_key = np.tile(template, R)
+        ball_dtype = base_dtype
+    else:
+        ball_key = np.tile(np.repeat(np.arange(n_c, dtype=client_dtype), dem), R)
+        ball_dtype = client_dtype
+
+    rounds = np.zeros(R, dtype=np.int64)
+    work = np.zeros(R, dtype=np.int64)
+    assigned = np.zeros(R, dtype=np.int64)
+    alive_total = np.full(R, total_balls, dtype=np.int64)
+
+    if total_balls and R:
+        active = np.arange(R, dtype=np.int64)
+        sent = np.full(R, total_balls, dtype=np.int64)
+    else:
+        active = np.empty(0, dtype=np.int64)
+        sent = np.empty(0, dtype=np.int64)
+
+    # All round-loop scratch lives in buffers sized to the first round
+    # (the largest) and sliced per round: repeated multi-MB allocations
+    # cost real page-fault time at fleet scale.
+    B0 = ball_key.size
+    u_buf = np.empty(B0, dtype=np.float64)
+    off_buf = np.empty(B0, dtype=server_dtype)
+    base_buf = np.empty(B0, dtype=base_dtype)
+    dest_buf = np.empty(B0, dtype=server_dtype)
+    keep_buf = np.empty(B0, dtype=bool)
+    alt_buf = np.empty(B0, dtype=ball_dtype)  # compaction ping-pong partner
+    cur_buf = ball_key
+    received_buf = np.empty((R, n_s), dtype=state_dtype)
+
+    # Every trial has been active in every round so far (trials leave the
+    # active set for good), so one scalar round counter serves them all.
+    round_no = 0
+    while active.size:
+        round_no += 1
+        A = active.size
+        B = ball_key.size
+        rounds[active] += 1
+        work[active] += 2 * sent
+        sent_list = sent.tolist()
+
+        # Phase 1: per-trial uniforms — trial r consumes exactly the
+        # stream run_protocol(seed=seeds[r]) would — then the shared-graph
+        # destination map of Algorithm 1 line 3, fused over all trials.
+        u = u_buf[:B]
+        pos = 0
+        for t, k in zip(active.tolist(), sent_list):
+            seg = u[pos : pos + k]
+            buf = rng_bufs[t]
+            p = rng_pos[t]
+            have = buf.size - p if buf is not None else 0
+            if have >= k:
+                seg[:] = buf[p : p + k]
+                rng_pos[t] = p + k
+            else:
+                if have:
+                    seg[:have] = buf[p:]
+                need = k - have
+                # First draw is exact (round 1 consumes it wholly); the
+                # refills carry 50% slack to amortize the tail rounds.
+                blk = need if buf is None else need + (need >> 1) + 64
+                nb = gens[t].random(blk)
+                seg[have:] = nb[:need]
+                rng_bufs[t] = nb
+                rng_pos[t] = need
+            pos += k
+        offsets = off_buf[:B]
+        base = base_buf[:B]
+        dest = dest_buf[:B]
+        if reg_deg:
+            np.multiply(u, reg_deg, out=u)
+            np.copyto(offsets, u, casting="unsafe")
+            np.minimum(offsets, reg_deg - 1, out=offsets)
+            np.add(ball_key, offsets, out=base)
+        else:
+            deg = degrees[ball_key]
+            np.multiply(u, deg, out=u)
+            np.copyto(offsets, u, casting="unsafe")
+            np.minimum(offsets, deg - 1, out=offsets)
+            np.take(indptr, ball_key, out=base, mode="clip")
+            base += offsets
+        np.take(indices, base, out=dest, mode="clip")
+
+        # Phase 2, over the combined (trial, server) key space.  `keep`
+        # is the per-ball survival mask (= rejected by its server).
+        keep = keep_buf[:B]
+        if B * _SPARSE_FACTOR < A * n_s:
+            key_dtype = np.int32 if R * n_s < 2**31 - 1 else np.int64
+            keys = np.repeat((active * n_s).astype(key_dtype), sent) + dest
+            ball_ok = pol.decide_sparse(keys)
+            np.logical_not(ball_ok, out=keep)
+            starts = np.zeros(A, dtype=np.int64)
+            np.cumsum(sent[:-1], out=starts[1:])
+            n_acc = np.add.reduceat(ball_ok.astype(np.int64), starts)
+        else:
+            received = received_buf[:A]
+            n_acc = np.empty(A, dtype=np.int64)
+            pos = 0
+            for a, k in enumerate(sent_list):
+                received[a] = np.bincount(dest[pos : pos + k], minlength=n_s)
+                pos += k
+            accept = pol.decide_dense(active, received)
+            reject = ~accept
+            pos = 0
+            for a, k in enumerate(sent_list):
+                np.take(reject[a], dest[pos : pos + k], out=keep[pos : pos + k])
+                n_acc[a] = k - np.count_nonzero(keep[pos : pos + k])
+                pos += k
+
+        assigned[active] += n_acc
+        alive_total[active] -= n_acc
+        sent = sent - n_acc
+        if round_no >= cap:
+            # Trials with balls left stop here with rounds == cap.
+            break
+        B_next = int(sent.sum())
+        np.compress(keep, ball_key, out=alt_buf[:B_next])
+        cur_buf, alt_buf = alt_buf, cur_buf
+        ball_key = cur_buf[:B_next]
+        still = sent > 0
+        if not still.all():
+            active = active[still]
+            sent = sent[still]
+
+    result = BatchResult(
+        protocol=pol.name,
+        graph_name=graph.name,
+        n_clients=n_c,
+        n_servers=n_s,
+        params=params,
+        n_trials=R,
+        completed=alive_total == 0,
+        rounds=rounds,
+        work=work,
+        total_balls=total_balls,
+        assigned_balls=assigned,
+        max_load=pol.max_loads().astype(np.int64),
+        blocked_servers=pol.blocked_counts().astype(np.int64),
+        loads=pol.loads.astype(np.int64) if opts.record_loads else None,
+        seed_infos=[repr(s) for s in seed_list],
+    )
+    if opts.raise_on_cap and not result.completed.all():
+        incomplete = int((~result.completed).sum())
+        raise NonTerminationError(
+            f"{pol.name}: {incomplete}/{R} trials did not finish within {cap} rounds",
+            result=result,
+        )
+    return result
+
+
+def run_saer_batched(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    *,
+    n_trials: int | None = None,
+    seeds: Sequence | None = None,
+    seed=None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> BatchResult:
+    """Batched ``saer(c, d)``; see :func:`run_trials_batched`."""
+    return run_trials_batched(
+        graph,
+        ProtocolParams(c=c, d=d),
+        "saer",
+        n_trials=n_trials,
+        seeds=seeds,
+        seed=seed,
+        demands=demands,
+        options=options,
+    )
+
+
+def run_raes_batched(
+    graph: BipartiteGraph,
+    c: float,
+    d: int,
+    *,
+    n_trials: int | None = None,
+    seeds: Sequence | None = None,
+    seed=None,
+    demands=None,
+    options: RunOptions | None = None,
+) -> BatchResult:
+    """Batched ``raes(c, d)``; see :func:`run_trials_batched`."""
+    return run_trials_batched(
+        graph,
+        ProtocolParams(c=c, d=d),
+        "raes",
+        n_trials=n_trials,
+        seeds=seeds,
+        seed=seed,
+        demands=demands,
+        options=options,
+    )

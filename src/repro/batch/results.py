@@ -1,0 +1,127 @@
+"""Per-trial result arrays for a batched Monte-Carlo execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import ProtocolParams
+from ..core.results import RunResult
+
+__all__ = ["BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of ``R`` independent trials run by the batched engine.
+
+    Scalar fields of :class:`~repro.core.results.RunResult` that vary per
+    trial become length-``R`` arrays here; fields that are shared by
+    construction (graph, parameters, total balls) stay scalar.  Trial
+    ``r`` of a batch is, by the equivalence contract of
+    :mod:`repro.batch.engine`, identical to the
+    :class:`~repro.core.results.RunResult` the reference engine produces
+    for the same seed — :meth:`to_run_results` materializes exactly those
+    records.
+
+    Attributes
+    ----------
+    completed, rounds, work, assigned_balls, max_load, blocked_servers:
+        Per-trial arrays, shape ``[R]``; semantics per field match
+        :class:`~repro.core.results.RunResult`.
+    loads:
+        Optional ``[R, n_servers]`` final load matrix (row ``r`` is trial
+        ``r``'s per-server loads).
+    seed_infos:
+        Per-trial provenance strings (mirrors ``RunResult.seed_info``).
+    """
+
+    protocol: str
+    graph_name: str
+    n_clients: int
+    n_servers: int
+    params: ProtocolParams
+    n_trials: int
+    completed: np.ndarray
+    rounds: np.ndarray
+    work: np.ndarray
+    total_balls: int
+    assigned_balls: np.ndarray
+    max_load: np.ndarray
+    blocked_servers: np.ndarray
+    loads: Optional[np.ndarray] = field(default=None, repr=False)
+    seed_infos: Optional[list] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("completed", "rounds", "work", "assigned_balls", "max_load", "blocked_servers"):
+            arr = getattr(self, name)
+            if arr.shape != (self.n_trials,):
+                raise ValueError(
+                    f"{name} must have shape ({self.n_trials},); got {arr.shape}"
+                )
+        if np.any(self.assigned_balls > self.total_balls) or np.any(self.assigned_balls < 0):
+            raise ValueError("ball accounting broken: assigned outside [0, total]")
+        if self.loads is not None and self.loads.shape != (self.n_trials, self.n_servers):
+            raise ValueError(
+                f"loads must have shape ({self.n_trials}, {self.n_servers}); "
+                f"got {self.loads.shape}"
+            )
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    @property
+    def alive_balls(self) -> np.ndarray:
+        """Per-trial leftover balls (``total - assigned``)."""
+        return self.total_balls - self.assigned_balls
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of trials that assigned every ball within the cap."""
+        return float(self.completed.mean()) if self.n_trials else 0.0
+
+    def to_run_results(self) -> list[RunResult]:
+        """Materialize one :class:`RunResult` per trial (the adapter)."""
+        out = []
+        for r in range(self.n_trials):
+            out.append(
+                RunResult(
+                    protocol=self.protocol,
+                    graph_name=self.graph_name,
+                    n_clients=self.n_clients,
+                    n_servers=self.n_servers,
+                    params=self.params,
+                    completed=bool(self.completed[r]),
+                    rounds=int(self.rounds[r]),
+                    work=int(self.work[r]),
+                    total_balls=self.total_balls,
+                    assigned_balls=int(self.assigned_balls[r]),
+                    alive_balls=int(self.total_balls - self.assigned_balls[r]),
+                    max_load=int(self.max_load[r]),
+                    blocked_servers=int(self.blocked_servers[r]),
+                    loads=self.loads[r].copy() if self.loads is not None else None,
+                    seed_info=self.seed_infos[r] if self.seed_infos else "",
+                )
+            )
+        return out
+
+    def summary(self) -> dict:
+        """Flat aggregate dict (medians/means over trials) for tables."""
+        rounds_done = self.rounds[self.completed]
+        return {
+            "protocol": self.protocol,
+            "graph": self.graph_name,
+            "n": self.n_clients,
+            "c": self.params.c,
+            "d": self.params.d,
+            "trials": self.n_trials,
+            "completion_rate": round(self.completion_rate, 4),
+            "rounds_median": float(np.median(rounds_done)) if rounds_done.size else None,
+            "rounds_max": int(self.rounds.max()) if self.n_trials else 0,
+            "work_mean": float(self.work.mean()) if self.n_trials else 0.0,
+            "max_load_worst": int(self.max_load.max()) if self.n_trials else 0,
+            "capacity": self.params.capacity,
+            "blocked_servers_mean": float(self.blocked_servers.mean()) if self.n_trials else 0.0,
+        }

@@ -15,6 +15,7 @@ interactive regeneration of a single table.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from .analysis.tables import format_table, write_csv
@@ -25,17 +26,50 @@ from .experiments import runners as runner_mod
 __all__ = ["main", "run_experiment"]
 
 
-def run_experiment(exp_id: str, *, trials: int | None = None, seed=None, processes=None):
-    """Invoke the registered runner for ``exp_id``; returns (rows, meta)."""
+def _accepted_kwargs(fn) -> set[str] | None:
+    """Keyword names ``fn`` accepts, or ``None`` if it takes ``**kwargs``.
+
+    Uses :func:`inspect.signature` (which follows ``functools.wraps``
+    wrappers and resolves ``functools.partial``) instead of peeking at
+    ``fn.__code__.co_varnames``, which breaks on wrapped or partial
+    runners and also matches *local* variable names by accident.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    params = sig.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return None
+    return {
+        p.name
+        for p in params
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+
+
+def run_experiment(
+    exp_id: str,
+    *,
+    trials: int | None = None,
+    seed=None,
+    processes=None,
+    backend: str | None = None,
+):
+    """Invoke the registered runner for ``exp_id``; returns (rows, meta).
+
+    Only overrides the runner actually accepts are forwarded (e.g. the
+    experiments whose semantics do not fit the batched engine simply
+    ignore ``backend``).
+    """
     spec = get_experiment(exp_id)
     fn = getattr(runner_mod, spec.runner)
+    accepted = _accepted_kwargs(fn)
     kwargs = {}
-    if trials is not None and "trials" in fn.__code__.co_varnames:
-        kwargs["trials"] = trials
-    if seed is not None:
-        kwargs["seed"] = seed
-    if processes is not None and "processes" in fn.__code__.co_varnames:
-        kwargs["processes"] = processes
+    overrides = {"trials": trials, "seed": seed, "processes": processes, "backend": backend}
+    for name, value in overrides.items():
+        if value is not None and (accepted is None or name in accepted):
+            kwargs[name] = value
     return fn(**kwargs)
 
 
@@ -90,7 +124,11 @@ def _cmd_run(args) -> int:
     for exp_id in ids:
         spec = get_experiment(exp_id)
         rows, meta = run_experiment(
-            exp_id, trials=args.trials, seed=args.seed, processes=args.processes
+            exp_id,
+            trials=args.trials,
+            seed=args.seed,
+            processes=args.processes,
+            backend=args.backend,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -121,6 +159,17 @@ def main(argv=None) -> int:
     p_run.add_argument("--seed", type=int, default=None, help="override root seed")
     p_run.add_argument(
         "--processes", type=int, default=None, help="worker processes (1 = serial)"
+    )
+    p_run.add_argument(
+        "--backend",
+        choices=("reference", "batched"),
+        default=None,
+        help="trial execution backend: per-trial reference engine, or the "
+        "trial-vectorized batched engine.  NOTE: batched runs a sweep "
+        "point's trials on one shared graph draw (protocol-level Monte "
+        "Carlo), while reference redraws the graph per trial (joint "
+        "graph x protocol estimate).  Experiments whose semantics need "
+        "traces/coupling ignore this and always use the reference engine.",
     )
     p_run.add_argument("--csv", default=None, help="also write the table to a CSV file")
     args = parser.parse_args(argv)

@@ -82,9 +82,14 @@ class RunOptions:
     raise_on_cap: bool = False
     record_loads: bool = True
 
+    def __post_init__(self) -> None:
+        # Fail at construction, not first use: a bad cap built on the
+        # driver side of a sweep should not surface only after it has
+        # been pickled out to a worker process mid-run.
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ProtocolConfigError(f"max_rounds must be >= 1; got {self.max_rounds}")
+
     def cap_for(self, n: int) -> int:
         if self.max_rounds is not None:
-            if self.max_rounds < 1:
-                raise ProtocolConfigError("max_rounds must be >= 1")
             return self.max_rounds
         return default_round_cap(n)

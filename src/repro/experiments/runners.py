@@ -27,10 +27,12 @@ import numpy as np
 
 from ..analysis.fitting import fit_log2, fit_powerlaw
 from ..analysis.stats import wilson_interval
-from ..core.config import RunOptions
+from ..batch import run_trials_batched
+from ..core.config import ProtocolParams, RunOptions
 from ..core.coupling import run_coupled
 from ..core.engine import run_raes, run_saer
 from ..core.metrics import TraceLevel
+from ..errors import ExperimentError
 from ..baselines import (
     godfrey_greedy,
     greedy_best_of_k,
@@ -122,6 +124,63 @@ def _saer_point(point: Mapping, seed_seq, trial: int) -> dict:
     }
 
 
+def _saer_point_batched(point: Mapping, seed_seqs, trials) -> list[dict]:
+    """Batched counterpart of :func:`_saer_point`: one task per sweep point.
+
+    Spawns the same per-trial (graph seed, protocol seed) pairs as the
+    reference worker, then runs every trial of the point on **one**
+    shared graph (built from the first trial's graph seed) via
+    :func:`repro.batch.run_trials_batched`.  Protocol randomness is
+    per-trial and bit-identical to the reference engine; the statistical
+    difference is that the batched backend conditions a point's trials
+    on a single graph sample instead of redrawing the graph per trial
+    (the protocol-level Monte-Carlo estimate, not the joint
+    graph×protocol one).
+    """
+    pairs = [ss.spawn(2) for ss in seed_seqs]
+    graph = _graph_for(point, pairs[0][0])
+    opts = RunOptions(max_rounds=point.get("max_rounds"))
+    res = run_trials_batched(
+        graph,
+        ProtocolParams(c=point["c"], d=point["d"]),
+        "saer",
+        seeds=[p_seed for _g, p_seed in pairs],
+        options=opts,
+    )
+    rep = degree_report(graph)
+    n_c = graph.n_clients
+    return [
+        {
+            "completed": bool(res.completed[i]),
+            "rounds": int(res.rounds[i]),
+            "work": int(res.work[i]),
+            "work_per_client": float(res.work[i] / n_c) if n_c else 0.0,
+            "max_load": int(res.max_load[i]),
+            "capacity": res.params.capacity,
+            "blocked_servers": int(res.blocked_servers[i]),
+            "rho": rep.rho,
+            "deg_min_c": rep.client_degree_min,
+        }
+        for i in range(len(seed_seqs))
+    ]
+
+
+def _saer_sweep(grid, *, trials, seed, processes, backend) -> list[dict]:
+    """Dispatch a SAER sweep to the reference or batched execution path."""
+    if backend == "reference":
+        return run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+    if backend == "batched":
+        return run_sweep(
+            _saer_point_batched,
+            grid,
+            n_trials=trials,
+            seed=seed,
+            processes=processes,
+            backend="batched",
+        )
+    raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
+
+
 def run_e01_completion(
     ns=(256, 512, 1024, 2048, 4096),
     c: float = 1.5,
@@ -129,10 +188,11 @@ def run_e01_completion(
     trials: int = 10,
     seed=101,
     processes: int | None = None,
+    backend: str = "reference",
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
     rows = []
     for n in ns:
         bucket = [r for r in recs if r["n"] == n]
@@ -157,6 +217,7 @@ def run_e01_completion(
     meta = {
         "c": c,
         "d": d,
+        "backend": backend,
         "log2_fit": fit.describe(),
         "log2_r2": fit.r2,
         "power_exponent": pw.slope,
@@ -172,10 +233,11 @@ def run_e02_work(
     trials: int = 10,
     seed=202,
     processes: int | None = None,
+    backend: str = "reference",
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
     rows = []
     for n in ns:
         bucket = [r for r in recs if r["n"] == n]
@@ -196,6 +258,7 @@ def run_e02_work(
     meta = {
         "c": c,
         "d": d,
+        "backend": backend,
         "power_fit": pw.describe(),
         "power_exponent": pw.slope,
         "records": recs,
@@ -420,10 +483,11 @@ def run_e06_c_threshold(
     trials: int = 10,
     seed=606,
     processes: int | None = None,
+    backend: str = "reference",
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale."""
     grid = ParameterGrid(n=[n], c=list(cs), d=[d])
-    recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
     rows = []
     for c in cs:
         bucket = [r for r in recs if r["c"] == c]
@@ -446,7 +510,7 @@ def run_e06_c_threshold(
                 ),
             }
         )
-    meta = {"n": n, "d": d, "records": recs}
+    meta = {"n": n, "d": d, "backend": backend, "records": recs}
     return rows, meta
 
 
@@ -462,6 +526,7 @@ def run_e07_degree_sweep(
     trials: int = 10,
     seed=707,
     processes: int | None = None,
+    backend: str = "reference",
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -478,7 +543,7 @@ def run_e07_degree_sweep(
     all_recs = []
     for label, deg in degree_specs:
         grid = ParameterGrid(n=[n], c=[c], d=[d], degree=[deg])
-        recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+        recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
         all_recs.extend(recs)
         done = sum(r["completed"] for r in recs)
         rate, lo, hi = wilson_interval(done, len(recs))
@@ -495,7 +560,7 @@ def run_e07_degree_sweep(
                 "horizon": completion_horizon(n),
             }
         )
-    meta = {"n": n, "c": c, "d": d, "records": all_recs}
+    meta = {"n": n, "c": c, "d": d, "backend": backend, "records": all_recs}
     return rows, meta
 
 
@@ -512,6 +577,7 @@ def run_e08_almost_regular(
     trials: int = 8,
     seed=808,
     processes: int | None = None,
+    backend: str = "reference",
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -527,7 +593,7 @@ def run_e08_almost_regular(
             degree_lo=[base],
             degree_hi=[min(base * ratio, n)],
         )
-        recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+        recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
         all_recs.extend(recs)
         done_rounds = [r["rounds"] for r in recs if r["completed"]]
         rows.append(
@@ -543,7 +609,7 @@ def run_e08_almost_regular(
         )
     # The paper's extremal example (√n-degree clients, O(1)-degree servers).
     grid = ParameterGrid(n=[n], c=[c], d=[d], family=["paper_extremal"], eta=[0.5])
-    recs = run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
     all_recs.extend(recs)
     done_rounds = [r["rounds"] for r in recs if r["completed"]]
     rows.append(
@@ -557,7 +623,7 @@ def run_e08_almost_regular(
             "horizon": completion_horizon(n),
         }
     )
-    meta = {"n": n, "c": c, "d": d, "records": all_recs}
+    meta = {"n": n, "c": c, "d": d, "backend": backend, "records": all_recs}
     return rows, meta
 
 

@@ -1,10 +1,23 @@
 """Trial-level parallelism and parameter sweeps.
 
 The protocols themselves are simulated (the GIL makes thread-level
-parallelism useless for this workload), so the parallel axis of the
-library is *across* independent Monte-Carlo trials and sweep points:
-``ProcessPoolExecutor`` workers, each with a ``SeedSequence.spawn``-ed
-private stream (never share or reuse streams across processes).
+parallelism useless for this workload), so the library scales along two
+composable axes — the **two-level parallelism model**:
+
+1. **Across processes**: independent Monte-Carlo trials and sweep
+   points run on ``ProcessPoolExecutor`` workers, each with a
+   ``SeedSequence.spawn``-ed private stream (never share or reuse
+   streams across processes).
+2. **Within a process**: with ``backend="batched"``, a worker receives
+   a whole block of trials and executes it through the trial-vectorized
+   engine of :mod:`repro.batch` as single 2-D numpy operations instead
+   of a per-trial python loop.
+
+:func:`monte_carlo` splits trials into per-worker blocks;
+:func:`run_sweep` assigns one block per grid point (processes across
+grid points, vectorized trials within each).  Per-trial seeds are
+spawned identically under both backends, so the backend choice never
+changes which seed a trial sees.
 """
 
 from .aggregate import aggregate_records, summarize

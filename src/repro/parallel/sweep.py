@@ -3,6 +3,16 @@
 A :class:`ParameterGrid` is an ordered dict of ``name -> values``; its
 points enumerate the cartesian product in row-major order (first key
 slowest), which keeps experiment tables stable across runs.
+
+Sweeps support both halves of the library's two-level parallelism model
+(see :mod:`repro.parallel.pool`): ``backend="per_trial"`` fans every
+(point, trial) pair out as its own pool task, while
+``backend="batched"`` sends one task per grid point whose worker runs
+the point's whole trial block at once — the shape the trial-vectorized
+:mod:`repro.batch` engine wants — so processes parallelize across grid
+points and the trial axis is vectorized within each process.  Per-task
+seeds are spawned identically either way, so a given (point, trial)
+sees the same seed under both backends.
 """
 
 from __future__ import annotations
@@ -62,29 +72,76 @@ class _PointRunner:
         return out
 
 
+class _BatchPointRunner:
+    """Picklable adapter: one sweep point × a whole trial block → records."""
+
+    def __init__(self, point_fn: Callable[[Mapping, Sequence, Sequence], list]):
+        self.point_fn = point_fn
+
+    def __call__(self, task) -> list[dict]:
+        point, seed_seqs, trials = task
+        records = list(self.point_fn(point, seed_seqs, trials))
+        if len(records) != len(trials):
+            raise ValueError(
+                f"batched point_fn returned {len(records)} records "
+                f"for {len(trials)} trials"
+            )
+        out = []
+        for trial, record in zip(trials, records):
+            row = dict(point)
+            row["trial"] = trial
+            row.update(record)
+            out.append(row)
+        return out
+
+
 def run_sweep(
-    point_fn: Callable[[Mapping, np.random.SeedSequence, int], dict],
+    point_fn: Callable,
     grid: ParameterGrid,
     *,
     n_trials: int = 1,
     seed=None,
     processes: int | None = None,
     chunksize: int = 1,
+    backend: str = "per_trial",
 ) -> list[dict]:
-    """Evaluate ``point_fn(point, seed_seq, trial)`` over grid × trials.
+    """Evaluate a worker over grid × trials; one flat record per (point, trial).
 
-    Returns one flat record per (point, trial): the point's parameters,
-    the trial index, and whatever dict the worker returned.  Every task
-    gets an independent spawned seed; task order (and thus seeds) is
-    deterministic in (point index, trial index).
+    With ``backend="per_trial"`` (default) the worker is
+    ``point_fn(point, seed_seq, trial) -> dict`` and every (point,
+    trial) pair is its own pool task.  With ``backend="batched"`` the
+    worker is ``point_fn(point, seed_seqs, trials) -> list[dict]`` and
+    each grid point is one task carrying its full trial block — the
+    natural entry for :func:`repro.batch.run_trials_batched` workers
+    (processes across points, vectorized trials within).
+
+    Each record carries the point's parameters, the trial index, and
+    whatever the worker returned.  Seeds are spawned deterministically
+    in (point index, trial index) order under *both* backends, so a
+    given (point, trial) always sees the same seed.
     """
     points = grid.points()
     n_tasks = len(points) * n_trials
     seeds = spawn_seeds(seed, n_tasks)
-    tasks = []
-    i = 0
-    for point in points:
-        for trial in range(n_trials):
-            tasks.append((point, seeds[i], trial))
-            i += 1
-    return map_parallel(_PointRunner(point_fn), tasks, processes=processes, chunksize=chunksize)
+    if backend == "per_trial":
+        tasks = []
+        i = 0
+        for point in points:
+            for trial in range(n_trials):
+                tasks.append((point, seeds[i], trial))
+                i += 1
+        return map_parallel(
+            _PointRunner(point_fn), tasks, processes=processes, chunksize=chunksize
+        )
+    if backend != "batched":
+        raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
+    if n_trials == 0:
+        return []  # match per_trial: no records, no empty blocks to workers
+    tasks = [
+        (point, seeds[i * n_trials : (i + 1) * n_trials], list(range(n_trials)))
+        for i, point in enumerate(points)
+    ]
+    nested = map_parallel(
+        _BatchPointRunner(point_fn), tasks, processes=processes, chunksize=chunksize
+    )
+    return [record for block in nested for record in block]

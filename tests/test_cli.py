@@ -1,0 +1,88 @@
+"""Tests for the CLI's runner invocation and backend plumbing."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.cli import _accepted_kwargs, main, run_experiment
+from repro.experiments import runners as runner_mod
+
+
+def _plain(trials=3, seed=None, processes=None):
+    return [], {"trials": trials, "seed": seed, "processes": processes}
+
+
+@functools.wraps(_plain)
+def _wrapped(*args, **kwargs):
+    return _plain(*args, **kwargs)
+
+
+def _kwargs_sink(**kwargs):
+    return [], dict(kwargs)
+
+
+class TestAcceptedKwargs:
+    def test_plain_function(self):
+        assert _accepted_kwargs(_plain) == {"trials", "seed", "processes"}
+
+    def test_partial_loses_bound_names_but_keeps_free_ones(self):
+        # functools.partial was exactly the case the old co_varnames
+        # sniffing mishandled; inspect.signature resolves it.
+        part = functools.partial(_plain, trials=5)
+        accepted = _accepted_kwargs(part)
+        assert "seed" in accepted and "processes" in accepted
+
+    def test_wrapped_function(self):
+        assert _accepted_kwargs(_wrapped) == {"trials", "seed", "processes"}
+
+    def test_var_keyword_accepts_everything(self):
+        assert _accepted_kwargs(_kwargs_sink) is None
+
+
+class TestRunExperiment:
+    def test_partial_runner_receives_overrides(self, monkeypatch):
+        monkeypatch.setattr(
+            runner_mod,
+            "run_e01_completion",
+            functools.partial(runner_mod.run_e01_completion, ns=(64, 128)),
+        )
+        rows, meta = run_experiment("E1", trials=2, seed=5, processes=1)
+        assert all(row["trials"] == 2 for row in rows)
+        assert {row["n"] for row in rows} == {64, 128}
+
+    def test_backend_forwarded_only_where_accepted(self, monkeypatch):
+        captured = {}
+
+        def spy(trials=1, seed=None, processes=None, backend="reference"):
+            captured["backend"] = backend
+            return [], {}
+
+        monkeypatch.setattr(runner_mod, "run_e01_completion", spy)
+        run_experiment("E1", backend="batched")
+        assert captured["backend"] == "batched"
+
+        def no_backend(trials=1, seed=None, processes=None):
+            captured["called"] = True
+            return [], {}
+
+        monkeypatch.setattr(runner_mod, "run_e01_completion", no_backend)
+        # Must not raise even though the runner has no backend parameter.
+        run_experiment("E1", backend="batched")
+        assert captured["called"]
+
+
+class TestMainBackendFlag:
+    def test_run_with_batched_backend(self, capsys):
+        rc = main(
+            ["run", "E1", "--trials", "2", "--seed", "4", "--processes", "1",
+             "--backend", "batched"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Completion time" in out
+
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--backend", "warp-drive"])

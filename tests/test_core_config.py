@@ -52,6 +52,10 @@ class TestRunOptions:
         n = 4096
         assert RunOptions().cap_for(n) == default_round_cap(n)
 
-    def test_bad_override(self):
+    def test_bad_override_rejected_at_construction(self):
+        # Validation happens in __post_init__, before any use, so a bad
+        # cap fails fast instead of blowing up mid-sweep.
         with pytest.raises(ProtocolConfigError):
-            RunOptions(max_rounds=0).cap_for(10)
+            RunOptions(max_rounds=0)
+        with pytest.raises(ProtocolConfigError):
+            RunOptions(max_rounds=-3)

@@ -28,6 +28,20 @@ def _point(point, seed_seq, trial):
     return {"value": point["a"] * 10 + float(rng.random())}
 
 
+def _trial_block(seed_seqs, indices):
+    """Batch-capable twin of _trial: one call per block of trials."""
+    return [_trial(s, i) for s, i in zip(seed_seqs, indices)]
+
+
+def _point_block(point, seed_seqs, trials):
+    """Batch-capable twin of _point: one call per grid point."""
+    return [_point(point, s, t) for s, t in zip(seed_seqs, trials)]
+
+
+def _bad_block(seed_seqs, indices):
+    return [0]  # wrong cardinality
+
+
 class TestMapParallel:
     def test_serial_matches_comprehension(self):
         assert map_parallel(_square, [1, 2, 3], processes=1) == [1, 4, 9]
@@ -73,6 +87,43 @@ class TestMonteCarlo:
             monte_carlo(_trial, -1, seed=0)
 
 
+class TestMonteCarloBatchedBackend:
+    """backend="batched": block execution, identical seeds and order."""
+
+    def test_matches_per_trial_backend(self):
+        a = monte_carlo(_trial, 9, seed=17, processes=1)
+        b = monte_carlo(_trial_block, 9, seed=17, processes=1, backend="batched")
+        assert a == b
+
+    def test_batch_size_does_not_change_results(self):
+        base = monte_carlo(_trial_block, 10, seed=3, processes=1, backend="batched")
+        for batch_size in (1, 3, 10, 99):
+            out = monte_carlo(
+                _trial_block, 10, seed=3, processes=1, backend="batched", batch_size=batch_size
+            )
+            assert out == base
+
+    def test_parallel_matches_serial(self):
+        a = monte_carlo(_trial_block, 8, seed=7, processes=1, backend="batched", batch_size=2)
+        b = monte_carlo(_trial_block, 8, seed=7, processes=4, backend="batched", batch_size=2)
+        assert a == b
+
+    def test_zero_trials(self):
+        assert monte_carlo(_trial_block, 0, seed=0, backend="batched") == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(_trial, 3, seed=0, backend="threads")
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(_trial_block, 3, seed=0, backend="batched", batch_size=0)
+
+    def test_cardinality_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(_bad_block, 3, seed=0, processes=1, backend="batched")
+
+
 class TestParameterGrid:
     def test_points_row_major(self):
         grid = ParameterGrid(a=[1, 2], b=["x", "y"])
@@ -110,6 +161,25 @@ class TestRunSweep:
         a = run_sweep(_point, grid, n_trials=2, seed=9, processes=1)
         b = run_sweep(_point, grid, n_trials=2, seed=9, processes=3)
         assert a == b
+
+    def test_batched_backend_matches_per_trial(self):
+        # Same (point, trial) seeds under both backends ⇒ same records.
+        grid = ParameterGrid(a=[1, 2, 3])
+        a = run_sweep(_point, grid, n_trials=4, seed=9, processes=1)
+        b = run_sweep(
+            _point_block, grid, n_trials=4, seed=9, processes=1, backend="batched"
+        )
+        assert a == b
+
+    def test_batched_backend_pool_invariant(self):
+        grid = ParameterGrid(a=[1, 2])
+        a = run_sweep(_point_block, grid, n_trials=3, seed=5, processes=1, backend="batched")
+        b = run_sweep(_point_block, grid, n_trials=3, seed=5, processes=2, backend="batched")
+        assert a == b
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(_point, ParameterGrid(a=[1]), backend="gpu")
 
 
 class TestSummarize:
