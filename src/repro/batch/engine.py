@@ -221,7 +221,11 @@ def run_trials_batched(
     keep_buf = np.empty(B0, dtype=bool)
     alt_buf = np.empty(B0, dtype=ball_dtype)  # compaction ping-pong partner
     cur_buf = ball_key
-    received_buf = np.empty((R, n_s), dtype=state_dtype)
+    # The R × n_s received slab is the engine's largest allocation, but
+    # only the dense Phase-2 path reads it — sparse-dominated runs (big
+    # R·n_s, small ball counts) never should pay for it.  Allocate on
+    # first dense use.
+    received_buf: np.ndarray | None = None
 
     # Every trial has been active in every round so far (trials leave the
     # active set for good), so one scalar round counter serves them all.
@@ -288,6 +292,8 @@ def run_trials_batched(
             np.cumsum(sent[:-1], out=starts[1:])
             n_acc = np.add.reduceat(ball_ok.astype(np.int64), starts)
         else:
+            if received_buf is None:
+                received_buf = np.empty((R, n_s), dtype=state_dtype)
             received = received_buf[:A]
             n_acc = np.empty(A, dtype=np.int64)
             pos = 0

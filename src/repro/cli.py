@@ -55,18 +55,28 @@ def run_experiment(
     seed=None,
     processes=None,
     backend: str | None = None,
+    share_graph: bool | None = None,
+    graph_cache: str | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
     Only overrides the runner actually accepts are forwarded (e.g. the
     experiments whose semantics do not fit the batched engine simply
-    ignore ``backend``).
+    ignore ``backend``; ``share_graph`` only reaches fixed-topology
+    sweeps, ``graph_cache`` the runners that build graphs worker-side).
     """
     spec = get_experiment(exp_id)
     fn = getattr(runner_mod, spec.runner)
     accepted = _accepted_kwargs(fn)
     kwargs = {}
-    overrides = {"trials": trials, "seed": seed, "processes": processes, "backend": backend}
+    overrides = {
+        "trials": trials,
+        "seed": seed,
+        "processes": processes,
+        "backend": backend,
+        "share_graph": share_graph,
+        "graph_cache": graph_cache,
+    }
     for name, value in overrides.items():
         if value is not None and (accepted is None or name in accepted):
             kwargs[name] = value
@@ -129,6 +139,8 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             processes=args.processes,
             backend=args.backend,
+            share_graph=True if args.share_graph else None,
+            graph_cache=args.graph_cache,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -170,6 +182,23 @@ def main(argv=None) -> int:
         "Carlo), while reference redraws the graph per trial (joint "
         "graph x protocol estimate).  Experiments whose semantics need "
         "traces/coupling ignore this and always use the reference engine.",
+    )
+    p_run.add_argument(
+        "--share-graph",
+        action="store_true",
+        help="pin one topology for the whole sweep and hand workers a "
+        "zero-copy view (SharedGraph / fork inheritance) instead of "
+        "rebuilding or pickling the graph per task.  Only honoured by "
+        "fixed-topology sweeps (currently E6); conditions the estimate "
+        "on a single graph draw.",
+    )
+    p_run.add_argument(
+        "--graph-cache",
+        default=None,
+        metavar="DIR",
+        help="on-disk graph cache directory: worker-side graph builds "
+        "keyed by (family, params, seed) are stored once and mapped "
+        "back on every later run",
     )
     p_run.add_argument("--csv", default=None, help="also write the table to a CSV file")
     args = parser.parse_args(argv)

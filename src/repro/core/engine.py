@@ -116,23 +116,17 @@ def draw_destinations(
     return graph.client_indices[graph.client_indptr[senders] + offsets]
 
 
-def draw_destinations_distinct(
+def _draw_destinations_distinct_loop(
     graph: BipartiteGraph,
     clients: np.ndarray,
     counts: np.ndarray,
     uniforms: np.ndarray,
 ) -> np.ndarray:
-    """Per-client *distinct* destinations (the ablation A3 variant).
+    """Per-client-loop reference for :func:`draw_destinations_distinct`.
 
-    Algorithm 1 samples with replacement; this variant gives each client
-    a partial Fisher–Yates draw over its neighbor row, so a round's
-    requests from one client go to distinct servers (wrapping to a fresh
-    pass if a client has more alive balls than neighbors).  Consumes
-    exactly one uniform per ball, in the same canonical order as
-    :func:`draw_destinations`.
-
-    Per-client Python loop — used by the ablation experiments, not the
-    hot path.
+    Kept as the executable specification of the tape semantics: the
+    vectorized implementation must be bit-identical to this under
+    matching uniforms (asserted in ``tests/test_ablations.py``).
     """
     total = int(counts.sum())
     dest = np.empty(total, dtype=np.int64)
@@ -154,6 +148,65 @@ def draw_destinations_distinct(
             idx[jj], idx[pick] = idx[pick], idx[jj]
             dest[pos + j] = row[idx[jj]]
         pos += k
+    return dest
+
+
+def draw_destinations_distinct(
+    graph: BipartiteGraph,
+    clients: np.ndarray,
+    counts: np.ndarray,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Per-client *distinct* destinations (the ablation A3 variant).
+
+    Algorithm 1 samples with replacement; this variant gives each client
+    a partial Fisher–Yates draw over its neighbor row, so a round's
+    requests from one client go to distinct servers (wrapping to a fresh
+    pass if a client has more alive balls than neighbors).  Consumes
+    exactly one uniform per ball, in the same canonical order as
+    :func:`draw_destinations`.
+
+    Implemented as a *segmented* partial Fisher–Yates: the per-ball loop
+    runs over ball slots ``j < max(counts)`` only (``counts`` are
+    bounded by the demand ``d``), with every client advanced in one
+    whole-array step per slot.  Bit-identical to the per-client
+    reference :func:`_draw_destinations_distinct_loop` under matching
+    uniforms — the swap state lives in a ``(clients, max_degree)``
+    index matrix, so memory is ``O(active_clients · Δ_max)``.
+    """
+    clients = np.asarray(clients, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if uniforms.size != total:
+        raise ValueError(f"need {total} uniforms, got {uniforms.size}")
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    degs = graph.client_degrees[clients].astype(np.int64)
+    if np.any((degs == 0) & (counts > 0)):
+        # The reference loop dies on `j % 0` here; fail loudly instead of
+        # letting numpy's 0-degree modulo read another client's row.
+        raise GraphValidationError("a client with no neighbors cannot draw destinations")
+    deg_max = int(degs.max())
+    starts = np.cumsum(counts) - counts
+    idx = np.broadcast_to(np.arange(deg_max, dtype=np.int64), (clients.size, deg_max)).copy()
+    dest = np.empty(total, dtype=np.int64)
+    row_base = graph.client_indptr[clients]
+    for j in range(int(counts.max())):
+        act = np.flatnonzero(counts > j)
+        dj = degs[act]
+        jj = j % dj
+        if j:
+            wrap = act[jj == 0]
+            if wrap.size:  # fresh Fisher–Yates pass for wrapped clients
+                idx[wrap] = np.arange(deg_max, dtype=np.int64)
+        u = uniforms[starts[act] + j]
+        span = dj - jj
+        pick = jj + np.minimum((u * span).astype(np.int64), span - 1)
+        a = idx[act, jj]
+        b = idx[act, pick]
+        idx[act, pick] = a
+        idx[act, jj] = b
+        dest[starts[act] + j] = graph.client_indices[row_base[act] + b]
     return dest
 
 

@@ -157,9 +157,26 @@ def run_dynamic_saer(
     burn_clock = np.zeros(n_s, dtype=np.int64)
     capacity = params.capacity
 
-    # Alive ball table.
-    owners = np.empty(0, dtype=np.int64)
-    births = np.empty(0, dtype=np.int64)
+    # Alive ball table: amortized-doubling buffers with an explicit
+    # count, so arrivals append and acceptances compact in place instead
+    # of rebuilding both arrays with np.concatenate every round (which
+    # is O(rounds × backlog) over a run).
+    ball_cap = 1024
+    owners_buf = np.empty(ball_cap, dtype=np.int64)
+    births_buf = np.empty(ball_cap, dtype=np.int64)
+    n_alive = 0
+
+    def _grow(need: int):
+        nonlocal ball_cap, owners_buf, births_buf
+        if need <= ball_cap:
+            return
+        while ball_cap < need:
+            ball_cap *= 2
+        new_owners = np.empty(ball_cap, dtype=np.int64)
+        new_births = np.empty(ball_cap, dtype=np.int64)
+        new_owners[:n_alive] = owners_buf[:n_alive]
+        new_births[:n_alive] = births_buf[:n_alive]
+        owners_buf, births_buf = new_owners, new_births
 
     backlog = np.zeros(horizon, dtype=np.int64)
     arr_series = np.zeros(horizon, dtype=np.int64)
@@ -191,14 +208,18 @@ def run_dynamic_saer(
         arr_series[t] = int(new_counts.sum())
         if arr_series[t]:
             new_owners = np.repeat(np.arange(n_c, dtype=np.int64), new_counts)
-            owners = np.concatenate([owners, new_owners])
-            births = np.concatenate([births, np.full(new_owners.size, t, dtype=np.int64)])
-        if owners.size == 0:
+            _grow(n_alive + new_owners.size)
+            owners_buf[n_alive : n_alive + new_owners.size] = new_owners
+            births_buf[n_alive : n_alive + new_owners.size] = t
+            n_alive += new_owners.size
+        if n_alive == 0:
             burned_frac[t] = burned.mean() if n_s else 0.0
             continue
+        owners = owners_buf[:n_alive]
+        births = births_buf[:n_alive]
         # Phase 1: every alive ball to a uniform current neighbor, via
         # the flat CSR view (vectorized gather).
-        u = rng.random(owners.size)
+        u = rng.random(n_alive)
         own_deg = degs[owners]
         offs = np.minimum((u * own_deg).astype(np.int64), own_deg - 1)
         dest = indices[indptr[owners] + offs]
@@ -213,9 +234,13 @@ def run_dynamic_saer(
         if ok.any():
             latencies.append((t - births[ok]).astype(np.int64))
         asg_series[t] = int(np.count_nonzero(ok))
-        owners = owners[~ok]
-        births = births[~ok]
-        backlog[t] = owners.size
+        # Boolean compaction of the survivors, in place.
+        keep = ~ok
+        kept = int(np.count_nonzero(keep))
+        owners_buf[:kept] = owners[keep]
+        births_buf[:kept] = births[keep]
+        n_alive = kept
+        backlog[t] = n_alive
         burned_frac[t] = float(burned.mean()) if n_s else 0.0
 
     return DynamicResult(

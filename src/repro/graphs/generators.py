@@ -67,6 +67,145 @@ def _sample_distinct(rng: np.random.Generator, n: int, k: int) -> np.ndarray:
     return np.sort(picked.astype(np.int64))
 
 
+def _reject_resample_rows(
+    rng: np.random.Generator, n: int, row_of: np.ndarray, total: int
+) -> np.ndarray:
+    """Core of :func:`_sample_distinct_rows`: collision-resampled rows.
+
+    Draws one uniform value in ``range(n)`` per entry and resamples
+    colliding entries (equal values within the same row) until every row
+    is duplicate-free.  The procedure only compares drawn labels for
+    equality, so its output law is invariant under any permutation of
+    the labels — each row is therefore an exactly uniform distinct
+    sample.  Returns the flat values sorted within each row.
+
+    Expected iterations are O(1) when every row draws at most half its
+    range (each pass shrinks the collision count by a factor ≤ k/n).
+    """
+    vals = rng.integers(0, n, size=total)
+    keys = row_of * np.int64(n) + vals
+    while True:
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        dup = np.zeros(total, dtype=bool)
+        if total > 1:
+            dup[1:] = sk[1:] == sk[:-1]
+        bad = order[dup]
+        if bad.size == 0:
+            return sk - row_of[order] * np.int64(n)
+        fresh = rng.integers(0, n, size=bad.size)
+        vals[bad] = fresh
+        keys[bad] = row_of[bad] * np.int64(n) + fresh
+
+
+def _rowsort_resample(rng: np.random.Generator, n: int, m: np.ndarray) -> None:
+    """Resample in-row collisions of the padded sample matrix, in place.
+
+    ``m`` is ``(rows, kmax)`` with valid draws in ``[0, n)`` and the pad
+    sentinel ``n`` (which sorts past every valid value).  Rows are
+    sorted, colliding slots redrawn, and only affected rows re-sorted
+    until every row is duplicate-free.  Only equality between drawn
+    labels is ever inspected, so the output law is invariant under label
+    permutations — each row is an exactly uniform distinct sample.
+    """
+    m.sort(axis=1)
+    while True:
+        dup = m[:, 1:] == m[:, :-1]
+        dup &= m[:, 1:] < n  # pad sentinels self-compare equal; ignore them
+        rr, cc = np.nonzero(dup)
+        if rr.size == 0:
+            return
+        m[rr, cc + 1] = rng.integers(0, n, size=rr.size, dtype=m.dtype)
+        bad = np.unique(rr)
+        sub = m[bad]
+        sub.sort(axis=1)
+        m[bad] = sub
+
+
+def _sample_distinct_rows(
+    rng: np.random.Generator, n: int, counts: np.ndarray
+) -> np.ndarray:
+    """Batched distinct sampling: row ``i`` gets ``counts[i]`` distinct
+    values from ``range(n)``, sorted within the row.
+
+    The whole-array replacement for calling :func:`_sample_distinct`
+    once per client: one flat array of ``counts.sum()`` values comes
+    back, rows delimited by ``cumsum(counts)`` — ready to be used as
+    CSR ``indices`` via :meth:`BipartiteGraph.from_csr`.
+
+    Strategy: draw every row's candidates at once into a ``(rows,
+    max(counts))`` matrix (pad sentinel ``n``), sort rows in place, and
+    redraw colliding slots until no row has a duplicate — collisions
+    shrink by a factor ≤ k/n per pass, so a handful of passes suffice.
+    Rows requesting more than half their range are sampled through
+    their complement (a uniform ``(n-k)``-subset's complement is a
+    uniform ``k``-subset), keeping the redraw loop in its fast regime.
+    A flat sort-based fallback handles degenerate padding (a few huge
+    rows among many tiny ones).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size and int(counts.max(initial=0)) > n:
+        raise GraphConstructionError(
+            f"cannot sample {int(counts.max())} distinct values from range({n})"
+        )
+    if np.any(counts < 0):
+        raise GraphConstructionError("sample counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    dense = counts > n // 2
+    if dense.any():
+        return _sample_distinct_rows_mixed(rng, n, counts, dense)
+
+    n_rows = counts.size
+    kmax = int(counts.max())
+    dtype = np.int32 if n < 2**31 - 1 else np.int64
+    if n_rows * kmax > max(4 * total, 1 << 24):
+        # Pathological padding (few huge rows, many tiny ones): flat path.
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+        return _reject_resample_rows(rng, n, row_of, total)
+    if n_rows * kmax == total:
+        m = rng.integers(0, n, size=(n_rows, kmax), dtype=dtype)
+    else:
+        m = np.full((n_rows, kmax), n, dtype=dtype)
+        valid = np.arange(kmax, dtype=np.int64)[None, :] < counts[:, None]
+        m[valid] = rng.integers(0, n, size=total, dtype=dtype)
+    _rowsort_resample(rng, n, m)
+    if n_rows * kmax == total:
+        return m.reshape(-1).astype(np.int64)
+    return m[m < n].astype(np.int64)
+
+
+def _sample_distinct_rows_mixed(
+    rng: np.random.Generator, n: int, counts: np.ndarray, dense: np.ndarray
+) -> np.ndarray:
+    """Mixed regime of :func:`_sample_distinct_rows`: some rows sample
+    more than half their range.  Sparse rows go through the row-sort
+    sampler; dense rows sample their complement and invert via a
+    per-row membership mask."""
+    total = int(counts.sum())
+    out = np.empty(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    sparse_rows = np.flatnonzero(~dense)
+    if sparse_rows.size:
+        s_counts = counts[sparse_rows]
+        s_vals = _sample_distinct_rows(rng, n, s_counts)
+        s_pos = np.repeat(starts[sparse_rows] - (np.cumsum(s_counts) - s_counts), s_counts)
+        out[np.arange(s_vals.size, dtype=np.int64) + s_pos] = s_vals
+    dense_rows = np.flatnonzero(dense)
+    d_counts = counts[dense_rows]
+    comp_counts = n - d_counts
+    c_vals = _sample_distinct_rows(rng, n, comp_counts)
+    mask = np.ones((dense_rows.size, n), dtype=bool)
+    c_row_of = np.repeat(np.arange(dense_rows.size, dtype=np.int64), comp_counts)
+    mask[c_row_of, c_vals] = False
+    _d_rows, d_vals = np.nonzero(mask)
+    d_pos = np.repeat(starts[dense_rows] - (np.cumsum(d_counts) - d_counts), d_counts)
+    out[np.arange(d_vals.size, dtype=np.int64) + d_pos] = d_vals
+    return out
+
+
 def _repair_duplicates(pairs: np.ndarray, n_servers: int, rng: np.random.Generator) -> bool:
     """Make a configuration-model edge list simple via endpoint swaps.
 
@@ -302,17 +441,17 @@ def erdos_renyi_bipartite(
     if not (0.0 <= p <= 1.0):
         raise GraphConstructionError(f"p must be in [0, 1]; got {p}")
     rng = make_rng(seed)
-    degrees = rng.binomial(n_servers, p, size=n_clients)
-    edges: list[np.ndarray] = []
-    for v in range(n_clients):
-        k = int(degrees[v])
-        if k == 0:
-            continue
-        nbrs = _sample_distinct(rng, n_servers, k)
-        edges.append(np.column_stack([np.full(k, v, dtype=np.int64), nbrs]))
-    pairs = np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
-    return BipartiteGraph.from_edges(
-        n_clients, n_servers, pairs, name=f"er(nc={n_clients},ns={n_servers},p={p:g})"
+    degrees = rng.binomial(n_servers, p, size=n_clients).astype(np.int64)
+    indices = _sample_distinct_rows(rng, n_servers, degrees)
+    indptr = np.zeros(n_clients + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    return BipartiteGraph.from_csr(
+        n_clients,
+        n_servers,
+        indptr,
+        indices,
+        name=f"er(nc={n_clients},ns={n_servers},p={p:g})",
+        validate=False,
     )
 
 
@@ -331,7 +470,9 @@ def geometric_bipartite(
     ``≈ n·π·radius²`` with no boundary effects.
 
     Uses a cell grid so the pair search is ``O(n · expected_degree)``
-    rather than ``O(n²)``.
+    rather than ``O(n²)``; the grid join is whole-array (candidate pairs
+    are materialized with a segmented gather, then distance-filtered in
+    one shot — no per-client Python loop).
     """
     if n_clients <= 0 or n_servers <= 0:
         raise GraphConstructionError("side sizes must be positive")
@@ -341,55 +482,102 @@ def geometric_bipartite(
     cpos = rng.random((n_clients, 2))
     spos = rng.random((n_servers, 2))
     ncell = max(1, int(1.0 / radius))
+    name = f"geometric(nc={n_clients},ns={n_servers},r={radius:g},torus={torus})"
+    r2 = radius * radius
+
+    if ncell < 3:
+        # Coarse grids (radius > 1/3): wrapped neighbor cells coincide and
+        # the graph is dense anyway (expected degree Ω(n)), so test all
+        # pairs in client blocks — work stays proportional to the output.
+        block = max(1, (1 << 24) // max(n_servers, 1))
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        for lo in range(0, n_clients, block):
+            hi = min(lo + block, n_clients)
+            diff = np.abs(cpos[lo:hi, None, :] - spos[None, :, :])
+            if torus:
+                diff = np.minimum(diff, 1.0 - diff)
+            hit_r, hit_c = np.nonzero((diff * diff).sum(axis=2) <= r2)
+            rows_parts.append(hit_r.astype(np.int64) + lo)
+            cols_parts.append(hit_c.astype(np.int64))
+        pairs = np.column_stack([np.concatenate(rows_parts), np.concatenate(cols_parts)])
+        return BipartiteGraph.from_edges(n_clients, n_servers, pairs, name=name, validate=False)
+
     cell_w = 1.0 / ncell
 
     def cell_of(pts: np.ndarray) -> np.ndarray:
         return np.minimum((pts / cell_w).astype(np.int64), ncell - 1)
 
+    # Servers bucketed by cell: `sorder` lists server ids cell-by-cell,
+    # `cell_starts`/`cell_counts` delimit each cell's run.
     scell = cell_of(spos)
-    buckets: dict[tuple[int, int], np.ndarray] = {}
-    keys = scell[:, 0] * ncell + scell[:, 1]
-    order = np.argsort(keys, kind="stable")
-    sk = keys[order]
-    starts = np.searchsorted(sk, np.arange(ncell * ncell))
-    ends = np.searchsorted(sk, np.arange(ncell * ncell) + 1)
-    for cell in range(ncell * ncell):
-        if ends[cell] > starts[cell]:
-            buckets[(cell // ncell, cell % ncell)] = order[starts[cell] : ends[cell]]
+    skey = scell[:, 0] * ncell + scell[:, 1]
+    sorder = np.argsort(skey, kind="stable")
+    cell_counts = np.bincount(skey, minlength=ncell * ncell)
+    cell_starts = np.zeros(ncell * ncell + 1, dtype=np.int64)
+    np.cumsum(cell_counts, out=cell_starts[1:])
 
-    r2 = radius * radius
-    edges: list[np.ndarray] = []
+    # The 3×3 cell neighborhood of every client at once: (n_clients, 9)
+    # cell ids (ncell ≥ 3, so the nine wrapped cells are distinct and no
+    # candidate dedup is needed).
     ccell = cell_of(cpos)
-    for v in range(n_clients):
-        cx, cy = int(ccell[v, 0]), int(ccell[v, 1])
-        cand: list[np.ndarray] = []
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                gx, gy = cx + dx, cy + dy
-                if torus:
-                    gx %= ncell
-                    gy %= ncell
-                elif not (0 <= gx < ncell and 0 <= gy < ncell):
-                    continue
-                b = buckets.get((gx, gy))
-                if b is not None:
-                    cand.append(b)
-        if not cand:
-            continue
-        cidx = np.unique(np.concatenate(cand))
-        diff = spos[cidx] - cpos[v]
+    offs = np.array([(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)], dtype=np.int64)
+    gx = ccell[:, 0, None] + offs[None, :, 0]
+    gy = ccell[:, 1, None] + offs[None, :, 1]
+    if torus:
+        gx %= ncell
+        gy %= ncell
+        valid = np.ones(gx.shape, dtype=bool)
+    else:
+        valid = (gx >= 0) & (gx < ncell) & (gy >= 0) & (gy < ncell)
+        gx = np.clip(gx, 0, ncell - 1)
+        gy = np.clip(gy, 0, ncell - 1)
+    cells = (gx * ncell + gy)[valid]
+    cl_of_entry = np.broadcast_to(
+        np.arange(n_clients, dtype=np.int64)[:, None], valid.shape
+    )[valid]
+
+    # Segmented gather: expand each (client, cell) entry into that cell's
+    # server run, giving the flat candidate-pair arrays.
+    reps = cell_counts[cells]
+    total = int(reps.sum())
+    seg_ends = np.cumsum(reps)
+    seg_starts = seg_ends - reps
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, reps)
+    cand_server = sorder[np.repeat(cell_starts[cells], reps) + within]
+    cand_client = np.repeat(cl_of_entry, reps)
+
+    # Distance filter, axis-by-axis with in-place 1-D ops: the candidate
+    # set is ~3× the edge count, so 2-D temporaries would dominate the
+    # whole build in allocator traffic.
+    d2 = np.empty(total, dtype=np.float64)
+    axis_buf = np.empty(total, dtype=np.float64)
+    for axis in (0, 1):
+        np.take(np.ascontiguousarray(spos[:, axis]), cand_server, out=axis_buf)
+        axis_buf -= np.ascontiguousarray(cpos[:, axis])[cand_client]
+        np.abs(axis_buf, out=axis_buf)
         if torus:
-            diff = np.abs(diff)
-            diff = np.minimum(diff, 1.0 - diff)
-        hit = cidx[(diff * diff).sum(axis=1) <= r2]
-        if hit.size:
-            edges.append(np.column_stack([np.full(hit.size, v, dtype=np.int64), hit]))
-    pairs = np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
-    return BipartiteGraph.from_edges(
-        n_clients,
-        n_servers,
-        pairs,
-        name=f"geometric(nc={n_clients},ns={n_servers},r={radius:g},torus={torus})",
+            np.minimum(axis_buf, np.subtract(1.0, axis_buf), out=axis_buf)
+        axis_buf *= axis_buf
+        if axis == 0:
+            d2[:] = axis_buf
+        else:
+            d2 += axis_buf
+    hit = d2 <= r2
+    rows_hit = cand_client[hit]
+    cols_hit = cand_server[hit]
+    # rows_hit is already client-major (candidates were generated per
+    # client); one in-place sort of the combined key orders each row's
+    # servers without an edge-list lexsort round-trip.
+    indptr = np.zeros(n_clients + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows_hit, minlength=n_clients), out=indptr[1:])
+    keys = rows_hit * np.int64(n_servers) + cols_hit
+    keys.sort()
+    indices = keys - np.repeat(
+        np.arange(n_clients, dtype=np.int64) * np.int64(n_servers), np.diff(indptr)
+    )
+    return BipartiteGraph.from_csr(
+        n_clients, n_servers, indptr, indices, name=name, validate=False
     )
 
 
@@ -405,12 +593,15 @@ def trust_subsets(n_clients: int, n_servers: int, k: int, seed=None) -> Bipartit
     if not (0 < k <= n_servers):
         raise GraphConstructionError("k must be in [1, n_servers]")
     rng = make_rng(seed)
-    edges = np.empty((n_clients * k, 2), dtype=np.int64)
-    for v in range(n_clients):
-        edges[v * k : (v + 1) * k, 0] = v
-        edges[v * k : (v + 1) * k, 1] = _sample_distinct(rng, n_servers, k)
-    return BipartiteGraph.from_edges(
-        n_clients, n_servers, edges, name=f"trust(nc={n_clients},ns={n_servers},k={k})"
+    indices = _sample_distinct_rows(rng, n_servers, np.full(n_clients, k, dtype=np.int64))
+    indptr = np.arange(n_clients + 1, dtype=np.int64) * np.int64(k)
+    return BipartiteGraph.from_csr(
+        n_clients,
+        n_servers,
+        indptr,
+        indices,
+        name=f"trust(nc={n_clients},ns={n_servers},k={k})",
+        validate=False,
     )
 
 
@@ -443,27 +634,34 @@ def community_bipartite(
     if k_within + k_across == 0:
         raise GraphConstructionError("every client needs at least one trusted server")
     rng = make_rng(seed)
-    edges: list[np.ndarray] = []
-    all_servers = np.arange(n, dtype=np.int64)
-    for v in range(n):
-        gidx = v // group
-        own = all_servers[gidx * group : (gidx + 1) * group]
-        rows = []
-        if k_within:
-            rows.append(own[_sample_distinct(rng, group, k_within)])
-        if k_across:
-            others = np.concatenate(
-                [all_servers[: gidx * group], all_servers[(gidx + 1) * group :]]
-            )
-            rows.append(others[_sample_distinct(rng, others.size, k_across)])
-        nbrs = np.concatenate(rows)
-        edges.append(np.column_stack([np.full(nbrs.size, v, dtype=np.int64), nbrs]))
-    pairs = np.concatenate(edges)
-    return BipartiteGraph.from_edges(
+    k = k_within + k_across
+    group_start = (np.arange(n, dtype=np.int64) // group) * np.int64(group)
+    parts: list[np.ndarray] = []
+    if k_within:
+        # One batched draw over the group-local range, shifted to each
+        # client's own community block.
+        within = _sample_distinct_rows(rng, group, np.full(n, k_within, dtype=np.int64))
+        parts.append(within.reshape(n, k_within) + group_start[:, None])
+    if k_across:
+        # Draw over range(n - group) and skip the client's own block:
+        # position x maps to server x when x < group_start, else x + group
+        # (exactly the complement enumeration the per-client loop used).
+        across = _sample_distinct_rows(rng, n - group, np.full(n, k_across, dtype=np.int64))
+        across = across.reshape(n, k_across)
+        parts.append(across + np.where(across >= group_start[:, None], group, 0))
+    # The two blocks are disjoint per client (own community vs the rest),
+    # so a per-row sort of the stacked matrix merges them duplicate-free.
+    m = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+    m.sort(axis=1)
+    indices = np.ascontiguousarray(m.reshape(-1))
+    indptr = np.arange(n + 1, dtype=np.int64) * np.int64(k)
+    return BipartiteGraph.from_csr(
         n,
         n,
-        pairs,
+        indptr,
+        indices,
         name=f"community(n={n},groups={n_groups},kin={k_within},kout={k_across})",
+        validate=False,
     )
 
 

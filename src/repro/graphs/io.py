@@ -1,30 +1,51 @@
-"""Serialization for :class:`~repro.graphs.bipartite.BipartiteGraph`.
+"""Serialization and on-disk caching for :class:`~repro.graphs.bipartite.BipartiteGraph`.
 
-Two formats:
+Three facilities:
 
 * ``.npz`` — lossless and fast (the CSR arrays verbatim); the format the
   experiment harness uses to pin workloads.
 * edge-list text — one ``client server`` pair per line with a small
   header; interoperable with external tools.
+* a content-addressed **graph cache**: :func:`cached_graph` keys a
+  generator call by ``(family, params, seed)`` so repeated sweeps over
+  the same topology pay construction once and load the CSR arrays
+  straight from disk afterwards.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+from pathlib import Path
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..errors import GraphValidationError
 from .bipartite import BipartiteGraph
 
-__all__ = ["save_npz", "load_npz", "save_edgelist", "load_edgelist"]
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_edgelist",
+    "load_edgelist",
+    "graph_cache_key",
+    "cached_graph",
+]
 
 _FORMAT_VERSION = 1
 
 
-def save_npz(graph: BipartiteGraph, path: str | os.PathLike) -> None:
-    """Write ``graph`` to ``path`` in the library's npz format."""
-    np.savez_compressed(
+def save_npz(graph: BipartiteGraph, path: str | os.PathLike, *, compress: bool = True) -> None:
+    """Write ``graph`` to ``path`` in the library's npz format.
+
+    ``compress=False`` trades disk for speed — the graph cache uses it
+    because zip-deflating 10⁷-edge CSR arrays costs more than the
+    generator being cached.
+    """
+    writer = np.savez_compressed if compress else np.savez
+    writer(
         path,
         version=np.int64(_FORMAT_VERSION),
         n_clients=np.int64(graph.n_clients),
@@ -37,8 +58,13 @@ def save_npz(graph: BipartiteGraph, path: str | os.PathLike) -> None:
     )
 
 
-def load_npz(path: str | os.PathLike) -> BipartiteGraph:
-    """Load a graph written by :func:`save_npz`; validates on load."""
+def load_npz(path: str | os.PathLike, *, validate: bool = True) -> BipartiteGraph:
+    """Load a graph written by :func:`save_npz`; validates on load.
+
+    ``validate=False`` skips the full invariant check (the graph cache
+    uses it for graphs this library wrote itself; foreign files should
+    keep the default).
+    """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
@@ -52,7 +78,8 @@ def load_npz(path: str | os.PathLike) -> BipartiteGraph:
             server_indices=data["server_indices"].astype(np.int64),
             name=str(data["name"]),
         )
-    g.validate()
+    if validate:
+        g.validate()
     return g
 
 
@@ -90,3 +117,89 @@ def load_edgelist(path: str | os.PathLike) -> BipartiteGraph:
     if n_clients is None or n_servers is None:
         raise GraphValidationError(f"{path}: missing size header line")
     return BipartiteGraph.from_edges(n_clients, n_servers, edges, name=name)
+
+
+# ---------------------------------------------------------------------------
+# On-disk graph cache
+# ---------------------------------------------------------------------------
+
+
+def _canonical_seed(seed) -> object | None:
+    """A JSON-stable token for a seed, or ``None`` when not cacheable.
+
+    Integers and :class:`~numpy.random.SeedSequence` (the forms the
+    library's spawning discipline produces) are canonical; ``None`` and
+    live ``Generator`` objects draw from ambient state, so a cache hit
+    would silently pin what should be fresh randomness — those are
+    reported as uncacheable and the caller builds normally.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return ["int", int(seed)]
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:  # OS entropy: not reproducible, not cacheable
+            return None
+        if isinstance(entropy, (int, np.integer)):
+            entropy = [int(entropy)]
+        else:
+            entropy = [int(e) for e in entropy]
+        return ["ss", entropy, [int(k) for k in seed.spawn_key]]
+    return None
+
+
+def graph_cache_key(family: str, params: Mapping, seed) -> str | None:
+    """Content key for ``(family, params, seed)``, or ``None`` if uncacheable.
+
+    Params must be JSON-serializable (numbers, strings, bools) — the
+    generator signatures only take those.  The key is stable across
+    processes and sessions.
+    """
+    tok = _canonical_seed(seed)
+    if tok is None:
+        return None
+    try:
+        canon = json.dumps(
+            {"family": family, "params": dict(params), "seed": tok, "v": _FORMAT_VERSION},
+            sort_keys=True,
+        )
+    except TypeError:
+        return None
+    digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()[:20]
+    return f"{family}-{digest}"
+
+
+def cached_graph(
+    builder: Callable[..., BipartiteGraph],
+    family: str,
+    params: Mapping,
+    seed,
+    cache_dir: str | os.PathLike | None,
+) -> BipartiteGraph:
+    """Build (or load) the graph ``builder(**params, seed=seed)``.
+
+    With a ``cache_dir`` and a cacheable seed, the first call stores the
+    CSR arrays as an uncompressed ``.npz`` keyed by ``(family, params,
+    seed)`` and every later call maps them back in — repeated sweeps
+    over one topology pay construction once.  Writes are atomic
+    (tmp-file + rename), so concurrent pool workers can share one cache
+    directory; load skips re-validation (this library wrote the file).
+
+    Uncacheable seeds (``None``, live generators) silently fall through
+    to a plain build.
+    """
+    key = graph_cache_key(family, params, seed) if cache_dir is not None else None
+    if key is None:
+        return builder(**params, seed=seed)
+    root = Path(cache_dir)
+    path = root / f"{key}.npz"
+    if path.exists():
+        return load_npz(path, validate=False)
+    graph = builder(**params, seed=seed)
+    root.mkdir(parents=True, exist_ok=True)
+    tmp = root / f".{key}.{os.getpid()}.tmp.npz"
+    try:
+        save_npz(graph, tmp, compress=False)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return graph

@@ -18,10 +18,17 @@ composable axes — the **two-level parallelism model**:
 grid points, vectorized trials within each).  Per-trial seeds are
 spawned identically under both backends, so the backend choice never
 changes which seed a trial sees.
+
+A third lever removes the *topology* from the task payload: with
+``graph=`` both entry points install the CSR arrays once per worker —
+fork page inheritance or a :class:`~repro.parallel.shared.SharedGraph`
+shared-memory mapping — instead of pickling the graph into every task
+(see :mod:`repro.parallel.shared`).
 """
 
 from .aggregate import aggregate_records, summarize
 from .pool import map_parallel, monte_carlo
+from .shared import SharedGraph, current_task_graph, graph_context
 from .sweep import ParameterGrid, run_sweep
 
 __all__ = [
@@ -31,4 +38,7 @@ __all__ = [
     "run_sweep",
     "summarize",
     "aggregate_records",
+    "SharedGraph",
+    "current_task_graph",
+    "graph_context",
 ]

@@ -40,6 +40,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..rng import spawn_seeds
+from .shared import current_task_graph, graph_context
 
 __all__ = ["map_parallel", "monte_carlo", "default_processes"]
 
@@ -59,12 +60,16 @@ def map_parallel(
     *,
     processes: int | None = None,
     chunksize: int = 1,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """``[fn(x) for x in items]`` across processes, order-preserving.
 
     ``fn`` and the items must be picklable (define workers at module
     top level).  With ``processes<=1`` this is a plain list
-    comprehension — zero overhead, exact tracebacks.
+    comprehension — zero overhead, exact tracebacks (``initializer`` is
+    not invoked; serial callers already run in the parent, where any
+    task context is installed directly).
     """
     items = list(items)
     if not items:
@@ -72,7 +77,9 @@ def map_parallel(
     nproc = default_processes(len(items)) if processes is None else processes
     if nproc <= 1:
         return [fn(x) for x in items]
-    with ProcessPoolExecutor(max_workers=nproc) as pool:
+    with ProcessPoolExecutor(
+        max_workers=nproc, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(fn, items, chunksize=max(1, chunksize)))
 
 
@@ -85,6 +92,7 @@ def monte_carlo(
     chunksize: int = 1,
     backend: str = "per_trial",
     batch_size: int | None = None,
+    graph=None,
 ) -> list:
     """Run independent Monte-Carlo trials; the entry point every runner uses.
 
@@ -97,20 +105,29 @@ def monte_carlo(
     process) and distributed across the pool, composing in-process trial
     vectorization with process parallelism.
 
+    With ``graph=`` (a :class:`~repro.graphs.bipartite.BipartiteGraph`
+    or a pre-shared :class:`~repro.parallel.shared.SharedGraph`), the
+    topology is installed **once per worker** — fork page inheritance or
+    a shared-memory mapping, never a per-task pickle — and ``trial_fn``
+    receives it as its first argument: ``trial_fn(graph, seed_seq,
+    trial_index)`` (or ``trial_fn(graph, seed_seqs, trial_indices)``
+    batched).  See :mod:`repro.parallel.shared`.
+
     Each trial gets its own spawned :class:`~numpy.random.SeedSequence`
-    — the *same* one under either backend — and results are returned in
-    trial order.
+    — the *same* one under any backend/graph combination — and results
+    are returned in trial order.
     """
     if n_trials < 0:
         raise ValueError("n_trials must be non-negative")
+    if backend not in ("per_trial", "batched"):
+        raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
     seeds = spawn_seeds(seed, n_trials)
     if backend == "per_trial":
         tasks = list(zip(seeds, range(n_trials)))
-        return map_parallel(
-            _TrialRunner(trial_fn), tasks, processes=processes, chunksize=chunksize
+        runner = _GraphTrialRunner(trial_fn) if graph is not None else _TrialRunner(trial_fn)
+        return _map_with_graph(
+            runner, tasks, graph, processes=processes, chunksize=chunksize
         )
-    if backend != "batched":
-        raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
     if n_trials == 0:
         return []
     if batch_size is None:
@@ -122,10 +139,29 @@ def monte_carlo(
         (seeds[i : i + batch_size], list(range(i, min(i + batch_size, n_trials))))
         for i in range(0, n_trials, batch_size)
     ]
-    nested = map_parallel(
-        _BatchTrialRunner(trial_fn), blocks, processes=processes, chunksize=chunksize
+    runner = (
+        _GraphBatchTrialRunner(trial_fn) if graph is not None else _BatchTrialRunner(trial_fn)
+    )
+    nested = _map_with_graph(
+        runner, blocks, graph, processes=processes, chunksize=chunksize
     )
     return [result for block in nested for result in block]
+
+
+def _map_with_graph(fn, tasks, graph, *, processes, chunksize):
+    """map_parallel, optionally under a zero-copy task-graph context."""
+    if graph is None:
+        return map_parallel(fn, tasks, processes=processes, chunksize=chunksize)
+    nproc = default_processes(len(tasks)) if processes is None else processes
+    with graph_context(graph, processes=nproc) as (_view, initializer, initargs):
+        return map_parallel(
+            fn,
+            tasks,
+            processes=nproc,
+            chunksize=chunksize,
+            initializer=initializer,
+            initargs=initargs,
+        )
 
 
 class _TrialRunner:
@@ -139,6 +175,17 @@ class _TrialRunner:
         return self.trial_fn(seed_seq, index)
 
 
+class _GraphTrialRunner:
+    """Like :class:`_TrialRunner`, prepending the worker's task graph."""
+
+    def __init__(self, trial_fn: Callable):
+        self.trial_fn = trial_fn
+
+    def __call__(self, task) -> R:
+        seed_seq, index = task
+        return self.trial_fn(current_task_graph(), seed_seq, index)
+
+
 class _BatchTrialRunner:
     """Picklable adapter calling a batch-capable trial function once per block."""
 
@@ -149,6 +196,23 @@ class _BatchTrialRunner:
         seed_seqs, indices = block
         results = self.trial_fn(seed_seqs, indices)
         results = list(results)
+        if len(results) != len(indices):
+            raise ValueError(
+                f"batched trial_fn returned {len(results)} results "
+                f"for {len(indices)} trials"
+            )
+        return results
+
+
+class _GraphBatchTrialRunner:
+    """Like :class:`_BatchTrialRunner`, prepending the worker's task graph."""
+
+    def __init__(self, trial_fn: Callable):
+        self.trial_fn = trial_fn
+
+    def __call__(self, block) -> list:
+        seed_seqs, indices = block
+        results = list(self.trial_fn(current_task_graph(), seed_seqs, indices))
         if len(results) != len(indices):
             raise ValueError(
                 f"batched trial_fn returned {len(results)} results "

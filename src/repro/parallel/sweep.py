@@ -23,7 +23,8 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..rng import spawn_seeds
-from .pool import map_parallel
+from .pool import _map_with_graph
+from .shared import current_task_graph
 
 __all__ = ["ParameterGrid", "run_sweep"]
 
@@ -95,6 +96,38 @@ class _BatchPointRunner:
         return out
 
 
+class _GraphPointRunner(_PointRunner):
+    """:class:`_PointRunner` over the worker's zero-copy task graph."""
+
+    def __call__(self, task) -> dict:
+        point, seed_seq, trial = task
+        record = self.point_fn(current_task_graph(), point, seed_seq, trial)
+        out = dict(point)
+        out["trial"] = trial
+        out.update(record)
+        return out
+
+
+class _GraphBatchPointRunner(_BatchPointRunner):
+    """:class:`_BatchPointRunner` over the worker's zero-copy task graph."""
+
+    def __call__(self, task) -> list[dict]:
+        point, seed_seqs, trials = task
+        records = list(self.point_fn(current_task_graph(), point, seed_seqs, trials))
+        if len(records) != len(trials):
+            raise ValueError(
+                f"batched point_fn returned {len(records)} records "
+                f"for {len(trials)} trials"
+            )
+        out = []
+        for trial, record in zip(trials, records):
+            row = dict(point)
+            row["trial"] = trial
+            row.update(record)
+            out.append(row)
+        return out
+
+
 def run_sweep(
     point_fn: Callable,
     grid: ParameterGrid,
@@ -104,6 +137,7 @@ def run_sweep(
     processes: int | None = None,
     chunksize: int = 1,
     backend: str = "per_trial",
+    graph=None,
 ) -> list[dict]:
     """Evaluate a worker over grid × trials; one flat record per (point, trial).
 
@@ -115,11 +149,21 @@ def run_sweep(
     natural entry for :func:`repro.batch.run_trials_batched` workers
     (processes across points, vectorized trials within).
 
+    With ``graph=`` (a shared topology for *every* grid point — a
+    :class:`~repro.graphs.bipartite.BipartiteGraph` or pre-shared
+    :class:`~repro.parallel.shared.SharedGraph`), the CSR arrays are
+    installed once per worker process instead of being pickled into
+    each task, and the worker receives it as its first argument:
+    ``point_fn(graph, point, seed_seq, trial)`` (or ``point_fn(graph,
+    point, seed_seqs, trials)`` batched).
+
     Each record carries the point's parameters, the trial index, and
     whatever the worker returned.  Seeds are spawned deterministically
     in (point index, trial index) order under *both* backends, so a
     given (point, trial) always sees the same seed.
     """
+    if backend not in ("per_trial", "batched"):
+        raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
     points = grid.points()
     n_tasks = len(points) * n_trials
     seeds = spawn_seeds(seed, n_tasks)
@@ -130,18 +174,20 @@ def run_sweep(
             for trial in range(n_trials):
                 tasks.append((point, seeds[i], trial))
                 i += 1
-        return map_parallel(
-            _PointRunner(point_fn), tasks, processes=processes, chunksize=chunksize
+        runner = _GraphPointRunner(point_fn) if graph is not None else _PointRunner(point_fn)
+        return _map_with_graph(
+            runner, tasks, graph, processes=processes, chunksize=chunksize
         )
-    if backend != "batched":
-        raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
     if n_trials == 0:
         return []  # match per_trial: no records, no empty blocks to workers
     tasks = [
         (point, seeds[i * n_trials : (i + 1) * n_trials], list(range(n_trials)))
         for i, point in enumerate(points)
     ]
-    nested = map_parallel(
-        _BatchPointRunner(point_fn), tasks, processes=processes, chunksize=chunksize
+    runner = (
+        _GraphBatchPointRunner(point_fn) if graph is not None else _BatchPointRunner(point_fn)
+    )
+    nested = _map_with_graph(
+        runner, tasks, graph, processes=processes, chunksize=chunksize
     )
     return [record for block in nested for record in block]

@@ -68,3 +68,57 @@ class TestAblationRunner:
         for row in rows:
             assert row["max_load_worst"] <= row["capacity"]
             assert row["completed"] == row["trials"]
+
+
+class TestDistinctSamplingVectorized:
+    """The segmented Fisher–Yates rewrite must replay the per-client
+    reference loop bit-for-bit under matching uniform tapes."""
+
+    def test_bit_equivalent_to_reference_loop(self, regular_graph, trust_graph):
+        from repro.core.engine import _draw_destinations_distinct_loop
+
+        rng = np.random.default_rng(42)
+        for g in (regular_graph, trust_graph):
+            for _ in range(10):
+                n_act = int(rng.integers(1, g.n_clients + 1))
+                clients = np.sort(rng.choice(g.n_clients, size=n_act, replace=False))
+                counts = rng.integers(0, 7, size=n_act)
+                u = rng.random(int(counts.sum()))
+                ref = _draw_destinations_distinct_loop(g, clients, counts, u)
+                vec = draw_destinations_distinct(g, clients, counts, u)
+                assert np.array_equal(ref, vec)
+
+    def test_bit_equivalent_with_wraparound(self):
+        from repro.core.engine import _draw_destinations_distinct_loop
+
+        g = BipartiteGraph.from_edges(2, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2)])
+        rng = np.random.default_rng(3)
+        clients = np.array([0, 1])
+        counts = np.array([7, 8])  # both exceed the degrees -> fresh passes
+        u = rng.random(15)
+        assert np.array_equal(
+            _draw_destinations_distinct_loop(g, clients, counts, u),
+            draw_destinations_distinct(g, clients, counts, u),
+        )
+
+    def test_empty_counts(self, regular_graph):
+        out = draw_destinations_distinct(
+            regular_graph, np.array([0, 1]), np.array([0, 0]), np.empty(0)
+        )
+        assert out.size == 0
+
+    def test_isolated_client_with_balls_rejected(self):
+        from repro.errors import GraphValidationError
+
+        # client 1 has no neighbors; drawing for it must fail loudly
+        # rather than read another client's row.
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (0, 1)])
+        with pytest.raises(GraphValidationError):
+            draw_destinations_distinct(
+                g, np.array([0, 1]), np.array([1, 1]), np.array([0.5, 0.5])
+            )
+        # degree-0 clients with zero balls are fine
+        out = draw_destinations_distinct(
+            g, np.array([0, 1]), np.array([2, 0]), np.array([0.1, 0.9])
+        )
+        assert out.size == 2

@@ -86,3 +86,37 @@ class TestMainBackendFlag:
     def test_backend_choices_enforced(self):
         with pytest.raises(SystemExit):
             main(["run", "E1", "--backend", "warp-drive"])
+
+
+class TestGraphFlags:
+    def test_share_graph_and_cache_forwarded(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "run",
+                "E6",
+                "--trials",
+                "2",
+                "--processes",
+                "1",
+                "--backend",
+                "batched",
+                "--share-graph",
+                "--graph-cache",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E6" in out
+        assert "'share_graph': True" in out
+        assert list(tmp_path.glob("regular-*.npz"))
+
+    def test_share_graph_ignored_by_non_sweep_runner(self, capsys):
+        from repro.cli import main
+
+        # E10 takes neither share_graph nor graph_cache; the flags must
+        # be dropped rather than crash the runner.
+        rc = main(["run", "E10", "--share-graph", "--seed", "2"])
+        assert rc == 0

@@ -159,3 +159,46 @@ class TestCli:
         out = capsys.readouterr().out
         assert "design-choice ablations" in out
         assert "distinct-sampling" in out
+
+
+class TestSharedTopologySweep:
+    def test_e06_share_graph_smoke(self, tmp_path):
+        from repro.experiments.runners import run_e06_c_threshold
+
+        rows, meta = run_e06_c_threshold(
+            n=64,
+            cs=(1.5, 4.0),
+            trials=2,
+            seed=1,
+            processes=1,
+            backend="batched",
+            share_graph=True,
+            graph_cache=str(tmp_path),
+        )
+        assert meta["share_graph"] is True
+        assert len(rows) == 2
+        assert len(list(tmp_path.glob("regular-*.npz"))) == 1
+
+    def test_e06_share_graph_deterministic_across_processes(self):
+        from repro.experiments.runners import run_e06_c_threshold
+
+        a = run_e06_c_threshold(
+            n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=1, share_graph=True
+        )
+        b = run_e06_c_threshold(
+            n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=2, share_graph=True
+        )
+        assert a[0] == b[0]
+
+    def test_e01_graph_cache_hits(self, tmp_path):
+        from repro.experiments.runners import run_e01_completion
+
+        run_e01_completion(
+            ns=(64, 128), trials=2, seed=3, processes=1, graph_cache=str(tmp_path)
+        )
+        files = set(tmp_path.glob("regular-*.npz"))
+        assert len(files) == 4  # one graph per (n, trial): per-trial g_seed
+        run_e01_completion(
+            ns=(64, 128), trials=2, seed=3, processes=1, graph_cache=str(tmp_path)
+        )
+        assert set(tmp_path.glob("regular-*.npz")) == files

@@ -133,3 +133,54 @@ class TestConversions:
         assert nx_g.number_of_nodes() == 7
         assert nx_g.number_of_edges() == 6
         assert nx_g.has_edge(("c", 1), ("s", 3))
+
+
+class TestFromCsr:
+    def test_matches_from_edges(self):
+        g = tiny()
+        g2 = BipartiteGraph.from_csr(
+            3, 4, g.client_indptr, g.client_indices, name=g.name
+        )
+        assert np.array_equal(g.client_indptr, g2.client_indptr)
+        assert np.array_equal(g.client_indices, g2.client_indices)
+        assert np.array_equal(g.server_indptr, g2.server_indptr)
+        assert np.array_equal(g.server_indices, g2.server_indices)
+        g2.validate()
+
+    def test_empty_rows_and_empty_graph(self):
+        g = BipartiteGraph.from_csr(
+            3, 2, np.array([0, 0, 1, 1]), np.array([1])
+        )
+        assert g.client_degrees.tolist() == [0, 1, 0]
+        assert g.neighbors_of_server(1).tolist() == [1]
+        empty = BipartiteGraph.from_csr(2, 2, np.zeros(3, dtype=np.int64), np.empty(0))
+        assert empty.n_edges == 0
+        empty.validate()
+
+    def test_rejects_unsorted_row(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_csr(1, 3, np.array([0, 2]), np.array([2, 0]))
+
+    def test_rejects_duplicate_in_row(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_csr(1, 3, np.array([0, 2]), np.array([1, 1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_csr(1, 3, np.array([0, 1]), np.array([5]))
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_csr(2, 3, np.array([0, 1]), np.array([0]))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(GraphValidationError):
+            BipartiteGraph.from_csr(2, 3, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_reverse_adjacency_consistent(self, regular_graph):
+        g2 = BipartiteGraph.from_csr(
+            regular_graph.n_clients,
+            regular_graph.n_servers,
+            regular_graph.client_indptr,
+            regular_graph.client_indices,
+        )
+        assert np.array_equal(g2.server_indptr, regular_graph.server_indptr)
+        assert np.array_equal(g2.server_indices, regular_graph.server_indices)

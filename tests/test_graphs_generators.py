@@ -197,3 +197,102 @@ class TestComplete:
     def test_bad_sizes(self):
         with pytest.raises(GraphConstructionError):
             complete_bipartite(0, 3)
+
+
+def _simple(g) -> bool:
+    """No parallel edges: every (client, server) pair appears once."""
+    edges = g.edges()
+    keys = edges[:, 0] * g.n_servers + edges[:, 1]
+    return np.unique(keys).size == keys.size
+
+
+class TestVectorizedGeneratorInvariants:
+    """Invariants of the whole-array generator rewrites: exact degree
+    sequences, simplicity, seeded determinism, and fixed-seed
+    distribution sanity for each family."""
+
+    def test_degree_sequences_exact(self):
+        g = trust_subsets(200, 90, 11, seed=0)
+        assert np.all(g.client_degrees == 11)
+        from repro.graphs import community_bipartite
+
+        g = community_bipartite(120, 6, 7, 5, seed=1)
+        assert np.all(g.client_degrees == 12)
+
+    def test_simplicity_all_families(self):
+        cases = [
+            trust_subsets(150, 60, 13, seed=2),
+            erdos_renyi_bipartite(200, 180, 0.08, seed=3),
+            erdos_renyi_bipartite(60, 60, 0.8, seed=4),  # dense/complement path
+            geometric_bipartite(150, 150, 0.15, seed=5),
+            geometric_bipartite(80, 80, 0.5, seed=6),  # coarse-grid dense path
+        ]
+        from repro.graphs import community_bipartite
+
+        cases.append(community_bipartite(96, 8, 9, 3, seed=7))
+        for g in cases:
+            assert _simple(g), g.name
+            g.validate()
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda s: trust_subsets(64, 64, 8, seed=s),
+            lambda s: erdos_renyi_bipartite(64, 64, 0.1, seed=s),
+            lambda s: geometric_bipartite(64, 64, 0.2, seed=s),
+        ],
+        ids=["trust", "er", "geometric"],
+    )
+    def test_seeded_determinism_and_seed_sensitivity(self, build):
+        a, b, c = build(11), build(11), build(12)
+        assert np.array_equal(a.client_indptr, b.client_indptr)
+        assert np.array_equal(a.client_indices, b.client_indices)
+        assert not (
+            np.array_equal(a.client_indptr, c.client_indptr)
+            and np.array_equal(a.client_indices, c.client_indices)
+        )
+
+    def test_community_determinism(self):
+        from repro.graphs import community_bipartite
+
+        a = community_bipartite(64, 4, 6, 2, seed=9)
+        b = community_bipartite(64, 4, 6, 2, seed=9)
+        assert np.array_equal(a.client_indices, b.client_indices)
+
+    def test_trust_per_client_marginals_uniform(self):
+        # Each neighborhood is a uniform k-subset, so every server is hit
+        # Binomial(n_clients, k/n_servers) times: 2000·10/50 = 400 ± 18
+        # (1 sd).  A 6-sigma band keeps the fixed-seed test meaningful
+        # without flaking.
+        n_c, n_s, k = 2000, 50, 10
+        g = trust_subsets(n_c, n_s, k, seed=31415)
+        hits = g.server_degrees
+        expected = n_c * k / n_s
+        sd = math.sqrt(n_c * (k / n_s) * (1 - k / n_s))
+        assert np.all(np.abs(hits - expected) < 6 * sd), hits
+
+    def test_er_expected_degree(self):
+        n, p = 600, 0.05
+        g = erdos_renyi_bipartite(n, n, p, seed=2718)
+        mean = float(g.client_degrees.mean())
+        # mean of n Binomial(n, p) degrees: sd of the mean ≈ sqrt(p(1-p)/n)·sqrt(n)
+        sd_mean = math.sqrt(n * p * (1 - p)) / math.sqrt(n)
+        assert abs(mean - n * p) < 6 * sd_mean
+
+    def test_geometric_expected_degree_torus(self):
+        n, r = 500, 0.1
+        g = geometric_bipartite(n, n, r, seed=161803, torus=True)
+        expected = n * math.pi * r * r
+        assert abs(float(g.client_degrees.mean()) - expected) < 0.25 * expected
+
+    def test_community_within_across_counts_exact(self):
+        from repro.graphs import community_bipartite
+
+        n, groups, kin, kout = 80, 4, 6, 3
+        group = n // groups
+        g = community_bipartite(n, groups, kin, kout, seed=13)
+        for v in range(n):
+            nb = g.neighbors_of_client(v)
+            own = (nb // group) == (v // group)
+            assert int(own.sum()) == kin
+            assert int((~own).sum()) == kout

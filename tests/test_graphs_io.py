@@ -71,3 +71,72 @@ class TestEdgelist:
         path.write_text("# n_clients=2 n_servers=2\n\n0 0\n\n1 1\n")
         g = load_edgelist(path)
         assert g.n_edges == 2
+
+
+class TestGraphCache:
+    def test_build_then_hit(self, tmp_path):
+        from repro.graphs.io import cached_graph
+        from repro.graphs import trust_subsets
+
+        calls = []
+
+        def builder(**kw):
+            calls.append(kw)
+            return trust_subsets(**kw)
+
+        params = {"n_clients": 30, "n_servers": 30, "k": 5}
+        a = cached_graph(builder, "trust", params, 7, tmp_path)
+        b = cached_graph(builder, "trust", params, 7, tmp_path)
+        assert len(calls) == 1  # second call served from disk
+        assert graphs_equal(a, b)
+        assert len(list(tmp_path.glob("trust-*.npz"))) == 1
+
+    def test_distinct_keys_per_params_and_seed(self, tmp_path):
+        from repro.graphs.io import graph_cache_key
+
+        k1 = graph_cache_key("trust", {"n": 10, "k": 3}, 1)
+        k2 = graph_cache_key("trust", {"n": 10, "k": 4}, 1)
+        k3 = graph_cache_key("trust", {"n": 10, "k": 3}, 2)
+        assert len({k1, k2, k3}) == 3
+
+    def test_seed_sequence_keys_stable_and_distinct(self):
+        from repro.graphs.io import graph_cache_key
+
+        root = np.random.SeedSequence(5)
+        a, b = root.spawn(2)
+        ka = graph_cache_key("er", {"n": 4}, a)
+        ka2 = graph_cache_key("er", {"n": 4}, np.random.SeedSequence(5).spawn(2)[0])
+        kb = graph_cache_key("er", {"n": 4}, b)
+        assert ka == ka2
+        assert ka != kb
+
+    def test_uncacheable_seed_builds_fresh(self, tmp_path):
+        from repro.graphs.io import cached_graph, graph_cache_key
+        from repro.graphs import trust_subsets
+
+        assert graph_cache_key("trust", {}, None) is None
+        g = cached_graph(
+            trust_subsets, "trust", {"n_clients": 8, "n_servers": 8, "k": 2}, None, tmp_path
+        )
+        assert g.n_edges == 16
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_no_cache_dir_builds_fresh(self):
+        from repro.graphs.io import cached_graph
+        from repro.graphs import trust_subsets
+
+        g = cached_graph(
+            trust_subsets, "trust", {"n_clients": 8, "n_servers": 8, "k": 2}, 3, None
+        )
+        assert g.n_edges == 16
+
+    def test_cached_load_matches_fresh_build(self, tmp_path):
+        from repro.graphs.io import cached_graph
+        from repro.graphs import random_regular_bipartite
+
+        params = {"n": 40, "degree": 6}
+        fresh = random_regular_bipartite(**params, seed=11)
+        cached_graph(random_regular_bipartite, "regular", params, 11, tmp_path)
+        loaded = cached_graph(random_regular_bipartite, "regular", params, 11, tmp_path)
+        assert graphs_equal(fresh, loaded)
+        assert loaded.name == fresh.name
