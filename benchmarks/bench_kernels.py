@@ -1,0 +1,217 @@
+"""Round-kernel throughput: compiled kernel paths vs the numpy engine.
+
+Measures trials·rounds/sec of ``repro.batch.run_trials_batched`` on the
+scale-axis workload (n=10⁵ Δ-regular graph, R=64 trials, contended
+c=1.5 d=4) for every kernel implementation available on this machine —
+the numpy reference (the PR 2 engine's path, and the baseline), the
+fused C extension, and numba when installed.  Parity is re-verified
+before any timing is trusted.  Also measures the columnar results
+spool: the pickled payload of one sweep point's records as legacy
+dicts vs as a typed :class:`~repro.batch.results.ResultBlock`.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_kernels.py`` — a fast parity/throughput
+  smoke at CI scale;
+* ``python benchmarks/bench_kernels.py [--smoke] [--json PATH]`` — the
+  full measurement, printing a table and writing ``BENCH_kernels.json``
+  (per-kernel trials·rounds/sec plus speedups vs numpy) so future PRs
+  can track the compiled-path trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import EngineBuffers, ResultBlock, available_kernels, run_trials_batched
+from repro.core.config import ProtocolParams
+from repro.graphs import random_regular_bipartite
+from repro.rng import spawn_seeds
+
+# "python" runs the compiled algorithm interpreted — parity-correct but
+# orders of magnitude slow; it is for the test suite, not for timing.
+TIMEABLE = ("numpy", "cext", "numba")
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_kernels(
+    n: int = 100_000,
+    n_trials: int = 64,
+    c: float = 1.5,
+    d: int = 4,
+    seed: int = 123,
+    repeats: int = 3,
+) -> dict:
+    """Time every available kernel on identical seeds; verify parity first."""
+    degree = max(2, math.ceil(math.log2(n) ** 2))
+    graph = random_regular_bipartite(n, degree, seed=0)
+    params = ProtocolParams(c=c, d=d)
+    seeds = spawn_seeds(seed, n_trials)
+    kernels = [k for k in TIMEABLE if k in available_kernels()]
+
+    bufs = EngineBuffers()
+    ref = run_trials_batched(graph, params, "saer", seeds=seeds, kernel="numpy", buffers=bufs)
+    records = []
+    speedups = {}
+    t_numpy = None
+    for name in kernels:
+        out = run_trials_batched(graph, params, "saer", seeds=seeds, kernel=name, buffers=bufs)
+        assert np.array_equal(out.rounds, ref.rounds) and np.array_equal(
+            out.loads, ref.loads
+        ), f"{name} kernel parity broken: timing would be meaningless"
+        t = _time_best(
+            lambda: run_trials_batched(
+                graph, params, "saer", seeds=seeds, kernel=name, buffers=bufs
+            ),
+            repeats,
+        )
+        if name == "numpy":
+            t_numpy = t
+        rate = float(ref.rounds.sum()) / t
+        speedups[name] = t_numpy / t
+        records.append(
+            {
+                "kernel": name,
+                "n": n,
+                "R": n_trials,
+                "c": c,
+                "d": d,
+                "degree": degree,
+                "seconds": round(t, 4),
+                "trials_rounds_per_sec": round(rate, 1),
+                "trials_per_sec": round(n_trials / t, 2),
+            }
+        )
+    return {
+        "workload": {"n": n, "R": n_trials, "c": c, "d": d, "degree": degree,
+                     "rounds_total": int(ref.rounds.sum())},
+        "kernels_available": kernels,
+        "records": records,
+        "speedup_vs_numpy": {k: round(v, 2) for k, v in speedups.items()},
+    }
+
+
+def measure_spool(n: int = 4096, n_trials: int = 64) -> dict:
+    """Pickled return-payload bytes: legacy record dicts vs ResultBlock."""
+    point = {"n": n, "c": 1.5, "d": 4}
+    rng = np.random.default_rng(0)
+    records = [
+        {
+            "completed": True,
+            "rounds": int(rng.integers(1, 30)),
+            "work": int(rng.integers(n, 8 * n)),
+            "work_per_client": float(rng.random() * 10),
+            "max_load": 6,
+            "capacity": 6,
+            "blocked_servers": int(rng.integers(0, n)),
+            "rho": 1.0,
+            "deg_min_c": 144,
+        }
+        for _ in range(n_trials)
+    ]
+    legacy = [dict(point, trial=t, **r) for t, r in zip(range(n_trials), records)]
+    block = ResultBlock.from_records(point, list(range(n_trials)), records)
+    legacy_bytes = len(pickle.dumps(legacy, protocol=pickle.HIGHEST_PROTOCOL))
+    block_bytes = len(pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL))
+    return {
+        "R": n_trials,
+        "legacy_records_bytes": legacy_bytes,
+        "result_block_bytes": block_bytes,
+        "payload_ratio": round(legacy_bytes / block_bytes, 2),
+    }
+
+
+def run_benchmark(n: int, n_trials: int, repeats: int, seed: int = 123) -> dict:
+    report = measure_kernels(n=n, n_trials=n_trials, seed=seed, repeats=repeats)
+    report["benchmark"] = "bench_kernels"
+    report["results_spool"] = measure_spool(n_trials=n_trials)
+    return report
+
+
+# -- pytest entries (reduced scale, CI-friendly) -----------------------------
+
+
+def test_kernel_throughput_smoke():
+    """Parity + a sane timing run for every available kernel at CI scale."""
+    report = run_benchmark(n=2048, n_trials=16, repeats=1)
+    assert report["records"], "no kernels timed"
+    for rec in report["records"]:
+        assert rec["trials_rounds_per_sec"] > 0
+    assert report["results_spool"]["payload_ratio"] > 1.0
+
+
+def test_compiled_kernel_speedup_floor():
+    """A compiled kernel must clearly beat the numpy path.
+
+    Checked at n=10⁴ so the suite stays fast; the full acceptance
+    number (≥2× at n=10⁵, where the CSR table outgrows cache and the
+    fused pass pays most) is what ``BENCH_kernels.json`` records via
+    the CLI entry.  Skipped where no compiled path exists (no numba, no
+    C compiler) — that install legitimately runs pure numpy.
+    """
+    import pytest
+
+    compiled = [k for k in ("cext", "numba") if k in available_kernels()]
+    if not compiled:
+        pytest.skip("no compiled kernel available (no numba, no C compiler)")
+    report = measure_kernels(n=10_000, n_trials=64, repeats=2)
+    best = max(report["speedup_vs_numpy"][k] for k in compiled)
+    assert best >= 1.3, report["speedup_vs_numpy"]
+
+
+# -- CLI entry ----------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="clients/servers per side")
+    parser.add_argument("--trials", type=int, default=64, help="trials per batch (R)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument("--smoke", action="store_true", help="reduced scale for CI")
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+        help="output path for the machine-readable report",
+    )
+    args = parser.parse_args(argv)
+    n, trials, repeats = args.n, args.trials, args.repeats
+    if args.smoke:
+        n, trials, repeats = min(n, 4096), min(trials, 16), 1
+
+    report = run_benchmark(n=n, n_trials=trials, repeats=repeats)
+    header = f"{'kernel':8s} {'n':>8s} {'R':>4s} {'seconds':>9s} {'trials·rounds/s':>16s} {'vs numpy':>9s}"
+    print(header)
+    print("-" * len(header))
+    for rec in report["records"]:
+        print(
+            f"{rec['kernel']:8s} {rec['n']:8d} {rec['R']:4d} {rec['seconds']:9.3f} "
+            f"{rec['trials_rounds_per_sec']:16.1f} "
+            f"{report['speedup_vs_numpy'][rec['kernel']]:8.2f}x"
+        )
+    spool = report["results_spool"]
+    print(
+        f"results spool: {spool['legacy_records_bytes']} B of record dicts → "
+        f"{spool['result_block_bytes']} B columnar ({spool['payload_ratio']}x smaller)"
+    )
+    Path(args.json).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

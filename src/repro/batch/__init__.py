@@ -13,18 +13,31 @@ Entry points: :func:`run_trials_batched` (generic),
 :func:`run_saer_batched` / :func:`run_raes_batched` (convenience), and
 :class:`BatchResult` with its ``to_run_results()`` adapter back to
 per-trial :class:`~repro.core.results.RunResult` records.
+
+The per-round hot loop also exists as fused compiled kernels behind a
+runtime gate (:mod:`repro.batch.kernels`: ``kernel=`` argument or
+``REPRO_KERNELS`` env var; numpy reference, C extension, numba —
+bit-identical, unavailable paths fall back to numpy), and sweep
+results can travel as typed :class:`ResultBlock` columns instead of
+per-trial dicts (the columnar results spool of
+:mod:`repro.parallel.sweep` / :mod:`repro.parallel.aggregate`).
 """
 
 from .engine import run_raes_batched, run_saer_batched, run_trials_batched
+from .kernels import EngineBuffers, available_kernels, resolve_kernel
 from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
-from .results import BatchResult
+from .results import BatchResult, ResultBlock
 
 __all__ = [
     "run_trials_batched",
     "run_saer_batched",
     "run_raes_batched",
     "BatchResult",
+    "ResultBlock",
     "BatchedServerPolicy",
     "BatchedSaerPolicy",
     "BatchedRaesPolicy",
+    "EngineBuffers",
+    "available_kernels",
+    "resolve_kernel",
 ]

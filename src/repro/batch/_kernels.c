@@ -1,0 +1,194 @@
+/* Fused round kernels for the trial-batched engine (repro.batch).
+ *
+ * One call executes one protocol round for every active trial:
+ *
+ *   phase 1  client-blocked destination gather — a block of CSR rows is
+ *            processed for *all* trials before moving to the next
+ *            block, so the adjacency table streams through cache once
+ *            per round instead of once per trial;
+ *   phase 2  per-trial batch counts + the SAER/RAES accept rule,
+ *            touching only servers that received balls (their state is
+ *            provably unchanged otherwise);
+ *   phase 3  branchless survivor compaction, preserving the canonical
+ *            (trial-major, client-major) ball order that the engine's
+ *            random tape is defined over.
+ *
+ * The contract: bit-identical outputs to the pure-numpy engine path
+ * (same uniforms in, same accept decisions, same state, same survivor
+ * order out).  Heavy rounds (balls >= n_servers/4) use a branch-free
+ * dense count/reset; light rounds keep a touched-server list so state
+ * traffic stays proportional to the balls in flight.
+ *
+ * Two state widths are instantiated via self-inclusion: int32 when
+ * every cumulative counter provably fits, int64 otherwise.  The engine
+ * guarantees: n_edges < 2^31 (ball keys and CSR offsets are int32),
+ * uniforms in [0, 1), ball segments sorted by client within each trial,
+ * and count/acc scratch arriving zeroed (every call re-zeroes what it
+ * touched before returning).
+ */
+
+#ifndef REPRO_KERNELS_PASS
+#define REPRO_KERNELS_PASS
+
+#include <stdint.h>
+#include <string.h>
+
+/* Destination gather for Δ-regular graphs: ball_key holds each ball's
+ * CSR row start (client · Δ), so a block covers keys < block_end. */
+static void phase1_regular(
+    const double *u, const int32_t *ball_key, int32_t *dest,
+    int64_t n_active, const int64_t *seg_start, const int64_t *seg_end,
+    int64_t *cur, int64_t reg_deg, const int32_t *indices,
+    int64_t n_clients, int64_t block_clients)
+{
+    for (int64_t a = 0; a < n_active; a++) cur[a] = seg_start[a];
+    for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
+        int64_t block_end = (v0 + block_clients) * reg_deg;
+        for (int64_t a = 0; a < n_active; a++) {
+            int64_t i = cur[a], e = seg_end[a];
+            while (i < e && ball_key[i] < block_end) {
+                int64_t off = (int64_t)(u[i] * (double)reg_deg);
+                if (off > reg_deg - 1) off = reg_deg - 1;
+                dest[i] = indices[ball_key[i] + off];
+                i++;
+            }
+            cur[a] = i;
+        }
+    }
+}
+
+/* Irregular graphs: ball_key holds client ids; degree and row start
+ * come from the (block-resident) degree/indptr tables. */
+static void phase1_irregular(
+    const double *u, const int32_t *ball_key, int32_t *dest,
+    int64_t n_active, const int64_t *seg_start, const int64_t *seg_end,
+    int64_t *cur, const int32_t *indptr, const int32_t *degrees,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients)
+{
+    for (int64_t a = 0; a < n_active; a++) cur[a] = seg_start[a];
+    for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
+        int64_t block_end = v0 + block_clients;
+        for (int64_t a = 0; a < n_active; a++) {
+            int64_t i = cur[a], e = seg_end[a];
+            while (i < e && ball_key[i] < block_end) {
+                int32_t v = ball_key[i];
+                int64_t dg = degrees[v];
+                int64_t off = (int64_t)(u[i] * (double)dg);
+                if (off > dg - 1) off = dg - 1;
+                dest[i] = indices[indptr[v] + off];
+                i++;
+            }
+            cur[a] = i;
+        }
+    }
+}
+
+#define REPRO_STATE int32_t
+#define REPRO_NAME(base) base##_i32
+#include __FILE__
+#undef REPRO_STATE
+#undef REPRO_NAME
+
+#define REPRO_STATE int64_t
+#define REPRO_NAME(base) base##_i64
+#include __FILE__
+#undef REPRO_STATE
+#undef REPRO_NAME
+
+#else /* REPRO_KERNELS_PASS: parameterized body */
+
+/* One full round over all active trials.  Returns the number of
+ * surviving balls written to out_key (0 when do_compact is 0).
+ *
+ * is_raes selects the accept rule; for SAER state1 is cum_received and
+ * state2 is loads, for RAES both point at loads (the aliasing makes the
+ * unified update below reduce to each policy's exact rule). */
+int64_t REPRO_NAME(repro_round)(
+    const double *u, const int32_t *ball_key, int64_t n_active,
+    const int64_t *trial_ids, const int64_t *sent,
+    int64_t reg_deg, const int32_t *indptr, const int32_t *degrees,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients,
+    REPRO_STATE *state1, REPRO_STATE *state2,
+    int64_t n_s, int64_t capacity, int64_t is_raes,
+    int32_t *dest, REPRO_STATE *count, int32_t *touched, uint8_t *acc,
+    int64_t *n_acc, int32_t *out_key, int64_t do_compact,
+    int64_t *cur, int64_t *seg_start, int64_t *seg_end)
+{
+    int64_t pos = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        seg_start[a] = pos;
+        pos += sent[a];
+        seg_end[a] = pos;
+    }
+    if (reg_deg > 0)
+        phase1_regular(u, ball_key, dest, n_active, seg_start, seg_end,
+                       cur, reg_deg, indices, n_clients, block_clients);
+    else
+        phase1_irregular(u, ball_key, dest, n_active, seg_start, seg_end,
+                         cur, indptr, degrees, indices, n_clients,
+                         block_clients);
+
+    int64_t out = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        int64_t k = sent[a], t = trial_ids[a];
+        REPRO_STATE *s1 = state1 + t * n_s;
+        REPRO_STATE *s2 = state2 + t * n_s;
+        int64_t acc_balls = 0;
+        if (k >= n_s / 4) {
+            /* dense: branch-free counting, full server sweep, memset
+             * reset — fastest when most servers are touched anyway */
+            for (int64_t i = seg_start[a]; i < seg_end[a]; i++)
+                count[dest[i]]++;
+            for (int64_t s = 0; s < n_s; s++) {
+                REPRO_STATE cnt = count[s];
+                if (!cnt) continue;
+                REPRO_STATE c = s1[s] + cnt;
+                if (!is_raes) s1[s] = c;
+                if (c <= capacity) {
+                    s2[s] = c;
+                    acc[s] = 1;
+                    acc_balls += cnt;
+                }
+            }
+            n_acc[a] = acc_balls;
+            if (do_compact)
+                for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
+                    out_key[out] = ball_key[i];
+                    out += !acc[dest[i]];
+                }
+            memset(count, 0, (size_t)n_s * sizeof(REPRO_STATE));
+            memset(acc, 0, (size_t)n_s);
+        } else {
+            /* sparse: state traffic proportional to touched servers */
+            int64_t nt = 0;
+            for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
+                int32_t s = dest[i];
+                if (count[s]++ == 0) touched[nt++] = s;
+            }
+            for (int64_t j = 0; j < nt; j++) {
+                int32_t s = touched[j];
+                REPRO_STATE cnt = count[s];
+                REPRO_STATE c = s1[s] + cnt;
+                if (!is_raes) s1[s] = c;
+                if (c <= capacity) {
+                    s2[s] = c;
+                    acc[s] = 1;
+                    acc_balls += cnt;
+                }
+            }
+            n_acc[a] = acc_balls;
+            if (do_compact)
+                for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
+                    out_key[out] = ball_key[i];
+                    out += !acc[dest[i]];
+                }
+            for (int64_t j = 0; j < nt; j++) {
+                count[touched[j]] = 0;
+                acc[touched[j]] = 0;
+            }
+        }
+    }
+    return out;
+}
+
+#endif /* REPRO_KERNELS_PASS */

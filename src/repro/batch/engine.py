@@ -17,9 +17,10 @@ and ``ball_client``, kept sorted trial-major then client-major — the
 same canonical order in which the reference engine consumes its random
 tape.  Per round:
 
-* per-trial uniforms are drawn from per-trial generators (one
-  ``Generator.random(k)`` call per active trial, so trial ``r`` consumes
-  *exactly* the stream that ``run_protocol(seed=seeds[r])`` would);
+* per-trial uniforms are drawn from per-trial generators through a
+  fixed-block read-ahead (:func:`repro.batch.kernels.fill_uniforms`),
+  so trial ``r`` consumes *exactly* the stream that
+  ``run_protocol(seed=seeds[r])`` would;
 * destinations come from the shared CSR graph exactly as in
   :func:`repro.core.engine.draw_destinations`;
 * Phase-2 decisions are made on the combined key ``trial·n_s + dest``:
@@ -30,14 +31,30 @@ tape.  Per round:
   canonical order; a trial leaves the active set when its last ball is
   assigned or it hits the round cap.
 
+Compiled kernels
+----------------
+The whole per-round chain also exists as a fused, cache-blocked
+compiled kernel (:mod:`repro.batch.kernels`): pass ``kernel="cext"`` /
+``"numba"`` (or set ``REPRO_KERNELS``) to run the gather → count →
+decide → compact pipeline as one C or numba call per round.  The
+compiled path is **bit-identical** to the numpy path — it is selected
+per call and silently falls back to numpy whenever a run shape it does
+not support appears (custom policy subclasses, degree-0 clients with
+demand, ≥ 2³¹ edges).  ``buffers=`` accepts an
+:class:`~repro.batch.kernels.EngineBuffers` so sweep workers can keep
+one scratch set (staging arrays, received slab, RNG read-ahead) alive
+across grid points instead of reallocating per task.
+
 Equivalence contract
 --------------------
 For matching per-trial seeds (and the default ``with_replacement`` /
 non-slot draw mode), trial ``r`` of :func:`run_trials_batched` produces
 *bit-identical* results to ``run_protocol(graph, params, policy,
 seed=seeds[r])`` — rounds, work, max_load, blocked servers, and the full
-per-server load vector.  ``tests/test_batch_engine.py`` asserts this
-trial-for-trial across policies, demand vectors, and graph families.
+per-server load vector — under every kernel implementation.
+``tests/test_batch_engine.py`` asserts this trial-for-trial across
+policies, demand vectors, and graph families; ``tests/test_kernels.py``
+asserts numpy/compiled kernel parity.
 
 Not supported (use the reference engine): per-round traces,
 ``slot_mode`` tape semantics, and ``without_replacement`` sampling.
@@ -45,6 +62,7 @@ Not supported (use the reference engine): per-round traces,
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Sequence, Union
 
 import numpy as np
@@ -54,6 +72,14 @@ from ..core.engine import _resolve_demands
 from ..errors import NonTerminationError, ProtocolConfigError
 from ..graphs.bipartite import BipartiteGraph
 from ..rng import make_rng, spawn_seeds
+from .kernels import (
+    RNG_BLOCK,
+    EngineBuffers,
+    Kernel,
+    block_clients_for,
+    fill_uniforms,
+    resolve_kernel,
+)
 from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
 from .results import BatchResult
 
@@ -88,6 +114,31 @@ def _make_batch_policy(
     return policy(n_trials, n_servers, capacity)
 
 
+# The compiled kernels want the CSR tables as int32 (they are guarded
+# to n_edges < 2³¹); converting a 10⁵-node graph costs ~100 MB of
+# traffic, so the converted tables are cached per graph object.  Keyed
+# by id() with a liveness check so a recycled id can never serve a
+# stale entry.
+_CSR32_CACHE: dict[int, tuple] = {}
+
+
+def _csr32(graph: BipartiteGraph):
+    key = id(graph)
+    entry = _CSR32_CACHE.get(key)
+    if entry is not None and entry[0]() is graph:
+        return entry[1]
+    indptr = graph.client_indptr.astype(np.int32, copy=False)
+    indices = graph.client_indices.astype(np.int32, copy=False)
+    degrees = np.diff(indptr)
+    arrays = (indptr, degrees, indices)
+    try:
+        ref = weakref.ref(graph, lambda _r, k=key: _CSR32_CACHE.pop(k, None))
+        _CSR32_CACHE[key] = (ref, arrays)
+    except TypeError:  # un-weakref-able graph stand-ins: just don't cache
+        pass
+    return arrays
+
+
 def run_trials_batched(
     graph: BipartiteGraph,
     params: ProtocolParams,
@@ -98,6 +149,8 @@ def run_trials_batched(
     seed=None,
     demands=None,
     options: RunOptions | None = None,
+    kernel: str | None = None,
+    buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Run ``R`` independent trials of one protocol as a single batch.
 
@@ -121,6 +174,16 @@ def run_trials_batched(
         ``raise_on_cap``, :class:`~repro.errors.NonTerminationError` is
         raised if *any* trial hits the cap (carrying the full
         :class:`BatchResult` in ``result``).
+    kernel:
+        Round-kernel implementation: ``"numpy"`` (default), ``"cext"``,
+        ``"numba"``, or ``"python"``; ``None`` reads the
+        ``REPRO_KERNELS`` environment variable.  All implementations
+        are bit-identical; unavailable ones fall back to numpy with a
+        warning.  See :mod:`repro.batch.kernels`.
+    buffers:
+        Optional :class:`~repro.batch.kernels.EngineBuffers` scratch
+        pool, reused across calls (persistent sweep workers pass their
+        per-process pool so grid points share one allocation).
 
     Returns
     -------
@@ -155,28 +218,174 @@ def run_trials_batched(
     state_dtype = np.int32 if total_balls * max(cap, 1) < 2**31 - 1 else np.int64
     load_dtype = np.int16 if params.capacity < 2**15 - 1 else state_dtype
     pol = _make_batch_policy(policy, R, n_s, params.capacity)
-    pol.astype_state(state_dtype, load_dtype)
     gens = [make_rng(s) for s in seed_list]
-    # Per-trial stream read-ahead: uniforms are pre-drawn in blocks and
-    # served from the buffer, collapsing the ~rounds×trials generator
-    # calls of the tail into a handful per trial.  Exact by construction:
-    # numpy Generators produce identical values regardless of how draws
-    # are batched into calls, so served values match the reference
-    # engine's round-by-round consumption position for position.
-    rng_bufs: list = [None] * R
-    rng_pos = [0] * R
+    bufs = buffers if buffers is not None else EngineBuffers()
 
+    kern = resolve_kernel(kernel)
+    if kern.compiled and _compiled_supported(kern, graph, pol, dem, n_c, n_s):
+        pol.astype_state(state_dtype, state_dtype)
+        rounds, work, assigned, alive_total = _run_rounds_compiled(
+            kern, graph, pol, dem, total_balls, n_c, n_s, cap, R,
+            params.capacity, gens, bufs, state_dtype,
+        )
+    else:
+        pol.astype_state(state_dtype, load_dtype)
+        rounds, work, assigned, alive_total = _run_rounds_numpy(
+            graph, pol, dem, total_balls, n_c, n_s, cap, R, gens, bufs,
+            state_dtype,
+        )
+
+    result = BatchResult(
+        protocol=pol.name,
+        graph_name=graph.name,
+        n_clients=n_c,
+        n_servers=n_s,
+        params=params,
+        n_trials=R,
+        completed=alive_total == 0,
+        rounds=rounds,
+        work=work,
+        total_balls=total_balls,
+        assigned_balls=assigned,
+        max_load=pol.max_loads().astype(np.int64),
+        blocked_servers=pol.blocked_counts().astype(np.int64),
+        loads=pol.loads.astype(np.int64) if opts.record_loads else None,
+        seed_infos=[repr(s) for s in seed_list],
+    )
+    if opts.raise_on_cap and not result.completed.all():
+        incomplete = int((~result.completed).sum())
+        raise NonTerminationError(
+            f"{pol.name}: {incomplete}/{R} trials did not finish within {cap} rounds",
+            result=result,
+        )
+    return result
+
+
+def _compiled_supported(
+    kern: Kernel, graph: BipartiteGraph, pol: BatchedServerPolicy, dem, n_c, n_s
+) -> bool:
+    """Whether this run's shape fits the fused compiled kernels.
+
+    The compiled path implements exactly the built-in SAER/RAES rules
+    (a policy subclass may override ``decide_*``, so only the exact
+    types qualify), needs int32-addressable CSR tables, and does not
+    reproduce the numpy path's clip semantics for degree-0 clients
+    that somehow carry demand.  Anything else falls back to numpy —
+    same results, just without the fusion.
+    """
+    if type(pol) not in (BatchedSaerPolicy, BatchedRaesPolicy):
+        return False
+    if n_c <= 0 or n_s <= 0 or graph.n_edges <= 0:
+        return False
+    if graph.n_edges >= 2**31 - 1 or n_s >= 2**31 - 1:
+        return False
+    _indptr, degrees, _indices = _csr32(graph)
+    if bool(np.any((degrees == 0) & (dem > 0))):
+        return False
+    return True
+
+
+def _run_rounds_compiled(
+    kern, graph, pol, dem, total_balls, n_c, n_s, cap, R, capacity, gens,
+    bufs, state_dtype,
+):
+    """Round loop over the fused compiled kernel (one call per round)."""
+    indptr, degrees, indices = _csr32(graph)
+    reg_deg = 0
+    if degrees.size and int(degrees.min()) == int(degrees.max()):
+        reg_deg = int(degrees[0])
+    if reg_deg:
+        template = np.repeat(np.arange(n_c, dtype=np.int32) * np.int32(reg_deg), dem)
+    else:
+        template = np.repeat(np.arange(n_c, dtype=np.int32), dem)
+    block_clients = block_clients_for(n_c, graph.n_edges)
+
+    rounds = np.zeros(R, dtype=np.int64)
+    work = np.zeros(R, dtype=np.int64)
+    assigned = np.zeros(R, dtype=np.int64)
+    alive_total = np.full(R, total_balls, dtype=np.int64)
+    if total_balls and R:
+        active = np.arange(R, dtype=np.int64)
+        sent = np.full(R, total_balls, dtype=np.int64)
+    else:
+        active = np.empty(0, dtype=np.int64)
+        sent = np.empty(0, dtype=np.int64)
+
+    B0 = total_balls * R
+    u_buf = bufs.get("u", B0, np.float64)
+    dest_buf = bufs.get("cdest", B0, np.int32)
+    ball_key = bufs.get("cball", B0, np.int32)
+    alt_buf = bufs.get("calt", B0, np.int32)
+    if R:
+        ball_key.reshape(R, total_balls)[:] = template
+    count = bufs.get("ccount", n_s, state_dtype, zero=True)
+    touched = bufs.get("ctouched", n_s, np.int32)
+    acc = bufs.get("cacc", n_s, np.uint8, zero=True)
+    n_acc_buf = bufs.get("cnacc", R, np.int64)
+    cur = bufs.get("ccur", R, np.int64)
+    seg_start = bufs.get("cseg0", R, np.int64)
+    seg_end = bufs.get("cseg1", R, np.int64)
+    slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
+    slab_pos = bufs.get("rng_pos", R, np.int64)
+    slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
+
+    if isinstance(pol, BatchedSaerPolicy):
+        state1, state2, is_raes = pol.cum_received, pol.loads, 0
+    else:
+        state1, state2, is_raes = pol.loads, pol.loads, 1
+    round_fn = kern.round_fn()
+
+    round_no = 0
+    B = ball_key.size if active.size else 0
+    while active.size:
+        round_no += 1
+        A = active.size
+        rounds[active] += 1
+        work[active] += 2 * sent
+        u = u_buf[:B]
+        fill_uniforms(u, active.tolist(), sent.tolist(), gens, slab, slab_pos)
+        do_compact = 1 if round_no < cap else 0
+        n_acc = n_acc_buf[:A]
+        B_next = int(
+            round_fn(
+                u, ball_key, active, sent, reg_deg, indptr, degrees, indices,
+                n_c, block_clients, state1, state2, capacity, is_raes,
+                dest_buf[:B], count, touched, acc, n_acc, alt_buf,
+                do_compact, cur[:A], seg_start[:A], seg_end[:A],
+            )
+        )
+        assigned[active] += n_acc
+        alive_total[active] -= n_acc
+        sent = sent - n_acc
+        if not do_compact:
+            # Trials with balls left stop here with rounds == cap.
+            break
+        ball_key, alt_buf = alt_buf, ball_key
+        B = B_next
+        still = sent > 0
+        if not still.all():
+            active = active[still]
+            sent = sent[still]
+    return rounds, work, assigned, alive_total
+
+
+def _run_rounds_numpy(
+    graph, pol, dem, total_balls, n_c, n_s, cap, R, gens, bufs, state_dtype
+):
+    """The vectorized reference round loop (the ``numpy`` kernel)."""
     # Narrow index dtypes cut memory traffic on the per-ball passes (the
     # engine's dominant cost): edge offsets need to span n_edges (int32
     # for any feasible simulation), while client/server ids usually fit
     # int16, which also keeps the gathered CSR indices table L2/L3
     # resident.  All three fall back to wider types for huge inputs.
+    # astype(copy=False) skips the copy whenever the graph's arrays
+    # already have the target dtype (they are only ever read here).
     base_dtype = np.int32 if graph.n_edges < 2**31 - 1 else np.int64
     client_dtype = np.int16 if n_c < 2**15 - 1 else base_dtype
     server_dtype = np.int16 if n_s < 2**15 - 1 else base_dtype
-    indptr = graph.client_indptr.astype(base_dtype)
-    indices = graph.client_indices.astype(server_dtype)
-    degrees = np.diff(indptr).astype(server_dtype)  # a degree is at most n_s
+    indptr = graph.client_indptr.astype(base_dtype, copy=False)
+    indices = graph.client_indices.astype(server_dtype, copy=False)
+    degrees = np.diff(indptr).astype(server_dtype, copy=False)  # a degree is at most n_s
     # Regular graphs (the paper's main family) need no per-ball degree or
     # indptr gathers: N(v)[j] sits at the closed form v·Δ + j.
     reg_deg = 0
@@ -192,10 +401,9 @@ def run_trials_batched(
     # a per-ball multiply every round); irregular graphs carry client ids.
     if reg_deg:
         template = np.repeat(np.arange(n_c, dtype=base_dtype) * base_dtype(reg_deg), dem)
-        ball_key = np.tile(template, R)
         ball_dtype = base_dtype
     else:
-        ball_key = np.tile(np.repeat(np.arange(n_c, dtype=client_dtype), dem), R)
+        template = np.repeat(np.arange(n_c, dtype=client_dtype), dem)
         ball_dtype = client_dtype
 
     rounds = np.zeros(R, dtype=np.int64)
@@ -212,15 +420,23 @@ def run_trials_batched(
 
     # All round-loop scratch lives in buffers sized to the first round
     # (the largest) and sliced per round: repeated multi-MB allocations
-    # cost real page-fault time at fleet scale.
-    B0 = ball_key.size
-    u_buf = np.empty(B0, dtype=np.float64)
-    off_buf = np.empty(B0, dtype=server_dtype)
-    base_buf = np.empty(B0, dtype=base_dtype)
-    dest_buf = np.empty(B0, dtype=server_dtype)
-    keep_buf = np.empty(B0, dtype=bool)
-    alt_buf = np.empty(B0, dtype=ball_dtype)  # compaction ping-pong partner
-    cur_buf = ball_key
+    # cost real page-fault time at fleet scale.  The buffers come from
+    # the (optionally persistent) EngineBuffers pool, so sweep workers
+    # reuse one allocation across grid points.
+    B0 = total_balls * R
+    u_buf = bufs.get("u", B0, np.float64)
+    off_buf = bufs.get("off", B0, server_dtype)
+    base_buf = bufs.get("base", B0, base_dtype)
+    dest_buf = bufs.get("dest", B0, server_dtype)
+    keep_buf = bufs.get("keep", B0, bool)
+    ball_full = bufs.get("ball", B0, ball_dtype)
+    alt_full = bufs.get("alt", B0, ball_dtype)  # compaction ping-pong partner
+    if R:
+        ball_full.reshape(R, total_balls)[:] = template
+    slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
+    slab_pos = bufs.get("rng_pos", R, np.int64)
+    slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
+    ball_key = ball_full[: B0 if active.size else 0]
     # The R × n_s received slab is the engine's largest allocation, but
     # only the dense Phase-2 path reads it — sparse-dominated runs (big
     # R·n_s, small ball counts) never should pay for it.  Allocate on
@@ -242,27 +458,7 @@ def run_trials_batched(
         # stream run_protocol(seed=seeds[r]) would — then the shared-graph
         # destination map of Algorithm 1 line 3, fused over all trials.
         u = u_buf[:B]
-        pos = 0
-        for t, k in zip(active.tolist(), sent_list):
-            seg = u[pos : pos + k]
-            buf = rng_bufs[t]
-            p = rng_pos[t]
-            have = buf.size - p if buf is not None else 0
-            if have >= k:
-                seg[:] = buf[p : p + k]
-                rng_pos[t] = p + k
-            else:
-                if have:
-                    seg[:have] = buf[p:]
-                need = k - have
-                # First draw is exact (round 1 consumes it wholly); the
-                # refills carry 50% slack to amortize the tail rounds.
-                blk = need if buf is None else need + (need >> 1) + 64
-                nb = gens[t].random(blk)
-                seg[have:] = nb[:need]
-                rng_bufs[t] = nb
-                rng_pos[t] = need
-            pos += k
+        fill_uniforms(u, active.tolist(), sent_list, gens, slab, slab_pos)
         offsets = off_buf[:B]
         base = base_buf[:B]
         dest = dest_buf[:B]
@@ -293,7 +489,7 @@ def run_trials_batched(
             n_acc = np.add.reduceat(ball_ok.astype(np.int64), starts)
         else:
             if received_buf is None:
-                received_buf = np.empty((R, n_s), dtype=state_dtype)
+                received_buf = bufs.get("received", (R, n_s), state_dtype)
             received = received_buf[:A]
             n_acc = np.empty(A, dtype=np.int64)
             pos = 0
@@ -315,38 +511,14 @@ def run_trials_batched(
             # Trials with balls left stop here with rounds == cap.
             break
         B_next = int(sent.sum())
-        np.compress(keep, ball_key, out=alt_buf[:B_next])
-        cur_buf, alt_buf = alt_buf, cur_buf
-        ball_key = cur_buf[:B_next]
+        np.compress(keep, ball_key, out=alt_full[:B_next])
+        ball_full, alt_full = alt_full, ball_full
+        ball_key = ball_full[:B_next]
         still = sent > 0
         if not still.all():
             active = active[still]
             sent = sent[still]
-
-    result = BatchResult(
-        protocol=pol.name,
-        graph_name=graph.name,
-        n_clients=n_c,
-        n_servers=n_s,
-        params=params,
-        n_trials=R,
-        completed=alive_total == 0,
-        rounds=rounds,
-        work=work,
-        total_balls=total_balls,
-        assigned_balls=assigned,
-        max_load=pol.max_loads().astype(np.int64),
-        blocked_servers=pol.blocked_counts().astype(np.int64),
-        loads=pol.loads.astype(np.int64) if opts.record_loads else None,
-        seed_infos=[repr(s) for s in seed_list],
-    )
-    if opts.raise_on_cap and not result.completed.all():
-        incomplete = int((~result.completed).sum())
-        raise NonTerminationError(
-            f"{pol.name}: {incomplete}/{R} trials did not finish within {cap} rounds",
-            result=result,
-        )
-    return result
+    return rounds, work, assigned, alive_total
 
 
 def run_saer_batched(
@@ -359,6 +531,8 @@ def run_saer_batched(
     seed=None,
     demands=None,
     options: RunOptions | None = None,
+    kernel: str | None = None,
+    buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Batched ``saer(c, d)``; see :func:`run_trials_batched`."""
     return run_trials_batched(
@@ -370,6 +544,8 @@ def run_saer_batched(
         seed=seed,
         demands=demands,
         options=options,
+        kernel=kernel,
+        buffers=buffers,
     )
 
 
@@ -383,6 +559,8 @@ def run_raes_batched(
     seed=None,
     demands=None,
     options: RunOptions | None = None,
+    kernel: str | None = None,
+    buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Batched ``raes(c, d)``; see :func:`run_trials_batched`."""
     return run_trials_batched(
@@ -394,4 +572,6 @@ def run_raes_batched(
         seed=seed,
         demands=demands,
         options=options,
+        kernel=kernel,
+        buffers=buffers,
     )

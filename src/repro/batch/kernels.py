@@ -1,0 +1,537 @@
+"""Round kernels for the batched engine: numpy reference + compiled paths.
+
+The batched engine's per-round hot loop — per-trial uniform fill, the
+Phase-1 destination gather, the Phase-2 count/decide, and survivor
+compaction — lives here behind a small registry so the same engine can
+run it three ways:
+
+``numpy``
+    The vectorized reference implementation (the default, and the
+    bit-stability baseline).  The engine's own round loop *is* this
+    kernel; :mod:`repro.batch.engine` asks the registry only whether to
+    take the compiled fast path.
+``cext``
+    A fused, cache-blocked C implementation of the whole
+    gather→count→decide→compact chain (``_kernels.c``), compiled on
+    demand with the system C compiler and loaded via :mod:`ctypes`.
+    One call per round covers all active trials; the CSR adjacency
+    streams through cache once per round instead of once per trial.
+``numba``
+    The same loop nest as the C kernel, JIT-compiled by numba when it
+    is installed.  :func:`_round_loops` is written in the nopython
+    subset and doubles as the interpreted specification of the
+    compiled algorithm.
+``python``
+    :func:`_round_loops` executed by the interpreter — far too slow
+    for real workloads, but it lets the parity suite exercise the
+    exact compiled algorithm on any install (no numba, no compiler).
+
+Every implementation is **bit-identical** to the numpy path: same
+uniforms consumed in the same canonical (trial-major, client-major)
+order, same accept decisions, same policy state, same survivor order.
+``tests/test_kernels.py`` asserts this per trial.
+
+Selection is a runtime gate: the ``kernel=`` argument to
+:func:`repro.batch.run_trials_batched` wins, else the ``REPRO_KERNELS``
+environment variable, else ``numpy``.  Requesting an unavailable
+implementation (no numba, no C compiler) warns once and falls back to
+numpy — minimal installs never break, they just don't accelerate.
+
+This module also owns :class:`EngineBuffers`, the named grow-only
+scratch pool that persistent sweep workers keep alive across grid
+points (see :func:`repro.parallel.pool.worker_state`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "KERNELS_ENV",
+    "DEFAULT_KERNEL",
+    "EngineBuffers",
+    "available_kernels",
+    "resolve_kernel",
+    "fill_uniforms",
+]
+
+KERNELS_ENV = "REPRO_KERNELS"
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+DEFAULT_KERNEL = "numpy"
+
+# Read-ahead block: uniforms are pre-drawn per trial in slabs of this
+# many doubles; rounds needing more draw straight into the staging
+# array (identical stream either way — numpy Generators produce the
+# same values regardless of how draws are batched into calls).
+RNG_BLOCK = 8192
+
+# Phase-1 blocking: aim the per-block CSR row working set at a
+# fraction of L2 (measured sweet spot on the benchmark box; flat
+# within 2x either side).
+_BLOCK_BYTES = 128 << 10
+
+
+# ---------------------------------------------------------------------------
+# Persistent scratch
+# ---------------------------------------------------------------------------
+
+
+class EngineBuffers:
+    """Named, grow-only scratch arrays reused across engine calls.
+
+    A worker that sweeps many grid points with one :class:`EngineBuffers`
+    pays allocation (and first-touch page faults) once instead of per
+    point: ``get`` hands back a view of a kept backing array, growing or
+    re-typing it only when a request no longer fits.  Contents are
+    scratch — every consumer fully overwrites what it reads — except
+    slots requested with ``zero=True``, which are cleared on every call
+    (cheap relative to the round loop, and it keeps correctness
+    independent of what a previous, possibly interrupted, run left
+    behind).
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape, dtype, *, zero: bool = False) -> np.ndarray:
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        n = int(np.prod(shape)) if shape else 1
+        dtype = np.dtype(dtype)
+        arr = self._arrays.get(name)
+        if arr is None or arr.dtype != dtype or arr.size < n:
+            arr = np.empty(max(n, 1), dtype=dtype)
+            self._arrays[name] = arr
+        view = arr[:n].reshape(shape)
+        if zero:
+            view[...] = 0
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held (diagnostic)."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def clear(self) -> None:
+        self._arrays.clear()
+
+
+# ---------------------------------------------------------------------------
+# Shared Phase-0: per-trial uniform fill with fixed-block read-ahead
+# ---------------------------------------------------------------------------
+
+
+def fill_uniforms(
+    u: np.ndarray,
+    active: Sequence[int],
+    sent: Sequence[int],
+    gens: list,
+    slab: np.ndarray,
+    slab_pos: np.ndarray,
+) -> None:
+    """Write each active trial's uniforms into ``u`` in canonical order.
+
+    Trial ``t`` consumes exactly the stream ``gens[t]`` would produce
+    round by round in the reference engine: uniforms are served from a
+    per-trial read-ahead row of ``slab`` (refilled ``RNG_BLOCK`` at a
+    time), and any request at least a full block long is drawn straight
+    into the destination segment.  Exact by construction — numpy
+    Generators yield identical values no matter how draws are batched
+    into calls.
+
+    ``slab_pos[t]`` is the per-trial read position (``slab.shape[1]``
+    means empty); callers initialize it to "empty" once per engine run.
+    """
+    blk = slab.shape[1]
+    pos = 0
+    for t, k in zip(active, sent):
+        seg = u[pos : pos + k]
+        p = int(slab_pos[t])
+        have = blk - p
+        if k <= have:
+            seg[:] = slab[t, p : p + k]
+            slab_pos[t] = p + k
+        else:
+            if have:
+                seg[:have] = slab[t, p:]
+            need = k - have
+            if need >= blk:
+                gens[t].random(out=seg[have:])
+                slab_pos[t] = blk
+            else:
+                gens[t].random(out=slab[t])
+                seg[have:] = slab[t, :need]
+                slab_pos[t] = need
+        pos += k
+
+
+# ---------------------------------------------------------------------------
+# The compiled algorithm, as interpreted loops (numba's source of truth)
+# ---------------------------------------------------------------------------
+
+
+def _round_loops(
+    u,
+    ball_key,
+    trial_ids,
+    sent,
+    reg_deg,
+    indptr,
+    degrees,
+    indices,
+    n_clients,
+    block_clients,
+    state1,
+    state2,
+    capacity,
+    is_raes,
+    dest,
+    count,
+    touched,
+    acc,
+    n_acc,
+    out_key,
+    do_compact,
+    cur,
+    seg_start,
+    seg_end,
+):
+    """One round over all active trials; see ``_kernels.c`` for the spec.
+
+    ``state1``/``state2`` are the policy's ``[R, n_servers]`` matrices:
+    (cum_received, loads) for SAER, (loads, loads) for RAES — the
+    aliasing makes the unified update below reduce to each policy's
+    exact rule.  Returns the survivor count written to ``out_key``.
+    """
+    n_active = trial_ids.shape[0]
+    pos = 0
+    for a in range(n_active):
+        seg_start[a] = pos
+        pos += sent[a]
+        seg_end[a] = pos
+        cur[a] = seg_start[a]
+    # phase 1: client-blocked destination gather
+    v0 = 0
+    while v0 < n_clients:
+        if reg_deg > 0:
+            block_end = (v0 + block_clients) * reg_deg
+        else:
+            block_end = v0 + block_clients
+        for a in range(n_active):
+            i = cur[a]
+            e = seg_end[a]
+            while i < e and ball_key[i] < block_end:
+                if reg_deg > 0:
+                    dg = reg_deg
+                    row = np.int64(ball_key[i])
+                else:
+                    v = ball_key[i]
+                    dg = np.int64(degrees[v])
+                    row = np.int64(indptr[v])
+                off = np.int64(u[i] * dg)
+                if off > dg - 1:
+                    off = dg - 1
+                dest[i] = indices[row + off]
+                i += 1
+            cur[a] = i
+        v0 += block_clients
+    # phase 2 + 3 per trial: count, decide, compact
+    out = 0
+    n_s = state1.shape[1]
+    for a in range(n_active):
+        t = trial_ids[a]
+        acc_balls = 0
+        if sent[a] >= n_s // 4:
+            for i in range(seg_start[a], seg_end[a]):
+                count[dest[i]] += 1
+            for s in range(n_s):
+                cnt = count[s]
+                if cnt == 0:
+                    continue
+                c = state1[t, s] + cnt
+                if not is_raes:
+                    state1[t, s] = c
+                if c <= capacity:
+                    state2[t, s] = c
+                    acc[s] = 1
+                    acc_balls += cnt
+            n_acc[a] = acc_balls
+            if do_compact:
+                for i in range(seg_start[a], seg_end[a]):
+                    out_key[out] = ball_key[i]
+                    if acc[dest[i]] == 0:
+                        out += 1
+            count[:n_s] = 0
+            acc[:n_s] = 0
+        else:
+            nt = 0
+            for i in range(seg_start[a], seg_end[a]):
+                s = dest[i]
+                if count[s] == 0:
+                    touched[nt] = s
+                    nt += 1
+                count[s] += 1
+            for j in range(nt):
+                s = touched[j]
+                cnt = count[s]
+                c = state1[t, s] + cnt
+                if not is_raes:
+                    state1[t, s] = c
+                if c <= capacity:
+                    state2[t, s] = c
+                    acc[s] = 1
+                    acc_balls += cnt
+            n_acc[a] = acc_balls
+            if do_compact:
+                for i in range(seg_start[a], seg_end[a]):
+                    out_key[out] = ball_key[i]
+                    if acc[dest[i]] == 0:
+                        out += 1
+            for j in range(nt):
+                count[touched[j]] = 0
+                acc[touched[j]] = 0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Kernel implementations
+# ---------------------------------------------------------------------------
+
+
+class Kernel:
+    """A round-kernel implementation; ``compiled`` marks fused-loop paths."""
+
+    name: str = "abstract"
+    compiled: bool = False
+
+    def available(self) -> bool:
+        return True
+
+    def round_fn(self) -> Callable:
+        """The per-round entry with the :func:`_round_loops` signature."""
+        raise NotImplementedError(f"{self.name} has no fused round entry")
+
+
+class NumpyKernel(Kernel):
+    """Marker for the engine's vectorized reference loop."""
+
+    name = "numpy"
+
+
+class PythonKernel(Kernel):
+    """Interpreted compiled-algorithm loops (parity testing / debugging)."""
+
+    name = "python"
+    compiled = True
+
+    def round_fn(self) -> Callable:
+        return _round_loops
+
+
+class NumbaKernel(Kernel):
+    """numba-jitted :func:`_round_loops`; unavailable without numba."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._jitted: Callable | None = None
+
+    def available(self) -> bool:
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def round_fn(self) -> Callable:
+        if self._jitted is None:
+            import numba
+
+            self._jitted = numba.njit(cache=False, fastmath=False)(_round_loops)
+        return self._jitted
+
+
+class CextKernel(Kernel):
+    """ctypes-loaded C implementation, compiled on demand from ``_kernels.c``."""
+
+    name = "cext"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._lib = None
+        self._failed = False
+        self._lock = threading.Lock()
+
+    def _load(self):
+        with self._lock:
+            if self._lib is None and not self._failed:
+                try:
+                    self._lib = _load_cext_library()
+                except Exception as exc:  # compiler missing, sandboxed, ...
+                    self._failed = True
+                    self._error = exc
+        return self._lib
+
+    def available(self) -> bool:
+        return self._load() is not None
+
+    def round_fn(self) -> Callable:
+        lib = self._load()
+        if lib is None:
+            raise RuntimeError(f"cext kernel unavailable: {self._error}")
+
+        def call(u, ball_key, trial_ids, sent, reg_deg, indptr, degrees,
+                 indices, n_clients, block_clients, state1, state2, capacity,
+                 is_raes, dest, count, touched, acc, n_acc, out_key,
+                 do_compact, cur, seg_start, seg_end):
+            fn = lib.repro_round_i64 if state1.dtype == np.int64 else lib.repro_round_i32
+            return fn(
+                u, ball_key, trial_ids.shape[0], trial_ids, sent,
+                reg_deg, indptr, degrees, indices, n_clients, block_clients,
+                state1, state2, state1.shape[1], capacity, is_raes,
+                dest, count, touched, acc, n_acc, out_key, do_compact,
+                cur, seg_start, seg_end,
+            )
+
+        return call
+
+
+def _cc_candidates() -> list[str]:
+    env = os.environ.get("CC")
+    return [env] if env else ["cc", "gcc", "clang"]
+
+
+def _load_cext_library():
+    """Compile (once, cached by source hash) and load ``_kernels.c``."""
+    src = Path(__file__).with_name("_kernels.c")
+    source = src.read_bytes()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache_dir = os.environ.get(CACHE_ENV)
+    if cache_dir:
+        cache = Path(cache_dir)
+    else:
+        uid = os.getuid() if hasattr(os, "getuid") else "u"
+        cache = Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+    cache.mkdir(parents=True, exist_ok=True)
+    so = cache / f"_repro_kernels_{tag}.so"
+    if not so.exists():
+        last_err: Exception | None = None
+        for cc in _cc_candidates():
+            tmp = so.with_name(f"{so.stem}.{os.getpid()}.tmp.so")
+            cmd = [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)]
+            try:
+                subprocess.run(
+                    cmd, check=True, capture_output=True, timeout=120
+                )
+                os.replace(tmp, so)  # atomic: concurrent workers race safely
+                last_err = None
+                break
+            except Exception as exc:
+                last_err = exc
+                tmp.unlink(missing_ok=True)
+        if last_err is not None:
+            raise RuntimeError(f"C kernel build failed: {last_err}")
+    lib = ctypes.CDLL(str(so))
+    _declare(lib.repro_round_i32, np.int32)
+    _declare(lib.repro_round_i64, np.int64)
+    return lib
+
+
+def _declare(fn, state_dtype) -> None:
+    ptr = np.ctypeslib.ndpointer
+    c = dict(flags="C_CONTIGUOUS")
+    i64 = ctypes.c_int64
+    fn.restype = i64
+    fn.argtypes = [
+        ptr(np.float64, **c),   # u
+        ptr(np.int32, **c),     # ball_key
+        i64,                    # n_active
+        ptr(np.int64, **c),     # trial_ids
+        ptr(np.int64, **c),     # sent
+        i64,                    # reg_deg
+        ptr(np.int32, **c),     # indptr
+        ptr(np.int32, **c),     # degrees
+        ptr(np.int32, **c),     # indices
+        i64,                    # n_clients
+        i64,                    # block_clients
+        ptr(state_dtype, **c),  # state1
+        ptr(state_dtype, **c),  # state2
+        i64,                    # n_s
+        i64,                    # capacity
+        i64,                    # is_raes
+        ptr(np.int32, **c),     # dest
+        ptr(state_dtype, **c),  # count
+        ptr(np.int32, **c),     # touched
+        ptr(np.uint8, **c),     # acc
+        ptr(np.int64, **c),     # n_acc
+        ptr(np.int32, **c),     # out_key
+        i64,                    # do_compact
+        ptr(np.int64, **c),     # cur
+        ptr(np.int64, **c),     # seg_start
+        ptr(np.int64, **c),     # seg_end
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registry / gate
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Kernel] = {
+    "numpy": NumpyKernel(),
+    "python": PythonKernel(),
+    "numba": NumbaKernel(),
+    "cext": CextKernel(),
+}
+
+_warned: set[str] = set()
+
+
+def available_kernels() -> list[str]:
+    """Names of the kernel implementations usable on this install."""
+    return [name for name, k in _REGISTRY.items() if k.available()]
+
+
+def resolve_kernel(name: str | None = None) -> Kernel:
+    """Resolve the runtime gate: argument > ``REPRO_KERNELS`` > numpy.
+
+    Unknown names raise; known-but-unavailable ones (numba not
+    installed, no C compiler) warn once per process and fall back to
+    the numpy reference so minimal installs keep working.
+    """
+    requested = name or os.environ.get(KERNELS_ENV) or DEFAULT_KERNEL
+    requested = requested.strip().lower()
+    try:
+        kern = _REGISTRY[requested]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {requested!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    if not kern.available():
+        if requested not in _warned:
+            _warned.add(requested)
+            warnings.warn(
+                f"repro kernel {requested!r} is unavailable on this install; "
+                f"falling back to the numpy reference path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _REGISTRY["numpy"]
+    return kern
+
+
+def block_clients_for(n_clients: int, n_edges: int) -> int:
+    """Phase-1 block size: keep a block's CSR rows ~L2-resident."""
+    if n_clients <= 0 or n_edges <= 0:
+        return max(1, n_clients)
+    avg_row_bytes = max(1, (n_edges * 4) // n_clients)
+    return max(8, min(n_clients, _BLOCK_BYTES // avg_row_bytes))

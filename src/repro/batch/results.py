@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..core.config import ProtocolParams
 from ..core.results import RunResult
 
-__all__ = ["BatchResult"]
+__all__ = ["BatchResult", "ResultBlock"]
 
 
 @dataclass
@@ -125,3 +125,132 @@ class BatchResult:
             "capacity": self.params.capacity,
             "blocked_servers_mean": float(self.blocked_servers.mean()) if self.n_trials else 0.0,
         }
+
+
+def _pyvalue(v):
+    """numpy scalar → native python scalar (dicts stay json/printable)."""
+    return v.item() if isinstance(v, np.generic) else v
+
+
+def _column(values: list) -> np.ndarray:
+    """A typed column for homogeneous values, object dtype otherwise.
+
+    Integer columns are narrowed to the smallest dtype that holds their
+    range: pickle encodes small python ints in 2-5 bytes, so an int64
+    column would *grow* the wire payload the spool exists to shrink.
+    Floats keep full precision.
+    """
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError):
+        arr = None
+    if arr is None or arr.dtype.kind in "OUSV" or arr.ndim != 1:
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+    if arr.dtype.kind in "iu" and arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        for dt in (np.int8, np.int16, np.int32, np.int64):
+            info = np.iinfo(dt)
+            if info.min <= lo and hi <= info.max:
+                return arr.astype(dt, copy=False)
+    return arr
+
+
+@dataclass
+class ResultBlock:
+    """One sweep point's trial records as typed columns.
+
+    The columnar results spool: instead of shipping ``R`` per-trial
+    dicts back from a worker (each pickled key by key), a batched sweep
+    task returns one :class:`ResultBlock` — the shared point parameters
+    once, the trial indices, and a structured array holding the
+    per-trial fields as typed columns.  The parent side assembles
+    blocks into a single columnar table
+    (:func:`repro.parallel.aggregate.assemble_blocks`); dicts are
+    materialized lazily only where legacy record consumers need them.
+
+    Attributes
+    ----------
+    point:
+        The sweep-point parameters shared by every row of the block.
+    trials:
+        Trial indices, shape ``[R]``.
+    data:
+        Structured array, shape ``[R]``, one field per record key.
+    """
+
+    point: dict
+    trials: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.trials = np.asarray(self.trials, dtype=np.int64)
+        if self.data.shape != self.trials.shape:
+            raise ValueError(
+                f"data shape {self.data.shape} disagrees with "
+                f"trials shape {self.trials.shape}"
+            )
+
+    @classmethod
+    def from_records(
+        cls, point: Mapping, trials: Sequence[int], records: Sequence[Mapping]
+    ) -> "ResultBlock":
+        """Pack per-trial record dicts into a block.
+
+        Columns cover the union of the records' keys (first-seen
+        order); a record missing a key contributes ``None`` there — the
+        one place columns differ from dicts, where the key would simply
+        be absent (aggregation drops ``None`` either way).
+        """
+        records = list(records)
+        if len(records) != len(trials):
+            raise ValueError(
+                f"{len(records)} records for {len(trials)} trials"
+            )
+        keys: list[str] = []
+        for r in records:
+            for k in r:
+                if k not in keys:
+                    keys.append(k)
+        cols = {k: _column([r.get(k) for r in records]) for k in keys}
+        dtype = np.dtype([(k, cols[k].dtype) for k in keys])
+        data = np.empty(len(records), dtype=dtype)
+        for k in keys:
+            data[k] = cols[k]
+        return cls(point=dict(point), trials=np.asarray(list(trials)), data=data)
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.trials.size)
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    @property
+    def fields(self) -> list[str]:
+        """Per-trial field names (the structured dtype's columns)."""
+        return list(self.data.dtype.names or ())
+
+    def to_structured(self) -> np.ndarray:
+        """The per-trial fields as a structured array (zero-copy)."""
+        return self.data
+
+    @classmethod
+    def from_structured(
+        cls, point: Mapping, trials: Sequence[int], data: np.ndarray
+    ) -> "ResultBlock":
+        """Wrap an existing structured array (zero-copy) as a block."""
+        return cls(point=dict(point), trials=np.asarray(list(trials)), data=data)
+
+    def records(self) -> list[dict]:
+        """Materialize the legacy flat records: point + trial + fields."""
+        names = self.fields
+        out = []
+        for i in range(self.n_trials):
+            row = dict(self.point)
+            row["trial"] = int(self.trials[i])
+            for k in names:
+                row[k] = _pyvalue(self.data[k][i])
+            out.append(row)
+        return out

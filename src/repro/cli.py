@@ -57,13 +57,15 @@ def run_experiment(
     backend: str | None = None,
     share_graph: bool | None = None,
     graph_cache: str | None = None,
+    results: str | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
     Only overrides the runner actually accepts are forwarded (e.g. the
     experiments whose semantics do not fit the batched engine simply
     ignore ``backend``; ``share_graph`` only reaches fixed-topology
-    sweeps, ``graph_cache`` the runners that build graphs worker-side).
+    sweeps, ``graph_cache`` the runners that build graphs worker-side,
+    ``results`` the sweep runners that support the columnar spool).
     """
     spec = get_experiment(exp_id)
     fn = getattr(runner_mod, spec.runner)
@@ -76,6 +78,7 @@ def run_experiment(
         "backend": backend,
         "share_graph": share_graph,
         "graph_cache": graph_cache,
+        "results": results,
     }
     for name, value in overrides.items():
         if value is not None and (accepted is None or name in accepted):
@@ -120,6 +123,12 @@ def _run_ablations(args) -> tuple[list, dict, str]:
 
 
 def _cmd_run(args) -> int:
+    if args.kernel:
+        # The engine reads the gate at call time, and forked pool
+        # workers inherit the environment — one setting covers both.
+        import os
+
+        os.environ["REPRO_KERNELS"] = args.kernel
     target = args.experiment.lower()
     if target == "ablations":
         rows, meta, title = _run_ablations(args)
@@ -141,6 +150,7 @@ def _cmd_run(args) -> int:
             backend=args.backend,
             share_graph=True if args.share_graph else None,
             graph_cache=args.graph_cache,
+            results=args.results,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -191,6 +201,26 @@ def main(argv=None) -> int:
         "rebuilding or pickling the graph per task.  Only honoured by "
         "fixed-topology sweeps (currently E6); conditions the estimate "
         "on a single graph draw.",
+    )
+    p_run.add_argument(
+        "--kernel",
+        choices=("numpy", "cext", "numba", "python"),
+        default=None,
+        help="round-kernel implementation for the batched engine "
+        "(sets REPRO_KERNELS so pool workers inherit it): numpy "
+        "reference (default), fused C (cext), numba JIT, or the "
+        "interpreted compiled-algorithm loops (python; debugging "
+        "only).  All are bit-identical; unavailable ones fall back "
+        "to numpy with a warning.",
+    )
+    p_run.add_argument(
+        "--results",
+        choices=("records", "columnar"),
+        default=None,
+        help="sweep results carrier: legacy per-trial record dicts, or "
+        "the columnar spool (typed ResultBlock arrays from batched "
+        "workers, assembled into one ResultTable).  Identical record "
+        "content; columnar is the sweep runners' default.",
     )
     p_run.add_argument(
         "--graph-cache",

@@ -53,7 +53,7 @@ from ..graphs import (
 )
 from ..graphs.io import cached_graph
 from ..parallel.aggregate import aggregate_records, summarize
-from ..parallel.pool import map_parallel
+from ..parallel.pool import map_parallel, worker_state
 from ..parallel.sweep import ParameterGrid, run_sweep
 from ..theory.bounds import c_min_regular, completion_horizon
 from ..theory.recurrences import delta_sequence, gamma_products, gamma_sequence, stage1_length
@@ -153,7 +153,14 @@ def _saer_run_record(graph, point: Mapping, p_seed) -> dict:
 
 def _saer_batch_records(graph, point: Mapping, p_seeds) -> list[dict]:
     """One batched-engine trial block on ``graph`` → canonical records
-    (same schema as :func:`_saer_run_record`)."""
+    (same schema as :func:`_saer_run_record`).
+
+    Runs on the worker's persistent engine buffers
+    (:func:`repro.parallel.pool.worker_state`), so a process sweeping
+    many grid points allocates its staging arrays, received slab, and
+    RNG read-ahead once.  The kernel gate (``REPRO_KERNELS`` /
+    ``repro-lb --kernel``) is read inside the engine.
+    """
     opts = RunOptions(max_rounds=point.get("max_rounds"))
     res = run_trials_batched(
         graph,
@@ -161,6 +168,7 @@ def _saer_batch_records(graph, point: Mapping, p_seeds) -> list[dict]:
         "saer",
         seeds=list(p_seeds),
         options=opts,
+        buffers=worker_state().engine_buffers,
     )
     rep = degree_report(graph)
     n_c = graph.n_clients
@@ -226,8 +234,9 @@ def _saer_point_batched(
 
 
 def _saer_sweep(
-    grid, *, trials, seed, processes, backend, graph=None, graph_cache=None
-) -> list[dict]:
+    grid, *, trials, seed, processes, backend, graph=None, graph_cache=None,
+    results="columnar",
+):
     """Dispatch a SAER sweep to the reference or batched execution path.
 
     ``graph`` (a :class:`~repro.graphs.bipartite.BipartiteGraph` or
@@ -235,6 +244,13 @@ def _saer_sweep(
     (point, trial) and ships it to workers zero-copy; ``graph_cache``
     routes worker-side graph builds through the on-disk cache.  The two
     are exclusive (a pinned graph is never rebuilt).
+
+    ``results`` selects the return carrier (see
+    :func:`repro.parallel.sweep.run_sweep`): the default ``"columnar"``
+    ships typed :class:`~repro.batch.results.ResultBlock` arrays back
+    from batched workers and hands runners a lazy
+    :class:`~repro.parallel.aggregate.ResultTable`; ``"records"`` keeps
+    the legacy list of dicts.  Record content is identical.
     """
     if backend == "reference":
         if graph is not None:
@@ -245,11 +261,15 @@ def _saer_sweep(
                 seed=seed,
                 processes=processes,
                 graph=graph,
+                results=results,
             )
         point_fn = (
             functools.partial(_saer_point, cache_dir=graph_cache) if graph_cache else _saer_point
         )
-        return run_sweep(point_fn, grid, n_trials=trials, seed=seed, processes=processes)
+        return run_sweep(
+            point_fn, grid, n_trials=trials, seed=seed, processes=processes,
+            results=results,
+        )
     if backend == "batched":
         if graph is not None:
             return run_sweep(
@@ -260,6 +280,7 @@ def _saer_sweep(
                 processes=processes,
                 backend="batched",
                 graph=graph,
+                results=results,
             )
         point_fn = (
             functools.partial(_saer_point_batched, cache_dir=graph_cache)
@@ -273,6 +294,7 @@ def _saer_sweep(
             seed=seed,
             processes=processes,
             backend="batched",
+            results=results,
         )
     raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
 
@@ -286,16 +308,18 @@ def run_e01_completion(
     processes: int | None = None,
     backend: str = "reference",
     graph_cache: str | None = None,
+    results: str = "columnar",
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = _saer_sweep(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache,
+        graph_cache=graph_cache, results=results,
     )
+    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
     rows = []
     for n in ns:
-        bucket = [r for r in recs if r["n"] == n]
+        bucket = [r for r in rec_rows if r["n"] == n]
         stats = summarize([r["rounds"] for r in bucket])
         rows.append(
             {
@@ -335,16 +359,18 @@ def run_e02_work(
     processes: int | None = None,
     backend: str = "reference",
     graph_cache: str | None = None,
+    results: str = "columnar",
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = _saer_sweep(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache,
+        graph_cache=graph_cache, results=results,
     )
+    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
     rows = []
     for n in ns:
-        bucket = [r for r in recs if r["n"] == n]
+        bucket = [r for r in rec_rows if r["n"] == n]
         wpc = summarize([r["work_per_client"] for r in bucket])
         rows.append(
             {
@@ -590,6 +616,7 @@ def run_e06_c_threshold(
     backend: str = "reference",
     share_graph: bool = False,
     graph_cache: str | None = None,
+    results: str = "columnar",
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale.
 
@@ -616,10 +643,12 @@ def run_e06_c_threshold(
         backend=backend,
         graph=graph,
         graph_cache=None if share_graph else graph_cache,
+        results=results,
     )
+    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
     rows = []
     for c in cs:
-        bucket = [r for r in recs if r["c"] == c]
+        bucket = [r for r in rec_rows if r["c"] == c]
         done = sum(r["completed"] for r in bucket)
         rate, lo, hi = wilson_interval(done, len(bucket))
         done_rounds = [r["rounds"] for r in bucket if r["completed"]]
@@ -663,6 +692,7 @@ def run_e07_degree_sweep(
     processes: int | None = None,
     backend: str = "reference",
     graph_cache: str | None = None,
+    results: str = "columnar",
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -679,10 +709,10 @@ def run_e07_degree_sweep(
     all_recs = []
     for label, deg in degree_specs:
         grid = ParameterGrid(n=[n], c=[c], d=[d], degree=[deg])
-        recs = _saer_sweep(
+        recs = list(_saer_sweep(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
-            graph_cache=graph_cache,
-        )
+            graph_cache=graph_cache, results=results,
+        ))
         all_recs.extend(recs)
         done = sum(r["completed"] for r in recs)
         rate, lo, hi = wilson_interval(done, len(recs))
@@ -718,6 +748,7 @@ def run_e08_almost_regular(
     processes: int | None = None,
     backend: str = "reference",
     graph_cache: str | None = None,
+    results: str = "columnar",
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -733,10 +764,10 @@ def run_e08_almost_regular(
             degree_lo=[base],
             degree_hi=[min(base * ratio, n)],
         )
-        recs = _saer_sweep(
+        recs = list(_saer_sweep(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
-            graph_cache=graph_cache,
-        )
+            graph_cache=graph_cache, results=results,
+        ))
         all_recs.extend(recs)
         done_rounds = [r["rounds"] for r in recs if r["completed"]]
         rows.append(
@@ -752,10 +783,10 @@ def run_e08_almost_regular(
         )
     # The paper's extremal example (√n-degree clients, O(1)-degree servers).
     grid = ParameterGrid(n=[n], c=[c], d=[d], family=["paper_extremal"], eta=[0.5])
-    recs = _saer_sweep(
+    recs = list(_saer_sweep(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache,
-    )
+        graph_cache=graph_cache, results=results,
+    ))
     all_recs.extend(recs)
     done_rounds = [r["rounds"] for r in recs if r["completed"]]
     rows.append(

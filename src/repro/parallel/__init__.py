@@ -26,8 +26,8 @@ shared-memory mapping — instead of pickling the graph into every task
 (see :mod:`repro.parallel.shared`).
 """
 
-from .aggregate import aggregate_records, summarize
-from .pool import map_parallel, monte_carlo
+from .aggregate import ResultTable, aggregate_records, assemble_blocks, summarize
+from .pool import WorkerState, map_parallel, monte_carlo, worker_state
 from .shared import SharedGraph, current_task_graph, graph_context
 from .sweep import ParameterGrid, run_sweep
 
@@ -38,7 +38,11 @@ __all__ = [
     "run_sweep",
     "summarize",
     "aggregate_records",
+    "assemble_blocks",
+    "ResultTable",
     "SharedGraph",
     "current_task_graph",
     "graph_context",
+    "worker_state",
+    "WorkerState",
 ]

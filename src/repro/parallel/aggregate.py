@@ -1,4 +1,15 @@
-"""Aggregation of trial records into table rows."""
+"""Aggregation of trial records into table rows.
+
+Two record carriers flow through this module:
+
+* plain ``list[dict]`` — the legacy per-(point, trial) records;
+* :class:`ResultTable` — the columnar results spool: one typed array
+  per field, assembled from the :class:`~repro.batch.results.ResultBlock`
+  blocks that batched sweep workers return.  A table quacks like a
+  read-only list of dicts (rows are materialized lazily), so every
+  legacy consumer keeps working, while :func:`aggregate_records` gets a
+  vectorized group-by fast path over the columns.
+"""
 
 from __future__ import annotations
 
@@ -8,18 +19,13 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["summarize", "aggregate_records"]
+from ..batch.results import _column, _pyvalue
+
+__all__ = ["summarize", "aggregate_records", "ResultTable", "assemble_blocks"]
 
 
-def summarize(values: Iterable[float]) -> dict:
-    """Summary statistics of a sample: mean, std, quantiles, 95% CI.
-
-    The CI half-width uses the normal approximation
-    ``1.96·s/√n`` — adequate for the trial counts experiments use (≥10)
-    and cheap; use :func:`repro.analysis.stats.bootstrap_ci` when the
-    statistic is a quantile or the sample is tiny.
-    """
-    arr = np.asarray(list(values), dtype=np.float64)
+def _stats_from_array(arr: np.ndarray) -> dict:
+    """The :func:`summarize` statistics for an already-float64 sample."""
     if arr.size == 0:
         return {
             "n": 0,
@@ -46,6 +52,152 @@ def summarize(values: Iterable[float]) -> dict:
     }
 
 
+def summarize(values: Iterable[float]) -> dict:
+    """Summary statistics of a sample: mean, std, quantiles, 95% CI.
+
+    The CI half-width uses the normal approximation
+    ``1.96·s/√n`` — adequate for the trial counts experiments use (≥10)
+    and cheap; use :func:`repro.analysis.stats.bootstrap_ci` when the
+    statistic is a quantile or the sample is tiny.
+    """
+    return _stats_from_array(np.asarray(list(values), dtype=np.float64))
+
+
+class ResultTable(Sequence):
+    """Columnar sweep results that behave like a list of record dicts.
+
+    ``table[i]`` materializes row ``i`` as a plain dict (python
+    scalars), ``table.column(name)`` exposes the typed column array
+    for vectorized consumers.  Built either from worker-side
+    :class:`~repro.batch.results.ResultBlock` blocks
+    (:meth:`from_blocks`) or from legacy record dicts
+    (:meth:`from_records`).
+    """
+
+    def __init__(self, columns: dict[str, np.ndarray], n_rows: int):
+        for name, col in columns.items():
+            if col.shape != (n_rows,):
+                raise ValueError(
+                    f"column {name!r} has shape {col.shape}; expected ({n_rows},)"
+                )
+        self._columns = columns
+        self._n = int(n_rows)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_blocks(cls, blocks: Sequence) -> "ResultTable":
+        """Assemble per-point :class:`ResultBlock` s into one table.
+
+        Point keys come first (in the first block's order), then
+        ``trial``, then the per-trial fields — matching the key order
+        of the legacy record dicts so materialized rows are
+        indistinguishable.
+        """
+        blocks = list(blocks)
+        n = sum(b.n_trials for b in blocks)
+        columns: dict[str, np.ndarray] = {}
+        if not blocks:
+            return cls(columns, 0)
+        point_keys: list[str] = []
+        for b in blocks:
+            for k in b.point:
+                if k not in point_keys:
+                    point_keys.append(k)
+        for k in point_keys:
+            parts = [np.full(b.n_trials, b.point.get(k)) for b in blocks]
+            try:
+                col = np.concatenate(parts) if parts else np.empty(0)
+                if col.dtype.kind in "OUSV":
+                    raise TypeError
+            except (TypeError, ValueError):
+                col = np.empty(n, dtype=object)
+                pos = 0
+                for b in blocks:
+                    col[pos : pos + b.n_trials] = [b.point.get(k)] * b.n_trials
+                    pos += b.n_trials
+            columns[k] = col
+        columns["trial"] = np.concatenate([b.trials for b in blocks])
+        field_names: list[str] = []
+        for b in blocks:
+            for k in b.fields:
+                if k not in field_names:
+                    field_names.append(k)
+        for k in field_names:
+            parts = []
+            for b in blocks:
+                if k in b.fields:
+                    parts.append(np.asarray(b.data[k]))
+                else:
+                    missing = np.empty(b.n_trials, dtype=object)
+                    missing[:] = None
+                    parts.append(missing)
+            try:
+                col = np.concatenate(parts)
+            except (TypeError, ValueError):
+                col = np.empty(n, dtype=object)
+                pos = 0
+                for part in parts:
+                    col[pos : pos + part.size] = list(part)
+                    pos += part.size
+            columns[k] = col
+        return cls(columns, n)
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping]) -> "ResultTable":
+        """Columnarize legacy record dicts (parent-side assembly)."""
+        records = list(records)
+        keys: list[str] = []
+        for r in records:
+            for k in r:
+                if k not in keys:
+                    keys.append(k)
+        columns = {k: _column([r.get(k) for r in records]) for k in keys}
+        return cls(columns, len(records))
+
+    # -- columnar access ---------------------------------------------------
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._columns.values())
+
+    # -- sequence-of-dicts compatibility -----------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._n))]
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        return {k: _pyvalue(col[i]) for k, col in self._columns.items()}
+
+    def to_records(self) -> list[dict]:
+        return [self[i] for i in range(self._n)]
+
+    def __repr__(self) -> str:
+        return f"ResultTable(rows={self._n}, fields={list(self._columns)})"
+
+
+def assemble_blocks(blocks: Sequence) -> ResultTable:
+    """Worker blocks → one columnar :class:`ResultTable`."""
+    return ResultTable.from_blocks(blocks)
+
+
 def aggregate_records(
     records: Sequence[Mapping],
     group_by: Sequence[str],
@@ -57,7 +209,17 @@ def aggregate_records(
     order) with columns ``{field}_{stat}`` for each requested field plus
     the grouping keys.  Boolean fields aggregate to their mean (i.e. a
     rate), which is how completion rates are reported.
+
+    A :class:`ResultTable` input takes a vectorized group-by over the
+    typed columns instead of iterating dicts; both paths produce
+    identical rows.
     """
+    if isinstance(records, ResultTable):
+        try:
+            return _aggregate_table(records, group_by, fields)
+        except TypeError:
+            # un-sortable object columns: fall back to the dict path
+            pass
     groups: dict[tuple, list[Mapping]] = defaultdict(list)
     order: list[tuple] = []
     for rec in records:
@@ -73,6 +235,73 @@ def aggregate_records(
         for f in fields:
             vals = [float(rec[f]) for rec in bucket if rec.get(f) is not None]
             stats = summarize(vals)
+            row[f"{f}_mean"] = stats["mean"]
+            row[f"{f}_median"] = stats["median"]
+            row[f"{f}_max"] = stats["max"]
+            row[f"{f}_ci95"] = stats["ci95"]
+        rows.append(row)
+    return rows
+
+
+def _aggregate_table(
+    table: ResultTable, group_by: Sequence[str], fields: Sequence[str]
+) -> list[dict]:
+    """Vectorized group-by over a columnar table (first-seen order)."""
+    n = len(table)
+    if n == 0:
+        return []
+    # Factorize each key column, then combine into one group code.
+    codes = np.zeros(n, dtype=np.int64)
+    key_columns = []
+    for name in group_by:
+        col = table.column(name)
+        uniq, inv = np.unique(col, return_inverse=True)
+        codes = codes * len(uniq) + inv
+        key_columns.append(col)
+    _uniq_codes, first_idx, inv = np.unique(codes, return_index=True, return_inverse=True)
+    # Rank groups by first appearance so row order matches the dict path.
+    seen_order = np.argsort(first_idx, kind="stable")
+    rank = np.empty_like(seen_order)
+    rank[seen_order] = np.arange(seen_order.size)
+    group_of_row = rank[inv]
+    perm = np.argsort(group_of_row, kind="stable")  # rows grouped, original order kept
+    counts = np.bincount(group_of_row, minlength=seen_order.size)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    first_rows = first_idx[seen_order]
+
+    field_vals = {}
+    for f in fields:
+        if f not in table.fields:
+            # dict path treats a missing field as None everywhere
+            field_vals[f] = (np.empty(0, dtype=np.float64), np.zeros(n, dtype=bool))
+            continue
+        col = table.column(f)
+        if col.dtype == object:
+            colp = col[perm]
+            keep = np.array([v is not None for v in colp], dtype=bool)
+            vals = np.array([float(v) for v in colp[keep]], dtype=np.float64)
+            field_vals[f] = (vals, keep)
+        else:
+            field_vals[f] = (col[perm].astype(np.float64, copy=False), None)
+
+    rows: list[dict] = []
+    for g in range(seen_order.size):
+        lo, hi = starts[g], starts[g] + counts[g]
+        row: dict = {
+            name: _pyvalue(col[first_rows[g]])
+            for name, col in zip(group_by, key_columns)
+        }
+        row["trials"] = int(counts[g])
+        for f in fields:
+            vals, keep = field_vals[f]
+            if keep is None:
+                seg = vals[lo:hi]
+            else:
+                # object column: vals holds only the non-None entries in
+                # permuted order — recover this group's slice via keep.
+                offset = int(np.count_nonzero(keep[:lo]))
+                seg = vals[offset : offset + int(np.count_nonzero(keep[lo:hi]))]
+            stats = _stats_from_array(seg)
             row[f"{f}_mean"] = stats["mean"]
             row[f"{f}_median"] = stats["median"]
             row[f"{f}_max"] = stats["max"]

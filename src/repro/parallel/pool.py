@@ -28,6 +28,18 @@ the trial list into per-worker blocks (processes × batched trials), and
 :func:`repro.parallel.sweep.run_sweep` does the same with one block per
 grid point.  Per-trial seeds are spawned identically under either
 backend, so switching backends never changes which seed a trial gets.
+
+Persistent workers
+------------------
+Pool workers live for the whole map, so per-process scratch survives
+from task to task.  :func:`worker_state` exposes that as an explicit
+cache: batched engine workers fetch
+``worker_state().engine_buffers`` and hand it to
+:func:`repro.batch.run_trials_batched`, which then reuses one set of
+staging arrays, the received slab, and the RNG read-ahead slab across
+every grid point the process executes instead of reallocating per
+task.  (Serial runs get the same object in the parent — reuse is free
+there too.)
 """
 
 from __future__ import annotations
@@ -35,17 +47,48 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
 from ..rng import spawn_seeds
 from .shared import current_task_graph, graph_context
 
-__all__ = ["map_parallel", "monte_carlo", "default_processes"]
+__all__ = ["map_parallel", "monte_carlo", "default_processes", "worker_state", "WorkerState"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class WorkerState:
+    """Per-process scratch kept alive across pool tasks.
+
+    Today this carries the batched engine's
+    :class:`~repro.batch.kernels.EngineBuffers`; anything else a worker
+    wants to keep warm across tasks belongs here too.
+    """
+
+    def __init__(self) -> None:
+        self._engine_buffers = None
+
+    @property
+    def engine_buffers(self):
+        if self._engine_buffers is None:
+            from ..batch.kernels import EngineBuffers
+
+            self._engine_buffers = EngineBuffers()
+        return self._engine_buffers
+
+
+_WORKER_STATE: WorkerState | None = None
+
+
+def worker_state() -> WorkerState:
+    """This process's persistent :class:`WorkerState` (created lazily)."""
+    global _WORKER_STATE
+    if _WORKER_STATE is None:
+        _WORKER_STATE = WorkerState()
+    return _WORKER_STATE
 
 
 def default_processes(n_tasks: int) -> int:
@@ -124,7 +167,7 @@ def monte_carlo(
     seeds = spawn_seeds(seed, n_trials)
     if backend == "per_trial":
         tasks = list(zip(seeds, range(n_trials)))
-        runner = _GraphTrialRunner(trial_fn) if graph is not None else _TrialRunner(trial_fn)
+        runner = _TrialRunner(trial_fn, with_graph=graph is not None)
         return _map_with_graph(
             runner, tasks, graph, processes=processes, chunksize=chunksize
         )
@@ -139,9 +182,7 @@ def monte_carlo(
         (seeds[i : i + batch_size], list(range(i, min(i + batch_size, n_trials))))
         for i in range(0, n_trials, batch_size)
     ]
-    runner = (
-        _GraphBatchTrialRunner(trial_fn) if graph is not None else _BatchTrialRunner(trial_fn)
-    )
+    runner = _BatchTrialRunner(trial_fn, with_graph=graph is not None)
     nested = _map_with_graph(
         runner, blocks, graph, processes=processes, chunksize=chunksize
     )
@@ -165,54 +206,37 @@ def _map_with_graph(fn, tasks, graph, *, processes, chunksize):
 
 
 class _TrialRunner:
-    """Picklable adapter turning (seed, index) tuples into trial calls."""
+    """Picklable adapter turning (seed, index) tuples into trial calls.
 
-    def __init__(self, trial_fn: Callable[[np.random.SeedSequence, int], R]):
+    With ``with_graph`` the worker's zero-copy task graph is prepended
+    to the call (the graph-context twin that used to be its own class).
+    """
+
+    def __init__(self, trial_fn: Callable, *, with_graph: bool = False):
         self.trial_fn = trial_fn
+        self.with_graph = with_graph
 
     def __call__(self, task: tuple[np.random.SeedSequence, int]) -> R:
         seed_seq, index = task
+        if self.with_graph:
+            return self.trial_fn(current_task_graph(), seed_seq, index)
         return self.trial_fn(seed_seq, index)
-
-
-class _GraphTrialRunner:
-    """Like :class:`_TrialRunner`, prepending the worker's task graph."""
-
-    def __init__(self, trial_fn: Callable):
-        self.trial_fn = trial_fn
-
-    def __call__(self, task) -> R:
-        seed_seq, index = task
-        return self.trial_fn(current_task_graph(), seed_seq, index)
 
 
 class _BatchTrialRunner:
     """Picklable adapter calling a batch-capable trial function once per block."""
 
-    def __init__(self, trial_fn: Callable):
+    def __init__(self, trial_fn: Callable, *, with_graph: bool = False):
         self.trial_fn = trial_fn
+        self.with_graph = with_graph
 
     def __call__(self, block) -> list:
         seed_seqs, indices = block
-        results = self.trial_fn(seed_seqs, indices)
+        if self.with_graph:
+            results = self.trial_fn(current_task_graph(), seed_seqs, indices)
+        else:
+            results = self.trial_fn(seed_seqs, indices)
         results = list(results)
-        if len(results) != len(indices):
-            raise ValueError(
-                f"batched trial_fn returned {len(results)} results "
-                f"for {len(indices)} trials"
-            )
-        return results
-
-
-class _GraphBatchTrialRunner:
-    """Like :class:`_BatchTrialRunner`, prepending the worker's task graph."""
-
-    def __init__(self, trial_fn: Callable):
-        self.trial_fn = trial_fn
-
-    def __call__(self, block) -> list:
-        seed_seqs, indices = block
-        results = list(self.trial_fn(current_task_graph(), seed_seqs, indices))
         if len(results) != len(indices):
             raise ValueError(
                 f"batched trial_fn returned {len(results)} results "

@@ -13,6 +13,14 @@ the point's whole trial block at once — the shape the trial-vectorized
 points and the trial axis is vectorized within each process.  Per-task
 seeds are spawned identically either way, so a given (point, trial)
 sees the same seed under both backends.
+
+Results travel back one of two ways (``results=``): ``"records"``, the
+legacy flat ``list[dict]``; or ``"columnar"``, the results spool —
+batched workers return one typed
+:class:`~repro.batch.results.ResultBlock` per grid point (a structured
+array instead of R pickled dicts), and the parent assembles the blocks
+into a single :class:`~repro.parallel.aggregate.ResultTable` that
+still behaves like a list of dicts.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..batch.results import ResultBlock
 from ..rng import spawn_seeds
+from .aggregate import ResultTable, assemble_blocks
 from .pool import _map_with_graph
 from .shared import current_task_graph
 
@@ -59,14 +69,27 @@ class ParameterGrid:
 
 
 class _PointRunner:
-    """Picklable adapter: one sweep point × one trial → one record."""
+    """Picklable adapter: one sweep point × one trial → one record.
 
-    def __init__(self, point_fn: Callable[[Mapping, np.random.SeedSequence, int], dict]):
+    ``with_graph`` prepends the worker's zero-copy task graph to the
+    call (previously a separate ``_GraphPointRunner`` class).
+    """
+
+    def __init__(
+        self,
+        point_fn: Callable[[Mapping, np.random.SeedSequence, int], dict],
+        *,
+        with_graph: bool = False,
+    ):
         self.point_fn = point_fn
+        self.with_graph = with_graph
 
     def __call__(self, task) -> dict:
         point, seed_seq, trial = task
-        record = self.point_fn(point, seed_seq, trial)
+        if self.with_graph:
+            record = self.point_fn(current_task_graph(), point, seed_seq, trial)
+        else:
+            record = self.point_fn(point, seed_seq, trial)
         out = dict(point)
         out["trial"] = trial
         out.update(record)
@@ -74,51 +97,49 @@ class _PointRunner:
 
 
 class _BatchPointRunner:
-    """Picklable adapter: one sweep point × a whole trial block → records."""
+    """Picklable adapter: one sweep point × a whole trial block → records.
 
-    def __init__(self, point_fn: Callable[[Mapping, Sequence, Sequence], list]):
+    ``with_graph`` prepends the worker's zero-copy task graph;
+    ``columnar`` packs the block's records into a typed
+    :class:`~repro.batch.results.ResultBlock` worker-side, so the
+    return payload is a handful of arrays instead of R dicts.  A
+    ``point_fn`` may also return a :class:`ResultBlock` itself (built
+    straight from engine arrays); it is validated and passed through —
+    or unpacked to records when ``columnar`` is off.
+    """
+
+    def __init__(
+        self,
+        point_fn: Callable[[Mapping, Sequence, Sequence], list],
+        *,
+        with_graph: bool = False,
+        columnar: bool = False,
+    ):
         self.point_fn = point_fn
+        self.with_graph = with_graph
+        self.columnar = columnar
 
-    def __call__(self, task) -> list[dict]:
+    def __call__(self, task):
         point, seed_seqs, trials = task
-        records = list(self.point_fn(point, seed_seqs, trials))
+        if self.with_graph:
+            result = self.point_fn(current_task_graph(), point, seed_seqs, trials)
+        else:
+            result = self.point_fn(point, seed_seqs, trials)
+        if isinstance(result, ResultBlock):
+            if result.n_trials != len(trials):
+                raise ValueError(
+                    f"batched point_fn returned a block of {result.n_trials} "
+                    f"trials for {len(trials)} trials"
+                )
+            return result if self.columnar else result.records()
+        records = list(result)
         if len(records) != len(trials):
             raise ValueError(
                 f"batched point_fn returned {len(records)} records "
                 f"for {len(trials)} trials"
             )
-        out = []
-        for trial, record in zip(trials, records):
-            row = dict(point)
-            row["trial"] = trial
-            row.update(record)
-            out.append(row)
-        return out
-
-
-class _GraphPointRunner(_PointRunner):
-    """:class:`_PointRunner` over the worker's zero-copy task graph."""
-
-    def __call__(self, task) -> dict:
-        point, seed_seq, trial = task
-        record = self.point_fn(current_task_graph(), point, seed_seq, trial)
-        out = dict(point)
-        out["trial"] = trial
-        out.update(record)
-        return out
-
-
-class _GraphBatchPointRunner(_BatchPointRunner):
-    """:class:`_BatchPointRunner` over the worker's zero-copy task graph."""
-
-    def __call__(self, task) -> list[dict]:
-        point, seed_seqs, trials = task
-        records = list(self.point_fn(current_task_graph(), point, seed_seqs, trials))
-        if len(records) != len(trials):
-            raise ValueError(
-                f"batched point_fn returned {len(records)} records "
-                f"for {len(trials)} trials"
-            )
+        if self.columnar:
+            return ResultBlock.from_records(point, trials, records)
         out = []
         for trial, record in zip(trials, records):
             row = dict(point)
@@ -138,7 +159,8 @@ def run_sweep(
     chunksize: int = 1,
     backend: str = "per_trial",
     graph=None,
-) -> list[dict]:
+    results: str = "records",
+):
     """Evaluate a worker over grid × trials; one flat record per (point, trial).
 
     With ``backend="per_trial"`` (default) the worker is
@@ -157,6 +179,15 @@ def run_sweep(
     ``point_fn(graph, point, seed_seq, trial)`` (or ``point_fn(graph,
     point, seed_seqs, trials)`` batched).
 
+    ``results="records"`` returns the legacy flat ``list[dict]``;
+    ``results="columnar"`` returns a
+    :class:`~repro.parallel.aggregate.ResultTable` (a lazy
+    sequence-of-dicts over typed columns).  Under the batched backend,
+    columnar mode also switches the *worker return payload* to typed
+    :class:`~repro.batch.results.ResultBlock` arrays — the spool that
+    shrinks the pickle traffic back from the pool.  Record content is
+    identical in all four combinations.
+
     Each record carries the point's parameters, the trial index, and
     whatever the worker returned.  Seeds are spawned deterministically
     in (point index, trial index) order under *both* backends, so a
@@ -164,6 +195,9 @@ def run_sweep(
     """
     if backend not in ("per_trial", "batched"):
         raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
+    if results not in ("records", "columnar"):
+        raise ValueError(f"unknown results mode {results!r}; known: records, columnar")
+    columnar = results == "columnar"
     points = grid.points()
     n_tasks = len(points) * n_trials
     seeds = spawn_seeds(seed, n_tasks)
@@ -174,20 +208,24 @@ def run_sweep(
             for trial in range(n_trials):
                 tasks.append((point, seeds[i], trial))
                 i += 1
-        runner = _GraphPointRunner(point_fn) if graph is not None else _PointRunner(point_fn)
-        return _map_with_graph(
+        runner = _PointRunner(point_fn, with_graph=graph is not None)
+        records = _map_with_graph(
             runner, tasks, graph, processes=processes, chunksize=chunksize
         )
+        return ResultTable.from_records(records) if columnar else records
     if n_trials == 0:
-        return []  # match per_trial: no records, no empty blocks to workers
+        return ResultTable.from_records([]) if columnar else []
+        # match per_trial: no records, no empty blocks to workers
     tasks = [
         (point, seeds[i * n_trials : (i + 1) * n_trials], list(range(n_trials)))
         for i, point in enumerate(points)
     ]
-    runner = (
-        _GraphBatchPointRunner(point_fn) if graph is not None else _BatchPointRunner(point_fn)
+    runner = _BatchPointRunner(
+        point_fn, with_graph=graph is not None, columnar=columnar
     )
     nested = _map_with_graph(
         runner, tasks, graph, processes=processes, chunksize=chunksize
     )
+    if columnar:
+        return assemble_blocks(nested)
     return [record for block in nested for record in block]

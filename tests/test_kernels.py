@@ -1,0 +1,331 @@
+"""Parity suite for the batched engine's round kernels.
+
+The load-bearing contract: every kernel implementation — the numpy
+reference, the interpreted compiled-algorithm loops (``python``), the
+numba JIT, and the C extension — produces **bit-identical** per-trial
+results (rounds, work, assigned, completion, max load, blocked servers,
+full load vectors).  The ``python`` kernel is the same code numba
+compiles, so parity here certifies the compiled algorithm on installs
+without numba or a C compiler; CI's ``kernels`` job re-runs the suite
+with numba installed and the C path built.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    BatchedSaerPolicy,
+    EngineBuffers,
+    available_kernels,
+    resolve_kernel,
+    run_trials_batched,
+)
+from repro.batch.kernels import (
+    KERNELS_ENV,
+    RNG_BLOCK,
+    fill_uniforms,
+)
+from repro.core.config import ProtocolParams, RunOptions
+from repro.graphs import near_regular, random_regular_bipartite, trust_subsets
+from repro.rng import make_rng, spawn_seeds
+
+RESULT_FIELDS = (
+    "completed",
+    "rounds",
+    "work",
+    "assigned_balls",
+    "max_load",
+    "blocked_servers",
+)
+
+# Kernels testable on this install: "python" always runs the compiled
+# algorithm interpreted; cext/numba join in when buildable/importable.
+COMPILED = [k for k in available_kernels() if k != "numpy"]
+
+
+def assert_kernels_match(graph, params, policy, seeds, *, demands=None, options=None):
+    """Every available kernel must reproduce the numpy path bit-for-bit."""
+    ref = run_trials_batched(
+        graph, params, policy, seeds=seeds, demands=demands, options=options,
+        kernel="numpy",
+    )
+    for name in COMPILED:
+        got = run_trials_batched(
+            graph, params, policy, seeds=seeds, demands=demands, options=options,
+            kernel=name,
+        )
+        for f in RESULT_FIELDS:
+            assert np.array_equal(getattr(ref, f), getattr(got, f)), (
+                f"{name} kernel diverges on {f}: "
+                f"{getattr(got, f)} != {getattr(ref, f)}"
+            )
+        assert np.array_equal(ref.loads, got.loads), f"{name} kernel diverges on loads"
+    return ref
+
+
+class TestKernelParity:
+    """Bit-identity across kernels, branches, and graph families."""
+
+    @pytest.mark.parametrize("policy", ["saer", "raes"])
+    @pytest.mark.parametrize("c,d", [(1.5, 4), (2.0, 2), (1.2, 4)])
+    def test_regular_graph(self, regular_graph, policy, c, d):
+        assert_kernels_match(
+            regular_graph, ProtocolParams(c=c, d=d), policy, spawn_seeds(11, 5)
+        )
+
+    @pytest.mark.parametrize("policy", ["saer", "raes"])
+    def test_irregular_graphs(self, trust_graph, policy):
+        assert_kernels_match(
+            trust_graph, ProtocolParams(c=1.5, d=4), policy, spawn_seeds(13, 4)
+        )
+        nr = near_regular(96, 6, 18, seed=3)
+        assert_kernels_match(nr, ProtocolParams(c=1.5, d=3), policy, spawn_seeds(17, 4))
+
+    def test_dense_branch(self):
+        # tiny server side: every round takes the dense (full-sweep) path
+        g = random_regular_bipartite(24, 6, seed=4)
+        assert_kernels_match(g, ProtocolParams(c=1.5, d=4), "saer", spawn_seeds(5, 8))
+
+    def test_sparse_branch(self):
+        # one ball per client on a larger graph: sparse from round one
+        g = random_regular_bipartite(160, 8, seed=6)
+        demands = np.ones(160, dtype=np.int64)
+        assert_kernels_match(
+            g, ProtocolParams(c=2.0, d=4), "saer", spawn_seeds(7, 3), demands=demands
+        )
+
+    def test_round_cap_hit(self, regular_graph):
+        # starvation regime + low cap: trials stop at the cap un-completed
+        ref = assert_kernels_match(
+            regular_graph,
+            ProtocolParams(c=1.0, d=4),
+            "saer",
+            spawn_seeds(19, 4),
+            options=RunOptions(max_rounds=3),
+        )
+        assert not ref.completed.all()
+
+    def test_custom_demands(self, regular_graph):
+        rng = np.random.default_rng(0)
+        demands = rng.integers(0, 5, size=regular_graph.n_clients)
+        assert_kernels_match(
+            regular_graph, ProtocolParams(c=1.5, d=4), "saer", spawn_seeds(23, 4),
+            demands=demands,
+        )
+
+    def test_zero_trials(self, regular_graph):
+        for name in COMPILED:
+            res = run_trials_batched(
+                regular_graph, ProtocolParams(c=1.5, d=4), "saer",
+                seeds=[], kernel=name,
+            )
+            assert res.n_trials == 0
+
+    def test_matches_reference_engine(self, regular_graph):
+        """Compiled kernels inherit the batched↔reference equivalence."""
+        from repro.core.engine import run_protocol
+
+        seeds = spawn_seeds(29, 3)
+        params = ProtocolParams(c=1.5, d=4)
+        for name in COMPILED:
+            batch = run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel=name
+            )
+            for i, s in enumerate(seeds):
+                ref = run_protocol(regular_graph, params, "saer", seed=s)
+                assert ref.rounds == batch.rounds[i]
+                assert ref.work == batch.work[i]
+                assert np.array_equal(ref.loads, batch.loads[i])
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=96),
+        degree=st.integers(min_value=2, max_value=10),
+        d=st.integers(min_value=1, max_value=5),
+        c_tenths=st.integers(min_value=11, max_value=40),
+        trials=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_property_random_shapes(self, n, degree, d, c_tenths, trials, seed):
+        """Hypothesis: parity holds over random (n, Δ, d, c, R) shapes."""
+        degree = min(degree, n)
+        g = random_regular_bipartite(n, degree, seed=seed)
+        params = ProtocolParams(c=c_tenths / 10.0, d=d)
+        assert_kernels_match(
+            g, params, "saer", spawn_seeds(seed, trials),
+            options=RunOptions(max_rounds=64),
+        )
+
+
+class TestKernelGate:
+    """Resolution: argument > REPRO_KERNELS env > numpy default."""
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        assert resolve_kernel().name == "numpy"
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "python")
+        assert resolve_kernel().name == "python"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "python")
+        assert resolve_kernel("numpy").name == "numpy"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("fortran")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_trials_batched(
+                random_regular_bipartite(16, 4, seed=0),
+                ProtocolParams(c=2.0, d=2),
+                "saer",
+                n_trials=1,
+                kernel="fortran",
+            )
+
+    def test_unavailable_falls_back_to_numpy(self, monkeypatch):
+        """A gate naming an absent implementation warns and still runs."""
+        from repro.batch import kernels as kmod
+
+        class Missing(kmod.Kernel):
+            name = "numba"
+            compiled = True
+
+            def available(self):
+                return False
+
+        monkeypatch.setitem(kmod._REGISTRY, "numba", Missing())
+        kmod._warned.discard("numba")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kern = resolve_kernel("numba")
+        assert kern.name == "numpy"
+        assert any("unavailable" in str(w.message) for w in caught)
+        # the stub path still executes end to end
+        g = random_regular_bipartite(16, 4, seed=0)
+        res = run_trials_batched(
+            g, ProtocolParams(c=2.0, d=2), "saer", n_trials=2, seed=1, kernel="numba"
+        )
+        assert res.n_trials == 2
+
+    def test_numpy_and_gate_off_identical(self, regular_graph, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        seeds = spawn_seeds(31, 3)
+        params = ProtocolParams(c=1.5, d=4)
+        a = run_trials_batched(regular_graph, params, "saer", seeds=seeds)
+        b = run_trials_batched(regular_graph, params, "saer", seeds=seeds, kernel="numpy")
+        assert np.array_equal(a.rounds, b.rounds)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_custom_policy_subclass_not_fused(self, regular_graph):
+        """Compiled kernels only fuse the exact built-in rules: a subclass
+        with its own decide must take the generic numpy path."""
+
+        class AlwaysAccept(BatchedSaerPolicy):
+            def decide_dense(self, trials, received):
+                rows = self._rows(trials)
+                cum = self.cum_received[rows]
+                cum += received
+                if not isinstance(rows, slice):
+                    self.cum_received[rows] = cum
+                accept = np.ones_like(cum, dtype=bool)
+                np.copyto(self.loads[rows], cum, casting="unsafe")
+                return accept
+
+            def decide_sparse(self, ball_keys):
+                keys, inverse, counts = np.unique(
+                    ball_keys, return_inverse=True, return_counts=True
+                )
+                cum_flat = self.cum_received.reshape(-1)
+                cum_flat[keys] += counts
+                self.loads.reshape(-1)[keys] = cum_flat[keys]
+                return np.ones(ball_keys.size, dtype=bool)[inverse]
+
+        seeds = spawn_seeds(37, 2)
+        params = ProtocolParams(c=1.5, d=4)
+        for name in COMPILED:
+            res = run_trials_batched(
+                regular_graph, params, AlwaysAccept, seeds=seeds, kernel=name
+            )
+            # every ball accepted in round one ⇒ single round, all done
+            assert res.completed.all()
+            assert (res.rounds == 1).all()
+
+
+class TestEngineBuffers:
+    """The persistent scratch pool must never change results."""
+
+    def test_reuse_across_calls_and_shapes(self, regular_graph, trust_graph):
+        bufs = EngineBuffers()
+        params = ProtocolParams(c=1.5, d=4)
+        seeds = spawn_seeds(41, 4)
+        fresh = run_trials_batched(regular_graph, params, "saer", seeds=seeds)
+        for graph in (regular_graph, trust_graph, regular_graph):
+            run_trials_batched(graph, params, "saer", seeds=seeds, buffers=bufs)
+        again = run_trials_batched(regular_graph, params, "saer", seeds=seeds, buffers=bufs)
+        assert np.array_equal(fresh.rounds, again.rounds)
+        assert np.array_equal(fresh.loads, again.loads)
+        assert bufs.nbytes > 0
+
+    def test_reuse_across_kernels(self, regular_graph):
+        bufs = EngineBuffers()
+        params = ProtocolParams(c=1.5, d=4)
+        seeds = spawn_seeds(43, 3)
+        runs = {
+            name: run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel=name, buffers=bufs
+            )
+            for name in ["numpy"] + COMPILED
+        }
+        ref = runs["numpy"]
+        for name, got in runs.items():
+            assert np.array_equal(ref.loads, got.loads), name
+
+    def test_get_grows_and_retypes(self):
+        bufs = EngineBuffers()
+        a = bufs.get("x", 8, np.int32)
+        a[:] = 7
+        b = bufs.get("x", 4, np.int32)
+        assert b.base is a.base or b.base is a  # same backing storage
+        c = bufs.get("x", 16, np.int64)  # grow + retype reallocates
+        assert c.dtype == np.int64 and c.size == 16
+        z = bufs.get("z", (2, 3), np.int32, zero=True)
+        assert not z.any()
+        bufs.clear()
+        assert bufs.nbytes == 0
+
+
+class TestFillUniforms:
+    """Read-ahead must serve exactly the per-trial generator streams."""
+
+    @pytest.mark.parametrize("rounds_plan", [
+        [5, 3, 2],                    # small buffered draws
+        [RNG_BLOCK + 100, 50, 7],     # big direct draw, then buffered tail
+        [RNG_BLOCK, 1, RNG_BLOCK - 1],
+    ])
+    def test_stream_position_exact(self, rounds_plan):
+        seeds = spawn_seeds(99, 3)
+        gens = [make_rng(s) for s in seeds]
+        slab = np.empty((3, RNG_BLOCK))
+        slab_pos = np.full(3, RNG_BLOCK, dtype=np.int64)
+        served = {t: [] for t in range(3)}
+        for k in rounds_plan:
+            active = [0, 1, 2]
+            sent = [k, k + 1, max(1, k // 2)]
+            u = np.empty(sum(sent))
+            fill_uniforms(u, active, sent, gens, slab, slab_pos)
+            pos = 0
+            for t, kk in zip(active, sent):
+                served[t].append(u[pos : pos + kk].copy())
+                pos += kk
+        for t, s in enumerate(seeds):
+            want = make_rng(s).random(sum(len(seg) for seg in served[t]))
+            got = np.concatenate(served[t])
+            assert np.array_equal(got, want), f"trial {t} stream diverged"

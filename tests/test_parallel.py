@@ -225,3 +225,244 @@ class TestAggregateRecords:
         recs = [{"g": 1, "ok": True}, {"g": 1, "ok": False}]
         rows = aggregate_records(recs, group_by=["g"], fields=["ok"])
         assert rows[0]["ok_mean"] == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Columnar results spool
+# ---------------------------------------------------------------------------
+
+from repro.batch.results import ResultBlock  # noqa: E402
+from repro.parallel import ResultTable, assemble_blocks  # noqa: E402
+
+
+def _point_block_as_block(point, seed_seqs, trials):
+    """Batch worker that returns a ResultBlock directly."""
+    records = [_point(point, s, t) for s, t in zip(seed_seqs, trials)]
+    return ResultBlock.from_records(point, trials, records)
+
+
+def _short_block(point, seed_seqs, trials):
+    return ResultBlock.from_records(point, trials[:1], [{"value": 0.0}])
+
+
+class TestColumnarSweep:
+    """results="columnar" must be record-for-record identical."""
+
+    GRID = dict(a=[1, 2, 3], b=["x", "y"])
+
+    def test_batched_columnar_matches_records(self):
+        grid = ParameterGrid(**self.GRID)
+        recs = run_sweep(
+            _point_block, grid, n_trials=4, seed=9, processes=1, backend="batched"
+        )
+        table = run_sweep(
+            _point_block, grid, n_trials=4, seed=9, processes=1,
+            backend="batched", results="columnar",
+        )
+        assert isinstance(table, ResultTable)
+        assert list(table) == recs
+
+    def test_per_trial_columnar_matches_records(self):
+        grid = ParameterGrid(**self.GRID)
+        recs = run_sweep(_point, grid, n_trials=3, seed=2, processes=1)
+        table = run_sweep(
+            _point, grid, n_trials=3, seed=2, processes=1, results="columnar"
+        )
+        assert list(table) == recs
+
+    def test_parallel_columnar_matches_serial(self):
+        grid = ParameterGrid(a=[1, 2], b=["x"])
+        a = run_sweep(
+            _point_block, grid, n_trials=4, seed=5, processes=1,
+            backend="batched", results="columnar",
+        )
+        b = run_sweep(
+            _point_block, grid, n_trials=4, seed=5, processes=2,
+            backend="batched", results="columnar",
+        )
+        assert list(a) == list(b)
+
+    def test_point_fn_may_return_blocks(self):
+        grid = ParameterGrid(**self.GRID)
+        via_dicts = run_sweep(
+            _point_block, grid, n_trials=3, seed=7, processes=1,
+            backend="batched", results="columnar",
+        )
+        via_blocks = run_sweep(
+            _point_block_as_block, grid, n_trials=3, seed=7, processes=1,
+            backend="batched", results="columnar",
+        )
+        assert list(via_blocks) == list(via_dicts)
+        # and in records mode a returned block is unpacked to dicts
+        recs = run_sweep(
+            _point_block_as_block, grid, n_trials=3, seed=7, processes=1,
+            backend="batched",
+        )
+        assert recs == list(via_dicts)
+
+    def test_wrong_length_block_rejected(self):
+        grid = ParameterGrid(a=[1])
+        with pytest.raises(ValueError, match="block of 1"):
+            run_sweep(
+                _short_block, grid, n_trials=3, seed=0, processes=1,
+                backend="batched", results="columnar",
+            )
+
+    def test_unknown_results_mode_rejected(self):
+        with pytest.raises(ValueError, match="results mode"):
+            run_sweep(
+                _point, ParameterGrid(a=[1]), n_trials=1, seed=0, results="arrow"
+            )
+
+    def test_zero_trials_columnar(self):
+        table = run_sweep(
+            _point_block, ParameterGrid(a=[1]), n_trials=0, seed=0,
+            backend="batched", results="columnar",
+        )
+        assert len(table) == 0 and list(table) == []
+
+
+class TestResultBlock:
+    def test_roundtrip(self):
+        point = {"n": 4, "family": "regular"}
+        records = [
+            {"rounds": 3, "ok": True, "score": 0.5},
+            {"rounds": 5, "ok": False, "score": 1.25},
+        ]
+        block = ResultBlock.from_records(point, [0, 1], records)
+        assert block.n_trials == 2 and len(block) == 2
+        assert block.fields == ["rounds", "ok", "score"]
+        data = block.to_structured()
+        assert data["rounds"].dtype.kind == "i"
+        assert data["ok"].dtype.kind == "b"
+        clone = ResultBlock.from_structured(point, block.trials, data)
+        want = [
+            {"n": 4, "family": "regular", "trial": 0, "rounds": 3, "ok": True, "score": 0.5},
+            {"n": 4, "family": "regular", "trial": 1, "rounds": 5, "ok": False, "score": 1.25},
+        ]
+        assert block.records() == want
+        assert clone.records() == want
+        # materialized values are python scalars (json-safe)
+        assert type(block.records()[0]["rounds"]) is int
+        assert type(block.records()[0]["ok"]) is bool
+
+    def test_cardinality_validated(self):
+        with pytest.raises(ValueError):
+            ResultBlock.from_records({}, [0, 1], [{"v": 1}])
+
+
+class TestResultTable:
+    def _table(self):
+        blocks = [
+            ResultBlock.from_records({"a": 1}, [0, 1], [{"v": 1.0}, {"v": 2.0}]),
+            ResultBlock.from_records({"a": 2}, [0, 1], [{"v": 3.0}, {"v": 4.0}]),
+        ]
+        return assemble_blocks(blocks)
+
+    def test_sequence_protocol(self):
+        t = self._table()
+        assert len(t) == 4
+        assert t[0] == {"a": 1, "trial": 0, "v": 1.0}
+        assert t[-1] == {"a": 2, "trial": 1, "v": 4.0}
+        assert t[1:3] == [t[1], t[2]]
+        assert [r["v"] for r in t] == [1.0, 2.0, 3.0, 4.0]
+        with pytest.raises(IndexError):
+            t[4]
+
+    def test_columns_typed(self):
+        t = self._table()
+        assert t.column("v").dtype == np.float64
+        assert t.column("a").dtype.kind == "i"
+        assert t.to_records() == list(t)
+        assert t.nbytes > 0
+
+    def test_from_records(self):
+        recs = [{"a": 1, "v": 2.0}, {"a": 2, "v": 3.0}]
+        t = ResultTable.from_records(recs)
+        assert list(t) == recs
+
+
+class TestAggregateColumnarFastPath:
+    def _records(self):
+        rng = np.random.default_rng(3)
+        recs = []
+        for fam in ("reg", "er"):
+            for n in (64, 128):
+                for trial in range(6):
+                    recs.append(
+                        {
+                            "family": fam,
+                            "n": n,
+                            "trial": trial,
+                            "rounds": int(rng.integers(1, 20)),
+                            "ok": bool(rng.random() < 0.7),
+                            "maybe": None if trial == 0 else float(rng.random()),
+                        }
+                    )
+        return recs
+
+    def test_matches_dict_path(self):
+        recs = self._records()
+        table = ResultTable.from_records(recs)
+        want = aggregate_records(recs, ["family", "n"], ["rounds", "ok", "maybe"])
+        got = aggregate_records(table, ["family", "n"], ["rounds", "ok", "maybe"])
+        assert got == want
+
+    def test_first_seen_group_order(self):
+        recs = self._records()[::-1]  # reversed: order must follow input
+        table = ResultTable.from_records(recs)
+        want = aggregate_records(recs, ["family", "n"], ["rounds"])
+        got = aggregate_records(table, ["family", "n"], ["rounds"])
+        assert got == want
+        assert [r["family"] for r in got] == [r["family"] for r in want]
+
+    def test_empty_table(self):
+        assert aggregate_records(ResultTable.from_records([]), ["a"], ["v"]) == []
+
+    def test_missing_field_matches_dict_path(self):
+        recs = self._records()
+        table = ResultTable.from_records(recs)
+        want = aggregate_records(recs, ["family"], ["absent"])
+        got = aggregate_records(table, ["family"], ["absent"])
+        assert got == want
+
+
+class TestWorkerState:
+    def test_singleton_per_process(self):
+        from repro.parallel import worker_state
+
+        a = worker_state()
+        b = worker_state()
+        assert a is b
+        assert a.engine_buffers is b.engine_buffers
+
+
+def _ragged_block(point, seed_seqs, trials):
+    """Worker with a conditional record key (trial 0 lacks 'err')."""
+    out = []
+    for s, t in zip(seed_seqs, trials):
+        rec = _point(point, s, t)
+        if t > 0:
+            rec["err"] = float(t) / 10
+        out.append(rec)
+    return out
+
+
+class TestColumnarHeterogeneousRecords:
+    def test_conditional_keys_survive(self):
+        grid = ParameterGrid(a=[1, 2])
+        table = run_sweep(
+            _ragged_block, grid, n_trials=3, seed=4, processes=1,
+            backend="batched", results="columnar",
+        )
+        recs = run_sweep(
+            _ragged_block, grid, n_trials=3, seed=4, processes=1, backend="batched"
+        )
+        assert "err" in table.fields
+        for got, want in zip(table, recs):
+            want = dict(want)
+            want.setdefault("err", None)  # absent key materializes as None
+            assert got == want
+        agg_t = aggregate_records(table, ["a"], ["err"])
+        agg_r = aggregate_records(recs, ["a"], ["err"])
+        assert agg_t == agg_r
