@@ -18,7 +18,7 @@ Quickstart::
     print(res.rounds, res.work_per_client)
 """
 
-from . import agents, analysis, baselines, batch, core, dynamic, graphs, parallel, theory
+from . import agents, analysis, baselines, batch, core, dynamic, graphs, parallel, plan, theory
 from .batch import BatchResult, run_raes_batched, run_saer_batched, run_trials_batched
 from .core import (
     CoupledResult,
@@ -39,11 +39,22 @@ from .errors import (
     GraphConstructionError,
     GraphValidationError,
     NonTerminationError,
+    PlanError,
     ProtocolConfigError,
     ReproError,
     TapeExhaustedError,
 )
 from .graphs import BipartiteGraph
+from .plan import (
+    BackendSpec,
+    ExecSpec,
+    GraphSpec,
+    ResultSpec,
+    RunPlan,
+    SeedSpec,
+    WorkSpec,
+    execute,
+)
 from .rng import RandomTape, make_rng, spawn_rngs, spawn_seeds
 
 __version__ = "1.0.0"
@@ -60,6 +71,16 @@ __all__ = [
     "parallel",
     "analysis",
     "dynamic",
+    "plan",
+    # execution-plan layer
+    "RunPlan",
+    "WorkSpec",
+    "SeedSpec",
+    "BackendSpec",
+    "GraphSpec",
+    "ExecSpec",
+    "ResultSpec",
+    "execute",
     # protocol API
     "run_saer",
     "run_raes",
@@ -92,4 +113,5 @@ __all__ = [
     "NonTerminationError",
     "TapeExhaustedError",
     "ExperimentError",
+    "PlanError",
 ]

@@ -6,17 +6,28 @@ Usage::
     repro-lb info E4
     repro-lb run E1 [--trials 10] [--seed 7] [--processes 8] [--csv out.csv]
     repro-lb run all
+    repro-lb smoke
 
 (Equivalently ``python -m repro.cli …``.)  The same runners back the
 pytest-benchmark suite in ``benchmarks/``; the CLI exists for quick
 interactive regeneration of a single table.
+
+Every ``run`` flag maps 1:1 onto a :class:`repro.plan.RunPlan` axis
+(``--backend``/``--kernel`` → ``BackendSpec``, ``--share-graph``/
+``--graph-cache`` → ``GraphSpec``, ``--processes`` → ``ExecSpec``,
+``--results`` → ``ResultSpec``, ``--trials``/``--seed`` → grid scale
+and seed policy).  Which axes an experiment supports comes from its
+registry declaration (:attr:`repro.experiments.ExperimentSpec.capabilities`)
+— not from signature probing — and an override the experiment does not
+support produces a warning instead of being silently dropped.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import os
 import sys
+import warnings
 
 from .analysis.tables import format_table, write_csv
 from .errors import ExperimentError
@@ -24,28 +35,6 @@ from .experiments import get_experiment, list_experiments
 from .experiments import runners as runner_mod
 
 __all__ = ["main", "run_experiment"]
-
-
-def _accepted_kwargs(fn) -> set[str] | None:
-    """Keyword names ``fn`` accepts, or ``None`` if it takes ``**kwargs``.
-
-    Uses :func:`inspect.signature` (which follows ``functools.wraps``
-    wrappers and resolves ``functools.partial``) instead of peeking at
-    ``fn.__code__.co_varnames``, which breaks on wrapped or partial
-    runners and also matches *local* variable names by accident.
-    """
-    try:
-        sig = inspect.signature(fn)
-    except (TypeError, ValueError):
-        return None
-    params = sig.parameters.values()
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
-        return None
-    return {
-        p.name
-        for p in params
-        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
-    }
 
 
 def run_experiment(
@@ -58,18 +47,18 @@ def run_experiment(
     share_graph: bool | None = None,
     graph_cache: str | None = None,
     results: str | None = None,
+    kernel: str | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
-    Only overrides the runner actually accepts are forwarded (e.g. the
-    experiments whose semantics do not fit the batched engine simply
-    ignore ``backend``; ``share_graph`` only reaches fixed-topology
-    sweeps, ``graph_cache`` the runners that build graphs worker-side,
-    ``results`` the sweep runners that support the columnar spool).
+    Overrides are forwarded according to the experiment's
+    registry-declared plan capabilities; an override outside them (e.g.
+    ``backend`` for an experiment whose semantics need traces/coupling,
+    or ``share_graph`` outside fixed-topology sweeps) emits a
+    :class:`UserWarning` and is not forwarded.
     """
     spec = get_experiment(exp_id)
     fn = getattr(runner_mod, spec.runner)
-    accepted = _accepted_kwargs(fn)
     kwargs = {}
     overrides = {
         "trials": trials,
@@ -79,10 +68,26 @@ def run_experiment(
         "share_graph": share_graph,
         "graph_cache": graph_cache,
         "results": results,
+        "kernel": kernel,
     }
     for name, value in overrides.items():
-        if value is not None and (accepted is None or name in accepted):
+        if value is None:
+            continue
+        if name in spec.capabilities:
             kwargs[name] = value
+            continue
+        if name == "kernel" and os.environ.get("REPRO_KERNELS") == value:
+            # The CLI already exported the gate via REPRO_KERNELS — the
+            # documented mechanism for kernel-agnostic runners (their
+            # engines read it at call time) — so the override *is*
+            # applied; warning "ignored" here would be wrong.
+            continue
+        warnings.warn(
+            f"{spec.id} does not support the {name!r} override "
+            f"(declared capabilities: {', '.join(spec.capabilities)}); ignoring it",
+            UserWarning,
+            stacklevel=2,
+        )
     return fn(**kwargs)
 
 
@@ -126,8 +131,6 @@ def _cmd_run(args) -> int:
     if args.kernel:
         # The engine reads the gate at call time, and forked pool
         # workers inherit the environment — one setting covers both.
-        import os
-
         os.environ["REPRO_KERNELS"] = args.kernel
     target = args.experiment.lower()
     if target == "ablations":
@@ -151,6 +154,7 @@ def _cmd_run(args) -> int:
             share_graph=True if args.share_graph else None,
             graph_cache=args.graph_cache,
             results=args.results,
+            kernel=args.kernel,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -163,6 +167,19 @@ def _cmd_run(args) -> int:
     if target == "all":
         rows, meta, title = _run_ablations(args)
         print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    from .experiments.smoke import run_plan_smoke
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    only = args.only.split(",") if args.only else None
+    rows, ok = run_plan_smoke(backends=backends, processes=args.processes, only=only)
+    print(format_table(rows, title="Plan smoke — execute(plan) across experiments × backends"))
+    if not ok:
+        print("plan smoke FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -206,12 +223,14 @@ def main(argv=None) -> int:
         "--kernel",
         choices=("numpy", "cext", "numba", "python"),
         default=None,
-        help="round-kernel implementation for the batched engine "
-        "(sets REPRO_KERNELS so pool workers inherit it): numpy "
+        help="round-kernel implementation for the batched engine: numpy "
         "reference (default), fused C (cext), numba JIT, or the "
         "interpreted compiled-algorithm loops (python; debugging "
-        "only).  All are bit-identical; unavailable ones fall back "
-        "to numpy with a warning.",
+        "only).  Maps onto the plan's BackendSpec.kernel for "
+        "kernel-capable experiments (travels inside the pickled "
+        "worker) and sets REPRO_KERNELS for everything else.  All "
+        "are bit-identical; unavailable ones fall back to numpy "
+        "with a warning.",
     )
     p_run.add_argument(
         "--results",
@@ -231,12 +250,34 @@ def main(argv=None) -> int:
         "back on every later run",
     )
     p_run.add_argument("--csv", default=None, help="also write the table to a CSV file")
+    p_smoke = sub.add_parser(
+        "smoke",
+        help="dry-run every registered experiment through execute(plan) at "
+        "tiny scale, across every backend its capabilities declare "
+        "(the CI plan-smoke job)",
+    )
+    p_smoke.add_argument(
+        "--backends",
+        default="reference,batched",
+        help="comma-separated backends to exercise (default: reference,batched)",
+    )
+    p_smoke.add_argument(
+        "--processes", type=int, default=1, help="worker processes per run (1 = serial)"
+    )
+    p_smoke.add_argument(
+        "--only",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to restrict to (e.g. E1,E6)",
+    )
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "smoke":
+            return _cmd_smoke(args)
         return _cmd_run(args)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

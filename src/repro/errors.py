@@ -16,6 +16,7 @@ __all__ = [
     "NonTerminationError",
     "TapeExhaustedError",
     "ExperimentError",
+    "PlanError",
 ]
 
 
@@ -63,3 +64,14 @@ class TapeExhaustedError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment registry lookup or runner configuration failed."""
+
+
+class PlanError(ReproError):
+    """An execution plan (:mod:`repro.plan`) is invalid or inconsistent.
+
+    Raised at :func:`repro.plan.execute` time (or by spec validation)
+    when a :class:`~repro.plan.RunPlan` combines incompatible axes —
+    e.g. a batched backend without a batched work function, a cached
+    graph mode without a cache directory, or direct seed delivery
+    without a pinned topology.
+    """

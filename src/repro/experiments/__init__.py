@@ -9,6 +9,7 @@ benches in ``benchmarks/`` and the CLI print them via
 """
 
 from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, list_experiments
+from .smoke import run_plan_smoke
 from .runners import (
     run_e01_completion,
     run_e02_work,
@@ -29,6 +30,7 @@ __all__ = [
     "ExperimentSpec",
     "get_experiment",
     "list_experiments",
+    "run_plan_smoke",
     "run_e01_completion",
     "run_e02_work",
     "run_e03_max_load",

@@ -1,12 +1,36 @@
-"""The experiment catalog: one entry per regenerated paper claim."""
+"""The experiment catalog: one entry per regenerated paper claim.
+
+Besides the claim metadata, every entry *declares* its execution-plan
+support (``capabilities``): which :class:`repro.plan.RunPlan` axes the
+runner's kwargs expose — ``backend``, ``graph_cache``, ``share_graph``,
+``results``, ``kernel``, plus the universal ``trials`` / ``seed`` /
+``processes``.  The CLI forwards overrides from these declarations (and
+warns on unsupported flags) instead of probing runner signatures; a
+consistency test asserts the declarations against the actual
+signatures.  ``smoke`` holds tiny-scale kwargs the plan-smoke harness
+(:mod:`repro.experiments.smoke`) uses to dry-run every experiment
+through :func:`repro.plan.execute`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 from ..errors import ExperimentError
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+#: Overrides every runner accepts (Monte-Carlo scale and dispatch).
+_COMMON = ("trials", "seed", "processes")
+#: The sweep runners' full plan-axis surface.
+_SWEEP = _COMMON + ("backend", "graph_cache", "results", "kernel")
+
+
+def _smoke(**kwargs) -> Mapping:
+    """Freeze a smoke-kwargs dict (specs are immutable)."""
+    return MappingProxyType(dict(kwargs))
 
 
 @dataclass(frozen=True)
@@ -16,7 +40,9 @@ class ExperimentSpec:
     ``runner`` names the function in :mod:`repro.experiments.runners`;
     ``bench`` names the pytest-benchmark module; ``expected_shape`` is
     the acceptance criterion (shape, not absolute numbers — see
-    DESIGN.md §5).
+    DESIGN.md §5); ``capabilities`` declares which plan-axis overrides
+    the runner accepts; ``smoke`` holds tiny-scale kwargs for the
+    plan-smoke harness.
     """
 
     id: str
@@ -27,6 +53,8 @@ class ExperimentSpec:
     bench: str
     expected_shape: str
     modules: tuple[str, ...] = field(default_factory=tuple)
+    capabilities: tuple[str, ...] = _COMMON
+    smoke: Mapping = field(default_factory=dict)
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -41,6 +69,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e01_completion_time.py",
             expected_shape="median rounds fit a + b·log2(n) with R² high; all runs within the 3·log2(n) horizon",
             modules=("repro.core.policies", "repro.graphs.generators", "repro.analysis.fitting"),
+            capabilities=_SWEEP,
+            smoke=_smoke(ns=(64, 128), trials=2),
         ),
         ExperimentSpec(
             id="E2",
@@ -51,6 +81,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e02_work_linear.py",
             expected_shape="work/n flat across n; power-law exponent of work vs n ≈ 1",
             modules=("repro.core.engine", "repro.core.metrics"),
+            capabilities=_SWEEP,
+            smoke=_smoke(ns=(64, 128), trials=2),
         ),
         ExperimentSpec(
             id="E3",
@@ -61,6 +93,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e03_max_load.py",
             expected_shape="0 violations across all graph families and (c,d) settings",
             modules=("repro.core.policies",),
+            smoke=_smoke(n=64, settings=((2.0, 2),), families=("regular",), trials=2),
         ),
         ExperimentSpec(
             id="E4",
@@ -71,6 +104,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e04_burned_fraction.py",
             expected_shape="max_t S_t ≤ 1/2 in every trial at the paper's c; small even at practical c",
             modules=("repro.core.metrics",),
+            smoke=_smoke(ns=(64,), trials=2, include_paper_c=False),
         ),
         ExperimentSpec(
             id="E5",
@@ -81,6 +115,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e05_raes_dominance.py",
             expected_shape="under slot coupling: RAES alive set nested in SAER's every round; RAES completes no later, in 100% of coupled trials",
             modules=("repro.core.coupling",),
+            smoke=_smoke(ns=(64,), cs=(1.5,), trials=2),
         ),
         ExperimentSpec(
             id="E6",
@@ -91,6 +126,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e06_c_threshold.py",
             expected_shape="failures / long completions at c near 1; fast and flat completion once c is a small constant",
             modules=("repro.core.policies",),
+            capabilities=_SWEEP + ("share_graph",),
+            smoke=_smoke(n=64, cs=(1.5, 4.0), trials=2),
         ),
         ExperimentSpec(
             id="E7",
@@ -101,6 +138,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e07_degree_sweep.py",
             expected_shape="completion degrades as Δ falls below ~log² n at fixed c; dense Δ behaves like the complete graph",
             modules=("repro.graphs.generators",),
+            capabilities=_SWEEP,
+            smoke=_smoke(n=64, trials=2),
         ),
         ExperimentSpec(
             id="E8",
@@ -111,6 +150,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e08_almost_regular.py",
             expected_shape="O(log n)-like completion persists across ρ = O(1) families incl. paper_extremal",
             modules=("repro.graphs.generators.paper_extremal", "repro.graphs.properties"),
+            capabilities=_SWEEP,
+            smoke=_smoke(n=64, ratios=(1, 2), trials=2),
         ),
         ExperimentSpec(
             id="E9",
@@ -121,6 +162,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e09_baselines.py",
             expected_shape="greedy max load < SAER max load ≤ c·d; SAER rounds ≪ greedy steps; disclosure column",
             modules=("repro.baselines",),
+            smoke=_smoke(n=64, trials=2),
         ),
         ExperimentSpec(
             id="E10",
@@ -131,6 +173,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e10_stage1_decay.py",
             expected_shape="measured K_t ≤ γ_t and measured r_t max ≤ 2dΔ·Πγ envelope at the paper's c",
             modules=("repro.theory.recurrences", "repro.core.metrics"),
+            capabilities=("seed",),
+            smoke=_smoke(n=256),
         ),
         ExperimentSpec(
             id="E11",
@@ -141,6 +185,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e11_alive_decay.py",
             expected_shape="per-round alive ratios ≤ 4/5 in the heavy regime across trials",
             modules=("repro.core.metrics",),
+            smoke=_smoke(ns=(128,), trials=2),
         ),
         ExperimentSpec(
             id="E12",
@@ -151,6 +196,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             bench="benchmarks/bench_e12_dynamic_metastable.py",
             expected_shape="backlog slope ≈ 0 below the capacity knee, divergent above; no-recovery control diverges",
             modules=("repro.dynamic",),
+            smoke=_smoke(n=64, rates=(0.1, 1.0), horizon=60, trials=1),
         ),
     ]
 }

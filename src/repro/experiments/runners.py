@@ -7,6 +7,17 @@ module-level so the process pool can pickle them; every trial gets a
 spawned seed, so runs are reproducible for a fixed root ``seed``
 regardless of process count.
 
+Runners are **thin plan builders**: each one maps its kwargs onto a
+declarative :class:`repro.plan.RunPlan` (grid + trials + seed policy +
+backend + graph provisioning + dispatch + results carrier) and hands it
+to :func:`repro.plan.execute` — the single pipeline that owns backend
+resolution, graph provisioning, pool dispatch, and the columnar results
+spool.  What stays here is the science: the per-trial record functions
+(``record(graph, point, seed) -> dict`` / ``batch(graph, point, seeds)
+-> ResultBlock``) and the table-row assembly, which reads typed
+:class:`~repro.parallel.aggregate.ResultTable` columns instead of
+looping per-trial dicts.
+
 Default parameter choices were calibrated so the *shape* under test is
 visible (see DESIGN.md §5):
 
@@ -20,7 +31,6 @@ visible (see DESIGN.md §5):
 
 from __future__ import annotations
 
-import functools
 import math
 from typing import Mapping
 
@@ -29,6 +39,7 @@ import numpy as np
 from ..analysis.fitting import fit_log2, fit_powerlaw
 from ..analysis.stats import wilson_interval
 from ..batch import run_trials_batched
+from ..batch.results import ResultBlock
 from ..core.config import ProtocolParams, RunOptions
 from ..core.coupling import run_coupled
 from ..core.engine import run_raes, run_saer
@@ -42,19 +53,21 @@ from ..baselines import (
     run_threshold_protocol,
 )
 from ..dynamic import PoissonArrivals, RewireChurn, run_dynamic_saer
-from ..graphs import (
-    degree_report,
-    erdos_renyi_bipartite,
-    geometric_bipartite,
-    near_regular,
-    paper_extremal,
-    random_regular_bipartite,
-    trust_subsets,
+from ..graphs import degree_report, random_regular_bipartite
+from ..graphs.families import build_point_graph, canonical_degree
+from ..parallel.aggregate import aggregate_records, as_table, summarize
+from ..parallel.pool import worker_state
+from ..parallel.sweep import ParameterGrid
+from ..plan import (
+    BackendSpec,
+    ExecSpec,
+    GraphSpec,
+    ResultSpec,
+    RunPlan,
+    SeedSpec,
+    WorkSpec,
+    execute,
 )
-from ..graphs.io import cached_graph
-from ..parallel.aggregate import aggregate_records, summarize
-from ..parallel.pool import map_parallel, worker_state
-from ..parallel.sweep import ParameterGrid, run_sweep
 from ..theory.bounds import c_min_regular, completion_horizon
 from ..theory.recurrences import delta_sequence, gamma_products, gamma_sequence, stage1_length
 
@@ -74,53 +87,10 @@ __all__ = [
 ]
 
 
-def _regular_degree(n: int) -> int:
-    """The experiments' canonical degree: ``Δ = ⌈log₂² n⌉`` (η ≈ 1, base 2)."""
-    return max(2, math.ceil(math.log2(n) ** 2))
-
-
-def _graph_spec(point: Mapping) -> tuple[str, "object", dict]:
-    """Resolve a sweep point to ``(family, builder, params)``."""
-    family = point.get("family", "regular")
-    n = point["n"]
-    if family == "regular":
-        return family, random_regular_bipartite, {
-            "n": n,
-            "degree": point.get("degree", _regular_degree(n)),
-        }
-    if family == "trust":
-        return family, trust_subsets, {
-            "n_clients": n,
-            "n_servers": n,
-            "k": point.get("degree", _regular_degree(n)),
-        }
-    if family == "near_regular":
-        lo = point.get("degree_lo", _regular_degree(n))
-        hi = point.get("degree_hi", 2 * lo)
-        return family, near_regular, {"n": n, "degree_lo": lo, "degree_hi": hi}
-    if family == "paper_extremal":
-        return family, paper_extremal, {"n": n, "eta": point.get("eta", 0.5)}
-    if family == "er":
-        return family, erdos_renyi_bipartite, {
-            "n_clients": n,
-            "n_servers": n,
-            "p": point.get("p", _regular_degree(n) / n),
-        }
-    if family == "geometric":
-        r = point.get("radius", math.sqrt(_regular_degree(n) / (math.pi * n)))
-        return family, geometric_bipartite, {"n_clients": n, "n_servers": n, "radius": r}
-    raise ValueError(f"unknown graph family {family!r}")
-
-
-def _graph_for(point: Mapping, seed, cache_dir: str | None = None) -> "object":
-    """Build the graph a sweep point asks for (worker-side).
-
-    With ``cache_dir`` the build goes through the on-disk graph cache
-    (:func:`repro.graphs.io.cached_graph`): repeated sweeps over the
-    same ``(family, params, seed)`` pay construction once.
-    """
-    family, builder, params = _graph_spec(point)
-    return cached_graph(builder, family, params, seed, cache_dir)
+# The family vocabulary moved to repro.graphs.families in the plan-layer
+# refactor; the old name stays as the local spelling (ablations.py and
+# the row assemblies below use it for the canonical-degree column).
+_regular_degree = canonical_degree
 
 
 # ---------------------------------------------------------------------------
@@ -151,152 +121,104 @@ def _saer_run_record(graph, point: Mapping, p_seed) -> dict:
     }
 
 
-def _saer_batch_records(graph, point: Mapping, p_seeds) -> list[dict]:
-    """One batched-engine trial block on ``graph`` → canonical records
-    (same schema as :func:`_saer_run_record`).
+def _saer_batch_block(graph, point: Mapping, p_seeds, kernel: str | None = None) -> ResultBlock:
+    """One batched-engine trial block on ``graph`` → a columnar
+    :class:`~repro.batch.results.ResultBlock` (field-for-field the
+    schema of :func:`_saer_run_record`, built straight from the engine's
+    per-trial arrays — no per-dict loop; the plan executor unpacks it to
+    records only when a legacy carrier was asked for).
 
     Runs on the worker's persistent engine buffers
     (:func:`repro.parallel.pool.worker_state`), so a process sweeping
     many grid points allocates its staging arrays, received slab, and
-    RNG read-ahead once.  The kernel gate (``REPRO_KERNELS`` /
-    ``repro-lb --kernel``) is read inside the engine.
+    RNG read-ahead once.  ``kernel`` pins the round-kernel gate
+    (``None`` defers to ``REPRO_KERNELS``).
     """
     opts = RunOptions(max_rounds=point.get("max_rounds"))
+    p_seeds = list(p_seeds)
     res = run_trials_batched(
         graph,
         ProtocolParams(c=point["c"], d=point["d"]),
         "saer",
-        seeds=list(p_seeds),
+        seeds=p_seeds,
         options=opts,
+        kernel=kernel,
         buffers=worker_state().engine_buffers,
     )
     rep = degree_report(graph)
     n_c = graph.n_clients
-    return [
+    R = res.n_trials
+    return ResultBlock.from_columns(
+        point,
+        range(R),
         {
-            "completed": bool(res.completed[i]),
-            "rounds": int(res.rounds[i]),
-            "work": int(res.work[i]),
-            "work_per_client": float(res.work[i] / n_c) if n_c else 0.0,
-            "max_load": int(res.max_load[i]),
-            "capacity": res.params.capacity,
-            "blocked_servers": int(res.blocked_servers[i]),
-            "rho": rep.rho,
-            "deg_min_c": rep.client_degree_min,
-        }
-        for i in range(res.n_trials)
-    ]
+            "completed": res.completed,
+            "rounds": res.rounds,
+            "work": res.work,
+            "work_per_client": res.work / n_c if n_c else np.zeros(R),
+            "max_load": res.max_load,
+            "capacity": np.full(R, res.params.capacity),
+            "blocked_servers": res.blocked_servers,
+            "rho": np.full(R, rep.rho),
+            "deg_min_c": np.full(R, rep.client_degree_min),
+        },
+    )
 
 
-def _saer_point(point: Mapping, seed_seq, trial: int, cache_dir: str | None = None) -> dict:
-    """Worker shared by E1/E2/E6/E7/E8: one SAER run on a fresh graph."""
-    g_seed, p_seed = seed_seq.spawn(2)
-    return _saer_run_record(_graph_for(point, g_seed, cache_dir), point, p_seed)
+#: The SAER sweep's science, in the plan layer's two canonical shapes.
+_SAER_WORK = WorkSpec(record=_saer_run_record, batch=_saer_batch_block, name="saer")
 
 
-def _saer_point_shared(graph, point: Mapping, seed_seq, trial: int) -> dict:
-    """Graph-context twin of :func:`_saer_point`: the topology comes from
-    the worker's zero-copy task graph instead of a per-trial build.
-
-    Spawns the same ``(graph seed, protocol seed)`` pair as the
-    per-trial worker and uses the protocol half, so a (point, trial)'s
-    protocol stream is identical to the other execution paths; the
-    statistical difference is that every record conditions on the one
-    shared graph draw.
-    """
-    _g_seed, p_seed = seed_seq.spawn(2)
-    return _saer_run_record(graph, point, p_seed)
-
-
-def _saer_point_shared_batched(graph, point: Mapping, seed_seqs, trials) -> list[dict]:
-    """Graph-context twin of :func:`_saer_point_batched`."""
-    return _saer_batch_records(graph, point, [ss.spawn(2)[1] for ss in seed_seqs])
-
-
-def _saer_point_batched(
-    point: Mapping, seed_seqs, trials, cache_dir: str | None = None
-) -> list[dict]:
-    """Batched counterpart of :func:`_saer_point`: one task per sweep point.
-
-    Spawns the same per-trial (graph seed, protocol seed) pairs as the
-    reference worker, then runs every trial of the point on **one**
-    shared graph (built from the first trial's graph seed) via
-    :func:`repro.batch.run_trials_batched`.  Protocol randomness is
-    per-trial and bit-identical to the reference engine; the statistical
-    difference is that the batched backend conditions a point's trials
-    on a single graph sample instead of redrawing the graph per trial
-    (the protocol-level Monte-Carlo estimate, not the joint
-    graph×protocol one).
-    """
-    pairs = [ss.spawn(2) for ss in seed_seqs]
-    graph = _graph_for(point, pairs[0][0], cache_dir)
-    return _saer_batch_records(graph, point, [p_seed for _g, p_seed in pairs])
-
-
-def _saer_sweep(
-    grid, *, trials, seed, processes, backend, graph=None, graph_cache=None,
-    results="columnar",
-):
-    """Dispatch a SAER sweep to the reference or batched execution path.
+def _saer_plan(
+    grid, *, trials, seed, processes, backend="reference", graph=None,
+    graph_cache=None, results="columnar", kernel=None,
+) -> RunPlan:
+    """Map the historical SAER-runner kwargs onto a :class:`RunPlan`.
 
     ``graph`` (a :class:`~repro.graphs.bipartite.BipartiteGraph` or
     :class:`~repro.parallel.SharedGraph`) pins one topology for every
     (point, trial) and ships it to workers zero-copy; ``graph_cache``
     routes worker-side graph builds through the on-disk cache.  The two
     are exclusive (a pinned graph is never rebuilt).
-
-    ``results`` selects the return carrier (see
-    :func:`repro.parallel.sweep.run_sweep`): the default ``"columnar"``
-    ships typed :class:`~repro.batch.results.ResultBlock` arrays back
-    from batched workers and hands runners a lazy
-    :class:`~repro.parallel.aggregate.ResultTable`; ``"records"`` keeps
-    the legacy list of dicts.  Record content is identical.
     """
-    if backend == "reference":
-        if graph is not None:
-            return run_sweep(
-                _saer_point_shared,
-                grid,
-                n_trials=trials,
-                seed=seed,
-                processes=processes,
-                graph=graph,
-                results=results,
-            )
-        point_fn = (
-            functools.partial(_saer_point, cache_dir=graph_cache) if graph_cache else _saer_point
+    if backend not in ("reference", "batched"):
+        raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
+    if graph is not None:
+        gspec = GraphSpec(mode="pinned", graph=graph)
+    elif graph_cache:
+        gspec = GraphSpec(mode="cached", cache_dir=graph_cache)
+    else:
+        gspec = GraphSpec()
+    return RunPlan(
+        grid=grid,
+        work=_SAER_WORK,
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        # The kernel gate only exists on the batched engine; reference
+        # runs ignore it (matching the old REPRO_KERNELS env behaviour).
+        backend=BackendSpec(name=backend, kernel=kernel if backend == "batched" else None),
+        graph=gspec,
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode=results),
+    )
+
+
+def _saer_sweep(
+    grid, *, trials, seed, processes, backend, graph=None, graph_cache=None,
+    results="columnar", kernel=None,
+):
+    """Deprecated shim: build the :class:`RunPlan` and execute it.
+
+    Direct callers should migrate to ``execute(_saer_plan(...))`` — or
+    better, build their own :class:`repro.plan.RunPlan`; this wrapper
+    only survives so pre-plan call sites keep working.
+    """
+    return execute(
+        _saer_plan(
+            grid, trials=trials, seed=seed, processes=processes, backend=backend,
+            graph=graph, graph_cache=graph_cache, results=results, kernel=kernel,
         )
-        return run_sweep(
-            point_fn, grid, n_trials=trials, seed=seed, processes=processes,
-            results=results,
-        )
-    if backend == "batched":
-        if graph is not None:
-            return run_sweep(
-                _saer_point_shared_batched,
-                grid,
-                n_trials=trials,
-                seed=seed,
-                processes=processes,
-                backend="batched",
-                graph=graph,
-                results=results,
-            )
-        point_fn = (
-            functools.partial(_saer_point_batched, cache_dir=graph_cache)
-            if graph_cache
-            else _saer_point_batched
-        )
-        return run_sweep(
-            point_fn,
-            grid,
-            n_trials=trials,
-            seed=seed,
-            processes=processes,
-            backend="batched",
-            results=results,
-        )
-    raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
+    )
 
 
 def run_e01_completion(
@@ -309,31 +231,33 @@ def run_e01_completion(
     backend: str = "reference",
     graph_cache: str | None = None,
     results: str = "columnar",
+    kernel: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = _saer_sweep(
+    recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache, results=results,
-    )
-    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
+        graph_cache=graph_cache, results=results, kernel=kernel,
+    ))
+    table = as_table(recs)  # row assembly reads typed columns, not dicts
     rows = []
     for n in ns:
-        bucket = [r for r in rec_rows if r["n"] == n]
-        stats = summarize([r["rounds"] for r in bucket])
+        bucket = table.where(n=n)
+        rounds = bucket.column("rounds")
+        completed = bucket.column("completed").astype(bool)
+        stats = summarize(rounds)
+        horizon = completion_horizon(n)
         rows.append(
             {
                 "n": n,
                 "degree": _regular_degree(n),
                 "trials": len(bucket),
-                "completed": sum(r["completed"] for r in bucket),
+                "completed": int(completed.sum()),
                 "rounds_median": stats["median"],
                 "rounds_mean": round(stats["mean"], 2),
                 "rounds_max": stats["max"],
-                "horizon_3log2n": completion_horizon(n),
-                "within_horizon": all(
-                    r["rounds"] <= completion_horizon(n) for r in bucket if r["completed"]
-                ),
+                "horizon_3log2n": horizon,
+                "within_horizon": bool(np.all(rounds[completed] <= horizon)),
             }
         )
     fit = fit_log2([r["n"] for r in rows], [r["rounds_median"] for r in rows])
@@ -360,23 +284,24 @@ def run_e02_work(
     backend: str = "reference",
     graph_cache: str | None = None,
     results: str = "columnar",
+    kernel: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = _saer_sweep(
+    recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache, results=results,
-    )
-    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
+        graph_cache=graph_cache, results=results, kernel=kernel,
+    ))
+    table = as_table(recs)
     rows = []
     for n in ns:
-        bucket = [r for r in rec_rows if r["n"] == n]
-        wpc = summarize([r["work_per_client"] for r in bucket])
+        bucket = table.where(n=n)
+        wpc = summarize(bucket.column("work_per_client"))
         rows.append(
             {
                 "n": n,
                 "trials": len(bucket),
-                "work_mean": round(summarize([r["work"] for r in bucket])["mean"], 1),
+                "work_mean": round(summarize(bucket.column("work"))["mean"], 1),
                 "work_per_client_mean": round(wpc["mean"], 3),
                 "work_per_client_max": round(wpc["max"], 3),
                 "naive_lower_bound": 2 * d,  # every ball must be sent (and answered) once
@@ -401,9 +326,8 @@ def run_e02_work(
 # ---------------------------------------------------------------------------
 
 
-def _family_point(point: Mapping, seed_seq, trial: int) -> dict:
-    g_seed, p_seed = seed_seq.spawn(2)
-    graph = _graph_for(point, g_seed)
+def _family_record(graph, point: Mapping, p_seed) -> dict:
+    """One run of the point's protocol on ``graph`` → the E3 record."""
     protocol = point.get("protocol", "saer")
     runner = run_saer if protocol == "saer" else run_raes
     res = runner(graph, point["c"], point["d"], seed=p_seed)
@@ -433,48 +357,40 @@ def run_e03_max_load(
         protocol=["saer", "raes"],
         cd=list(settings),
     )
+    # A non-cartesian design ((c, d) travels as one axis): expand to an
+    # explicit point list — plans take those directly.
     points = []
     for p in grid.points():
         c, d = p.pop("cd")
         p.update(n=n, c=c, d=d)
         points.append(p)
-    # run_sweep wants a grid; easier to map over explicit points × trials.
-    from ..rng import spawn_seeds
-
-    tasks = []
-    seeds = spawn_seeds(seed, len(points) * trials)
-    i = 0
-    for p in points:
-        for t in range(trials):
-            tasks.append((p, seeds[i], t))
-            i += 1
-    recs = map_parallel(_E3Worker(), tasks, processes=processes)
+    recs = execute(RunPlan(
+        grid=points,
+        work=WorkSpec(record=_family_record, name="e03-max-load"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
     rows = aggregate_records(
         recs, group_by=["family", "protocol", "c", "d"], fields=["max_load", "p99_load", "rounds"]
     )
-    violations = sum(r["violation"] for r in recs)
+    violation = recs.column("violation")
     for row in rows:
         row["capacity"] = int(math.floor(row["c"] * row["d"]))
-        row["violations"] = sum(
-            r["violation"]
-            for r in recs
-            if (r["family"], r["protocol"], r["c"], r["d"])
-            == (row["family"], row["protocol"], row["c"], row["d"])
+        row["violations"] = int(
+            recs.where(
+                family=row["family"], protocol=row["protocol"], c=row["c"], d=row["d"]
+            )
+            .column("violation")
+            .sum()
         )
-    meta = {"total_runs": len(recs), "total_violations": violations, "records": recs}
+    meta = {
+        "total_runs": len(recs),
+        "total_violations": int(violation.sum()),
+        "records": recs,
+    }
     return rows, meta
-
-
-class _E3Worker:
-    """Picklable (point, seed, trial) adapter keeping point params in records."""
-
-    def __call__(self, task):
-        point, seed_seq, trial = task
-        rec = _family_point(point, seed_seq, trial)
-        out = dict(point)
-        out["trial"] = trial
-        out.update(rec)
-        return out
 
 
 # ---------------------------------------------------------------------------
@@ -482,9 +398,7 @@ class _E3Worker:
 # ---------------------------------------------------------------------------
 
 
-def _burned_fraction_point(point: Mapping, seed_seq, trial: int) -> dict:
-    g_seed, p_seed = seed_seq.spawn(2)
-    graph = _graph_for(point, g_seed)
+def _burned_fraction_record(graph, point: Mapping, p_seed) -> dict:
     res = run_saer(
         graph, point["c"], point["d"], seed=p_seed, trace=TraceLevel.FULL
     )
@@ -518,23 +432,27 @@ def run_e04_burned_fraction(
         if include_paper_c:
             c_values.append(("paper", round(c_min_regular(eta, d), 1)))
         for label, c in c_values:
-            grid = ParameterGrid(n=[n], c=[c], d=[d])
-            recs = run_sweep(
-                _burned_fraction_point, grid, n_trials=trials, seed=seed, processes=processes
-            )
-            all_recs.extend(recs)
-            s_stats = summarize([r["max_s_t"] for r in recs])
-            ok = sum(r["lemma4_ok"] for r in recs)
+            table = execute(RunPlan(
+                grid=ParameterGrid(n=[n], c=[c], d=[d]),
+                work=WorkSpec(record=_burned_fraction_record, name="e04-burned"),
+                trials=trials,
+                seeds=SeedSpec(root=seed),
+                execution=ExecSpec(processes=processes),
+                results=ResultSpec(mode="columnar"),
+            ))
+            all_recs.extend(table)
+            s_stats = summarize(table.column("max_s_t"))
+            ok = int(table.column("lemma4_ok").sum())
             rows.append(
                 {
                     "n": n,
                     "c_regime": label,
                     "c": c,
-                    "trials": len(recs),
+                    "trials": len(table),
                     "max_s_t_mean": round(s_stats["mean"], 4),
                     "max_s_t_worst": round(s_stats["max"], 4),
                     "bound": 0.5,
-                    "lemma4_ok": f"{ok}/{len(recs)}",
+                    "lemma4_ok": f"{ok}/{len(table)}",
                 }
             )
     meta = {"d": d, "records": all_recs}
@@ -546,9 +464,7 @@ def run_e04_burned_fraction(
 # ---------------------------------------------------------------------------
 
 
-def _coupled_point(point: Mapping, seed_seq, trial: int) -> dict:
-    g_seed, p_seed = seed_seq.spawn(2)
-    graph = _graph_for(point, g_seed)
+def _coupled_record(graph, point: Mapping, p_seed) -> dict:
     cp = run_coupled(graph, point["c"], point["d"], seed=p_seed)
     return {
         "nested": cp.nested_every_round,
@@ -571,31 +487,38 @@ def run_e05_dominance(
 ) -> tuple[list[dict], dict]:
     """E5: pathwise RAES-dominates-SAER under slot coupling."""
     grid = ParameterGrid(n=list(ns), c=list(cs), d=[d])
-    recs = run_sweep(_coupled_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = execute(RunPlan(
+        grid=grid,
+        work=WorkSpec(record=_coupled_record, name="e05-dominance"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
     rows = []
     for n in ns:
         for c in cs:
-            bucket = [r for r in recs if r["n"] == n and r["c"] == c]
+            bucket = recs.where(n=n, c=c)
             rows.append(
                 {
                     "n": n,
                     "c": c,
                     "trials": len(bucket),
-                    "nested_every_round": sum(r["nested"] for r in bucket),
-                    "alive_dominated": sum(r["alive_dominated"] for r in bucket),
-                    "raes_no_later": sum(r["raes_no_later"] for r in bucket),
+                    "nested_every_round": int(bucket.column("nested").sum()),
+                    "alive_dominated": int(bucket.column("alive_dominated").sum()),
+                    "raes_no_later": int(bucket.column("raes_no_later").sum()),
                     "saer_rounds_mean": round(
-                        summarize([r["saer_rounds"] for r in bucket])["mean"], 2
+                        summarize(bucket.column("saer_rounds"))["mean"], 2
                     ),
                     "raes_rounds_mean": round(
-                        summarize([r["raes_rounds"] for r in bucket])["mean"], 2
+                        summarize(bucket.column("raes_rounds"))["mean"], 2
                     ),
                 }
             )
     meta = {
         "d": d,
-        "all_nested": all(r["nested"] for r in recs),
-        "all_dominated": all(r["alive_dominated"] for r in recs),
+        "all_nested": bool(np.all(recs.column("nested"))),
+        "all_dominated": bool(np.all(recs.column("alive_dominated"))),
         "records": recs,
     }
     return rows, meta
@@ -617,6 +540,7 @@ def run_e06_c_threshold(
     share_graph: bool = False,
     graph_cache: str | None = None,
     results: str = "columnar",
+    kernel: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale.
 
@@ -634,8 +558,8 @@ def run_e06_c_threshold(
         # Disjoint from the sweep's task seeds: the first len(grid)*trials
         # children are exactly the sweep's spawn, so take the next one.
         g_seed = np.random.SeedSequence(seed).spawn(len(grid) * trials + 1)[-1]
-        graph = _graph_for({"n": n}, g_seed, graph_cache)
-    recs = _saer_sweep(
+        graph = build_point_graph({"n": n}, g_seed, graph_cache)
+    recs = execute(_saer_plan(
         grid,
         trials=trials,
         seed=seed,
@@ -644,14 +568,16 @@ def run_e06_c_threshold(
         graph=graph,
         graph_cache=None if share_graph else graph_cache,
         results=results,
-    )
-    rec_rows = list(recs)  # materialize lazy rows once, not once per bucket
+        kernel=kernel,
+    ))
+    table = as_table(recs)
     rows = []
     for c in cs:
-        bucket = [r for r in rec_rows if r["c"] == c]
-        done = sum(r["completed"] for r in bucket)
+        bucket = table.where(c=c)
+        completed = bucket.column("completed").astype(bool)
+        done = int(completed.sum())
         rate, lo, hi = wilson_interval(done, len(bucket))
-        done_rounds = [r["rounds"] for r in bucket if r["completed"]]
+        done_rounds = bucket.column("rounds")[completed]
         rows.append(
             {
                 "c": c,
@@ -659,12 +585,12 @@ def run_e06_c_threshold(
                 "trials": len(bucket),
                 "completion_rate": round(rate, 3),
                 "rate_ci": f"[{lo:.2f},{hi:.2f}]",
-                "rounds_median": summarize(done_rounds)["median"] if done_rounds else None,
+                "rounds_median": summarize(done_rounds)["median"] if done_rounds.size else None,
                 "work_per_client": round(
-                    summarize([r["work_per_client"] for r in bucket])["mean"], 2
+                    summarize(bucket.column("work_per_client"))["mean"], 2
                 ),
                 "blocked_servers_mean": round(
-                    summarize([r["blocked_servers"] for r in bucket])["mean"], 1
+                    summarize(bucket.column("blocked_servers"))["mean"], 1
                 ),
             }
         )
@@ -693,6 +619,7 @@ def run_e07_degree_sweep(
     backend: str = "reference",
     graph_cache: str | None = None,
     results: str = "columnar",
+    kernel: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -709,23 +636,24 @@ def run_e07_degree_sweep(
     all_recs = []
     for label, deg in degree_specs:
         grid = ParameterGrid(n=[n], c=[c], d=[d], degree=[deg])
-        recs = list(_saer_sweep(
+        table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
-            graph_cache=graph_cache, results=results,
-        ))
-        all_recs.extend(recs)
-        done = sum(r["completed"] for r in recs)
-        rate, lo, hi = wilson_interval(done, len(recs))
-        done_rounds = [r["rounds"] for r in recs if r["completed"]]
+            graph_cache=graph_cache, results=results, kernel=kernel,
+        )))
+        all_recs.extend(table)
+        completed = table.column("completed").astype(bool)
+        done = int(completed.sum())
+        rate, lo, hi = wilson_interval(done, len(table))
+        done_rounds = table.column("rounds")[completed]
         rows.append(
             {
                 "degree_regime": label,
                 "degree": deg,
                 "meets_hypothesis": deg >= log2n**2,
-                "trials": len(recs),
+                "trials": len(table),
                 "completion_rate": round(rate, 3),
-                "rounds_median": summarize(done_rounds)["median"] if done_rounds else None,
-                "rounds_max": summarize(done_rounds)["max"] if done_rounds else None,
+                "rounds_median": summarize(done_rounds)["median"] if done_rounds.size else None,
+                "rounds_max": summarize(done_rounds)["max"] if done_rounds.size else None,
                 "horizon": completion_horizon(n),
             }
         )
@@ -749,11 +677,26 @@ def run_e08_almost_regular(
     backend: str = "reference",
     graph_cache: str | None = None,
     results: str = "columnar",
+    kernel: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
     all_recs = []
     base = _regular_degree(n)
+
+    def _row(label: str, table) -> dict:
+        completed = table.column("completed").astype(bool)
+        done_rounds = table.column("rounds")[completed]
+        return {
+            "family": label,
+            "rho_measured": round(summarize(table.column("rho"))["mean"], 2),
+            "trials": len(table),
+            "completed": int(completed.sum()),
+            "rounds_median": summarize(done_rounds)["median"] if done_rounds.size else None,
+            "rounds_max": summarize(done_rounds)["max"] if done_rounds.size else None,
+            "horizon": completion_horizon(n),
+        }
+
     for ratio in ratios:
         fam = "regular" if ratio == 1 else "near_regular"
         grid = ParameterGrid(
@@ -764,42 +707,22 @@ def run_e08_almost_regular(
             degree_lo=[base],
             degree_hi=[min(base * ratio, n)],
         )
-        recs = list(_saer_sweep(
+        table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
-            graph_cache=graph_cache, results=results,
-        ))
-        all_recs.extend(recs)
-        done_rounds = [r["rounds"] for r in recs if r["completed"]]
+            graph_cache=graph_cache, results=results, kernel=kernel,
+        )))
+        all_recs.extend(table)
         rows.append(
-            {
-                "family": f"near_regular ρ≈{ratio}" if ratio > 1 else "regular (ρ=1)",
-                "rho_measured": round(summarize([r["rho"] for r in recs])["mean"], 2),
-                "trials": len(recs),
-                "completed": sum(r["completed"] for r in recs),
-                "rounds_median": summarize(done_rounds)["median"] if done_rounds else None,
-                "rounds_max": summarize(done_rounds)["max"] if done_rounds else None,
-                "horizon": completion_horizon(n),
-            }
+            _row(f"near_regular ρ≈{ratio}" if ratio > 1 else "regular (ρ=1)", table)
         )
     # The paper's extremal example (√n-degree clients, O(1)-degree servers).
     grid = ParameterGrid(n=[n], c=[c], d=[d], family=["paper_extremal"], eta=[0.5])
-    recs = list(_saer_sweep(
+    table = as_table(execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
-        graph_cache=graph_cache, results=results,
-    ))
-    all_recs.extend(recs)
-    done_rounds = [r["rounds"] for r in recs if r["completed"]]
-    rows.append(
-        {
-            "family": "paper_extremal (√n clients, O(1) servers)",
-            "rho_measured": round(summarize([r["rho"] for r in recs])["mean"], 2),
-            "trials": len(recs),
-            "completed": sum(r["completed"] for r in recs),
-            "rounds_median": summarize(done_rounds)["median"] if done_rounds else None,
-            "rounds_max": summarize(done_rounds)["max"] if done_rounds else None,
-            "horizon": completion_horizon(n),
-        }
-    )
+        graph_cache=graph_cache, results=results, kernel=kernel,
+    )))
+    all_recs.extend(table)
+    rows.append(_row("paper_extremal (√n clients, O(1) servers)", table))
     meta = {"n": n, "c": c, "d": d, "backend": backend, "records": all_recs}
     return rows, meta
 
@@ -809,10 +732,8 @@ def run_e08_almost_regular(
 # ---------------------------------------------------------------------------
 
 
-def _baseline_task(task) -> dict:
-    algo, n, c, d, degree, seed_seq = task
-    g_seed, a_seed = seed_seq.spawn(2)
-    graph = random_regular_bipartite(n, degree, seed=g_seed)
+def _baseline_record(graph, point: Mapping, a_seed) -> dict:
+    algo, c, d = point["algorithm"], point["c"], point["d"]
     if algo == "saer":
         r = run_saer(graph, c, d, seed=a_seed)
         return {
@@ -867,8 +788,6 @@ def run_e09_baselines(
     processes: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E9: SAER/RAES vs threshold, parallel greedy, and sequential baselines."""
-    from ..rng import spawn_seeds
-
     algos = [
         "saer",
         "raes",
@@ -879,14 +798,18 @@ def run_e09_baselines(
         "godfrey",
     ]
     degree = _regular_degree(n)
-    seeds = spawn_seeds(seed, len(algos) * trials)
-    tasks = []
-    i = 0
-    for algo in algos:
-        for _t in range(trials):
-            tasks.append((algo, n, c, d, degree, seeds[i]))
-            i += 1
-    recs = map_parallel(_baseline_task, tasks, processes=processes)
+    points = [
+        {"algorithm": algo, "n": n, "c": c, "d": d, "degree": degree}
+        for algo in algos
+    ]
+    recs = execute(RunPlan(
+        grid=points,
+        work=WorkSpec(record=_baseline_record, name="e09-baselines"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
     rows = aggregate_records(
         recs, group_by=["algorithm", "discloses_loads"], fields=["max_load", "rounds", "steps", "work"]
     )
@@ -901,6 +824,25 @@ def run_e09_baselines(
 # ---------------------------------------------------------------------------
 # E10 — Stage-I decay vs the γ envelope
 # ---------------------------------------------------------------------------
+
+
+def _stage1_record(graph, point: Mapping, seed_seq) -> dict:
+    """One fully-traced SAER run on the pinned E10 topology.
+
+    Runs under ``SeedSpec(mode="direct")``: the task seed *is* the
+    protocol seed (no graph/protocol pair spawn — the graph is pinned
+    and was built in the parent from its own seed).
+    """
+    res = run_saer(
+        graph, point["c"], point["d"], seed=seed_seq, trace=TraceLevel.FULL
+    )
+    return {
+        "rounds": res.rounds,
+        "completed": res.completed,
+        "k_t": np.asarray(res.trace.k_t, dtype=np.float64),
+        "r_neigh_max": np.asarray(res.trace.r_neigh_max, dtype=np.int64),
+        "s_t": np.asarray(res.trace.s_t, dtype=np.float64),
+    }
 
 
 def run_e10_stage1(
@@ -931,15 +873,28 @@ def run_e10_stage1(
     g_seed, p_seed, p2_seed = np.random.SeedSequence(seed).spawn(3)
     graph = random_regular_bipartite(n, deg, seed=g_seed)
 
+    # Two runs, same pinned topology, explicitly supplied protocol seeds
+    # (the historical 3-way spawn), one traced record per regime.
+    paper_rec, contended_rec = execute(RunPlan(
+        grid=[
+            {"regime": "paper", "c": c_val, "d": d},
+            {"regime": "contended", "c": contended_c, "d": d},
+        ],
+        work=WorkSpec(record=_stage1_record, name="e10-stage1"),
+        trials=1,
+        seeds=SeedSpec(mode="direct", seeds=(p_seed, p2_seed)),
+        graph=GraphSpec(mode="pinned", graph=graph),
+        execution=ExecSpec(mode="serial"),
+    ))
+
     rows: list[dict] = []
-    res = run_saer(graph, c_val, d, seed=p_seed, trace=TraceLevel.FULL)
-    horizon = min(res.rounds, completion_horizon(n))
+    horizon = min(paper_rec["rounds"], completion_horizon(n))
     gam = gamma_sequence(c_val, horizon + 1)
     prods = gamma_products(c_val, horizon + 1)
     T = stage1_length(n, d, deg, c_val)
     for t in range(1, horizon + 1):
-        k_meas = float(res.trace.k_t[t - 1])
-        r_meas = int(res.trace.r_neigh_max[t - 1])
+        k_meas = float(paper_rec["k_t"][t - 1])
+        r_meas = int(paper_rec["r_neigh_max"][t - 1])
         envelope = 2.0 * d * deg * prods[t - 1]
         rows.append(
             {
@@ -952,16 +907,16 @@ def run_e10_stage1(
                 "r_neigh_max": r_meas,
                 "envelope": round(envelope, 2),
                 "r_le_envelope": r_meas <= envelope + 1e-9,
-                "S_t": round(float(res.trace.s_t[t - 1]), 5),
+                "S_t": round(float(paper_rec["s_t"][t - 1]), 5),
                 "decay_ratio": None,
             }
         )
     paper_rows = list(rows)
 
-    res2 = run_saer(graph, contended_c, d, seed=p2_seed, trace=TraceLevel.FULL)
-    r_series = np.asarray(res2.trace.r_neigh_max, dtype=np.float64)
-    s_series = np.asarray(res2.trace.s_t, dtype=np.float64)
-    for t in range(1, res2.rounds + 1):
+    contended_rounds = contended_rec["rounds"]
+    r_series = np.asarray(contended_rec["r_neigh_max"], dtype=np.float64)
+    s_series = np.asarray(contended_rec["s_t"], dtype=np.float64)
+    for t in range(1, contended_rounds + 1):
         ratio = (
             round(float(r_series[t - 1] / r_series[t - 2]), 3)
             if t >= 2 and r_series[t - 2] > 0
@@ -972,7 +927,7 @@ def run_e10_stage1(
                 "regime": f"contended c={contended_c}",
                 "t": t,
                 "stage": "-",
-                "K_t_measured": round(float(res2.trace.k_t[t - 1]), 5),
+                "K_t_measured": round(float(contended_rec["k_t"][t - 1]), 5),
                 "gamma_t": None,
                 "K_le_gamma": None,
                 "r_neigh_max": int(r_series[t - 1]),
@@ -996,8 +951,8 @@ def run_e10_stage1(
         "c_contended": contended_c,
         "degree": deg,
         "stage1_T": T,
-        "paper_rounds": res.rounds,
-        "contended_rounds": res2.rounds,
+        "paper_rounds": paper_rec["rounds"],
+        "contended_rounds": contended_rounds,
         "all_K_below_gamma": all(r["K_le_gamma"] for r in paper_rows),
         "all_r_below_envelope": all(r["r_le_envelope"] for r in paper_rows),
         "contended_decay_geometric_mean": round(float(np.exp(np.mean(np.log(ratios)))), 4)
@@ -1015,9 +970,7 @@ def run_e10_stage1(
 # ---------------------------------------------------------------------------
 
 
-def _alive_decay_point(point: Mapping, seed_seq, trial: int) -> dict:
-    g_seed, p_seed = seed_seq.spawn(2)
-    graph = _graph_for(point, g_seed)
+def _alive_decay_record(graph, point: Mapping, p_seed) -> dict:
     res = run_saer(graph, point["c"], point["d"], seed=p_seed, trace=TraceLevel.BASIC)
     alive = np.asarray(res.trace.alive_before, dtype=np.float64)
     n, d = point["n"], point["d"]
@@ -1043,18 +996,25 @@ def run_e11_alive_decay(
 ) -> tuple[list[dict], dict]:
     """E11: per-round alive-ball shrink factor in the heavy regime vs 4/5."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
-    recs = run_sweep(_alive_decay_point, grid, n_trials=trials, seed=seed, processes=processes)
+    recs = execute(RunPlan(
+        grid=grid,
+        work=WorkSpec(record=_alive_decay_record, name="e11-alive-decay"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
     rows = []
     for n in ns:
-        bucket = [r for r in recs if r["n"] == n]
-        worst = summarize([r["max_heavy_ratio"] for r in bucket])
-        mean = summarize([r["mean_heavy_ratio"] for r in bucket])
+        bucket = recs.where(n=n)
+        worst = summarize(bucket.column("max_heavy_ratio"))
+        mean = summarize(bucket.column("mean_heavy_ratio"))
         rows.append(
             {
                 "n": n,
                 "trials": len(bucket),
                 "heavy_rounds_mean": round(
-                    summarize([r["heavy_rounds"] for r in bucket])["mean"], 1
+                    summarize(bucket.column("heavy_rounds"))["mean"], 1
                 ),
                 "decay_ratio_mean": round(mean["mean"], 3),
                 "decay_ratio_worst": round(worst["max"], 3),
@@ -1071,25 +1031,21 @@ def run_e11_alive_decay(
 # ---------------------------------------------------------------------------
 
 
-def _dynamic_task(task) -> dict:
-    rate, recovery, churn_rate, n, c, d, horizon, seed_seq = task
-    g_seed, s_seed = seed_seq.spawn(2)
-    deg = _regular_degree(n)
-    graph = trust_subsets(n, n, deg, seed=g_seed)
+def _dynamic_record(graph, point: Mapping, s_seed) -> dict:
+    """One dynamic-arrivals run on the point's trust topology."""
     res = run_dynamic_saer(
         graph,
-        c,
-        d,
-        PoissonArrivals(rate),
-        horizon,
-        churn=RewireChurn(churn_rate) if churn_rate else None,
-        recovery=recovery,
+        point["c"],
+        point["d"],
+        PoissonArrivals(point["rate"]),
+        point["horizon"],
+        churn=RewireChurn(point["churn"]) if point["churn"] else None,
+        recovery=point["recovery"],
         seed=s_seed,
     )
-    out = res.summary()
-    out["rate"] = rate
-    out["churn"] = churn_rate
-    return out
+    # rate/churn (and every other point key) reach the record via the
+    # sweep's point-merge; the summary only adds the run's outcomes.
+    return res.summary()
 
 
 def run_e12_dynamic(
@@ -1105,25 +1061,35 @@ def run_e12_dynamic(
     processes: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E12: backlog stability vs offered load, with/without burn recovery."""
-    from ..rng import spawn_seeds
-
     combos = []
     for rate in rates:
         combos.append((rate, recovery, churn_rate))
     combos.append((rates[1], None, churn_rate))  # no-recovery control
-    seeds = spawn_seeds(seed, len(combos) * trials)
-    tasks = []
-    i = 0
-    for rate, rec, ch in combos:
-        for _t in range(trials):
-            tasks.append((rate, rec, ch, n, c, d, horizon, seeds[i]))
-            i += 1
-    recs = map_parallel(_dynamic_task, tasks, processes=processes)
+    points = [
+        {
+            "rate": rate,
+            "recovery": rec,
+            "churn": ch,
+            "n": n,
+            "c": c,
+            "d": d,
+            "horizon": horizon,
+            "family": "trust",
+            "degree": _regular_degree(n),
+        }
+        for rate, rec, ch in combos
+    ]
+    recs = execute(RunPlan(
+        grid=points,
+        work=WorkSpec(record=_dynamic_record, name="e12-dynamic"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
     rows = []
     for rate, rec_param, ch in combos:
-        bucket = [
-            r for r in recs if (r["rate"], r["recovery"], r["churn"]) == (rate, rec_param, ch)
-        ]
+        bucket = recs.where(rate=rate, recovery=rec_param, churn=ch)
         rows.append(
             {
                 "rate": rate,
@@ -1132,18 +1098,18 @@ def run_e12_dynamic(
                 "churn": ch,
                 "trials": len(bucket),
                 "backlog_mean_2nd_half": round(
-                    summarize([r["mean_backlog_2nd_half"] for r in bucket])["mean"], 1
+                    summarize(bucket.column("mean_backlog_2nd_half"))["mean"], 1
                 ),
                 "backlog_slope": round(
-                    summarize([r["backlog_slope"] for r in bucket])["mean"], 3
+                    summarize(bucket.column("backlog_slope"))["mean"], 3
                 ),
                 "latency_mean": round(
-                    summarize([r["latency_mean"] for r in bucket])["mean"], 3
+                    summarize(bucket.column("latency_mean"))["mean"], 3
                 ),
                 "burned_frac_final": round(
-                    summarize([r["burned_frac_final"] for r in bucket])["mean"], 3
+                    summarize(bucket.column("burned_frac_final"))["mean"], 3
                 ),
-                "metastable": f"{sum(r['metastable'] for r in bucket)}/{len(bucket)}",
+                "metastable": f"{int(bucket.column('metastable').sum())}/{len(bucket)}",
             }
         )
     meta = {"n": n, "c": c, "d": d, "horizon": horizon, "records": recs}

@@ -1,0 +1,92 @@
+"""Plan-smoke: dry-run every registered experiment through the plan layer.
+
+Every runner routes through :func:`repro.plan.execute`, so running each
+registry entry at its tiny declared ``smoke`` scale — across every
+backend its declared capabilities support — proves the whole dispatch
+pipeline end-to-end (CLI axis vocabulary → registry capabilities →
+runner plan builders → ``execute`` → parallel dispatch → results
+spool).  CI runs this as its *plan-smoke* job so a new axis (backend,
+executor, spool format) cannot land unwired from an experiment.
+
+Use from the CLI (``repro-lb smoke``) or directly::
+
+    from repro.experiments.smoke import run_plan_smoke
+    rows, ok = run_plan_smoke()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from . import runners as runner_mod
+from .registry import list_experiments
+
+__all__ = ["run_plan_smoke"]
+
+
+def run_plan_smoke(
+    backends: Sequence[str] = ("reference", "batched"),
+    *,
+    processes: int | None = 1,
+    only: Iterable[str] | None = None,
+) -> tuple[list[dict], bool]:
+    """Run every experiment at smoke scale under each supported backend.
+
+    Experiments whose capabilities do not include ``backend`` have a
+    single canonical execution path and run once.  Returns ``(rows,
+    ok)``: one row per (experiment, backend) with the produced row
+    count and status, and ``ok`` — True iff every run produced a
+    non-empty table without raising.
+    """
+    wanted = {e.strip().upper() for e in only} if only is not None else None
+    out: list[dict] = []
+    ok = True
+    if wanted is not None:
+        unknown = wanted - {spec.id for spec in list_experiments()}
+        for exp_id in sorted(unknown):
+            # A filter that matches nothing must not green-light the run.
+            out.append(
+                {
+                    "experiment": exp_id,
+                    "backend": "-",
+                    "rows": 0,
+                    "status": "error: unknown experiment id",
+                }
+            )
+            ok = False
+    for spec in list_experiments():
+        if wanted is not None and spec.id not in wanted:
+            continue
+        fn = getattr(runner_mod, spec.runner)
+        run_backends = list(backends) if "backend" in spec.capabilities else [None]
+        for backend in run_backends:
+            kwargs = dict(spec.smoke)
+            if "processes" in spec.capabilities and processes is not None:
+                kwargs["processes"] = processes
+            if backend is not None:
+                kwargs["backend"] = backend
+            label = backend or "reference"
+            try:
+                rows, _meta = fn(**kwargs)
+            except Exception as exc:  # a smoke harness reports, never raises
+                out.append(
+                    {
+                        "experiment": spec.id,
+                        "backend": label,
+                        "rows": 0,
+                        "status": f"error: {type(exc).__name__}: {exc}",
+                    }
+                )
+                ok = False
+                continue
+            n_rows = len(rows)
+            out.append(
+                {
+                    "experiment": spec.id,
+                    "backend": label,
+                    "rows": n_rows,
+                    "status": "ok" if n_rows else "empty",
+                }
+            )
+            ok = ok and n_rows > 0
+    return out, ok

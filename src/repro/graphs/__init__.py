@@ -8,6 +8,7 @@ and serialization.
 """
 
 from .bipartite import BipartiteGraph
+from .families import build_point_graph, canonical_degree, family_spec
 from .generators import (
     biregular,
     community_bipartite,
@@ -38,6 +39,9 @@ __all__ = [
     "near_regular",
     "paper_extremal",
     "complete_bipartite",
+    "canonical_degree",
+    "family_spec",
+    "build_point_graph",
     "GraphReport",
     "degree_report",
     "almost_regularity_ratio",

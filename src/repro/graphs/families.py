@@ -1,0 +1,84 @@
+"""Sweep-point → graph resolution: the experiment harness's family vocabulary.
+
+Every sweep point in this library describes its topology with a small
+dict vocabulary — ``family`` (default ``"regular"``), ``n``, and the
+family's parameters (``degree``, ``p``, ``radius``, …) with canonical
+defaults derived from ``n``.  This module owns that vocabulary so the
+execution-plan layer (:mod:`repro.plan`), the experiment runners, and
+any external driver resolve a point to the *same* graph build for the
+same seed.
+
+The canonical experiment degree is ``Δ = ⌈log₂² n⌉`` (η ≈ 1 in the
+paper's ``Δ ≥ η·log² n`` hypothesis); see :func:`canonical_degree`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from .generators import (
+    erdos_renyi_bipartite,
+    geometric_bipartite,
+    near_regular,
+    paper_extremal,
+    random_regular_bipartite,
+    trust_subsets,
+)
+from .io import cached_graph
+
+__all__ = ["canonical_degree", "family_spec", "build_point_graph"]
+
+
+def canonical_degree(n: int) -> int:
+    """The experiments' canonical degree: ``Δ = ⌈log₂² n⌉`` (η ≈ 1, base 2)."""
+    return max(2, math.ceil(math.log2(n) ** 2))
+
+
+def family_spec(point: Mapping) -> tuple[str, Callable, dict]:
+    """Resolve a sweep point to ``(family, builder, params)``.
+
+    The point must carry ``n``; ``family`` defaults to ``"regular"``;
+    family parameters fall back to canonical defaults derived from
+    ``n`` (e.g. the :func:`canonical_degree`).
+    """
+    family = point.get("family", "regular")
+    n = point["n"]
+    if family == "regular":
+        return family, random_regular_bipartite, {
+            "n": n,
+            "degree": point.get("degree", canonical_degree(n)),
+        }
+    if family == "trust":
+        return family, trust_subsets, {
+            "n_clients": n,
+            "n_servers": n,
+            "k": point.get("degree", canonical_degree(n)),
+        }
+    if family == "near_regular":
+        lo = point.get("degree_lo", canonical_degree(n))
+        hi = point.get("degree_hi", 2 * lo)
+        return family, near_regular, {"n": n, "degree_lo": lo, "degree_hi": hi}
+    if family == "paper_extremal":
+        return family, paper_extremal, {"n": n, "eta": point.get("eta", 0.5)}
+    if family == "er":
+        return family, erdos_renyi_bipartite, {
+            "n_clients": n,
+            "n_servers": n,
+            "p": point.get("p", canonical_degree(n) / n),
+        }
+    if family == "geometric":
+        r = point.get("radius", math.sqrt(canonical_degree(n) / (math.pi * n)))
+        return family, geometric_bipartite, {"n_clients": n, "n_servers": n, "radius": r}
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+def build_point_graph(point: Mapping, seed, cache_dir: str | None = None):
+    """Build the graph a sweep point asks for (worker-side).
+
+    With ``cache_dir`` the build goes through the on-disk graph cache
+    (:func:`repro.graphs.io.cached_graph`): repeated sweeps over the
+    same ``(family, params, seed)`` pay construction once.
+    """
+    family, builder, params = family_spec(point)
+    return cached_graph(builder, family, params, seed, cache_dir)

@@ -26,7 +26,7 @@ shared-memory mapping — instead of pickling the graph into every task
 (see :mod:`repro.parallel.shared`).
 """
 
-from .aggregate import ResultTable, aggregate_records, assemble_blocks, summarize
+from .aggregate import ResultTable, aggregate_records, as_table, assemble_blocks, summarize
 from .pool import WorkerState, map_parallel, monte_carlo, worker_state
 from .shared import SharedGraph, current_task_graph, graph_context
 from .sweep import ParameterGrid, run_sweep
@@ -38,6 +38,7 @@ __all__ = [
     "run_sweep",
     "summarize",
     "aggregate_records",
+    "as_table",
     "assemble_blocks",
     "ResultTable",
     "SharedGraph",

@@ -21,7 +21,13 @@ import numpy as np
 
 from ..batch.results import _column, _pyvalue
 
-__all__ = ["summarize", "aggregate_records", "ResultTable", "assemble_blocks"]
+__all__ = [
+    "summarize",
+    "aggregate_records",
+    "ResultTable",
+    "assemble_blocks",
+    "as_table",
+]
 
 
 def _stats_from_array(arr: np.ndarray) -> dict:
@@ -58,9 +64,33 @@ def summarize(values: Iterable[float]) -> dict:
     The CI half-width uses the normal approximation
     ``1.96·s/√n`` — adequate for the trial counts experiments use (≥10)
     and cheap; use :func:`repro.analysis.stats.bootstrap_ci` when the
-    statistic is a quantile or the sample is tiny.
+    statistic is a quantile or the sample is tiny.  Accepts any
+    iterable, including a typed :class:`ResultTable` column (no
+    python-list round-trip then).
     """
-    return _stats_from_array(np.asarray(list(values), dtype=np.float64))
+    if not isinstance(values, np.ndarray):
+        values = list(values)
+    return _stats_from_array(np.asarray(values, dtype=np.float64))
+
+
+def _missing_part(count: int) -> np.ndarray:
+    """A ``None``-filled object column segment for an absent field."""
+    part = np.empty(count, dtype=object)
+    part[:] = None
+    return part
+
+
+def _concat_parts(parts: Sequence[np.ndarray], n: int) -> np.ndarray:
+    """Concatenate column segments, degrading to object dtype when mixed."""
+    try:
+        return np.concatenate(parts)
+    except (TypeError, ValueError):
+        col = np.empty(n, dtype=object)
+        pos = 0
+        for part in parts:
+            col[pos : pos + part.size] = list(part)
+            pos += part.size
+        return col
 
 
 class ResultTable(Sequence):
@@ -124,23 +154,11 @@ class ResultTable(Sequence):
                 if k not in field_names:
                     field_names.append(k)
         for k in field_names:
-            parts = []
-            for b in blocks:
-                if k in b.fields:
-                    parts.append(np.asarray(b.data[k]))
-                else:
-                    missing = np.empty(b.n_trials, dtype=object)
-                    missing[:] = None
-                    parts.append(missing)
-            try:
-                col = np.concatenate(parts)
-            except (TypeError, ValueError):
-                col = np.empty(n, dtype=object)
-                pos = 0
-                for part in parts:
-                    col[pos : pos + part.size] = list(part)
-                    pos += part.size
-            columns[k] = col
+            parts = [
+                np.asarray(b.data[k]) if k in b.fields else _missing_part(b.n_trials)
+                for b in blocks
+            ]
+            columns[k] = _concat_parts(parts, n)
         return cls(columns, n)
 
     @classmethod
@@ -155,6 +173,31 @@ class ResultTable(Sequence):
         columns = {k: _column([r.get(k) for r in records]) for k in keys}
         return cls(columns, len(records))
 
+    @classmethod
+    def concat(cls, tables: Sequence["ResultTable"]) -> "ResultTable":
+        """Stack tables row-wise (column union, first-seen order).
+
+        A table missing a column contributes ``None`` there (object
+        dtype), mirroring :meth:`from_blocks`' ragged-field handling.
+        """
+        tables = list(tables)
+        if not tables:
+            return cls({}, 0)
+        names: list[str] = []
+        for t in tables:
+            for k in t.fields:
+                if k not in names:
+                    names.append(k)
+        n = sum(len(t) for t in tables)
+        columns: dict[str, np.ndarray] = {}
+        for k in names:
+            parts = [
+                t._columns[k] if k in t._columns else _missing_part(len(t))
+                for t in tables
+            ]
+            columns[k] = _concat_parts(parts, n)
+        return cls(columns, n)
+
     # -- columnar access ---------------------------------------------------
 
     @property
@@ -167,6 +210,25 @@ class ResultTable(Sequence):
 
     def column(self, name: str) -> np.ndarray:
         return self._columns[name]
+
+    def where(self, **conditions) -> "ResultTable":
+        """Rows whose columns equal the given values, as a new table.
+
+        The columnar replacement for ``[r for r in recs if r[k] == v]``
+        bucket loops: ``table.where(n=1024, c=1.5)`` filters every
+        column by the conjunction of the equalities.
+        """
+        mask = np.ones(self._n, dtype=bool)
+        for name, want in conditions.items():
+            col = self._columns[name]
+            if col.dtype == object:
+                mask &= np.fromiter(
+                    (v == want for v in col), dtype=bool, count=self._n
+                )
+            else:
+                mask &= col == want
+        columns = {k: c[mask] for k, c in self._columns.items()}
+        return ResultTable(columns, int(np.count_nonzero(mask)))
 
     @property
     def nbytes(self) -> int:
@@ -196,6 +258,18 @@ class ResultTable(Sequence):
 def assemble_blocks(blocks: Sequence) -> ResultTable:
     """Worker blocks → one columnar :class:`ResultTable`."""
     return ResultTable.from_blocks(blocks)
+
+
+def as_table(records) -> ResultTable:
+    """Coerce any record carrier to a :class:`ResultTable`.
+
+    Tables pass through untouched; record lists are columnarized.  The
+    entry every row-assembly consumer uses so it can work on typed
+    columns regardless of the ``results=`` mode a sweep ran under.
+    """
+    if isinstance(records, ResultTable):
+        return records
+    return ResultTable.from_records(list(records))
 
 
 def aggregate_records(

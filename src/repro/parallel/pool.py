@@ -47,11 +47,12 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
 from ..rng import spawn_seeds
+from .aggregate import ResultTable
 from .shared import current_task_graph, graph_context
 
 __all__ = ["map_parallel", "monte_carlo", "default_processes", "worker_state", "WorkerState"]
@@ -136,7 +137,8 @@ def monte_carlo(
     backend: str = "per_trial",
     batch_size: int | None = None,
     graph=None,
-) -> list:
+    results: str = "records",
+) -> "list | ResultTable":
     """Run independent Monte-Carlo trials; the entry point every runner uses.
 
     With ``backend="per_trial"`` (default), ``trial_fn(seed_seq,
@@ -156,23 +158,35 @@ def monte_carlo(
     trial_index)`` (or ``trial_fn(graph, seed_seqs, trial_indices)``
     batched).  See :mod:`repro.parallel.shared`.
 
+    ``results="columnar"`` returns the per-trial records as a
+    :class:`~repro.parallel.aggregate.ResultTable` (row-for-row equal
+    to the ``"records"`` list — trial results must then be dicts).
+    Under the batched backend each worker spools its block's records
+    into typed columns before pickling, so the return payload is a
+    handful of arrays per block instead of one dict per trial — the
+    same columnar spool :func:`repro.parallel.sweep.run_sweep` uses.
+
     Each trial gets its own spawned :class:`~numpy.random.SeedSequence`
-    — the *same* one under any backend/graph combination — and results
-    are returned in trial order.
+    — the *same* one under any backend/graph/results combination — and
+    results are returned in trial order.
     """
     if n_trials < 0:
         raise ValueError("n_trials must be non-negative")
     if backend not in ("per_trial", "batched"):
         raise ValueError(f"unknown backend {backend!r}; known: per_trial, batched")
+    if results not in ("records", "columnar"):
+        raise ValueError(f"unknown results mode {results!r}; known: records, columnar")
+    columnar = results == "columnar"
     seeds = spawn_seeds(seed, n_trials)
     if backend == "per_trial":
         tasks = list(zip(seeds, range(n_trials)))
         runner = _TrialRunner(trial_fn, with_graph=graph is not None)
-        return _map_with_graph(
+        out = _map_with_graph(
             runner, tasks, graph, processes=processes, chunksize=chunksize
         )
+        return ResultTable.from_records(_require_records(out)) if columnar else out
     if n_trials == 0:
-        return []
+        return ResultTable.from_records([]) if columnar else []
     if batch_size is None:
         nproc = default_processes(n_trials) if processes is None else max(1, processes)
         batch_size = math.ceil(n_trials / nproc)
@@ -182,11 +196,26 @@ def monte_carlo(
         (seeds[i : i + batch_size], list(range(i, min(i + batch_size, n_trials))))
         for i in range(0, n_trials, batch_size)
     ]
-    runner = _BatchTrialRunner(trial_fn, with_graph=graph is not None)
+    runner = _BatchTrialRunner(
+        trial_fn, with_graph=graph is not None, columnar=columnar
+    )
     nested = _map_with_graph(
         runner, blocks, graph, processes=processes, chunksize=chunksize
     )
+    if columnar:
+        return ResultTable.concat(nested)
     return [result for block in nested for result in block]
+
+
+def _require_records(results: Sequence) -> Sequence:
+    """Columnar mode needs dict-like trial results; say so clearly."""
+    for r in results:
+        if not isinstance(r, Mapping):
+            raise ValueError(
+                "results='columnar' needs dict-like trial results; "
+                f"got {type(r).__name__}"
+            )
+    return results
 
 
 def _map_with_graph(fn, tasks, graph, *, processes, chunksize):
@@ -224,13 +253,22 @@ class _TrialRunner:
 
 
 class _BatchTrialRunner:
-    """Picklable adapter calling a batch-capable trial function once per block."""
+    """Picklable adapter calling a batch-capable trial function once per block.
 
-    def __init__(self, trial_fn: Callable, *, with_graph: bool = False):
+    With ``columnar`` the block's records are spooled into a typed
+    :class:`~repro.parallel.aggregate.ResultTable` worker-side, so the
+    return payload pickles as a few arrays instead of one dict per
+    trial.
+    """
+
+    def __init__(
+        self, trial_fn: Callable, *, with_graph: bool = False, columnar: bool = False
+    ):
         self.trial_fn = trial_fn
         self.with_graph = with_graph
+        self.columnar = columnar
 
-    def __call__(self, block) -> list:
+    def __call__(self, block):
         seed_seqs, indices = block
         if self.with_graph:
             results = self.trial_fn(current_task_graph(), seed_seqs, indices)
@@ -242,4 +280,6 @@ class _BatchTrialRunner:
                 f"batched trial_fn returned {len(results)} results "
                 f"for {len(indices)} trials"
             )
+        if self.columnar:
+            return ResultTable.from_records(_require_records(results))
         return results

@@ -151,10 +151,11 @@ class _BatchPointRunner:
 
 def run_sweep(
     point_fn: Callable,
-    grid: ParameterGrid,
+    grid: "ParameterGrid | Sequence[Mapping]",
     *,
     n_trials: int = 1,
     seed=None,
+    seeds: Sequence | None = None,
     processes: int | None = None,
     chunksize: int = 1,
     backend: str = "per_trial",
@@ -162,6 +163,12 @@ def run_sweep(
     results: str = "records",
 ):
     """Evaluate a worker over grid × trials; one flat record per (point, trial).
+
+    ``grid`` is a :class:`ParameterGrid` or an explicit sequence of
+    point dicts (for non-cartesian designs — the order given is the
+    sweep order).  ``seeds`` optionally supplies the per-(point, trial)
+    seeds explicitly (length = points × trials, point-major) instead of
+    spawning them from ``seed``.
 
     With ``backend="per_trial"`` (default) the worker is
     ``point_fn(point, seed_seq, trial) -> dict`` and every (point,
@@ -198,9 +205,18 @@ def run_sweep(
     if results not in ("records", "columnar"):
         raise ValueError(f"unknown results mode {results!r}; known: records, columnar")
     columnar = results == "columnar"
-    points = grid.points()
+    points = grid.points() if hasattr(grid, "points") else [dict(p) for p in grid]
     n_tasks = len(points) * n_trials
-    seeds = spawn_seeds(seed, n_tasks)
+    if seeds is not None:
+        if seed is not None:
+            raise ValueError("pass either a root seed or explicit seeds, not both")
+        seeds = list(seeds)
+        if len(seeds) != n_tasks:
+            raise ValueError(
+                f"explicit seeds: got {len(seeds)} for {n_tasks} (point, trial) tasks"
+            )
+    else:
+        seeds = spawn_seeds(seed, n_tasks)
     if backend == "per_trial":
         tasks = []
         i = 0

@@ -1,0 +1,500 @@
+"""Unified execution plans: one dispatch pipeline for every run axis.
+
+Why
+---
+Every experiment in this library is the same shape of computation — a
+grid of parameter points × independent Monte-Carlo trials — evaluated
+under four orthogonal execution axes that grew one PR at a time:
+
+* **backend** — the per-trial reference engine vs the trial-vectorized
+  batched engine (plus its compiled round-kernel gate);
+* **graph provisioning** — generate the topology worker-side, route
+  builds through the on-disk graph cache, or pin one pre-built
+  topology and ship it zero-copy
+  (:class:`~repro.parallel.shared.SharedGraph` / fork inheritance);
+* **dispatch** — serial in-process, a process pool, with persistent
+  per-worker state (:func:`repro.parallel.pool.worker_state`);
+* **results** — legacy per-trial record dicts vs the columnar
+  :class:`~repro.batch.results.ResultBlock` spool assembled into a
+  :class:`~repro.parallel.aggregate.ResultTable`.
+
+Before this module each axis was plumbed through ad-hoc kwargs at every
+layer (runner signatures, near-duplicate worker adapters, CLI signature
+probing).  A :class:`RunPlan` declares all axes once; :func:`execute`
+owns resolution and dispatch.  Adding a new backend, graph source,
+executor, or spool format is a change *here*, not a five-file sweep.
+
+How
+---
+A plan is data: ``RunPlan(grid, work, trials, seeds, backend, graph,
+execution, results)`` where each field is a small frozen spec.  The
+``work`` field carries the experiment's science as two canonical
+callables:
+
+* ``record(graph, point, seed)   -> dict`` — one trial;
+* ``batch(graph, point, seeds)   -> list[dict] | ResultBlock`` — one
+  point's whole trial block (optional; required by the batched
+  backend; may accept ``kernel=`` for the compiled-kernel gate).
+
+:func:`execute` wraps them in the **two** canonical picklable workers
+(:class:`PerTrialWorker`, :class:`BatchWorker`) — these replace the
+per-experiment adapter variants that previously lived in
+``experiments/runners.py`` — and dispatches through
+:func:`repro.parallel.sweep.run_sweep`, which owns seed spawning, the
+pool, zero-copy graph installation, and columnar assembly.
+
+Seed discipline
+---------------
+``SeedSpec(mode="pair")`` (default) reproduces the library's spawning
+contract exactly: every (point, trial) task seed is spawned in
+point-major order, and the worker splits it into a ``(graph seed,
+protocol seed)`` pair — so a given (point, trial) sees bit-identical
+randomness under every backend × graph × dispatch × results
+combination.  ``mode="direct"`` hands the task seed straight to the
+record function (no pair spawn); it requires a pinned graph, since
+there is then no graph seed to build from.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from .errors import PlanError
+from .graphs.families import build_point_graph
+from .parallel.sweep import ParameterGrid, run_sweep
+
+__all__ = [
+    "BackendSpec",
+    "GraphSpec",
+    "SeedSpec",
+    "ExecSpec",
+    "ResultSpec",
+    "WorkSpec",
+    "RunPlan",
+    "PerTrialWorker",
+    "BatchWorker",
+    "execute",
+]
+
+_BACKENDS = ("reference", "batched")
+_KERNELS = ("numpy", "cext", "numba", "python")
+_GRAPH_MODES = ("generate", "cached", "pinned")
+_SEED_MODES = ("pair", "direct")
+_EXEC_MODES = ("auto", "serial", "pool")
+_RESULT_MODES = ("records", "columnar")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Which engine runs a trial.
+
+    ``name`` selects the per-trial ``"reference"`` engine or the
+    trial-vectorized ``"batched"`` engine; ``kernel`` optionally pins
+    the batched engine's round-kernel implementation (``numpy`` /
+    ``cext`` / ``numba`` / ``python``; ``None`` defers to the
+    ``REPRO_KERNELS`` environment gate).  The kernel travels inside the
+    pickled worker, so it reaches pool processes without environment
+    plumbing.
+    """
+
+    name: str = "reference"
+    kernel: str | None = None
+
+    def validate(self) -> None:
+        if self.name not in _BACKENDS:
+            raise PlanError(
+                f"unknown backend {self.name!r}; known: {', '.join(_BACKENDS)}"
+            )
+        if self.kernel is not None:
+            if self.kernel not in _KERNELS:
+                raise PlanError(
+                    f"unknown kernel {self.kernel!r}; known: {', '.join(_KERNELS)}"
+                )
+            if self.name != "batched":
+                raise PlanError(
+                    "kernel= only applies to the batched backend "
+                    f"(got backend={self.name!r})"
+                )
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Where each task's topology comes from.
+
+    * ``"generate"`` (default) — the worker builds the graph from the
+      task's spawned graph seed via ``builder`` (default: the sweep
+      family vocabulary, :func:`repro.graphs.families.build_point_graph`);
+    * ``"cached"`` — same build, routed through the on-disk graph cache
+      in ``cache_dir``;
+    * ``"pinned"`` — one pre-built topology (a
+      :class:`~repro.graphs.bipartite.BipartiteGraph` or pre-shared
+      :class:`~repro.parallel.shared.SharedGraph`) for *every* task,
+      installed once per worker zero-copy.
+    """
+
+    mode: str = "generate"
+    cache_dir: str | None = None
+    graph: object | None = None
+    builder: Callable | None = None  # (point, seed, cache_dir) -> BipartiteGraph
+
+    def validate(self) -> None:
+        if self.mode not in _GRAPH_MODES:
+            raise PlanError(
+                f"unknown graph mode {self.mode!r}; known: {', '.join(_GRAPH_MODES)}"
+            )
+        if self.mode == "cached" and not self.cache_dir:
+            raise PlanError("graph mode 'cached' needs cache_dir")
+        if self.mode == "pinned" and self.graph is None:
+            raise PlanError("graph mode 'pinned' needs a graph")
+        if self.mode != "pinned" and self.graph is not None:
+            raise PlanError(f"graph mode {self.mode!r} does not take a pinned graph")
+        if self.mode != "cached" and self.cache_dir:
+            raise PlanError(f"graph mode {self.mode!r} does not take cache_dir")
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """How per-task randomness is derived.
+
+    ``root`` is spawned into one child per (point, trial) task in
+    point-major order (the library-wide contract).  ``seeds`` instead
+    supplies the task seeds explicitly (length = points × trials).
+    ``mode="pair"`` (default) makes the worker split each task seed
+    into a ``(graph, protocol)`` pair; ``mode="direct"`` hands it to
+    the record function unsplit (requires a pinned graph).
+    """
+
+    root: object = None
+    mode: str = "pair"
+    seeds: tuple | None = None
+
+    def validate(self) -> None:
+        if self.mode not in _SEED_MODES:
+            raise PlanError(
+                f"unknown seed mode {self.mode!r}; known: {', '.join(_SEED_MODES)}"
+            )
+        if self.seeds is not None and self.root is not None:
+            raise PlanError("pass either a root seed or explicit seeds, not both")
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """How tasks are dispatched.
+
+    ``"serial"`` forces in-process execution (exact tracebacks, no
+    pickling); ``"pool"``/``"auto"`` run on a process pool sized by
+    ``processes`` (``None`` = all-but-two cores).  Pool workers are
+    persistent for the whole map, so batched workers keep their
+    :func:`~repro.parallel.pool.worker_state` engine buffers alive
+    across grid points.
+    """
+
+    mode: str = "auto"
+    processes: int | None = None
+    chunksize: int = 1
+
+    def validate(self) -> None:
+        if self.mode not in _EXEC_MODES:
+            raise PlanError(
+                f"unknown exec mode {self.mode!r}; known: {', '.join(_EXEC_MODES)}"
+            )
+        if self.mode == "serial" and self.processes not in (None, 0, 1):
+            raise PlanError(
+                f"exec mode 'serial' contradicts processes={self.processes}"
+            )
+        if self.chunksize < 1:
+            raise PlanError(f"chunksize must be >= 1; got {self.chunksize}")
+
+    def resolve_processes(self) -> int | None:
+        return 1 if self.mode == "serial" else self.processes
+
+
+@dataclass(frozen=True)
+class ResultSpec:
+    """The results carrier: legacy record dicts or the columnar spool."""
+
+    mode: str = "records"
+
+    def validate(self) -> None:
+        if self.mode not in _RESULT_MODES:
+            raise PlanError(
+                f"unknown results mode {self.mode!r}; known: {', '.join(_RESULT_MODES)}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """The experiment's science, in the two canonical callable shapes.
+
+    ``record(graph, point, seed) -> dict`` runs one trial on a resolved
+    topology; ``batch(graph, point, seeds) -> list[dict] | ResultBlock``
+    runs a point's whole trial block at once (the batched backend's
+    entry; optional).  A ``batch`` callable may accept a ``kernel=``
+    keyword to receive :attr:`BackendSpec.kernel`.  Both must be
+    picklable (module-level functions).
+    """
+
+    record: Callable
+    batch: Callable | None = None
+    name: str = ""
+
+    def validate(self) -> None:
+        if not callable(self.record):
+            raise PlanError("work.record must be callable")
+        if self.batch is not None and not callable(self.batch):
+            raise PlanError("work.batch must be callable when given")
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A declarative description of one grid × trials evaluation.
+
+    ``grid`` is a :class:`~repro.parallel.sweep.ParameterGrid` or an
+    explicit sequence of point dicts (for non-cartesian designs).
+    Execute with :func:`execute`; derive variants with
+    :meth:`override` (specs are frozen — plans are values).
+    """
+
+    grid: object
+    work: WorkSpec
+    trials: int = 1
+    seeds: SeedSpec = field(default_factory=SeedSpec)
+    backend: BackendSpec = field(default_factory=BackendSpec)
+    graph: GraphSpec = field(default_factory=GraphSpec)
+    execution: ExecSpec = field(default_factory=ExecSpec)
+    results: ResultSpec = field(default_factory=ResultSpec)
+
+    # -- derived views ---------------------------------------------------
+
+    def points(self) -> list[dict]:
+        """The grid's points as dicts (explicit point lists pass through)."""
+        if hasattr(self.grid, "points"):
+            return self.grid.points()
+        return [dict(p) for p in self.grid]
+
+    def n_tasks(self) -> int:
+        return len(self.points()) * self.trials
+
+    def override(self, **changes) -> "RunPlan":
+        """A copy of this plan with dataclass fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict:
+        """A flat, log-friendly summary of every axis."""
+        return {
+            "work": self.work.name or getattr(self.work.record, "__name__", "?"),
+            "points": len(self.points()),
+            "trials": self.trials,
+            "backend": self.backend.name,
+            "kernel": self.backend.kernel,
+            "graph": self.graph.mode,
+            "exec": self.execution.mode,
+            "processes": self.execution.resolve_processes(),
+            "results": self.results.mode,
+        }
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every axis and their cross-axis consistency."""
+        if not isinstance(self.grid, ParameterGrid):
+            if isinstance(self.grid, (str, bytes)) or not isinstance(
+                self.grid, Sequence
+            ):
+                raise PlanError(
+                    "grid must be a ParameterGrid or a sequence of point dicts"
+                )
+            for p in self.grid:
+                if not isinstance(p, Mapping):
+                    raise PlanError(f"explicit grid points must be dicts; got {p!r}")
+        if not isinstance(self.trials, int) or self.trials < 0:
+            raise PlanError(f"trials must be a non-negative int; got {self.trials!r}")
+        self.work.validate()
+        self.seeds.validate()
+        self.backend.validate()
+        self.graph.validate()
+        self.execution.validate()
+        self.results.validate()
+        if self.backend.name == "batched" and self.work.batch is None:
+            raise PlanError(
+                "backend 'batched' needs work.batch (a block-of-trials callable)"
+            )
+        if (
+            self.backend.kernel is not None
+            and self.work.batch is not None
+            and not _accepts_kernel(self.work.batch)
+        ):
+            # Fail here rather than as a TypeError inside a pool worker.
+            raise PlanError(
+                f"backend.kernel={self.backend.kernel!r} is set but work.batch "
+                f"({getattr(self.work.batch, '__name__', self.work.batch)!r}) "
+                "does not accept a kernel= keyword"
+            )
+        if self.seeds.mode == "direct" and self.graph.mode != "pinned":
+            raise PlanError(
+                "seed mode 'direct' needs a pinned graph (there is no graph "
+                "seed to build one from)"
+            )
+        if self.seeds.seeds is not None and len(self.seeds.seeds) != self.n_tasks():
+            raise PlanError(
+                f"explicit seeds: got {len(self.seeds.seeds)} for "
+                f"{self.n_tasks()} (point, trial) tasks"
+            )
+
+
+def _accepts_kernel(fn: Callable) -> bool:
+    """Whether ``fn`` can receive the ``kernel=`` keyword."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins/extensions: assume yes
+        return True
+    return "kernel" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# The two canonical workers (picklable; replace per-experiment adapters).
+# ---------------------------------------------------------------------------
+
+
+class PerTrialWorker:
+    """Canonical per-trial execution path: resolve graph, run ``record``.
+
+    Handles every graph mode with the same seed discipline: under
+    ``pair_seeds`` the task seed spawns a ``(graph, protocol)`` pair —
+    pinned topologies consume only the protocol half, so a (point,
+    trial)'s protocol stream is identical across graph modes; the
+    statistical difference is only what the estimate conditions on.
+    """
+
+    def __init__(
+        self,
+        record: Callable,
+        *,
+        pinned: bool = False,
+        pair_seeds: bool = True,
+        builder: Callable | None = None,
+        cache_dir: str | None = None,
+    ):
+        self.record = record
+        self.pinned = pinned
+        self.pair_seeds = pair_seeds
+        self.builder = builder or build_point_graph
+        self.cache_dir = cache_dir
+
+    def __call__(self, *task) -> dict:
+        if self.pinned:
+            graph, point, seed_seq, _trial = task
+        else:
+            point, seed_seq, _trial = task
+        if self.pair_seeds:
+            g_seed, p_seed = seed_seq.spawn(2)
+        else:
+            g_seed, p_seed = None, seed_seq
+        if not self.pinned:
+            graph = self.builder(point, g_seed, self.cache_dir)
+        return self.record(graph, point, p_seed)
+
+
+class BatchWorker:
+    """Canonical batched execution path: one task per point's trial block.
+
+    Spawns the same per-trial ``(graph, protocol)`` seed pairs as
+    :class:`PerTrialWorker`, builds one graph per point (from the first
+    trial's graph seed) unless pinned, and hands the protocol seeds to
+    ``batch`` — so trial ``r`` of a point consumes a protocol stream
+    bit-identical to the reference path's; the batched backend
+    conditions a point's trials on a single graph draw.
+    """
+
+    def __init__(
+        self,
+        batch: Callable,
+        *,
+        pinned: bool = False,
+        pair_seeds: bool = True,
+        builder: Callable | None = None,
+        cache_dir: str | None = None,
+        kernel: str | None = None,
+    ):
+        self.batch = batch
+        self.pinned = pinned
+        self.pair_seeds = pair_seeds
+        self.builder = builder or build_point_graph
+        self.cache_dir = cache_dir
+        self.kernel = kernel
+
+    def __call__(self, *task):
+        if self.pinned:
+            graph, point, seed_seqs, _trials = task
+        else:
+            point, seed_seqs, _trials = task
+        if self.pair_seeds:
+            pairs = [ss.spawn(2) for ss in seed_seqs]
+            p_seeds = [p_seed for _g_seed, p_seed in pairs]
+        else:
+            pairs = None
+            p_seeds = list(seed_seqs)
+        if not self.pinned:
+            g_seed = pairs[0][0] if pairs else None
+            graph = self.builder(point, g_seed, self.cache_dir)
+        if self.kernel is not None:
+            return self.batch(graph, point, p_seeds, kernel=self.kernel)
+        return self.batch(graph, point, p_seeds)
+
+
+# ---------------------------------------------------------------------------
+# The single entry point.
+# ---------------------------------------------------------------------------
+
+
+def execute(plan: RunPlan):
+    """Run a validated :class:`RunPlan`; the one dispatch pipeline.
+
+    Owns backend resolution (reference/batched + kernel gate), graph
+    provisioning (generate / cached / pinned zero-copy), dispatch
+    (serial, pool, persistent workers), and the results carrier
+    (``records`` → ``list[dict]``, ``columnar`` →
+    :class:`~repro.parallel.aggregate.ResultTable`).  Record content is
+    identical across every axis combination; seeds follow the
+    (point, trial) spawning contract, so switching any axis never
+    changes a trial's randomness.
+    """
+    plan.validate()
+    pinned = plan.graph.mode == "pinned"
+    pair = plan.seeds.mode == "pair"
+    cache_dir = plan.graph.cache_dir if plan.graph.mode == "cached" else None
+    if plan.backend.name == "batched":
+        worker = BatchWorker(
+            plan.work.batch,
+            pinned=pinned,
+            pair_seeds=pair,
+            builder=plan.graph.builder,
+            cache_dir=cache_dir,
+            kernel=plan.backend.kernel,
+        )
+        sweep_backend = "batched"
+    else:
+        worker = PerTrialWorker(
+            plan.work.record,
+            pinned=pinned,
+            pair_seeds=pair,
+            builder=plan.graph.builder,
+            cache_dir=cache_dir,
+        )
+        sweep_backend = "per_trial"
+    return run_sweep(
+        worker,
+        plan.grid,
+        n_trials=plan.trials,
+        seed=plan.seeds.root,
+        seeds=plan.seeds.seeds,
+        processes=plan.execution.resolve_processes(),
+        chunksize=plan.execution.chunksize,
+        backend=sweep_backend,
+        graph=plan.graph.graph if pinned else None,
+        results=plan.results.mode,
+    )

@@ -1,44 +1,41 @@
-"""Tests for the CLI's runner invocation and backend plumbing."""
+"""Tests for the CLI's capability-driven runner invocation and plumbing."""
 
 from __future__ import annotations
 
 import functools
+import inspect
 
 import pytest
 
-from repro.cli import _accepted_kwargs, main, run_experiment
+from repro.cli import main, run_experiment
+from repro.experiments import list_experiments
 from repro.experiments import runners as runner_mod
 
 
-def _plain(trials=3, seed=None, processes=None):
-    return [], {"trials": trials, "seed": seed, "processes": processes}
+class TestRegistryCapabilities:
+    """The registry's declared plan support must match runner signatures."""
 
+    def test_capabilities_are_real_kwargs(self):
+        for spec in list_experiments():
+            fn = getattr(runner_mod, spec.runner)
+            accepted = set(inspect.signature(fn).parameters)
+            missing = set(spec.capabilities) - accepted
+            assert not missing, (
+                f"{spec.id} declares capabilities {sorted(missing)} its "
+                f"runner {spec.runner} does not accept"
+            )
 
-@functools.wraps(_plain)
-def _wrapped(*args, **kwargs):
-    return _plain(*args, **kwargs)
+    def test_every_experiment_declares_the_common_overrides(self):
+        for spec in list_experiments():
+            # E10 is a two-run traced experiment with no trials axis.
+            want = {"seed"} if spec.id == "E10" else {"trials", "seed", "processes"}
+            assert want <= set(spec.capabilities), spec.id
 
-
-def _kwargs_sink(**kwargs):
-    return [], dict(kwargs)
-
-
-class TestAcceptedKwargs:
-    def test_plain_function(self):
-        assert _accepted_kwargs(_plain) == {"trials", "seed", "processes"}
-
-    def test_partial_loses_bound_names_but_keeps_free_ones(self):
-        # functools.partial was exactly the case the old co_varnames
-        # sniffing mishandled; inspect.signature resolves it.
-        part = functools.partial(_plain, trials=5)
-        accepted = _accepted_kwargs(part)
-        assert "seed" in accepted and "processes" in accepted
-
-    def test_wrapped_function(self):
-        assert _accepted_kwargs(_wrapped) == {"trials", "seed", "processes"}
-
-    def test_var_keyword_accepts_everything(self):
-        assert _accepted_kwargs(_kwargs_sink) is None
+    def test_smoke_kwargs_are_real_kwargs(self):
+        for spec in list_experiments():
+            fn = getattr(runner_mod, spec.runner)
+            accepted = set(inspect.signature(fn).parameters)
+            assert set(spec.smoke) <= accepted, spec.id
 
 
 class TestRunExperiment:
@@ -52,7 +49,7 @@ class TestRunExperiment:
         assert all(row["trials"] == 2 for row in rows)
         assert {row["n"] for row in rows} == {64, 128}
 
-    def test_backend_forwarded_only_where_accepted(self, monkeypatch):
+    def test_backend_forwarded_where_declared(self, monkeypatch):
         captured = {}
 
         def spy(trials=1, seed=None, processes=None, backend="reference"):
@@ -63,14 +60,25 @@ class TestRunExperiment:
         run_experiment("E1", backend="batched")
         assert captured["backend"] == "batched"
 
-        def no_backend(trials=1, seed=None, processes=None):
-            captured["called"] = True
+    def test_undeclared_override_warns_and_is_dropped(self, monkeypatch):
+        captured = {}
+
+        def spy(n=256, d=4, c=None, contended_c=1.5, seed=1010):
+            captured["kwargs_seen"] = True
             return [], {}
 
-        monkeypatch.setattr(runner_mod, "run_e01_completion", no_backend)
-        # Must not raise even though the runner has no backend parameter.
-        run_experiment("E1", backend="batched")
-        assert captured["called"]
+        monkeypatch.setattr(runner_mod, "run_e10_stage1", spy)
+        # E10 declares only ("seed",): backend must warn, not crash.
+        with pytest.warns(UserWarning, match="E10 does not support the 'backend'"):
+            run_experiment("E10", seed=3, backend="batched")
+        assert captured["kwargs_seen"]
+
+    def test_share_graph_warns_outside_fixed_topology_sweeps(self):
+        with pytest.warns(UserWarning, match="share_graph"):
+            rows, _meta = run_experiment(
+                "E1", trials=1, seed=2, processes=1, share_graph=True
+            )
+        assert rows  # the run itself still happens
 
 
 class TestMainBackendFlag:
@@ -87,11 +95,32 @@ class TestMainBackendFlag:
         with pytest.raises(SystemExit):
             main(["run", "E1", "--backend", "warp-drive"])
 
+    def test_kernel_flag_maps_onto_plan(self, capsys, monkeypatch):
+        # Pre-register REPRO_KERNELS with monkeypatch so the value main()
+        # exports is rolled back at teardown (no env leak across tests).
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        rc = main(
+            ["run", "E1", "--trials", "2", "--seed", "4", "--processes", "1",
+             "--backend", "batched", "--kernel", "numpy"]
+        )
+        assert rc == 0
+        assert "Completion time" in capsys.readouterr().out
+
+    def test_kernel_flag_on_env_gated_runner_does_not_warn(self, monkeypatch, capsys):
+        import warnings as warnings_mod
+
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        # E5 has no kernel capability, but the env gate (set by _cmd_run)
+        # is the documented mechanism there — no "ignored" warning.
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            rc = main(["run", "E5", "--trials", "2", "--processes", "1",
+                       "--kernel", "numpy"])
+        assert rc == 0
+
 
 class TestGraphFlags:
     def test_share_graph_and_cache_forwarded(self, capsys, tmp_path):
-        from repro.cli import main
-
         rc = main(
             [
                 "run",
@@ -113,10 +142,18 @@ class TestGraphFlags:
         assert "'share_graph': True" in out
         assert list(tmp_path.glob("regular-*.npz"))
 
-    def test_share_graph_ignored_by_non_sweep_runner(self, capsys):
-        from repro.cli import main
-
+    def test_share_graph_warns_for_non_sweep_runner(self, capsys):
         # E10 takes neither share_graph nor graph_cache; the flags must
-        # be dropped rather than crash the runner.
-        rc = main(["run", "E10", "--share-graph", "--seed", "2"])
+        # warn and be dropped rather than crash the runner.
+        with pytest.warns(UserWarning, match="share_graph"):
+            rc = main(["run", "E10", "--share-graph", "--seed", "2"])
         assert rc == 0
+
+
+class TestSmokeCommand:
+    def test_smoke_single_experiment_both_backends(self, capsys):
+        rc = main(["smoke", "--only", "E1", "--processes", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Plan smoke" in out
+        assert out.count("E1") >= 2  # one row per backend

@@ -1,0 +1,491 @@
+"""Tests for the unified execution-plan layer (:mod:`repro.plan`).
+
+Three pillars:
+
+* **validation / round-trip** — a :class:`RunPlan` is data; bad axis
+  combinations fail loudly at validation time, good ones survive a
+  field round-trip;
+* **parity matrix** — ``execute(plan)`` across backend × graph-mode ×
+  results-carrier must be *bit-identical* to the pre-refactor outputs
+  captured in ``tests/data/plan_golden.json`` (generated at the seed
+  commit, pinned seeds);
+* **columnar monte_carlo** — the results spool extended to
+  :func:`repro.parallel.monte_carlo` must match the per-trial objects
+  row-for-row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.experiments import runners as R
+from repro.graphs.families import build_point_graph, canonical_degree, family_spec
+from repro.parallel import ResultTable, monte_carlo
+from repro.parallel.sweep import ParameterGrid, run_sweep
+from repro.plan import (
+    BackendSpec,
+    BatchWorker,
+    ExecSpec,
+    GraphSpec,
+    PerTrialWorker,
+    ResultSpec,
+    RunPlan,
+    SeedSpec,
+    WorkSpec,
+    execute,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "plan_golden.json").read_text()
+)
+
+
+def _noop_record(graph, point, seed):
+    return {"v": 0}
+
+
+def _noop_batch(graph, point, seeds):
+    return [{"v": 0} for _ in seeds]
+
+
+def _noop_batch_kernel(graph, point, seeds, kernel=None):
+    return [{"v": 0} for _ in seeds]
+
+
+def _plan(**overrides) -> RunPlan:
+    base = dict(
+        grid=ParameterGrid(n=[64]),
+        work=WorkSpec(record=_noop_record, batch=_noop_batch),
+        trials=1,
+    )
+    base.update(overrides)
+    return RunPlan(**base)
+
+
+class TestPlanValidation:
+    def test_valid_default_plan(self):
+        _plan().validate()
+
+    def test_unknown_backend(self):
+        with pytest.raises(PlanError, match="unknown backend"):
+            _plan(backend=BackendSpec(name="gpu")).validate()
+
+    def test_batched_requires_batch_work(self):
+        plan = _plan(
+            work=WorkSpec(record=_noop_record),
+            backend=BackendSpec(name="batched"),
+        )
+        with pytest.raises(PlanError, match="work.batch"):
+            plan.validate()
+
+    def test_kernel_requires_batched(self):
+        with pytest.raises(PlanError, match="kernel"):
+            _plan(backend=BackendSpec(name="reference", kernel="cext")).validate()
+
+    def test_unknown_kernel(self):
+        with pytest.raises(PlanError, match="unknown kernel"):
+            _plan(backend=BackendSpec(name="batched", kernel="fpga")).validate()
+
+    def test_kernel_needs_kernel_capable_batch_fn(self):
+        # _noop_batch takes no kernel= — must fail at validate time, not
+        # as a TypeError inside a pool worker.
+        plan = _plan(backend=BackendSpec(name="batched", kernel="numpy"))
+        with pytest.raises(PlanError, match="kernel= keyword"):
+            plan.validate()
+
+    def test_cached_needs_dir(self):
+        with pytest.raises(PlanError, match="cache_dir"):
+            _plan(graph=GraphSpec(mode="cached")).validate()
+
+    def test_pinned_needs_graph(self):
+        with pytest.raises(PlanError, match="pinned"):
+            _plan(graph=GraphSpec(mode="pinned")).validate()
+
+    def test_generate_rejects_pinned_graph(self):
+        with pytest.raises(PlanError, match="pinned graph"):
+            _plan(graph=GraphSpec(mode="generate", graph=object())).validate()
+
+    def test_direct_seeds_need_pinned_graph(self):
+        plan = _plan(seeds=SeedSpec(mode="direct", seeds=(1,)))
+        with pytest.raises(PlanError, match="direct"):
+            plan.validate()
+
+    def test_explicit_seed_cardinality(self):
+        plan = _plan(trials=3, seeds=SeedSpec(seeds=(1, 2)))
+        with pytest.raises(PlanError, match="explicit seeds"):
+            plan.validate()
+
+    def test_root_and_explicit_seeds_conflict(self):
+        with pytest.raises(PlanError, match="not both"):
+            _plan(seeds=SeedSpec(root=1, seeds=(2,))).validate()
+
+    def test_serial_contradicting_processes(self):
+        with pytest.raises(PlanError, match="serial"):
+            _plan(execution=ExecSpec(mode="serial", processes=4)).validate()
+
+    def test_unknown_results_mode(self):
+        with pytest.raises(PlanError, match="results mode"):
+            _plan(results=ResultSpec(mode="arrow")).validate()
+
+    def test_negative_trials(self):
+        with pytest.raises(PlanError, match="trials"):
+            _plan(trials=-1).validate()
+
+    def test_non_mapping_points(self):
+        with pytest.raises(PlanError, match="points must be dicts"):
+            _plan(grid=[("n", 64)]).validate()
+
+
+class TestPlanRoundTrip:
+    def test_fields_survive_and_describe(self):
+        plan = _plan(
+            trials=4,
+            seeds=SeedSpec(root=7),
+            work=WorkSpec(record=_noop_record, batch=_noop_batch_kernel),
+            backend=BackendSpec(name="batched", kernel="numpy"),
+            execution=ExecSpec(mode="serial"),
+            results=ResultSpec(mode="columnar"),
+        )
+        plan.validate()
+        d = plan.describe()
+        assert d["backend"] == "batched" and d["kernel"] == "numpy"
+        assert d["graph"] == "generate" and d["results"] == "columnar"
+        assert d["points"] == 1 and d["trials"] == 4
+        assert d["processes"] == 1  # serial resolves to one process
+
+    def test_override_returns_new_plan(self):
+        plan = _plan()
+        other = plan.override(trials=9)
+        assert other.trials == 9 and plan.trials == 1
+        assert other.work is plan.work
+
+    def test_explicit_point_list_passthrough(self):
+        pts = [{"n": 64, "tag": "a"}, {"n": 128, "tag": "b"}]
+        plan = _plan(grid=pts)
+        plan.validate()
+        assert plan.points() == pts
+        assert plan.n_tasks() == 2
+
+
+class TestExecuteParityMatrix:
+    """execute(plan) must be bit-identical to the pre-refactor engine.
+
+    Goldens were captured from the pre-plan `_saer_sweep` dispatcher
+    (PR 3 state) with pinned seeds; every (backend × graph × results)
+    cell must reproduce them exactly.
+    """
+
+    SEED, TRIALS = 13, 2
+
+    def _grid(self):
+        return ParameterGrid(n=[64], c=[1.5, 4.0], d=[4])
+
+    def _pinned_graph(self):
+        g_seed = np.random.SeedSequence(self.SEED).spawn(
+            len(self._grid()) * self.TRIALS + 1
+        )[-1]
+        return build_point_graph({"n": 64}, g_seed)
+
+    @pytest.mark.parametrize("backend", ["reference", "batched"])
+    @pytest.mark.parametrize("results", ["records", "columnar"])
+    def test_generate(self, backend, results):
+        recs = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend=backend, results=results,
+        ))
+        if results == "columnar":
+            assert isinstance(recs, ResultTable)
+        assert list(recs) == GOLDEN[f"sweep/{backend}/generate"]
+
+    @pytest.mark.parametrize("backend", ["reference", "batched"])
+    @pytest.mark.parametrize("results", ["records", "columnar"])
+    def test_cached(self, backend, results, tmp_path):
+        recs = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend=backend, graph_cache=str(tmp_path), results=results,
+        ))
+        assert list(recs) == GOLDEN[f"sweep/{backend}/cached"]
+        assert list(tmp_path.glob("regular-*.npz"))  # the cache was used
+
+    @pytest.mark.parametrize("backend", ["reference", "batched"])
+    @pytest.mark.parametrize("results", ["records", "columnar"])
+    def test_pinned(self, backend, results):
+        recs = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend=backend, graph=self._pinned_graph(), results=results,
+        ))
+        assert list(recs) == GOLDEN[f"sweep/{backend}/pinned"]
+
+    def test_pool_matches_serial(self):
+        a = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend="batched", results="columnar",
+        ))
+        b = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=2,
+            backend="batched", results="columnar",
+        ))
+        assert list(a) == list(b) == GOLDEN["sweep/batched/generate"]
+
+    def test_kernel_python_gate_is_bit_identical(self):
+        recs = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend="batched", results="columnar", kernel="python",
+        ))
+        assert list(recs) == GOLDEN["sweep/batched/generate"]
+
+
+# Maps each golden rows/ entry back to its runner invocation.
+_ROW_RUNS = {
+    "e01/reference": ("run_e01_completion", dict(ns=(64, 128), trials=2, seed=1, processes=1)),
+    "e01/batched": ("run_e01_completion", dict(ns=(64, 128), trials=2, seed=1, processes=1, backend="batched")),
+    "e02/reference": ("run_e02_work", dict(ns=(64, 128), trials=2, seed=7, processes=1)),
+    "e02/batched": ("run_e02_work", dict(ns=(64, 128), trials=2, seed=7, processes=1, backend="batched")),
+    "e03": ("run_e03_max_load", dict(n=64, settings=((2.0, 2),), families=("regular", "trust"), trials=2, seed=303, processes=1)),
+    "e04": ("run_e04_burned_fraction", dict(ns=(64,), trials=2, include_paper_c=False, seed=404, processes=1)),
+    "e05": ("run_e05_dominance", dict(ns=(64,), cs=(1.5,), trials=2, seed=505, processes=1)),
+    "e06/reference": ("run_e06_c_threshold", dict(n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=1)),
+    "e06/batched": ("run_e06_c_threshold", dict(n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=1, backend="batched")),
+    "e06/reference/share": ("run_e06_c_threshold", dict(n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=1, share_graph=True)),
+    "e06/batched/share": ("run_e06_c_threshold", dict(n=64, cs=(1.5, 4.0), trials=2, seed=1, processes=1, backend="batched", share_graph=True)),
+    "e07/reference": ("run_e07_degree_sweep", dict(n=64, trials=2, seed=707, processes=1)),
+    "e07/batched": ("run_e07_degree_sweep", dict(n=64, trials=2, seed=707, processes=1, backend="batched")),
+    "e08/reference": ("run_e08_almost_regular", dict(n=64, ratios=(1, 2), trials=2, seed=808, processes=1)),
+    "e08/batched": ("run_e08_almost_regular", dict(n=64, ratios=(1, 2), trials=2, seed=808, processes=1, backend="batched")),
+    "e09": ("run_e09_baselines", dict(n=64, trials=2, seed=909, processes=1)),
+    "e10": ("run_e10_stage1", dict(n=256, seed=5)),
+    "e11": ("run_e11_alive_decay", dict(ns=(128,), trials=2, seed=1111, processes=1)),
+    "e12": ("run_e12_dynamic", dict(n=64, rates=(0.1, 1.0), horizon=60, trials=1, seed=1212, processes=1)),
+}
+
+
+class TestRunnerRowsGolden:
+    """Every E-runner's table rows, bit-identical to the pre-plan state."""
+
+    @pytest.mark.parametrize("name", sorted(_ROW_RUNS))
+    def test_rows_match_golden(self, name):
+        runner_name, kwargs = _ROW_RUNS[name]
+        rows, _meta = getattr(R, runner_name)(**kwargs)
+        want = GOLDEN[f"rows/{name}"]
+        assert len(rows) == len(want)
+        for got_row, want_row in zip(rows, want):
+            assert got_row == want_row
+
+    @pytest.mark.parametrize("backend", ["reference", "batched"])
+    def test_per_trial_records_match_golden(self, backend):
+        _rows, meta = R.run_e01_completion(
+            ns=(64, 128), trials=2, seed=1, processes=1, backend=backend,
+            results="records",
+        )
+        assert list(meta["records"]) == GOLDEN[f"records/e01/{backend}"]
+
+
+class TestCanonicalWorkers:
+    """The two canonical paths replace the old per-experiment adapters."""
+
+    def test_per_trial_worker_pair_spawn_matches_manual(self):
+        point = {"n": 64, "c": 2.0, "d": 2}
+        seed = np.random.SeedSequence(5)
+        worker = PerTrialWorker(R._saer_run_record)
+        got = worker(point, seed, 0)
+        g_seed, p_seed = np.random.SeedSequence(5).spawn(2)
+        want = R._saer_run_record(build_point_graph(point, g_seed), point, p_seed)
+        assert got == want
+
+    def test_batch_worker_matches_per_trial_worker(self):
+        point = {"n": 64, "c": 2.0, "d": 2}
+        seeds = np.random.SeedSequence(6).spawn(3)
+        block = BatchWorker(R._saer_batch_block)(point, seeds, [0, 1, 2])
+        per_trial = [
+            PerTrialWorker(R._saer_run_record)(point, ss, i)
+            for i, ss in enumerate(np.random.SeedSequence(6).spawn(3))
+        ]
+        # The batched path conditions all trials on the first trial's
+        # graph seed; compare protocol outcomes on that shared graph.
+        g_seed, _ = np.random.SeedSequence(6).spawn(3)[0].spawn(2)
+        graph = build_point_graph(point, g_seed)
+        p_seeds = [ss.spawn(2)[1] for ss in np.random.SeedSequence(6).spawn(3)]
+        want = [R._saer_run_record(graph, point, ps) for ps in p_seeds]
+        assert block.records() == [
+            dict(point, trial=i, **rec) for i, rec in enumerate(want)
+        ]
+        assert len(per_trial) == 3  # reference path: one fresh graph each
+
+    def test_worker_cardinality_check_still_applies(self):
+        def short_batch(graph, point, seeds):
+            return [{"v": 1}]
+
+        plan = _plan(
+            trials=3,
+            work=WorkSpec(record=_noop_record, batch=short_batch),
+            backend=BackendSpec(name="batched"),
+        )
+        with pytest.raises(ValueError, match="3 trials"):
+            execute(plan)
+
+
+class TestMonteCarloColumnar:
+    """Satellite: the columnar spool extended to parallel.monte_carlo."""
+
+    @staticmethod
+    def _trial(seed_seq, index):
+        rng = np.random.default_rng(seed_seq)
+        return {"index": index, "value": float(rng.random())}
+
+    @classmethod
+    def _trial_block(cls, seed_seqs, indices):
+        return [cls._trial(s, i) for s, i in zip(seed_seqs, indices)]
+
+    def test_per_trial_row_for_row(self):
+        recs = monte_carlo(self._trial, 7, seed=3, processes=1)
+        table = monte_carlo(self._trial, 7, seed=3, processes=1, results="columnar")
+        assert isinstance(table, ResultTable)
+        assert list(table) == recs
+
+    def test_batched_row_for_row(self):
+        recs = monte_carlo(
+            self._trial_block, 9, seed=11, processes=1, backend="batched",
+            batch_size=4,
+        )
+        table = monte_carlo(
+            self._trial_block, 9, seed=11, processes=1, backend="batched",
+            batch_size=4, results="columnar",
+        )
+        assert isinstance(table, ResultTable)
+        assert list(table) == recs
+
+    def test_parallel_matches_serial(self):
+        a = monte_carlo(
+            self._trial_block, 8, seed=2, processes=1, backend="batched",
+            batch_size=2, results="columnar",
+        )
+        b = monte_carlo(
+            self._trial_block, 8, seed=2, processes=2, backend="batched",
+            batch_size=2, results="columnar",
+        )
+        assert list(a) == list(b)
+
+    def test_zero_trials(self):
+        table = monte_carlo(self._trial, 0, seed=0, results="columnar")
+        assert isinstance(table, ResultTable) and len(table) == 0
+
+    def test_non_dict_results_rejected(self):
+        with pytest.raises(ValueError, match="dict-like"):
+            monte_carlo(
+                lambda seed_seq, i: i, 3, seed=0, processes=1, results="columnar"
+            )
+
+    def test_unknown_results_mode_rejected(self):
+        with pytest.raises(ValueError, match="results mode"):
+            monte_carlo(self._trial, 3, seed=0, results="arrow")
+
+
+class TestRunSweepExtensions:
+    @staticmethod
+    def _point(point, seed_seq, trial):
+        rng = np.random.default_rng(seed_seq)
+        return {"value": point["a"] * 10 + float(rng.random())}
+
+    def test_explicit_point_list(self):
+        pts = [{"a": 2}, {"a": 1}]  # order preserved, not re-sorted
+        recs = run_sweep(self._point, pts, n_trials=2, seed=4, processes=1)
+        assert [r["a"] for r in recs] == [2, 2, 1, 1]
+
+    def test_explicit_seeds_override_spawn(self):
+        grid = ParameterGrid(a=[1, 2])
+        seeds = np.random.SeedSequence(9).spawn(4)
+        via_root = run_sweep(self._point, grid, n_trials=2, seed=9, processes=1)
+        via_seeds = run_sweep(self._point, grid, n_trials=2, seeds=seeds, processes=1)
+        assert via_root == via_seeds
+
+    def test_seed_and_seeds_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep(
+                self._point, ParameterGrid(a=[1]), n_trials=1, seed=1,
+                seeds=[np.random.SeedSequence(0)],
+            )
+
+    def test_wrong_seed_count(self):
+        with pytest.raises(ValueError, match="explicit seeds"):
+            run_sweep(
+                self._point, ParameterGrid(a=[1, 2]), n_trials=2,
+                seeds=[np.random.SeedSequence(0)],
+            )
+
+
+class TestResultTableHelpers:
+    def _table(self):
+        return ResultTable.from_records(
+            [
+                {"n": 64, "fam": "a", "v": 1.0},
+                {"n": 128, "fam": "a", "v": 2.0},
+                {"n": 64, "fam": "b", "v": 3.0},
+            ]
+        )
+
+    def test_where_filters_rows(self):
+        t = self._table()
+        sub = t.where(n=64)
+        assert len(sub) == 2 and [r["v"] for r in sub] == [1.0, 3.0]
+        sub2 = t.where(n=64, fam="b")
+        assert list(sub2) == [{"n": 64, "fam": "b", "v": 3.0}]
+
+    def test_where_on_object_column(self):
+        t = ResultTable.from_records(
+            [{"k": None, "v": 1}, {"k": 2, "v": 2}, {"k": None, "v": 3}]
+        )
+        assert [r["v"] for r in t.where(k=None)] == [1, 3]
+
+    def test_concat_unions_columns(self):
+        a = ResultTable.from_records([{"x": 1}])
+        b = ResultTable.from_records([{"x": 2, "y": 3.0}])
+        t = ResultTable.concat([a, b])
+        assert list(t) == [{"x": 1, "y": None}, {"x": 2, "y": 3.0}]
+
+    def test_concat_empty(self):
+        assert len(ResultTable.concat([])) == 0
+
+
+class TestPlanSmoke:
+    def test_smoke_covers_backends(self):
+        from repro.experiments.smoke import run_plan_smoke
+
+        rows, ok = run_plan_smoke(only=["E1", "E5"], processes=1)
+        assert ok
+        by_exp = {(r["experiment"], r["backend"]) for r in rows}
+        # E1 declares the backend axis → two runs; E5 has one canonical path.
+        assert ("E1", "reference") in by_exp and ("E1", "batched") in by_exp
+        assert ("E5", "reference") in by_exp and ("E5", "batched") not in by_exp
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_smoke_unknown_only_filter_fails(self):
+        from repro.experiments.smoke import run_plan_smoke
+
+        rows, ok = run_plan_smoke(only=["E99"], processes=1)
+        assert not ok
+        assert rows and rows[0]["status"].startswith("error: unknown experiment")
+
+    def test_smoke_only_filter_strips_whitespace(self):
+        from repro.experiments.smoke import run_plan_smoke
+
+        rows, ok = run_plan_smoke(only=[" e5 "], processes=1)
+        assert ok and {r["experiment"] for r in rows} == {"E5"}
+
+
+class TestFamilyVocabulary:
+    def test_canonical_degree_matches_runner_alias(self):
+        assert R._regular_degree is canonical_degree
+        assert canonical_degree(1024) == 100
+
+    def test_family_spec_defaults(self):
+        fam, _builder, params = family_spec({"n": 256})
+        assert fam == "regular" and params["degree"] == canonical_degree(256)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            family_spec({"n": 64, "family": "hypercube"})
