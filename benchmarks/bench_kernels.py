@@ -9,14 +9,20 @@ before any timing is trusted.  Also measures the columnar results
 spool: the pickled payload of one sweep point's records as legacy
 dicts vs as a typed :class:`~repro.batch.results.ResultBlock`.
 
+With ``--threads`` the compiled kernels are additionally swept over a
+list of trial-partitioned thread counts (the OpenMP / ``numba.prange``
+path; parity is re-verified at *every* thread count before timing) and
+the report lands in ``BENCH_kernels_mt.json`` — per (kernel, threads)
+trials·rounds/sec plus speedups vs that kernel's sequential run.
+
 Two entry points:
 
 * ``pytest benchmarks/bench_kernels.py`` — a fast parity/throughput
   smoke at CI scale;
-* ``python benchmarks/bench_kernels.py [--smoke] [--json PATH]`` — the
-  full measurement, printing a table and writing ``BENCH_kernels.json``
-  (per-kernel trials·rounds/sec plus speedups vs numpy) so future PRs
-  can track the compiled-path trajectory.
+* ``python benchmarks/bench_kernels.py [--smoke] [--threads 1,2,4]
+  [--json PATH]`` — the full measurement, printing a table and writing
+  ``BENCH_kernels.json`` (or ``BENCH_kernels_mt.json`` for a threads
+  sweep) so future PRs can track the compiled-path trajectory.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import pickle
 import time
 from pathlib import Path
@@ -38,6 +45,8 @@ from repro.rng import spawn_seeds
 # "python" runs the compiled algorithm interpreted — parity-correct but
 # orders of magnitude slow; it is for the test suite, not for timing.
 TIMEABLE = ("numpy", "cext", "numba")
+# Only the compiled kernels have a threaded twin worth timing.
+THREADABLE = ("cext", "numba")
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -106,6 +115,86 @@ def measure_kernels(
     }
 
 
+def measure_kernels_mt(
+    n: int = 100_000,
+    n_trials: int = 64,
+    thread_counts=(1, 2, 4),
+    c: float = 1.5,
+    d: int = 4,
+    seed: int = 123,
+    repeats: int = 3,
+) -> dict:
+    """Thread-count sweep of the compiled kernels on identical seeds.
+
+    Parity vs the numpy reference is re-verified at every (kernel,
+    threads) cell before its timing is trusted — the threaded path's
+    whole contract is bit-identity, so a diverging cell must fail loud,
+    not get timed.  Speedups are reported against each kernel's own
+    sequential (threads=1) run; ``cpu_count`` is recorded so a 1-core
+    CI box's flat curve reads as what it is.
+    """
+    thread_counts = sorted(set(int(t) for t in thread_counts) | {1})
+    degree = max(2, math.ceil(math.log2(n) ** 2))
+    graph = random_regular_bipartite(n, degree, seed=0)
+    params = ProtocolParams(c=c, d=d)
+    seeds = spawn_seeds(seed, n_trials)
+    kernels = [k for k in THREADABLE if k in available_kernels()]
+
+    bufs = EngineBuffers()
+    ref = run_trials_batched(
+        graph, params, "saer", seeds=seeds, kernel="numpy", buffers=bufs
+    )
+    records = []
+    speedups = {}
+    for name in kernels:
+        t_seq = None
+        for threads in thread_counts:
+            out = run_trials_batched(
+                graph, params, "saer", seeds=seeds, kernel=name,
+                threads=threads, buffers=bufs,
+            )
+            assert np.array_equal(out.rounds, ref.rounds) and np.array_equal(
+                out.loads, ref.loads
+            ), f"{name}@threads={threads} parity broken: timing would be meaningless"
+            t = _time_best(
+                lambda: run_trials_batched(
+                    graph, params, "saer", seeds=seeds, kernel=name,
+                    threads=threads, buffers=bufs,
+                ),
+                repeats,
+            )
+            if threads == 1:
+                t_seq = t
+            key = f"{name}@t{threads}"
+            speedups[key] = round(t_seq / t, 2)
+            records.append(
+                {
+                    "kernel": name,
+                    "threads": threads,
+                    "n": n,
+                    "R": n_trials,
+                    "c": c,
+                    "d": d,
+                    "degree": degree,
+                    "seconds": round(t, 4),
+                    "trials_rounds_per_sec": round(float(ref.rounds.sum()) / t, 1),
+                    "trials_per_sec": round(n_trials / t, 2),
+                }
+            )
+    return {
+        "benchmark": "bench_kernels_mt",
+        "workload": {
+            "n": n, "R": n_trials, "c": c, "d": d, "degree": degree,
+            "rounds_total": int(ref.rounds.sum()),
+            "cpu_count": os.cpu_count(),
+        },
+        "kernels_available": kernels,
+        "thread_counts": thread_counts,
+        "records": records,
+        "speedup_vs_sequential": speedups,
+    }
+
+
 def measure_spool(n: int = 4096, n_trials: int = 64) -> dict:
     """Pickled return-payload bytes: legacy record dicts vs ResultBlock."""
     point = {"n": n, "c": 1.5, "d": 4}
@@ -155,6 +244,25 @@ def test_kernel_throughput_smoke():
     assert report["results_spool"]["payload_ratio"] > 1.0
 
 
+def test_threaded_kernel_smoke():
+    """Parity + sane timings across thread counts at CI scale.
+
+    Never asserts a speedup — a 1-core CI box legitimately shows a flat
+    curve; what must hold everywhere is bit-identity (checked inside
+    measure_kernels_mt) and that every (kernel, threads) cell runs.
+    """
+    import pytest
+
+    compiled = [k for k in THREADABLE if k in available_kernels()]
+    if not compiled:
+        pytest.skip("no compiled kernel available (no numba, no C compiler)")
+    report = measure_kernels_mt(n=2048, n_trials=16, thread_counts=(1, 2), repeats=1)
+    assert report["records"], "no (kernel, threads) cells timed"
+    assert {r["threads"] for r in report["records"]} == {1, 2}
+    for rec in report["records"]:
+        assert rec["trials_rounds_per_sec"] > 0
+
+
 def test_compiled_kernel_speedup_floor():
     """A compiled kernel must clearly beat the numpy path.
 
@@ -184,14 +292,50 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best-of)")
     parser.add_argument("--smoke", action="store_true", help="reduced scale for CI")
     parser.add_argument(
+        "--threads",
+        default=None,
+        metavar="LIST",
+        help="comma-separated thread counts (e.g. 1,2,4): sweep the "
+        "compiled kernels' trial-partitioned threaded path instead of "
+        "the kernel comparison; writes BENCH_kernels_mt.json by default",
+    )
+    parser.add_argument(
         "--json",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
-        help="output path for the machine-readable report",
+        default=None,
+        help="output path for the machine-readable report "
+        "(default: BENCH_kernels.json, or BENCH_kernels_mt.json "
+        "with --threads)",
     )
     args = parser.parse_args(argv)
     n, trials, repeats = args.n, args.trials, args.repeats
     if args.smoke:
         n, trials, repeats = min(n, 4096), min(trials, 16), 1
+    repo_root = Path(__file__).resolve().parent.parent
+
+    if args.threads:
+        thread_counts = [int(t) for t in args.threads.split(",") if t.strip()]
+        report = measure_kernels_mt(
+            n=n, n_trials=trials, thread_counts=thread_counts, repeats=repeats
+        )
+        header = (
+            f"{'kernel':8s} {'thr':>4s} {'n':>8s} {'R':>4s} {'seconds':>9s} "
+            f"{'trials·rounds/s':>16s} {'vs thr=1':>9s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for rec in report["records"]:
+            key = f"{rec['kernel']}@t{rec['threads']}"
+            print(
+                f"{rec['kernel']:8s} {rec['threads']:4d} {rec['n']:8d} "
+                f"{rec['R']:4d} {rec['seconds']:9.3f} "
+                f"{rec['trials_rounds_per_sec']:16.1f} "
+                f"{report['speedup_vs_sequential'][key]:8.2f}x"
+            )
+        print(f"(cpu_count={report['workload']['cpu_count']})")
+        out = args.json or str(repo_root / "BENCH_kernels_mt.json")
+        Path(out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
 
     report = run_benchmark(n=n, n_trials=trials, repeats=repeats)
     header = f"{'kernel':8s} {'n':>8s} {'R':>4s} {'seconds':>9s} {'trials·rounds/s':>16s} {'vs numpy':>9s}"
@@ -208,8 +352,9 @@ def main(argv=None) -> int:
         f"results spool: {spool['legacy_records_bytes']} B of record dicts → "
         f"{spool['result_block_bytes']} B columnar ({spool['payload_ratio']}x smaller)"
     )
-    Path(args.json).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.json}")
+    out = args.json or str(repo_root / "BENCH_kernels.json")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
     return 0
 
 

@@ -17,14 +17,22 @@ per-trial :class:`~repro.core.results.RunResult` records.
 The per-round hot loop also exists as fused compiled kernels behind a
 runtime gate (:mod:`repro.batch.kernels`: ``kernel=`` argument or
 ``REPRO_KERNELS`` env var; numpy reference, C extension, numba —
-bit-identical, unavailable paths fall back to numpy), and sweep
-results can travel as typed :class:`ResultBlock` columns instead of
-per-trial dicts (the columnar results spool of
-:mod:`repro.parallel.sweep` / :mod:`repro.parallel.aggregate`).
+bit-identical, unavailable paths fall back to numpy), with a
+trial-partitioned threaded twin per compiled path (``threads=``
+argument or ``REPRO_KERNEL_THREADS`` env var — bit-identical at every
+thread count), and sweep results can travel as typed
+:class:`ResultBlock` columns instead of per-trial dicts (the columnar
+results spool of :mod:`repro.parallel.sweep` /
+:mod:`repro.parallel.aggregate`).
 """
 
 from .engine import run_raes_batched, run_saer_batched, run_trials_batched
-from .kernels import EngineBuffers, available_kernels, resolve_kernel
+from .kernels import (
+    EngineBuffers,
+    available_kernels,
+    resolve_kernel,
+    resolve_threads,
+)
 from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
 from .results import BatchResult, ResultBlock
 
@@ -40,4 +48,5 @@ __all__ = [
     "EngineBuffers",
     "available_kernels",
     "resolve_kernel",
+    "resolve_threads",
 ]

@@ -19,12 +19,31 @@
  * dense count/reset; light rounds keep a touched-server list so state
  * traffic stays proportional to the balls in flight.
  *
+ * Two entries are instantiated per state width:
+ *
+ *   repro_round_*     the sequential fused kernel — one pass over all
+ *                     active trials with one shared scratch set;
+ *   repro_round_mt_*  the trial-partitioned threaded variant — trials
+ *                     are split into explicit chunks (chunk_starts),
+ *                     each chunk runs phases 1-3 independently on its
+ *                     own scratch row, and survivors land first in the
+ *                     trial's own input region; a sequential left-pack
+ *                     epilogue then restores the contiguous canonical
+ *                     layout.  Because the chunk boundaries, the
+ *                     per-trial uniforms, and the output offsets are
+ *                     all data (not scheduling), the results are
+ *                     byte-identical for ANY chunk count and ANY
+ *                     OpenMP thread count — including a build without
+ *                     OpenMP at all, where the pragma is ignored and
+ *                     the chunks simply run in order.
+ *
  * Two state widths are instantiated via self-inclusion: int32 when
  * every cumulative counter provably fits, int64 otherwise.  The engine
  * guarantees: n_edges < 2^31 (ball keys and CSR offsets are int32),
  * uniforms in [0, 1), ball segments sorted by client within each trial,
  * and count/acc scratch arriving zeroed (every call re-zeroes what it
- * touched before returning).
+ * touched before returning; the mt entry guarantees this per scratch
+ * row).
  */
 
 #ifndef REPRO_KERNELS_PASS
@@ -34,17 +53,19 @@
 #include <string.h>
 
 /* Destination gather for Δ-regular graphs: ball_key holds each ball's
- * CSR row start (client · Δ), so a block covers keys < block_end. */
+ * CSR row start (client · Δ), so a block covers keys < block_end.
+ * Covers the trial range [a0, a1) — the sequential entry passes the
+ * whole active set, the threaded entry one chunk. */
 static void phase1_regular(
     const double *u, const int32_t *ball_key, int32_t *dest,
-    int64_t n_active, const int64_t *seg_start, const int64_t *seg_end,
+    int64_t a0, int64_t a1, const int64_t *seg_start, const int64_t *seg_end,
     int64_t *cur, int64_t reg_deg, const int32_t *indices,
     int64_t n_clients, int64_t block_clients)
 {
-    for (int64_t a = 0; a < n_active; a++) cur[a] = seg_start[a];
+    for (int64_t a = a0; a < a1; a++) cur[a] = seg_start[a];
     for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
         int64_t block_end = (v0 + block_clients) * reg_deg;
-        for (int64_t a = 0; a < n_active; a++) {
+        for (int64_t a = a0; a < a1; a++) {
             int64_t i = cur[a], e = seg_end[a];
             while (i < e && ball_key[i] < block_end) {
                 int64_t off = (int64_t)(u[i] * (double)reg_deg);
@@ -61,14 +82,14 @@ static void phase1_regular(
  * come from the (block-resident) degree/indptr tables. */
 static void phase1_irregular(
     const double *u, const int32_t *ball_key, int32_t *dest,
-    int64_t n_active, const int64_t *seg_start, const int64_t *seg_end,
+    int64_t a0, int64_t a1, const int64_t *seg_start, const int64_t *seg_end,
     int64_t *cur, const int32_t *indptr, const int32_t *degrees,
     const int32_t *indices, int64_t n_clients, int64_t block_clients)
 {
-    for (int64_t a = 0; a < n_active; a++) cur[a] = seg_start[a];
+    for (int64_t a = a0; a < a1; a++) cur[a] = seg_start[a];
     for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
         int64_t block_end = v0 + block_clients;
-        for (int64_t a = 0; a < n_active; a++) {
+        for (int64_t a = a0; a < a1; a++) {
             int64_t i = cur[a], e = seg_end[a];
             while (i < e && ball_key[i] < block_end) {
                 int32_t v = ball_key[i];
@@ -97,12 +118,87 @@ static void phase1_irregular(
 
 #else /* REPRO_KERNELS_PASS: parameterized body */
 
-/* One full round over all active trials.  Returns the number of
- * surviving balls written to out_key (0 when do_compact is 0).
+/* Phase 2 + 3 for one trial: batch counts and the accept rule on ball
+ * range [i0, i1), then (when do_compact) the trial's survivors written
+ * base-relative at `out` — the sequential entry packs trials
+ * contiguously, the threaded entry writes into the trial's own input
+ * region for the later left-pack.  Writes the accepted-ball count to
+ * *acc_balls_out and returns the survivor count.  count/touched/acc
+ * must arrive zeroed and are re-zeroed before returning. */
+static int64_t REPRO_NAME(round_trial)(
+    const int32_t *ball_key, const int32_t *dest,
+    int64_t i0, int64_t i1, int64_t t,
+    REPRO_STATE *state1, REPRO_STATE *state2, int64_t n_s,
+    int64_t capacity, int64_t is_raes,
+    REPRO_STATE *count, int32_t *touched, uint8_t *acc,
+    int32_t *out, int64_t do_compact, int64_t *acc_balls_out)
+{
+    int64_t k = i1 - i0;
+    REPRO_STATE *s1 = state1 + t * n_s;
+    REPRO_STATE *s2 = state2 + t * n_s;
+    int64_t acc_balls = 0, kept = 0;
+    if (k >= n_s / 4) {
+        /* dense: branch-free counting, full server sweep, memset
+         * reset — fastest when most servers are touched anyway */
+        for (int64_t i = i0; i < i1; i++)
+            count[dest[i]]++;
+        for (int64_t s = 0; s < n_s; s++) {
+            REPRO_STATE cnt = count[s];
+            if (!cnt) continue;
+            REPRO_STATE c = s1[s] + cnt;
+            if (!is_raes) s1[s] = c;
+            if (c <= capacity) {
+                s2[s] = c;
+                acc[s] = 1;
+                acc_balls += cnt;
+            }
+        }
+        if (do_compact)
+            for (int64_t i = i0; i < i1; i++) {
+                out[kept] = ball_key[i];
+                kept += !acc[dest[i]];
+            }
+        memset(count, 0, (size_t)n_s * sizeof(REPRO_STATE));
+        memset(acc, 0, (size_t)n_s);
+    } else {
+        /* sparse: state traffic proportional to touched servers */
+        int64_t nt = 0;
+        for (int64_t i = i0; i < i1; i++) {
+            int32_t s = dest[i];
+            if (count[s]++ == 0) touched[nt++] = s;
+        }
+        for (int64_t j = 0; j < nt; j++) {
+            int32_t s = touched[j];
+            REPRO_STATE cnt = count[s];
+            REPRO_STATE c = s1[s] + cnt;
+            if (!is_raes) s1[s] = c;
+            if (c <= capacity) {
+                s2[s] = c;
+                acc[s] = 1;
+                acc_balls += cnt;
+            }
+        }
+        if (do_compact)
+            for (int64_t i = i0; i < i1; i++) {
+                out[kept] = ball_key[i];
+                kept += !acc[dest[i]];
+            }
+        for (int64_t j = 0; j < nt; j++) {
+            count[touched[j]] = 0;
+            acc[touched[j]] = 0;
+        }
+    }
+    *acc_balls_out = acc_balls;
+    return kept;
+}
+
+/* One full round over all active trials, sequential.  Returns the
+ * number of surviving balls written to out_key (0 when do_compact is
+ * 0).
  *
  * is_raes selects the accept rule; for SAER state1 is cum_received and
  * state2 is loads, for RAES both point at loads (the aliasing makes the
- * unified update below reduce to each policy's exact rule). */
+ * unified update reduce to each policy's exact rule). */
 int64_t REPRO_NAME(repro_round)(
     const double *u, const int32_t *ball_key, int64_t n_active,
     const int64_t *trial_ids, const int64_t *sent,
@@ -121,72 +217,83 @@ int64_t REPRO_NAME(repro_round)(
         seg_end[a] = pos;
     }
     if (reg_deg > 0)
-        phase1_regular(u, ball_key, dest, n_active, seg_start, seg_end,
+        phase1_regular(u, ball_key, dest, 0, n_active, seg_start, seg_end,
                        cur, reg_deg, indices, n_clients, block_clients);
     else
-        phase1_irregular(u, ball_key, dest, n_active, seg_start, seg_end,
+        phase1_irregular(u, ball_key, dest, 0, n_active, seg_start, seg_end,
                          cur, indptr, degrees, indices, n_clients,
                          block_clients);
 
     int64_t out = 0;
+    for (int64_t a = 0; a < n_active; a++)
+        out += REPRO_NAME(round_trial)(
+            ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+            state1, state2, n_s, capacity, is_raes, count, touched, acc,
+            out_key + out, do_compact, n_acc + a);
+    return out;
+}
+
+/* The trial-partitioned threaded round.  chunk_starts has n_chunks + 1
+ * entries partitioning [0, n_active) (chunks may be empty); chunk c
+ * runs phases 1-3 for its trials on scratch row c of counts/toucheds/
+ * accs (each n_chunks × n_s, C-contiguous) and records each trial's
+ * survivor count in n_keep.  Survivors are first written into the
+ * trial's own input region of out_key; the sequential epilogue
+ * left-packs them, which is exactly the sequential entry's layout.
+ * Deterministic for any n_chunks / n_threads by construction. */
+int64_t REPRO_NAME(repro_round_mt)(
+    const double *u, const int32_t *ball_key, int64_t n_active,
+    const int64_t *trial_ids, const int64_t *sent,
+    int64_t reg_deg, const int32_t *indptr, const int32_t *degrees,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients,
+    REPRO_STATE *state1, REPRO_STATE *state2,
+    int64_t n_s, int64_t capacity, int64_t is_raes,
+    int32_t *dest, REPRO_STATE *counts, int32_t *toucheds, uint8_t *accs,
+    int64_t *n_acc, int32_t *out_key, int64_t do_compact,
+    int64_t *cur, int64_t *seg_start, int64_t *seg_end,
+    int64_t n_chunks, const int64_t *chunk_starts, int64_t *n_keep,
+    int64_t n_threads)
+{
+    int64_t pos = 0;
     for (int64_t a = 0; a < n_active; a++) {
-        int64_t k = sent[a], t = trial_ids[a];
-        REPRO_STATE *s1 = state1 + t * n_s;
-        REPRO_STATE *s2 = state2 + t * n_s;
-        int64_t acc_balls = 0;
-        if (k >= n_s / 4) {
-            /* dense: branch-free counting, full server sweep, memset
-             * reset — fastest when most servers are touched anyway */
-            for (int64_t i = seg_start[a]; i < seg_end[a]; i++)
-                count[dest[i]]++;
-            for (int64_t s = 0; s < n_s; s++) {
-                REPRO_STATE cnt = count[s];
-                if (!cnt) continue;
-                REPRO_STATE c = s1[s] + cnt;
-                if (!is_raes) s1[s] = c;
-                if (c <= capacity) {
-                    s2[s] = c;
-                    acc[s] = 1;
-                    acc_balls += cnt;
-                }
-            }
-            n_acc[a] = acc_balls;
-            if (do_compact)
-                for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
-                    out_key[out] = ball_key[i];
-                    out += !acc[dest[i]];
-                }
-            memset(count, 0, (size_t)n_s * sizeof(REPRO_STATE));
-            memset(acc, 0, (size_t)n_s);
-        } else {
-            /* sparse: state traffic proportional to touched servers */
-            int64_t nt = 0;
-            for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
-                int32_t s = dest[i];
-                if (count[s]++ == 0) touched[nt++] = s;
-            }
-            for (int64_t j = 0; j < nt; j++) {
-                int32_t s = touched[j];
-                REPRO_STATE cnt = count[s];
-                REPRO_STATE c = s1[s] + cnt;
-                if (!is_raes) s1[s] = c;
-                if (c <= capacity) {
-                    s2[s] = c;
-                    acc[s] = 1;
-                    acc_balls += cnt;
-                }
-            }
-            n_acc[a] = acc_balls;
-            if (do_compact)
-                for (int64_t i = seg_start[a]; i < seg_end[a]; i++) {
-                    out_key[out] = ball_key[i];
-                    out += !acc[dest[i]];
-                }
-            for (int64_t j = 0; j < nt; j++) {
-                count[touched[j]] = 0;
-                acc[touched[j]] = 0;
-            }
-        }
+        seg_start[a] = pos;
+        pos += sent[a];
+        seg_end[a] = pos;
+    }
+
+    int nthr = (int)(n_threads < 1 ? 1 : n_threads);
+    (void)nthr; /* unused when built without OpenMP */
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthr)
+#endif
+    for (int64_t ci = 0; ci < n_chunks; ci++) {
+        int64_t a0 = chunk_starts[ci], a1 = chunk_starts[ci + 1];
+        if (a0 >= a1) continue;
+        REPRO_STATE *count = counts + ci * n_s;
+        int32_t *touched = toucheds + ci * n_s;
+        uint8_t *acc = accs + ci * n_s;
+        if (reg_deg > 0)
+            phase1_regular(u, ball_key, dest, a0, a1, seg_start, seg_end,
+                           cur, reg_deg, indices, n_clients, block_clients);
+        else
+            phase1_irregular(u, ball_key, dest, a0, a1, seg_start, seg_end,
+                             cur, indptr, degrees, indices, n_clients,
+                             block_clients);
+        for (int64_t a = a0; a < a1; a++)
+            n_keep[a] = REPRO_NAME(round_trial)(
+                ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+                state1, state2, n_s, capacity, is_raes, count, touched, acc,
+                out_key + seg_start[a], do_compact, n_acc + a);
+    }
+
+    /* left-pack the per-trial survivor runs into the canonical
+     * contiguous layout; dst <= src always, so forward moves are safe */
+    int64_t out = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        if (n_keep[a] && out != seg_start[a])
+            memmove(out_key + out, out_key + seg_start[a],
+                    (size_t)n_keep[a] * sizeof(int32_t));
+        out += n_keep[a];
     }
     return out;
 }

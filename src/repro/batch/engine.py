@@ -79,6 +79,9 @@ from .kernels import (
     block_clients_for,
     fill_uniforms,
     resolve_kernel,
+    resolve_threaded_round,
+    resolve_threads,
+    trial_chunks,
 )
 from .policies import BatchedRaesPolicy, BatchedSaerPolicy, BatchedServerPolicy
 from .results import BatchResult
@@ -150,6 +153,7 @@ def run_trials_batched(
     demands=None,
     options: RunOptions | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Run ``R`` independent trials of one protocol as a single batch.
@@ -180,6 +184,16 @@ def run_trials_batched(
         ``REPRO_KERNELS`` environment variable.  All implementations
         are bit-identical; unavailable ones fall back to numpy with a
         warning.  See :mod:`repro.batch.kernels`.
+    threads:
+        Kernel thread budget for the compiled paths: the trial axis is
+        partitioned into that many chunks and the round kernel runs
+        them in parallel (OpenMP for ``cext``, ``numba.prange`` for
+        ``numba``).  ``None`` reads ``REPRO_KERNEL_THREADS``; default
+        1.  Results are **bit-identical at every thread count** — the
+        chunking is data, not scheduling.  Ignored by the ``numpy``
+        reference loop; a compiled gate without a threaded path on
+        this install warns once per (gate, threads) and runs
+        sequentially.
     buffers:
         Optional :class:`~repro.batch.kernels.EngineBuffers` scratch
         pool, reused across calls (persistent sweep workers pass their
@@ -221,12 +235,13 @@ def run_trials_batched(
     gens = [make_rng(s) for s in seed_list]
     bufs = buffers if buffers is not None else EngineBuffers()
 
-    kern = resolve_kernel(kernel)
+    n_threads = resolve_threads(threads)
+    kern = resolve_kernel(kernel, threads=n_threads)
     if kern.compiled and _compiled_supported(kern, graph, pol, dem, n_c, n_s):
         pol.astype_state(state_dtype, state_dtype)
         rounds, work, assigned, alive_total = _run_rounds_compiled(
             kern, graph, pol, dem, total_balls, n_c, n_s, cap, R,
-            params.capacity, gens, bufs, state_dtype,
+            params.capacity, gens, bufs, state_dtype, n_threads,
         )
     else:
         pol.astype_state(state_dtype, load_dtype)
@@ -287,9 +302,18 @@ def _compiled_supported(
 
 def _run_rounds_compiled(
     kern, graph, pol, dem, total_balls, n_c, n_s, cap, R, capacity, gens,
-    bufs, state_dtype,
+    bufs, state_dtype, threads=1,
 ):
-    """Round loop over the fused compiled kernel (one call per round)."""
+    """Round loop over the fused compiled kernel (one call per round).
+
+    With ``threads > 1`` the trial axis is partitioned into ``threads``
+    balanced chunks per round and dispatched through the kernel's
+    trial-partitioned entry on per-chunk scratch rows — bit-identical
+    to the sequential entry for any thread count (the partition and
+    the survivor left-pack are data, not scheduling).  Falls back to
+    the sequential entry (with a once-per-(gate, threads) warning)
+    when this install has no threaded path for the gate.
+    """
     indptr, degrees, indices = _csr32(graph)
     reg_deg = 0
     if degrees.size and int(degrees.min()) == int(degrees.max()):
@@ -311,6 +335,14 @@ def _run_rounds_compiled(
         active = np.empty(0, dtype=np.int64)
         sent = np.empty(0, dtype=np.int64)
 
+    # The threaded path partitions trials into `threads` chunks, each on
+    # its own scratch row; a gate without a threaded path on this
+    # install warns once and runs the sequential entry.
+    mt_fn = None
+    if threads > 1 and R > 1:
+        mt_fn = resolve_threaded_round(kern, threads)
+    T = min(threads, R) if mt_fn is not None else 1
+
     B0 = total_balls * R
     u_buf = bufs.get("u", B0, np.float64)
     dest_buf = bufs.get("cdest", B0, np.int32)
@@ -318,9 +350,16 @@ def _run_rounds_compiled(
     alt_buf = bufs.get("calt", B0, np.int32)
     if R:
         ball_key.reshape(R, total_balls)[:] = template
-    count = bufs.get("ccount", n_s, state_dtype, zero=True)
-    touched = bufs.get("ctouched", n_s, np.int32)
-    acc = bufs.get("cacc", n_s, np.uint8, zero=True)
+    if mt_fn is not None:
+        counts = bufs.get("ccount", (T, n_s), state_dtype, zero=True)
+        toucheds = bufs.get("ctouched", (T, n_s), np.int32)
+        accs = bufs.get("cacc", (T, n_s), np.uint8, zero=True)
+        chunk_buf = bufs.get("cchunk", T + 1, np.int64)
+        n_keep = bufs.get("ckeep", R, np.int64)
+    else:
+        count = bufs.get("ccount", n_s, state_dtype, zero=True)
+        touched = bufs.get("ctouched", n_s, np.int32)
+        acc = bufs.get("cacc", n_s, np.uint8, zero=True)
     n_acc_buf = bufs.get("cnacc", R, np.int64)
     cur = bufs.get("ccur", R, np.int64)
     seg_start = bufs.get("cseg0", R, np.int64)
@@ -333,7 +372,7 @@ def _run_rounds_compiled(
         state1, state2, is_raes = pol.cum_received, pol.loads, 0
     else:
         state1, state2, is_raes = pol.loads, pol.loads, 1
-    round_fn = kern.round_fn()
+    round_fn = kern.round_fn() if mt_fn is None else None
 
     round_no = 0
     B = ball_key.size if active.size else 0
@@ -346,14 +385,27 @@ def _run_rounds_compiled(
         fill_uniforms(u, active.tolist(), sent.tolist(), gens, slab, slab_pos)
         do_compact = 1 if round_no < cap else 0
         n_acc = n_acc_buf[:A]
-        B_next = int(
-            round_fn(
-                u, ball_key, active, sent, reg_deg, indptr, degrees, indices,
-                n_c, block_clients, state1, state2, capacity, is_raes,
-                dest_buf[:B], count, touched, acc, n_acc, alt_buf,
-                do_compact, cur[:A], seg_start[:A], seg_end[:A],
+        if mt_fn is not None:
+            Tr = min(T, A)
+            chunk_starts = trial_chunks(A, Tr, chunk_buf)
+            B_next = int(
+                mt_fn(
+                    u, ball_key, active, sent, reg_deg, indptr, degrees,
+                    indices, n_c, block_clients, state1, state2, capacity,
+                    is_raes, dest_buf[:B], counts[:Tr], toucheds[:Tr],
+                    accs[:Tr], n_acc, alt_buf, do_compact, cur[:A],
+                    seg_start[:A], seg_end[:A], chunk_starts, n_keep[:A],
+                )
             )
-        )
+        else:
+            B_next = int(
+                round_fn(
+                    u, ball_key, active, sent, reg_deg, indptr, degrees, indices,
+                    n_c, block_clients, state1, state2, capacity, is_raes,
+                    dest_buf[:B], count, touched, acc, n_acc, alt_buf,
+                    do_compact, cur[:A], seg_start[:A], seg_end[:A],
+                )
+            )
         assigned[active] += n_acc
         alive_total[active] -= n_acc
         sent = sent - n_acc
@@ -532,6 +584,7 @@ def run_saer_batched(
     demands=None,
     options: RunOptions | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Batched ``saer(c, d)``; see :func:`run_trials_batched`."""
@@ -545,6 +598,7 @@ def run_saer_batched(
         demands=demands,
         options=options,
         kernel=kernel,
+        threads=threads,
         buffers=buffers,
     )
 
@@ -560,6 +614,7 @@ def run_raes_batched(
     demands=None,
     options: RunOptions | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     buffers: EngineBuffers | None = None,
 ) -> BatchResult:
     """Batched ``raes(c, d)``; see :func:`run_trials_batched`."""
@@ -573,5 +628,6 @@ def run_raes_batched(
         demands=demands,
         options=options,
         kernel=kernel,
+        threads=threads,
         buffers=buffers,
     )

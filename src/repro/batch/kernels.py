@@ -37,6 +37,26 @@ environment variable, else ``numpy``.  Requesting an unavailable
 implementation (no numba, no C compiler) warns once and falls back to
 numpy — minimal installs never break, they just don't accelerate.
 
+Threading
+---------
+Every compiled implementation also has a **trial-partitioned threaded
+twin**: the active trials are split into explicit chunks, each chunk
+runs the whole gather→count→decide→compact chain independently on its
+own scratch row, and a deterministic left-pack restores the canonical
+(trial-major, client-major) survivor layout.  Because chunk boundaries,
+per-trial uniform streams, and output offsets are all data — never
+scheduling — results are **byte-identical for every thread count**,
+including 1.  The thread budget is its own gate:
+``threads=`` argument > ``REPRO_KERNEL_THREADS`` environment variable >
+1 (:func:`resolve_threads`); process-pool workers reset the environment
+half to 1 so threads never multiply into process oversubscription (see
+:mod:`repro.parallel.pool`).  The C twin comes from an OpenMP build of
+``_kernels.c`` (compile-probed; a failed probe warns once and falls
+back to the sequential object), the numba twin is a
+``numba.prange`` jit of the same chunked loops, and the ``python``
+kernel runs those loops interpreted — so the chunked algorithm is
+parity-testable on any install.
+
 This module also owns :class:`EngineBuffers`, the named grow-only
 scratch pool that persistent sweep workers keep alive across grid
 points (see :func:`repro.parallel.pool.worker_state`).
@@ -56,16 +76,28 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+# The chunk loop of _round_loops_mt iterates `prange`.  Interpreted it
+# is plain range; NumbaKernel rebinds it to numba.prange just before
+# jitting (numba resolves globals at compile time), so importing this
+# module never pays numba's import cost.  numba.prange degrades to
+# range when called from the interpreter, so the rebind never changes
+# interpreted behaviour either.
+prange = range
+
 __all__ = [
     "KERNELS_ENV",
+    "THREADS_ENV",
     "DEFAULT_KERNEL",
     "EngineBuffers",
     "available_kernels",
     "resolve_kernel",
+    "resolve_threads",
+    "trial_chunks",
     "fill_uniforms",
 ]
 
 KERNELS_ENV = "REPRO_KERNELS"
+THREADS_ENV = "REPRO_KERNEL_THREADS"
 CACHE_ENV = "REPRO_KERNEL_CACHE"
 DEFAULT_KERNEL = "numpy"
 
@@ -179,6 +211,88 @@ def fill_uniforms(
 # ---------------------------------------------------------------------------
 
 
+def _phase23_trial(
+    ball_key,
+    dest,
+    i0,
+    i1,
+    t,
+    state1,
+    state2,
+    capacity,
+    is_raes,
+    count,
+    touched,
+    acc,
+    out_key,
+    out_base,
+    do_compact,
+):
+    """Phase 2 + 3 for one trial; the twin of ``round_trial`` in ``_kernels.c``.
+
+    Batch counts and the accept rule over the ball range ``[i0, i1)``,
+    then (when compacting) the trial's survivors written at
+    ``out_key[out_base:]`` — the sequential loop packs trials
+    contiguously, the chunked loop hands each trial its own input
+    region.  Returns ``(survivors, accepted_balls)``; the
+    count/touched/acc scratch arrives zeroed and is re-zeroed before
+    returning.  Shared by :func:`_round_loops` and
+    :func:`_round_loops_mt` (and jitted once for both by numba), so the
+    accept rule has one Python source of truth.
+    """
+    n_s = state1.shape[1]
+    acc_balls = 0
+    kept = out_base
+    if i1 - i0 >= n_s // 4:
+        for i in range(i0, i1):
+            count[dest[i]] += 1
+        for s in range(n_s):
+            cnt = count[s]
+            if cnt == 0:
+                continue
+            c = state1[t, s] + cnt
+            if not is_raes:
+                state1[t, s] = c
+            if c <= capacity:
+                state2[t, s] = c
+                acc[s] = 1
+                acc_balls += cnt
+        if do_compact:
+            for i in range(i0, i1):
+                out_key[kept] = ball_key[i]
+                if acc[dest[i]] == 0:
+                    kept += 1
+        count[:n_s] = 0
+        acc[:n_s] = 0
+    else:
+        nt = 0
+        for i in range(i0, i1):
+            s = dest[i]
+            if count[s] == 0:
+                touched[nt] = s
+                nt += 1
+            count[s] += 1
+        for j in range(nt):
+            s = touched[j]
+            cnt = count[s]
+            c = state1[t, s] + cnt
+            if not is_raes:
+                state1[t, s] = c
+            if c <= capacity:
+                state2[t, s] = c
+                acc[s] = 1
+                acc_balls += cnt
+        if do_compact:
+            for i in range(i0, i1):
+                out_key[kept] = ball_key[i]
+                if acc[dest[i]] == 0:
+                    kept += 1
+        for j in range(nt):
+            count[touched[j]] = 0
+            acc[touched[j]] = 0
+    return kept - out_base, acc_balls
+
+
 def _round_loops(
     u,
     ball_key,
@@ -209,8 +323,9 @@ def _round_loops(
 
     ``state1``/``state2`` are the policy's ``[R, n_servers]`` matrices:
     (cum_received, loads) for SAER, (loads, loads) for RAES — the
-    aliasing makes the unified update below reduce to each policy's
-    exact rule.  Returns the survivor count written to ``out_key``.
+    aliasing makes the unified update of :func:`_phase23_trial` reduce
+    to each policy's exact rule.  Returns the survivor count written to
+    ``out_key``.
     """
     n_active = trial_ids.shape[0]
     pos = 0
@@ -244,61 +359,119 @@ def _round_loops(
                 i += 1
             cur[a] = i
         v0 += block_clients
-    # phase 2 + 3 per trial: count, decide, compact
+    # phase 2 + 3 per trial: count, decide, compact (contiguous pack)
     out = 0
-    n_s = state1.shape[1]
     for a in range(n_active):
-        t = trial_ids[a]
-        acc_balls = 0
-        if sent[a] >= n_s // 4:
-            for i in range(seg_start[a], seg_end[a]):
-                count[dest[i]] += 1
-            for s in range(n_s):
-                cnt = count[s]
-                if cnt == 0:
-                    continue
-                c = state1[t, s] + cnt
-                if not is_raes:
-                    state1[t, s] = c
-                if c <= capacity:
-                    state2[t, s] = c
-                    acc[s] = 1
-                    acc_balls += cnt
+        kept, acc_balls = _phase23_trial(
+            ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+            state1, state2, capacity, is_raes, count, touched, acc,
+            out_key, out, do_compact,
+        )
+        n_acc[a] = acc_balls
+        out += kept
+    return out
+
+
+def _round_loops_mt(
+    u,
+    ball_key,
+    trial_ids,
+    sent,
+    reg_deg,
+    indptr,
+    degrees,
+    indices,
+    n_clients,
+    block_clients,
+    state1,
+    state2,
+    capacity,
+    is_raes,
+    dest,
+    counts,
+    toucheds,
+    accs,
+    n_acc,
+    out_key,
+    do_compact,
+    cur,
+    seg_start,
+    seg_end,
+    chunk_starts,
+    n_keep,
+):
+    """The trial-partitioned round; numba's ``prange`` source of truth.
+
+    ``chunk_starts`` (``n_chunks + 1`` entries, chunks may be empty)
+    partitions the active trials; chunk ``ci`` runs the whole
+    gather→count→decide→compact chain for its trials on scratch row
+    ``ci`` of ``counts``/``toucheds``/``accs`` (each ``[n_chunks,
+    n_s]``), writing each trial's survivors into the trial's own input
+    region of ``out_key`` and its survivor count into ``n_keep``.  The
+    sequential left-pack epilogue then restores the canonical
+    contiguous layout — so the output is byte-identical to
+    :func:`_round_loops` for any partition and any thread count.  See
+    ``repro_round_mt`` in ``_kernels.c`` for the compiled spec.
+    """
+    n_active = trial_ids.shape[0]
+    pos = 0
+    for a in range(n_active):
+        seg_start[a] = pos
+        pos += sent[a]
+        seg_end[a] = pos
+    n_chunks = chunk_starts.shape[0] - 1
+    for ci in prange(n_chunks):
+        a0 = chunk_starts[ci]
+        a1 = chunk_starts[ci + 1]
+        if a0 >= a1:
+            continue
+        count = counts[ci]
+        touched = toucheds[ci]
+        acc = accs[ci]
+        # phase 1: client-blocked destination gather for this chunk
+        for a in range(a0, a1):
+            cur[a] = seg_start[a]
+        v0 = 0
+        while v0 < n_clients:
+            if reg_deg > 0:
+                block_end = (v0 + block_clients) * reg_deg
+            else:
+                block_end = v0 + block_clients
+            for a in range(a0, a1):
+                i = cur[a]
+                e = seg_end[a]
+                while i < e and ball_key[i] < block_end:
+                    if reg_deg > 0:
+                        dg = reg_deg
+                        row = np.int64(ball_key[i])
+                    else:
+                        v = ball_key[i]
+                        dg = np.int64(degrees[v])
+                        row = np.int64(indptr[v])
+                    off = np.int64(u[i] * dg)
+                    if off > dg - 1:
+                        off = dg - 1
+                    dest[i] = indices[row + off]
+                    i += 1
+                cur[a] = i
+            v0 += block_clients
+        # phase 2 + 3 per trial, survivors land at the trial's own base
+        for a in range(a0, a1):
+            kept, acc_balls = _phase23_trial(
+                ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+                state1, state2, capacity, is_raes, count, touched, acc,
+                out_key, seg_start[a], do_compact,
+            )
             n_acc[a] = acc_balls
-            if do_compact:
-                for i in range(seg_start[a], seg_end[a]):
-                    out_key[out] = ball_key[i]
-                    if acc[dest[i]] == 0:
-                        out += 1
-            count[:n_s] = 0
-            acc[:n_s] = 0
-        else:
-            nt = 0
-            for i in range(seg_start[a], seg_end[a]):
-                s = dest[i]
-                if count[s] == 0:
-                    touched[nt] = s
-                    nt += 1
-                count[s] += 1
-            for j in range(nt):
-                s = touched[j]
-                cnt = count[s]
-                c = state1[t, s] + cnt
-                if not is_raes:
-                    state1[t, s] = c
-                if c <= capacity:
-                    state2[t, s] = c
-                    acc[s] = 1
-                    acc_balls += cnt
-            n_acc[a] = acc_balls
-            if do_compact:
-                for i in range(seg_start[a], seg_end[a]):
-                    out_key[out] = ball_key[i]
-                    if acc[dest[i]] == 0:
-                        out += 1
-            for j in range(nt):
-                count[touched[j]] = 0
-                acc[touched[j]] = 0
+            n_keep[a] = kept
+    # left-pack the survivor runs (dst <= src: forward copy is safe)
+    out = 0
+    for a in range(n_active):
+        ks = seg_start[a]
+        if out != ks:
+            for j in range(n_keep[a]):
+                out_key[out + j] = out_key[ks + j]
+        out += n_keep[a]
     return out
 
 
@@ -320,6 +493,13 @@ class Kernel:
         """The per-round entry with the :func:`_round_loops` signature."""
         raise NotImplementedError(f"{self.name} has no fused round entry")
 
+    def threaded_round_fn(self, threads: int) -> Callable | None:
+        """The trial-partitioned entry (:func:`_round_loops_mt`
+        signature), or ``None`` when this implementation has no
+        threaded path on this install (the engine then warns once per
+        (gate, threads) and runs the sequential kernel)."""
+        return None
+
 
 class NumpyKernel(Kernel):
     """Marker for the engine's vectorized reference loop."""
@@ -336,6 +516,13 @@ class PythonKernel(Kernel):
     def round_fn(self) -> Callable:
         return _round_loops
 
+    def threaded_round_fn(self, threads: int) -> Callable | None:
+        # Interpreted execution is sequential regardless of `threads`,
+        # but it runs the exact chunked algorithm — which is the point:
+        # the parity suite can pin the threaded compaction path on any
+        # install.
+        return _round_loops_mt
+
 
 class NumbaKernel(Kernel):
     """numba-jitted :func:`_round_loops`; unavailable without numba."""
@@ -345,6 +532,8 @@ class NumbaKernel(Kernel):
 
     def __init__(self) -> None:
         self._jitted: Callable | None = None
+        self._jitted_mt: Callable | None = None
+        self._mt_failed = False
 
     def available(self) -> bool:
         try:
@@ -353,16 +542,92 @@ class NumbaKernel(Kernel):
             return False
         return True
 
+    @staticmethod
+    def _jit_helper(numba) -> None:
+        # Rebind the shared per-trial helper to its jitted dispatcher so
+        # the outer loops (compiled lazily, at first call) resolve the
+        # global to compiled code.  Idempotent; interpreted callers just
+        # get the faster dispatcher too.
+        global _phase23_trial
+        if not isinstance(_phase23_trial, numba.core.dispatcher.Dispatcher):
+            _phase23_trial = numba.njit(cache=False, fastmath=False)(_phase23_trial)
+
     def round_fn(self) -> Callable:
         if self._jitted is None:
             import numba
 
+            self._jit_helper(numba)
             self._jitted = numba.njit(cache=False, fastmath=False)(_round_loops)
         return self._jitted
 
+    def threaded_round_fn(self, threads: int) -> Callable | None:
+        if self._mt_failed:
+            return None
+        if self._jitted_mt is None:
+            import numba
+
+            try:
+                # Rebind the module-level `prange` (plain range for the
+                # interpreter) to numba.prange so parallel=True picks up
+                # the chunk loop; numba resolves globals at compile time.
+                globals()["prange"] = numba.prange
+                self._jit_helper(numba)
+                jitted = numba.njit(
+                    cache=False, fastmath=False, parallel=True
+                )(_round_loops_mt)
+                # numba compiles lazily at first call, so probe with a
+                # zero-trial invocation: a missing parallel target or
+                # broken threading layer fails HERE, where we can fall
+                # back, not mid-round inside the engine.
+                _warm_mt(jitted)
+                self._jitted_mt = jitted
+            except Exception as exc:  # no parallel target / threading layer
+                self._mt_failed = True
+                self._mt_error = exc
+                return None
+
+        jitted = self._jitted_mt
+
+        def call(*args):
+            import numba
+
+            try:
+                cap = int(numba.get_num_threads())
+                numba.set_num_threads(max(1, min(threads, cap)))
+            except Exception:
+                pass  # thread-count control is best-effort; results
+                # are partition-determined either way
+            return jitted(*args)
+
+        return call
+
+
+def _warm_mt(fn) -> None:
+    """Call a threaded round entry on a zero-trial workload (both state
+    widths), forcing compilation/thread-pool startup so failures surface
+    at probe time."""
+    i32 = np.empty(0, np.int32)
+    i64 = np.empty(0, np.int64)
+    for state_dtype in (np.int64, np.int32):
+        state = np.empty((0, 1), state_dtype)
+        fn(
+            np.empty(0, np.float64), i32, i64, i64, 1, i32, i32, i32, 0, 1,
+            state, state, 4, 0, i32, np.zeros((1, 1), state_dtype),
+            np.empty((1, 1), np.int32), np.zeros((1, 1), np.uint8), i64,
+            i32, 1, i64, i64, i64, np.zeros(2, np.int64), i64,
+        )
+
 
 class CextKernel(Kernel):
-    """ctypes-loaded C implementation, compiled on demand from ``_kernels.c``."""
+    """ctypes-loaded C implementation, compiled on demand from ``_kernels.c``.
+
+    Two builds of the same source: the sequential object (the parity
+    baseline) and an OpenMP object for the trial-partitioned entry.
+    The OpenMP build is compile-probed on first threaded use; a failed
+    probe (compiler without ``-fopenmp``) makes
+    :meth:`threaded_round_fn` return ``None`` so the engine warns once
+    and runs the sequential object — same results, no threads.
+    """
 
     name = "cext"
     compiled = True
@@ -370,6 +635,8 @@ class CextKernel(Kernel):
     def __init__(self) -> None:
         self._lib = None
         self._failed = False
+        self._mt_lib = None
+        self._mt_failed = False
         self._lock = threading.Lock()
 
     def _load(self):
@@ -381,6 +648,16 @@ class CextKernel(Kernel):
                     self._failed = True
                     self._error = exc
         return self._lib
+
+    def _load_mt(self):
+        with self._lock:
+            if self._mt_lib is None and not self._mt_failed:
+                try:
+                    self._mt_lib = _load_cext_library(openmp=True)
+                except Exception as exc:  # -fopenmp unsupported, ...
+                    self._mt_failed = True
+                    self._mt_error = exc
+        return self._mt_lib
 
     def available(self) -> bool:
         return self._load() is not None
@@ -405,14 +682,44 @@ class CextKernel(Kernel):
 
         return call
 
+    def threaded_round_fn(self, threads: int) -> Callable | None:
+        lib = self._load_mt()
+        if lib is None:
+            return None
+
+        def call(u, ball_key, trial_ids, sent, reg_deg, indptr, degrees,
+                 indices, n_clients, block_clients, state1, state2, capacity,
+                 is_raes, dest, counts, toucheds, accs, n_acc, out_key,
+                 do_compact, cur, seg_start, seg_end, chunk_starts, n_keep):
+            fn = (
+                lib.repro_round_mt_i64
+                if state1.dtype == np.int64
+                else lib.repro_round_mt_i32
+            )
+            return fn(
+                u, ball_key, trial_ids.shape[0], trial_ids, sent,
+                reg_deg, indptr, degrees, indices, n_clients, block_clients,
+                state1, state2, state1.shape[1], capacity, is_raes,
+                dest, counts, toucheds, accs, n_acc, out_key, do_compact,
+                cur, seg_start, seg_end,
+                chunk_starts.shape[0] - 1, chunk_starts, n_keep, threads,
+            )
+
+        return call
+
 
 def _cc_candidates() -> list[str]:
     env = os.environ.get("CC")
     return [env] if env else ["cc", "gcc", "clang"]
 
 
-def _load_cext_library():
-    """Compile (once, cached by source hash) and load ``_kernels.c``."""
+def _load_cext_library(openmp: bool = False):
+    """Compile (once, cached by source hash) and load ``_kernels.c``.
+
+    ``openmp=True`` builds a second object with ``-fopenmp`` (cached
+    under its own name); the compile itself is the probe — a compiler
+    that lacks OpenMP fails it and the caller falls back.
+    """
     src = Path(__file__).with_name("_kernels.c")
     source = src.read_bytes()
     tag = hashlib.sha256(source).hexdigest()[:16]
@@ -423,12 +730,16 @@ def _load_cext_library():
         uid = os.getuid() if hasattr(os, "getuid") else "u"
         cache = Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
     cache.mkdir(parents=True, exist_ok=True)
-    so = cache / f"_repro_kernels_{tag}.so"
+    stem = "_repro_kernels_omp" if openmp else "_repro_kernels"
+    so = cache / f"{stem}_{tag}.so"
     if not so.exists():
         last_err: Exception | None = None
         for cc in _cc_candidates():
             tmp = so.with_name(f"{so.stem}.{os.getpid()}.tmp.so")
-            cmd = [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)]
+            cmd = [cc, "-O3", "-shared", "-fPIC"]
+            if openmp:
+                cmd.append("-fopenmp")
+            cmd += ["-o", str(tmp), str(src)]
             try:
                 subprocess.run(
                     cmd, check=True, capture_output=True, timeout=120
@@ -440,10 +751,15 @@ def _load_cext_library():
                 last_err = exc
                 tmp.unlink(missing_ok=True)
         if last_err is not None:
-            raise RuntimeError(f"C kernel build failed: {last_err}")
+            raise RuntimeError(
+                f"C kernel build failed ({'OpenMP' if openmp else 'sequential'}): "
+                f"{last_err}"
+            )
     lib = ctypes.CDLL(str(so))
     _declare(lib.repro_round_i32, np.int32)
     _declare(lib.repro_round_i64, np.int64)
+    _declare_mt(lib.repro_round_mt_i32, np.int32)
+    _declare_mt(lib.repro_round_mt_i64, np.int64)
     return lib
 
 
@@ -482,6 +798,45 @@ def _declare(fn, state_dtype) -> None:
     ]
 
 
+def _declare_mt(fn, state_dtype) -> None:
+    ptr = np.ctypeslib.ndpointer
+    c = dict(flags="C_CONTIGUOUS")
+    i64 = ctypes.c_int64
+    fn.restype = i64
+    fn.argtypes = [
+        ptr(np.float64, **c),   # u
+        ptr(np.int32, **c),     # ball_key
+        i64,                    # n_active
+        ptr(np.int64, **c),     # trial_ids
+        ptr(np.int64, **c),     # sent
+        i64,                    # reg_deg
+        ptr(np.int32, **c),     # indptr
+        ptr(np.int32, **c),     # degrees
+        ptr(np.int32, **c),     # indices
+        i64,                    # n_clients
+        i64,                    # block_clients
+        ptr(state_dtype, **c),  # state1
+        ptr(state_dtype, **c),  # state2
+        i64,                    # n_s
+        i64,                    # capacity
+        i64,                    # is_raes
+        ptr(np.int32, **c),     # dest
+        ptr(state_dtype, **c),  # counts  [n_chunks, n_s]
+        ptr(np.int32, **c),     # toucheds [n_chunks, n_s]
+        ptr(np.uint8, **c),     # accs     [n_chunks, n_s]
+        ptr(np.int64, **c),     # n_acc
+        ptr(np.int32, **c),     # out_key
+        i64,                    # do_compact
+        ptr(np.int64, **c),     # cur
+        ptr(np.int64, **c),     # seg_start
+        ptr(np.int64, **c),     # seg_end
+        i64,                    # n_chunks
+        ptr(np.int64, **c),     # chunk_starts [n_chunks + 1]
+        ptr(np.int64, **c),     # n_keep
+        i64,                    # n_threads
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Registry / gate
 # ---------------------------------------------------------------------------
@@ -493,7 +848,17 @@ _REGISTRY: dict[str, Kernel] = {
     "cext": CextKernel(),
 }
 
-_warned: set[str] = set()
+# Warn-once state for fallback warnings, keyed per (gate, threads):
+# "numba is missing" at threads=1 and "numba is missing" at threads=4
+# are different operational problems (the second also loses the thread
+# budget), so each key warns independently — but only once.
+_warned: set[tuple[str, int]] = set()
+
+
+def _warn_once(key: tuple[str, int], message: str) -> None:
+    if key not in _warned:
+        _warned.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def available_kernels() -> list[str]:
@@ -501,12 +866,15 @@ def available_kernels() -> list[str]:
     return [name for name, k in _REGISTRY.items() if k.available()]
 
 
-def resolve_kernel(name: str | None = None) -> Kernel:
+def resolve_kernel(name: str | None = None, threads: int | None = None) -> Kernel:
     """Resolve the runtime gate: argument > ``REPRO_KERNELS`` > numpy.
 
     Unknown names raise; known-but-unavailable ones (numba not
-    installed, no C compiler) warn once per process and fall back to
-    the numpy reference so minimal installs keep working.
+    installed, no C compiler) warn once per (gate, threads) and fall
+    back to the numpy reference so minimal installs keep working.
+    ``threads`` only keys the warn-once state (callers that resolved a
+    thread budget pass it through); it never changes which kernel is
+    returned.
     """
     requested = name or os.environ.get(KERNELS_ENV) or DEFAULT_KERNEL
     requested = requested.strip().lower()
@@ -517,16 +885,78 @@ def resolve_kernel(name: str | None = None) -> Kernel:
             f"unknown kernel {requested!r}; known: {sorted(_REGISTRY)}"
         ) from None
     if not kern.available():
-        if requested not in _warned:
-            _warned.add(requested)
-            warnings.warn(
-                f"repro kernel {requested!r} is unavailable on this install; "
-                f"falling back to the numpy reference path",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        _warn_once(
+            (requested, resolve_threads(threads)),
+            f"repro kernel {requested!r} is unavailable on this install; "
+            f"falling back to the numpy reference path",
+        )
         return _REGISTRY["numpy"]
     return kern
+
+
+def resolve_threads(threads: int | None = None) -> int:
+    """Resolve the kernel thread budget: argument > ``REPRO_KERNEL_THREADS`` > 1.
+
+    Threads partition *trials*, never a single trial, and only the
+    compiled kernels honour them (the numpy reference loop is
+    single-threaded by design; it silently runs with 1).  Process-pool
+    workers reset the environment half to 1 (see
+    :mod:`repro.parallel.pool`), so an environment-wide budget never
+    multiplies into processes × threads oversubscription — an explicit
+    argument still wins there.
+    """
+    if threads is None:
+        raw = os.environ.get(THREADS_ENV)
+        if not raw:
+            return 1
+        try:
+            threads = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{THREADS_ENV} must be a positive integer; got {raw!r}"
+            ) from None
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"kernel threads must be >= 1; got {threads}")
+    return threads
+
+
+def resolve_threaded_round(kern: Kernel, threads: int) -> Callable | None:
+    """``kern``'s trial-partitioned entry for ``threads`` > 1, or None.
+
+    When the kernel has no threaded path on this install (OpenMP
+    compile-probe failed, numba without a threaded build), warns once
+    per (gate, threads) — the run then proceeds on the sequential
+    kernel with identical results.
+    """
+    fn = kern.threaded_round_fn(threads)
+    if fn is None:
+        reason = getattr(kern, "_mt_error", None)
+        detail = f" ({reason})" if reason is not None else ""
+        _warn_once(
+            (kern.name, threads),
+            f"repro kernel {kern.name!r} has no threaded path on this "
+            f"install{detail}; running the threads={threads} request on "
+            f"the sequential kernel (identical results, no speedup)",
+        )
+    return fn
+
+
+def trial_chunks(n_active: int, n_chunks: int, out: np.ndarray) -> np.ndarray:
+    """Balanced partition of ``n_active`` trials into ``n_chunks`` chunks.
+
+    Writes the ``n_chunks + 1`` boundary array into ``out`` and returns
+    the filled view.  Purely a function of its arguments — chunking is
+    data, which is what makes the threaded kernels deterministic.
+    """
+    bounds = out[: n_chunks + 1]
+    base, rem = divmod(n_active, n_chunks)
+    bounds[0] = 0
+    sizes = bounds[1:]
+    sizes[:] = base
+    sizes[:rem] += 1
+    np.cumsum(sizes, out=sizes)
+    return bounds
 
 
 def block_clients_for(n_clients: int, n_edges: int) -> int:

@@ -13,7 +13,7 @@ pytest-benchmark suite in ``benchmarks/``; the CLI exists for quick
 interactive regeneration of a single table.
 
 Every ``run`` flag maps 1:1 onto a :class:`repro.plan.RunPlan` axis
-(``--backend``/``--kernel`` → ``BackendSpec``, ``--share-graph``/
+(``--backend``/``--kernel``/``--kernel-threads`` → ``BackendSpec``, ``--share-graph``/
 ``--graph-cache`` → ``GraphSpec``, ``--processes`` → ``ExecSpec``,
 ``--results`` → ``ResultSpec``, ``--trials``/``--seed`` → grid scale
 and seed policy).  Which axes an experiment supports comes from its
@@ -48,6 +48,7 @@ def run_experiment(
     graph_cache: str | None = None,
     results: str | None = None,
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
@@ -69,6 +70,7 @@ def run_experiment(
         "graph_cache": graph_cache,
         "results": results,
         "kernel": kernel,
+        "kernel_threads": kernel_threads,
     }
     for name, value in overrides.items():
         if value is None:
@@ -81,6 +83,12 @@ def run_experiment(
             # documented mechanism for kernel-agnostic runners (their
             # engines read it at call time) — so the override *is*
             # applied; warning "ignored" here would be wrong.
+            continue
+        if name == "kernel_threads" and os.environ.get(
+            "REPRO_KERNEL_THREADS"
+        ) == str(value):
+            # Same story for the thread budget: already exported via
+            # REPRO_KERNEL_THREADS for serial kernel-agnostic runners.
             continue
         warnings.warn(
             f"{spec.id} does not support the {name!r} override "
@@ -132,6 +140,12 @@ def _cmd_run(args) -> int:
         # The engine reads the gate at call time, and forked pool
         # workers inherit the environment — one setting covers both.
         os.environ["REPRO_KERNELS"] = args.kernel
+    if args.kernel_threads:
+        # Serial runs read this at call time; pool workers reset it to
+        # 1, so pooled threading needs the plan-level budget — which is
+        # exactly what kernel-capable experiments get via
+        # BackendSpec.threads below.
+        os.environ["REPRO_KERNEL_THREADS"] = str(args.kernel_threads)
     target = args.experiment.lower()
     if target == "ablations":
         rows, meta, title = _run_ablations(args)
@@ -155,6 +169,7 @@ def _cmd_run(args) -> int:
             graph_cache=args.graph_cache,
             results=args.results,
             kernel=args.kernel,
+            kernel_threads=args.kernel_threads,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -231,6 +246,20 @@ def main(argv=None) -> int:
         "worker) and sets REPRO_KERNELS for everything else.  All "
         "are bit-identical; unavailable ones fall back to numpy "
         "with a warning.",
+    )
+    p_run.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=None,
+        metavar="T",
+        help="trial-partitioned thread budget for the compiled round "
+        "kernels (OpenMP cext / numba prange): trials are split into T "
+        "chunks per round and run in parallel.  Bit-identical results "
+        "at every T.  Maps onto the plan's BackendSpec.threads for "
+        "kernel-capable experiments (travels inside the pickled "
+        "worker, capped so threads x processes stays within the core "
+        "count) and sets REPRO_KERNEL_THREADS for everything else; "
+        "pool workers default to 1 to avoid oversubscription.",
     )
     p_run.add_argument(
         "--results",

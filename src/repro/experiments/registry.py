@@ -25,7 +25,7 @@ __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"
 #: Overrides every runner accepts (Monte-Carlo scale and dispatch).
 _COMMON = ("trials", "seed", "processes")
 #: The sweep runners' full plan-axis surface.
-_SWEEP = _COMMON + ("backend", "graph_cache", "results", "kernel")
+_SWEEP = _COMMON + ("backend", "graph_cache", "results", "kernel", "kernel_threads")
 
 
 def _smoke(**kwargs) -> Mapping:

@@ -121,7 +121,10 @@ def _saer_run_record(graph, point: Mapping, p_seed) -> dict:
     }
 
 
-def _saer_batch_block(graph, point: Mapping, p_seeds, kernel: str | None = None) -> ResultBlock:
+def _saer_batch_block(
+    graph, point: Mapping, p_seeds, kernel: str | None = None,
+    threads: int | None = None,
+) -> ResultBlock:
     """One batched-engine trial block on ``graph`` → a columnar
     :class:`~repro.batch.results.ResultBlock` (field-for-field the
     schema of :func:`_saer_run_record`, built straight from the engine's
@@ -131,8 +134,9 @@ def _saer_batch_block(graph, point: Mapping, p_seeds, kernel: str | None = None)
     Runs on the worker's persistent engine buffers
     (:func:`repro.parallel.pool.worker_state`), so a process sweeping
     many grid points allocates its staging arrays, received slab, and
-    RNG read-ahead once.  ``kernel`` pins the round-kernel gate
-    (``None`` defers to ``REPRO_KERNELS``).
+    RNG read-ahead once.  ``kernel`` pins the round-kernel gate and
+    ``threads`` the compiled kernel's trial-partitioned thread budget
+    (``None`` defers to ``REPRO_KERNELS`` / ``REPRO_KERNEL_THREADS``).
     """
     opts = RunOptions(max_rounds=point.get("max_rounds"))
     p_seeds = list(p_seeds)
@@ -143,6 +147,7 @@ def _saer_batch_block(graph, point: Mapping, p_seeds, kernel: str | None = None)
         seeds=p_seeds,
         options=opts,
         kernel=kernel,
+        threads=threads,
         buffers=worker_state().engine_buffers,
     )
     rep = degree_report(graph)
@@ -171,7 +176,7 @@ _SAER_WORK = WorkSpec(record=_saer_run_record, batch=_saer_batch_block, name="sa
 
 def _saer_plan(
     grid, *, trials, seed, processes, backend="reference", graph=None,
-    graph_cache=None, results="columnar", kernel=None,
+    graph_cache=None, results="columnar", kernel=None, kernel_threads=None,
 ) -> RunPlan:
     """Map the historical SAER-runner kwargs onto a :class:`RunPlan`.
 
@@ -179,7 +184,10 @@ def _saer_plan(
     :class:`~repro.parallel.SharedGraph`) pins one topology for every
     (point, trial) and ships it to workers zero-copy; ``graph_cache``
     routes worker-side graph builds through the on-disk cache.  The two
-    are exclusive (a pinned graph is never rebuilt).
+    are exclusive (a pinned graph is never rebuilt).  ``kernel_threads``
+    is the compiled round kernel's trial-partitioned thread budget
+    (bit-identical at every count; capped by ``execute`` so threads ×
+    processes stays within the core budget).
     """
     if backend not in ("reference", "batched"):
         raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
@@ -194,9 +202,14 @@ def _saer_plan(
         work=_SAER_WORK,
         trials=trials,
         seeds=SeedSpec(root=seed),
-        # The kernel gate only exists on the batched engine; reference
-        # runs ignore it (matching the old REPRO_KERNELS env behaviour).
-        backend=BackendSpec(name=backend, kernel=kernel if backend == "batched" else None),
+        # The kernel gate and thread budget only exist on the batched
+        # engine; reference runs ignore them (matching the old
+        # REPRO_KERNELS / REPRO_KERNEL_THREADS env behaviour).
+        backend=BackendSpec(
+            name=backend,
+            kernel=kernel if backend == "batched" else None,
+            threads=kernel_threads if backend == "batched" else None,
+        ),
         graph=gspec,
         execution=ExecSpec(processes=processes),
         results=ResultSpec(mode=results),
@@ -205,7 +218,7 @@ def _saer_plan(
 
 def _saer_sweep(
     grid, *, trials, seed, processes, backend, graph=None, graph_cache=None,
-    results="columnar", kernel=None,
+    results="columnar", kernel=None, kernel_threads=None,
 ):
     """Deprecated shim: build the :class:`RunPlan` and execute it.
 
@@ -217,6 +230,7 @@ def _saer_sweep(
         _saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph=graph, graph_cache=graph_cache, results=results, kernel=kernel,
+            kernel_threads=kernel_threads,
         )
     )
 
@@ -232,12 +246,14 @@ def run_e01_completion(
     graph_cache: str | None = None,
     results: str = "columnar",
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
+        kernel_threads=kernel_threads,
     ))
     table = as_table(recs)  # row assembly reads typed columns, not dicts
     rows = []
@@ -285,12 +301,14 @@ def run_e02_work(
     graph_cache: str | None = None,
     results: str = "columnar",
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
+        kernel_threads=kernel_threads,
     ))
     table = as_table(recs)
     rows = []
@@ -541,6 +559,7 @@ def run_e06_c_threshold(
     graph_cache: str | None = None,
     results: str = "columnar",
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale.
 
@@ -569,6 +588,7 @@ def run_e06_c_threshold(
         graph_cache=None if share_graph else graph_cache,
         results=results,
         kernel=kernel,
+        kernel_threads=kernel_threads,
     ))
     table = as_table(recs)
     rows = []
@@ -620,6 +640,7 @@ def run_e07_degree_sweep(
     graph_cache: str | None = None,
     results: str = "columnar",
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -639,6 +660,7 @@ def run_e07_degree_sweep(
         table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
+            kernel_threads=kernel_threads,
         )))
         all_recs.extend(table)
         completed = table.column("completed").astype(bool)
@@ -678,6 +700,7 @@ def run_e08_almost_regular(
     graph_cache: str | None = None,
     results: str = "columnar",
     kernel: str | None = None,
+    kernel_threads: int | None = None,
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -710,6 +733,7 @@ def run_e08_almost_regular(
         table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
+            kernel_threads=kernel_threads,
         )))
         all_recs.extend(table)
         rows.append(
@@ -720,6 +744,7 @@ def run_e08_almost_regular(
     table = as_table(execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
+        kernel_threads=kernel_threads,
     )))
     all_recs.extend(table)
     rows.append(_row("paper_extremal (√n clients, O(1) servers)", table))

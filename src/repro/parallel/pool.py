@@ -40,6 +40,19 @@ staging arrays, the received slab, and the RNG read-ahead slab across
 every grid point the process executes instead of reallocating per
 task.  (Serial runs get the same object in the parent — reuse is free
 there too.)
+
+Kernel threads under pooled dispatch
+------------------------------------
+The compiled round kernels have their own thread axis
+(``REPRO_KERNEL_THREADS`` / ``threads=``; see
+:mod:`repro.batch.kernels`).  Threads *multiply* processes, so a pool
+worker inheriting an environment-wide thread budget would oversubscribe
+the machine (processes × threads runnable threads).  Every pool spawned
+here therefore resets ``REPRO_KERNEL_THREADS`` to 1 inside its workers:
+the environment gate parallelizes serial runs, while pooled runs thread
+their kernels only through an explicit budget that travels in the task
+callable (e.g. ``BackendSpec.threads``, which :func:`repro.plan.execute`
+caps so threads × processes stays within the core count).
 """
 
 from __future__ import annotations
@@ -98,6 +111,23 @@ def default_processes(n_tasks: int) -> int:
     return max(1, min(n_tasks, cores - 2 if cores > 2 else 1))
 
 
+def _pool_worker_init(initializer: Callable | None, initargs: tuple) -> None:
+    """Initializer run in every pool worker before its first task.
+
+    Defaults the kernel thread gate to 1 (processes are the outer
+    parallel axis here; an inherited ``REPRO_KERNEL_THREADS`` would
+    multiply into processes × threads oversubscription — an explicit
+    ``threads=`` argument travelling in the task callable still wins),
+    then chains the caller's own initializer (e.g. the zero-copy graph
+    installer).
+    """
+    from ..batch.kernels import THREADS_ENV
+
+    os.environ[THREADS_ENV] = "1"
+    if initializer is not None:
+        initializer(*initargs)
+
+
 def map_parallel(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -122,7 +152,9 @@ def map_parallel(
     if nproc <= 1:
         return [fn(x) for x in items]
     with ProcessPoolExecutor(
-        max_workers=nproc, initializer=initializer, initargs=initargs
+        max_workers=nproc,
+        initializer=_pool_worker_init,
+        initargs=(initializer, initargs),
     ) as pool:
         return list(pool.map(fn, items, chunksize=max(1, chunksize)))
 

@@ -58,6 +58,7 @@ there is then no graph seed to build from.
 from __future__ import annotations
 
 import inspect
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
@@ -94,13 +95,20 @@ class BackendSpec:
     trial-vectorized ``"batched"`` engine; ``kernel`` optionally pins
     the batched engine's round-kernel implementation (``numpy`` /
     ``cext`` / ``numba`` / ``python``; ``None`` defers to the
-    ``REPRO_KERNELS`` environment gate).  The kernel travels inside the
-    pickled worker, so it reaches pool processes without environment
-    plumbing.
+    ``REPRO_KERNELS`` environment gate).  ``threads`` is the compiled
+    kernel's trial-partitioned thread budget (``None`` defers to
+    ``REPRO_KERNEL_THREADS``; results are bit-identical at every
+    thread count).  Both travel inside the pickled worker, so they
+    reach pool processes without environment plumbing — and because
+    pool workers reset the environment half of the thread gate to 1,
+    ``threads`` is *the* way to thread kernels under pooled dispatch
+    (:func:`execute` additionally caps it so threads × processes never
+    exceeds the machine's cores).
     """
 
     name: str = "reference"
     kernel: str | None = None
+    threads: int | None = None
 
     def validate(self) -> None:
         if self.name not in _BACKENDS:
@@ -115,6 +123,16 @@ class BackendSpec:
             if self.name != "batched":
                 raise PlanError(
                     "kernel= only applies to the batched backend "
+                    f"(got backend={self.name!r})"
+                )
+        if self.threads is not None:
+            if not isinstance(self.threads, int) or self.threads < 1:
+                raise PlanError(
+                    f"backend threads must be a positive int; got {self.threads!r}"
+                )
+            if self.name != "batched":
+                raise PlanError(
+                    "threads= only applies to the batched backend "
                     f"(got backend={self.name!r})"
                 )
 
@@ -289,6 +307,7 @@ class RunPlan:
             "trials": self.trials,
             "backend": self.backend.name,
             "kernel": self.backend.kernel,
+            "threads": self.backend.threads,
             "graph": self.graph.mode,
             "exec": self.execution.mode,
             "processes": self.execution.resolve_processes(),
@@ -321,17 +340,18 @@ class RunPlan:
             raise PlanError(
                 "backend 'batched' needs work.batch (a block-of-trials callable)"
             )
-        if (
-            self.backend.kernel is not None
-            and self.work.batch is not None
-            and not _accepts_kernel(self.work.batch)
-        ):
-            # Fail here rather than as a TypeError inside a pool worker.
-            raise PlanError(
-                f"backend.kernel={self.backend.kernel!r} is set but work.batch "
-                f"({getattr(self.work.batch, '__name__', self.work.batch)!r}) "
-                "does not accept a kernel= keyword"
-            )
+        for kw, value in (("kernel", self.backend.kernel), ("threads", self.backend.threads)):
+            if (
+                value is not None
+                and self.work.batch is not None
+                and not _accepts_kw(self.work.batch, kw)
+            ):
+                # Fail here rather than as a TypeError inside a pool worker.
+                raise PlanError(
+                    f"backend.{kw}={value!r} is set but work.batch "
+                    f"({getattr(self.work.batch, '__name__', self.work.batch)!r}) "
+                    f"does not accept a {kw}= keyword"
+                )
         if self.seeds.mode == "direct" and self.graph.mode != "pinned":
             raise PlanError(
                 "seed mode 'direct' needs a pinned graph (there is no graph "
@@ -344,13 +364,13 @@ class RunPlan:
             )
 
 
-def _accepts_kernel(fn: Callable) -> bool:
-    """Whether ``fn`` can receive the ``kernel=`` keyword."""
+def _accepts_kw(fn: Callable, name: str) -> bool:
+    """Whether ``fn`` can receive the ``name=`` keyword."""
     try:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # builtins/extensions: assume yes
         return True
-    return "kernel" in params or any(
+    return name in params or any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
 
@@ -419,6 +439,7 @@ class BatchWorker:
         builder: Callable | None = None,
         cache_dir: str | None = None,
         kernel: str | None = None,
+        threads: int | None = None,
     ):
         self.batch = batch
         self.pinned = pinned
@@ -426,6 +447,7 @@ class BatchWorker:
         self.builder = builder or build_point_graph
         self.cache_dir = cache_dir
         self.kernel = kernel
+        self.threads = threads
 
     def __call__(self, *task):
         if self.pinned:
@@ -441,14 +463,44 @@ class BatchWorker:
         if not self.pinned:
             g_seed = pairs[0][0] if pairs else None
             graph = self.builder(point, g_seed, self.cache_dir)
+        kwargs = {}
         if self.kernel is not None:
-            return self.batch(graph, point, p_seeds, kernel=self.kernel)
-        return self.batch(graph, point, p_seeds)
+            kwargs["kernel"] = self.kernel
+        if self.threads is not None:
+            # Travels in the pickled worker: an explicit plan-level
+            # thread budget reaches pool processes even though their
+            # REPRO_KERNEL_THREADS environment half is reset to 1.
+            kwargs["threads"] = self.threads
+        return self.batch(graph, point, p_seeds, **kwargs)
 
 
 # ---------------------------------------------------------------------------
 # The single entry point.
 # ---------------------------------------------------------------------------
+
+
+def _capped_threads(plan: RunPlan) -> int | None:
+    """The plan's kernel-thread budget, capped against its process count.
+
+    Threads multiply processes — an explicit ``BackendSpec(threads=8)``
+    on an 8-core box dispatched to an 8-worker pool would run 64
+    runnable threads.  The cap keeps threads × processes at or below
+    the core count (serial runs keep the full budget); the capped value
+    travels inside the pickled worker.
+    """
+    threads = plan.backend.threads
+    if threads is None or threads <= 1:
+        return threads
+    from .parallel.pool import default_processes
+
+    nproc = plan.execution.resolve_processes()
+    if nproc is None:
+        # The batched backend dispatches one task per grid point.
+        nproc = default_processes(len(plan.points()))
+    if nproc <= 1:
+        return threads
+    cores = os.cpu_count() or 1
+    return max(1, min(threads, cores // nproc))
 
 
 def execute(plan: RunPlan):
@@ -475,6 +527,7 @@ def execute(plan: RunPlan):
             builder=plan.graph.builder,
             cache_dir=cache_dir,
             kernel=plan.backend.kernel,
+            threads=_capped_threads(plan),
         )
         sweep_backend = "batched"
     else:

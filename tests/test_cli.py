@@ -118,6 +118,39 @@ class TestMainBackendFlag:
                        "--kernel", "numpy"])
         assert rc == 0
 
+    def test_kernel_threads_forwarded_where_declared(self, monkeypatch):
+        captured = {}
+
+        def spy(trials=1, seed=None, processes=None, kernel_threads=None):
+            captured["kernel_threads"] = kernel_threads
+            return [], {}
+
+        monkeypatch.setattr(runner_mod, "run_e01_completion", spy)
+        run_experiment("E1", kernel_threads=2)
+        assert captured["kernel_threads"] == 2
+
+    def test_kernel_threads_flag_maps_onto_plan(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+        rc = main(
+            ["run", "E1", "--trials", "2", "--seed", "4", "--processes", "1",
+             "--backend", "batched", "--kernel", "numpy",
+             "--kernel-threads", "2"]
+        )
+        assert rc == 0
+        assert "Completion time" in capsys.readouterr().out
+
+    def test_kernel_threads_on_env_gated_runner_does_not_warn(self, monkeypatch):
+        import warnings as warnings_mod
+
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+        # E5 has no kernel_threads capability; the env gate set by
+        # _cmd_run is the documented mechanism there — no warning.
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            rc = main(["run", "E5", "--trials", "2", "--processes", "1",
+                       "--kernel-threads", "2"])
+        assert rc == 0
+
 
 class TestGraphFlags:
     def test_share_graph_and_cache_forwarded(self, capsys, tmp_path):

@@ -24,12 +24,18 @@ from repro.batch import (
     EngineBuffers,
     available_kernels,
     resolve_kernel,
+    resolve_threads,
     run_trials_batched,
 )
 from repro.batch.kernels import (
     KERNELS_ENV,
     RNG_BLOCK,
+    THREADS_ENV,
+    _round_loops,
+    _round_loops_mt,
+    block_clients_for,
     fill_uniforms,
+    trial_chunks,
 )
 from repro.core.config import ProtocolParams, RunOptions
 from repro.graphs import near_regular, random_regular_bipartite, trust_subsets
@@ -49,7 +55,9 @@ RESULT_FIELDS = (
 COMPILED = [k for k in available_kernels() if k != "numpy"]
 
 
-def assert_kernels_match(graph, params, policy, seeds, *, demands=None, options=None):
+def assert_kernels_match(
+    graph, params, policy, seeds, *, demands=None, options=None, threads=None
+):
     """Every available kernel must reproduce the numpy path bit-for-bit."""
     ref = run_trials_batched(
         graph, params, policy, seeds=seeds, demands=demands, options=options,
@@ -58,14 +66,16 @@ def assert_kernels_match(graph, params, policy, seeds, *, demands=None, options=
     for name in COMPILED:
         got = run_trials_batched(
             graph, params, policy, seeds=seeds, demands=demands, options=options,
-            kernel=name,
+            kernel=name, threads=threads,
         )
         for f in RESULT_FIELDS:
             assert np.array_equal(getattr(ref, f), getattr(got, f)), (
-                f"{name} kernel diverges on {f}: "
+                f"{name} kernel (threads={threads}) diverges on {f}: "
                 f"{getattr(got, f)} != {getattr(ref, f)}"
             )
-        assert np.array_equal(ref.loads, got.loads), f"{name} kernel diverges on loads"
+        assert np.array_equal(ref.loads, got.loads), (
+            f"{name} kernel (threads={threads}) diverges on loads"
+        )
     return ref
 
 
@@ -202,7 +212,7 @@ class TestKernelGate:
                 return False
 
         monkeypatch.setitem(kmod._REGISTRY, "numba", Missing())
-        kmod._warned.discard("numba")
+        monkeypatch.setattr(kmod, "_warned", set())
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             kern = resolve_kernel("numba")
@@ -329,3 +339,363 @@ class TestFillUniforms:
             want = make_rng(s).random(sum(len(seg) for seg in served[t]))
             got = np.concatenate(served[t])
             assert np.array_equal(got, want), f"trial {t} stream diverged"
+
+
+# ---------------------------------------------------------------------------
+# Threaded kernels: the trial-partitioned path must be bit-identical at
+# every gate × thread-count combination.
+# ---------------------------------------------------------------------------
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+class TestThreadedParity:
+    """Gate × threads ∈ {1, 2, 4} × graph-family bit-identity matrix.
+
+    Each cell re-runs the full result comparison against the numpy
+    reference; ``threads=1`` pins that the threaded plumbing collapses
+    cleanly, >1 pins that chunked execution (OpenMP for cext, prange
+    for numba, interpreted chunks for python) changes nothing.
+    """
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("policy", ["saer", "raes"])
+    def test_regular_graph(self, regular_graph, policy, threads):
+        assert_kernels_match(
+            regular_graph, ProtocolParams(c=1.5, d=4), policy,
+            spawn_seeds(11, 5), threads=threads,
+        )
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("policy", ["saer", "raes"])
+    def test_irregular_graphs(self, trust_graph, policy, threads):
+        assert_kernels_match(
+            trust_graph, ProtocolParams(c=1.5, d=4), policy,
+            spawn_seeds(13, 4), threads=threads,
+        )
+        nr = near_regular(96, 6, 18, seed=3)
+        assert_kernels_match(
+            nr, ProtocolParams(c=1.5, d=3), policy, spawn_seeds(17, 4),
+            threads=threads,
+        )
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_cap_hit(self, regular_graph, threads):
+        ref = assert_kernels_match(
+            regular_graph,
+            ProtocolParams(c=1.0, d=4),
+            "saer",
+            spawn_seeds(19, 4),
+            options=RunOptions(max_rounds=3),
+            threads=threads,
+        )
+        assert not ref.completed.all()
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_sparse_tail(self, threads):
+        # one ball per client: the sparse Phase-2 branch from round one
+        g = random_regular_bipartite(160, 8, seed=6)
+        demands = np.ones(160, dtype=np.int64)
+        assert_kernels_match(
+            g, ProtocolParams(c=2.0, d=4), "saer", spawn_seeds(7, 5),
+            demands=demands, threads=threads,
+        )
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_dense_branch(self, threads):
+        # tiny server side: every round takes the dense (full-sweep) path
+        g = random_regular_bipartite(24, 6, seed=4)
+        assert_kernels_match(
+            g, ProtocolParams(c=1.5, d=4), "saer", spawn_seeds(5, 8),
+            threads=threads,
+        )
+
+    def test_threads_exceeding_trials(self, regular_graph):
+        # more chunks requested than trials: clamped, still identical
+        assert_kernels_match(
+            regular_graph, ProtocolParams(c=1.5, d=4), "saer",
+            spawn_seeds(23, 3), threads=16,
+        )
+
+    def test_single_trial(self, regular_graph):
+        assert_kernels_match(
+            regular_graph, ProtocolParams(c=1.5, d=4), "saer",
+            spawn_seeds(29, 1), threads=4,
+        )
+
+    def test_buffers_reused_across_thread_counts(self, regular_graph):
+        """One EngineBuffers pool serving 1/2/4-thread runs in sequence
+        (the per-chunk scratch grows and re-slices) never changes results."""
+        bufs = EngineBuffers()
+        params = ProtocolParams(c=1.5, d=4)
+        seeds = spawn_seeds(31, 4)
+        ref = run_trials_batched(regular_graph, params, "saer", seeds=seeds)
+        for name in COMPILED:
+            for threads in (4, 1, 2, 4):
+                got = run_trials_batched(
+                    regular_graph, params, "saer", seeds=seeds, kernel=name,
+                    threads=threads, buffers=bufs,
+                )
+                assert np.array_equal(ref.loads, got.loads), (name, threads)
+
+
+class TestRandomPartitions:
+    """Hypothesis: ANY trial partition through the threaded compaction
+    path — uneven chunks, empty chunks, a single chunk, one trial —
+    reproduces the sequential loops exactly: same survivor keys in
+    canonical (trial-major, client-major) order, same per-trial accept
+    counts, same policy state.  Uniform consumption is positional (the
+    kernel reads exactly ``u[seg_start[a]:seg_end[a]]`` per trial), so
+    byte-equal outputs on a shared ``u`` pin it too.
+    """
+
+    @staticmethod
+    def _one_round_case(n, degree, d, R, frac_pct, seed):
+        g = random_regular_bipartite(n, degree, seed=seed)
+        n_s = g.n_servers
+        indptr = g.client_indptr.astype(np.int32)
+        indices = g.client_indices.astype(np.int32)
+        degrees = np.diff(indptr).astype(np.int32)
+        rng = np.random.default_rng(seed)
+        # demands with many zeros so small totals hit the sparse branch
+        dem = rng.integers(0, d + 1, size=n) * (rng.random(n) < frac_pct / 100.0)
+        if not dem.sum():
+            dem[0] = 1
+        template = np.repeat(np.arange(n, dtype=np.int32) * np.int32(degree), dem)
+        k = template.size
+        ball_key = np.tile(template, R)
+        u = rng.random(k * R)
+        return dict(
+            n=n, n_s=n_s, degree=degree, indptr=indptr, degrees=degrees,
+            indices=indices, k=k, R=R, ball_key=ball_key, u=u,
+            block_clients=block_clients_for(n, g.n_edges),
+        )
+
+    @staticmethod
+    def _run_seq(case, capacity, is_raes):
+        R, n_s, B = case["R"], case["n_s"], case["ball_key"].size
+        state1 = np.zeros((R, n_s), np.int64)
+        state2 = np.zeros((R, n_s), np.int64)
+        n_acc = np.zeros(R, np.int64)
+        out_key = np.full(B, -1, np.int32)
+        out = _round_loops(
+            case["u"], case["ball_key"],
+            np.arange(R, dtype=np.int64), np.full(R, case["k"], np.int64),
+            case["degree"], case["indptr"], case["degrees"], case["indices"],
+            case["n"], case["block_clients"], state1, state2, capacity,
+            is_raes, np.empty(B, np.int32), np.zeros(n_s, np.int64),
+            np.empty(n_s, np.int32), np.zeros(n_s, np.uint8), n_acc,
+            out_key, 1, np.empty(R, np.int64), np.empty(R, np.int64),
+            np.empty(R, np.int64),
+        )
+        return int(out), out_key, n_acc, state1, state2
+
+    @staticmethod
+    def _run_mt(case, capacity, is_raes, chunk_starts):
+        R, n_s, B = case["R"], case["n_s"], case["ball_key"].size
+        T = chunk_starts.size - 1
+        state1 = np.zeros((R, n_s), np.int64)
+        state2 = np.zeros((R, n_s), np.int64)
+        n_acc = np.zeros(R, np.int64)
+        n_keep = np.zeros(R, np.int64)
+        out_key = np.full(B, -1, np.int32)
+        out = _round_loops_mt(
+            case["u"], case["ball_key"],
+            np.arange(R, dtype=np.int64), np.full(R, case["k"], np.int64),
+            case["degree"], case["indptr"], case["degrees"], case["indices"],
+            case["n"], case["block_clients"], state1, state2, capacity,
+            is_raes, np.empty(B, np.int32), np.zeros((T, n_s), np.int64),
+            np.empty((T, n_s), np.int32), np.zeros((T, n_s), np.uint8),
+            n_acc, out_key, 1, np.empty(R, np.int64), np.empty(R, np.int64),
+            np.empty(R, np.int64), chunk_starts, n_keep,
+        )
+        return int(out), out_key, n_acc, state1, state2, n_keep
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=48),
+        degree=st.integers(min_value=2, max_value=6),
+        d=st.integers(min_value=1, max_value=4),
+        R=st.integers(min_value=1, max_value=6),
+        frac_pct=st.integers(min_value=5, max_value=100),
+        capacity=st.integers(min_value=1, max_value=8),
+        is_raes=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=2**20),
+        data=st.data(),
+    )
+    def test_any_partition_matches_sequential(
+        self, n, degree, d, R, frac_pct, capacity, is_raes, seed, data
+    ):
+        degree = min(degree, n)
+        case = self._one_round_case(n, degree, d, R, frac_pct, seed)
+        n_chunks = data.draw(st.integers(min_value=1, max_value=R + 2))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=R),
+                    min_size=n_chunks - 1,
+                    max_size=n_chunks - 1,
+                )
+            )
+        )
+        chunk_starts = np.array([0] + cuts + [R], dtype=np.int64)
+        want = self._run_seq(case, capacity, is_raes)
+        got = self._run_mt(case, capacity, is_raes, chunk_starts)
+        assert got[0] == want[0], "survivor count diverged"
+        assert np.array_equal(got[1][: got[0]], want[1][: want[0]]), (
+            "canonical survivor order diverged"
+        )
+        assert np.array_equal(got[2], want[2]), "per-trial accept counts diverged"
+        assert np.array_equal(got[3], want[3]), "state1 diverged"
+        assert np.array_equal(got[4], want[4]), "state2 diverged"
+        assert int(got[5].sum()) == got[0]
+
+    def test_trial_chunks_partition_properties(self):
+        buf = np.empty(9, dtype=np.int64)
+        for A in (1, 2, 5, 8, 64):
+            for T in (1, 2, 3, 8):
+                b = trial_chunks(A, T, buf)
+                assert b[0] == 0 and b[-1] == A and b.size == T + 1
+                sizes = np.diff(b)
+                assert (sizes >= 0).all()
+                assert sizes.max() - sizes.min() <= 1  # balanced
+
+
+class TestThreadsGate:
+    """Resolution: argument > REPRO_KERNEL_THREADS env > 1."""
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(THREADS_ENV, raising=False)
+        assert resolve_threads() == 1
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV, "4")
+        assert resolve_threads() == 4
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV, "4")
+        assert resolve_threads(2) == 2
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="threads"):
+            resolve_threads(0)
+        with pytest.raises(ValueError, match="threads"):
+            resolve_threads(-3)
+        monkeypatch.setenv(THREADS_ENV, "lots")
+        with pytest.raises(ValueError, match=THREADS_ENV):
+            resolve_threads()
+
+    def test_env_gate_reaches_engine(self, regular_graph, monkeypatch):
+        monkeypatch.setenv(THREADS_ENV, "4")
+        params = ProtocolParams(c=1.5, d=4)
+        seeds = spawn_seeds(37, 3)
+        ref = run_trials_batched(regular_graph, params, "saer", seeds=seeds, kernel="numpy")
+        for name in COMPILED:
+            got = run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel=name
+            )
+            assert np.array_equal(ref.loads, got.loads), name
+
+    def test_numpy_gate_ignores_threads(self, regular_graph, monkeypatch):
+        """The numpy reference loop is single-threaded by design: a
+        thread budget on it is a silent no-op, never a warning."""
+        monkeypatch.delenv(THREADS_ENV, raising=False)
+        seeds = spawn_seeds(41, 3)
+        params = ProtocolParams(c=1.5, d=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            a = run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel="numpy",
+                threads=4,
+            )
+        b = run_trials_batched(regular_graph, params, "saer", seeds=seeds, kernel="numpy")
+        assert np.array_equal(a.loads, b.loads)
+
+
+class TestThreadedFallback:
+    """Missing threaded paths warn once per (gate, threads) and never
+    change results."""
+
+    def _fresh_cext_without_openmp(self, monkeypatch):
+        from repro.batch import kernels as kmod
+
+        real_load = kmod._load_cext_library
+
+        def probe_fails(openmp=False):
+            if openmp:
+                raise RuntimeError("stub: compiler has no -fopenmp")
+            return real_load()
+
+        kern = kmod.CextKernel()
+        monkeypatch.setattr(kmod, "_load_cext_library", probe_fails)
+        monkeypatch.setitem(kmod._REGISTRY, "cext", kern)
+        monkeypatch.setattr(kmod, "_warned", set())
+        return kmod
+
+    @pytest.mark.skipif(
+        "cext" not in COMPILED, reason="needs a working C compiler"
+    )
+    def test_openmp_probe_failure_falls_back_sequential(
+        self, regular_graph, monkeypatch
+    ):
+        self._fresh_cext_without_openmp(monkeypatch)
+        params = ProtocolParams(c=1.5, d=4)
+        seeds = spawn_seeds(43, 4)
+        ref = run_trials_batched(regular_graph, params, "saer", seeds=seeds, kernel="numpy")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel="cext",
+                threads=2,
+            )
+        msgs = [str(w.message) for w in caught]
+        assert any("no threaded path" in m for m in msgs), msgs
+        assert np.array_equal(ref.loads, got.loads)
+        # warn-once: an identical request stays silent...
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel="cext",
+                threads=2,
+            )
+        assert not any("no threaded path" in str(w.message) for w in caught)
+        # ...but a different thread count is a different key and warns.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_trials_batched(
+                regular_graph, params, "saer", seeds=seeds, kernel="cext",
+                threads=4,
+            )
+        assert any("no threaded path" in str(w.message) for w in caught)
+
+    def test_missing_numba_warn_keyed_per_gate_and_threads(self, monkeypatch):
+        from repro.batch import kernels as kmod
+
+        class Missing(kmod.Kernel):
+            name = "numba"
+            compiled = True
+
+            def available(self):
+                return False
+
+        monkeypatch.setitem(kmod._REGISTRY, "numba", Missing())
+        monkeypatch.setattr(kmod, "_warned", set())
+
+        def fallback_warns(threads):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                kern = resolve_kernel("numba", threads=threads)
+            assert kern.name == "numpy"
+            return any("unavailable" in str(w.message) for w in caught)
+
+        assert fallback_warns(2)          # first request at threads=2
+        assert not fallback_warns(2)      # warn-once per key
+        assert fallback_warns(4)          # new threads -> new key -> warns
+        assert fallback_warns(1)          # and the sequential key is its own
+        # a stubbed-out gate still executes end to end at a thread budget
+        g = random_regular_bipartite(16, 4, seed=0)
+        res = run_trials_batched(
+            g, ProtocolParams(c=2.0, d=2), "saer", n_trials=2, seed=1,
+            kernel="numba", threads=4,
+        )
+        assert res.n_trials == 2

@@ -57,6 +57,20 @@ def _noop_batch_kernel(graph, point, seeds, kernel=None):
     return [{"v": 0} for _ in seeds]
 
 
+def _noop_batch_full(graph, point, seeds, kernel=None, threads=None):
+    return [{"v": 0} for _ in seeds]
+
+
+def _probe_threads_batch(graph, point, seeds, kernel=None, threads=None):
+    """Worker-side probe: what thread budget would the engine resolve?"""
+    import os
+
+    from repro.batch.kernels import resolve_threads
+
+    eff = resolve_threads(threads)
+    return [{"eff_threads": eff, "worker_pid": os.getpid()} for _ in seeds]
+
+
 def _plan(**overrides) -> RunPlan:
     base = dict(
         grid=ParameterGrid(n=[64]),
@@ -96,6 +110,29 @@ class TestPlanValidation:
         # as a TypeError inside a pool worker.
         plan = _plan(backend=BackendSpec(name="batched", kernel="numpy"))
         with pytest.raises(PlanError, match="kernel= keyword"):
+            plan.validate()
+
+    def test_threads_require_batched(self):
+        with pytest.raises(PlanError, match="threads"):
+            _plan(backend=BackendSpec(name="reference", threads=2)).validate()
+
+    def test_threads_must_be_positive_int(self):
+        for bad in (0, -1, 2.5):
+            plan = _plan(
+                work=WorkSpec(record=_noop_record, batch=_noop_batch_full),
+                backend=BackendSpec(name="batched", threads=bad),
+            )
+            with pytest.raises(PlanError, match="threads"):
+                plan.validate()
+
+    def test_threads_need_threads_capable_batch_fn(self):
+        # _noop_batch_kernel takes kernel= but no threads= — fail at
+        # validate time, not as a TypeError inside a pool worker.
+        plan = _plan(
+            work=WorkSpec(record=_noop_record, batch=_noop_batch_kernel),
+            backend=BackendSpec(name="batched", threads=2),
+        )
+        with pytest.raises(PlanError, match="threads= keyword"):
             plan.validate()
 
     def test_cached_needs_dir(self):
@@ -239,6 +276,18 @@ class TestExecuteParityMatrix:
         ))
         assert list(recs) == GOLDEN["sweep/batched/generate"]
 
+    @pytest.mark.parametrize("kernel", [None, "python"])
+    def test_golden_holds_under_threads_4(self, kernel):
+        """BackendSpec(threads=4) must not move a single bit: the numpy
+        gate ignores threads, the compiled gates partition trials with
+        data-determined chunks — plan_golden.json pins both."""
+        recs = execute(R._saer_plan(
+            self._grid(), trials=self.TRIALS, seed=self.SEED, processes=1,
+            backend="batched", results="columnar", kernel=kernel,
+            kernel_threads=4,
+        ))
+        assert list(recs) == GOLDEN["sweep/batched/generate"]
+
 
 # Maps each golden rows/ entry back to its runner invocation.
 _ROW_RUNS = {
@@ -327,6 +376,69 @@ class TestCanonicalWorkers:
         )
         with pytest.raises(ValueError, match="3 trials"):
             execute(plan)
+
+
+class TestKernelThreadsDispatch:
+    """Oversubscription guard: pool workers default kernel threads to 1.
+
+    Threads multiply processes — an environment-wide
+    ``REPRO_KERNEL_THREADS`` inherited by pool workers would run
+    processes × threads runnable threads.  Pool worker initializers
+    reset the env gate to 1; only an explicit plan-level budget
+    (``BackendSpec.threads``, traveling in the pickled worker, capped
+    by ``execute`` against the process count) threads pooled kernels.
+    """
+
+    def _probe_plan(self, *, threads=None, mode="auto", processes=1):
+        return RunPlan(
+            grid=ParameterGrid(n=[16, 32]),
+            work=WorkSpec(record=_noop_record, batch=_probe_threads_batch),
+            trials=2,
+            seeds=SeedSpec(root=3),
+            backend=BackendSpec(name="batched", threads=threads),
+            execution=ExecSpec(mode=mode, processes=processes),
+        )
+
+    def test_pool_workers_default_to_one_thread(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
+        recs = execute(self._probe_plan(mode="pool", processes=2))
+        assert recs and all(r["eff_threads"] == 1 for r in recs)
+        assert any(r["worker_pid"] != __import__("os").getpid() for r in recs)
+
+    def test_serial_runs_keep_the_env_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
+        recs = execute(self._probe_plan(mode="serial"))
+        assert recs and all(r["eff_threads"] == 4 for r in recs)
+
+    def test_explicit_plan_budget_reaches_pool_workers_capped(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        recs = execute(self._probe_plan(threads=4, mode="pool", processes=2))
+        want = max(1, min(4, (os.cpu_count() or 1) // 2))
+        assert recs and all(r["eff_threads"] == want for r in recs)
+
+    def test_explicit_budget_uncapped_when_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        recs = execute(self._probe_plan(threads=4, mode="serial"))
+        assert recs and all(r["eff_threads"] == 4 for r in recs)
+
+    def test_monte_carlo_pool_workers_reset_env(self, monkeypatch):
+        """The reset is a map_parallel property, not a plan-layer one:
+        every pooled dispatch (monte_carlo included) gets it."""
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
+        recs = monte_carlo(
+            _mc_probe_block, 4, seed=0, processes=2, backend="batched",
+            batch_size=2,
+        )
+        assert recs and all(r["eff_threads"] == 1 for r in recs)
+
+
+def _mc_probe_block(seed_seqs, indices):
+    from repro.batch.kernels import resolve_threads
+
+    eff = resolve_threads(None)
+    return [{"eff_threads": eff} for _ in indices]
 
 
 class TestMonteCarloColumnar:
