@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The serving layer, end to end: micro-batched rounds over live traffic.
+
+The paper's SAER protocol is an offline object — T synchronous rounds
+over a fixed ball set.  `repro.serve` re-hosts the same round (uniform
+neighbor choice, ⌊c·d⌋ burn threshold, recovery, churn) behind a
+micro-batching service: clients submit balls whenever they like, a
+round fires every `tick` seconds or as soon as `max_batch` balls are
+pending, and every ball resolves to Assigned / Retry / Dropped.
+
+This demo walks the three ways in:
+
+  1. direct futures against an in-process `SaerService`,
+  2. a driven load-generator replay (Poisson vs adversarial hotspot),
+  3. the same traffic over the real NDJSON/TCP front end.
+
+Run:  python examples/serve_demo.py
+"""
+
+import asyncio
+
+import repro
+from repro.serve import SaerService, ServeConfig, ServingState, serve_tcp
+from repro.serve.loadgen import make_arrivals, run_inprocess, run_tcp, sample_trace
+
+
+def build_service(graph, **cfg) -> SaerService:
+    state = ServingState(graph, c=2.0, d=4, recovery=8, seed=7, track_tags=True)
+    cfg.setdefault("max_batch", 1 << 30)  # driven mode: rounds fire on demand
+    return SaerService(state, ServeConfig(**cfg))
+
+
+def part_1_futures(graph) -> None:
+    print("— 1. direct futures —")
+    svc = build_service(graph)
+    futures = svc.submit(client=3, balls=2) + svc.submit(client=40, balls=1)
+    svc.run_round()  # in driven mode we turn the crank ourselves
+    for fut in futures:
+        out = fut.result()
+        print(f"   ball → {out.outcome} server={out.server} "
+              f"latency={out.latency_rounds} round(s)")
+
+
+def part_2_loadgen(graph) -> None:
+    print("\n— 2. driven replay: Poisson vs adversarial hotspot —")
+    for kind in ("poisson", "hotspot"):
+        svc = build_service(graph, max_wait_rounds=64)
+        arrivals = make_arrivals(kind, 0.5, hot_fraction=0.01, hot_weight=0.9)
+        trace = sample_trace(arrivals, graph.n_clients, rounds=100, seed=11)
+        run = run_inprocess(svc, trace)
+        tally, lat = run["tally"], run["latencies"]
+        rate = tally["assigned"] / max(run["submitted"], 1)
+        p95 = float(sorted(lat)[int(0.95 * (lat.size - 1))]) if lat.size else float("nan")
+        print(f"   {kind:8s} {run['submitted']:6d} balls → "
+              f"{rate:6.1%} assigned, {tally['retry']} retried, "
+              f"p95 latency {p95:.0f} rounds")
+
+
+async def part_3_tcp(graph) -> None:
+    print("\n— 3. the same traffic over NDJSON/TCP —")
+    svc = build_service(graph, max_batch=4096, tick=0.005)
+    server = await serve_tcp(svc, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    trace = sample_trace(make_arrivals("poisson", 0.3), graph.n_clients, 30, seed=13)
+    run = await run_tcp("127.0.0.1", port, trace, tick=0.005, settle_s=30.0)
+    server.close()
+    await server.wait_closed()
+    await svc.shutdown()
+    print(f"   wire replay: {run['submitted']} balls, "
+          f"{run['tally']['assigned']} assigned over TCP in "
+          f"{run['wall_s']:.2f}s ({run['tally']['assigned'] / run['wall_s']:,.0f}/s)")
+    print("   (same protocol: `repro-lb serve --port 7070` speaks this to netcat)")
+
+
+def main() -> None:
+    graph = repro.graphs.trust_subsets(2000, 2000, 120, seed=5)
+    part_1_futures(graph)
+    part_2_loadgen(graph)
+    asyncio.run(part_3_tcp(graph))
+    print(
+        "\nThe hotspot trace is the adversarial case: 90% of arrivals on 1%\n"
+        "of clients.  SAER's uniform re-draw each round spreads even that\n"
+        "across the hot clients' whole trust set — overload sheds as\n"
+        "Retry(timeout) instead of collapsing the service."
+    )
+
+
+if __name__ == "__main__":
+    main()

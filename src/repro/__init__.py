@@ -18,7 +18,19 @@ Quickstart::
     print(res.rounds, res.work_per_client)
 """
 
-from . import agents, analysis, baselines, batch, core, dynamic, graphs, parallel, plan, theory
+from . import (
+    agents,
+    analysis,
+    baselines,
+    batch,
+    core,
+    dynamic,
+    graphs,
+    parallel,
+    plan,
+    serve,
+    theory,
+)
 from .batch import BatchResult, run_raes_batched, run_saer_batched, run_trials_batched
 from .core import (
     CoupledResult,
@@ -72,6 +84,7 @@ __all__ = [
     "analysis",
     "dynamic",
     "plan",
+    "serve",
     # execution-plan layer
     "RunPlan",
     "WorkSpec",

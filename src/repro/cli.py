@@ -7,6 +7,8 @@ Usage::
     repro-lb run E1 [--trials 10] [--seed 7] [--processes 8] [--csv out.csv]
     repro-lb run all
     repro-lb smoke
+    repro-lb serve [--n 4096 --port 7077 ...]
+    repro-lb loadgen [--mode inprocess|tcp ...]
 
 (Equivalently ``python -m repro.cli …``.)  The same runners back the
 pytest-benchmark suite in ``benchmarks/``; the CLI exists for quick
@@ -199,6 +201,19 @@ def _cmd_smoke(args) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The serving-layer tools own their argument surfaces (and `serve`
+    # blocks on an event loop), so they dispatch before the table
+    # parser; the stub subparsers below only provide --help visibility.
+    if argv and argv[0] == "serve":
+        from .serve.service import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from .serve.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-lb",
         description="Regenerate the experiment tables of the SAER reproduction.",
@@ -208,7 +223,7 @@ def main(argv=None) -> int:
     p_info = sub.add_parser("info", help="describe one experiment")
     p_info.add_argument("experiment", help="experiment id, e.g. E4")
     p_run = sub.add_parser("run", help="run an experiment and print its table")
-    p_run.add_argument("experiment", help="experiment id (E1..E12), 'ablations', or 'all'")
+    p_run.add_argument("experiment", help="experiment id (E1..E12, S1), 'ablations', or 'all'")
     p_run.add_argument("--trials", type=int, default=None, help="override trial count")
     p_run.add_argument("--seed", type=int, default=None, help="override root seed")
     p_run.add_argument(
@@ -298,6 +313,17 @@ def main(argv=None) -> int:
         default=None,
         metavar="IDS",
         help="comma-separated experiment ids to restrict to (e.g. E1,E6)",
+    )
+    sub.add_parser(
+        "serve",
+        help="serve live SAER assignment traffic over NDJSON/TCP "
+        "(repro-lb serve --help for its options)",
+    )
+    sub.add_parser(
+        "loadgen",
+        help="replay an arrival trace against the serving layer, in-process "
+        "or over TCP, and write BENCH_serve.json "
+        "(repro-lb loadgen --help for its options)",
     )
     args = parser.parse_args(argv)
     try:

@@ -18,7 +18,7 @@ This subpackage implements exactly that scenario:
 * metastability diagnostics on the backlog process (experiment E12).
 """
 
-from .arrivals import ArrivalProcess, BatchArrivals, PoissonArrivals
+from .arrivals import ArrivalProcess, BatchArrivals, HotspotArrivals, PoissonArrivals
 from .churn import RewireChurn
 from .simulator import DynamicResult, run_dynamic_saer
 
@@ -26,6 +26,7 @@ __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "BatchArrivals",
+    "HotspotArrivals",
     "RewireChurn",
     "DynamicResult",
     "run_dynamic_saer",

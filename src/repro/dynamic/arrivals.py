@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ArrivalProcess", "PoissonArrivals", "BatchArrivals"]
+__all__ = ["ArrivalProcess", "PoissonArrivals", "BatchArrivals", "HotspotArrivals"]
 
 
 class ArrivalProcess:
@@ -75,3 +76,48 @@ class BatchArrivals(ArrivalProcess):
 
     def expected_per_round(self, n_clients: int) -> float:
         return self.batch_size / self.period
+
+
+@dataclass(frozen=True)
+class HotspotArrivals(ArrivalProcess):
+    """Adversarial skew: a ``hot_fraction`` of clients absorbs
+    ``hot_weight`` of the Poisson arrival mass.
+
+    The bursty hot-client trace of the serving load generator: a few
+    "celebrity" clients hammer their (fixed-size) neighborhoods while
+    the rest of the graph idles, concentrating load on ``hot·Δ``
+    servers — the worst case for the burn threshold, and the regime
+    where SAER's anonymous-server spreading has to do all the work.
+    The hot set is the first ``⌈hot_fraction·n⌉`` client ids so traces
+    are reproducible across processes without sharing extra state.
+    """
+
+    rate_per_client: float
+    hot_fraction: float = 0.01
+    hot_weight: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.rate_per_client < 0:
+            raise ValueError("rate_per_client must be non-negative")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ValueError("hot_weight must be in [0, 1]")
+
+    def _n_hot(self, n_clients: int) -> int:
+        return max(1, math.ceil(self.hot_fraction * n_clients))
+
+    def sample(self, rng: np.random.Generator, n_clients: int, round_no: int) -> np.ndarray:
+        total = rng.poisson(self.rate_per_client * n_clients)
+        if total == 0:
+            return np.zeros(n_clients, dtype=np.int64)
+        n_hot = self._n_hot(n_clients)
+        hot = rng.random(total) < self.hot_weight
+        n_in_hot = int(np.count_nonzero(hot))
+        owners = np.empty(total, dtype=np.int64)
+        owners[:n_in_hot] = rng.integers(0, n_hot, size=n_in_hot)
+        owners[n_in_hot:] = rng.integers(0, n_clients, size=total - n_in_hot)
+        return np.bincount(owners, minlength=n_clients).astype(np.int64)
+
+    def expected_per_round(self, n_clients: int) -> float:
+        return self.rate_per_client * n_clients

@@ -18,6 +18,14 @@ Semantics (our concretization of §4's sketch — documented substitution):
 * With probability ``churn.rate`` a client's neighborhood is resampled
   each round (see :class:`~repro.dynamic.churn.RewireChurn`).
 
+The round step itself lives in :class:`repro.serve.state.ServingState`
+— the same mutable server-side state the live serving layer
+(:mod:`repro.serve`) drives with real traffic — so the offline tables
+and the service can never drift apart.  This function is the offline
+harness over it: sample arrivals, admit, route, record the series.  It
+is bit-identical to the pre-refactor monolithic simulator for any seed
+(``tests/data/dynamic_golden.json`` pins the E12 control rows).
+
 The interesting output is the *backlog* process (alive balls per round)
 and per-ball assignment latency: the paper conjectures a metastable
 regime — bounded backlog — for moderate offered load, which E12's table
@@ -26,14 +34,13 @@ exhibits, including the divergence above the capacity knee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.config import ProtocolParams
 from ..errors import ProtocolConfigError
 from ..graphs.bipartite import BipartiteGraph
-from ..rng import make_rng
 from .arrivals import ArrivalProcess
 from .churn import RewireChurn
 
@@ -62,13 +69,22 @@ class DynamicResult:
     recovery: int | None
     dropped: int = 0
 
+    def _second_half(self) -> np.ndarray:
+        """The last ``⌈horizon/2⌉`` recorded rounds (never empty unless
+        the series itself is): the window every "2nd half" diagnostic
+        shares, clamped so ``horizon=1`` means the single round rather
+        than an ill-defined half."""
+        if self.backlog.size == 0:
+            return self.backlog
+        return self.backlog[min(self.horizon // 2, self.backlog.size - 1) :]
+
     def backlog_slope(self) -> float:
         """Least-squares slope of the backlog over the last half horizon.
 
         ≈0 (relative to the arrival rate) means the queue is not
         growing — the metastable signature; ≫0 means divergence.
         """
-        half = self.backlog[self.horizon // 2 :]
+        half = self._second_half()
         if half.size < 2:
             return 0.0
         t = np.arange(half.size, dtype=np.float64)
@@ -84,27 +100,42 @@ class DynamicResult:
 
     def latency_stats(self) -> dict:
         if self.latencies.size == 0:
-            return {"mean": float("nan"), "p50": float("nan"), "p95": float("nan")}
+            return {
+                "mean": float("nan"),
+                "p50": float("nan"),
+                "p95": float("nan"),
+                "p99": float("nan"),
+            }
         return {
             "mean": float(self.latencies.mean()),
             "p50": float(np.median(self.latencies)),
             "p95": float(np.quantile(self.latencies, 0.95)),
+            "p99": float(np.quantile(self.latencies, 0.99)),
         }
 
     def summary(self) -> dict:
+        """Scalar outcome record: one dict per run, E12's table rows.
+
+        Every float is rounded the same way (3 decimals for latency
+        quantiles, matching ``latency_mean``), and the ``horizon=1`` /
+        empty-series corners resolve consistently: ``final_backlog`` and
+        ``mean_backlog_2nd_half`` both describe the same single round
+        when there is only one.
+        """
         lat = self.latency_stats()
+        half = self._second_half()
         return {
             "horizon": self.horizon,
             "offered_per_round": round(self.offered_load, 3),
             "recovery": self.recovery,
             "final_backlog": int(self.backlog[-1]) if self.backlog.size else 0,
-            "mean_backlog_2nd_half": float(self.backlog[self.horizon // 2 :].mean())
-            if self.backlog.size
-            else 0.0,
+            "mean_backlog_2nd_half": float(half.mean()) if half.size else 0.0,
             "backlog_slope": round(self.backlog_slope(), 4),
             "metastable": self.is_metastable(),
             "latency_mean": round(lat["mean"], 3),
-            "latency_p95": lat["p95"],
+            "latency_p50": round(lat["p50"], 3),
+            "latency_p95": round(lat["p95"], 3),
+            "latency_p99": round(lat["p99"], 3),
             "burned_frac_final": float(self.burned_fraction[-1])
             if self.burned_fraction.size
             else 0.0,
@@ -121,62 +152,24 @@ def run_dynamic_saer(
     churn: RewireChurn | None = None,
     recovery: int | None = None,
     seed=None,
+    kernel: str | None = None,
 ) -> DynamicResult:
     """Simulate dynamic SAER for ``horizon`` rounds; see module docstring.
 
     ``d`` here only sets the burn threshold ``⌊c·d⌋`` (arriving balls
     are individual requests; the static protocol's per-client demand has
-    no dynamic analogue).
+    no dynamic analogue).  ``kernel`` gates the round step like the
+    batched engine (``None`` → ``REPRO_KERNELS`` → numpy); every gate is
+    bit-identical.
     """
+    from ..serve.state import ServingState
+
     if horizon < 1:
         raise ProtocolConfigError("horizon must be >= 1")
-    if recovery is not None and recovery < 1:
-        raise ProtocolConfigError("recovery must be >= 1 when given")
-    params = ProtocolParams(c=c, d=d)
-    rng = make_rng(seed)
-    n_c, n_s = graph.n_clients, graph.n_servers
-    neighbor_lists = [graph.neighbors_of_client(v).copy() for v in range(n_c)]
-
-    # Flat CSR view of the (mutable) neighbor lists, rebuilt only when
-    # churn changes them — keeps the per-round destination gather fully
-    # vectorized even with six-figure backlogs.
-    def rebuild_flat():
-        degs = np.array([nl.size for nl in neighbor_lists], dtype=np.int64)
-        indptr = np.zeros(n_c + 1, dtype=np.int64)
-        np.cumsum(degs, out=indptr[1:])
-        indices = (
-            np.concatenate(neighbor_lists) if indptr[-1] else np.empty(0, dtype=np.int64)
-        )
-        return degs, indptr, indices
-
-    degs, indptr, indices = rebuild_flat()
-
-    # Server state (SAER with optional epoch recovery).
-    cum_received = np.zeros(n_s, dtype=np.int64)
-    burned = np.zeros(n_s, dtype=bool)
-    burn_clock = np.zeros(n_s, dtype=np.int64)
-    capacity = params.capacity
-
-    # Alive ball table: amortized-doubling buffers with an explicit
-    # count, so arrivals append and acceptances compact in place instead
-    # of rebuilding both arrays with np.concatenate every round (which
-    # is O(rounds × backlog) over a run).
-    ball_cap = 1024
-    owners_buf = np.empty(ball_cap, dtype=np.int64)
-    births_buf = np.empty(ball_cap, dtype=np.int64)
-    n_alive = 0
-
-    def _grow(need: int):
-        nonlocal ball_cap, owners_buf, births_buf
-        if need <= ball_cap:
-            return
-        while ball_cap < need:
-            ball_cap *= 2
-        new_owners = np.empty(ball_cap, dtype=np.int64)
-        new_births = np.empty(ball_cap, dtype=np.int64)
-        new_owners[:n_alive] = owners_buf[:n_alive]
-        new_births[:n_alive] = births_buf[:n_alive]
-        owners_buf, births_buf = new_owners, new_births
+    state = ServingState(
+        graph, c, d, recovery=recovery, churn=churn, seed=seed, kernel=kernel
+    )
+    n_c = graph.n_clients
 
     backlog = np.zeros(horizon, dtype=np.int64)
     arr_series = np.zeros(horizon, dtype=np.int64)
@@ -184,64 +177,16 @@ def run_dynamic_saer(
     burned_frac = np.zeros(horizon, dtype=np.float64)
     rewired = np.zeros(horizon, dtype=np.int64)
     latencies: list[np.ndarray] = []
-    dropped = 0
 
     for t in range(horizon):
-        # Recovery of burned servers.
-        if recovery is not None and burned.any():
-            burn_clock[burned] += 1
-            healed = burned & (burn_clock >= recovery)
-            burned[healed] = False
-            cum_received[healed] = 0
-            burn_clock[healed] = 0
-        # Churn.
-        if churn is not None:
-            rewired[t] = churn.apply(rng, neighbor_lists, n_s)
-            if rewired[t]:
-                degs, indptr, indices = rebuild_flat()
-        # Arrivals (dropped at isolated clients — cannot ever be served).
-        new_counts = arrivals.sample(rng, n_c, t)
-        deg0 = degs == 0
-        if deg0.any():
-            dropped += int(new_counts[deg0].sum())
-            new_counts[deg0] = 0
-        arr_series[t] = int(new_counts.sum())
-        if arr_series[t]:
-            new_owners = np.repeat(np.arange(n_c, dtype=np.int64), new_counts)
-            _grow(n_alive + new_owners.size)
-            owners_buf[n_alive : n_alive + new_owners.size] = new_owners
-            births_buf[n_alive : n_alive + new_owners.size] = t
-            n_alive += new_owners.size
-        if n_alive == 0:
-            burned_frac[t] = burned.mean() if n_s else 0.0
-            continue
-        owners = owners_buf[:n_alive]
-        births = births_buf[:n_alive]
-        # Phase 1: every alive ball to a uniform current neighbor, via
-        # the flat CSR view (vectorized gather).
-        u = rng.random(n_alive)
-        own_deg = degs[owners]
-        offs = np.minimum((u * own_deg).astype(np.int64), own_deg - 1)
-        dest = indices[indptr[owners] + offs]
-        received = np.bincount(dest, minlength=n_s)
-        # Phase 2: SAER rule.
-        cum_received += received
-        over = cum_received > capacity
-        newly = over & ~burned
-        accept = ~burned & ~over
-        burned |= newly
-        ok = accept[dest]
-        if ok.any():
-            latencies.append((t - births[ok]).astype(np.int64))
-        asg_series[t] = int(np.count_nonzero(ok))
-        # Boolean compaction of the survivors, in place.
-        keep = ~ok
-        kept = int(np.count_nonzero(keep))
-        owners_buf[:kept] = owners[keep]
-        births_buf[:kept] = births[keep]
-        n_alive = kept
-        backlog[t] = n_alive
-        burned_frac[t] = float(burned.mean()) if n_s else 0.0
+        rewired[t] = state.round_begin()
+        arr_series[t] = state.admit_counts(arrivals.sample(state.rng, n_c, t))
+        out = state.route()
+        if out.latencies.size:
+            latencies.append(out.latencies)
+        asg_series[t] = out.assigned
+        backlog[t] = out.backlog
+        burned_frac[t] = out.burned_fraction
 
     return DynamicResult(
         horizon=horizon,
@@ -251,8 +196,8 @@ def run_dynamic_saer(
         burned_fraction=burned_frac,
         rewired_clients=rewired,
         latencies=np.concatenate(latencies) if latencies else np.empty(0, dtype=np.int64),
-        params=params,
+        params=state.params,
         offered_load=arrivals.expected_per_round(n_c),
         recovery=recovery,
-        dropped=dropped,
+        dropped=state.dropped,
     )

@@ -84,6 +84,7 @@ __all__ = [
     "run_e10_stage1",
     "run_e11_alive_decay",
     "run_e12_dynamic",
+    "run_s1_serve",
 ]
 
 
@@ -1138,4 +1139,87 @@ def run_e12_dynamic(
             }
         )
     meta = {"n": n, "c": c, "d": d, "horizon": horizon, "records": recs}
+    return rows, meta
+
+
+# ---------------------------------------------------------------------------
+# S1 — the serving layer under replayed live traffic
+# ---------------------------------------------------------------------------
+
+
+def run_s1_serve(
+    n: int = 1024,
+    c: float = 2.0,
+    d: int = 4,
+    rounds: int = 200,
+    rate: float = 0.5,
+    recovery: int = 8,
+    max_wait_rounds: int = 64,
+    traces=("poisson", "hotspot"),
+    seed=2024,
+) -> tuple[list[dict], dict]:
+    """S1: replay arrival traces through the live serving stack.
+
+    One row per trace kind (uniform Poisson and the adversarial hotspot
+    skew): the in-process *driven* load generator submits each round's
+    arrivals to a :class:`~repro.serve.service.SaerService`, fires the
+    micro-batched round, drains, and tallies every ball's outcome.
+    Because the service's round step *is* the simulator's
+    (:class:`~repro.serve.state.ServingState`), the poisson row's
+    latency/backlog shape matches E12's metastable regime; the hotspot
+    row overloads a few hot neighborhoods, and the service's
+    ``max_wait_rounds`` policy sheds the excess as ``Retry`` instead of
+    queueing it forever — the request/response behaviours the offline
+    simulator has no analogue for.
+    """
+    from ..serve import SaerService, ServeConfig, ServingState
+    from ..serve.loadgen import make_arrivals, run_inprocess, sample_trace
+
+    g_seed, t_seed, *p_seeds = np.random.SeedSequence(seed).spawn(2 + len(traces))
+    graph = build_point_graph(
+        {"family": "trust", "n": n, "degree": _regular_degree(n)}, g_seed
+    )
+    rows = []
+    kernel_name = None
+    for trace_kind, p_seed in zip(traces, p_seeds):
+        state = ServingState(
+            graph, c, d, recovery=recovery, seed=p_seed, track_tags=True
+        )
+        kernel_name = state.kernel_name
+        service = SaerService(
+            state, ServeConfig(max_batch=1 << 30, max_wait_rounds=max_wait_rounds)
+        )
+        trace = sample_trace(
+            make_arrivals(trace_kind, rate), n, rounds, t_seed
+        )
+        run = run_inprocess(service, trace)
+        tally = run["tally"]
+        lat = run["latencies"]
+        rows.append(
+            {
+                "trace": trace_kind,
+                "balls": run["submitted"],
+                "assigned": tally["assigned"],
+                "dropped": tally["dropped"],
+                "retried": tally["retry"],
+                "assign_rate": round(tally["assigned"] / run["submitted"], 4)
+                if run["submitted"]
+                else float("nan"),
+                "latency_p50": float(np.quantile(lat, 0.5)) if lat.size else float("nan"),
+                "latency_p95": float(np.quantile(lat, 0.95)) if lat.size else float("nan"),
+                "rounds": run["rounds"],
+                "assigned_per_s": round(tally["assigned"] / run["wall_s"], 1)
+                if run["wall_s"] > 0
+                else float("nan"),
+            }
+        )
+    meta = {
+        "n": n,
+        "c": c,
+        "d": d,
+        "rate": rate,
+        "recovery": recovery,
+        "max_wait_rounds": max_wait_rounds,
+        "kernel": kernel_name,
+    }
     return rows, meta

@@ -1,0 +1,449 @@
+"""Open-loop load generator for the serving layer (``repro-lb loadgen``).
+
+Replays an arrival trace against a :class:`~repro.serve.service.SaerService`
+and reports what came back.  The trace is sampled up front from the
+same :class:`~repro.dynamic.arrivals.ArrivalProcess` vocabulary the
+offline simulator uses (``poisson`` / ``burst``) plus the adversarial
+``hotspot`` trace (a few hot clients absorb most of the arrival mass),
+from a dedicated trace RNG — so the *offered* load is identical across
+modes, kernels, and processes, and only the protocol RNG differs.
+
+Two modes:
+
+``inprocess``
+    Drives a service in the same process with **no ticker and no
+    sleeps**: submit one round's arrivals, call the synchronous
+    :meth:`~repro.serve.service.SaerService.run_round` directly, repeat,
+    then drain.  This measures the serving stack's real per-round cost
+    (submission + micro-batch + kernel + future resolution) at full
+    speed — the throughput figure ``BENCH_serve.json`` records.
+``tcp``
+    Open-loop NDJSON client against a running ``repro-lb serve``:
+    writes each round's requests, sleeps one tick, never waits for
+    responses (a reader task collects them concurrently).  Measures the
+    wire path end to end.
+
+The report lands in ``BENCH_serve.json`` (``--out``); ``--min-assign-rate``
+and ``--max-p95`` turn it into a pass/fail gate for CI's serve-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import time
+
+import numpy as np
+
+from ..dynamic.arrivals import (
+    ArrivalProcess,
+    BatchArrivals,
+    HotspotArrivals,
+    PoissonArrivals,
+)
+from ..dynamic.churn import RewireChurn
+from ..graphs.families import build_point_graph
+from ..rng import make_rng
+from .protocol import decode_response, encode_response
+from .service import SaerService, ServeConfig
+from .state import ServingState
+
+__all__ = [
+    "make_arrivals",
+    "sample_trace",
+    "run_inprocess",
+    "run_tcp",
+    "build_report",
+    "main",
+]
+
+
+def make_arrivals(
+    kind: str,
+    rate: float,
+    *,
+    batch_size: int = 64,
+    period: int = 1,
+    hot_fraction: float = 0.01,
+    hot_weight: float = 0.9,
+) -> ArrivalProcess:
+    """The named trace family, with the loadgen's knobs applied."""
+    if kind == "poisson":
+        return PoissonArrivals(rate)
+    if kind == "burst":
+        return BatchArrivals(batch_size, period)
+    if kind == "hotspot":
+        return HotspotArrivals(rate, hot_fraction, hot_weight)
+    raise ValueError(f"unknown trace kind {kind!r} (poisson/burst/hotspot)")
+
+
+def sample_trace(
+    arrivals: ArrivalProcess, n_clients: int, rounds: int, seed
+) -> list[np.ndarray]:
+    """Pre-sample per-round per-client arrival counts from a trace RNG.
+
+    Separate from the service's protocol RNG on purpose: the offered
+    load is then a fixed replayable artifact, and reruns vary only the
+    protocol's coin flips.
+    """
+    rng = make_rng(seed)
+    return [arrivals.sample(rng, n_clients, t) for t in range(rounds)]
+
+
+# ---------------------------------------------------------------------------
+# In-process driven mode
+# ---------------------------------------------------------------------------
+
+
+def run_inprocess(
+    service: SaerService, trace: list[np.ndarray], drain_rounds: int = 2000
+) -> dict:
+    """Replay ``trace`` at full speed (one round per trace entry, no
+    sleeps), drain, and tally every ball's outcome."""
+    futures = []
+    submit = service.submit
+    t0 = time.perf_counter()
+    for counts in trace:
+        for client in np.nonzero(counts)[0].tolist():
+            futures.extend(submit(client, int(counts[client])))
+        service.run_round()
+    extra = 0
+    while service.in_flight and extra < drain_rounds:
+        service.run_round()
+        extra += 1
+    wall = time.perf_counter() - t0
+
+    tally = {"assigned": 0, "retry": 0, "dropped": 0, "unresolved": 0}
+    latencies = []
+    retry_reasons: dict[str, int] = {}
+    for fut in futures:
+        if not fut.done():
+            tally["unresolved"] += 1
+            continue
+        out = fut.result()
+        tally[out.outcome] += 1
+        if out.outcome == "assigned":
+            latencies.append(out.latency_rounds)
+        elif out.outcome == "retry":
+            retry_reasons[out.reason] = retry_reasons.get(out.reason, 0) + 1
+    return {
+        "wall_s": wall,
+        "rounds": len(trace) + extra,
+        "drain_rounds": extra,
+        "submitted": len(futures),
+        "tally": tally,
+        "retry_reasons": retry_reasons,
+        "latencies": np.asarray(latencies, dtype=np.int64),
+        "stats": service.stats(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# TCP mode
+# ---------------------------------------------------------------------------
+
+
+async def run_tcp(
+    host: str,
+    port: int,
+    trace: list[np.ndarray],
+    tick: float,
+    settle_s: float = 30.0,
+) -> dict:
+    """Open-loop replay over the NDJSON wire; see module docstring."""
+    reader, writer = await asyncio.open_connection(host, port)
+    expected = int(sum(int(c.sum()) for c in trace))
+    tally = {"assigned": 0, "retry": 0, "dropped": 0, "unresolved": 0}
+    retry_reasons: dict[str, int] = {}
+    latencies: list[int] = []
+    errors = 0
+    got = 0
+    done = asyncio.Event()
+
+    async def read_loop():
+        nonlocal got, errors
+        while got < expected:
+            line = await reader.readline()
+            if not line:
+                break
+            msg = decode_response(line)
+            out = msg.get("outcome_obj")
+            if out is None:
+                if "error" in msg:
+                    errors += 1
+                    got += 1
+                continue
+            got += 1
+            tally[out.outcome] += 1
+            if out.outcome == "assigned":
+                latencies.append(out.latency_rounds)
+            elif out.outcome == "retry":
+                retry_reasons[out.reason] = retry_reasons.get(out.reason, 0) + 1
+        done.set()
+
+    reader_task = asyncio.get_running_loop().create_task(read_loop())
+    t0 = time.perf_counter()
+    rid = 0
+    for counts in trace:
+        chunk = bytearray()
+        for client in np.nonzero(counts)[0].tolist():
+            rid += 1
+            chunk += encode_response(
+                {"op": "assign", "client": client, "balls": int(counts[client]), "id": rid}
+            )
+        if chunk:
+            writer.write(bytes(chunk))
+            await writer.drain()
+        await asyncio.sleep(tick)
+    try:
+        await asyncio.wait_for(done.wait(), timeout=settle_s)
+    except asyncio.TimeoutError:
+        pass
+    wall = time.perf_counter() - t0
+    reader_task.cancel()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover - teardown race
+        pass
+    tally["unresolved"] = expected - sum(
+        tally[k] for k in ("assigned", "retry", "dropped")
+    ) - errors
+    return {
+        "wall_s": wall,
+        "rounds": len(trace),
+        "drain_rounds": 0,
+        "submitted": expected,
+        "tally": tally,
+        "retry_reasons": retry_reasons,
+        "errors": errors,
+        "latencies": np.asarray(latencies, dtype=np.int64),
+        "stats": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+def _lat_stats(lat: np.ndarray) -> dict:
+    if lat.size == 0:
+        return {"mean": math.nan, "p50": math.nan, "p95": math.nan, "p99": math.nan}
+    return {
+        "mean": round(float(lat.mean()), 3),
+        "p50": float(np.quantile(lat, 0.50)),
+        "p95": float(np.quantile(lat, 0.95)),
+        "p99": float(np.quantile(lat, 0.99)),
+    }
+
+
+def build_report(mode: str, config: dict, trace_meta: dict, run: dict) -> dict:
+    """Assemble the ``BENCH_serve.json`` payload from a run's raw tallies."""
+    tally = run["tally"]
+    submitted = run["submitted"]
+    lat = _lat_stats(run["latencies"])
+    wall = run["wall_s"]
+    assigned = tally["assigned"]
+    return {
+        "bench": "serve",
+        "mode": mode,
+        "config": config,
+        "trace": trace_meta,
+        "totals": {**tally, "submitted": submitted, "errors": run.get("errors", 0)},
+        "retry_reasons": run["retry_reasons"],
+        "assignment_rate": round(assigned / submitted, 4) if submitted else math.nan,
+        "latency_rounds": lat,
+        "throughput": {
+            "wall_s": round(wall, 4),
+            "rounds": run["rounds"],
+            "drain_rounds": run["drain_rounds"],
+            "assigned_per_s": round(assigned / wall, 1) if wall > 0 else math.nan,
+            "balls_per_s": round(submitted / wall, 1) if wall > 0 else math.nan,
+            "rounds_per_s": round(run["rounds"] / wall, 1) if wall > 0 else math.nan,
+        },
+        "service": run["stats"],
+    }
+
+
+def check_report(
+    report: dict,
+    min_assign_rate: float | None,
+    max_p95: float | None,
+    min_throughput: float | None = None,
+) -> list[str]:
+    """The CI gate: list of violated bounds (empty = pass)."""
+    failures = []
+    if min_assign_rate is not None:
+        rate = report["assignment_rate"]
+        if not rate >= min_assign_rate:
+            failures.append(
+                f"assignment_rate {rate} < required {min_assign_rate}"
+            )
+    if max_p95 is not None:
+        p95 = report["latency_rounds"]["p95"]
+        if not p95 <= max_p95:
+            failures.append(f"latency p95 {p95} rounds > allowed {max_p95}")
+    if min_throughput is not None:
+        tput = report["throughput"]["assigned_per_s"]
+        if not tput >= min_throughput:
+            failures.append(f"assigned_per_s {tput} < required {min_throughput}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """``repro-lb loadgen`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lb loadgen",
+        description="Replay an arrival trace against the serving layer.",
+    )
+    parser.add_argument("--mode", choices=("inprocess", "tcp"), default="inprocess")
+    # in-process service construction (ignored under --mode tcp)
+    parser.add_argument("--n", type=int, default=10_000, help="clients = servers = n")
+    parser.add_argument("--family", default="trust")
+    parser.add_argument("--degree", type=int, default=None)
+    parser.add_argument("--c", type=float, default=2.0)
+    parser.add_argument("--d", type=int, default=4)
+    parser.add_argument("--recovery", type=int, default=8,
+                        help="burn recovery rounds; 0 disables recovery")
+    parser.add_argument("--churn", type=float, default=0.0)
+    parser.add_argument("--kernel", default=None,
+                        choices=("numpy", "cext", "numba", "python"))
+    parser.add_argument("--seed", type=int, default=None, help="protocol RNG seed")
+    parser.add_argument("--graph-seed", type=int, default=1)
+    parser.add_argument("--max-batch", type=int, default=1 << 30,
+                        help="service max_batch (driven mode never ticks)")
+    parser.add_argument("--max-pending", type=int, default=None)
+    parser.add_argument("--max-wait-rounds", type=int, default=None)
+    parser.add_argument("--drain-rounds", type=int, default=2000,
+                        help="extra rounds to flush the backlog after the trace")
+    # trace
+    parser.add_argument("--trace", choices=("poisson", "burst", "hotspot"),
+                        default="poisson")
+    parser.add_argument("--rate", type=float, default=0.5,
+                        help="arrivals per client per round (poisson/hotspot)")
+    parser.add_argument("--rounds", type=int, default=200)
+    parser.add_argument("--batch-size", type=int, default=64, help="burst size")
+    parser.add_argument("--period", type=int, default=1, help="burst period")
+    parser.add_argument("--hot-fraction", type=float, default=0.01)
+    parser.add_argument("--hot-weight", type=float, default=0.9)
+    parser.add_argument("--trace-seed", type=int, default=7)
+    # tcp
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077)
+    parser.add_argument("--tick", type=float, default=0.01,
+                        help="seconds between trace rounds (tcp mode)")
+    parser.add_argument("--settle", type=float, default=30.0,
+                        help="seconds to wait for in-flight responses (tcp mode)")
+    # report + gates
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="report path ('-' to skip writing)")
+    parser.add_argument("--min-assign-rate", type=float, default=None)
+    parser.add_argument("--max-p95", type=float, default=None)
+    parser.add_argument("--min-throughput", type=float, default=None,
+                        help="required assigned_per_s (inprocess bench gate)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    arrivals = make_arrivals(
+        args.trace,
+        args.rate,
+        batch_size=args.batch_size,
+        period=args.period,
+        hot_fraction=args.hot_fraction,
+        hot_weight=args.hot_weight,
+    )
+
+    if args.mode == "inprocess":
+        point = {"family": args.family, "n": args.n}
+        if args.degree:
+            point["degree"] = args.degree
+        graph = build_point_graph(point, args.graph_seed)
+        state = ServingState(
+            graph,
+            args.c,
+            args.d,
+            recovery=args.recovery or None,
+            churn=RewireChurn(args.churn) if args.churn else None,
+            seed=args.seed,
+            kernel=args.kernel,
+            track_tags=True,
+        )
+        service = SaerService(
+            state,
+            ServeConfig(
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+                max_wait_rounds=args.max_wait_rounds,
+            ),
+        )
+        trace = sample_trace(arrivals, graph.n_clients, args.rounds, args.trace_seed)
+        run = run_inprocess(service, trace, args.drain_rounds)
+        config = {
+            "n": args.n, "family": args.family, "degree": args.degree,
+            "c": args.c, "d": args.d, "recovery": args.recovery or None,
+            "churn": args.churn, "kernel": state.kernel_name, "seed": args.seed,
+            "graph_seed": args.graph_seed, "max_wait_rounds": args.max_wait_rounds,
+        }
+        n_clients = graph.n_clients
+    else:
+        # The server owns the topology; the trace just needs a client-id
+        # range, which --n supplies (must not exceed the server's n).
+        n_clients = args.n
+        trace = sample_trace(arrivals, n_clients, args.rounds, args.trace_seed)
+        run = asyncio.run(
+            run_tcp(args.host, args.port, trace, args.tick, args.settle)
+        )
+        config = {
+            "host": args.host, "port": args.port, "n": args.n,
+            "tick": args.tick,
+        }
+
+    trace_meta = {
+        "kind": args.trace,
+        "rounds": args.rounds,
+        "seed": args.trace_seed,
+        "balls": int(sum(int(c.sum()) for c in trace)),
+        "offered_per_round": round(arrivals.expected_per_round(n_clients), 3),
+    }
+    report = build_report(args.mode, config, trace_meta, run)
+    failures = check_report(
+        report, args.min_assign_rate, args.max_p95, args.min_throughput
+    )
+    report["gates"] = {
+        "min_assign_rate": args.min_assign_rate,
+        "max_p95": args.max_p95,
+        "min_throughput": args.min_throughput,
+        "passed": not failures,
+        "failures": failures,
+    }
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+    if not args.quiet:
+        t = report["throughput"]
+        print(
+            f"loadgen[{args.mode}] {trace_meta['balls']} balls / "
+            f"{t['rounds']} rounds in {t['wall_s']}s — "
+            f"assigned {report['totals']['assigned']} "
+            f"({report['assignment_rate']:.1%}) at {t['assigned_per_s']}/s, "
+            f"latency p50/p95 = {report['latency_rounds']['p50']}/"
+            f"{report['latency_rounds']['p95']} rounds"
+        )
+        if args.out != "-":
+            print(f"report written to {args.out}")
+    for f in failures:
+        print(f"GATE FAILED: {f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

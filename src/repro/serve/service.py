@@ -1,0 +1,546 @@
+"""The live-traffic service: micro-batched SAER rounds over asyncio.
+
+:class:`SaerService` turns the shared :class:`~repro.serve.state.ServingState`
+into a request/response system.  Callers :meth:`submit` assignment
+requests (client id + ball count) at any time; each ball gets a
+:class:`BallFuture` that completes with an
+:class:`~repro.serve.protocol.Assigned` /
+:class:`~repro.serve.protocol.Retry` /
+:class:`~repro.serve.protocol.Dropped` outcome.  Arrivals accumulate in
+a pending queue and are **micro-batched**: a round fires every
+``tick`` seconds *or* as soon as the queue reaches ``max_batch`` balls,
+whichever comes first — so a loaded service amortizes the vectorized
+round step over thousands of concurrent requests exactly the way the
+batched engine amortizes trials, while a quiet one still bounds latency
+by the tick.
+
+The round itself is ``round_begin → admit_balls → route → evict`` on
+the shared state — the identical step the offline simulator runs — so
+live behaviour (burn thresholds, recovery, churn, drop accounting) can
+never drift from the E12 tables.  :func:`serve_tcp` bolts the
+newline-delimited-JSON front end (:mod:`repro.serve.protocol`) onto a
+service with ``asyncio.start_server``; in-process callers skip the wire
+entirely.
+
+Everything runs on one event loop; :meth:`run_round` is synchronous and
+loop-free, so the load generator's *driven* mode can also call it
+directly (no ticker, no sleeps) for maximum-throughput replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import MetricsRegistry
+from .protocol import (
+    REASON_BACKPRESSURE,
+    REASON_ISOLATED,
+    REASON_SHUTDOWN,
+    REASON_TIMEOUT,
+    Assigned,
+    Dropped,
+    ProtocolError,
+    Retry,
+    decode_request,
+    encode_outcome,
+    encode_response,
+)
+from .state import ServingState
+
+__all__ = ["BallFuture", "ServeConfig", "SaerService", "serve_tcp"]
+
+#: Assignment-latency buckets, in rounds (small integers dominate).
+ROUND_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128, 256)
+#: Per-round service-time buckets, in seconds.
+TIME_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_PENDING = object()
+
+
+class BallFuture:
+    """A minimal, loop-free per-ball future.
+
+    The service resolves tens of thousands of these per second, so they
+    carry no event-loop machinery: just a result slot and done
+    callbacks (invoked synchronously from :meth:`SaerService.run_round`,
+    which runs on the service's event loop — the asyncio threading
+    model is preserved).  ``await``-style consumption goes through
+    :meth:`wait`, which lazily bridges onto an ``asyncio`` future only
+    for callers that want it.
+    """
+
+    __slots__ = ("_result", "_callbacks")
+
+    def __init__(self) -> None:
+        self._result = _PENDING
+        self._callbacks: list | None = None
+
+    def done(self) -> bool:
+        return self._result is not _PENDING
+
+    def result(self):
+        if self._result is _PENDING:
+            raise asyncio.InvalidStateError("ball outcome is not available yet")
+        return self._result
+
+    def set_result(self, outcome) -> None:
+        if self._result is not _PENDING:
+            raise asyncio.InvalidStateError("outcome already set")
+        self._result = outcome
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_done_callback(self, cb) -> None:
+        if self._result is not _PENDING:
+            cb(self)
+            return
+        if self._callbacks is None:
+            self._callbacks = []
+        self._callbacks.append(cb)
+
+    async def wait(self):
+        """Await the outcome from a coroutine on the service's loop."""
+        if self._result is not _PENDING:
+            return self._result
+        loop = asyncio.get_running_loop()
+        afut = loop.create_future()
+        self.add_done_callback(
+            lambda f: afut.done() or afut.set_result(f.result())
+        )
+        return await afut
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Micro-batching and queue-policy knobs of :class:`SaerService`.
+
+    ``tick``
+        Seconds between rounds when the queue stays below ``max_batch``
+        (the latency bound for a lightly loaded service).
+    ``max_batch``
+        Pending-ball count that fires a round immediately (the
+        throughput knob; a full batch never waits for the tick).
+    ``max_pending``
+        Backpressure cap on queued + in-flight balls; submissions over
+        it resolve as ``Retry("backpressure")`` instead of queueing.
+        ``None`` disables the cap.
+    ``max_wait_rounds``
+        Balls unassigned after this many rounds resolve as
+        ``Retry("timeout")`` — keeps a stalled system (every server
+        burned, recovery off) from accumulating futures forever.
+        ``None`` lets balls wait indefinitely, like the simulator.
+    ``snapshot_every``
+        Fire the metric registry's snapshot hooks every this many
+        rounds (0 disables).
+    """
+
+    tick: float = 0.05
+    max_batch: int = 4096
+    max_pending: int | None = None
+    max_wait_rounds: int | None = None
+    snapshot_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError("tick must be > 0 seconds")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 when given")
+        if self.max_wait_rounds is not None and self.max_wait_rounds < 1:
+            raise ValueError("max_wait_rounds must be >= 1 when given")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+
+
+class SaerService:
+    """Micro-batched request/response layer over a :class:`ServingState`."""
+
+    def __init__(
+        self,
+        state: ServingState,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if not state.track_tags:
+            raise ValueError(
+                "SaerService needs a ServingState(track_tags=True) to map "
+                "assignments back to per-ball futures"
+            )
+        self.state = state
+        self.config = config or ServeConfig()
+        self.metrics = registry or MetricsRegistry()
+        self._tags = itertools.count()
+        self._pending_owners: list[int] = []
+        self._pending_tags: list[int] = []
+        self._futures: dict[int, BallFuture] = {}
+        self._kick = asyncio.Event()
+        self._ticker: asyncio.Task | None = None
+        self._accepting = True
+        m = self.metrics
+        self._m_requests = m.counter("serve_requests_total", "assign requests received")
+        self._m_balls = m.counter("serve_balls_total", "balls submitted")
+        self._m_assigned = m.counter("serve_assigned_total", "balls assigned to a server")
+        self._m_dropped = m.counter("serve_dropped_total", "balls dropped (unservable)")
+        self._m_retried = m.counter("serve_retried_total", "balls resolved as retry")
+        self._m_rounds = m.counter("serve_rounds_total", "micro-batched rounds executed")
+        self._m_rewired = m.counter("serve_rewired_clients_total", "client neighborhoods churned")
+        self._m_backlog = m.gauge("serve_backlog", "in-flight balls after the last round")
+        self._m_pending = m.gauge("serve_pending", "balls queued for the next round")
+        self._m_burned = m.gauge("serve_burned_fraction", "burned servers / servers")
+        self._m_round_s = m.histogram(
+            "serve_round_seconds", "wall time per round", TIME_BUCKETS
+        )
+        self._m_lat = m.histogram(
+            "serve_assign_latency_rounds", "rounds from arrival to assignment",
+            ROUND_BUCKETS,
+        )
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Balls queued for the next round (not yet admitted)."""
+        return len(self._pending_tags)
+
+    @property
+    def in_flight(self) -> int:
+        """Balls with unresolved futures (queued + admitted backlog)."""
+        return len(self._futures)
+
+    def submit(self, client: int, balls: int = 1) -> list[BallFuture]:
+        """Queue ``balls`` assignment requests for ``client``.
+
+        Returns one :class:`BallFuture` per ball.  Over the
+        ``max_pending`` cap (or after :meth:`shutdown`) futures come
+        back already resolved as ``Retry`` — the caller always gets
+        exactly ``balls`` futures.
+        """
+        if balls < 1:
+            raise ValueError(f"balls must be >= 1; got {balls}")
+        if not (0 <= client < self.state.n_clients):
+            raise ValueError(
+                f"client must be in [0, {self.state.n_clients}); got {client}"
+            )
+        self._m_requests.inc()
+        self._m_balls.inc(balls)
+        futs = [BallFuture() for _ in range(balls)]
+        if not self._accepting:
+            self._m_retried.inc(balls)
+            for f in futs:
+                f.set_result(Retry(REASON_SHUTDOWN))
+            return futs
+        cap = self.config.max_pending
+        admit = balls
+        if cap is not None:
+            room = cap - (self.pending + self.state.backlog)
+            admit = max(0, min(balls, room))
+        for f in futs[admit:]:
+            self._m_retried.inc()
+            f.set_result(Retry(REASON_BACKPRESSURE))
+        for f in futs[:admit]:
+            tag = next(self._tags)
+            self._pending_owners.append(client)
+            self._pending_tags.append(tag)
+            self._futures[tag] = f
+        self._m_pending.set(self.pending)
+        if self.pending >= self.config.max_batch:
+            self._kick.set()
+        return futs
+
+    # -- the micro-batched round -------------------------------------------
+
+    def run_round(self) -> int:
+        """Execute one round over the queued batch; returns balls assigned.
+
+        Synchronous and loop-free by design: the ticker task calls it
+        once per tick/kick, and the load generator's driven mode calls
+        it back-to-back for full-speed replay.
+        """
+        t0 = time.perf_counter()
+        state = self.state
+        self._m_rewired.inc(state.round_begin())
+        if self._pending_owners:
+            owners = np.array(self._pending_owners, dtype=np.int64)
+            tags = np.array(self._pending_tags, dtype=np.int64)
+            self._pending_owners.clear()
+            self._pending_tags.clear()
+            _admitted, dropped_tags = state.admit_balls(owners, tags)
+            if dropped_tags.size:
+                self._m_dropped.inc(dropped_tags.size)
+                self._resolve(dropped_tags, Dropped(REASON_ISOLATED))
+        out = state.route()
+        if out.assigned:
+            self._m_assigned.inc(out.assigned)
+            self._m_lat.observe_many(out.latencies)
+            futures = self._futures
+            for tag, server, lat in zip(
+                out.assigned_tags.tolist(),
+                out.assigned_servers.tolist(),
+                out.latencies.tolist(),
+            ):
+                fut = futures.pop(tag, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(Assigned(server, lat))
+        if self.config.max_wait_rounds is not None:
+            _owners, stale_tags = state.evict_overdue(self.config.max_wait_rounds)
+            if stale_tags.size:
+                self._m_retried.inc(stale_tags.size)
+                self._resolve(stale_tags, Retry(REASON_TIMEOUT))
+        self._m_rounds.inc()
+        self._m_backlog.set(out.backlog)
+        self._m_pending.set(self.pending)
+        self._m_burned.set(out.burned_fraction)
+        self._m_round_s.observe(time.perf_counter() - t0)
+        every = self.config.snapshot_every
+        if every and int(self._m_rounds.value) % every == 0:
+            self.metrics.fire_snapshot_hooks()
+        return out.assigned
+
+    def _resolve(self, tags: np.ndarray, outcome) -> None:
+        futures = self._futures
+        for tag in tags.tolist():
+            fut = futures.pop(tag, None)
+            if fut is not None and not fut.done():
+                fut.set_result(outcome)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the tick loop (idempotent)."""
+        if self._ticker is None or self._ticker.done():
+            self._accepting = True
+            self._ticker = asyncio.get_running_loop().create_task(self._tick_loop())
+
+    async def _tick_loop(self) -> None:
+        while self._accepting:
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=self.config.tick)
+            except asyncio.TimeoutError:
+                pass
+            self._kick.clear()
+            if not self._accepting:
+                break
+            self.run_round()
+
+    async def drain(self, max_rounds: int = 10_000) -> int:
+        """Run rounds back-to-back until no ball is in flight.
+
+        Returns the rounds used.  Gives up after ``max_rounds`` (a
+        stalled no-recovery system never empties) — remaining futures
+        stay pending unless ``max_wait_rounds`` evicts them.
+        """
+        rounds = 0
+        while self._futures and rounds < max_rounds:
+            self.run_round()
+            rounds += 1
+            if rounds % 256 == 0:
+                await asyncio.sleep(0)  # stay cooperative on long drains
+        return rounds
+
+    async def shutdown(self, final_rounds: int = 0) -> None:
+        """Stop ticking; optionally run ``final_rounds`` more rounds, then
+        resolve every unresolved ball as ``Retry("shutdown")``."""
+        self._accepting = False
+        self._kick.set()
+        if self._ticker is not None:
+            try:
+                await self._ticker
+            except asyncio.CancelledError:  # pragma: no cover - defensive
+                pass
+            self._ticker = None
+        for _ in range(final_rounds):
+            if not self._futures:
+                break
+            self.run_round()
+        if self._futures:
+            leftovers = np.fromiter(self._futures, dtype=np.int64)
+            self._m_retried.inc(leftovers.size)
+            self._resolve(leftovers, Retry(REASON_SHUTDOWN))
+        self._pending_owners.clear()
+        self._pending_tags.clear()
+
+    def stats(self) -> dict:
+        """One-shot state + metrics snapshot (the ``stats`` wire op)."""
+        s = self.state
+        return {
+            "round": s.round_no,
+            "backlog": s.backlog,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
+            "burned_fraction": s.burned_fraction,
+            "dropped_total": s.dropped,
+            "assigned_total": s.assigned_total,
+            "n_clients": s.n_clients,
+            "n_servers": s.n_servers,
+            "kernel": s.kernel_name,
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# TCP front end
+# ---------------------------------------------------------------------------
+
+
+async def serve_tcp(
+    service: SaerService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Expose ``service`` over newline-delimited JSON on ``host:port``.
+
+    Also starts the service's tick loop.  Returns the
+    ``asyncio.AbstractServer`` (query ``.sockets[0].getsockname()`` for
+    the bound port when ``port=0``).  Callers own both lifetimes: close
+    the returned server *and* ``await service.shutdown()``.
+    """
+    await service.start()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        alive = True
+
+        def send(payload: dict) -> None:
+            if not alive:
+                return  # client went away mid-flight; outcome is discarded
+            try:
+                writer.write(encode_response(payload))
+            except ConnectionError:  # pragma: no cover - race with close
+                pass
+
+        def on_ball(rid, ball_idx):
+            def cb(fut):
+                payload = {"id": rid, "ball": ball_idx}
+                payload.update(encode_outcome(fut.result()))
+                send(payload)
+
+            return cb
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = decode_request(line)
+                except ProtocolError as exc:
+                    send({"id": None, "error": str(exc)})
+                    continue
+                op = msg["op"]
+                if op == "assign":
+                    req = msg["request"]
+                    try:
+                        futs = service.submit(req.client, req.balls)
+                    except ValueError as exc:
+                        send({"id": req.id, "error": str(exc)})
+                        continue
+                    for i, fut in enumerate(futs):
+                        fut.add_done_callback(on_ball(req.id, i))
+                elif op == "metrics":
+                    send({"id": msg["id"], "metrics": service.metrics.render_text()})
+                elif op == "stats":
+                    send({"id": msg["id"], "stats": service.stats()})
+                elif op == "ping":
+                    send({"id": msg["id"], "pong": True})
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # disconnect mid-flight is a normal client lifecycle
+        finally:
+            alive = False
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via CLI tests
+    """``repro-lb serve`` entry: boot a TCP service and run until ^C."""
+    import argparse
+
+    from ..dynamic.churn import RewireChurn
+    from ..graphs.families import build_point_graph
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lb serve",
+        description="Serve live SAER assignment traffic over NDJSON/TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077)
+    parser.add_argument("--n", type=int, default=1024, help="clients = servers = n")
+    parser.add_argument("--family", default="trust", help="graph family (families.py vocabulary)")
+    parser.add_argument("--degree", type=int, default=None, help="client degree (default: canonical)")
+    parser.add_argument("--c", type=float, default=2.0)
+    parser.add_argument("--d", type=int, default=4)
+    parser.add_argument("--recovery", type=int, default=8,
+                        help="burn recovery rounds; 0 disables recovery")
+    parser.add_argument("--churn", type=float, default=0.0, help="per-round rewire probability")
+    parser.add_argument("--tick", type=float, default=0.05, help="seconds between rounds")
+    parser.add_argument("--max-batch", type=int, default=4096)
+    parser.add_argument("--max-pending", type=int, default=None)
+    parser.add_argument("--max-wait-rounds", type=int, default=None)
+    parser.add_argument("--kernel", default=None,
+                        choices=("numpy", "cext", "numba", "python"))
+    parser.add_argument("--seed", type=int, default=None, help="protocol RNG seed")
+    parser.add_argument("--graph-seed", type=int, default=1, help="topology seed")
+    args = parser.parse_args(argv)
+
+    point = {"family": args.family, "n": args.n}
+    if args.degree:
+        point["degree"] = args.degree
+    graph = build_point_graph(point, args.graph_seed)
+    state = ServingState(
+        graph,
+        args.c,
+        args.d,
+        recovery=args.recovery or None,
+        churn=RewireChurn(args.churn) if args.churn else None,
+        seed=args.seed,
+        kernel=args.kernel,
+        track_tags=True,
+    )
+    config = ServeConfig(
+        tick=args.tick,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        max_wait_rounds=args.max_wait_rounds,
+    )
+    service = SaerService(state, config)
+
+    async def run():
+        server = await serve_tcp(service, args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        print(
+            f"repro-serve listening on {addr[0]}:{addr[1]} — n={args.n} "
+            f"family={args.family} c={args.c} d={args.d} kernel={state.kernel_name} "
+            f"tick={args.tick}s max_batch={args.max_batch}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

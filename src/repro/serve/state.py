@@ -1,0 +1,435 @@
+"""Server-side SAER state shared by the live service and the offline simulator.
+
+:class:`ServingState` owns everything that is *mutable* about a running
+dynamic-SAER system: the cumulative received counts and burned mask of
+the server side (with optional epoch recovery), the churn-able per-client
+neighborhoods and their flat CSR view, the alive-ball table (owner,
+birth round, optional caller tag), and the stream of protocol
+randomness.  One round of the §4 dynamic protocol is split into three
+verbs so both consumers can drive it:
+
+``round_begin()``
+    Burn recovery, then topology churn.
+``admit_counts(...)`` / ``admit_balls(...)``
+    Append newly arrived balls (dropping those at isolated clients —
+    they can never be served, matching the simulator's ``dropped``
+    accounting).
+``route()``
+    The SAER round proper — Phase-1 uniform destination gather, Phase-2
+    count/decide against ``⌊c·d⌋``, survivor compaction — returning a
+    :class:`RoundOutcome` with the per-ball assignments.
+
+:func:`repro.dynamic.run_dynamic_saer` is a loop over these three verbs
+and is **bit-identical** to the pre-refactor monolithic simulator
+(``tests/data/dynamic_golden.json`` pins it); :mod:`repro.serve.service`
+drives the same verbs from an asyncio micro-batching loop, so the
+offline tables and the live service can never drift apart.
+
+Like the batched engine, the round step is kernel-gated: the default
+``numpy`` path is the vectorized reference, while the compiled gates
+(``cext`` / ``numba`` / ``python`` via ``kernel=`` or ``REPRO_KERNELS``)
+route the Phase-1 gather and Phase-2 count/decide through
+:mod:`repro.batch.kernels`' fused round loop — the arriving-ball batch
+amortizes exactly the way a trial batch does, and scratch lives in a
+persistent :class:`~repro.batch.kernels.EngineBuffers` either way.
+Both paths consume the identical uniform stream and produce identical
+assignments (``tests/test_serve_state.py`` pins the parity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..batch.kernels import EngineBuffers, block_clients_for, resolve_kernel
+from ..core.config import ProtocolParams
+from ..errors import ProtocolConfigError
+from ..graphs.bipartite import BipartiteGraph
+from ..rng import make_rng
+
+__all__ = ["RoundOutcome", "ServingState"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class RoundOutcome:
+    """What one :meth:`ServingState.route` call did.
+
+    ``latencies`` / ``assigned_servers`` / ``assigned_tags`` are aligned
+    per assigned ball, in the canonical (ball-buffer) order; ``tags`` is
+    ``None`` unless the state tracks caller tags.
+    """
+
+    round_no: int
+    assigned: int
+    backlog: int
+    burned: int
+    burned_fraction: float
+    latencies: np.ndarray
+    assigned_servers: np.ndarray
+    assigned_tags: np.ndarray | None = None
+
+
+class ServingState:
+    """Mutable dynamic-SAER state; see the module docstring for the verbs.
+
+    ``track_tags=True`` (the live service) carries a caller-supplied
+    int64 tag per ball through compaction so assignments can be mapped
+    back to per-ball futures; the offline simulator leaves it off.
+    ``buffers`` lets a host share one grow-only scratch pool across
+    states; by default each state owns its own.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        c: float,
+        d: int,
+        *,
+        recovery: int | None = None,
+        churn=None,
+        seed=None,
+        kernel: str | None = None,
+        buffers: EngineBuffers | None = None,
+        track_tags: bool = False,
+    ) -> None:
+        if recovery is not None and recovery < 1:
+            raise ProtocolConfigError("recovery must be >= 1 when given")
+        self.params = ProtocolParams(c=c, d=d)
+        self.capacity = self.params.capacity
+        self.recovery = recovery
+        self.churn = churn
+        self.rng = make_rng(seed)
+        self.n_clients = graph.n_clients
+        self.n_servers = graph.n_servers
+        self.neighbor_lists = [
+            graph.neighbors_of_client(v).copy() for v in range(self.n_clients)
+        ]
+        self.track_tags = track_tags
+        self.buffers = buffers if buffers is not None else EngineBuffers()
+        self._kern = resolve_kernel(kernel)
+        self._round_fn = self._kern.round_fn() if self._kern.compiled else None
+
+        # Server state (SAER with optional epoch recovery).
+        self.cum_received = np.zeros(self.n_servers, dtype=np.int64)
+        self.burned = np.zeros(self.n_servers, dtype=bool)
+        self.burn_clock = np.zeros(self.n_servers, dtype=np.int64)
+
+        # Alive ball table: amortized-doubling buffers with an explicit
+        # count, so arrivals append and acceptances compact in place.
+        self._cap = 1024
+        self._owners = np.empty(self._cap, dtype=np.int64)
+        self._births = np.empty(self._cap, dtype=np.int64)
+        self._tags = np.empty(self._cap, dtype=np.int64) if track_tags else None
+        self.n_alive = 0
+
+        self.round_no = 0
+        self.dropped = 0
+        self.assigned_total = 0
+        self._rebuild_flat()
+
+    # -- topology ----------------------------------------------------------
+
+    def _rebuild_flat(self) -> None:
+        """Rebuild the flat CSR view of the (mutable) neighbor lists.
+
+        Called only when churn changes them — keeps the per-round
+        destination gather fully vectorized even with six-figure
+        backlogs.
+        """
+        degs = np.array([nl.size for nl in self.neighbor_lists], dtype=np.int64)
+        indptr = np.zeros(self.n_clients + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        indices = (
+            np.concatenate(self.neighbor_lists)
+            if indptr[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        self.degs, self.indptr, self.indices = degs, indptr, indices
+        self._csr32 = None  # int32 twin for the compiled kernel, built lazily
+
+    def _csr_i32(self):
+        if self._csr32 is None:
+            self._csr32 = (
+                self.indptr.astype(np.int32),
+                self.degs.astype(np.int32),
+                self.indices.astype(np.int32),
+            )
+        return self._csr32
+
+    # -- verbs -------------------------------------------------------------
+
+    def round_begin(self) -> int:
+        """Heal recovered servers, then apply churn; returns rewired count."""
+        if self.recovery is not None and self.burned.any():
+            self.burn_clock[self.burned] += 1
+            healed = self.burned & (self.burn_clock >= self.recovery)
+            self.burned[healed] = False
+            self.cum_received[healed] = 0
+            self.burn_clock[healed] = 0
+        rewired = 0
+        if self.churn is not None:
+            rewired = self.churn.apply(self.rng, self.neighbor_lists, self.n_servers)
+            if rewired:
+                self._rebuild_flat()
+        return rewired
+
+    def _grow(self, need: int) -> None:
+        if need <= self._cap:
+            return
+        while self._cap < need:
+            self._cap *= 2
+        for name in ("_owners", "_births", "_tags"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            new = np.empty(self._cap, dtype=np.int64)
+            new[: self.n_alive] = old[: self.n_alive]
+            setattr(self, name, new)
+
+    def _append(self, owners: np.ndarray, tags: np.ndarray | None) -> None:
+        k = owners.size
+        self._grow(self.n_alive + k)
+        sl = slice(self.n_alive, self.n_alive + k)
+        self._owners[sl] = owners
+        self._births[sl] = self.round_no
+        if self._tags is not None:
+            self._tags[sl] = tags if tags is not None else -1
+        self.n_alive += k
+
+    def admit_counts(self, new_counts: np.ndarray) -> int:
+        """Admit per-client arrival counts (the simulator's path).
+
+        Balls at isolated (zero-degree) clients are dropped — they can
+        never be served — and counted in :attr:`dropped`.  Returns the
+        number of balls admitted.
+        """
+        new_counts = np.asarray(new_counts)
+        deg0 = self.degs == 0
+        if deg0.any():
+            self.dropped += int(new_counts[deg0].sum())
+            new_counts = new_counts.copy()
+            new_counts[deg0] = 0
+        admitted = int(new_counts.sum())
+        if admitted:
+            owners = np.repeat(np.arange(self.n_clients, dtype=np.int64), new_counts)
+            self._append(owners, None)
+        return admitted
+
+    def admit_balls(
+        self, owners: np.ndarray, tags: np.ndarray | None = None
+    ) -> tuple[int, np.ndarray]:
+        """Admit individually tagged balls (the live service's path).
+
+        Returns ``(admitted, dropped_tags)``: balls whose owner has a
+        zero-degree neighborhood are rejected up front (their tags come
+        back so the caller can resolve them as Dropped) and counted in
+        :attr:`dropped`, matching the simulator's accounting.
+        """
+        owners = np.asarray(owners, dtype=np.int64)
+        if owners.size and (owners.min() < 0 or owners.max() >= self.n_clients):
+            raise ValueError("ball owner out of client range")
+        servable = self.degs[owners] > 0
+        if not servable.all():
+            n_drop = owners.size - int(np.count_nonzero(servable))
+            self.dropped += n_drop
+            dropped_tags = (
+                tags[~servable] if tags is not None else np.full(n_drop, -1, np.int64)
+            )
+            owners = owners[servable]
+            tags = tags[servable] if tags is not None else None
+        else:
+            dropped_tags = _EMPTY_I64
+        if owners.size:
+            self._append(owners, tags)
+        return int(owners.size), dropped_tags
+
+    def route(self) -> RoundOutcome:
+        """Run one SAER round over the alive balls; see module docstring."""
+        t = self.round_no
+        self.round_no = t + 1
+        n_s = self.n_servers
+        if self.n_alive == 0:
+            return RoundOutcome(
+                round_no=t,
+                assigned=0,
+                backlog=0,
+                burned=int(np.count_nonzero(self.burned)),
+                burned_fraction=self.burned.mean() if n_s else 0.0,
+                latencies=_EMPTY_I64,
+                assigned_servers=_EMPTY_I64,
+                assigned_tags=_EMPTY_I64 if self.track_tags else None,
+            )
+        n = self.n_alive
+        owners = self._owners[:n]
+        births = self._births[:n]
+        # Phase 0: every alive ball draws one uniform, in buffer order —
+        # the canonical stream both the numpy and compiled paths consume.
+        u = self.buffers.get("serve.u", n, np.float64)
+        self.rng.random(out=u)
+        if self._round_fn is not None:
+            ok, dest = self._route_kernel(u, owners)
+        else:
+            ok, dest = self._route_numpy(u, owners)
+        assigned_servers = dest[ok]
+        latencies = (t - births[ok]).astype(np.int64)
+        assigned_tags = None
+        if self._tags is not None:
+            assigned_tags = self._tags[:n][ok].copy()
+        asg = int(np.count_nonzero(ok))
+        self.assigned_total += asg
+        # Boolean compaction of the survivors, in place.
+        keep = ~ok
+        kept = int(np.count_nonzero(keep))
+        self._owners[:kept] = owners[keep]
+        self._births[:kept] = births[keep]
+        if self._tags is not None:
+            self._tags[:kept] = self._tags[:n][keep]
+        self.n_alive = kept
+        return RoundOutcome(
+            round_no=t,
+            assigned=asg,
+            backlog=kept,
+            burned=int(np.count_nonzero(self.burned)),
+            burned_fraction=float(self.burned.mean()) if n_s else 0.0,
+            latencies=latencies,
+            assigned_servers=assigned_servers.astype(np.int64, copy=False),
+            assigned_tags=assigned_tags,
+        )
+
+    def _route_numpy(self, u: np.ndarray, owners: np.ndarray):
+        """The vectorized reference round: gather → count → decide."""
+        n_s = self.n_servers
+        # Phase 1: every alive ball to a uniform current neighbor, via
+        # the flat CSR view (vectorized gather).
+        own_deg = self.degs[owners]
+        offs = np.minimum((u * own_deg).astype(np.int64), own_deg - 1)
+        dest = self.indices[self.indptr[owners] + offs]
+        received = np.bincount(dest, minlength=n_s)
+        # Phase 2: SAER rule.
+        self.cum_received += received
+        over = self.cum_received > self.capacity
+        newly = over & ~self.burned
+        accept = ~self.burned & ~over
+        self.burned |= newly
+        return accept[dest], dest
+
+    def _route_kernel(self, u: np.ndarray, owners: np.ndarray):
+        """The same round through the compiled fused kernel.
+
+        The alive balls become one "trial" of the batched engine's round
+        loop: a stable owner sort puts them in the kernel's canonical
+        client-major key order, the fused gather+count+decide updates
+        ``cum_received`` in place, and the accept mask falls out of the
+        updated counts (``accept == cum_after ≤ ⌊c·d⌋`` — burned servers
+        are exactly those already over threshold, so the three-way
+        ``~burned & ~over`` rule collapses to one comparison).  Survivor
+        compaction stays in :meth:`route` — identical to the numpy path.
+        """
+        n = owners.size
+        n_s = self.n_servers
+        buf = self.buffers
+        order = np.argsort(owners, kind="stable")
+        indptr32, degs32, indices32 = self._csr_i32()
+        ball_key = buf.get("serve.key", n, np.int32)
+        ball_key[:] = owners[order]
+        u_sorted = buf.get("serve.us", n, np.float64)
+        u_sorted[:] = u[order]
+        dest32 = buf.get("serve.dest", n, np.int32)
+        state1 = self.cum_received.reshape(1, n_s)
+        state2 = buf.get("serve.loads", (1, n_s), np.int64)
+        self._round_fn(
+            u_sorted,
+            ball_key,
+            np.zeros(1, dtype=np.int64),           # trial_ids
+            np.array([n], dtype=np.int64),         # sent
+            0,                                     # reg_deg: general CSR path
+            indptr32,
+            degs32,
+            indices32,
+            self.n_clients,
+            block_clients_for(self.n_clients, int(self.indptr[-1])),
+            state1,
+            state2,
+            self.capacity,
+            0,                                     # is_raes
+            dest32,
+            buf.get("serve.count", n_s, np.int64, zero=True),
+            buf.get("serve.touched", n_s, np.int32),
+            buf.get("serve.acc", n_s, np.uint8, zero=True),
+            buf.get("serve.nacc", 1, np.int64),
+            buf.get("serve.outkey", n, np.int32),
+            0,                                     # do_compact: stays in route()
+            buf.get("serve.cur", 1, np.int64),
+            buf.get("serve.segs", 1, np.int64),
+            buf.get("serve.sege", 1, np.int64),
+        )
+        # Decide + un-sort back to buffer order; the kernel already
+        # folded the received counts into cum_received (state1 view).
+        ok = np.empty(n, dtype=bool)
+        ok[order] = self.cum_received[dest32[:n]] <= self.capacity
+        dest = np.empty(n, dtype=np.int64)
+        dest[order] = dest32[:n]
+        np.greater(self.cum_received, self.capacity, out=self.burned)
+        return ok, dest
+
+    def evict_overdue(self, max_wait_rounds: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove balls that survived ``max_wait_rounds`` routes unassigned.
+
+        Returns ``(owners, tags)`` of the evicted balls (tags are ``-1``
+        without tag tracking).  The live service resolves these as
+        ``Retry`` so a stalled system (every server burned, recovery
+        off) sheds load instead of accumulating futures forever.
+        """
+        if max_wait_rounds < 1:
+            raise ValueError("max_wait_rounds must be >= 1")
+        n = self.n_alive
+        if n == 0:
+            return _EMPTY_I64, _EMPTY_I64
+        age = self.round_no - self._births[:n]
+        stale = age >= max_wait_rounds
+        if not stale.any():
+            return _EMPTY_I64, _EMPTY_I64
+        owners = self._owners[:n][stale].copy()
+        tags = (
+            self._tags[:n][stale].copy()
+            if self._tags is not None
+            else np.full(owners.size, -1, np.int64)
+        )
+        keep = ~stale
+        kept = int(np.count_nonzero(keep))
+        self._owners[:kept] = self._owners[:n][keep]
+        self._births[:kept] = self._births[:n][keep]
+        if self._tags is not None:
+            self._tags[:kept] = self._tags[:n][keep]
+        self.n_alive = kept
+        return owners, tags
+
+    # -- diagnostics -------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Alive (pending) balls after the last route."""
+        return self.n_alive
+
+    @property
+    def burned_count(self) -> int:
+        return int(np.count_nonzero(self.burned))
+
+    @property
+    def burned_fraction(self) -> float:
+        return float(self.burned.mean()) if self.n_servers else 0.0
+
+    @property
+    def kernel_name(self) -> str:
+        """Which round-kernel gate this state resolved to."""
+        return self._kern.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingState(n_clients={self.n_clients}, n_servers={self.n_servers}, "
+            f"round={self.round_no}, backlog={self.n_alive}, "
+            f"burned={self.burned_count}, kernel={self._kern.name!r})"
+        )

@@ -27,8 +27,13 @@ class TestRegistryCapabilities:
 
     def test_every_experiment_declares_the_common_overrides(self):
         for spec in list_experiments():
-            # E10 is a two-run traced experiment with no trials axis.
-            want = {"seed"} if spec.id == "E10" else {"trials", "seed", "processes"}
+            # E10 is a two-run traced experiment and S1 a single-service
+            # trace replay: neither has a trials/processes axis.
+            want = (
+                {"seed"}
+                if spec.id in ("E10", "S1")
+                else {"trials", "seed", "processes"}
+            )
             assert want <= set(spec.capabilities), spec.id
 
     def test_smoke_kwargs_are_real_kwargs(self):

@@ -22,13 +22,14 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_twelve_experiments(self):
-        assert len(EXPERIMENTS) == 12
-        assert {s.id for s in list_experiments()} == {f"E{i}" for i in range(1, 13)}
+    def test_registered_experiments(self):
+        assert len(EXPERIMENTS) == 13
+        want = {f"E{i}" for i in range(1, 13)} | {"S1"}
+        assert {s.id for s in list_experiments()} == want
 
     def test_ordered_listing(self):
         ids = [s.id for s in list_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 13)]
+        assert ids == [f"E{i}" for i in range(1, 13)] + ["S1"]
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e4").id == "E4"
@@ -40,7 +41,7 @@ class TestRegistry:
     def test_specs_are_complete(self):
         for spec in list_experiments():
             assert spec.claim and spec.paper_ref and spec.expected_shape
-            assert spec.runner.startswith("run_e")
+            assert spec.runner.startswith(("run_e", "run_s"))
             assert spec.bench.startswith("benchmarks/bench_")
 
     def test_runners_exist(self):

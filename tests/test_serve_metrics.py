@@ -1,0 +1,122 @@
+"""Tests for repro.serve.metrics — the dependency-free metric registry."""
+
+import math
+
+import pytest
+
+from repro.serve import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_render(self):
+        c = Counter("reqs")
+        c.inc(3)
+        assert c.render() == ["reqs 3"]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("backlog")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+        assert g.snapshot() == 13
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("lat", buckets=(1, 2, 4))
+        for v in (0, 1, 1.5, 3, 100):
+            h.observe(v)
+        # cumulative: ≤1 → 2 (0 and 1), ≤2 → 3, ≤4 → 4, +Inf → 5
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(105.5)
+        assert h.min == 0 and h.max == 100
+
+    def test_quantiles_interpolated(self):
+        h = Histogram("lat", buckets=(0, 1, 2, 4, 8))
+        h.observe_many([1] * 50 + [3] * 50)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # p95 lands inside the (2, 4] bucket; interpolation stays in it
+        assert 2.0 <= h.quantile(0.95) <= 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_inf_bucket_clamps_to_max(self):
+        h = Histogram("lat", buckets=(1,))
+        h.observe_many([10, 20, 30])
+        assert h.quantile(0.99) == 30
+
+    def test_empty_is_nan(self):
+        h = Histogram("lat")
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+
+    def test_render_cumulative_and_count(self):
+        h = Histogram("lat", buckets=(1, 2))
+        h.observe_many([0.5, 1.5, 5])
+        lines = h.render()
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="2"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_count 3" in lines
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_idempotent_accessors(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help text")
+        b = reg.counter("x")
+        assert a is b
+        assert "x" in reg
+        assert reg.get("x") is a
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_render_text_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", "requests served").inc(7)
+        reg.gauge("backlog").set(3)
+        text = reg.render_text()
+        assert "# HELP reqs requests served" in text
+        assert "# TYPE reqs counter" in text
+        assert "reqs 7" in text
+        assert "# TYPE backlog gauge" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        h = reg.histogram("h", buckets=(1, 10))
+        h.observe_many([0.5, 5, 50])
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["h"]["count"] == 3
+        assert {"p50", "p95", "p99", "mean", "min", "max"} <= set(snap["h"])
+
+    def test_snapshot_hooks_fire(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        seen = []
+        reg.add_snapshot_hook(seen.append)
+        out = reg.fire_snapshot_hooks()
+        assert seen == [out]
+        assert out["c"] == 1
