@@ -4,15 +4,28 @@ The paper's quality measure is the max load, but comparing allocators
 (E9, ablations) benefits from distributional views: imbalance ratios,
 Gini coefficient, tail quantiles, and the fraction of servers at the
 cap.
+
+Also home to the reader side of the serving layer's metric spool:
+:func:`load_metric_snapshots` parses the NDJSON file written by
+:func:`repro.serve.metrics.ndjson_snapshot_hook`, and
+:func:`metric_trajectory` pulls one metric's time series out of it —
+the raw material for burned-fraction / backlog recovery plots after a
+chaos run.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LoadStats", "load_stats"]
+__all__ = [
+    "LoadStats",
+    "load_stats",
+    "load_metric_snapshots",
+    "metric_trajectory",
+]
 
 
 @dataclass(frozen=True)
@@ -76,3 +89,52 @@ def load_stats(loads, capacity: int | None = None) -> LoadStats:
         gini=gini,
         at_capacity_fraction=float(np.mean(arr == capacity)) if (n and capacity is not None) else float("nan"),
     )
+
+
+def load_metric_snapshots(path: str) -> list[dict]:
+    """Parse a metric spool written by ``ndjson_snapshot_hook``.
+
+    Returns the snapshot records (``{"seq", "time", "metrics"}``) in
+    file order.  A truncated final line — the signature of a process
+    killed mid-write — is skipped rather than fatal, so the spool of a
+    crashed service still loads.
+    """
+    records: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a killed writer
+            if isinstance(rec, dict) and "metrics" in rec:
+                records.append(rec)
+    return records
+
+
+def metric_trajectory(snapshots: list[dict], name: str, field: str | None = None):
+    """One metric's time series from loaded snapshots.
+
+    Returns ``(seq, values)`` float arrays.  Counters and gauges are
+    scalar; for histograms pass ``field`` (``"p95"``, ``"mean"``, …).
+    Snapshots missing the metric are skipped, so a spool that spans a
+    service restart (new registry, metrics appear later) still works.
+    """
+    seqs: list[float] = []
+    vals: list[float] = []
+    for rec in snapshots:
+        m = rec.get("metrics", {})
+        if name not in m:
+            continue
+        v = m[name]
+        if isinstance(v, dict):
+            if field is None:
+                raise ValueError(
+                    f"metric {name!r} is a histogram; pass field= (e.g. 'p95')"
+                )
+            v = v.get(field, float("nan"))
+        seqs.append(float(rec.get("seq", len(seqs))))
+        vals.append(float(v))
+    return np.asarray(seqs), np.asarray(vals)

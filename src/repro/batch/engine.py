@@ -155,6 +155,7 @@ def run_trials_batched(
     kernel: str | None = None,
     threads: int | None = None,
     buffers: EngineBuffers | None = None,
+    faults=None,
 ) -> BatchResult:
     """Run ``R`` independent trials of one protocol as a single batch.
 
@@ -198,6 +199,14 @@ def run_trials_batched(
         Optional :class:`~repro.batch.kernels.EngineBuffers` scratch
         pool, reused across calls (persistent sweep workers pass their
         per-process pool so grid points share one allocation).
+    faults:
+        Optional :class:`repro.faults.FaultSchedule` of *server* fault
+        kinds, wrapped around the built-in ``"saer"`` / ``"raes"``
+        policies via :func:`repro.faults.faulty_policy_factory`.  The
+        wrapper subclasses force the (bit-identical) numpy decide path,
+        so a seeded schedule reproduces exactly across kernel gates and
+        thread counts, and an all-``fraction=0`` schedule matches
+        ``faults=None`` bit for bit.
 
     Returns
     -------
@@ -231,6 +240,15 @@ def run_trials_batched(
     # state dtypes halve (or quarter) the per-round policy traffic.
     state_dtype = np.int32 if total_balls * max(cap, 1) < 2**31 - 1 else np.int64
     load_dtype = np.int16 if params.capacity < 2**15 - 1 else state_dtype
+    if faults is not None:
+        if not isinstance(policy, str):
+            raise ProtocolConfigError(
+                "faults= wraps the built-in 'saer'/'raes' policy names; "
+                "pass a pre-wrapped policy instance instead"
+            )
+        from ..faults.policies import faulty_policy_factory
+
+        policy = faulty_policy_factory(policy.lower(), faults, n_c)
     pol = _make_batch_policy(policy, R, n_s, params.capacity)
     gens = [make_rng(s) for s in seed_list]
     bufs = buffers if buffers is not None else EngineBuffers()
@@ -586,6 +604,7 @@ def run_saer_batched(
     kernel: str | None = None,
     threads: int | None = None,
     buffers: EngineBuffers | None = None,
+    faults=None,
 ) -> BatchResult:
     """Batched ``saer(c, d)``; see :func:`run_trials_batched`."""
     return run_trials_batched(
@@ -600,6 +619,7 @@ def run_saer_batched(
         kernel=kernel,
         threads=threads,
         buffers=buffers,
+        faults=faults,
     )
 
 
@@ -616,6 +636,7 @@ def run_raes_batched(
     kernel: str | None = None,
     threads: int | None = None,
     buffers: EngineBuffers | None = None,
+    faults=None,
 ) -> BatchResult:
     """Batched ``raes(c, d)``; see :func:`run_trials_batched`."""
     return run_trials_batched(
@@ -630,4 +651,5 @@ def run_raes_batched(
         kernel=kernel,
         threads=threads,
         buffers=buffers,
+        faults=faults,
     )

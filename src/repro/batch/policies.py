@@ -60,6 +60,11 @@ class BatchedServerPolicy:
         self.n_servers = n_servers
         self.capacity = capacity
         self.loads = np.zeros((n_trials, n_servers), dtype=np.int64)
+        # Rounds this policy has decided.  The engine calls exactly one
+        # decide path per round, so subclasses that need a round index
+        # (e.g. the fault overlays in repro.faults.policies) advance it
+        # from their decide overrides; the built-in rules never read it.
+        self.rounds_seen = 0
 
     # -- decision paths ----------------------------------------------------
 

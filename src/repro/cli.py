@@ -223,7 +223,7 @@ def main(argv=None) -> int:
     p_info = sub.add_parser("info", help="describe one experiment")
     p_info.add_argument("experiment", help="experiment id, e.g. E4")
     p_run = sub.add_parser("run", help="run an experiment and print its table")
-    p_run.add_argument("experiment", help="experiment id (E1..E12, S1), 'ablations', or 'all'")
+    p_run.add_argument("experiment", help="experiment id (E1..E12, S1, F1), 'ablations', or 'all'")
     p_run.add_argument("--trials", type=int, default=None, help="override trial count")
     p_run.add_argument("--seed", type=int, default=None, help="override root seed")
     p_run.add_argument(

@@ -68,6 +68,9 @@ class DynamicResult:
     offered_load: float
     recovery: int | None
     dropped: int = 0
+    #: Balls absorbed by Byzantine under-reporting servers (0 without a
+    #: fault schedule); not counted in ``assigned``.
+    byz_absorbed: int = 0
 
     def _second_half(self) -> np.ndarray:
         """The last ``⌈horizon/2⌉`` recorded rounds (never empty unless
@@ -97,6 +100,32 @@ class DynamicResult:
         if self.offered_load == 0:
             return True
         return self.backlog_slope() <= tolerance * self.offered_load
+
+    def stabilization_round(
+        self, after: int = 0, factor: float = 2.0, window: int = 8
+    ) -> int | None:
+        """First round ≥ ``after`` where the backlog re-enters its band.
+
+        The fault-tolerance diagnostic: pass the round a fault fired as
+        ``after`` and get back the first round from which the next
+        ``window`` rounds all stay below ``factor`` × the pre-fault mean
+        backlog (the mean over rounds ``< after``, or the overall mean
+        when ``after`` is 0).  ``None`` means the run never restabilized
+        inside the horizon.
+        """
+        if self.backlog.size == 0:
+            return 0
+        base = self.backlog[:after] if after > 0 else self.backlog
+        baseline = float(base.mean()) if base.size else 0.0
+        # An idle pre-fault system has baseline 0; use the arrival rate
+        # as the natural backlog scale instead of an impossible 0-band.
+        band = factor * max(baseline, self.offered_load, 1.0)
+        ok = self.backlog <= band
+        w = max(1, min(window, self.backlog.size))
+        for t in range(max(0, after), self.backlog.size - w + 1):
+            if bool(ok[t : t + w].all()):
+                return t
+        return None
 
     def latency_stats(self) -> dict:
         if self.latencies.size == 0:
@@ -153,6 +182,7 @@ def run_dynamic_saer(
     recovery: int | None = None,
     seed=None,
     kernel: str | None = None,
+    faults=None,
 ) -> DynamicResult:
     """Simulate dynamic SAER for ``horizon`` rounds; see module docstring.
 
@@ -161,13 +191,20 @@ def run_dynamic_saer(
     no dynamic analogue).  ``kernel`` gates the round step like the
     batched engine (``None`` → ``REPRO_KERNELS`` → numpy); every gate is
     bit-identical.
+
+    ``faults`` takes a :class:`repro.faults.FaultSchedule`: server
+    crashes/stalls/Byzantine under-reporting overlay the route step and
+    Byzantine clients rewrite the arrival counts, all from the
+    schedule's own seed — the protocol RNG stream is untouched, so an
+    empty schedule reproduces the fault-free run bit for bit.
     """
     from ..serve.state import ServingState
 
     if horizon < 1:
         raise ProtocolConfigError("horizon must be >= 1")
     state = ServingState(
-        graph, c, d, recovery=recovery, churn=churn, seed=seed, kernel=kernel
+        graph, c, d, recovery=recovery, churn=churn, seed=seed, kernel=kernel,
+        faults=faults,
     )
     n_c = graph.n_clients
 
@@ -200,4 +237,5 @@ def run_dynamic_saer(
         offered_load=arrivals.expected_per_round(n_c),
         recovery=recovery,
         dropped=state.dropped,
+        byz_absorbed=state.byz_absorbed,
     )

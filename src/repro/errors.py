@@ -17,6 +17,9 @@ __all__ = [
     "TapeExhaustedError",
     "ExperimentError",
     "PlanError",
+    "ServeError",
+    "FaultSpecError",
+    "CheckpointError",
 ]
 
 
@@ -74,4 +77,33 @@ class PlanError(ReproError):
     e.g. a batched backend without a batched work function, a cached
     graph mode without a cache directory, or direct seed delivery
     without a pinned topology.
+    """
+
+
+class ServeError(ReproError, ValueError):
+    """Invalid serving-layer configuration or request (:mod:`repro.serve`).
+
+    Subclasses ``ValueError`` too: the serve layer historically raised
+    bare ``ValueError`` (and the TCP front end answers ``except
+    ValueError`` with an error line), so existing callers and handlers
+    keep working while new code can catch :class:`ReproError`.
+    """
+
+
+class FaultSpecError(ReproError, ValueError):
+    """An invalid fault-injection declaration (:mod:`repro.faults`).
+
+    Raised when a :class:`~repro.faults.FaultSpec` is out of range
+    (fraction outside [0, 1], empty window, bad duty cycle) or a
+    schedule is applied to a layer that cannot express its fault kinds
+    (e.g. client-side faults in the static batch engine).
+    """
+
+
+class CheckpointError(ReproError):
+    """A serving-state checkpoint could not be written, read, or applied.
+
+    Raised by :meth:`repro.serve.ServingState.save` / ``load`` /
+    ``from_checkpoint`` on I/O failures, version mismatches, or
+    payloads that fail basic integrity checks.
     """

@@ -210,6 +210,20 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             capabilities=("seed",),
             smoke=_smoke(n=128, rounds=30, rate=0.3),
         ),
+        ExperimentSpec(
+            id="F1",
+            title="Fault tolerance vs faulty fraction f",
+            claim="dynamic saer with recovery restabilizes after a fraction f of servers crash, stall, or turn Byzantine, degrading gracefully in f; the f=0 row is bit-identical to the fault-free run",
+            paper_ref="§4 Conclusions and Future Work (robustness of the dynamic scenario)",
+            runner="run_f1_faults",
+            bench="benchmarks/bench_serve.py",
+            expected_shape="backlog restabilizes after the fault for small f and degrades monotonically as f grows; byz_absorbed > 0 only for byz_server rows; f=0 matches the no-fault control",
+            modules=("repro.faults", "repro.dynamic"),
+            smoke=_smoke(
+                n=64, horizon=60, trials=1,
+                fractions=(0.2,), kinds=("crash",),
+            ),
+        ),
     ]
 }
 

@@ -53,6 +53,7 @@ from ..baselines import (
     run_threshold_protocol,
 )
 from ..dynamic import PoissonArrivals, RewireChurn, run_dynamic_saer
+from ..faults import FaultSchedule, FaultSpec
 from ..graphs import degree_report, random_regular_bipartite
 from ..graphs.families import build_point_graph, canonical_degree
 from ..parallel.aggregate import aggregate_records, as_table, summarize
@@ -85,6 +86,7 @@ __all__ = [
     "run_e11_alive_decay",
     "run_e12_dynamic",
     "run_s1_serve",
+    "run_f1_faults",
 ]
 
 
@@ -1221,5 +1223,146 @@ def run_s1_serve(
         "recovery": recovery,
         "max_wait_rounds": max_wait_rounds,
         "kernel": kernel_name,
+    }
+    return rows, meta
+
+
+# ---------------------------------------------------------------------------
+# F1 — fault tolerance: protocol behaviour vs faulty fraction f
+# ---------------------------------------------------------------------------
+
+
+def _f1_record(graph, point: Mapping, s_seed) -> dict:
+    """One faulted dynamic run; the schedule is rebuilt from the point's
+    scalars (kind / f / start / seed) so points stay columnar-spoolable."""
+    faults = None
+    if point["f"] > 0:
+        faults = FaultSchedule(
+            (
+                FaultSpec(
+                    point["fault_kind"],
+                    point["f"],
+                    start=point["fault_start"],
+                ),
+            ),
+            seed=point["fault_seed"],
+        )
+    res = run_dynamic_saer(
+        graph,
+        point["c"],
+        point["d"],
+        PoissonArrivals(point["rate"]),
+        point["horizon"],
+        recovery=point["recovery"],
+        seed=s_seed,
+        faults=faults,
+    )
+    rec = res.summary()
+    stab = res.stabilization_round(after=point["fault_start"])
+    rec["stabilized"] = stab is not None
+    rec["stabilization_round"] = -1 if stab is None else stab
+    rec["byz_absorbed"] = res.byz_absorbed
+    return rec
+
+
+def run_f1_faults(
+    n: int = 512,
+    c: float = 2.0,
+    d: int = 4,
+    rate: float = 0.5,
+    horizon: int = 300,
+    recovery: int = 8,
+    fractions=(0.1, 0.2, 0.4),
+    kinds=("crash", "stall", "byz_server"),
+    fault_start: int | None = None,
+    fault_seed: int = 11,
+    trials: int = 3,
+    seed=7001,
+    processes: int | None = None,
+) -> tuple[list[dict], dict]:
+    """F1: f-tolerance sweep — dynamic SAER vs faulty participant fraction.
+
+    A permanent fault fires at ``fault_start`` (default ``horizon // 4``,
+    so a quarter of the run establishes the healthy baseline) knocking
+    out / corrupting a fraction *f* of the servers; the table reports,
+    per ``(kind, f)``, whether the backlog restabilizes
+    (:meth:`~repro.dynamic.DynamicResult.stabilization_round`), how far
+    the burned fraction climbs, and — for Byzantine servers — how many
+    balls the liars silently absorbed.  ``f = 0`` is the control row and
+    is *bit-identical* to a fault-free run (the fault RNG never touches
+    the protocol stream).
+    """
+    if fault_start is None:
+        fault_start = horizon // 4
+    points = [
+        {
+            "fault_kind": "none",
+            "f": 0.0,
+            "fault_start": fault_start,
+            "fault_seed": fault_seed,
+            "rate": rate,
+            "recovery": recovery,
+            "n": n,
+            "c": c,
+            "d": d,
+            "horizon": horizon,
+            "family": "trust",
+            "degree": _regular_degree(n),
+        }
+    ]
+    for kind in kinds:
+        for f in fractions:
+            if f <= 0:
+                continue
+            points.append({**points[0], "fault_kind": kind, "f": f})
+    recs = execute(RunPlan(
+        grid=points,
+        work=WorkSpec(record=_f1_record, name="f1-faults"),
+        trials=trials,
+        seeds=SeedSpec(root=seed),
+        execution=ExecSpec(processes=processes),
+        results=ResultSpec(mode="columnar"),
+    ))
+    rows = []
+    for point in points:
+        kind, f = point["fault_kind"], point["f"]
+        bucket = recs.where(fault_kind=kind, f=f)
+        stab_rounds = bucket.column("stabilization_round")
+        stab_rounds = stab_rounds[stab_rounds >= 0]
+        rows.append(
+            {
+                "kind": kind,
+                "f": f,
+                "trials": len(bucket),
+                "backlog_mean_2nd_half": round(
+                    summarize(bucket.column("mean_backlog_2nd_half"))["mean"], 1
+                ),
+                "backlog_slope": round(
+                    summarize(bucket.column("backlog_slope"))["mean"], 3
+                ),
+                "burned_frac_final": round(
+                    summarize(bucket.column("burned_frac_final"))["mean"], 3
+                ),
+                "latency_p95": round(
+                    summarize(bucket.column("latency_p95"))["mean"], 3
+                ),
+                "byz_absorbed": int(bucket.column("byz_absorbed").sum()),
+                "stabilized": f"{int(bucket.column('stabilized').sum())}/{len(bucket)}",
+                "stabilization_round": round(float(stab_rounds.mean()), 1)
+                if stab_rounds.size
+                else None,
+                "metastable": f"{int(bucket.column('metastable').sum())}/{len(bucket)}",
+            }
+        )
+    meta = {
+        "n": n,
+        "c": c,
+        "d": d,
+        "rate": rate,
+        "horizon": horizon,
+        "recovery": recovery,
+        "fault_start": fault_start,
+        "fault_seed": fault_seed,
+        "records": recs,
     }
     return rows, meta

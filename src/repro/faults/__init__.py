@@ -1,0 +1,55 @@
+"""repro.faults — declarative fault injection and self-healing policies.
+
+The well-behaved protocol meets misbehaving participants: seeded,
+deterministic, picklable fault declarations
+(:class:`FaultSpec` / :class:`FaultSchedule`) that thread through all
+three execution layers —
+
+* the **dynamic simulator**: ``run_dynamic_saer(..., faults=schedule)``
+  overlays server crashes/stalls/Byzantine under-reporting and client
+  duplicate-spray/misroute onto the arrival rounds;
+* the **serving layer**: :class:`~repro.serve.ServingState` applies the
+  same overlays live, and :class:`HealthPolicy`/:class:`HealthTracker`
+  close the loop — quarantine unresponsive servers, readmit them on
+  probation;
+* the **batch engine**: ``run_trials_batched(..., faults=schedule)``
+  wraps the built-in policies (:mod:`repro.faults.policies`) so
+  :class:`~repro.plan.RunPlan` grids can sweep the faulty fraction *f*.
+
+All fault randomness lives in the schedule's own seed; the protocol RNG
+stream is untouched, so ``f=0`` is bit-identical to a fault-free run in
+every layer and a seeded schedule reproduces exactly across kernel
+gates, thread counts, and processes.  The F1 registry experiment
+(``repro-lb run F1``) is the f-tolerance sweep built on these pieces.
+"""
+
+from .health import HealthPolicy, HealthTracker
+from .policies import (
+    FaultyBatchedRaesPolicy,
+    FaultyBatchedSaerPolicy,
+    faulty_policy_factory,
+)
+from .spec import (
+    CLIENT_KINDS,
+    FAULT_KINDS,
+    SERVER_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    MaterializedFaults,
+    stalled,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultSchedule",
+    "MaterializedFaults",
+    "stalled",
+    "FAULT_KINDS",
+    "SERVER_KINDS",
+    "CLIENT_KINDS",
+    "HealthPolicy",
+    "HealthTracker",
+    "FaultyBatchedSaerPolicy",
+    "FaultyBatchedRaesPolicy",
+    "faulty_policy_factory",
+]

@@ -1,0 +1,138 @@
+"""Server health tracking: quarantine and readmission for the serving path.
+
+The service cannot see *why* a server rejects balls — a crash, a stall,
+and an honest protocol burn all look the same from the routing side: a
+round in which the server received traffic and accepted none of it.
+:class:`HealthTracker` turns that per-round observable into a
+self-healing loop: servers failing ``fail_streak`` consecutive observed
+rounds are quarantined (removed from every client's routable
+neighborhood via :meth:`~repro.serve.ServingState.set_quarantine`,
+which never strands a client), then probationally readmitted after
+``quarantine_rounds`` so a recovered server rejoins the pool.
+
+The tracker is deterministic — pure counter arithmetic, no RNG — and
+bounded: at most ``max_quarantine_fraction`` of the fleet is ever out
+at once, worst offenders first, so a pathological signal can never
+quarantine everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultSpecError
+
+__all__ = ["HealthPolicy", "HealthTracker"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs of the quarantine/readmission loop (picklable).
+
+    ``fail_streak``
+        Consecutive observed-and-failed rounds before quarantine.  A
+        round with no traffic to a server is no evidence and does not
+        advance (or reset) its streak.
+    ``quarantine_rounds``
+        Rounds a quarantined server sits out before probational
+        readmission.
+    ``max_quarantine_fraction``
+        Hard cap on the simultaneously quarantined fraction.
+    """
+
+    fail_streak: int = 3
+    quarantine_rounds: int = 32
+    max_quarantine_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fail_streak < 1:
+            raise FaultSpecError(f"fail_streak must be >= 1; got {self.fail_streak}")
+        if self.quarantine_rounds < 1:
+            raise FaultSpecError(
+                f"quarantine_rounds must be >= 1; got {self.quarantine_rounds}"
+            )
+        if not (0.0 < self.max_quarantine_fraction <= 1.0):
+            raise FaultSpecError(
+                "max_quarantine_fraction must be in (0, 1]; "
+                f"got {self.max_quarantine_fraction}"
+            )
+
+
+class HealthTracker:
+    """Per-server failure streaks → quarantine / readmission decisions."""
+
+    def __init__(self, policy: HealthPolicy, n_servers: int):
+        self.policy = policy
+        self.n_servers = int(n_servers)
+        self.streak = np.zeros(self.n_servers, dtype=np.int64)
+        self.in_quarantine = np.zeros(self.n_servers, dtype=bool)
+        self.q_clock = np.zeros(self.n_servers, dtype=np.int64)
+        self.quarantine_events = 0
+        self.readmit_events = 0
+
+    def observe(
+        self, received: np.ndarray, accepted: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold one round's per-server counts; returns ``(to_quarantine,
+        to_readmit)`` index arrays (either may be empty).
+
+        ``received`` / ``accepted`` are the round's per-server ball
+        counts (length ``n_servers``).  The caller applies the returned
+        decisions to its :class:`~repro.serve.ServingState` and reports
+        them back via nothing — the tracker assumes its decisions stick.
+        """
+        pol = self.policy
+        inq = self.in_quarantine
+        # Streaks advance only on evidence: traffic seen this round.
+        seen = received > 0
+        failed = seen & (accepted == 0) & ~inq
+        healthy = seen & (accepted > 0) & ~inq
+        self.streak[failed] += 1
+        self.streak[healthy] = 0
+        # Quarantine the worst offenders, respecting the fleet-wide cap.
+        cand = np.flatnonzero((self.streak >= pol.fail_streak) & ~inq)
+        to_q = _EMPTY
+        if cand.size:
+            cap = int(pol.max_quarantine_fraction * self.n_servers)
+            room = cap - int(np.count_nonzero(inq))
+            if room > 0:
+                if cand.size > room:
+                    # Deterministic worst-first: longest streak, then index.
+                    order = np.lexsort((cand, -self.streak[cand]))
+                    cand = np.sort(cand[order[:room]])
+                to_q = cand
+                inq[to_q] = True
+                self.q_clock[to_q] = 0
+                self.streak[to_q] = 0
+                self.quarantine_events += int(to_q.size)
+        # Probational readmission after the sit-out.
+        self.q_clock[inq] += 1
+        ready = inq & (self.q_clock >= pol.quarantine_rounds)
+        to_r = np.flatnonzero(ready)
+        if to_r.size:
+            inq[to_r] = False
+            self.q_clock[to_r] = 0
+            self.streak[to_r] = 0
+            self.readmit_events += int(to_r.size)
+        return to_q, to_r
+
+    def state(self) -> dict:
+        """Checkpointable tracker state."""
+        return {
+            "streak": self.streak.copy(),
+            "in_quarantine": self.in_quarantine.copy(),
+            "q_clock": self.q_clock.copy(),
+            "quarantine_events": self.quarantine_events,
+            "readmit_events": self.readmit_events,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.streak[:] = state["streak"]
+        self.in_quarantine[:] = state["in_quarantine"]
+        self.q_clock[:] = state["q_clock"]
+        self.quarantine_events = int(state["quarantine_events"])
+        self.readmit_events = int(state["readmit_events"])

@@ -1,0 +1,142 @@
+"""Fault-injecting wrappers for the trial-batched engine.
+
+The batched engine's Phase-2 state is ``cum_received`` / ``loads``
+matrices of shape ``[R, n_servers]``, and both decision paths
+(:meth:`decide_dense` / :meth:`decide_sparse`) fire **exactly once per
+round**.  Server-side faults therefore inject as a column overlay
+around the unmodified decide step:
+
+* crashed / stalled servers: their ``cum_received`` columns are pinned
+  above capacity for the round (reject everything) and restored after —
+  the balls never reached them, so their counters do not advance;
+* Byzantine under-reporters: their columns are zeroed at every round
+  boundary, so they accept up to capacity *every* round and never
+  appear burned; the balls they really absorbed accumulate in the
+  :attr:`byz_absorbed` per-trial ledger.
+
+Because these are **subclasses** of the built-in policies, the engine's
+``_compiled_supported`` exact-type check automatically routes them down
+the numpy decide path — which is bit-identical to the fused kernels —
+so no fault logic ever touches compiled code, and a seeded schedule
+produces identical columns at every kernel gate and thread count.
+Client-side fault kinds have no meaning in the static batch setting
+(demands are fixed, there are no arrivals) and are rejected up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..batch.policies import BatchedRaesPolicy, BatchedSaerPolicy
+from ..errors import FaultSpecError
+from .spec import FaultSchedule, MaterializedFaults
+
+__all__ = ["FaultyBatchedSaerPolicy", "FaultyBatchedRaesPolicy", "faulty_policy_factory"]
+
+
+class _FaultOverlayMixin:
+    """Shared pre/post overlay around the wrapped decide step."""
+
+    def _init_faults(self, faults: MaterializedFaults) -> None:
+        self.faults = faults
+        self.byz_absorbed = np.zeros(self.n_trials, dtype=np.int64)
+
+    def _pre(self):
+        ov = self.faults.server_overlay(self.rounds_seen)
+        if ov is None:
+            return None
+        rej, byz = ov
+        saved = self.cum_received[:, rej].copy() if rej.size else None
+        if rej.size:
+            self.cum_received[:, rej] = self.capacity + 1
+        if byz.size:
+            self.cum_received[:, byz] = 0
+        return rej, byz, saved
+
+    def _post(self, pre) -> None:
+        if pre is None:
+            return
+        rej, byz, saved = pre
+        if byz.size:
+            after = self.cum_received[:, byz]
+            absorbed = np.where(after <= self.capacity, after, 0)
+            self.byz_absorbed += absorbed.sum(axis=1, dtype=np.int64)
+            self.cum_received[:, byz] = 0
+            # Every ball a liar absorbed is in the ledger; its reported
+            # load stays 0 (it under-reports, after all) so honest
+            # ``loads`` + ``byz_absorbed`` partition the assigned balls.
+            self.loads[:, byz] = 0
+        if rej.size:
+            self.cum_received[:, rej] = saved
+
+    def decide_dense(self, trials, received):
+        pre = self._pre()
+        accept = super().decide_dense(trials, received)
+        self._post(pre)
+        self.rounds_seen += 1
+        return accept
+
+    def decide_sparse(self, ball_keys):
+        pre = self._pre()
+        accept = super().decide_sparse(ball_keys)
+        self._post(pre)
+        self.rounds_seen += 1
+        return accept
+
+
+class FaultyBatchedSaerPolicy(_FaultOverlayMixin, BatchedSaerPolicy):
+    """SAER over a trial axis with a server-fault overlay per round."""
+
+    def __init__(self, n_trials, n_servers, capacity, faults: MaterializedFaults):
+        super().__init__(n_trials, n_servers, capacity)
+        self._init_faults(faults)
+
+
+class FaultyBatchedRaesPolicy(_FaultOverlayMixin, BatchedRaesPolicy):
+    """RAES with a server-fault overlay: crash/stall pin ``loads`` above
+    capacity for the round (RAES keeps no cumulative counter, so the
+    overlay targets the only rejection state it has); ``byz_server``
+    zeroes the column each round — a server that under-reports its load
+    accepts every batch.
+    """
+
+    def __init__(self, n_trials, n_servers, capacity, faults: MaterializedFaults):
+        super().__init__(n_trials, n_servers, capacity)
+        self._init_faults(faults)
+
+    # RAES has no cum_received; alias the overlay onto loads.  The
+    # absorbed ledger reads the post-round load directly.
+    @property
+    def cum_received(self):
+        return self.loads
+
+    @cum_received.setter
+    def cum_received(self, value):  # pragma: no cover - mixin symmetry
+        self.loads = value
+
+
+def faulty_policy_factory(protocol: str, schedule: FaultSchedule, n_clients: int):
+    """A policy factory for :func:`repro.batch.run_trials_batched`.
+
+    Returns ``factory(n_trials, n_servers, capacity)`` building the
+    fault-wrapped counterpart of the named built-in protocol.  Client
+    fault kinds are rejected: the static engine has no arrival process
+    to transform.
+    """
+    if not schedule.server_kinds_only:
+        bad = sorted({s.kind for s in schedule.specs if not s.is_server_kind})
+        raise FaultSpecError(
+            "the batch engine supports server fault kinds only "
+            f"(got {', '.join(bad)}); client kinds need the dynamic "
+            "simulator or the serving layer"
+        )
+    cls = {"saer": FaultyBatchedSaerPolicy, "raes": FaultyBatchedRaesPolicy}.get(protocol)
+    if cls is None:
+        raise FaultSpecError(
+            f"faults wrap the built-in 'saer'/'raes' policies; got {protocol!r}"
+        )
+
+    def factory(n_trials: int, n_servers: int, capacity: int):
+        return cls(n_trials, n_servers, capacity, schedule.materialize(n_clients, n_servers))
+
+    return factory

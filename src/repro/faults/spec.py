@@ -1,0 +1,297 @@
+"""Declarative, seeded, deterministic fault injection.
+
+A :class:`FaultSpec` declares *one* fault population: which kind of
+misbehaviour, what fraction of the relevant side (servers or clients)
+exhibits it, and over which rounds it is active.  A
+:class:`FaultSchedule` bundles several specs with one seed; both are
+small frozen dataclasses, picklable by construction, so they travel
+through :class:`~repro.plan.RunPlan` grids and multiprocessing workers
+unchanged.
+
+Fault kinds
+-----------
+
+``crash``
+    The faulty servers are down while active: every ball routed to them
+    is rejected, and — unlike a protocol burn — their cumulative
+    received counter does not advance (the balls never reached them).
+    With ``start``/``end`` this is a crash-recover window; with
+    ``period``/``duty`` it is a flapping server.
+``stall``
+    A slow server, modelled as a deterministic duty cycle: down on
+    ``duty`` out of every ``period`` rounds (default 3 of 4 → it serves
+    at quarter speed).  Same per-round mechanics as ``crash``.
+``byz_server``
+    A Byzantine server that **under-reports load**: at every round
+    boundary it claims an empty counter, so it accepts up to
+    ``⌊c·d⌋`` fresh balls *every* round forever and never appears
+    burned.  The balls it really absorbed are tracked in a separate
+    ledger (``byz_absorbed``), never in the honest protocol state.
+``byz_client_dup``
+    Byzantine clients that spray duplicates: every arrival at a faulty
+    client is multiplied by ``factor`` (the extras are adversarial —
+    in the serving layer they carry no caller future).
+``byz_client_misroute``
+    Byzantine clients that mis-report destinations: each of their balls
+    is routed through a uniformly random client's neighborhood instead
+    of their own (drawn from the fault RNG, never the protocol RNG).
+
+Determinism
+-----------
+
+All fault randomness comes from the schedule's own seed:
+``materialize()`` draws the faulty index sets from per-spec child
+streams of ``SeedSequence(seed)``, and runtime draws (misroute targets)
+come from a dedicated runtime stream.  The protocol RNG is never
+touched, which is what makes the ``f=0`` path bit-identical to a
+fault-free run and a seeded schedule reproducible across kernel gates,
+thread counts, and processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultSpecError
+
+__all__ = [
+    "FAULT_KINDS",
+    "SERVER_KINDS",
+    "CLIENT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "MaterializedFaults",
+    "stalled",
+]
+
+SERVER_KINDS = ("crash", "stall", "byz_server")
+CLIENT_KINDS = ("byz_client_dup", "byz_client_misroute")
+FAULT_KINDS = SERVER_KINDS + CLIENT_KINDS
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault population; see the module docstring for kinds.
+
+    ``fraction``
+        Fraction of the relevant side (servers for server kinds,
+        clients for client kinds) that is faulty, in ``[0, 1]``.
+    ``start`` / ``end``
+        Active on rounds ``start <= t < end`` (``end=None`` → forever).
+    ``period`` / ``duty``
+        Within the window, active on rounds where
+        ``(t - start) % period < duty`` — ``period=1, duty=1`` (the
+        default) means every round; ``stall`` defaults to 3-of-4.
+    ``factor``
+        Duplicate-spray multiplier for ``byz_client_dup`` (each arrival
+        becomes ``factor`` balls); ignored by other kinds.
+    """
+
+    kind: str
+    fraction: float
+    start: int = 0
+    end: int | None = None
+    period: int = 1
+    duty: int = 1
+    factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        if not (0.0 <= self.fraction <= 1.0):
+            raise FaultSpecError(f"fraction must be in [0, 1]; got {self.fraction}")
+        if self.start < 0:
+            raise FaultSpecError(f"start must be >= 0; got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise FaultSpecError(
+                f"end must be > start; got start={self.start}, end={self.end}"
+            )
+        if self.period < 1:
+            raise FaultSpecError(f"period must be >= 1; got {self.period}")
+        if not (1 <= self.duty <= self.period):
+            raise FaultSpecError(
+                f"duty must be in [1, period={self.period}]; got {self.duty}"
+            )
+        if self.factor < 1:
+            raise FaultSpecError(f"factor must be >= 1; got {self.factor}")
+
+    @property
+    def is_server_kind(self) -> bool:
+        return self.kind in SERVER_KINDS
+
+    def active(self, t: int) -> bool:
+        """Whether this fault is live in round ``t``."""
+        if t < self.start:
+            return False
+        if self.end is not None and t >= self.end:
+            return False
+        return (t - self.start) % self.period < self.duty
+
+
+def stalled(fraction: float, **kwargs) -> FaultSpec:
+    """Convenience: a ``stall`` spec with the canonical 3-of-4 duty."""
+    kwargs.setdefault("period", 4)
+    kwargs.setdefault("duty", 3)
+    return FaultSpec("stall", fraction, **kwargs)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded bundle of :class:`FaultSpec` declarations.
+
+    Picklable and layer-agnostic: hand it to
+    :class:`~repro.serve.ServingState`, :func:`~repro.dynamic.run_dynamic_saer`,
+    or :func:`~repro.batch.run_trials_batched` and each layer calls
+    :meth:`materialize` against its own population sizes.  An empty
+    schedule (or every spec at ``fraction=0``) injects nothing and the
+    host layers take their unmodified fast path.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        specs = tuple(self.specs)
+        for s in specs:
+            if not isinstance(s, FaultSpec):
+                raise FaultSpecError(f"specs must be FaultSpec instances; got {s!r}")
+        object.__setattr__(self, "specs", specs)
+
+    @property
+    def server_kinds_only(self) -> bool:
+        return all(s.is_server_kind for s in self.specs)
+
+    def materialize(self, n_clients: int, n_servers: int) -> "MaterializedFaults":
+        """Draw the faulty index sets for concrete population sizes."""
+        return MaterializedFaults(self, n_clients, n_servers)
+
+
+def _draw_set(rng: np.random.Generator, n: int, fraction: float) -> np.ndarray:
+    k = int(round(fraction * n))
+    if k <= 0 or n <= 0:
+        return _EMPTY
+    idx = rng.choice(n, size=min(k, n), replace=False)
+    return np.sort(idx).astype(np.int64)
+
+
+class MaterializedFaults:
+    """A :class:`FaultSchedule` bound to concrete population sizes.
+
+    Owns the drawn faulty index sets (one per spec, from per-spec child
+    seeds — adding a spec never reshuffles the others) plus a dedicated
+    runtime RNG for misroute target draws.  The per-round queries are
+    cheap: empty arrays when nothing is active, so the host layers'
+    fault hooks short-circuit to their unmodified code paths.
+    """
+
+    def __init__(self, schedule: FaultSchedule, n_clients: int, n_servers: int):
+        self.schedule = schedule
+        self.n_clients = int(n_clients)
+        self.n_servers = int(n_servers)
+        children = np.random.SeedSequence(schedule.seed).spawn(len(schedule.specs) + 1)
+        self._rt_rng = np.random.Generator(np.random.PCG64(children[-1]))
+        self.members: list[np.ndarray] = []
+        for spec, child in zip(schedule.specs, children):
+            rng = np.random.Generator(np.random.PCG64(child))
+            n = self.n_servers if spec.is_server_kind else self.n_clients
+            self.members.append(_draw_set(rng, n, spec.fraction))
+
+    # -- server-side overlay ------------------------------------------------
+
+    def server_overlay(self, t: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(reject_idx, byz_idx)`` active in round ``t``, or ``None``.
+
+        ``reject_idx`` are crashed/stalled servers (accept nothing,
+        counters frozen); ``byz_idx`` are under-reporting servers.  The
+        sets are disjoint — a server both crashed and Byzantine is down
+        (crash wins).
+        """
+        reject: list[np.ndarray] = []
+        byz: list[np.ndarray] = []
+        for spec, idx in zip(self.schedule.specs, self.members):
+            if idx.size == 0 or not spec.is_server_kind or not spec.active(t):
+                continue
+            (byz if spec.kind == "byz_server" else reject).append(idx)
+        if not reject and not byz:
+            return None
+        rej = np.unique(np.concatenate(reject)) if reject else _EMPTY
+        bz = np.unique(np.concatenate(byz)) if byz else _EMPTY
+        if rej.size and bz.size:
+            bz = np.setdiff1d(bz, rej, assume_unique=True)
+        return rej, bz
+
+    # -- client-side arrival transforms ------------------------------------
+
+    def _active_client(self, t: int, kind: str):
+        for spec, idx in zip(self.schedule.specs, self.members):
+            if spec.kind == kind and idx.size and spec.active(t):
+                yield spec, idx
+
+    def transform_counts(self, t: int, counts: np.ndarray) -> np.ndarray:
+        """Apply client-kind faults to a per-client arrival-count vector.
+
+        Returns ``counts`` unchanged (same object) when nothing is
+        active — the fault-free path never copies.
+        """
+        out = counts
+        for spec, idx in self._active_client(t, "byz_client_dup"):
+            if out is counts:
+                out = np.asarray(counts).copy()
+            out[idx] *= spec.factor
+        for _spec, idx in self._active_client(t, "byz_client_misroute"):
+            if out is counts:
+                out = np.asarray(counts).copy()
+            moved = out[idx].sum()
+            if moved:
+                out[idx] = 0
+                targets = self._rt_rng.integers(0, self.n_clients, size=int(moved))
+                np.add.at(out, targets, 1)
+        return out
+
+    def transform_owners(
+        self, t: int, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply client-kind faults to individually submitted balls.
+
+        Returns ``(owners, extra_owners)``: ``owners`` possibly remapped
+        (misroute), ``extra_owners`` the adversarial duplicates (dup
+        spray) to admit *without* caller futures.  Both are the inputs
+        unchanged / empty when nothing is active.
+        """
+        out = owners
+        extras: list[np.ndarray] = []
+        for spec, idx in self._active_client(t, "byz_client_dup"):
+            mask = np.isin(out, idx)
+            k = int(np.count_nonzero(mask))
+            if k:
+                extras.append(np.repeat(out[mask], spec.factor - 1))
+        for _spec, idx in self._active_client(t, "byz_client_misroute"):
+            mask = np.isin(out, idx)
+            k = int(np.count_nonzero(mask))
+            if k:
+                if out is owners:
+                    out = owners.copy()
+                out[mask] = self._rt_rng.integers(0, self.n_clients, size=k)
+        extra = np.concatenate(extras) if extras else _EMPTY
+        return out, extra
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Runtime state beyond the (re-derivable) member sets."""
+        return {"rt_rng": self._rt_rng.bit_generator.state}
+
+    def set_state(self, state: dict) -> None:
+        self._rt_rng.bit_generator.state = state["rt_rng"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(
+            f"{s.kind}×{m.size}" for s, m in zip(self.schedule.specs, self.members)
+        )
+        return f"MaterializedFaults({kinds or 'none'}, seed={self.schedule.seed})"

@@ -30,6 +30,13 @@ Layers, bottom up:
     Open-loop load generator replaying arrival traces in-process or
     over TCP, emitting a ``BENCH_serve.json`` report.
 
+Robustness: pass a :class:`~repro.faults.FaultSchedule` to
+``ServingState(faults=...)`` to overlay crashes / stalls / Byzantine
+participants; set ``ServeConfig(health=HealthPolicy(...))`` and
+``brownout_threshold=`` to turn on the self-healing loop (quarantine +
+readmission + load shedding); ``SaerService.checkpoint()`` /
+``from_checkpoint()`` survive a kill with identical accounting.
+
 Quickstart (in-process)::
 
     import asyncio, repro

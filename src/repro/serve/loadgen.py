@@ -8,7 +8,7 @@ offline simulator uses (``poisson`` / ``burst``) plus the adversarial
 from a dedicated trace RNG — so the *offered* load is identical across
 modes, kernels, and processes, and only the protocol RNG differs.
 
-Two modes:
+Three modes:
 
 ``inprocess``
     Drives a service in the same process with **no ticker and no
@@ -22,6 +22,21 @@ Two modes:
     writes each round's requests, sleeps one tick, never waits for
     responses (a reader task collects them concurrently).  Measures the
     wire path end to end.
+``chaos``
+    Boots its *own* TCP service in-process with a
+    :class:`~repro.faults.FaultSchedule` (``--fault-kind`` /
+    ``--fault-fraction`` / ``--fault-start``) plus the self-healing
+    loop (``--health-streak`` quarantine, ``--brownout-threshold``
+    shedding), then replays the trace over real TCP with client-side
+    retries — faults land mid-replay, and the report shows whether
+    backoff + quarantine recovered the assignment rate.
+
+Client-side retries (:class:`RetryPolicy`, ``--retry``) resubmit balls
+that come back ``Retry(timeout/backpressure/brownout)`` after a capped
+exponential backoff with full jitter; the report then separates
+first-attempt latency from end-to-end latency *including* retries, and
+``--max-retry-rate`` / ``--max-p99-retries`` / ``--max-lost`` gate on
+them.
 
 The report lands in ``BENCH_serve.json`` (``--out``); ``--min-assign-rate``
 and ``--max-p95`` turn it into a pass/fail gate for CI's serve-smoke job.
@@ -34,6 +49,7 @@ import asyncio
 import json
 import math
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,20 +60,59 @@ from ..dynamic.arrivals import (
     PoissonArrivals,
 )
 from ..dynamic.churn import RewireChurn
+from ..errors import ServeError
+from ..faults import FaultSchedule, FaultSpec, HealthPolicy
 from ..graphs.families import build_point_graph
 from ..rng import make_rng
 from .protocol import decode_response, encode_response
-from .service import SaerService, ServeConfig
+from .service import SaerService, ServeConfig, serve_tcp
 from .state import ServingState
 
 __all__ = [
+    "RetryPolicy",
     "make_arrivals",
     "sample_trace",
     "run_inprocess",
     "run_tcp",
+    "run_chaos",
     "build_report",
+    "check_report",
     "main",
 ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry: capped exponential backoff with full jitter.
+
+    A ball resolved as ``Retry`` is resubmitted after
+    ``uniform(0, min(cap, base·2^attempt))`` rounds (at least 1), up to
+    ``max_attempts`` total submissions; after that the ball counts as
+    *lost*.  Jitter draws come from the policy's own seeded RNG so a
+    replay is reproducible and never perturbs the trace or protocol
+    streams.  In TCP modes a "round" of delay is one client tick.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    max_delay: float = 16.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServeError("max_attempts must be >= 1")
+        if self.base_delay <= 0:
+            raise ServeError("base_delay must be > 0 rounds")
+        if self.max_delay < self.base_delay:
+            raise ServeError("max_delay must be >= base_delay")
+
+    def make_rng(self) -> np.random.Generator:
+        return make_rng(self.seed)
+
+    def delay_rounds(self, attempt: int, rng: np.random.Generator) -> int:
+        """Backoff before submission ``attempt + 1`` (attempt is 0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return max(1, math.ceil(float(rng.uniform(0.0, ceiling))))
 
 
 def make_arrivals(
@@ -98,10 +153,27 @@ def sample_trace(
 
 
 def run_inprocess(
-    service: SaerService, trace: list[np.ndarray], drain_rounds: int = 2000
+    service: SaerService,
+    trace: list[np.ndarray],
+    drain_rounds: int = 2000,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Replay ``trace`` at full speed (one round per trace entry, no
-    sleeps), drain, and tally every ball's outcome."""
+    sleeps), drain, and tally every ball's outcome.
+
+    With a :class:`RetryPolicy`, balls that come back ``Retry`` are
+    resubmitted after a jittered backoff measured in *rounds* (the
+    driven loop has no wall clock); ``tally["retry"]`` then counts only
+    balls that exhausted every attempt (= ``lost``).
+    """
+    if retry is None:
+        return _run_inprocess_plain(service, trace, drain_rounds)
+    return _run_inprocess_retry(service, trace, drain_rounds, retry)
+
+
+def _run_inprocess_plain(
+    service: SaerService, trace: list[np.ndarray], drain_rounds: int
+) -> dict:
     futures = []
     submit = service.submit
     t0 = time.perf_counter()
@@ -135,7 +207,92 @@ def run_inprocess(
         "submitted": len(futures),
         "tally": tally,
         "retry_reasons": retry_reasons,
+        "resubmitted": 0,
+        "lost": 0,
         "latencies": np.asarray(latencies, dtype=np.int64),
+        "latencies_with_retries": np.asarray([], dtype=np.int64),
+        "stats": service.stats(),
+    }
+
+
+def _run_inprocess_retry(
+    service: SaerService,
+    trace: list[np.ndarray],
+    drain_rounds: int,
+    retry: RetryPolicy,
+) -> dict:
+    rng = retry.make_rng()
+    submit = service.submit
+    tally = {"assigned": 0, "retry": 0, "dropped": 0, "unresolved": 0}
+    retry_reasons: dict[str, int] = {}
+    latencies: list[int] = []
+    latencies_total: list[int] = []
+    # due round -> [(client, next_attempt, birth_round), ...]
+    backlog: dict[int, list[tuple[int, int, int]]] = {}
+    cur = [0]  # current loadgen round, read by callbacks at resolution time
+    counters = {"submitted": 0, "resubmitted": 0, "lost": 0}
+
+    def watch(fut, client: int, attempt: int, birth: int) -> None:
+        def cb(f):
+            out = f.result()
+            if out.outcome == "assigned":
+                tally["assigned"] += 1
+                latencies.append(out.latency_rounds)
+                latencies_total.append(max(0, cur[0] - birth))
+            elif out.outcome == "dropped":
+                tally["dropped"] += 1
+            else:  # retry
+                retry_reasons[out.reason] = retry_reasons.get(out.reason, 0) + 1
+                if attempt + 1 >= retry.max_attempts:
+                    tally["retry"] += 1
+                    counters["lost"] += 1
+                else:
+                    due = cur[0] + retry.delay_rounds(attempt, rng)
+                    backlog.setdefault(due, []).append((client, attempt + 1, birth))
+
+        fut.add_done_callback(cb)
+
+    def resubmit_due() -> None:
+        for client, attempt, birth in backlog.pop(cur[0], ()):
+            counters["resubmitted"] += 1
+            watch(submit(client, 1)[0], client, attempt, birth)
+
+    t0 = time.perf_counter()
+    for counts in trace:
+        resubmit_due()
+        for client in np.nonzero(counts)[0].tolist():
+            k = int(counts[client])
+            counters["submitted"] += k
+            for f in submit(client, k):
+                watch(f, client, 0, cur[0])
+        service.run_round()
+        cur[0] += 1
+    extra = 0
+    while (service.in_flight or backlog) and extra < drain_rounds:
+        resubmit_due()
+        service.run_round()
+        cur[0] += 1
+        extra += 1
+    wall = time.perf_counter() - t0
+    # Balls still queued for a future resubmission never got their last
+    # chance — count them lost, not silently dropped from the tally.
+    for entries in backlog.values():
+        tally["retry"] += len(entries)
+        counters["lost"] += len(entries)
+    tally["unresolved"] = counters["submitted"] - (
+        tally["assigned"] + tally["retry"] + tally["dropped"]
+    )
+    return {
+        "wall_s": wall,
+        "rounds": len(trace) + extra,
+        "drain_rounds": extra,
+        "submitted": counters["submitted"],
+        "tally": tally,
+        "retry_reasons": retry_reasons,
+        "resubmitted": counters["resubmitted"],
+        "lost": counters["lost"],
+        "latencies": np.asarray(latencies, dtype=np.int64),
+        "latencies_with_retries": np.asarray(latencies_total, dtype=np.int64),
         "stats": service.stats(),
     }
 
@@ -151,19 +308,61 @@ async def run_tcp(
     trace: list[np.ndarray],
     tick: float,
     settle_s: float = 30.0,
+    retry: RetryPolicy | None = None,
 ) -> dict:
-    """Open-loop replay over the NDJSON wire; see module docstring."""
+    """Open-loop replay over the NDJSON wire; see module docstring.
+
+    With a :class:`RetryPolicy`, a ball answered ``Retry`` is resubmitted
+    (``balls=1``, a fresh request id) after its jittered backoff — one
+    delay "round" is one client tick — and the replay is *done* when
+    every logical ball reached a terminal outcome: assigned, dropped,
+    or out of attempts.
+    """
     reader, writer = await asyncio.open_connection(host, port)
+    loop = asyncio.get_running_loop()
     expected = int(sum(int(c.sum()) for c in trace))
     tally = {"assigned": 0, "retry": 0, "dropped": 0, "unresolved": 0}
     retry_reasons: dict[str, int] = {}
     latencies: list[int] = []
+    latencies_total: list[int] = []
     errors = 0
     got = 0
     done = asyncio.Event()
+    rng = retry.make_rng() if retry is not None else None
+    meta: dict[int, tuple[int, int, float]] = {}  # rid -> (client, attempt, birth_t)
+    counters = {"resubmitted": 0, "lost": 0}
+    resend_tasks: set[asyncio.Task] = set()
+    rid_box = [0]
+    tick_s = max(tick, 1e-3)  # a zero tick still needs a finite backoff unit
+
+    def encode_assign(client: int, balls: int, attempt: int, birth_t: float) -> bytes:
+        rid_box[0] += 1
+        rid = rid_box[0]
+        if retry is not None:
+            meta[rid] = (client, attempt, birth_t)
+        return encode_response(
+            {"op": "assign", "client": client, "balls": balls, "id": rid}
+        )
+
+    def finish_one() -> None:
+        nonlocal got
+        got += 1
+        if got >= expected:
+            done.set()
+
+    async def resend_later(delay_s: float, client: int, attempt: int, birth_t: float):
+        await asyncio.sleep(delay_s)
+        counters["resubmitted"] += 1
+        try:
+            writer.write(encode_assign(client, 1, attempt, birth_t))
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - server died mid-resend
+            counters["lost"] += 1
+            tally["retry"] += 1
+            finish_one()
 
     async def read_loop():
-        nonlocal got, errors
+        nonlocal errors
         while got < expected:
             line = await reader.readline()
             if not line:
@@ -173,26 +372,47 @@ async def run_tcp(
             if out is None:
                 if "error" in msg:
                     errors += 1
-                    got += 1
+                    finish_one()
                 continue
-            got += 1
-            tally[out.outcome] += 1
+            ball_meta = meta.get(msg.get("id")) if retry is not None else None
             if out.outcome == "assigned":
+                tally["assigned"] += 1
                 latencies.append(out.latency_rounds)
-            elif out.outcome == "retry":
+                if ball_meta is not None:
+                    latencies_total.append(
+                        max(0, round((loop.time() - ball_meta[2]) / tick_s))
+                    )
+                finish_one()
+            elif out.outcome == "dropped":
+                tally["dropped"] += 1
+                finish_one()
+            else:  # retry outcome
                 retry_reasons[out.reason] = retry_reasons.get(out.reason, 0) + 1
+                if ball_meta is None:
+                    tally["retry"] += 1
+                    finish_one()
+                    continue
+                client, attempt, birth_t = ball_meta
+                if attempt + 1 >= retry.max_attempts:
+                    tally["retry"] += 1
+                    counters["lost"] += 1
+                    finish_one()
+                else:
+                    delay_s = retry.delay_rounds(attempt, rng) * tick_s
+                    task = loop.create_task(
+                        resend_later(delay_s, client, attempt + 1, birth_t)
+                    )
+                    resend_tasks.add(task)
+                    task.add_done_callback(resend_tasks.discard)
         done.set()
 
-    reader_task = asyncio.get_running_loop().create_task(read_loop())
+    reader_task = loop.create_task(read_loop())
     t0 = time.perf_counter()
-    rid = 0
     for counts in trace:
         chunk = bytearray()
+        birth_t = loop.time()
         for client in np.nonzero(counts)[0].tolist():
-            rid += 1
-            chunk += encode_response(
-                {"op": "assign", "client": client, "balls": int(counts[client]), "id": rid}
-            )
+            chunk += encode_assign(client, int(counts[client]), 0, birth_t)
         if chunk:
             writer.write(bytes(chunk))
             await writer.drain()
@@ -203,6 +423,8 @@ async def run_tcp(
         pass
     wall = time.perf_counter() - t0
     reader_task.cancel()
+    for task in list(resend_tasks):
+        task.cancel()
     writer.close()
     try:
         await writer.wait_closed()
@@ -219,9 +441,44 @@ async def run_tcp(
         "tally": tally,
         "retry_reasons": retry_reasons,
         "errors": errors,
+        "resubmitted": counters["resubmitted"],
+        "lost": counters["lost"],
         "latencies": np.asarray(latencies, dtype=np.int64),
+        "latencies_with_retries": np.asarray(latencies_total, dtype=np.int64),
         "stats": None,
     }
+
+
+# ---------------------------------------------------------------------------
+# Chaos mode
+# ---------------------------------------------------------------------------
+
+
+async def run_chaos(
+    service: SaerService,
+    trace: list[np.ndarray],
+    tick: float,
+    settle_s: float = 30.0,
+    retry: RetryPolicy | None = None,
+) -> dict:
+    """Replay ``trace`` over real TCP against a service we boot ourselves.
+
+    The service's :class:`~repro.faults.FaultSchedule` (attached to its
+    :class:`ServingState`) fires mid-replay — crashes, stalls, Byzantine
+    servers — while the client retries with backoff and the service's
+    health loop quarantines the corpses.  Unlike ``tcp`` mode the
+    service lives in-process, so the report keeps its ``stats`` block.
+    """
+    server = await serve_tcp(service, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        run = await run_tcp("127.0.0.1", port, trace, tick, settle_s, retry=retry)
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.shutdown()
+    run["stats"] = service.stats()
+    return run
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +504,7 @@ def build_report(mode: str, config: dict, trace_meta: dict, run: dict) -> dict:
     lat = _lat_stats(run["latencies"])
     wall = run["wall_s"]
     assigned = tally["assigned"]
+    resubmitted = run.get("resubmitted", 0)
     return {
         "bench": "serve",
         "mode": mode,
@@ -256,6 +514,14 @@ def build_report(mode: str, config: dict, trace_meta: dict, run: dict) -> dict:
         "retry_reasons": run["retry_reasons"],
         "assignment_rate": round(assigned / submitted, 4) if submitted else math.nan,
         "latency_rounds": lat,
+        "retries": {
+            "resubmitted": resubmitted,
+            "lost": run.get("lost", 0),
+            "retry_rate": round(resubmitted / submitted, 4) if submitted else 0.0,
+            "latency_with_retries_rounds": _lat_stats(
+                run.get("latencies_with_retries", np.asarray([], dtype=np.int64))
+            ),
+        },
         "throughput": {
             "wall_s": round(wall, 4),
             "rounds": run["rounds"],
@@ -273,8 +539,19 @@ def check_report(
     min_assign_rate: float | None,
     max_p95: float | None,
     min_throughput: float | None = None,
+    *,
+    max_retry_rate: float | None = None,
+    max_p99_retries: float | None = None,
+    max_lost: int | None = None,
 ) -> list[str]:
-    """The CI gate: list of violated bounds (empty = pass)."""
+    """The CI gate: list of violated bounds (empty = pass).
+
+    The retry-aware gates read the ``retries`` block: ``max_retry_rate``
+    bounds resubmissions per submitted ball, ``max_p99_retries`` bounds
+    the p99 of end-to-end latency *including* backoff rounds, and
+    ``max_lost`` bounds balls that ran out of attempts (``0`` asserts no
+    ball was ever lost).
+    """
     failures = []
     if min_assign_rate is not None:
         rate = report["assignment_rate"]
@@ -290,6 +567,21 @@ def check_report(
         tput = report["throughput"]["assigned_per_s"]
         if not tput >= min_throughput:
             failures.append(f"assigned_per_s {tput} < required {min_throughput}")
+    retries = report.get("retries", {})
+    if max_retry_rate is not None:
+        rr = retries.get("retry_rate", 0.0)
+        if not rr <= max_retry_rate:
+            failures.append(f"retry_rate {rr} > allowed {max_retry_rate}")
+    if max_p99_retries is not None:
+        p99r = retries.get("latency_with_retries_rounds", {}).get("p99", math.nan)
+        if not p99r <= max_p99_retries:
+            failures.append(
+                f"latency-with-retries p99 {p99r} rounds > allowed {max_p99_retries}"
+            )
+    if max_lost is not None:
+        lost = retries.get("lost", 0)
+        if not lost <= max_lost:
+            failures.append(f"lost balls {lost} > allowed {max_lost}")
     return failures
 
 
@@ -304,7 +596,8 @@ def main(argv=None) -> int:
         prog="repro-lb loadgen",
         description="Replay an arrival trace against the serving layer.",
     )
-    parser.add_argument("--mode", choices=("inprocess", "tcp"), default="inprocess")
+    parser.add_argument("--mode", choices=("inprocess", "tcp", "chaos"),
+                        default="inprocess")
     # in-process service construction (ignored under --mode tcp)
     parser.add_argument("--n", type=int, default=10_000, help="clients = servers = n")
     parser.add_argument("--family", default="trust")
@@ -335,13 +628,48 @@ def main(argv=None) -> int:
     parser.add_argument("--hot-fraction", type=float, default=0.01)
     parser.add_argument("--hot-weight", type=float, default=0.9)
     parser.add_argument("--trace-seed", type=int, default=7)
-    # tcp
+    # tcp / chaos
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7077)
     parser.add_argument("--tick", type=float, default=0.01,
-                        help="seconds between trace rounds (tcp mode)")
+                        help="seconds between trace rounds (tcp/chaos mode)")
     parser.add_argument("--settle", type=float, default=30.0,
-                        help="seconds to wait for in-flight responses (tcp mode)")
+                        help="seconds to wait for in-flight responses (tcp/chaos)")
+    # fault injection (inprocess/chaos; the served state owns the faults)
+    parser.add_argument("--fault-kind", default=None,
+                        choices=("crash", "stall", "byz_server",
+                                 "byz_client_dup", "byz_client_misroute"),
+                        help="inject this fault kind (chaos mode defaults to crash)")
+    parser.add_argument("--fault-fraction", type=float, default=0.1,
+                        help="fraction of servers/clients made faulty")
+    parser.add_argument("--fault-start", type=int, default=10,
+                        help="round the fault fires (mid-replay by default)")
+    parser.add_argument("--fault-end", type=int, default=None,
+                        help="round the fault heals (None = forever)")
+    parser.add_argument("--fault-seed", type=int, default=1)
+    # client-side retries
+    parser.add_argument("--retry", type=int, default=None, metavar="ATTEMPTS",
+                        help="enable retries with this many total attempts "
+                             "(chaos mode defaults to 4)")
+    parser.add_argument("--retry-base", type=float, default=1.0,
+                        help="base backoff in rounds/ticks")
+    parser.add_argument("--retry-cap", type=float, default=16.0,
+                        help="backoff ceiling in rounds/ticks")
+    parser.add_argument("--retry-seed", type=int, default=0)
+    # self-healing service knobs (inprocess/chaos)
+    parser.add_argument("--health-streak", type=int, default=None,
+                        help="quarantine after this many all-reject rounds "
+                             "(chaos mode defaults to 3; omit elsewhere to disable)")
+    parser.add_argument("--quarantine-rounds", type=int, default=32,
+                        help="rounds a quarantined server sits out")
+    parser.add_argument("--brownout-threshold", type=float, default=None,
+                        help="shed load while unavailable fraction exceeds this")
+    parser.add_argument("--brownout-shed", type=float, default=0.5)
+    # metric snapshot spool (inprocess/chaos)
+    parser.add_argument("--snapshot-out", default=None,
+                        help="NDJSON path for periodic metric snapshots")
+    parser.add_argument("--snapshot-every", type=int, default=10,
+                        help="rounds between snapshots (with --snapshot-out)")
     # report + gates
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="report path ('-' to skip writing)")
@@ -349,6 +677,12 @@ def main(argv=None) -> int:
     parser.add_argument("--max-p95", type=float, default=None)
     parser.add_argument("--min-throughput", type=float, default=None,
                         help="required assigned_per_s (inprocess bench gate)")
+    parser.add_argument("--max-retry-rate", type=float, default=None,
+                        help="allowed resubmissions per submitted ball")
+    parser.add_argument("--max-p99-retries", type=float, default=None,
+                        help="allowed p99 latency including retries (rounds)")
+    parser.add_argument("--max-lost", type=int, default=None,
+                        help="allowed balls that exhausted all retry attempts")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -361,11 +695,49 @@ def main(argv=None) -> int:
         hot_weight=args.hot_weight,
     )
 
-    if args.mode == "inprocess":
+    chaos = args.mode == "chaos"
+    retry_attempts = args.retry if args.retry is not None else (4 if chaos else None)
+    retry = None
+    if retry_attempts is not None:
+        retry = RetryPolicy(
+            max_attempts=retry_attempts,
+            base_delay=args.retry_base,
+            max_delay=args.retry_cap,
+            seed=args.retry_seed,
+        )
+    fault_kind = args.fault_kind or ("crash" if chaos else None)
+    faults = None
+    if fault_kind is not None:
+        faults = FaultSchedule(
+            (
+                FaultSpec(
+                    fault_kind,
+                    args.fault_fraction,
+                    start=args.fault_start,
+                    end=args.fault_end,
+                ),
+            ),
+            seed=args.fault_seed,
+        )
+    health_streak = args.health_streak if args.health_streak is not None else (
+        3 if chaos else None
+    )
+    health = None
+    if health_streak is not None:
+        health = HealthPolicy(
+            fail_streak=health_streak, quarantine_rounds=args.quarantine_rounds
+        )
+
+    if args.mode in ("inprocess", "chaos"):
         point = {"family": args.family, "n": args.n}
         if args.degree:
             point["degree"] = args.degree
         graph = build_point_graph(point, args.graph_seed)
+        # A chaos run needs timeouts: balls sitting on a crashed server
+        # must come back Retry("timeout") for backoff to have any work.
+        max_wait = args.max_wait_rounds
+        if chaos and max_wait is None:
+            max_wait = 8
         state = ServingState(
             graph,
             args.c,
@@ -375,22 +747,51 @@ def main(argv=None) -> int:
             seed=args.seed,
             kernel=args.kernel,
             track_tags=True,
+            faults=faults,
         )
         service = SaerService(
             state,
             ServeConfig(
+                tick=args.tick if chaos else 0.05,
                 max_batch=args.max_batch,
                 max_pending=args.max_pending,
-                max_wait_rounds=args.max_wait_rounds,
+                max_wait_rounds=max_wait,
+                snapshot_every=args.snapshot_every if args.snapshot_out else 0,
+                health=health,
+                brownout_threshold=args.brownout_threshold,
+                brownout_shed=args.brownout_shed,
             ),
         )
+        if args.snapshot_out:
+            from .metrics import ndjson_snapshot_hook
+
+            service.metrics.add_snapshot_hook(ndjson_snapshot_hook(args.snapshot_out))
         trace = sample_trace(arrivals, graph.n_clients, args.rounds, args.trace_seed)
-        run = run_inprocess(service, trace, args.drain_rounds)
+        if chaos:
+            run = asyncio.run(
+                run_chaos(service, trace, args.tick, args.settle, retry=retry)
+            )
+        else:
+            run = run_inprocess(service, trace, args.drain_rounds, retry=retry)
         config = {
             "n": args.n, "family": args.family, "degree": args.degree,
             "c": args.c, "d": args.d, "recovery": args.recovery or None,
             "churn": args.churn, "kernel": state.kernel_name, "seed": args.seed,
-            "graph_seed": args.graph_seed, "max_wait_rounds": args.max_wait_rounds,
+            "graph_seed": args.graph_seed, "max_wait_rounds": max_wait,
+            "faults": {
+                "kind": fault_kind, "fraction": args.fault_fraction,
+                "start": args.fault_start, "end": args.fault_end,
+                "seed": args.fault_seed,
+            } if faults is not None else None,
+            "health": {
+                "fail_streak": health_streak,
+                "quarantine_rounds": args.quarantine_rounds,
+            } if health is not None else None,
+            "brownout_threshold": args.brownout_threshold,
+            "retry": {
+                "max_attempts": retry_attempts, "base": args.retry_base,
+                "cap": args.retry_cap, "seed": args.retry_seed,
+            } if retry is not None else None,
         }
         n_clients = graph.n_clients
     else:
@@ -399,11 +800,15 @@ def main(argv=None) -> int:
         n_clients = args.n
         trace = sample_trace(arrivals, n_clients, args.rounds, args.trace_seed)
         run = asyncio.run(
-            run_tcp(args.host, args.port, trace, args.tick, args.settle)
+            run_tcp(args.host, args.port, trace, args.tick, args.settle, retry=retry)
         )
         config = {
             "host": args.host, "port": args.port, "n": args.n,
             "tick": args.tick,
+            "retry": {
+                "max_attempts": retry_attempts, "base": args.retry_base,
+                "cap": args.retry_cap, "seed": args.retry_seed,
+            } if retry is not None else None,
         }
 
     trace_meta = {
@@ -415,12 +820,18 @@ def main(argv=None) -> int:
     }
     report = build_report(args.mode, config, trace_meta, run)
     failures = check_report(
-        report, args.min_assign_rate, args.max_p95, args.min_throughput
+        report, args.min_assign_rate, args.max_p95, args.min_throughput,
+        max_retry_rate=args.max_retry_rate,
+        max_p99_retries=args.max_p99_retries,
+        max_lost=args.max_lost,
     )
     report["gates"] = {
         "min_assign_rate": args.min_assign_rate,
         "max_p95": args.max_p95,
         "min_throughput": args.min_throughput,
+        "max_retry_rate": args.max_retry_rate,
+        "max_p99_retries": args.max_p99_retries,
+        "max_lost": args.max_lost,
         "passed": not failures,
         "failures": failures,
     }

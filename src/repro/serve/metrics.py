@@ -24,11 +24,19 @@ bucket width in between.
 
 from __future__ import annotations
 
+import json
 import math
+import time
 from bisect import bisect_left
 from typing import Callable, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ndjson_snapshot_hook",
+]
 
 #: Default latency-style buckets (rounds or seconds — callers choose units).
 DEFAULT_BUCKETS = (
@@ -226,3 +234,25 @@ class MetricsRegistry:
         for hook in self._hooks:
             hook(snap)
         return snap
+
+
+def ndjson_snapshot_hook(path: str, *, clock: Callable[[], float] = time.time):
+    """A snapshot hook spooling each snapshot as one NDJSON line.
+
+    Register the returned callable with
+    :meth:`MetricsRegistry.add_snapshot_hook`; every periodic snapshot
+    appends ``{"seq": k, "time": <unix>, "metrics": {...}}`` to
+    ``path``.  The file is opened per line (append mode), so a killed
+    process leaves only whole lines behind and a restored one keeps
+    appending to the same spool.  Load the result back with
+    :func:`repro.analysis.loadstats.load_metric_snapshots`.
+    """
+    seq = [0]
+
+    def hook(snap: dict) -> None:
+        record = {"seq": seq[0], "time": clock(), "metrics": snap}
+        seq[0] += 1
+        with open(path, "a") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    return hook

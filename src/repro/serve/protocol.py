@@ -53,6 +53,7 @@ REASON_ISOLATED = "isolated-client"
 REASON_TIMEOUT = "timeout"
 REASON_BACKPRESSURE = "backpressure"
 REASON_SHUTDOWN = "shutdown"
+REASON_BROWNOUT = "brownout"
 
 
 class ProtocolError(ValueError):

@@ -36,9 +36,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import CheckpointError, ServeError
+from ..faults.health import HealthPolicy, HealthTracker
 from .metrics import MetricsRegistry
 from .protocol import (
     REASON_BACKPRESSURE,
+    REASON_BROWNOUT,
     REASON_ISOLATED,
     REASON_SHUTDOWN,
     REASON_TIMEOUT,
@@ -142,6 +145,18 @@ class ServeConfig:
     ``snapshot_every``
         Fire the metric registry's snapshot hooks every this many
         rounds (0 disables).
+    ``health``
+        A :class:`~repro.faults.HealthPolicy`: track per-server
+        accept/reject evidence each round, quarantine servers that keep
+        rejecting (crash, stall, or stuck burn), readmit them on
+        probation.  ``None`` disables the self-healing loop.
+    ``brownout_threshold`` / ``brownout_shed``
+        Burned-fraction load shedding: while the unavailable fraction
+        (burned ∪ quarantined) after a round exceeds the threshold, a
+        ``brownout_shed`` fraction of newly submitted balls is resolved
+        immediately as ``Retry("brownout")`` — a deterministic
+        Bresenham-style accumulator, no RNG — so clients back off
+        before the backlog melts down.  ``None`` disables brownout.
     """
 
     tick: float = 0.05
@@ -149,18 +164,27 @@ class ServeConfig:
     max_pending: int | None = None
     max_wait_rounds: int | None = None
     snapshot_every: int = 0
+    health: HealthPolicy | None = None
+    brownout_threshold: float | None = None
+    brownout_shed: float = 0.5
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
-            raise ValueError("tick must be > 0 seconds")
+            raise ServeError("tick must be > 0 seconds")
         if self.max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
+            raise ServeError("max_batch must be >= 1")
         if self.max_pending is not None and self.max_pending < 1:
-            raise ValueError("max_pending must be >= 1 when given")
+            raise ServeError("max_pending must be >= 1 when given")
         if self.max_wait_rounds is not None and self.max_wait_rounds < 1:
-            raise ValueError("max_wait_rounds must be >= 1 when given")
+            raise ServeError("max_wait_rounds must be >= 1 when given")
         if self.snapshot_every < 0:
-            raise ValueError("snapshot_every must be >= 0")
+            raise ServeError("snapshot_every must be >= 0")
+        if self.brownout_threshold is not None and not (
+            0.0 < self.brownout_threshold <= 1.0
+        ):
+            raise ServeError("brownout_threshold must be in (0, 1] when given")
+        if not (0.0 < self.brownout_shed <= 1.0):
+            raise ServeError("brownout_shed must be in (0, 1]")
 
 
 class SaerService:
@@ -173,7 +197,7 @@ class SaerService:
         registry: MetricsRegistry | None = None,
     ) -> None:
         if not state.track_tags:
-            raise ValueError(
+            raise ServeError(
                 "SaerService needs a ServingState(track_tags=True) to map "
                 "assignments back to per-ball futures"
             )
@@ -187,6 +211,12 @@ class SaerService:
         self._kick = asyncio.Event()
         self._ticker: asyncio.Task | None = None
         self._accepting = True
+        self._health: HealthTracker | None = None
+        if self.config.health is not None:
+            self._health = HealthTracker(self.config.health, state.n_servers)
+            state.track_health = True
+        self._brownout_active = False
+        self._shed_acc = 0.0
         m = self.metrics
         self._m_requests = m.counter("serve_requests_total", "assign requests received")
         self._m_balls = m.counter("serve_balls_total", "balls submitted")
@@ -204,6 +234,21 @@ class SaerService:
         self._m_lat = m.histogram(
             "serve_assign_latency_rounds", "rounds from arrival to assignment",
             ROUND_BUCKETS,
+        )
+        self._m_quarantined = m.gauge(
+            "serve_quarantined", "servers currently quarantined"
+        )
+        self._m_q_events = m.counter(
+            "serve_quarantine_events_total", "servers sent to quarantine"
+        )
+        self._m_readmitted = m.counter(
+            "serve_readmitted_total", "servers readmitted from quarantine"
+        )
+        self._m_brownout = m.gauge(
+            "serve_brownout", "1 while brownout shedding is active"
+        )
+        self._m_shed = m.counter(
+            "serve_brownout_shed_total", "balls shed during brownout"
         )
 
     # -- submission --------------------------------------------------------
@@ -227,9 +272,9 @@ class SaerService:
         exactly ``balls`` futures.
         """
         if balls < 1:
-            raise ValueError(f"balls must be >= 1; got {balls}")
+            raise ServeError(f"balls must be >= 1; got {balls}")
         if not (0 <= client < self.state.n_clients):
-            raise ValueError(
+            raise ServeError(
                 f"client must be in [0, {self.state.n_clients}); got {client}"
             )
         self._m_requests.inc()
@@ -240,11 +285,24 @@ class SaerService:
             for f in futs:
                 f.set_result(Retry(REASON_SHUTDOWN))
             return futs
+        shed_futs: list[BallFuture] = []
+        if self._brownout_active:
+            # Deterministic Bresenham-style shedding: no RNG, exact
+            # long-run fraction, submission-order independent of load.
+            self._shed_acc += balls * self.config.brownout_shed
+            n_shed = int(self._shed_acc)
+            self._shed_acc -= n_shed
+            if n_shed:
+                shed_futs, futs = futs[:n_shed], futs[n_shed:]
+                self._m_retried.inc(n_shed)
+                self._m_shed.inc(n_shed)
+                for f in shed_futs:
+                    f.set_result(Retry(REASON_BROWNOUT))
         cap = self.config.max_pending
-        admit = balls
+        admit = len(futs)
         if cap is not None:
             room = cap - (self.pending + self.state.backlog)
-            admit = max(0, min(balls, room))
+            admit = max(0, min(len(futs), room))
         for f in futs[admit:]:
             self._m_retried.inc()
             f.set_result(Retry(REASON_BACKPRESSURE))
@@ -256,7 +314,7 @@ class SaerService:
         self._m_pending.set(self.pending)
         if self.pending >= self.config.max_batch:
             self._kick.set()
-        return futs
+        return shed_futs + futs
 
     # -- the micro-batched round -------------------------------------------
 
@@ -297,6 +355,23 @@ class SaerService:
             if stale_tags.size:
                 self._m_retried.inc(stale_tags.size)
                 self._resolve(stale_tags, Retry(REASON_TIMEOUT))
+        if self._health is not None and out.received is not None:
+            to_q, to_r = self._health.observe(out.received, out.accepted_counts)
+            if to_q.size:
+                self._m_q_events.inc(state.set_quarantine(to_q))
+            if to_r.size:
+                self._m_readmitted.inc(state.readmit(to_r))
+            self._m_quarantined.set(state.quarantined_count)
+        threshold = self.config.brownout_threshold
+        if threshold is not None:
+            # Unavailable = burned ∪ quarantined, measured once per
+            # round (submit must stay O(1) per call).
+            if state.quarantined is not None:
+                unavailable = float(np.mean(state.burned | state.quarantined))
+            else:
+                unavailable = out.burned_fraction
+            self._brownout_active = unavailable > threshold
+            self._m_brownout.set(1.0 if self._brownout_active else 0.0)
         self._m_rounds.inc()
         self._m_backlog.set(out.backlog)
         self._m_pending.set(self.pending)
@@ -379,6 +454,8 @@ class SaerService:
             "pending": self.pending,
             "in_flight": self.in_flight,
             "burned_fraction": s.burned_fraction,
+            "quarantined": s.quarantined_count,
+            "brownout": self._brownout_active,
             "dropped_total": s.dropped,
             "assigned_total": s.assigned_total,
             "n_clients": s.n_clients,
@@ -386,6 +463,68 @@ class SaerService:
             "kernel": s.kernel_name,
             "metrics": self.metrics.snapshot(),
         }
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Everything needed to resume serving with identical accounting.
+
+        Extends :meth:`ServingState.checkpoint` with the service-side
+        queue: the tag counter, the not-yet-admitted pending balls, and
+        the tags of admitted in-flight balls.  Futures themselves are
+        process-local and cannot travel; on restore, fresh (unheld)
+        futures are created for the queued balls so ``drain`` semantics
+        and the protocol accounting are unchanged, while the original
+        callers are expected to retry over their own connections.
+        """
+        return {
+            "state": self.state.checkpoint(),
+            "next_tag": next(self._tags),  # count() has no peek; burn one
+            "pending_owners": list(self._pending_owners),
+            "pending_tags": list(self._pending_tags),
+            "health": self._health.state() if self._health is not None else None,
+            "shed_acc": self._shed_acc,
+            "brownout_active": self._brownout_active,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        ckpt: dict,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        *,
+        kernel: str | None = None,
+    ) -> "SaerService":
+        """Rebuild a service resuming exactly where ``ckpt`` left off.
+
+        ``config`` defaults to a fresh :class:`ServeConfig`; pass the
+        original one to keep queue policies (and re-attach the same
+        :class:`~repro.faults.HealthPolicy`).  Metrics start from zero —
+        counters are observability, not protocol state.
+        """
+        try:
+            state_ckpt = ckpt["state"]
+        except (TypeError, KeyError):
+            raise CheckpointError("not a SaerService checkpoint payload") from None
+        state = ServingState.from_checkpoint(state_ckpt, kernel=kernel)
+        service = cls(state, config, registry)
+        service._tags = itertools.count(int(ckpt["next_tag"]))
+        service._pending_owners = list(ckpt["pending_owners"])
+        service._pending_tags = list(ckpt["pending_tags"])
+        for tag in service._pending_tags:
+            service._futures[tag] = BallFuture()
+        # Admitted in-flight balls keep their tags inside the state's
+        # ball table; give them fresh futures too so drain() sees them.
+        if state.n_alive and state._tags is not None:
+            for tag in state._tags[: state.n_alive].tolist():
+                if tag >= 0:
+                    service._futures[tag] = BallFuture()
+        if service._health is not None and ckpt.get("health") is not None:
+            service._health.set_state(ckpt["health"])
+        service._shed_acc = float(ckpt.get("shed_acc", 0.0))
+        service._brownout_active = bool(ckpt.get("brownout_active", False))
+        return service
 
 
 # ---------------------------------------------------------------------------

@@ -38,19 +38,23 @@ assignments (``tests/test_serve_state.py`` pins the parity).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..batch.kernels import EngineBuffers, block_clients_for, resolve_kernel
 from ..core.config import ProtocolParams
-from ..errors import ProtocolConfigError
+from ..errors import CheckpointError, ProtocolConfigError, ServeError
 from ..graphs.bipartite import BipartiteGraph
 from ..rng import make_rng
 
 __all__ = ["RoundOutcome", "ServingState"]
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Checkpoint payload version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -59,7 +63,10 @@ class RoundOutcome:
 
     ``latencies`` / ``assigned_servers`` / ``assigned_tags`` are aligned
     per assigned ball, in the canonical (ball-buffer) order; ``tags`` is
-    ``None`` unless the state tracks caller tags.
+    ``None`` unless the state tracks caller tags.  ``received`` /
+    ``accepted_counts`` are per-server ball counts for this round,
+    populated only when the state tracks health (the service's
+    quarantine loop consumes them).
     """
 
     round_no: int
@@ -70,6 +77,8 @@ class RoundOutcome:
     latencies: np.ndarray
     assigned_servers: np.ndarray
     assigned_tags: np.ndarray | None = None
+    received: np.ndarray | None = None
+    accepted_counts: np.ndarray | None = None
 
 
 class ServingState:
@@ -80,6 +89,15 @@ class ServingState:
     back to per-ball futures; the offline simulator leaves it off.
     ``buffers`` lets a host share one grow-only scratch pool across
     states; by default each state owns its own.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultSchedule` (or an
+    already-materialized one): server kinds overlay the route step
+    (crashed/stalled servers reject everything with frozen counters,
+    Byzantine under-reporters never fill up and never appear burned),
+    client kinds transform admissions (duplicate spray, misroute).  All
+    fault randomness comes from the schedule's own seed — the protocol
+    RNG stream is untouched, so an empty or ``fraction=0`` schedule is
+    bit-identical to ``faults=None``.
     """
 
     def __init__(
@@ -94,6 +112,7 @@ class ServingState:
         kernel: str | None = None,
         buffers: EngineBuffers | None = None,
         track_tags: bool = False,
+        faults=None,
     ) -> None:
         if recovery is not None and recovery < 1:
             raise ProtocolConfigError("recovery must be >= 1 when given")
@@ -128,7 +147,26 @@ class ServingState:
         self.round_no = 0
         self.dropped = 0
         self.assigned_total = 0
+
+        # Fault injection (None = the untouched fast path everywhere).
+        self.faults = self._materialize_faults(faults)
+        self.byz_absorbed = 0
+        # Quarantine: lazily activated so the no-quarantine path never
+        # pays for it.  ``_full_lists`` holds the unfiltered (churn-able)
+        # neighborhoods while any server is quarantined.
+        self.quarantined: np.ndarray | None = None
+        self._full_lists: list[np.ndarray] | None = None
+        # Per-server received/accepted counts on each RoundOutcome —
+        # enabled by the service when a health tracker is attached.
+        self.track_health = False
         self._rebuild_flat()
+
+    def _materialize_faults(self, faults):
+        if faults is None:
+            return None
+        if hasattr(faults, "server_overlay"):  # already materialized
+            return faults
+        return faults.materialize(self.n_clients, self.n_servers)
 
     # -- topology ----------------------------------------------------------
 
@@ -171,9 +209,17 @@ class ServingState:
             self.burn_clock[healed] = 0
         rewired = 0
         if self.churn is not None:
-            rewired = self.churn.apply(self.rng, self.neighbor_lists, self.n_servers)
+            # With quarantine active, churn rewires the *full* lists (the
+            # topology does not care who is quarantined — and the RNG
+            # stream stays identical to the quarantine-free run), then
+            # the routable view is refiltered.
+            lists = self._full_lists if self._full_lists is not None else self.neighbor_lists
+            rewired = self.churn.apply(self.rng, lists, self.n_servers)
             if rewired:
-                self._rebuild_flat()
+                if self._full_lists is not None:
+                    self._refilter()
+                else:
+                    self._rebuild_flat()
         return rewired
 
     def _grow(self, need: int) -> None:
@@ -207,6 +253,8 @@ class ServingState:
         number of balls admitted.
         """
         new_counts = np.asarray(new_counts)
+        if self.faults is not None:
+            new_counts = self.faults.transform_counts(self.round_no, new_counts)
         deg0 = self.degs == 0
         if deg0.any():
             self.dropped += int(new_counts[deg0].sum())
@@ -227,10 +275,22 @@ class ServingState:
         zero-degree neighborhood are rejected up front (their tags come
         back so the caller can resolve them as Dropped) and counted in
         :attr:`dropped`, matching the simulator's accounting.
+
+        Under client-kind faults, Byzantine owners may be remapped
+        (misroute) and adversarial duplicates appended with tag ``-1``
+        (they resolve no caller future; ``admitted`` counts them).
         """
         owners = np.asarray(owners, dtype=np.int64)
         if owners.size and (owners.min() < 0 or owners.max() >= self.n_clients):
-            raise ValueError("ball owner out of client range")
+            raise ServeError("ball owner out of client range")
+        if self.faults is not None and owners.size:
+            owners, extra = self.faults.transform_owners(self.round_no, owners)
+            if extra.size:
+                owners = np.concatenate([owners, extra])
+                if tags is not None:
+                    tags = np.concatenate(
+                        [tags, np.full(extra.size, -1, dtype=np.int64)]
+                    )
         servable = self.degs[owners] > 0
         if not servable.all():
             n_drop = owners.size - int(np.count_nonzero(servable))
@@ -269,10 +329,17 @@ class ServingState:
         # the canonical stream both the numpy and compiled paths consume.
         u = self.buffers.get("serve.u", n, np.float64)
         self.rng.random(out=u)
+        overlay = self._fault_pre(t)
         if self._round_fn is not None:
             ok, dest = self._route_kernel(u, owners)
         else:
             ok, dest = self._route_numpy(u, owners)
+        if overlay is not None:
+            self._fault_post(overlay)
+        received = accepted_counts = None
+        if self.track_health:
+            received = np.bincount(dest, minlength=n_s).astype(np.int64)
+            accepted_counts = np.bincount(dest[ok], minlength=n_s).astype(np.int64)
         assigned_servers = dest[ok]
         latencies = (t - births[ok]).astype(np.int64)
         assigned_tags = None
@@ -297,7 +364,55 @@ class ServingState:
             latencies=latencies,
             assigned_servers=assigned_servers.astype(np.int64, copy=False),
             assigned_tags=assigned_tags,
+            received=received,
+            accepted_counts=accepted_counts,
         )
+
+    # -- fault overlay ------------------------------------------------------
+
+    def _fault_pre(self, t: int):
+        """Overlay server faults onto ``cum_received`` before the route.
+
+        Crashed/stalled servers are pinned above capacity (both route
+        paths then reject every ball sent to them); Byzantine
+        under-reporters are zeroed (they claim an empty counter every
+        round).  Returns the undo record, or ``None`` when no server
+        fault is active this round — in which case the route step is
+        exactly the fault-free code path.
+        """
+        if self.faults is None:
+            return None
+        ov = self.faults.server_overlay(t)
+        if ov is None:
+            return None
+        reject_idx, byz_idx = ov
+        saved = self.cum_received[reject_idx].copy() if reject_idx.size else None
+        if reject_idx.size:
+            self.cum_received[reject_idx] = self.capacity + 1
+        if byz_idx.size:
+            self.cum_received[byz_idx] = 0
+        return reject_idx, byz_idx, saved
+
+    def _fault_post(self, overlay) -> None:
+        """Undo the overlay and restore the SAER invariant.
+
+        Crashed servers get their pre-round counters back (the balls
+        never reached them); Byzantine servers bank what they really
+        absorbed in :attr:`byz_absorbed` and reset to zero (the lie).
+        ``burned`` is then recomputed from ``cum_received`` — the
+        invariant ``burned ⇔ cum_received > capacity`` both route paths
+        rely on, which the overlay's temporary writes would otherwise
+        corrupt via the numpy path's incremental ``burned |= newly``.
+        """
+        reject_idx, byz_idx, saved = overlay
+        if byz_idx.size:
+            after = self.cum_received[byz_idx]
+            absorbed = np.where(after <= self.capacity, after, 0)
+            self.byz_absorbed += int(absorbed.sum())
+            self.cum_received[byz_idx] = 0
+        if reject_idx.size:
+            self.cum_received[reject_idx] = saved
+        np.greater(self.cum_received, self.capacity, out=self.burned)
 
     def _route_numpy(self, u: np.ndarray, owners: np.ndarray):
         """The vectorized reference round: gather → count → decide."""
@@ -384,7 +499,7 @@ class ServingState:
         off) sheds load instead of accumulating futures forever.
         """
         if max_wait_rounds < 1:
-            raise ValueError("max_wait_rounds must be >= 1")
+            raise ServeError("max_wait_rounds must be >= 1")
         n = self.n_alive
         if n == 0:
             return _EMPTY_I64, _EMPTY_I64
@@ -406,6 +521,228 @@ class ServingState:
             self._tags[:kept] = self._tags[:n][keep]
         self.n_alive = kept
         return owners, tags
+
+    # -- quarantine --------------------------------------------------------
+
+    def _refilter(self) -> None:
+        """Rebuild the routable neighborhoods = full lists − quarantined.
+
+        Stranding guard: a client whose *entire* (non-empty) full
+        neighborhood is quarantined keeps its full list — every ball
+        that was routable stays routable, at the price of still sending
+        to suspect servers.  ``tests/test_serve_chaos.py`` pins this as
+        a property over random quarantine sets.
+        """
+        q = self.quarantined
+        new_lists = []
+        for nl in self._full_lists:
+            kept = nl[~q[nl]] if nl.size else nl
+            new_lists.append(kept if kept.size or not nl.size else nl.copy())
+        self.neighbor_lists = new_lists
+        self._rebuild_flat()
+
+    def set_quarantine(self, servers) -> int:
+        """Remove ``servers`` from every routable neighborhood.
+
+        Idempotent, additive, and guarded against stranding (see
+        :meth:`_refilter`).  Returns the number of servers newly
+        quarantined.  The first call activates quarantine bookkeeping;
+        until then (and again after every server is readmitted) the
+        state runs the original zero-overhead path.
+        """
+        servers = np.atleast_1d(np.asarray(servers, dtype=np.int64))
+        if servers.size and (servers.min() < 0 or servers.max() >= self.n_servers):
+            raise ServeError("quarantine server index out of range")
+        if self.quarantined is None:
+            self.quarantined = np.zeros(self.n_servers, dtype=bool)
+            self._full_lists = self.neighbor_lists
+        newly = int(np.count_nonzero(~self.quarantined[servers]))
+        if newly == 0:
+            return 0
+        self.quarantined[servers] = True
+        self._refilter()
+        return newly
+
+    def readmit(self, servers) -> int:
+        """Return quarantined ``servers`` to the routable pool.
+
+        Returns the number actually readmitted.  When the quarantine
+        set empties, the state collapses back to the untouched
+        fast path (full lists become the routable lists again).
+        """
+        if self.quarantined is None:
+            return 0
+        servers = np.atleast_1d(np.asarray(servers, dtype=np.int64))
+        if servers.size and (servers.min() < 0 or servers.max() >= self.n_servers):
+            raise ServeError("readmit server index out of range")
+        freed = int(np.count_nonzero(self.quarantined[servers]))
+        if freed == 0:
+            return 0
+        self.quarantined[servers] = False
+        if self.quarantined.any():
+            self._refilter()
+        else:
+            self.neighbor_lists = self._full_lists
+            self.quarantined = None
+            self._full_lists = None
+            self._rebuild_flat()
+        return freed
+
+    @property
+    def quarantined_count(self) -> int:
+        return int(np.count_nonzero(self.quarantined)) if self.quarantined is not None else 0
+
+    @property
+    def quarantined_fraction(self) -> float:
+        return self.quarantined_count / self.n_servers if self.n_servers else 0.0
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """A picklable snapshot from which :meth:`from_checkpoint`
+        resumes with bit-identical accounting.
+
+        Captures every piece of mutable state — protocol counters, the
+        alive-ball table, the churn-able neighborhoods (full and
+        filtered), quarantine, the protocol RNG's bit-generator state,
+        and the fault schedule plus its runtime RNG — but *not*
+        execution details (kernel gate, scratch buffers), which the
+        restoring host chooses.
+        """
+        n = self.n_alive
+        return {
+            "version": CHECKPOINT_VERSION,
+            "c": self.params.c,
+            "d": self.params.d,
+            "recovery": self.recovery,
+            "churn": self.churn,
+            "n_clients": self.n_clients,
+            "n_servers": self.n_servers,
+            "neighbor_lists": [nl.copy() for nl in self.neighbor_lists],
+            "full_lists": (
+                [nl.copy() for nl in self._full_lists]
+                if self._full_lists is not None
+                else None
+            ),
+            "quarantined": (
+                self.quarantined.copy() if self.quarantined is not None else None
+            ),
+            "cum_received": self.cum_received.copy(),
+            "burned": self.burned.copy(),
+            "burn_clock": self.burn_clock.copy(),
+            "owners": self._owners[:n].copy(),
+            "births": self._births[:n].copy(),
+            "tags": self._tags[:n].copy() if self._tags is not None else None,
+            "round_no": self.round_no,
+            "dropped": self.dropped,
+            "assigned_total": self.assigned_total,
+            "rng_state": self.rng.bit_generator.state,
+            "track_tags": self.track_tags,
+            "track_health": self.track_health,
+            "fault_schedule": self.faults.schedule if self.faults is not None else None,
+            "fault_state": self.faults.state() if self.faults is not None else None,
+            "byz_absorbed": self.byz_absorbed,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        ckpt: dict,
+        *,
+        kernel: str | None = None,
+        buffers: EngineBuffers | None = None,
+    ) -> "ServingState":
+        """Rebuild a state that resumes exactly where ``ckpt`` left off."""
+        try:
+            version = ckpt["version"]
+        except (TypeError, KeyError):
+            raise CheckpointError("not a ServingState checkpoint payload") from None
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version} != supported {CHECKPOINT_VERSION}"
+            )
+        self = cls.__new__(cls)
+        self.params = ProtocolParams(c=ckpt["c"], d=ckpt["d"])
+        self.capacity = self.params.capacity
+        self.recovery = ckpt["recovery"]
+        self.churn = ckpt["churn"]
+        self.n_clients = int(ckpt["n_clients"])
+        self.n_servers = int(ckpt["n_servers"])
+        self.neighbor_lists = [np.asarray(nl) for nl in ckpt["neighbor_lists"]]
+        self._full_lists = (
+            [np.asarray(nl) for nl in ckpt["full_lists"]]
+            if ckpt["full_lists"] is not None
+            else None
+        )
+        self.quarantined = (
+            np.asarray(ckpt["quarantined"]) if ckpt["quarantined"] is not None else None
+        )
+        self.track_tags = bool(ckpt["track_tags"])
+        self.track_health = bool(ckpt["track_health"])
+        self.buffers = buffers if buffers is not None else EngineBuffers()
+        self._kern = resolve_kernel(kernel)
+        self._round_fn = self._kern.round_fn() if self._kern.compiled else None
+        self.cum_received = np.array(ckpt["cum_received"], dtype=np.int64)
+        self.burned = np.array(ckpt["burned"], dtype=bool)
+        self.burn_clock = np.array(ckpt["burn_clock"], dtype=np.int64)
+        owners = np.asarray(ckpt["owners"], dtype=np.int64)
+        n = owners.size
+        self._cap = max(1024, n)
+        self._owners = np.empty(self._cap, dtype=np.int64)
+        self._births = np.empty(self._cap, dtype=np.int64)
+        self._owners[:n] = owners
+        self._births[:n] = ckpt["births"]
+        if self.track_tags:
+            self._tags = np.empty(self._cap, dtype=np.int64)
+            self._tags[:n] = ckpt["tags"]
+        else:
+            self._tags = None
+        self.n_alive = n
+        self.round_no = int(ckpt["round_no"])
+        self.dropped = int(ckpt["dropped"])
+        self.assigned_total = int(ckpt["assigned_total"])
+        rng_state = ckpt["rng_state"]
+        try:
+            bitgen = getattr(np.random, rng_state["bit_generator"])()
+            bitgen.state = rng_state
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise CheckpointError(f"cannot restore RNG state: {exc}") from None
+        self.rng = np.random.Generator(bitgen)
+        schedule = ckpt["fault_schedule"]
+        if schedule is not None:
+            self.faults = schedule.materialize(self.n_clients, self.n_servers)
+            self.faults.set_state(ckpt["fault_state"])
+        else:
+            self.faults = None
+        self.byz_absorbed = int(ckpt["byz_absorbed"])
+        self._rebuild_flat()
+        return self
+
+    def save(self, path) -> None:
+        """Pickle :meth:`checkpoint` to ``path``."""
+        try:
+            with open(path, "wb") as fh:
+                pickle.dump(self.checkpoint(), fh)
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        kernel: str | None = None,
+        buffers: EngineBuffers | None = None,
+    ) -> "ServingState":
+        """Restore a state pickled by :meth:`save`."""
+        try:
+            with open(path, "rb") as fh:
+                ckpt = pickle.load(fh)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        except pickle.UnpicklingError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        return cls.from_checkpoint(ckpt, kernel=kernel, buffers=buffers)
 
     # -- diagnostics -------------------------------------------------------
 

@@ -105,3 +105,53 @@ class TestLoadStats:
         assert s.total_load == res.assigned_balls
         assert s.max_load == res.max_load
         assert 0.0 <= s.gini <= 1.0
+
+
+class TestMetricSnapshots:
+    def _spool(self, tmp_path, n=5):
+        import json
+
+        path = tmp_path / "snaps.ndjson"
+        with open(path, "w") as fh:
+            for i in range(n):
+                fh.write(
+                    json.dumps(
+                        {
+                            "seq": i,
+                            "time": float(i),
+                            "metrics": {
+                                "serve_backlog": i * 10.0,
+                                "serve_round_seconds": {"count": i, "p95": 0.01 * i},
+                            },
+                        }
+                    )
+                    + "\n"
+                )
+        return path
+
+    def test_load_and_trajectory(self, tmp_path):
+        from repro.analysis import load_metric_snapshots, metric_trajectory
+
+        snaps = load_metric_snapshots(self._spool(tmp_path))
+        assert len(snaps) == 5
+        seq, vals = metric_trajectory(snaps, "serve_backlog")
+        assert np.array_equal(seq, np.arange(5))
+        assert np.array_equal(vals, np.arange(5) * 10.0)
+
+    def test_histogram_needs_field(self, tmp_path):
+        from repro.analysis import load_metric_snapshots, metric_trajectory
+
+        snaps = load_metric_snapshots(self._spool(tmp_path))
+        with pytest.raises(ValueError):
+            metric_trajectory(snaps, "serve_round_seconds")
+        _seq, p95 = metric_trajectory(snaps, "serve_round_seconds", field="p95")
+        assert p95[-1] == pytest.approx(0.04)
+
+    def test_torn_lines_skipped(self, tmp_path):
+        from repro.analysis import load_metric_snapshots
+
+        path = self._spool(tmp_path, n=3)
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "time"')  # torn mid-write
+        snaps = load_metric_snapshots(path)
+        assert len(snaps) == 3

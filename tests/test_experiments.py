@@ -23,13 +23,13 @@ from repro.experiments import (
 
 class TestRegistry:
     def test_registered_experiments(self):
-        assert len(EXPERIMENTS) == 13
-        want = {f"E{i}" for i in range(1, 13)} | {"S1"}
+        assert len(EXPERIMENTS) == 14
+        want = {f"E{i}" for i in range(1, 13)} | {"F1", "S1"}
         assert {s.id for s in list_experiments()} == want
 
     def test_ordered_listing(self):
         ids = [s.id for s in list_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 13)] + ["S1"]
+        assert ids == [f"E{i}" for i in range(1, 13)] + ["F1", "S1"]
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e4").id == "E4"
@@ -41,7 +41,7 @@ class TestRegistry:
     def test_specs_are_complete(self):
         for spec in list_experiments():
             assert spec.claim and spec.paper_ref and spec.expected_shape
-            assert spec.runner.startswith(("run_e", "run_s"))
+            assert spec.runner.startswith(("run_e", "run_f", "run_s"))
             assert spec.bench.startswith("benchmarks/bench_")
 
     def test_runners_exist(self):

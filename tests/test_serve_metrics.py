@@ -120,3 +120,38 @@ class TestRegistry:
         out = reg.fire_snapshot_hooks()
         assert seen == [out]
         assert out["c"] == 1
+
+
+class TestNdjsonSnapshotHook:
+    def test_spools_one_record_per_snapshot(self, tmp_path):
+        import json
+
+        from repro.serve.metrics import ndjson_snapshot_hook
+
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        path = tmp_path / "snaps.ndjson"
+        ticks = iter(range(100))
+        reg.add_snapshot_hook(
+            ndjson_snapshot_hook(str(path), clock=lambda: float(next(ticks)))
+        )
+        for _ in range(3):
+            c.inc()
+            reg.fire_snapshot_hooks()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert [r["time"] for r in records] == [0.0, 1.0, 2.0]
+        assert [r["metrics"]["c"] for r in records] == [1, 2, 3]
+
+    def test_appends_across_hook_instances(self, tmp_path):
+        from repro.serve.metrics import ndjson_snapshot_hook
+
+        reg = MetricsRegistry()
+        reg.counter("c")
+        path = tmp_path / "snaps.ndjson"
+        for _ in range(2):  # a restarted service reuses the same spool
+            hook = ndjson_snapshot_hook(str(path), clock=lambda: 0.0)
+            hook(reg.snapshot())
+        assert len(path.read_text().splitlines()) == 2
