@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Durable-execution crash smoke: SIGKILL a pooled sweep, resume, diff.
+
+The end-to-end drill the unit tests cannot do in-process:
+
+1. launch a **child process** running a pooled (2-worker) durable E6
+   sweep spooling to disk;
+2. wait until its journal shows real progress, then SIGKILL the child's
+   entire process group mid-run — parent and pool workers die with no
+   chance to clean up, exactly like an OOM kill or a pre-empted node;
+3. **resume** the sweep from the spool directory in this process;
+4. diff the resumed table — summary rows *and* every raw record —
+   against a never-killed control run.  Any divergence is a failure.
+
+Runs the drill for both backends (reference and batched).  If the child
+finishes before the kill lands (fast machine), the run degrades to a
+resume-of-complete-spool check — still asserted, but flagged in the
+output so CI timing drift is visible.
+
+Usage::
+
+    python scripts/durable_smoke.py [--trials 2] [--n 256] [--seed 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+# One grid point per line; the child is killed once this many points
+# have been journaled (mid-run, with most of the sweep still pending).
+KILL_AFTER_BLOCKS = 2
+
+CHILD_CODE = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.runners import run_e06_c_threshold
+run_e06_c_threshold(
+    n={n}, trials={trials}, seed={seed}, processes=2,
+    backend={backend!r}, spool={spool!r},
+)
+"""
+
+
+def _journal_blocks(journal: Path) -> int:
+    """Completed-point lines currently in the journal (0 if not there yet)."""
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text(errors="replace").splitlines():
+        if '"kind": "block"' in line or '"kind":"block"' in line:
+            count += 1
+    return count
+
+
+def run_scenario(backend: str, workdir: Path, *, n: int, trials: int, seed: int) -> bool:
+    from repro.experiments.runners import run_e06_c_threshold
+
+    spool = workdir / f"spool-{backend}"
+    journal = spool / "journal.jsonl"
+    code = CHILD_CODE.format(
+        src=str(SRC), n=n, trials=trials, seed=seed, backend=backend, spool=str(spool)
+    )
+    # Its own session → killpg nukes the pool workers along with the
+    # parent, the way a real OOM-killer / node pre-emption would.
+    child = subprocess.Popen(
+        [sys.executable, "-c", code],
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed = False
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            break
+        if _journal_blocks(journal) >= KILL_AFTER_BLOCKS:
+            os.killpg(child.pid, signal.SIGKILL)
+            killed = True
+            break
+        time.sleep(0.05)
+    else:
+        os.killpg(child.pid, signal.SIGKILL)
+        print(f"[{backend}] child made no progress within the deadline", file=sys.stderr)
+        child.wait()
+        return False
+    child.wait()
+
+    if killed:
+        done = _journal_blocks(journal)
+        print(f"[{backend}] killed child mid-run with {done} point(s) journaled")
+    else:
+        print(
+            f"[{backend}] WARNING: child finished before the kill landed; "
+            "checking resume-of-complete-spool instead"
+        )
+
+    resumed_rows, resumed_meta = run_e06_c_threshold(
+        n=n, trials=trials, seed=seed, processes=1, backend=backend, resume=str(spool)
+    )
+    control_rows, control_meta = run_e06_c_threshold(
+        n=n, trials=trials, seed=seed, processes=1, backend=backend
+    )
+
+    ok = True
+    if resumed_rows != control_rows:
+        print(f"[{backend}] FAIL: summary rows diverge from control", file=sys.stderr)
+        ok = False
+    resumed_recs, control_recs = resumed_meta["records"], control_meta["records"]
+    if not resumed_recs.equals(control_recs):
+        print(f"[{backend}] FAIL: raw records diverge from control", file=sys.stderr)
+        ok = False
+    if ok:
+        print(
+            f"[{backend}] OK: resumed table bit-identical to never-killed "
+            f"control ({len(resumed_recs)} records)"
+        )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--backends", default="reference,batched",
+        help="comma-separated backends to drill (default: both)",
+    )
+    args = parser.parse_args(argv)
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="durable-smoke-") as tmp:
+        for backend in (b.strip() for b in args.backends.split(",") if b.strip()):
+            ok = run_scenario(
+                backend, Path(tmp), n=args.n, trials=args.trials, seed=args.seed
+            ) and ok
+    print("durable smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -280,3 +281,57 @@ class ResultBlock:
                 row[k] = _pyvalue(self.data[k][i])
             out.append(row)
         return out
+
+    # -- durable-spool payload (npz-safe, no pickle) ------------------------
+
+    def to_payload(self) -> dict[str, np.ndarray]:
+        """The block as plain named arrays, safe for ``np.savez`` without pickle.
+
+        The on-disk shape of the durable result spool
+        (:mod:`repro.durable.spool`): the point parameters as one JSON
+        string, the trial indices, the field order, and one array per
+        field.  Object-dtype columns (ragged/mixed values) are
+        JSON-encoded element-wise into unicode arrays — ``allow_pickle``
+        stays off, so a torn or hostile block file can fail a checksum
+        but never execute anything on load.
+        """
+        payload: dict[str, np.ndarray] = {
+            "point": np.str_(json.dumps({k: _pyvalue(v) for k, v in self.point.items()})),
+            "trials": self.trials,
+            "field_names": np.asarray(self.fields, dtype="U64"),
+        }
+        json_fields = []
+        for name in self.fields:
+            col = self.data[name]
+            if col.dtype.kind == "O":
+                json_fields.append(name)
+                col = np.asarray([json.dumps(_pyvalue(v)) for v in col])
+            payload[f"field:{name}"] = col
+        payload["json_fields"] = np.asarray(json_fields, dtype="U64")
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, np.ndarray]) -> "ResultBlock":
+        """Rebuild a block written by :meth:`to_payload` (inverse, exact).
+
+        Field order, dtypes, and values round-trip: typed columns come
+        back verbatim, JSON-encoded object columns decode back to
+        object dtype.
+        """
+        point = json.loads(str(payload["point"]))
+        trials = np.asarray(payload["trials"], dtype=np.int64)
+        names = [str(n) for n in np.asarray(payload["field_names"])]
+        json_fields = {str(n) for n in np.asarray(payload["json_fields"])}
+        cols: dict[str, np.ndarray] = {}
+        for name in names:
+            col = np.asarray(payload[f"field:{name}"])
+            if name in json_fields:
+                decoded = np.empty(col.size, dtype=object)
+                decoded[:] = [json.loads(str(v)) for v in col]
+                col = decoded
+            cols[name] = col
+        dtype = np.dtype([(n, cols[n].dtype) for n in names])
+        data = np.empty(trials.size, dtype=dtype)
+        for n in names:
+            data[n] = cols[n]
+        return cls(point=point, trials=trials, data=data)

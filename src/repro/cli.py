@@ -17,7 +17,8 @@ interactive regeneration of a single table.
 Every ``run`` flag maps 1:1 onto a :class:`repro.plan.RunPlan` axis
 (``--backend``/``--kernel``/``--kernel-threads`` → ``BackendSpec``, ``--share-graph``/
 ``--graph-cache`` → ``GraphSpec``, ``--processes`` → ``ExecSpec``,
-``--results`` → ``ResultSpec``, ``--trials``/``--seed`` → grid scale
+``--results``/``--spool`` → ``ResultSpec``, ``--resume`` →
+``execute(plan, resume=…)``, ``--trials``/``--seed`` → grid scale
 and seed policy).  Which axes an experiment supports comes from its
 registry declaration (:attr:`repro.experiments.ExperimentSpec.capabilities`)
 — not from signature probing — and an override the experiment does not
@@ -51,6 +52,8 @@ def run_experiment(
     results: str | None = None,
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
@@ -73,6 +76,8 @@ def run_experiment(
         "results": results,
         "kernel": kernel,
         "kernel_threads": kernel_threads,
+        "spool": spool,
+        "resume": resume,
     }
     for name, value in overrides.items():
         if value is None:
@@ -149,6 +154,16 @@ def _cmd_run(args) -> int:
         # BackendSpec.threads below.
         os.environ["REPRO_KERNEL_THREADS"] = str(args.kernel_threads)
     target = args.experiment.lower()
+    if target == "all" and (args.spool or args.resume):
+        # One spool directory belongs to one plan fingerprint; spreading
+        # every experiment's journal over a single dir would make each
+        # one reject the others' journals.
+        print(
+            "error: --spool/--resume apply to a single experiment "
+            "(a spool directory is keyed to one plan fingerprint)",
+            file=sys.stderr,
+        )
+        return 2
     if target == "ablations":
         rows, meta, title = _run_ablations(args)
         print(format_table(rows, title=title))
@@ -172,6 +187,8 @@ def _cmd_run(args) -> int:
             results=args.results,
             kernel=args.kernel,
             kernel_threads=args.kernel_threads,
+            spool=args.spool,
+            resume=args.resume,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -192,7 +209,12 @@ def _cmd_smoke(args) -> int:
 
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     only = args.only.split(",") if args.only else None
-    rows, ok = run_plan_smoke(backends=backends, processes=args.processes, only=only)
+    rows, ok = run_plan_smoke(
+        backends=backends,
+        processes=args.processes,
+        only=only,
+        spool_root=args.spool_root,
+    )
     print(format_table(rows, title="Plan smoke — execute(plan) across experiments × backends"))
     if not ok:
         print("plan smoke FAILED", file=sys.stderr)
@@ -293,6 +315,27 @@ def main(argv=None) -> int:
         "keyed by (family, params, seed) are stored once and mapped "
         "back on every later run",
     )
+    p_run.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="durable execution: stream each grid point's results to "
+        "checksummed block files in DIR with a crash-tolerant journal "
+        "(repro.durable), instead of holding the whole table in "
+        "memory.  A crashed or killed run restarts from where it left "
+        "off via --resume.  Needs a reproducible seed (the default or "
+        "--seed).  Single experiments only, not 'all'.",
+    )
+    p_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume an interrupted --spool run from DIR: completed "
+        "grid points are verified against their journaled checksums "
+        "and skipped; incomplete ones re-run.  The resumed table is "
+        "bit-identical to an uninterrupted run.  Errors out if the "
+        "plan does not match the journal's fingerprint.",
+    )
     p_run.add_argument("--csv", default=None, help="also write the table to a CSV file")
     p_smoke = sub.add_parser(
         "smoke",
@@ -313,6 +356,13 @@ def main(argv=None) -> int:
         default=None,
         metavar="IDS",
         help="comma-separated experiment ids to restrict to (e.g. E1,E6)",
+    )
+    p_smoke.add_argument(
+        "--spool-root",
+        default=None,
+        metavar="DIR",
+        help="also route spool-capable experiments through the durable "
+        "on-disk sink, one subdirectory per (experiment, backend)",
     )
     sub.add_parser(
         "serve",

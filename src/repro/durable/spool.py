@@ -1,0 +1,209 @@
+"""On-disk result spool: atomic, checksummed per-grid-point block files.
+
+Layout of a spool directory::
+
+    <dir>/
+      journal.jsonl          # header + one line per finished point
+      blocks/
+        block-00000.npz      # one ResultBlock per grid point
+        block-00003.npz      # (written in completion order — any order)
+
+Each block file is one grid point's :class:`~repro.batch.results.
+ResultBlock`, serialized via :meth:`~repro.batch.results.ResultBlock.
+to_payload` (pickle-free npz), written **atomically** (tmp file +
+``os.replace`` after fsync) and **checksummed** (sha256 of the final
+file bytes, recorded in the journal's ``block`` line).  A SIGKILL can
+therefore never leave a half-written block under its final name, and a
+block torn by any other means fails its checksum on read — the
+affected point re-runs on resume instead of poisoning the table.
+
+Because the spool holds one file per point and the journal one line
+per point, a sweep's full result set never has to exist in RAM at
+once: workers stream blocks out as they finish, and consumers can
+iterate the blocks back one at a time (:meth:`SpoolReader.iter_blocks`)
+or assemble the full :class:`~repro.parallel.aggregate.ResultTable`
+when it fits (:meth:`SpoolReader.table`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..batch.results import ResultBlock
+from ..errors import SpoolCorruptError
+from .journal import JOURNAL_NAME, JournalWriter, read_journal
+
+__all__ = [
+    "BLOCKS_DIR",
+    "block_filename",
+    "write_block",
+    "read_block",
+    "file_sha256",
+    "SpoolReader",
+    "failure_block",
+    "open_journal",
+]
+
+BLOCKS_DIR = "blocks"
+
+
+def file_sha256(path: str | os.PathLike) -> str:
+    """sha256 hex digest of a file's bytes (streamed, constant memory)."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def block_filename(point: int) -> str:
+    """Spool-relative path of grid point ``point``'s block file."""
+    return f"{BLOCKS_DIR}/block-{point:05d}.npz"
+
+
+def write_block(spool_dir: str | os.PathLike, point: int, block: ResultBlock) -> tuple[str, str]:
+    """Atomically write one point's block; returns ``(relpath, sha256)``.
+
+    The payload lands in a pid-tagged tmp file first (fsync'd), then
+    ``os.replace``-d to its final name — concurrent writers and crashes
+    can race harmlessly; readers only ever see complete files.  The
+    checksum is of the final bytes, so the journal entry pins exactly
+    what a later read must verify.
+    """
+    root = Path(spool_dir)
+    rel = block_filename(point)
+    final = root / rel
+    final.parent.mkdir(parents=True, exist_ok=True)
+    tmp = final.parent / f".block-{point:05d}.{os.getpid()}.tmp.npz"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **block.to_payload())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return rel, file_sha256(final)
+
+
+def read_block(
+    spool_dir: str | os.PathLike, rel: str, *, sha256: str | None = None
+) -> ResultBlock:
+    """Read a spooled block back, verifying its checksum first.
+
+    Raises :class:`~repro.errors.SpoolCorruptError` when the file is
+    missing, fails the checksum, or cannot be parsed — the caller (a
+    resume) treats that as "this point is not done" and re-runs it.
+    """
+    path = Path(spool_dir) / rel
+    if not path.is_file():
+        raise SpoolCorruptError(f"{path}: spooled block missing")
+    if sha256 is not None:
+        actual = file_sha256(path)
+        if actual != sha256:
+            raise SpoolCorruptError(
+                f"{path}: checksum mismatch (journal {sha256[:12]}…, file {actual[:12]}…)"
+            )
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return ResultBlock.from_payload(data)
+    except SpoolCorruptError:
+        raise
+    except Exception as exc:
+        raise SpoolCorruptError(f"{path}: unreadable spooled block: {exc}") from exc
+
+
+class SpoolReader:
+    """Read-side handle on a spool directory: journal + lazy blocks.
+
+    ``completed``/``failures`` split the journal's per-point entries;
+    :meth:`iter_blocks` streams completed blocks from disk one at a
+    time in grid order (the out-of-core path), :meth:`table` assembles
+    everything — completed blocks plus one quarantine row per failed
+    point — into a :class:`~repro.parallel.aggregate.ResultTable`.
+    """
+
+    def __init__(self, spool_dir: str | os.PathLike):
+        self.dir = Path(spool_dir)
+        self.header, self._entries = read_journal(self.dir / JOURNAL_NAME)
+
+    @property
+    def entries(self) -> dict[int, dict]:
+        return dict(self._entries)
+
+    @property
+    def completed(self) -> dict[int, dict]:
+        return {p: e for p, e in self._entries.items() if e["kind"] == "block"}
+
+    @property
+    def failures(self) -> dict[int, dict]:
+        return {p: e for p, e in self._entries.items() if e["kind"] == "failure"}
+
+    def verified_completed(self) -> dict[int, dict]:
+        """Completed entries whose block files pass their checksums now.
+
+        The resume-time filter: an entry whose file is gone or torn is
+        silently dropped (its point re-runs); nothing raises here.
+        """
+        good: dict[int, dict] = {}
+        for p, e in self.completed.items():
+            path = self.dir / e["file"]
+            if path.is_file() and file_sha256(path) == e["sha256"]:
+                good[p] = e
+        return good
+
+    def block(self, point: int) -> ResultBlock:
+        entry = self._entries.get(point)
+        if entry is None or entry["kind"] != "block":
+            raise SpoolCorruptError(f"{self.dir}: no completed block for point {point}")
+        return read_block(self.dir, entry["file"], sha256=entry["sha256"])
+
+    def iter_blocks(self) -> Iterator[tuple[int, ResultBlock]]:
+        """Completed blocks in grid order, loaded one at a time."""
+        for p in sorted(self.completed):
+            yield p, self.block(p)
+
+    def table(self):
+        """The full result table, assembled from disk.
+
+        Completed points contribute their spooled rows; quarantined
+        points contribute one structured failure row each (``trial=-1``,
+        ``failed=True``, plus kind/error/attempts) so a survived sweep
+        still reports *something* for every grid point.
+        """
+        from ..parallel.aggregate import ResultTable
+
+        blocks = []
+        for p in sorted(self._entries):
+            entry = self._entries[p]
+            if entry["kind"] == "block":
+                blocks.append(self.block(p))
+            else:
+                blocks.append(failure_block(entry))
+        return ResultTable.from_blocks(blocks)
+
+
+def failure_block(entry: Mapping) -> ResultBlock:
+    """A quarantined point's journal entry as a one-row structured block."""
+    return ResultBlock.from_records(
+        dict(entry["point_params"]),
+        [-1],
+        [
+            {
+                "failed": True,
+                "failure_kind": str(entry["failure_kind"]),
+                "error": str(entry["error"]),
+                "attempts": int(entry["attempts"]),
+            }
+        ],
+    )
+
+
+def open_journal(spool_dir: str | os.PathLike) -> JournalWriter:
+    """An append-mode :class:`~repro.durable.journal.JournalWriter` for ``dir``."""
+    return JournalWriter(Path(spool_dir) / JOURNAL_NAME)

@@ -1,0 +1,418 @@
+"""Crash-supervised process-pool dispatch.
+
+``ProcessPoolExecutor.map`` has all-or-nothing failure semantics: one
+worker OOM-killed (or SIGKILL-ed by an operator) raises
+``BrokenProcessPool`` in the parent and every completed result of the
+map is lost.  :func:`supervised_map` replaces it with a future-based
+supervisor in the spirit of MapReduce's re-execution of failed tasks:
+
+* **worker death is survivable** — when the pool breaks, the supervisor
+  rebuilds it and requeues the in-flight tasks;
+* **failed tasks retry with capped, jittered backoff** — the jitter is
+  deterministic per (task, attempt), so reruns behave identically;
+* **per-task timeouts** — a task overstaying
+  :attr:`RetryPolicy.task_timeout` has its pool killed and is charged
+  an attempt (running futures cannot be cancelled any other way);
+  innocent co-resident tasks are requeued without blame;
+* **poison tasks are identified exactly** — a worker crash breaks the
+  whole pool, so blame smears over every in-flight task.  A task whose
+  crash count reaches the attempt cap is therefore given one final
+  **solo probation** run: if the pool breaks with only that task in
+  flight the blame is definitive and it is quarantined as a structured
+  :class:`TaskFailure`; if it succeeds, it was an innocent bystander of
+  someone else's crashes and its result stands.
+
+Results come back in submission order, exactly like ``pool.map``.  With
+``on_result`` the caller observes each task's outcome the moment it
+completes (out of submission order) — the hook the durable result
+spool uses to persist blocks before the map finishes.
+
+This module deliberately knows nothing about plans, graphs, or result
+spools; it is a generic "run these picklable tasks to completion"
+primitive, importable from anywhere below :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import WorkerCrashError
+
+__all__ = ["RetryPolicy", "TaskFailure", "supervised_map"]
+
+#: results[] sentinel for "not finished yet" (None is a legal result).
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor treats a task that did not return a result.
+
+    ``max_attempts`` caps runs per task (first run included).
+    ``base_delay``/``max_delay``/``jitter`` shape the capped
+    exponential backoff between attempts; the jitter is a deterministic
+    hash of (task, attempt), never ambient randomness.
+    ``task_timeout`` bounds a single attempt's wall-clock seconds
+    (``None`` = unbounded).  ``retry_exceptions`` decides whether an
+    ordinary exception raised *by the task function* is retried like a
+    crash (durable sweeps want that for e.g. transient I/O) or
+    propagated immediately (plain ``map_parallel`` semantics).
+    ``on_failure`` picks what happens when attempts are exhausted:
+    ``"raise"`` aborts the map, ``"return"`` puts a
+    :class:`TaskFailure` in the task's result slot — the quarantine
+    row durable sweeps record instead of dying.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    task_timeout: float | None = None
+    retry_exceptions: bool = False
+    on_failure: str = "raise"
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1; got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1]; got {self.jitter}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive; got {self.task_timeout}")
+        if self.on_failure not in ("raise", "return"):
+            raise ValueError(f"unknown on_failure {self.on_failure!r}")
+
+    def delay(self, attempts: int, key: object) -> float:
+        """Backoff before attempt ``attempts + 1`` of task ``key``.
+
+        Capped exponential, thinned by a *deterministic* jitter (a hash
+        of the task key and attempt number) so concurrent requeues
+        spread out without consulting ambient RNG state.
+        """
+        base = min(self.max_delay, self.base_delay * (2.0 ** max(0, attempts - 1)))
+        if self.jitter <= 0 or base <= 0:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempts}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (1.0 - self.jitter * frac)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its retries, as data instead of an exception.
+
+    ``kind`` is ``"crash"`` (killed its worker — confirmed by a solo
+    probation run), ``"timeout"``, or ``"exception"`` (the task
+    function raised; ``error``/``exc_type`` describe it).  Appears in
+    the result slot of :func:`supervised_map` when the policy says
+    ``on_failure="return"``; durable sweeps turn it into a quarantined
+    failure row.
+    """
+
+    index: int
+    kind: str
+    error: str
+    exc_type: str
+    attempts: int
+
+
+def supervised_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    processes: int,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    policy: RetryPolicy | None = None,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """``[fn(x) for x in items]`` under crash supervision, order-preserving.
+
+    The drop-in replacement for ``ProcessPoolExecutor.map`` used by
+    :func:`repro.parallel.pool.map_parallel`: same contract (picklable
+    ``fn``/items, results in submission order), but worker death,
+    per-task timeouts, and poison tasks are handled per ``policy``
+    instead of aborting the map.  ``on_result(index, result)`` fires in
+    the parent as each task completes (completion order); with
+    ``on_failure="return"`` it also receives the :class:`TaskFailure`
+    of a quarantined task.
+
+    ``processes <= 1`` runs serially in-process (no pool, exact
+    tracebacks); the retry policy still applies to ordinary exceptions
+    when ``retry_exceptions`` is set.
+    """
+    items = list(items)
+    policy = policy or RetryPolicy()
+    policy.validate()
+    if not items:
+        return []
+    if processes <= 1:
+        return _serial_map(fn, items, policy, on_result)
+    return _Supervisor(fn, items, processes, initializer, initargs, policy, on_result).run()
+
+
+def _serial_map(fn, items, policy, on_result):
+    out = []
+    for i, item in enumerate(items):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                res = fn(item)
+            except Exception as exc:
+                if policy.retry_exceptions and attempts < policy.max_attempts:
+                    time.sleep(policy.delay(attempts, i))
+                    continue
+                if policy.on_failure == "raise":
+                    raise
+                res = TaskFailure(i, "exception", str(exc), type(exc).__name__, attempts)
+            break
+        out.append(res)
+        if on_result is not None:
+            on_result(i, res)
+    return out
+
+
+class _Supervisor:
+    """One :func:`supervised_map` run: scheduler state plus the event loop."""
+
+    def __init__(self, fn, items, processes, initializer, initargs, policy, on_result):
+        self.fn = fn
+        self.items = items
+        self.nproc = processes
+        self.initializer = initializer
+        self.initargs = initargs
+        self.policy = policy
+        self.on_result = on_result
+        self.results: list = [_UNSET] * len(items)
+        self.attempts = [0] * len(items)
+        #: min-heap of (ready_time, index) — tasks awaiting (re)submission
+        self.ready: list[tuple[float, int]] = [(0.0, i) for i in range(len(items))]
+        heapq.heapify(self.ready)
+        #: crash suspects awaiting a solo probation run
+        self.suspects: deque[int] = deque()
+        #: index of the task currently on solo probation, if any
+        self.probation: int | None = None
+        self.pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.nproc,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+
+    def _discard_pool(self, kill: bool = False) -> None:
+        if self.pool is None:
+            return
+        if kill:
+            # Running futures cannot be cancelled; killing the worker
+            # processes is the only way to enforce a task timeout.
+            procs = getattr(self.pool, "_processes", None) or {}
+            for p in list(procs.values()):
+                try:
+                    p.kill()
+                except Exception:
+                    pass
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = None
+
+    # -- scheduling --------------------------------------------------------
+
+    def _submit(self, idx: int, inflight: dict) -> None:
+        fut = self.pool.submit(self.fn, self.items[idx])
+        inflight[fut] = (idx, time.monotonic())
+
+    def _fill(self, inflight: dict) -> None:
+        """Top the pool up: probation solo run first, else ready tasks.
+
+        The window is one task per worker — in-flight tasks are
+        *running* tasks, which keeps crash blame as narrow as the pool
+        allows and makes the per-task timeout clock honest.
+        """
+        if self.probation is not None:
+            return
+        if self.suspects:
+            if inflight:
+                return  # drain, then run the suspect alone
+            self.probation = self.suspects.popleft()
+            self._submit(self.probation, inflight)
+            return
+        now = time.monotonic()
+        while self.ready and len(inflight) < self.nproc:
+            if self.ready[0][0] > now:
+                break
+            _, idx = heapq.heappop(self.ready)
+            self._submit(idx, inflight)
+
+    def _requeue(self, idx: int, *, blamed: bool) -> None:
+        if blamed:
+            self.attempts[idx] += 1
+            if self.attempts[idx] >= self.policy.max_attempts:
+                # Blame smears across co-resident tasks when a pool
+                # breaks; confirm with one solo run before quarantining.
+                self.suspects.append(idx)
+                return
+            delay = self.policy.delay(self.attempts[idx], idx)
+        else:
+            delay = 0.0
+        heapq.heappush(self.ready, (time.monotonic() + delay, idx))
+
+    def _finish(self, idx: int, result) -> None:
+        if self.probation == idx:
+            self.probation = None
+        self.results[idx] = result
+        if self.on_result is not None:
+            self.on_result(idx, result)
+
+    def _quarantine(self, idx: int, kind: str, error: str, exc_type: str) -> None:
+        if self.probation == idx:
+            self.probation = None
+        if self.policy.on_failure == "raise":
+            raise WorkerCrashError(
+                f"task {idx} {error} after {self.attempts[idx]} attempt(s)"
+            )
+        self._finish(
+            idx, TaskFailure(idx, kind, error, exc_type, self.attempts[idx])
+        )
+
+    # -- event handlers ----------------------------------------------------
+
+    def _task_exception(self, idx: int, exc: Exception) -> None:
+        if self.probation == idx:
+            self.probation = None
+        self.attempts[idx] += 1
+        if not self.policy.retry_exceptions:
+            if self.policy.on_failure == "raise":
+                raise exc
+            self._finish(
+                idx,
+                TaskFailure(idx, "exception", str(exc), type(exc).__name__, self.attempts[idx]),
+            )
+            return
+        if self.attempts[idx] >= self.policy.max_attempts:
+            self._finish(
+                idx,
+                TaskFailure(idx, "exception", str(exc), type(exc).__name__, self.attempts[idx]),
+            )
+            return
+        heapq.heappush(
+            self.ready,
+            (time.monotonic() + self.policy.delay(self.attempts[idx], idx), idx),
+        )
+
+    def _handle_broken(self, idx: int) -> None:
+        """One in-flight task of a broken pool: quarantine or requeue."""
+        if self.probation == idx:
+            # Solo run, so the blame is definitive: this task kills its
+            # worker every time it runs.
+            self.attempts[idx] += 1
+            self._quarantine(idx, "crash", "crashed its worker process", "BrokenProcessPool")
+            return
+        self._requeue(idx, blamed=True)
+
+    def _handle_timeouts(self, inflight: dict) -> None:
+        if self.policy.task_timeout is None:
+            return
+        now = time.monotonic()
+        overdue = {
+            idx for _f, (idx, t0) in zip(inflight, inflight.values())
+            if now - t0 >= self.policy.task_timeout
+        }
+        if not overdue:
+            return
+        # A running future cannot be cancelled: kill the pool, charge the
+        # overdue tasks an attempt, requeue the innocents blame-free.
+        self._discard_pool(kill=True)
+        for _fut, (idx, _t0) in list(inflight.items()):
+            if idx not in overdue:
+                if self.probation == idx:
+                    self.probation = None
+                self._requeue(idx, blamed=False)
+                continue
+            self.attempts[idx] += 1
+            if self.probation == idx or self.attempts[idx] >= self.policy.max_attempts:
+                self._quarantine(
+                    idx,
+                    "timeout",
+                    f"exceeded the {self.policy.task_timeout}s task timeout",
+                    "TimeoutError",
+                )
+            else:
+                heapq.heappush(
+                    self.ready,
+                    (time.monotonic() + self.policy.delay(self.attempts[idx], idx), idx),
+                )
+        inflight.clear()
+        self.pool = self._new_pool()
+
+    # -- the loop ----------------------------------------------------------
+
+    def _wait_timeout(self, inflight: dict) -> float | None:
+        now = time.monotonic()
+        deadlines = []
+        if self.policy.task_timeout is not None:
+            deadlines += [
+                t0 + self.policy.task_timeout - now for (_i, t0) in inflight.values()
+            ]
+        if (
+            self.ready
+            and self.probation is None
+            and not self.suspects
+            and len(inflight) < self.nproc
+        ):
+            deadlines.append(self.ready[0][0] - now)
+        if not deadlines:
+            return None
+        return max(0.01, min(deadlines))
+
+    def run(self) -> list:
+        self.pool = self._new_pool()
+        inflight: dict[Future, tuple[int, float]] = {}
+        try:
+            while self.ready or self.suspects or inflight or self.probation is not None:
+                self._fill(inflight)
+                if not inflight:
+                    if self.ready:  # everything pending is in backoff
+                        time.sleep(max(0.0, self.ready[0][0] - time.monotonic()) + 0.001)
+                    continue
+                done, _ = wait(
+                    list(inflight), timeout=self._wait_timeout(inflight),
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    self._handle_timeouts(inflight)
+                    continue
+                broken = False
+                for fut in done:
+                    idx, _t0 = inflight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._handle_broken(idx)
+                    except Exception as exc:
+                        self._task_exception(idx, exc)
+                    else:
+                        self._finish(idx, result)
+                if broken:
+                    # The rest of the in-flight set died with the pool.
+                    for _fut, (idx, _t0) in list(inflight.items()):
+                        self._handle_broken(idx)
+                    inflight.clear()
+                    self._discard_pool()
+                    self.pool = self._new_pool()
+        finally:
+            self._discard_pool()
+        assert not any(r is _UNSET for r in self.results), "supervisor lost a task"
+        return self.results

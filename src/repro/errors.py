@@ -20,6 +20,10 @@ __all__ = [
     "ServeError",
     "FaultSpecError",
     "CheckpointError",
+    "DurabilityError",
+    "SpoolCorruptError",
+    "ResumeMismatchError",
+    "WorkerCrashError",
 ]
 
 
@@ -106,4 +110,47 @@ class CheckpointError(ReproError):
     Raised by :meth:`repro.serve.ServingState.save` / ``load`` /
     ``from_checkpoint`` on I/O failures, version mismatches, or
     payloads that fail basic integrity checks.
+    """
+
+
+class DurabilityError(ReproError):
+    """Base of the durable-execution failures (:mod:`repro.durable`).
+
+    The offline-fleet sibling of the PR-7 serving-layer
+    :class:`CheckpointError` taxonomy: anything that goes wrong with
+    the on-disk result spool, its journal, or the crash-supervised
+    pool derives from here.
+    """
+
+
+class SpoolCorruptError(DurabilityError):
+    """An on-disk result-spool artifact failed an integrity check.
+
+    Raised when a per-grid-point block file is missing, truncated, or
+    does not match the checksum its journal entry recorded, or when a
+    journal header is unreadable where one is required.  During a
+    resume, corrupt *blocks* are not fatal — the affected grid point is
+    simply re-run — so this surfaces only where the caller explicitly
+    reads a block (:func:`repro.durable.read_block`) or assembles a
+    spool whose journal promises data that cannot be delivered.
+    """
+
+
+class ResumeMismatchError(DurabilityError):
+    """A resume directory belongs to a different plan.
+
+    The journal header records a fingerprint of the canonicalized
+    :class:`~repro.plan.RunPlan` (points, trials, seed lineage,
+    backend, graph provisioning — every axis that can change result
+    *bits*).  Resuming with a plan whose fingerprint differs would
+    silently splice rows from two different computations into one
+    table; this error refuses that.
+    """
+
+
+class WorkerCrashError(DurabilityError):
+    """A pool task kept killing its worker (or timing out) and retries
+    are exhausted, in a context where quarantining it as a structured
+    failure row was not requested (plain :func:`~repro.parallel.pool.
+    map_parallel` semantics: raise rather than return partial results).
     """

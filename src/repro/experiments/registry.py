@@ -24,8 +24,13 @@ __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"
 
 #: Overrides every runner accepts (Monte-Carlo scale and dispatch).
 _COMMON = ("trials", "seed", "processes")
-#: The sweep runners' full plan-axis surface.
-_SWEEP = _COMMON + ("backend", "graph_cache", "results", "kernel", "kernel_threads")
+#: The sweep runners' full plan-axis surface.  ``spool``/``resume`` are
+#: the durable-execution axis (:mod:`repro.durable`): stream blocks to
+#: a crash-survivable on-disk spool, resume an interrupted sweep.
+_SWEEP = _COMMON + (
+    "backend", "graph_cache", "results", "kernel", "kernel_threads",
+    "spool", "resume",
+)
 
 
 def _smoke(**kwargs) -> Mapping:

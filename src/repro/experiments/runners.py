@@ -180,6 +180,7 @@ _SAER_WORK = WorkSpec(record=_saer_run_record, batch=_saer_batch_block, name="sa
 def _saer_plan(
     grid, *, trials, seed, processes, backend="reference", graph=None,
     graph_cache=None, results="columnar", kernel=None, kernel_threads=None,
+    spool=None,
 ) -> RunPlan:
     """Map the historical SAER-runner kwargs onto a :class:`RunPlan`.
 
@@ -190,7 +191,9 @@ def _saer_plan(
     are exclusive (a pinned graph is never rebuilt).  ``kernel_threads``
     is the compiled round kernel's trial-partitioned thread budget
     (bit-identical at every count; capped by ``execute`` so threads ×
-    processes stays within the core budget).
+    processes stays within the core budget).  ``spool`` switches the
+    results sink to the durable on-disk spool at that directory
+    (crash-supervised, resumable; see :mod:`repro.durable`).
     """
     if backend not in ("reference", "batched"):
         raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
@@ -200,6 +203,10 @@ def _saer_plan(
         gspec = GraphSpec(mode="cached", cache_dir=graph_cache)
     else:
         gspec = GraphSpec()
+    if spool:
+        rspec = ResultSpec(mode=results, sink="spool", dir=str(spool))
+    else:
+        rspec = ResultSpec(mode=results)
     return RunPlan(
         grid=grid,
         work=_SAER_WORK,
@@ -215,8 +222,23 @@ def _saer_plan(
         ),
         graph=gspec,
         execution=ExecSpec(processes=processes),
-        results=ResultSpec(mode=results),
+        results=rspec,
     )
+
+
+def _part_dir(root: "str | None", index: int) -> "str | None":
+    """Sub-spool directory for a runner that executes several plans.
+
+    E7/E8 run one :func:`~repro.plan.execute` per sub-grid; each gets
+    its own journal (fingerprints differ by design), so a runner-level
+    ``--spool``/``--resume`` directory fans out into ``part-NN/``
+    children.  ``None`` passes through (no spool).
+    """
+    if root is None:
+        return None
+    import os as _os
+
+    return _os.path.join(str(root), f"part-{index:02d}")
 
 
 def _saer_sweep(
@@ -250,14 +272,16 @@ def run_e01_completion(
     results: str = "columnar",
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
-        kernel_threads=kernel_threads,
-    ))
+        kernel_threads=kernel_threads, spool=spool,
+    ), resume=resume)
     table = as_table(recs)  # row assembly reads typed columns, not dicts
     rows = []
     for n in ns:
@@ -305,14 +329,16 @@ def run_e02_work(
     results: str = "columnar",
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
-        kernel_threads=kernel_threads,
-    ))
+        kernel_threads=kernel_threads, spool=spool,
+    ), resume=resume)
     table = as_table(recs)
     rows = []
     for n in ns:
@@ -563,6 +589,8 @@ def run_e06_c_threshold(
     results: str = "columnar",
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale.
 
@@ -592,7 +620,8 @@ def run_e06_c_threshold(
         results=results,
         kernel=kernel,
         kernel_threads=kernel_threads,
-    ))
+        spool=spool,
+    ), resume=resume)
     table = as_table(recs)
     rows = []
     for c in cs:
@@ -644,6 +673,8 @@ def run_e07_degree_sweep(
     results: str = "columnar",
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -658,13 +689,13 @@ def run_e07_degree_sweep(
     ]
     rows = []
     all_recs = []
-    for label, deg in degree_specs:
+    for part, (label, deg) in enumerate(degree_specs):
         grid = ParameterGrid(n=[n], c=[c], d=[d], degree=[deg])
         table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
-            kernel_threads=kernel_threads,
-        )))
+            kernel_threads=kernel_threads, spool=_part_dir(spool, part),
+        ), resume=_part_dir(resume, part)))
         all_recs.extend(table)
         completed = table.column("completed").astype(bool)
         done = int(completed.sum())
@@ -704,6 +735,8 @@ def run_e08_almost_regular(
     results: str = "columnar",
     kernel: str | None = None,
     kernel_threads: int | None = None,
+    spool: str | None = None,
+    resume: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -723,7 +756,7 @@ def run_e08_almost_regular(
             "horizon": completion_horizon(n),
         }
 
-    for ratio in ratios:
+    for part, ratio in enumerate(ratios):
         fam = "regular" if ratio == 1 else "near_regular"
         grid = ParameterGrid(
             n=[n],
@@ -736,8 +769,8 @@ def run_e08_almost_regular(
         table = as_table(execute(_saer_plan(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
-            kernel_threads=kernel_threads,
-        )))
+            kernel_threads=kernel_threads, spool=_part_dir(spool, part),
+        ), resume=_part_dir(resume, part)))
         all_recs.extend(table)
         rows.append(
             _row(f"near_regular ρ≈{ratio}" if ratio > 1 else "regular (ρ=1)", table)
@@ -747,8 +780,8 @@ def run_e08_almost_regular(
     table = as_table(execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
-        kernel_threads=kernel_threads,
-    )))
+        kernel_threads=kernel_threads, spool=_part_dir(spool, len(ratios)),
+    ), resume=_part_dir(resume, len(ratios))))
     all_recs.extend(table)
     rows.append(_row("paper_extremal (√n clients, O(1) servers)", table))
     meta = {"n": n, "c": c, "d": d, "backend": backend, "records": all_recs}

@@ -16,6 +16,7 @@ Use from the CLI (``repro-lb smoke``) or directly::
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from . import runners as runner_mod
@@ -29,14 +30,18 @@ def run_plan_smoke(
     *,
     processes: int | None = 1,
     only: Iterable[str] | None = None,
+    spool_root: str | None = None,
 ) -> tuple[list[dict], bool]:
     """Run every experiment at smoke scale under each supported backend.
 
     Experiments whose capabilities do not include ``backend`` have a
-    single canonical execution path and run once.  Returns ``(rows,
-    ok)``: one row per (experiment, backend) with the produced row
-    count and status, and ``ok`` — True iff every run produced a
-    non-empty table without raising.
+    single canonical execution path and run once.  With ``spool_root``,
+    spool-capable experiments additionally route through the durable
+    sink (each run gets its own ``<spool_root>/<id>-<backend>``
+    directory), so the smoke also proves journal + block-file assembly
+    end-to-end.  Returns ``(rows, ok)``: one row per (experiment,
+    backend) with the produced row count and status, and ``ok`` — True
+    iff every run produced a non-empty table without raising.
     """
     wanted = {e.strip().upper() for e in only} if only is not None else None
     out: list[dict] = []
@@ -66,6 +71,8 @@ def run_plan_smoke(
             if backend is not None:
                 kwargs["backend"] = backend
             label = backend or "reference"
+            if spool_root is not None and "spool" in spec.capabilities:
+                kwargs["spool"] = os.path.join(spool_root, f"{spec.id}-{label}")
             try:
                 rows, _meta = fn(**kwargs)
             except Exception as exc:  # a smoke harness reports, never raises

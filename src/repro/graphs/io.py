@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Callable, Mapping
 
@@ -186,20 +187,72 @@ def cached_graph(
 
     Uncacheable seeds (``None``, live generators) silently fall through
     to a plain build.
+
+    Cache entries are integrity-checked: each ``.npz`` gets a
+    ``.npz.sha256`` sidecar at write time, verified on every hit.  A
+    truncated or corrupt entry (checksum mismatch, unreadable file) is
+    evicted with a warning and the graph regenerated — a torn cache
+    (e.g. a worker SIGKILLed mid-write on a non-atomic filesystem, or
+    bit rot on scratch storage) costs one rebuild, never a crashed
+    sweep.
     """
     key = graph_cache_key(family, params, seed) if cache_dir is not None else None
     if key is None:
         return builder(**params, seed=seed)
     root = Path(cache_dir)
     path = root / f"{key}.npz"
+    sidecar = root / f"{key}.npz.sha256"
     if path.exists():
-        return load_npz(path, validate=False)
+        graph = _load_cached(path, sidecar)
+        if graph is not None:
+            return graph
+        path.unlink(missing_ok=True)
+        sidecar.unlink(missing_ok=True)
     graph = builder(**params, seed=seed)
     root.mkdir(parents=True, exist_ok=True)
     tmp = root / f".{key}.{os.getpid()}.tmp.npz"
     try:
         save_npz(graph, tmp, compress=False)
+        digest = _file_sha256(tmp)
         os.replace(tmp, path)
+        tmp_sidecar = root / f".{key}.{os.getpid()}.tmp.sha256"
+        tmp_sidecar.write_text(digest + "\n", encoding="utf-8")
+        os.replace(tmp_sidecar, sidecar)
     finally:
         tmp.unlink(missing_ok=True)
     return graph
+
+
+def _file_sha256(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _load_cached(path: Path, sidecar: Path) -> BipartiteGraph | None:
+    """Load a cache entry if it passes its integrity checks, else ``None``.
+
+    A missing sidecar (an entry written before checksums existed) skips
+    the checksum but still guards the load itself; any failure warns
+    and reports the entry unusable so the caller evicts + regenerates.
+    """
+    if sidecar.exists():
+        expected = sidecar.read_text(encoding="utf-8").strip()
+        actual = _file_sha256(path)
+        if actual != expected:
+            warnings.warn(
+                f"graph cache entry {path} failed its checksum "
+                f"(expected {expected[:12]}…, got {actual[:12]}…); regenerating",
+                stacklevel=3,
+            )
+            return None
+    try:
+        return load_npz(path, validate=False)
+    except Exception as exc:
+        warnings.warn(
+            f"graph cache entry {path} is unreadable ({exc}); regenerating",
+            stacklevel=3,
+        )
+        return None

@@ -154,8 +154,19 @@ class ResultTable(Sequence):
                 if k not in field_names:
                     field_names.append(k)
         for k in field_names:
+            # A block lacking the field contributes None — unless the
+            # name is also one of its point keys (records that echo
+            # their point params), where the point value is the honest
+            # fill; durable failure blocks rely on this to keep their
+            # grid params in the quarantine row.
             parts = [
-                np.asarray(b.data[k]) if k in b.fields else _missing_part(b.n_trials)
+                np.asarray(b.data[k])
+                if k in b.fields
+                else (
+                    np.full(b.n_trials, b.point[k])
+                    if k in b.point
+                    else _missing_part(b.n_trials)
+                )
                 for b in blocks
             ]
             columns[k] = _concat_parts(parts, n)
@@ -250,6 +261,26 @@ class ResultTable(Sequence):
 
     def to_records(self) -> list[dict]:
         return [self[i] for i in range(self._n)]
+
+    def equals(self, other) -> bool:
+        """Row-for-row value equality with any record carrier.
+
+        Compares materialized rows (python scalars), not column dtypes
+        — the library's bit-identity contract is about record *values*,
+        and equal values may ride in differently-narrowed columns
+        depending on whether a table was assembled from blocks or
+        records.  ``other`` may be a :class:`ResultTable` or a plain
+        record list.
+        """
+        if isinstance(other, ResultTable):
+            if len(self) != len(other) or self.fields != other.fields:
+                return False
+            other = other.to_records()
+        else:
+            other = list(other)
+            if len(self) != len(other):
+                return False
+        return self.to_records() == [dict(r) for r in other]
 
     def __repr__(self) -> str:
         return f"ResultTable(rows={self._n}, fields={list(self._columns)})"

@@ -59,11 +59,11 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
+from ..durable.supervisor import RetryPolicy, supervised_map
 from ..rng import spawn_seeds
 from .aggregate import ResultTable
 from .shared import current_task_graph, graph_context
@@ -136,6 +136,8 @@ def map_parallel(
     chunksize: int = 1,
     initializer: Callable | None = None,
     initargs: tuple = (),
+    policy: "RetryPolicy | None" = None,
+    on_result: Callable[[int, object], None] | None = None,
 ) -> list[R]:
     """``[fn(x) for x in items]`` across processes, order-preserving.
 
@@ -144,19 +146,41 @@ def map_parallel(
     comprehension — zero overhead, exact tracebacks (``initializer`` is
     not invoked; serial callers already run in the parent, where any
     task context is installed directly).
+
+    Pooled dispatch runs under the crash supervisor
+    (:func:`repro.durable.supervisor.supervised_map`) rather than bare
+    ``pool.map``: a worker killed mid-task (OOM, SIGKILL) no longer
+    aborts the whole map — the pool is rebuilt and the lost tasks
+    retried with capped deterministic backoff, up to ``policy``'s
+    attempt budget (default: 3 attempts, then raise
+    :class:`~repro.errors.WorkerCrashError`).  Ordinary exceptions
+    raised *by ``fn``* still propagate immediately under the default
+    policy, exactly as before.  Pass a custom
+    :class:`~repro.durable.supervisor.RetryPolicy` for per-task
+    timeouts, exception retries, or quarantine-instead-of-raise
+    (``on_failure="return"``), and ``on_result`` to observe each task's
+    outcome in completion order — the hook the durable result spool
+    persists blocks through.  ``chunksize`` is accepted for
+    compatibility; the supervisor dispatches one task per future, which
+    is what gives it per-task crash/timeout granularity.
     """
     items = list(items)
     if not items:
         return []
     nproc = default_processes(len(items)) if processes is None else processes
     if nproc <= 1:
-        return [fn(x) for x in items]
-    with ProcessPoolExecutor(
-        max_workers=nproc,
+        if policy is None and on_result is None:
+            return [fn(x) for x in items]
+        return supervised_map(fn, items, processes=1, policy=policy, on_result=on_result)
+    return supervised_map(
+        fn,
+        items,
+        processes=nproc,
         initializer=_pool_worker_init,
         initargs=(initializer, initargs),
-    ) as pool:
-        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        policy=policy,
+        on_result=on_result,
+    )
 
 
 def monte_carlo(

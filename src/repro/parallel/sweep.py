@@ -149,6 +149,36 @@ class _BatchPointRunner:
         return out
 
 
+class _TrialBlockRunner:
+    """Picklable adapter: a *per-trial* worker run over a point's whole block.
+
+    The durable path's unit of work is one grid point (one spooled
+    block, one journal line), but the reference backend's worker is
+    per-trial.  This adapter bridges them: the task carries a point's
+    full seed slice, the worker loops the trials in order in-process,
+    and the records pack into one :class:`~repro.batch.results.
+    ResultBlock` — so both backends present the identical per-point
+    task shape to the supervisor, and a given (point, trial) consumes
+    exactly the seed it would under plain per-trial dispatch.
+    """
+
+    def __init__(self, trial_fn: Callable, *, with_graph: bool = False):
+        self.trial_fn = trial_fn
+        self.with_graph = with_graph
+
+    def __call__(self, task) -> ResultBlock:
+        point, seed_seqs, trials = task
+        records = []
+        for seed_seq, trial in zip(seed_seqs, trials):
+            if self.with_graph:
+                records.append(
+                    self.trial_fn(current_task_graph(), point, seed_seq, trial)
+                )
+            else:
+                records.append(self.trial_fn(point, seed_seq, trial))
+        return ResultBlock.from_records(point, trials, records)
+
+
 def run_sweep(
     point_fn: Callable,
     grid: "ParameterGrid | Sequence[Mapping]",

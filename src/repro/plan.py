@@ -59,7 +59,9 @@ from __future__ import annotations
 
 import inspect
 import os
+import warnings
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from .errors import PlanError
@@ -85,6 +87,7 @@ _GRAPH_MODES = ("generate", "cached", "pinned")
 _SEED_MODES = ("pair", "direct")
 _EXEC_MODES = ("auto", "serial", "pool")
 _RESULT_MODES = ("records", "columnar")
+_RESULT_SINKS = ("memory", "spool")
 
 
 @dataclass(frozen=True)
@@ -207,11 +210,19 @@ class ExecSpec:
     persistent for the whole map, so batched workers keep their
     :func:`~repro.parallel.pool.worker_state` engine buffers alive
     across grid points.
+
+    ``retries`` and ``task_timeout`` shape the durable path's
+    :class:`~repro.durable.supervisor.RetryPolicy` (spool-sink runs
+    only): a grid point whose worker keeps dying or overstaying the
+    timeout is quarantined as a structured failure row after
+    ``retries`` attempts instead of killing the sweep.
     """
 
     mode: str = "auto"
     processes: int | None = None
     chunksize: int = 1
+    retries: int = 3
+    task_timeout: float | None = None
 
     def validate(self) -> None:
         if self.mode not in _EXEC_MODES:
@@ -224,22 +235,73 @@ class ExecSpec:
             )
         if self.chunksize < 1:
             raise PlanError(f"chunksize must be >= 1; got {self.chunksize}")
+        if not isinstance(self.retries, int) or self.retries < 1:
+            raise PlanError(f"retries must be a positive int; got {self.retries!r}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise PlanError(
+                f"task_timeout must be positive; got {self.task_timeout!r}"
+            )
+        _warn_oversubscribed(self.processes)
 
     def resolve_processes(self) -> int | None:
         return 1 if self.mode == "serial" else self.processes
 
 
+_OVERSUB_WARNED = False
+
+
+def _warn_oversubscribed(processes: int | None) -> None:
+    """Warn (once per process) when a plan asks for more workers than cores.
+
+    Oversubscription is legal — tests on small boxes rely on it — but
+    on production sweeps it usually means a copy-pasted process count,
+    so the first offending plan gets a heads-up.
+    """
+    global _OVERSUB_WARNED
+    cores = os.cpu_count() or 1
+    if _OVERSUB_WARNED or processes is None or processes <= cores:
+        return
+    _OVERSUB_WARNED = True
+    warnings.warn(
+        f"ExecSpec.processes={processes} exceeds os.cpu_count()={cores}; "
+        "workers will time-slice cores (this warning is shown once)",
+        stacklevel=3,
+    )
+
+
 @dataclass(frozen=True)
 class ResultSpec:
-    """The results carrier: legacy record dicts or the columnar spool."""
+    """The results carrier: legacy record dicts or the columnar spool.
+
+    ``mode`` picks how rows travel and what :func:`execute` returns
+    (``"records"`` → ``list[dict]``, ``"columnar"`` →
+    :class:`~repro.parallel.aggregate.ResultTable`).  ``sink`` picks
+    where they live: ``"memory"`` (default) assembles in RAM;
+    ``"spool"`` streams every grid point's block to ``dir`` as an
+    atomic checksummed file with a JSONL journal — the durable path
+    (:mod:`repro.durable`): the sweep survives worker crashes, can be
+    resumed bit-identically after a SIGKILL (``execute(plan,
+    resume=dir)``), and the full result set never has to fit in RAM
+    (:class:`~repro.durable.SpoolReader` iterates blocks lazily).
+    """
 
     mode: str = "records"
+    sink: str = "memory"
+    dir: str | None = None
 
     def validate(self) -> None:
         if self.mode not in _RESULT_MODES:
             raise PlanError(
                 f"unknown results mode {self.mode!r}; known: {', '.join(_RESULT_MODES)}"
             )
+        if self.sink not in _RESULT_SINKS:
+            raise PlanError(
+                f"unknown results sink {self.sink!r}; known: {', '.join(_RESULT_SINKS)}"
+            )
+        if self.sink == "spool" and not self.dir:
+            raise PlanError("results sink 'spool' needs dir")
+        if self.sink != "spool" and self.dir:
+            raise PlanError(f"results sink {self.sink!r} does not take dir")
 
 
 @dataclass(frozen=True)
@@ -312,6 +374,7 @@ class RunPlan:
             "exec": self.execution.mode,
             "processes": self.execution.resolve_processes(),
             "results": self.results.mode,
+            "sink": self.results.sink,
         }
 
     # -- validation ------------------------------------------------------
@@ -362,6 +425,15 @@ class RunPlan:
                 f"explicit seeds: got {len(self.seeds.seeds)} for "
                 f"{self.n_tasks()} (point, trial) tasks"
             )
+        if self.results.sink == "spool":
+            from .durable.journal import seed_token
+
+            if seed_token(self.seeds) is None:
+                raise PlanError(
+                    "results sink 'spool' needs a reproducible seed lineage "
+                    "(an int root or entropy-bearing SeedSequence); OS-entropy "
+                    "seeds cannot resume bit-identically"
+                )
 
 
 def _accepts_kw(fn: Callable, name: str) -> bool:
@@ -503,19 +575,8 @@ def _capped_threads(plan: RunPlan) -> int | None:
     return max(1, min(threads, cores // nproc))
 
 
-def execute(plan: RunPlan):
-    """Run a validated :class:`RunPlan`; the one dispatch pipeline.
-
-    Owns backend resolution (reference/batched + kernel gate), graph
-    provisioning (generate / cached / pinned zero-copy), dispatch
-    (serial, pool, persistent workers), and the results carrier
-    (``records`` → ``list[dict]``, ``columnar`` →
-    :class:`~repro.parallel.aggregate.ResultTable`).  Record content is
-    identical across every axis combination; seeds follow the
-    (point, trial) spawning contract, so switching any axis never
-    changes a trial's randomness.
-    """
-    plan.validate()
+def _build_worker(plan: RunPlan):
+    """The plan's canonical picklable worker + its sweep backend name."""
     pinned = plan.graph.mode == "pinned"
     pair = plan.seeds.mode == "pair"
     cache_dir = plan.graph.cache_dir if plan.graph.mode == "cached" else None
@@ -529,16 +590,51 @@ def execute(plan: RunPlan):
             kernel=plan.backend.kernel,
             threads=_capped_threads(plan),
         )
-        sweep_backend = "batched"
-    else:
-        worker = PerTrialWorker(
-            plan.work.record,
-            pinned=pinned,
-            pair_seeds=pair,
-            builder=plan.graph.builder,
-            cache_dir=cache_dir,
-        )
-        sweep_backend = "per_trial"
+        return worker, "batched"
+    worker = PerTrialWorker(
+        plan.work.record,
+        pinned=pinned,
+        pair_seeds=pair,
+        builder=plan.graph.builder,
+        cache_dir=cache_dir,
+    )
+    return worker, "per_trial"
+
+
+def execute(plan: RunPlan, *, resume: str | os.PathLike | None = None):
+    """Run a validated :class:`RunPlan`; the one dispatch pipeline.
+
+    Owns backend resolution (reference/batched + kernel gate), graph
+    provisioning (generate / cached / pinned zero-copy), dispatch
+    (serial, pool, persistent workers), and the results carrier
+    (``records`` → ``list[dict]``, ``columnar`` →
+    :class:`~repro.parallel.aggregate.ResultTable`).  Record content is
+    identical across every axis combination; seeds follow the
+    (point, trial) spawning contract, so switching any axis never
+    changes a trial's randomness.
+
+    ``ResultSpec(sink="spool", dir=...)`` routes the run through the
+    durable path (:mod:`repro.durable`): per-grid-point blocks stream
+    to disk under a crash-supervised pool, and ``resume=dir`` replays
+    the journal of an interrupted run — completed points load from
+    their checksummed blocks, missing ones re-run with their original
+    seeds, and the assembled table is bit-identical to a run that was
+    never interrupted (a plan whose fingerprint disagrees with the
+    journal raises :class:`~repro.errors.ResumeMismatchError` instead).
+    ``resume=`` on a plan without a spool sink adopts ``dir`` as the
+    spool, so ``execute(plan, resume=d)`` alone round-trips.
+    """
+    if resume is not None:
+        rs = plan.results
+        if rs.sink == "spool" and rs.dir and Path(rs.dir).resolve() != Path(resume).resolve():
+            raise PlanError(
+                f"resume={str(resume)!r} contradicts results.dir={rs.dir!r}"
+            )
+        plan = plan.override(results=replace(rs, sink="spool", dir=str(resume)))
+    plan.validate()
+    if plan.results.sink == "spool":
+        return _execute_durable(plan)
+    worker, sweep_backend = _build_worker(plan)
     return run_sweep(
         worker,
         plan.grid,
@@ -548,6 +644,135 @@ def execute(plan: RunPlan):
         processes=plan.execution.resolve_processes(),
         chunksize=plan.execution.chunksize,
         backend=sweep_backend,
-        graph=plan.graph.graph if pinned else None,
+        graph=plan.graph.graph if plan.graph.mode == "pinned" else None,
         results=plan.results.mode,
     )
+
+
+def _execute_durable(plan: RunPlan):
+    """The spool-sink pipeline: journal, supervised dispatch, assembly.
+
+    The unit of work is one grid point under *both* backends — the
+    reference backend's per-trial worker is looped over a point's trial
+    block in-process (:class:`~repro.parallel.sweep._TrialBlockRunner`)
+    — so every finished point is one atomic checksummed block file plus
+    one journal line, and crash/timeout blame lands on whole points.
+    Completed points found in a matching journal are skipped (their
+    blocks re-verified by checksum first); quarantined or torn points
+    re-run with the seeds the full spawn assigns them, which is what
+    makes a resumed table bit-identical to an uninterrupted one.
+    """
+    from .durable.journal import JOURNAL_NAME, JournalWriter, plan_fingerprint
+    from .durable.spool import SpoolReader, write_block
+    from .durable.supervisor import RetryPolicy, TaskFailure
+    from .errors import ResumeMismatchError
+    from .parallel.pool import default_processes, map_parallel
+    from .parallel.shared import graph_context
+    from .parallel.sweep import _BatchPointRunner, _TrialBlockRunner
+    from .rng import spawn_seeds
+
+    points = plan.points()
+    trials = plan.trials
+    fingerprint = plan_fingerprint(plan)
+    root = Path(plan.results.dir)
+    root.mkdir(parents=True, exist_ok=True)
+    journal_path = root / JOURNAL_NAME
+
+    done: dict[int, dict] = {}
+    fresh = not journal_path.exists()
+    if not fresh:
+        reader = SpoolReader(root)
+        found = reader.header.get("fingerprint")
+        if found != fingerprint:
+            raise ResumeMismatchError(
+                f"{journal_path}: journal belongs to a different plan "
+                f"(fingerprint {str(found)[:12]}…, this plan {fingerprint[:12]}…)"
+            )
+        done = reader.verified_completed()
+    pending = [i for i in range(len(points)) if i not in done]
+
+    nproc = plan.execution.resolve_processes()
+    if nproc is None:
+        nproc = default_processes(max(1, len(pending)))
+
+    if plan.seeds.seeds is not None:
+        seeds = list(plan.seeds.seeds)
+    else:
+        seeds = spawn_seeds(plan.seeds.root, len(points) * trials)
+
+    worker, sweep_backend = _build_worker(plan)
+    pinned = plan.graph.mode == "pinned"
+    if sweep_backend == "batched":
+        runner = _BatchPointRunner(worker, with_graph=pinned, columnar=True)
+    else:
+        runner = _TrialBlockRunner(worker, with_graph=pinned)
+    tasks = [
+        (points[i], seeds[i * trials : (i + 1) * trials], list(range(trials)))
+        for i in pending
+    ]
+    if trials == 0:
+        tasks = []
+        pending = []
+
+    writer = JournalWriter(journal_path)
+    try:
+        if fresh:
+            writer.write_header(
+                fingerprint=fingerprint,
+                work=plan.work.name or getattr(plan.work.record, "__name__", "?"),
+                points=len(points),
+                trials=trials,
+                backend=plan.backend.name,
+                processes=nproc,
+            )
+
+        def persist(pos: int, result) -> None:
+            i = pending[pos]
+            if result is None:
+                return  # the supervisor lost the task terminally; leave it pending
+            if isinstance(result, TaskFailure):
+                writer.failure(
+                    i,
+                    point_params=points[i],
+                    failure_kind=result.kind,
+                    error=result.error,
+                    exc_type=result.exc_type,
+                    attempts=result.attempts,
+                )
+                return
+            rel, sha = write_block(root, i, result)
+            writer.block(
+                i, file=rel, sha256=sha, rows=result.n_trials, point_params=points[i]
+            )
+
+        policy = RetryPolicy(
+            max_attempts=plan.execution.retries,
+            task_timeout=plan.execution.task_timeout,
+            retry_exceptions=True,
+            on_failure="return",
+        )
+        if tasks:
+            if pinned:
+                with graph_context(plan.graph.graph, processes=nproc) as (
+                    _view,
+                    initializer,
+                    initargs,
+                ):
+                    map_parallel(
+                        runner,
+                        tasks,
+                        processes=nproc,
+                        initializer=initializer,
+                        initargs=initargs,
+                        policy=policy,
+                        on_result=persist,
+                    )
+            else:
+                map_parallel(
+                    runner, tasks, processes=nproc, policy=policy, on_result=persist
+                )
+    finally:
+        writer.close()
+
+    table = SpoolReader(root).table()
+    return table if plan.results.mode == "columnar" else table.to_records()

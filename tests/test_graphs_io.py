@@ -140,3 +140,49 @@ class TestGraphCache:
         loaded = cached_graph(random_regular_bipartite, "regular", params, 11, tmp_path)
         assert graphs_equal(fresh, loaded)
         assert loaded.name == fresh.name
+
+    def test_entry_gets_checksum_sidecar(self, tmp_path):
+        from repro.graphs import trust_subsets
+        from repro.graphs.io import cached_graph
+
+        params = {"n_clients": 8, "n_servers": 8, "k": 2}
+        cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        (npz,) = tmp_path.glob("trust-*.npz")
+        sidecar = tmp_path / (npz.name + ".sha256")
+        assert sidecar.exists()
+        import hashlib
+
+        assert sidecar.read_text().strip() == hashlib.sha256(npz.read_bytes()).hexdigest()
+
+    def test_corrupt_entry_regenerated_not_crashed(self, tmp_path):
+        from repro.graphs import trust_subsets
+        from repro.graphs.io import cached_graph
+
+        params = {"n_clients": 8, "n_servers": 8, "k": 2}
+        first = cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        (npz,) = tmp_path.glob("trust-*.npz")
+        npz.write_bytes(b"truncated garbage")  # bit rot / torn write
+        with pytest.warns(UserWarning, match="checksum"):
+            again = cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        assert graphs_equal(first, again)
+        # The bad entry was evicted and rewritten: a third call is a
+        # clean, warning-free hit.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            third = cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        assert graphs_equal(first, third)
+
+    def test_unreadable_entry_without_sidecar_regenerated(self, tmp_path):
+        from repro.graphs import trust_subsets
+        from repro.graphs.io import cached_graph
+
+        params = {"n_clients": 8, "n_servers": 8, "k": 2}
+        first = cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        (npz,) = tmp_path.glob("trust-*.npz")
+        (tmp_path / (npz.name + ".sha256")).unlink()  # pre-checksum-era entry
+        npz.write_bytes(b"not an npz")
+        with pytest.warns(UserWarning, match="unreadable"):
+            again = cached_graph(trust_subsets, "trust", params, 3, tmp_path)
+        assert graphs_equal(first, again)
