@@ -306,6 +306,14 @@ def main(argv=None) -> int:
         "(default: BENCH_kernels.json, or BENCH_kernels_mt.json "
         "with --threads)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow a single-core run to overwrite an existing "
+        "BENCH_kernels_mt.json (by default it is preserved: a 1-core "
+        "box's flat thread curve would silently replace real "
+        "multi-core numbers)",
+    )
     args = parser.parse_args(argv)
     n, trials, repeats = args.n, args.trials, args.repeats
     if args.smoke:
@@ -314,6 +322,8 @@ def main(argv=None) -> int:
 
     if args.threads:
         thread_counts = [int(t) for t in args.threads.split(",") if t.strip()]
+        cores = os.cpu_count() or 1
+        print(f"cpu_count={cores}" + (" — thread sweep will be flat" if cores <= 1 else ""))
         report = measure_kernels_mt(
             n=n, n_trials=trials, thread_counts=thread_counts, repeats=repeats
         )
@@ -333,6 +343,13 @@ def main(argv=None) -> int:
             )
         print(f"(cpu_count={report['workload']['cpu_count']})")
         out = args.json or str(repo_root / "BENCH_kernels_mt.json")
+        if cores <= 1 and Path(out).exists() and not args.force:
+            print(
+                f"NOT writing {out}: this is a {cores}-core box and the "
+                "file already holds a (presumably multi-core) report.  "
+                "Re-run with --force to overwrite anyway."
+            )
+            return 0
         Path(out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
         return 0

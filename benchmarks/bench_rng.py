@@ -1,0 +1,196 @@
+"""RNG-lineage throughput: the Philox counter path vs the PCG64 path.
+
+Measures trials·rounds/sec of ``repro.batch.run_trials_batched`` on the
+scale-axis workload (n=10⁵ Δ-regular graph, R=64 trials, contended
+c=1.5 d=4) under both seed lineages on the best compiled kernel gate
+available — the stream-cursor PCG64 read-ahead (``seed_mode=None``,
+the default) against the counter-based Philox4x32 fill
+(``seed_mode="philox"``), whose location-independent draws let the
+fused C kernel generate each trial's uniforms in L2-resident SIMD
+chunks instead of walking a sequential generator.
+
+Timing discipline: the two modes are interleaved pairwise (pcg64,
+philox, pcg64, philox, …) and compared min-of-min, so a noisy or
+shared box perturbs both sides alike instead of biasing whichever ran
+second.  Philox parity across every available kernel gate is
+re-verified before any timing is trusted.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_rng.py`` — a fast parity/speedup smoke at
+  CI scale (no ratio assertion: CI boxes are too noisy to gate on);
+* ``python benchmarks/bench_rng.py [--smoke] [--json PATH]`` — the
+  full measurement, printing a table and writing ``BENCH_rng.json``
+  so future PRs can track the counter path's trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import EngineBuffers, available_kernels, run_trials_batched
+from repro.core.config import ProtocolParams
+from repro.graphs import random_regular_bipartite
+from repro.rng import spawn_seeds
+
+# Preference order for the timed gate: the fused C path is the fast
+# lane on both lineages; numba second; numpy is always present.
+GATE_PREFERENCE = ("cext", "numba", "numpy")
+
+
+def best_gate() -> str:
+    avail = available_kernels()
+    forced = (os.environ.get("REPRO_KERNELS") or "").strip().lower()
+    if forced in avail:
+        return forced  # a pinned gate (CI matrix legs) wins over preference
+    for name in GATE_PREFERENCE:
+        if name in avail:
+            return name
+    return "numpy"
+
+
+def verify_parity(graph, params, seeds) -> None:
+    """Philox bits must agree across every gate before timing one."""
+    ref = None
+    for name in available_kernels():
+        if name == "python":
+            continue  # interpreted: correct but far too slow at bench scale
+        out = run_trials_batched(
+            graph, params, "saer", seeds=seeds, kernel=name, seed_mode="philox"
+        )
+        sig = (out.rounds, out.work, out.loads)
+        if ref is None:
+            ref = sig
+            continue
+        for a, b in zip(ref, sig):
+            assert np.array_equal(a, b), (
+                f"philox parity broken on kernel {name!r}: timing would be meaningless"
+            )
+
+
+def measure(
+    n: int = 100_000,
+    n_trials: int = 64,
+    c: float = 1.5,
+    d: int = 4,
+    seed: int = 7,
+    pairs: int = 5,
+) -> dict:
+    """Interleaved pcg64/philox timing on the best compiled gate."""
+    degree = max(2, math.ceil(math.log2(n) ** 2))
+    graph = random_regular_bipartite(n, degree, seed=0)
+    params = ProtocolParams(c=c, d=d)
+    seeds = spawn_seeds(seed, n_trials)
+    gate = best_gate()
+    bufs = EngineBuffers()
+
+    verify_parity(graph, params, seeds)
+
+    def run(mode):
+        start = time.perf_counter()
+        out = run_trials_batched(
+            graph, params, "saer", seeds=seeds, kernel=gate,
+            seed_mode=mode, buffers=bufs,
+        )
+        return time.perf_counter() - start, out
+
+    run(None)
+    _, ph_out = run("philox")  # warm both lanes (JIT/cext build, buffers)
+    t_pcg, t_ph = [], []
+    for _ in range(pairs):
+        t_pcg.append(run(None)[0])
+        t_ph.append(run("philox")[0])
+    best_pcg, best_ph = min(t_pcg), min(t_ph)
+
+    def record(mode, rounds_total, seconds):
+        return {
+            "seed_mode": mode,
+            "kernel": gate,
+            "n": n,
+            "R": n_trials,
+            "c": c,
+            "d": d,
+            "degree": degree,
+            "seconds": round(seconds, 4),
+            "trials_rounds_per_sec": round(rounds_total / seconds, 1),
+            "trials_per_sec": round(n_trials / seconds, 2),
+        }
+
+    _, pcg_out = run(None)
+    return {
+        "benchmark": "bench_rng",
+        "workload": {
+            "n": n, "R": n_trials, "c": c, "d": d, "degree": degree,
+            "cpu_count": os.cpu_count(),
+            "pairs": pairs,
+        },
+        "kernel": gate,
+        "records": [
+            record("pcg64", float(pcg_out.rounds.sum()), best_pcg),
+            record("philox", float(ph_out.rounds.sum()), best_ph),
+        ],
+        "philox_speedup": round(best_pcg / best_ph, 3),
+    }
+
+
+def test_rng_bench_smoke():
+    """CI smoke: parity holds and both lineages time successfully."""
+    report = measure(n=4096, n_trials=16, pairs=1)
+    assert report["philox_speedup"] > 0
+    modes = [r["seed_mode"] for r in report["records"]]
+    assert modes == ["pcg64", "philox"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="clients/servers per side")
+    parser.add_argument("--trials", type=int, default=64, help="trials per batch (R)")
+    parser.add_argument(
+        "--pairs", type=int, default=5,
+        help="interleaved (pcg64, philox) timing pairs; min-of-min is reported",
+    )
+    parser.add_argument("--smoke", action="store_true", help="reduced scale for CI")
+    parser.add_argument(
+        "--json", default=None,
+        help="output path for the machine-readable report (default: BENCH_rng.json)",
+    )
+    args = parser.parse_args(argv)
+    n, trials, pairs = args.n, args.trials, args.pairs
+    if args.smoke:
+        n, trials, pairs = min(n, 4096), min(trials, 16), 1
+    repo_root = Path(__file__).resolve().parent.parent
+
+    report = measure(n=n, n_trials=trials, pairs=pairs)
+    header = (
+        f"{'seed_mode':10s} {'kernel':7s} {'n':>8s} {'R':>4s} "
+        f"{'seconds':>9s} {'trials·rounds/s':>16s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rec in report["records"]:
+        print(
+            f"{rec['seed_mode']:10s} {rec['kernel']:7s} {rec['n']:8d} "
+            f"{rec['R']:4d} {rec['seconds']:9.3f} "
+            f"{rec['trials_rounds_per_sec']:16.1f}"
+        )
+    print(f"philox speedup vs pcg64: {report['philox_speedup']:.3f}x")
+    if args.smoke:
+        # Smoke scale exists to exercise the path, not to publish
+        # numbers a 4096-ball run can't support.
+        print("(smoke scale: not writing a report)")
+        return 0
+    out = args.json or str(repo_root / "BENCH_rng.json")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,15 +27,31 @@
  *                     are split into explicit chunks (chunk_starts),
  *                     each chunk runs phases 1-3 independently on its
  *                     own scratch row, and survivors land first in the
- *                     trial's own input region; a sequential left-pack
- *                     epilogue then restores the contiguous canonical
- *                     layout.  Because the chunk boundaries, the
- *                     per-trial uniforms, and the output offsets are
- *                     all data (not scheduling), the results are
+ *                     trial's own input region of out_key; a prefix-sum
+ *                     left-pack epilogue then copies each trial's
+ *                     survivor run to its packed offset in ball_key —
+ *                     the (dead after phase 3) input buffer — so the
+ *                     copies are between disjoint arrays and run in
+ *                     parallel.  The caller reads the packed survivors
+ *                     from ball_key (NOT out_key) and must not swap its
+ *                     ping-pong buffers.  Because the chunk boundaries,
+ *                     the per-trial uniforms, and the output offsets
+ *                     are all data (not scheduling), the results are
  *                     byte-identical for ANY chunk count and ANY
  *                     OpenMP thread count — including a build without
  *                     OpenMP at all, where the pragma is ignored and
  *                     the chunks simply run in order.
+ *
+ * The philox twins (repro_round_ph_*, repro_round_ph_mt_*, and the
+ * standalone repro_philox_fill) replace the uniform *input* with the
+ * counter-based Philox4x32-10 lineage of repro/rng.py: ball slot s of
+ * round r in a trial with words (k0, k1, c2, c3) reads counter
+ * (s >> 1, r, c2, c3) under key (k0, k1) — two doubles per counter
+ * block.  The fused entries generate each uniform inline at the point
+ * of consumption in phase 1, so no uniform slab is ever written or
+ * read; the standalone fill serves the gates that still consume a
+ * slab.  Both are bit-identical to philox_uniforms() in rng.py (pure
+ * integer arithmetic plus one exact double scale).
  *
  * Two state widths are instantiated via self-inclusion: int32 when
  * every cumulative counter provably fits, int64 otherwise.  The engine
@@ -51,6 +67,438 @@
 
 #include <stdint.h>
 #include <string.h>
+
+/* ---- Philox4x32-10 (Random123 constants; KAT-pinned in tests) ---- */
+
+#define REPRO_PHILOX_M0 0xD2511F53u
+#define REPRO_PHILOX_M1 0xCD9E8D57u
+#define REPRO_PHILOX_W0 0x9E3779B9u
+#define REPRO_PHILOX_W1 0xBB67AE85u
+#define REPRO_SCALE_53 (1.0 / 9007199254740992.0) /* 2^-53 */
+#define REPRO_PH_CHUNK 512 /* doubles per trial chunk row; power of two */
+
+static inline void repro_philox4x32_10(
+    uint32_t c0, uint32_t c1, uint32_t c2, uint32_t c3,
+    uint32_t k0, uint32_t k1, uint32_t out[4])
+{
+    for (int r = 0; r < 10; r++) {
+        uint64_t p0 = (uint64_t)c0 * REPRO_PHILOX_M0;
+        uint64_t p1 = (uint64_t)c2 * REPRO_PHILOX_M1;
+        c0 = (uint32_t)(p1 >> 32) ^ c1 ^ k0;
+        c1 = (uint32_t)p1;
+        c2 = (uint32_t)(p0 >> 32) ^ c3 ^ k1;
+        c3 = (uint32_t)p0;
+        k0 += REPRO_PHILOX_W0;
+        k1 += REPRO_PHILOX_W1;
+    }
+    out[0] = c0; out[1] = c1; out[2] = c2; out[3] = c3;
+}
+
+/* One counter block -> two doubles in [0, 1): high pair then low pair,
+ * exactly philox_uniforms() in rng.py. */
+static inline void repro_philox_block(
+    uint32_t blk, uint32_t rnd, const uint32_t *w, double *d0, double *d1)
+{
+    uint32_t o[4];
+    repro_philox4x32_10(blk, rnd, w[2], w[3], w[0], w[1], o);
+    *d0 = (double)((((uint64_t)o[0] << 32) | o[1]) >> 11) * REPRO_SCALE_53;
+    *d1 = (double)((((uint64_t)o[2] << 32) | o[3]) >> 11) * REPRO_SCALE_53;
+}
+
+/* ---- Bulk segment fill: dst[0..n) = uniforms for slots [slot0,
+ * slot0 + n) of one trial's round-r stream.  The SIMD paths batch many
+ * counter blocks per iteration; both are bit-identical to the scalar
+ * path because Philox is pure integer arithmetic and the only float
+ * ops are single exact multiplies/adds (no contraction sites).  The
+ * 53-bit mantissa -> double conversion splits the value into a 32-bit
+ * high and 21-bit low part so each half fits the 2^52 magic-constant
+ * trick and the recombining add is exact. ---- */
+
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+#if defined(__AVX2__)
+
+#define REPRO_PH_NV 4 /* interleaved chains: latency-bound otherwise */
+
+static inline __m256d repro_conv53_avx2(__m256i v53)
+{
+    const __m256i expo = _mm256_set1_epi64x(0x4330000000000000LL);
+    const __m256d two52 = _mm256_set1_pd(4503599627370496.0);
+    __m256i vhi = _mm256_srli_epi64(v53, 21);
+    __m256i vlo = _mm256_and_si256(v53, _mm256_set1_epi64x(0x1FFFFF));
+    __m256d dhi =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(vhi, expo)), two52);
+    __m256d dlo =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(vlo, expo)), two52);
+    return _mm256_add_pd(_mm256_mul_pd(dhi, _mm256_set1_pd(2097152.0)), dlo);
+}
+
+static void repro_philox_fill_seg(
+    double *dst, int64_t slot0, int64_t n, uint32_t rnd, const uint32_t *w)
+{
+    double d0, d1;
+    if (n > 0 && (slot0 & 1)) { /* odd entry: low double of a half block */
+        repro_philox_block((uint32_t)(slot0 >> 1), rnd, w, &d0, &d1);
+        *dst++ = d1;
+        slot0++;
+        n--;
+    }
+    int64_t blk0 = slot0 >> 1;
+    const __m256i m0 = _mm256_set1_epi64x(REPRO_PHILOX_M0);
+    const __m256i m1 = _mm256_set1_epi64x(REPRO_PHILOX_M1);
+    const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFLL);
+    const __m256d scale = _mm256_set1_pd(REPRO_SCALE_53);
+    const __m256i rndv = _mm256_set1_epi64x(rnd);
+    const __m256i c2i = _mm256_set1_epi64x(w[2]);
+    const __m256i c3i = _mm256_set1_epi64x(w[3]);
+    __m256i k0v[10], k1v[10];
+    {
+        uint32_t k0 = w[0], k1 = w[1];
+        for (int r = 0; r < 10; r++) {
+            k0v[r] = _mm256_set1_epi64x(k0);
+            k1v[r] = _mm256_set1_epi64x(k1);
+            k0 += REPRO_PHILOX_W0;
+            k1 += REPRO_PHILOX_W1;
+        }
+    }
+    __m256i ctr[REPRO_PH_NV], x0[REPRO_PH_NV], x1[REPRO_PH_NV];
+    __m256i x2[REPRO_PH_NV], x3[REPRO_PH_NV];
+    for (int v = 0; v < REPRO_PH_NV; v++)
+        ctr[v] = _mm256_set_epi64x(
+            (uint32_t)(blk0 + 4 * v + 3), (uint32_t)(blk0 + 4 * v + 2),
+            (uint32_t)(blk0 + 4 * v + 1), (uint32_t)(blk0 + 4 * v));
+    int64_t nbf = n >> 1; /* full pairs only; odd tail goes scalar */
+    int64_t b = 0;
+    for (; b + 4 * REPRO_PH_NV <= nbf; b += 4 * REPRO_PH_NV) {
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            x0[v] = ctr[v];
+            x1[v] = rndv;
+            x2[v] = c2i;
+            x3[v] = c3i;
+            ctr[v] = _mm256_and_si256(
+                _mm256_add_epi64(ctr[v], _mm256_set1_epi64x(4 * REPRO_PH_NV)),
+                mask);
+        }
+        for (int r = 0; r < 10; r++)
+            for (int v = 0; v < REPRO_PH_NV; v++) {
+                __m256i p0 = _mm256_mul_epu32(x0[v], m0);
+                __m256i p1 = _mm256_mul_epu32(x2[v], m1);
+                /* dword-swap instead of >>32: the junk it leaves in the
+                 * high dwords of x0/x2 only ever feeds mul_epu32 (reads
+                 * the low dword) or <<32 (clears it), and the shuffle
+                 * runs on a different port than the multiplies. */
+                x0[v] = _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_shuffle_epi32(p1, 0xB1), x1[v]),
+                    k0v[r]);
+                x1[v] = _mm256_and_si256(p1, mask);
+                x2[v] = _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_shuffle_epi32(p0, 0xB1), x3[v]),
+                    k1v[r]);
+                x3[v] = _mm256_and_si256(p0, mask);
+            }
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            __m256i hi0 = _mm256_srli_epi64(
+                _mm256_or_si256(_mm256_slli_epi64(x0[v], 32), x1[v]), 11);
+            __m256i hi1 = _mm256_srli_epi64(
+                _mm256_or_si256(_mm256_slli_epi64(x2[v], 32), x3[v]), 11);
+            __m256d d0v = _mm256_mul_pd(repro_conv53_avx2(hi0), scale);
+            __m256d d1v = _mm256_mul_pd(repro_conv53_avx2(hi1), scale);
+            __m256d lo = _mm256_unpacklo_pd(d0v, d1v);
+            __m256d hi = _mm256_unpackhi_pd(d0v, d1v);
+            double *p = dst + 2 * (b + 4 * v);
+            _mm256_storeu_pd(p, _mm256_permute2f128_pd(lo, hi, 0x20));
+            _mm256_storeu_pd(p + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+        }
+    }
+    for (; b < nbf; b++) {
+        repro_philox_block((uint32_t)(blk0 + b), rnd, w, &d0, &d1);
+        dst[2 * b] = d0;
+        dst[2 * b + 1] = d1;
+    }
+    if (n & 1) {
+        repro_philox_block((uint32_t)(blk0 + nbf), rnd, w, &d0, &d1);
+        dst[n - 1] = d0;
+    }
+}
+
+/* Regular-graph twin of fill_seg: emit int32 CSR offsets
+ * min((int)(u * deg), deg - 1) instead of the doubles — the multiply,
+ * truncation (vcvttpd2dq truncates like the C cast), and clip all stay
+ * in vector registers, so the uniform values never touch memory. */
+static void repro_philox_fill_off(
+    int32_t *dst, int64_t slot0, int64_t n, uint32_t rnd, const uint32_t *w,
+    int64_t deg)
+{
+    double d0, d1;
+    const double degd = (double)deg;
+    const int32_t dmax = (int32_t)(deg - 1);
+    if (n > 0 && (slot0 & 1)) {
+        repro_philox_block((uint32_t)(slot0 >> 1), rnd, w, &d0, &d1);
+        int32_t off = (int32_t)(d1 * degd);
+        *dst++ = off > dmax ? dmax : off;
+        slot0++;
+        n--;
+    }
+    int64_t blk0 = slot0 >> 1;
+    const __m256i m0 = _mm256_set1_epi64x(REPRO_PHILOX_M0);
+    const __m256i m1 = _mm256_set1_epi64x(REPRO_PHILOX_M1);
+    const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFLL);
+    const __m256d dscale = _mm256_set1_pd(REPRO_SCALE_53 * 1.0);
+    const __m256d degv = _mm256_set1_pd(degd);
+    const __m128i dmaxv = _mm_set1_epi32(dmax);
+    const __m256i rndv = _mm256_set1_epi64x(rnd);
+    const __m256i c2i = _mm256_set1_epi64x(w[2]);
+    const __m256i c3i = _mm256_set1_epi64x(w[3]);
+    __m256i k0v[10], k1v[10];
+    {
+        uint32_t k0 = w[0], k1 = w[1];
+        for (int r = 0; r < 10; r++) {
+            k0v[r] = _mm256_set1_epi64x(k0);
+            k1v[r] = _mm256_set1_epi64x(k1);
+            k0 += REPRO_PHILOX_W0;
+            k1 += REPRO_PHILOX_W1;
+        }
+    }
+    __m256i ctr[REPRO_PH_NV], x0[REPRO_PH_NV], x1[REPRO_PH_NV];
+    __m256i x2[REPRO_PH_NV], x3[REPRO_PH_NV];
+    for (int v = 0; v < REPRO_PH_NV; v++)
+        ctr[v] = _mm256_set_epi64x(
+            (uint32_t)(blk0 + 4 * v + 3), (uint32_t)(blk0 + 4 * v + 2),
+            (uint32_t)(blk0 + 4 * v + 1), (uint32_t)(blk0 + 4 * v));
+    int64_t nbf = n >> 1;
+    int64_t b = 0;
+    for (; b + 4 * REPRO_PH_NV <= nbf; b += 4 * REPRO_PH_NV) {
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            x0[v] = ctr[v];
+            x1[v] = rndv;
+            x2[v] = c2i;
+            x3[v] = c3i;
+            ctr[v] = _mm256_and_si256(
+                _mm256_add_epi64(ctr[v], _mm256_set1_epi64x(4 * REPRO_PH_NV)),
+                mask);
+        }
+        for (int r = 0; r < 10; r++)
+            for (int v = 0; v < REPRO_PH_NV; v++) {
+                __m256i p0 = _mm256_mul_epu32(x0[v], m0);
+                __m256i p1 = _mm256_mul_epu32(x2[v], m1);
+                x0[v] = _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_shuffle_epi32(p1, 0xB1), x1[v]),
+                    k0v[r]);
+                x1[v] = _mm256_and_si256(p1, mask);
+                x2[v] = _mm256_xor_si256(
+                    _mm256_xor_si256(_mm256_shuffle_epi32(p0, 0xB1), x3[v]),
+                    k1v[r]);
+                x3[v] = _mm256_and_si256(p0, mask);
+            }
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            __m256i hi0 = _mm256_srli_epi64(
+                _mm256_or_si256(_mm256_slli_epi64(x0[v], 32), x1[v]), 11);
+            __m256i hi1 = _mm256_srli_epi64(
+                _mm256_or_si256(_mm256_slli_epi64(x2[v], 32), x3[v]), 11);
+            __m256d d0v = _mm256_mul_pd(repro_conv53_avx2(hi0), dscale);
+            __m256d d1v = _mm256_mul_pd(repro_conv53_avx2(hi1), dscale);
+            __m256d lo = _mm256_unpacklo_pd(d0v, d1v);
+            __m256d hi = _mm256_unpackhi_pd(d0v, d1v);
+            __m256d u0 = _mm256_permute2f128_pd(lo, hi, 0x20);
+            __m256d u1 = _mm256_permute2f128_pd(lo, hi, 0x31);
+            __m128i o0 = _mm256_cvttpd_epi32(_mm256_mul_pd(u0, degv));
+            __m128i o1 = _mm256_cvttpd_epi32(_mm256_mul_pd(u1, degv));
+            int32_t *p = dst + 2 * (b + 4 * v);
+            _mm_storeu_si128((__m128i *)p, _mm_min_epi32(o0, dmaxv));
+            _mm_storeu_si128((__m128i *)(p + 4), _mm_min_epi32(o1, dmaxv));
+        }
+    }
+    for (; b < nbf; b++) {
+        repro_philox_block((uint32_t)(blk0 + b), rnd, w, &d0, &d1);
+        int32_t o0 = (int32_t)(d0 * degd);
+        int32_t o1 = (int32_t)(d1 * degd);
+        dst[2 * b] = o0 > dmax ? dmax : o0;
+        dst[2 * b + 1] = o1 > dmax ? dmax : o1;
+    }
+    if (n & 1) {
+        repro_philox_block((uint32_t)(blk0 + nbf), rnd, w, &d0, &d1);
+        int32_t o0 = (int32_t)(d0 * degd);
+        dst[n - 1] = o0 > dmax ? dmax : o0;
+    }
+}
+
+#elif defined(__SSE2__)
+
+#define REPRO_PH_NV 4
+
+static inline __m128d repro_conv53_sse2(__m128i v53)
+{
+    const __m128i expo = _mm_set1_epi64x(0x4330000000000000LL);
+    const __m128d two52 = _mm_set1_pd(4503599627370496.0);
+    __m128i vhi = _mm_srli_epi64(v53, 21);
+    __m128i vlo = _mm_and_si128(v53, _mm_set1_epi64x(0x1FFFFF));
+    __m128d dhi =
+        _mm_sub_pd(_mm_castsi128_pd(_mm_or_si128(vhi, expo)), two52);
+    __m128d dlo =
+        _mm_sub_pd(_mm_castsi128_pd(_mm_or_si128(vlo, expo)), two52);
+    return _mm_add_pd(_mm_mul_pd(dhi, _mm_set1_pd(2097152.0)), dlo);
+}
+
+static void repro_philox_fill_seg(
+    double *dst, int64_t slot0, int64_t n, uint32_t rnd, const uint32_t *w)
+{
+    double d0, d1;
+    if (n > 0 && (slot0 & 1)) {
+        repro_philox_block((uint32_t)(slot0 >> 1), rnd, w, &d0, &d1);
+        *dst++ = d1;
+        slot0++;
+        n--;
+    }
+    int64_t blk0 = slot0 >> 1;
+    const __m128i m0 = _mm_set1_epi64x(REPRO_PHILOX_M0);
+    const __m128i m1 = _mm_set1_epi64x(REPRO_PHILOX_M1);
+    const __m128i mask = _mm_set1_epi64x(0xFFFFFFFFLL);
+    const __m128d scale = _mm_set1_pd(REPRO_SCALE_53);
+    const __m128i rndv = _mm_set1_epi64x(rnd);
+    const __m128i c2i = _mm_set1_epi64x(w[2]);
+    const __m128i c3i = _mm_set1_epi64x(w[3]);
+    __m128i k0v[10], k1v[10];
+    {
+        uint32_t k0 = w[0], k1 = w[1];
+        for (int r = 0; r < 10; r++) {
+            k0v[r] = _mm_set1_epi64x(k0);
+            k1v[r] = _mm_set1_epi64x(k1);
+            k0 += REPRO_PHILOX_W0;
+            k1 += REPRO_PHILOX_W1;
+        }
+    }
+    __m128i ctr[REPRO_PH_NV], x0[REPRO_PH_NV], x1[REPRO_PH_NV];
+    __m128i x2[REPRO_PH_NV], x3[REPRO_PH_NV];
+    for (int v = 0; v < REPRO_PH_NV; v++)
+        ctr[v] = _mm_set_epi64x((uint32_t)(blk0 + 2 * v + 1),
+                                (uint32_t)(blk0 + 2 * v));
+    int64_t nbf = n >> 1;
+    int64_t b = 0;
+    for (; b + 2 * REPRO_PH_NV <= nbf; b += 2 * REPRO_PH_NV) {
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            x0[v] = ctr[v];
+            x1[v] = rndv;
+            x2[v] = c2i;
+            x3[v] = c3i;
+            ctr[v] = _mm_and_si128(
+                _mm_add_epi64(ctr[v], _mm_set1_epi64x(2 * REPRO_PH_NV)),
+                mask);
+        }
+        for (int r = 0; r < 10; r++)
+            for (int v = 0; v < REPRO_PH_NV; v++) {
+                __m128i p0 = _mm_mul_epu32(x0[v], m0);
+                __m128i p1 = _mm_mul_epu32(x2[v], m1);
+                x0[v] = _mm_xor_si128(
+                    _mm_xor_si128(_mm_shuffle_epi32(p1, 0xB1), x1[v]),
+                    k0v[r]);
+                x1[v] = _mm_and_si128(p1, mask);
+                x2[v] = _mm_xor_si128(
+                    _mm_xor_si128(_mm_shuffle_epi32(p0, 0xB1), x3[v]),
+                    k1v[r]);
+                x3[v] = _mm_and_si128(p0, mask);
+            }
+        for (int v = 0; v < REPRO_PH_NV; v++) {
+            __m128i hi0 = _mm_srli_epi64(
+                _mm_or_si128(_mm_slli_epi64(x0[v], 32), x1[v]), 11);
+            __m128i hi1 = _mm_srli_epi64(
+                _mm_or_si128(_mm_slli_epi64(x2[v], 32), x3[v]), 11);
+            __m128d d0v = _mm_mul_pd(repro_conv53_sse2(hi0), scale);
+            __m128d d1v = _mm_mul_pd(repro_conv53_sse2(hi1), scale);
+            double *p = dst + 2 * (b + 2 * v);
+            _mm_storeu_pd(p, _mm_unpacklo_pd(d0v, d1v));
+            _mm_storeu_pd(p + 2, _mm_unpackhi_pd(d0v, d1v));
+        }
+    }
+    for (; b < nbf; b++) {
+        repro_philox_block((uint32_t)(blk0 + b), rnd, w, &d0, &d1);
+        dst[2 * b] = d0;
+        dst[2 * b + 1] = d1;
+    }
+    if (n & 1) {
+        repro_philox_block((uint32_t)(blk0 + nbf), rnd, w, &d0, &d1);
+        dst[n - 1] = d0;
+    }
+}
+
+#else /* portable scalar fallback */
+
+static void repro_philox_fill_seg(
+    double *dst, int64_t slot0, int64_t n, uint32_t rnd, const uint32_t *w)
+{
+    double d0, d1;
+    if (n > 0 && (slot0 & 1)) {
+        repro_philox_block((uint32_t)(slot0 >> 1), rnd, w, &d0, &d1);
+        *dst++ = d1;
+        slot0++;
+        n--;
+    }
+    int64_t blk0 = slot0 >> 1;
+    int64_t nb = n >> 1;
+    for (int64_t b = 0; b < nb; b++) {
+        repro_philox_block((uint32_t)(blk0 + b), rnd, w, &d0, &d1);
+        dst[2 * b] = d0;
+        dst[2 * b + 1] = d1;
+    }
+    if (n & 1) {
+        repro_philox_block((uint32_t)(blk0 + nb), rnd, w, &d0, &d1);
+        dst[n - 1] = d0;
+    }
+}
+
+#endif
+
+#if !defined(__AVX2__)
+/* SSE2/scalar builds: offsets via a stack round-trip through fill_seg
+ * (the AVX2 build folds the conversion into its SIMD epilogue).  Only
+ * ever called with n <= REPRO_PH_CHUNK — one chunk row. */
+static void repro_philox_fill_off(
+    int32_t *dst, int64_t slot0, int64_t n, uint32_t rnd, const uint32_t *w,
+    int64_t deg)
+{
+    double tmp[REPRO_PH_CHUNK];
+    const double degd = (double)deg;
+    const int32_t dmax = (int32_t)(deg - 1);
+    repro_philox_fill_seg(tmp, slot0, n, rnd, w);
+    for (int64_t j = 0; j < n; j++) {
+        int32_t off = (int32_t)(tmp[j] * degd);
+        dst[j] = off > dmax ? dmax : off;
+    }
+}
+#endif
+
+/* Fill the canonical flat uniform slab from counters: active trial a
+ * (words[4a..4a+3]) owns slots [seg_a, seg_a + sent[a]) where seg is
+ * the running prefix sum.  Location-independent by construction, so
+ * trials fill in parallel and any over-fill yields identical prefixes.
+ * n_threads > 1 takes effect only in the OpenMP build. */
+void repro_philox_fill(
+    double *u, const int64_t *sent, int64_t n_active,
+    const uint32_t *words, uint32_t round_ctr, int64_t n_threads)
+{
+    int nthr = (int)(n_threads < 1 ? 1 : n_threads);
+    (void)nthr; /* unused when built without OpenMP */
+    int64_t seg = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthr) \
+    firstprivate(seg) if (nthr > 1)
+#endif
+    for (int64_t a = 0; a < n_active; a++) {
+        /* each iteration re-derives its own offset so the loop carries
+         * no dependency; the serial prefix walk below amortizes to one
+         * add per trial in the sequential build */
+#ifdef _OPENMP
+        if (nthr > 1) {
+            seg = 0;
+            for (int64_t b = 0; b < a; b++) seg += sent[b];
+        }
+#endif
+        int64_t n = sent[a];
+        repro_philox_fill_seg(u + seg, 0, n, round_ctr, words + 4 * a);
+        seg += n;
+    }
+}
 
 /* Destination gather for Δ-regular graphs: ball_key holds each ball's
  * CSR row start (client · Δ), so a block covers keys < block_end.
@@ -95,6 +543,120 @@ static void phase1_irregular(
                 int32_t v = ball_key[i];
                 int64_t dg = degrees[v];
                 int64_t off = (int64_t)(u[i] * (double)dg);
+                if (off > dg - 1) off = dg - 1;
+                dest[i] = indices[indptr[v] + off];
+                i++;
+            }
+            cur[a] = i;
+        }
+    }
+}
+
+/* Fused philox gathers: identical traversal to phase1_regular /
+ * phase1_irregular, but the uniforms are generated just in time — when
+ * the walk first reaches a 512-slot chunk boundary of a trial's
+ * segment, the whole chunk is bulk-generated (SIMD fill_seg) into the
+ * trial's own 512-double row of the uchunk scratch and then consumed
+ * from there.  Per-trial consumption is strictly sequential, so each
+ * chunk is generated exactly once (the trigger sits after the
+ * block-end check: a walk suspended mid-chunk resumes on the same row
+ * without re-triggering, and one suspended exactly at a boundary
+ * generates the next chunk on re-entry, its first visit).  uchunk is
+ * n_active × 512 doubles — a quarter-megabyte at 64 trials, so the
+ * uniforms never leave L2: versus a separate fill pass this removes
+ * BOTH full-slab memory sweeps, while keeping bits independent of the
+ * client blocking and the chunking (draws are pure counter
+ * functions). */
+
+static void phase1_regular_ph(
+    const uint32_t *words, uint32_t rnd, double *uchunk,
+    const int32_t *ball_key,
+    int32_t *dest, int64_t a0, int64_t a1, const int64_t *seg_start,
+    const int64_t *seg_end, int64_t *cur, int64_t reg_deg,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients)
+{
+    for (int64_t a = a0; a < a1; a++) cur[a] = seg_start[a];
+    for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
+        int64_t block_end = (v0 + block_clients) * reg_deg;
+        for (int64_t a = a0; a < a1; a++) {
+            int64_t i = cur[a], e = seg_end[a], s0 = seg_start[a];
+            const uint32_t *w = words + 4 * a;
+            /* with a fixed degree the chunk is generated directly as
+             * int32 CSR offsets (multiply-truncate-clip folded into
+             * the SIMD epilogue) — the uniform doubles never exist in
+             * memory; the trial's chunk row is reused as int32 space */
+            int32_t *oc = (int32_t *)(uchunk + a * REPRO_PH_CHUNK);
+            while (i < e && ball_key[i] < block_end) {
+                int64_t slot = i - s0;
+                if ((slot & (REPRO_PH_CHUNK - 1)) == 0) {
+                    int64_t len = e - i;
+                    if (len > REPRO_PH_CHUNK) len = REPRO_PH_CHUNK;
+                    repro_philox_fill_off(oc, slot, len, rnd, w, reg_deg);
+                }
+                /* ball_key is sorted, so the block's run ends at the
+                 * first key >= block_end: binary-search it (bounded by
+                 * the chunk so oc stays valid) and consume the run in
+                 * a straight branch-free loop instead of re-testing
+                 * the block condition per draw. */
+                int64_t hi = i + REPRO_PH_CHUNK - (slot & (REPRO_PH_CHUNK - 1));
+                if (hi > e) hi = e;
+                int64_t lo = i;
+                while (lo < hi) {
+                    int64_t mid = (lo + hi) >> 1;
+                    if (ball_key[mid] < block_end) lo = mid + 1;
+                    else hi = mid;
+                }
+                int64_t run = lo;  /* [i, run): this block, this chunk */
+                int64_t j = i;
+#if defined(__AVX2__)
+                for (; j + 8 <= run; j += 8) {
+                    __m256i bk = _mm256_loadu_si256(
+                        (const __m256i *)(ball_key + j));
+                    __m256i of = _mm256_loadu_si256(
+                        (const __m256i *)(oc +
+                                          ((j - s0) & (REPRO_PH_CHUNK - 1))));
+                    __m256i ix = _mm256_add_epi32(bk, of);
+                    __m256i dv = _mm256_i32gather_epi32(
+                        (const int *)indices, ix, 4);
+                    _mm256_storeu_si256((__m256i *)(dest + j), dv);
+                }
+#endif
+                for (; j < run; j++)
+                    dest[j] = indices[ball_key[j] +
+                                      oc[(j - s0) & (REPRO_PH_CHUNK - 1)]];
+                i = run;
+            }
+            cur[a] = i;
+        }
+    }
+}
+
+static void phase1_irregular_ph(
+    const uint32_t *words, uint32_t rnd, double *uchunk,
+    const int32_t *ball_key,
+    int32_t *dest, int64_t a0, int64_t a1, const int64_t *seg_start,
+    const int64_t *seg_end, int64_t *cur, const int32_t *indptr,
+    const int32_t *degrees, const int32_t *indices, int64_t n_clients,
+    int64_t block_clients)
+{
+    for (int64_t a = a0; a < a1; a++) cur[a] = seg_start[a];
+    for (int64_t v0 = 0; v0 < n_clients; v0 += block_clients) {
+        int64_t block_end = v0 + block_clients;
+        for (int64_t a = a0; a < a1; a++) {
+            int64_t i = cur[a], e = seg_end[a], s0 = seg_start[a];
+            const uint32_t *w = words + 4 * a;
+            double *ub = uchunk + a * REPRO_PH_CHUNK;
+            while (i < e && ball_key[i] < block_end) {
+                int64_t slot = i - s0;
+                if ((slot & (REPRO_PH_CHUNK - 1)) == 0) {
+                    int64_t len = e - i;
+                    if (len > REPRO_PH_CHUNK) len = REPRO_PH_CHUNK;
+                    repro_philox_fill_seg(ub, slot, len, rnd, w);
+                }
+                int32_t v = ball_key[i];
+                int64_t dg = degrees[v];
+                int64_t off = (int64_t)(
+                    ub[slot & (REPRO_PH_CHUNK - 1)] * (double)dg);
                 if (off > dg - 1) off = dg - 1;
                 dest[i] = indices[indptr[v] + off];
                 i++;
@@ -233,16 +795,60 @@ int64_t REPRO_NAME(repro_round)(
     return out;
 }
 
+/* The fused philox sequential round: repro_round with the uniforms
+ * generated chunk-at-a-time in phase 1 from (words, round_ctr);
+ * uchunk is n_active × REPRO_PH_CHUNK doubles of scratch the caller
+ * never reads (it only ever holds the cache-hot chunks in flight).
+ * words holds 4 uint32 per ACTIVE trial (indexed by position in the
+ * active list, not by global trial id). */
+int64_t REPRO_NAME(repro_round_ph)(
+    const uint32_t *words, uint32_t round_ctr, double *uchunk,
+    const int32_t *ball_key, int64_t n_active,
+    const int64_t *trial_ids, const int64_t *sent,
+    int64_t reg_deg, const int32_t *indptr, const int32_t *degrees,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients,
+    REPRO_STATE *state1, REPRO_STATE *state2,
+    int64_t n_s, int64_t capacity, int64_t is_raes,
+    int32_t *dest, REPRO_STATE *count, int32_t *touched, uint8_t *acc,
+    int64_t *n_acc, int32_t *out_key, int64_t do_compact,
+    int64_t *cur, int64_t *seg_start, int64_t *seg_end)
+{
+    int64_t pos = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        seg_start[a] = pos;
+        pos += sent[a];
+        seg_end[a] = pos;
+    }
+    if (reg_deg > 0)
+        phase1_regular_ph(words, round_ctr, uchunk, ball_key, dest, 0,
+                          n_active, seg_start, seg_end, cur, reg_deg,
+                          indices, n_clients, block_clients);
+    else
+        phase1_irregular_ph(words, round_ctr, uchunk, ball_key, dest, 0,
+                            n_active, seg_start, seg_end, cur, indptr,
+                            degrees, indices, n_clients, block_clients);
+
+    int64_t out = 0;
+    for (int64_t a = 0; a < n_active; a++)
+        out += REPRO_NAME(round_trial)(
+            ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+            state1, state2, n_s, capacity, is_raes, count, touched, acc,
+            out_key + out, do_compact, n_acc + a);
+    return out;
+}
+
 /* The trial-partitioned threaded round.  chunk_starts has n_chunks + 1
  * entries partitioning [0, n_active) (chunks may be empty); chunk c
  * runs phases 1-3 for its trials on scratch row c of counts/toucheds/
  * accs (each n_chunks × n_s, C-contiguous) and records each trial's
  * survivor count in n_keep.  Survivors are first written into the
- * trial's own input region of out_key; the sequential epilogue
- * left-packs them, which is exactly the sequential entry's layout.
+ * trial's own input region of out_key; the prefix-sum epilogue then
+ * copies each run to its packed offset in ball_key (dead input, so the
+ * per-trial copies are disjoint and parallel) — callers read survivors
+ * from ball_key and must not swap their ping-pong buffers.
  * Deterministic for any n_chunks / n_threads by construction. */
 int64_t REPRO_NAME(repro_round_mt)(
-    const double *u, const int32_t *ball_key, int64_t n_active,
+    const double *u, int32_t *ball_key, int64_t n_active,
     const int64_t *trial_ids, const int64_t *sent,
     int64_t reg_deg, const int32_t *indptr, const int32_t *degrees,
     const int32_t *indices, int64_t n_clients, int64_t block_clients,
@@ -286,15 +892,87 @@ int64_t REPRO_NAME(repro_round_mt)(
                 out_key + seg_start[a], do_compact, n_acc + a);
     }
 
-    /* left-pack the per-trial survivor runs into the canonical
-     * contiguous layout; dst <= src always, so forward moves are safe */
+    /* prefix-sum left-pack: offsets first (cur is dead after phase 1),
+     * then each trial's survivor run copies out_key -> ball_key at its
+     * packed offset — disjoint arrays, disjoint destinations, so the
+     * copies run in parallel and the bits cannot depend on scheduling */
     int64_t out = 0;
     for (int64_t a = 0; a < n_active; a++) {
-        if (n_keep[a] && out != seg_start[a])
-            memmove(out_key + out, out_key + seg_start[a],
-                    (size_t)n_keep[a] * sizeof(int32_t));
+        cur[a] = out;
         out += n_keep[a];
     }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthr)
+#endif
+    for (int64_t a = 0; a < n_active; a++)
+        if (n_keep[a])
+            memcpy(ball_key + cur[a], out_key + seg_start[a],
+                   (size_t)n_keep[a] * sizeof(int32_t));
+    return out;
+}
+
+/* The fused philox threaded round: repro_round_mt with inline uniform
+ * generation (see repro_round_ph).  Same packed-into-ball_key contract. */
+int64_t REPRO_NAME(repro_round_ph_mt)(
+    const uint32_t *words, uint32_t round_ctr, double *uchunk,
+    int32_t *ball_key, int64_t n_active,
+    const int64_t *trial_ids, const int64_t *sent,
+    int64_t reg_deg, const int32_t *indptr, const int32_t *degrees,
+    const int32_t *indices, int64_t n_clients, int64_t block_clients,
+    REPRO_STATE *state1, REPRO_STATE *state2,
+    int64_t n_s, int64_t capacity, int64_t is_raes,
+    int32_t *dest, REPRO_STATE *counts, int32_t *toucheds, uint8_t *accs,
+    int64_t *n_acc, int32_t *out_key, int64_t do_compact,
+    int64_t *cur, int64_t *seg_start, int64_t *seg_end,
+    int64_t n_chunks, const int64_t *chunk_starts, int64_t *n_keep,
+    int64_t n_threads)
+{
+    int64_t pos = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        seg_start[a] = pos;
+        pos += sent[a];
+        seg_end[a] = pos;
+    }
+
+    int nthr = (int)(n_threads < 1 ? 1 : n_threads);
+    (void)nthr;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthr)
+#endif
+    for (int64_t ci = 0; ci < n_chunks; ci++) {
+        int64_t a0 = chunk_starts[ci], a1 = chunk_starts[ci + 1];
+        if (a0 >= a1) continue;
+        REPRO_STATE *count = counts + ci * n_s;
+        int32_t *touched = toucheds + ci * n_s;
+        uint8_t *acc = accs + ci * n_s;
+        if (reg_deg > 0)
+            phase1_regular_ph(words, round_ctr, uchunk, ball_key, dest,
+                              a0, a1, seg_start, seg_end, cur, reg_deg,
+                              indices, n_clients, block_clients);
+        else
+            phase1_irregular_ph(words, round_ctr, uchunk, ball_key, dest,
+                                a0, a1, seg_start, seg_end, cur, indptr,
+                                degrees, indices, n_clients,
+                                block_clients);
+        for (int64_t a = a0; a < a1; a++)
+            n_keep[a] = REPRO_NAME(round_trial)(
+                ball_key, dest, seg_start[a], seg_end[a], trial_ids[a],
+                state1, state2, n_s, capacity, is_raes, count, touched, acc,
+                out_key + seg_start[a], do_compact, n_acc + a);
+    }
+
+    int64_t out = 0;
+    for (int64_t a = 0; a < n_active; a++) {
+        cur[a] = out;
+        out += n_keep[a];
+    }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nthr)
+#endif
+    for (int64_t a = 0; a < n_active; a++)
+        if (n_keep[a])
+            memcpy(ball_key + cur[a], out_key + seg_start[a],
+                   (size_t)n_keep[a] * sizeof(int32_t));
     return out;
 }
 

@@ -1,0 +1,191 @@
+"""Device twin of the fused philox round: one algorithm, numpy or cupy.
+
+The ``cupy`` kernel gate runs the whole per-round chain — counter-based
+uniform generation, destination gather, segmented count, accept rule,
+and survivor compaction — as array operations on whatever module ``xp``
+is passed in.  With ``xp = cupy`` every array lives on the GPU and the
+only per-round host traffic is the per-trial accepted-ball counts; with
+``xp = numpy`` the identical code runs on the CPU, which is how CI
+parity-pins the GPU semantics against the standard kernel gates without
+a GPU (see ``tests/test_philox.py``).
+
+Why philox-only: the counter lineage makes every uniform a pure
+function of ``(trial words, round, slot)``, so the device needs no
+per-trial generator state and no host→device stream traffic — and any
+chunking of the work produces identical bits.  The PCG64 lineage has
+neither property, which is why the engine rejects ``kernel="cupy"``
+under it outright.
+
+Bit-exactness: the uniform doubles are ``((hi << 32 | lo) >> 11) ·
+2⁻⁵³`` exactly as in :func:`repro.rng.philox_uniforms`; the destination
+offset is the same single f64 multiply-and-truncate as every other
+kernel; counts and the accept rule are integer; compaction is an
+order-preserving boolean mask.  Every step is therefore bit-identical
+to the CPU gates by construction, and the parity suite asserts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .policies import BatchedSaerPolicy
+
+__all__ = ["philox_uniforms_device", "run_rounds_device"]
+
+_M0 = 0xD2511F53
+_M1 = 0xCD9E8D57
+_W0 = 0x9E3779B9
+_W1 = 0xBB67AE85
+_SCALE_53 = 1.0 / 9007199254740992.0  # 2^-53
+
+
+def _philox4x32_10_xp(xp, c0, c1, c2, c3, k0, k1):
+    """Vectorized Philox4x32-10 over per-lane counters *and* keys.
+
+    All inputs are uint64 arrays (or broadcastable scalars) holding
+    32-bit values; returns the four 32-bit output words as uint64
+    arrays.  Working in uint64 keeps the 32×32→64 products exact with
+    no per-round dtype copies (same trick as :func:`repro.rng.philox4x32`,
+    but with per-lane keys so each ball can belong to a different trial).
+    """
+    m0 = xp.uint64(_M0)
+    m1 = xp.uint64(_M1)
+    w0 = xp.uint64(_W0)
+    w1 = xp.uint64(_W1)
+    mask = xp.uint64(0xFFFFFFFF)
+    s32 = xp.uint64(32)
+    k0 = k0 + xp.uint64(0)  # private copies: keys mutate across rounds
+    k1 = k1 + xp.uint64(0)
+    for _ in range(10):
+        p0 = c0 * m0
+        p1 = c2 * m1
+        c0 = ((p1 >> s32) ^ c1 ^ k0) & mask
+        c1 = p1 & mask
+        c2 = ((p0 >> s32) ^ c3 ^ k1) & mask
+        c3 = p0 & mask
+        k0 = (k0 + w0) & mask
+        k1 = (k1 + w1) & mask
+    return c0, c1, c2, c3
+
+
+def philox_uniforms_device(xp, words, seg_id, slot, round_ctr):
+    """Per-ball uniforms from counters, fully vectorized on ``xp``.
+
+    ``words`` is the ``[A, 4]`` uint32 per-active-trial word table,
+    ``seg_id`` maps each ball to its row, ``slot`` is the ball's index
+    within its trial's segment, and ``round_ctr`` the engine round.
+    Ball ``(a, s)`` reads counter ``(s >> 1, round_ctr, c2, c3)`` under
+    key ``(k0, k1)`` and takes the high or low double by slot parity —
+    exactly the stream of :func:`repro.rng.philox_uniforms`, so any
+    subset of balls (chunking, survivors of earlier rounds) sees
+    identical bits.
+    """
+    w = words[seg_id].astype(xp.uint64)
+    one = xp.uint64(1)
+    blk = slot.astype(xp.uint64) >> one
+    rnd = xp.uint64(np.uint32(round_ctr))
+    x0, x1, x2, x3 = _philox4x32_10_xp(
+        xp, blk, rnd, w[:, 2], w[:, 3], w[:, 0], w[:, 1]
+    )
+    s32 = xp.uint64(32)
+    s11 = xp.uint64(11)
+    d0 = (((x0 << s32) | x1) >> s11).astype(xp.float64) * _SCALE_53
+    d1 = (((x2 << s32) | x3) >> s11).astype(xp.float64) * _SCALE_53
+    return xp.where((slot & one.astype(slot.dtype)) == 0, d0, d1)
+
+
+def run_rounds_device(
+    mod, graph, pol, dem, total_balls, n_c, n_s, cap, R, capacity, words,
+    state_dtype,
+):
+    """The round loop on device arrays; the ``cupy`` gate's engine body.
+
+    ``mod`` is the array module (cupy, numpy, or a test stand-in with a
+    numpy-compatible surface); host↔device traffic per round is one
+    per-trial ``n_acc`` vector down and the active/sent bookkeeping up.
+    Returns the same ``(rounds, work, assigned, alive_total)`` host
+    arrays as the CPU round loops, with the policy state written back.
+    """
+    xp = mod
+    asnumpy = getattr(mod, "asnumpy", None) or (lambda a: np.asarray(a))
+    is_saer = isinstance(pol, BatchedSaerPolicy)
+
+    indptr = xp.asarray(np.asarray(graph.client_indptr, dtype=np.int64))
+    indices = xp.asarray(np.asarray(graph.client_indices, dtype=np.int64))
+    degrees = xp.asarray(np.diff(np.asarray(graph.client_indptr, dtype=np.int64)))
+    words_d = xp.asarray(np.ascontiguousarray(words, dtype=np.uint32))
+    d_loads = xp.asarray(pol.loads)
+    d_cum = xp.asarray(pol.cum_received) if is_saer else d_loads
+
+    rounds = np.zeros(R, dtype=np.int64)
+    work = np.zeros(R, dtype=np.int64)
+    assigned = np.zeros(R, dtype=np.int64)
+    alive_total = np.full(R, total_balls, dtype=np.int64)
+    if total_balls and R:
+        active = np.arange(R, dtype=np.int64)
+        sent = np.full(R, total_balls, dtype=np.int64)
+    else:
+        active = np.empty(0, dtype=np.int64)
+        sent = np.empty(0, dtype=np.int64)
+
+    template = xp.repeat(
+        xp.arange(n_c, dtype=xp.int64), xp.asarray(np.asarray(dem, dtype=np.int64))
+    )
+    ball_client = xp.tile(template, R) if R else template[:0]
+
+    round_no = 0
+    cap_i = xp.int64(capacity)
+    while active.size:
+        round_no += 1
+        A = active.size
+        rounds[active] += 1
+        work[active] += 2 * sent
+
+        active_d = xp.asarray(active)
+        sent_d = xp.asarray(sent)
+        seg_id = xp.repeat(xp.arange(A, dtype=xp.int64), sent_d)
+        B = int(ball_client.shape[0])
+        starts = xp.zeros(A, dtype=xp.int64)
+        if A > 1:
+            starts[1:] = xp.cumsum(sent_d[:-1])
+        slot = xp.arange(B, dtype=xp.int64) - xp.repeat(starts, sent_d)
+
+        u = philox_uniforms_device(xp, words_d[active_d], seg_id, slot, round_no)
+        deg = degrees[ball_client]
+        off = (u * deg.astype(xp.float64)).astype(xp.int64)
+        off = xp.minimum(off, deg - xp.int64(1))
+        dest = indices[indptr[ball_client] + off]
+
+        keys = seg_id * xp.int64(n_s) + dest
+        cnt = xp.bincount(keys, minlength=A * n_s).reshape(A, n_s)
+        cnt = cnt.astype(state_dtype)
+        touched = cnt > 0
+        if is_saer:
+            cum = d_cum[active_d] + cnt
+            accept = touched & (cum <= cap_i)
+            d_cum[active_d] = cum
+            d_loads[active_d] = xp.where(accept, cum, d_loads[active_d])
+        else:
+            loads_rows = d_loads[active_d]
+            cum = loads_rows + cnt
+            accept = touched & (cum <= cap_i)
+            d_loads[active_d] = xp.where(accept, cum, loads_rows)
+        n_acc_d = (cnt * accept).sum(axis=1, dtype=xp.int64)
+        n_acc = asnumpy(n_acc_d).astype(np.int64)
+
+        assigned[active] += n_acc
+        alive_total[active] -= n_acc
+        sent = sent - n_acc
+        if round_no >= cap:
+            break
+        keep = ~(accept.reshape(-1)[keys])
+        ball_client = ball_client[keep]
+        still = sent > 0
+        if not still.all():
+            active = active[still]
+            sent = sent[still]
+
+    pol.loads = asnumpy(d_loads).astype(pol.loads.dtype, copy=False)
+    if is_saer:
+        pol.cum_received = asnumpy(d_cum).astype(pol.cum_received.dtype, copy=False)
+    return rounds, work, assigned, alive_total

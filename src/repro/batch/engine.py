@@ -62,6 +62,8 @@ Not supported (use the reference engine): per-round traces,
 
 from __future__ import annotations
 
+import os
+import threading
 import weakref
 from typing import Callable, Sequence, Union
 
@@ -71,14 +73,19 @@ from ..core.config import ProtocolParams, RunOptions
 from ..core.engine import _resolve_demands
 from ..errors import NonTerminationError, ProtocolConfigError
 from ..graphs.bipartite import BipartiteGraph
-from ..rng import make_rng, spawn_seeds
+from ..rng import make_rng, philox_trial_words, spawn_seeds
 from .kernels import (
+    DEFAULT_KERNEL,
+    KERNELS_ENV,
     RNG_BLOCK,
     EngineBuffers,
     Kernel,
+    PHILOX_CHUNK,
     block_clients_for,
     fill_uniforms,
+    philox_fill,
     resolve_kernel,
+    resolve_seed_mode,
     resolve_threaded_round,
     resolve_threads,
     trial_chunks,
@@ -154,6 +161,7 @@ def run_trials_batched(
     options: RunOptions | None = None,
     kernel: str | None = None,
     threads: int | None = None,
+    seed_mode: str | None = None,
     buffers: EngineBuffers | None = None,
     faults=None,
 ) -> BatchResult:
@@ -195,6 +203,17 @@ def run_trials_batched(
         reference loop; a compiled gate without a threaded path on
         this install warns once per (gate, threads) and runs
         sequentially.
+    seed_mode:
+        Seed lineage: ``"pair"`` / ``"direct"`` (synonyms here) run the
+        PCG64 per-trial generators; ``"philox"`` switches the uniform
+        supply to the counter-based Philox4x32 lineage of
+        :mod:`repro.rng` — a *different* deterministic stream with its
+        own goldens, bit-identical across every kernel gate, thread
+        count, and chunking by construction (each draw is a pure
+        function of ``(trial words, round, slot)``).  ``None`` reads
+        ``REPRO_SEED_MODE``; default ``pair``.  Philox mode requires
+        seed-likes (not pre-built Generators) in ``seeds`` and is the
+        only mode the ``"cupy"`` kernel accepts.
     buffers:
         Optional :class:`~repro.batch.kernels.EngineBuffers` scratch
         pool, reused across calls (persistent sweep workers pass their
@@ -250,22 +269,50 @@ def run_trials_batched(
 
         policy = faulty_policy_factory(policy.lower(), faults, n_c)
     pol = _make_batch_policy(policy, R, n_s, params.capacity)
-    gens = [make_rng(s) for s in seed_list]
+    smode = resolve_seed_mode(seed_mode)
+    requested_kernel = (
+        (kernel or os.environ.get(KERNELS_ENV) or DEFAULT_KERNEL).strip().lower()
+    )
+    if requested_kernel == "cupy" and smode != "philox":
+        raise ProtocolConfigError(
+            'kernel="cupy" requires seed_mode="philox": the device round '
+            "is reproducible only under the counter-based lineage (PCG64 "
+            "carries per-trial generator state the GPU path cannot stream)"
+        )
+    if smode == "philox":
+        try:
+            words = philox_trial_words(seed_list)
+        except TypeError as exc:
+            raise ProtocolConfigError(
+                f'seed_mode="philox" derives counter words from seed-likes; {exc}'
+            ) from None
+        gens = None
+    else:
+        words = None
+        gens = [make_rng(s) for s in seed_list]
     bufs = buffers if buffers is not None else EngineBuffers()
 
     n_threads = resolve_threads(threads)
     kern = resolve_kernel(kernel, threads=n_threads)
-    if kern.compiled and _compiled_supported(kern, graph, pol, dem, n_c, n_s):
+    if kern.name == "cupy" and _compiled_supported(kern, graph, pol, dem, n_c, n_s):
+        from .device import run_rounds_device
+
+        pol.astype_state(state_dtype, state_dtype)
+        rounds, work, assigned, alive_total = run_rounds_device(
+            kern.module(), graph, pol, dem, total_balls, n_c, n_s, cap, R,
+            params.capacity, words, state_dtype,
+        )
+    elif kern.compiled and _compiled_supported(kern, graph, pol, dem, n_c, n_s):
         pol.astype_state(state_dtype, state_dtype)
         rounds, work, assigned, alive_total = _run_rounds_compiled(
             kern, graph, pol, dem, total_balls, n_c, n_s, cap, R,
-            params.capacity, gens, bufs, state_dtype, n_threads,
+            params.capacity, gens, bufs, state_dtype, n_threads, words,
         )
     else:
         pol.astype_state(state_dtype, load_dtype)
         rounds, work, assigned, alive_total = _run_rounds_numpy(
             graph, pol, dem, total_balls, n_c, n_s, cap, R, gens, bufs,
-            state_dtype,
+            state_dtype, words,
         )
 
     result = BatchResult(
@@ -320,7 +367,7 @@ def _compiled_supported(
 
 def _run_rounds_compiled(
     kern, graph, pol, dem, total_balls, n_c, n_s, cap, R, capacity, gens,
-    bufs, state_dtype, threads=1,
+    bufs, state_dtype, threads=1, words=None,
 ):
     """Round loop over the fused compiled kernel (one call per round).
 
@@ -331,6 +378,24 @@ def _run_rounds_compiled(
     the survivor left-pack are data, not scheduling).  Falls back to
     the sequential entry (with a once-per-(gate, threads) warning)
     when this install has no threaded path for the gate.
+
+    ``words is not None`` selects the philox lineage.  The ``cext``
+    gate then runs the *fused* philox entries — each uniform generated
+    inline in phase 1 from ``(trial words, round, slot)``, so the slab
+    fill pass and both of its memory sweeps disappear (this is the
+    lineage's perf story).  Gates that still consume a slab
+    (``numba`` / ``python``) take :func:`philox_fill`; with a thread
+    budget ≥ 2 the *next* round's slab is filled concurrently with the
+    current round's kernel call (the C fill releases the GIL) using the
+    current counts as an upper bound — counter draws are
+    location-independent, so the surviving prefix of an over-fill is
+    exactly what the next round needs, and the overlap cannot change a
+    single bit.
+
+    The trial-partitioned entries pack survivors back into ``ball_key``
+    (the input buffer, dead after phase 1 — that is what makes their
+    left-pack epilogue parallel), so this loop swaps the ping-pong
+    buffers only after sequential rounds.
     """
     indptr, degrees, indices = _csr32(graph)
     reg_deg = 0
@@ -361,8 +426,27 @@ def _run_rounds_compiled(
         mt_fn = resolve_threaded_round(kern, threads)
     T = min(threads, R) if mt_fn is not None else 1
 
+    philox = words is not None
+    # Fused philox entries (cext only): uniforms generated inline in
+    # phase 1, no slab at all.  The OpenMP twin exists iff the standard
+    # mt entry resolved (same compile probe).
+    fused_mt_fn = fused_fn = None
+    if philox:
+        if mt_fn is not None:
+            fused_mt_fn = kern.philox_threaded_round_fn(threads)
+        if fused_mt_fn is None:
+            fused_fn = kern.philox_round_fn()
+    use_fused = fused_mt_fn is not None or fused_fn is not None
+
     B0 = total_balls * R
-    u_buf = bufs.get("u", B0, np.float64)
+    u_buf = None if use_fused else bufs.get("u", B0, np.float64)
+    # Fused entries take per-trial chunk rows instead of a slab: the
+    # uniforms in flight stay cache-resident (R × 4 KB total).
+    uchunk = (
+        bufs.get("cuchunk", (R, PHILOX_CHUNK), np.float64)
+        if use_fused
+        else None
+    )
     dest_buf = bufs.get("cdest", B0, np.int32)
     ball_key = bufs.get("cball", B0, np.int32)
     alt_buf = bufs.get("calt", B0, np.int32)
@@ -382,15 +466,29 @@ def _run_rounds_compiled(
     cur = bufs.get("ccur", R, np.int64)
     seg_start = bufs.get("cseg0", R, np.int64)
     seg_end = bufs.get("cseg1", R, np.int64)
-    slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
-    slab_pos = bufs.get("rng_pos", R, np.int64)
-    slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
+    if philox:
+        w_buf = bufs.get("cwords", (R, 4), np.uint32)
+    else:
+        slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
+        slab_pos = bufs.get("rng_pos", R, np.int64)
+        slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
+
+    # Fill/kernel overlap for slab-consuming gates in philox mode: with
+    # a thread budget >= 2 the next round's slab is filled in a worker
+    # thread (the C fill drops the GIL) while the kernel runs.  The fill
+    # uses the *current* counts as an upper bound; after the round, the
+    # surviving trials' prefixes are the exact next-round streams.
+    use_stage = philox and not use_fused and threads >= 2
+    stage_buf = bufs.get("u_stage", B0, np.float64) if use_stage else None
+    stage = None
 
     if isinstance(pol, BatchedSaerPolicy):
         state1, state2, is_raes = pol.cum_received, pol.loads, 0
     else:
         state1, state2, is_raes = pol.loads, pol.loads, 1
-    round_fn = kern.round_fn() if mt_fn is None else None
+    round_fn = None
+    if mt_fn is None and not use_fused:
+        round_fn = kern.round_fn()
 
     round_no = 0
     B = ball_key.size if active.size else 0
@@ -399,11 +497,72 @@ def _run_rounds_compiled(
         A = active.size
         rounds[active] += 1
         work[active] += 2 * sent
-        u = u_buf[:B]
-        fill_uniforms(u, active.tolist(), sent.tolist(), gens, slab, slab_pos)
         do_compact = 1 if round_no < cap else 0
+        if not use_fused:
+            u = u_buf[:B]
+            if philox:
+                if stage is not None:
+                    th, s_active, s_starts = stage
+                    th.join()
+                    stage = None
+                    # surviving trials keep their staged prefix (draws
+                    # are location-independent): compact-copy it to the
+                    # new packed offsets
+                    idx = np.searchsorted(s_active, active)
+                    pos = 0
+                    for j in range(A):
+                        k = int(sent[j])
+                        so = int(s_starts[idx[j]])
+                        u[pos : pos + k] = stage_buf[so : so + k]
+                        pos += k
+                else:
+                    philox_fill(u, active, sent, words, round_no)
+            else:
+                fill_uniforms(u, active, sent, gens, slab, slab_pos)
+        if philox:
+            w_act = w_buf[:A]
+            np.take(words, active, axis=0, out=w_act)
+        if use_stage and do_compact:
+            s_active = active.copy()
+            s_sent = sent.copy()
+            s_starts = np.zeros(A + 1, dtype=np.int64)
+            np.cumsum(s_sent, out=s_starts[1:])
+            th = threading.Thread(
+                target=philox_fill,
+                args=(stage_buf, s_active, s_sent, words, round_no + 1),
+                daemon=True,
+            )
+            th.start()
+            stage = (th, s_active, s_starts)
         n_acc = n_acc_buf[:A]
-        if mt_fn is not None:
+        swap = False
+        if fused_mt_fn is not None:
+            Tr = min(T, A)
+            chunk_starts = trial_chunks(A, Tr, chunk_buf)
+            B_next = int(
+                fused_mt_fn(
+                    w_act, round_no, uchunk[:A], ball_key, active, sent,
+                    reg_deg, indptr,
+                    degrees, indices, n_c, block_clients, state1, state2,
+                    capacity, is_raes, dest_buf[:B], counts[:Tr],
+                    toucheds[:Tr], accs[:Tr], n_acc, alt_buf, do_compact,
+                    cur[:A], seg_start[:A], seg_end[:A], chunk_starts,
+                    n_keep[:A],
+                )
+            )
+        elif fused_fn is not None:
+            B_next = int(
+                fused_fn(
+                    w_act, round_no, uchunk[:A], ball_key, active, sent,
+                    reg_deg, indptr,
+                    degrees, indices, n_c, block_clients, state1, state2,
+                    capacity, is_raes, dest_buf[:B], count, touched, acc,
+                    n_acc, alt_buf, do_compact, cur[:A], seg_start[:A],
+                    seg_end[:A],
+                )
+            )
+            swap = True
+        elif mt_fn is not None:
             Tr = min(T, A)
             chunk_starts = trial_chunks(A, Tr, chunk_buf)
             B_next = int(
@@ -424,25 +583,39 @@ def _run_rounds_compiled(
                     do_compact, cur[:A], seg_start[:A], seg_end[:A],
                 )
             )
+            swap = True
         assigned[active] += n_acc
         alive_total[active] -= n_acc
         sent = sent - n_acc
         if not do_compact:
             # Trials with balls left stop here with rounds == cap.
             break
-        ball_key, alt_buf = alt_buf, ball_key
+        if swap:
+            # Sequential entries pack survivors into out_key (alt_buf);
+            # the trial-partitioned entries pack them back into
+            # ball_key, so their rounds skip the ping-pong swap.
+            ball_key, alt_buf = alt_buf, ball_key
         B = B_next
         still = sent > 0
         if not still.all():
             active = active[still]
             sent = sent[still]
+    if stage is not None:
+        stage[0].join()
     return rounds, work, assigned, alive_total
 
 
 def _run_rounds_numpy(
-    graph, pol, dem, total_balls, n_c, n_s, cap, R, gens, bufs, state_dtype
+    graph, pol, dem, total_balls, n_c, n_s, cap, R, gens, bufs, state_dtype,
+    words=None,
 ):
-    """The vectorized reference round loop (the ``numpy`` kernel)."""
+    """The vectorized reference round loop (the ``numpy`` kernel).
+
+    ``words is not None`` selects the philox lineage: Phase-0 becomes
+    :func:`repro.batch.kernels.philox_fill` (stateless counter draws,
+    C-accelerated when a compiler exists) and the per-trial generators
+    and RNG read-ahead slab are never touched.
+    """
     # Narrow index dtypes cut memory traffic on the per-ball passes (the
     # engine's dominant cost): edge offsets need to span n_edges (int32
     # for any feasible simulation), while client/server ids usually fit
@@ -503,9 +676,10 @@ def _run_rounds_numpy(
     alt_full = bufs.get("alt", B0, ball_dtype)  # compaction ping-pong partner
     if R:
         ball_full.reshape(R, total_balls)[:] = template
-    slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
-    slab_pos = bufs.get("rng_pos", R, np.int64)
-    slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
+    if words is None:
+        slab = bufs.get("rng_slab", (R, RNG_BLOCK), np.float64)
+        slab_pos = bufs.get("rng_pos", R, np.int64)
+        slab_pos[:] = RNG_BLOCK  # empty: streams are fresh per engine call
     ball_key = ball_full[: B0 if active.size else 0]
     # The R × n_s received slab is the engine's largest allocation, but
     # only the dense Phase-2 path reads it — sparse-dominated runs (big
@@ -522,13 +696,16 @@ def _run_rounds_numpy(
         B = ball_key.size
         rounds[active] += 1
         work[active] += 2 * sent
-        sent_list = sent.tolist()
 
         # Phase 1: per-trial uniforms — trial r consumes exactly the
-        # stream run_protocol(seed=seeds[r]) would — then the shared-graph
+        # stream run_protocol(seed=seeds[r]) would (PCG64 mode), or the
+        # counter-determined philox stream — then the shared-graph
         # destination map of Algorithm 1 line 3, fused over all trials.
         u = u_buf[:B]
-        fill_uniforms(u, active.tolist(), sent_list, gens, slab, slab_pos)
+        if words is not None:
+            philox_fill(u, active, sent, words, round_no)
+        else:
+            fill_uniforms(u, active, sent, gens, slab, slab_pos)
         offsets = off_buf[:B]
         base = base_buf[:B]
         dest = dest_buf[:B]
@@ -563,13 +740,13 @@ def _run_rounds_numpy(
             received = received_buf[:A]
             n_acc = np.empty(A, dtype=np.int64)
             pos = 0
-            for a, k in enumerate(sent_list):
+            for a, k in enumerate(sent):
                 received[a] = np.bincount(dest[pos : pos + k], minlength=n_s)
                 pos += k
             accept = pol.decide_dense(active, received)
             reject = ~accept
             pos = 0
-            for a, k in enumerate(sent_list):
+            for a, k in enumerate(sent):
                 np.take(reject[a], dest[pos : pos + k], out=keep[pos : pos + k])
                 n_acc[a] = k - np.count_nonzero(keep[pos : pos + k])
                 pos += k
@@ -603,6 +780,7 @@ def run_saer_batched(
     options: RunOptions | None = None,
     kernel: str | None = None,
     threads: int | None = None,
+    seed_mode: str | None = None,
     buffers: EngineBuffers | None = None,
     faults=None,
 ) -> BatchResult:
@@ -618,6 +796,7 @@ def run_saer_batched(
         options=options,
         kernel=kernel,
         threads=threads,
+        seed_mode=seed_mode,
         buffers=buffers,
         faults=faults,
     )
@@ -635,6 +814,7 @@ def run_raes_batched(
     options: RunOptions | None = None,
     kernel: str | None = None,
     threads: int | None = None,
+    seed_mode: str | None = None,
     buffers: EngineBuffers | None = None,
     faults=None,
 ) -> BatchResult:
@@ -650,6 +830,7 @@ def run_raes_batched(
         options=options,
         kernel=kernel,
         threads=threads,
+        seed_mode=seed_mode,
         buffers=buffers,
         faults=faults,
     )

@@ -25,6 +25,10 @@ run it three ways:
     :func:`_round_loops` executed by the interpreter — far too slow
     for real workloads, but it lets the parity suite exercise the
     exact compiled algorithm on any install (no numba, no compiler).
+``cupy``
+    The GPU twin of the fused philox round (:mod:`repro.batch.device`),
+    valid only with the counter-based ``philox`` seed lineage; without
+    an importable cupy and a device it falls back like any other gate.
 
 Every implementation is **bit-identical** to the numpy path: same
 uniforms consumed in the same canonical (trial-major, client-major)
@@ -87,19 +91,37 @@ prange = range
 __all__ = [
     "KERNELS_ENV",
     "THREADS_ENV",
+    "SEED_MODE_ENV",
     "DEFAULT_KERNEL",
+    "SEED_MODES",
     "EngineBuffers",
     "available_kernels",
     "resolve_kernel",
     "resolve_threads",
+    "resolve_seed_mode",
     "trial_chunks",
     "fill_uniforms",
+    "philox_fill",
 ]
 
 KERNELS_ENV = "REPRO_KERNELS"
 THREADS_ENV = "REPRO_KERNEL_THREADS"
+SEED_MODE_ENV = "REPRO_SEED_MODE"
+
+# Must mirror REPRO_PH_CHUNK in _kernels.c: the fused philox entries
+# take an [n_active, PHILOX_CHUNK] float64 scratch (one cache-resident
+# chunk row per trial; never read by the caller).
+PHILOX_CHUNK = 512
 CACHE_ENV = "REPRO_KERNEL_CACHE"
 DEFAULT_KERNEL = "numpy"
+
+# Engine-level seed lineages.  "pair" and "direct" are synonyms here —
+# both mean per-trial PCG64 Generators consumed through fill_uniforms
+# (the distinction between them is a plan-level seed-derivation choice,
+# see repro.plan) — while "philox" switches the whole uniform supply to
+# the counter-based Philox4x32 lineage of repro.rng: a different
+# deterministic stream with its own goldens, NOT bit-parity with PCG64.
+SEED_MODES = ("pair", "direct", "philox")
 
 # Read-ahead block: uniforms are pre-drawn per trial in slabs of this
 # many doubles; rounds needing more draw straight into the staging
@@ -164,8 +186,8 @@ class EngineBuffers:
 
 def fill_uniforms(
     u: np.ndarray,
-    active: Sequence[int],
-    sent: Sequence[int],
+    active: "Sequence[int] | np.ndarray",
+    sent: "Sequence[int] | np.ndarray",
     gens: list,
     slab: np.ndarray,
     slab_pos: np.ndarray,
@@ -179,6 +201,10 @@ def fill_uniforms(
     into the destination segment.  Exact by construction — numpy
     Generators yield identical values no matter how draws are batched
     into calls.
+
+    ``active`` (trial ids) and ``sent`` (aligned per-trial ball counts)
+    may be any iterables, including integer ndarrays — callers should
+    pass their arrays directly rather than ``.tolist()`` copies.
 
     ``slab_pos[t]`` is the per-trial read position (``slab.shape[1]``
     means empty); callers initialize it to "empty" once per engine run.
@@ -203,6 +229,53 @@ def fill_uniforms(
                 gens[t].random(out=slab[t])
                 seg[have:] = slab[t, :need]
                 slab_pos[t] = need
+        pos += k
+
+
+def philox_fill(
+    u: np.ndarray,
+    active: np.ndarray,
+    sent: np.ndarray,
+    words: np.ndarray,
+    round_ctr: int,
+    threads: int = 1,
+) -> None:
+    """Counter-based Phase-0: fill ``u`` from Philox counters, no state.
+
+    The philox twin of :func:`fill_uniforms`: active trial ``active[a]``
+    (rows of ``words``, the per-trial ``(k0, k1, c2, c3)`` uint32 words
+    from :func:`repro.rng.philox_trial_words`) gets ``sent[a]`` doubles
+    at the canonical packed offset.  Draw ``s`` of round ``round_ctr``
+    reads counter ``(s >> 1, round_ctr, c2, c3)`` — a pure function of
+    position, so any chunking, threading, or over-fill produces
+    identical bits.
+
+    Prefers the C ``repro_philox_fill`` (releases the GIL; honours
+    ``threads`` in the OpenMP build) and falls back to the numpy
+    reference :func:`repro.rng.philox_uniforms` per trial when no C
+    library can be built — same bits either way.
+    """
+    n_active = len(active)
+    if n_active == 0:
+        return
+    sent = np.ascontiguousarray(sent[:n_active], dtype=np.int64)
+    w = np.ascontiguousarray(words[active])
+    cext: CextKernel = _REGISTRY["cext"]  # type: ignore[assignment]
+    lib = cext._load_mt() if threads > 1 else None
+    if lib is None:
+        lib = cext._load()
+    if lib is not None:
+        total = int(sent.sum())
+        lib.repro_philox_fill(
+            u[:total], sent, n_active, w, round_ctr, max(1, int(threads))
+        )
+        return
+    from ..rng import philox_uniforms
+
+    pos = 0
+    for a in range(n_active):
+        k = int(sent[a])
+        philox_uniforms(w[a], round_ctr, k, out=u[pos : pos + k])
         pos += k
 
 
@@ -408,10 +481,14 @@ def _round_loops_mt(
     ``ci`` of ``counts``/``toucheds``/``accs`` (each ``[n_chunks,
     n_s]``), writing each trial's survivors into the trial's own input
     region of ``out_key`` and its survivor count into ``n_keep``.  The
-    sequential left-pack epilogue then restores the canonical
-    contiguous layout — so the output is byte-identical to
-    :func:`_round_loops` for any partition and any thread count.  See
-    ``repro_round_mt`` in ``_kernels.c`` for the compiled spec.
+    prefix-sum left-pack epilogue then copies each trial's run to its
+    packed offset in ``ball_key`` — the *input* buffer, dead after
+    phase 1, so the per-trial copies are disjoint and the C twin runs
+    them in parallel — byte-identical to :func:`_round_loops` for any
+    partition and any thread count.  Callers read survivors from
+    ``ball_key`` (NOT ``out_key``) and must not swap their ping-pong
+    buffers after a threaded round.  See ``repro_round_mt`` in
+    ``_kernels.c`` for the compiled spec.
     """
     n_active = trial_ids.shape[0]
     pos = 0
@@ -464,14 +541,17 @@ def _round_loops_mt(
             )
             n_acc[a] = acc_balls
             n_keep[a] = kept
-    # left-pack the survivor runs (dst <= src: forward copy is safe)
+    # prefix-sum left-pack into the dead input buffer: offsets first
+    # (cur is scratch after phase 1), then disjoint per-trial copies
     out = 0
     for a in range(n_active):
-        ks = seg_start[a]
-        if out != ks:
-            for j in range(n_keep[a]):
-                out_key[out + j] = out_key[ks + j]
+        cur[a] = out
         out += n_keep[a]
+    for a in prange(n_active):
+        ks = seg_start[a]
+        ko = cur[a]
+        for j in range(n_keep[a]):
+            ball_key[ko + j] = out_key[ks + j]
     return out
 
 
@@ -498,6 +578,17 @@ class Kernel:
         signature), or ``None`` when this implementation has no
         threaded path on this install (the engine then warns once per
         (gate, threads) and runs the sequential kernel)."""
+        return None
+
+    def philox_round_fn(self) -> Callable | None:
+        """The fused philox round (uniforms generated inline from
+        counters), or ``None`` — gates without one consume a
+        :func:`philox_fill` slab through their standard entries
+        instead, with identical bits."""
+        return None
+
+    def philox_threaded_round_fn(self, threads: int) -> Callable | None:
+        """Trial-partitioned twin of :meth:`philox_round_fn`, or ``None``."""
         return None
 
 
@@ -707,6 +798,106 @@ class CextKernel(Kernel):
 
         return call
 
+    def philox_round_fn(self) -> Callable | None:
+        """The fused philox sequential round, or ``None`` with no C lib.
+
+        Same contract as :meth:`round_fn` except the arguments are
+        prefixed with ``(words, round_ctr)`` and the slab argument
+        shrinks to an ``[n_active, PHILOX_CHUNK]`` scratch — phase 1
+        bulk-generates each trial's next 512 draws into its row just in
+        time and consumes them from L2.  This is the philox mode's perf
+        path: the full-size uniform slab is never written OR read.
+        """
+        lib = self._load()
+        if lib is None:
+            return None
+
+        def call(words, round_ctr, u, ball_key, trial_ids, sent, reg_deg,
+                 indptr, degrees, indices, n_clients, block_clients,
+                 state1, state2, capacity, is_raes, dest, count, touched,
+                 acc, n_acc, out_key, do_compact, cur, seg_start, seg_end):
+            fn = (
+                lib.repro_round_ph_i64
+                if state1.dtype == np.int64
+                else lib.repro_round_ph_i32
+            )
+            return fn(
+                words, round_ctr, u, ball_key, trial_ids.shape[0],
+                trial_ids, sent, reg_deg, indptr, degrees, indices,
+                n_clients, block_clients, state1, state2, state1.shape[1],
+                capacity, is_raes, dest, count, touched, acc, n_acc,
+                out_key, do_compact, cur, seg_start, seg_end,
+            )
+
+        return call
+
+    def philox_threaded_round_fn(self, threads: int) -> Callable | None:
+        """The fused philox trial-partitioned round (OpenMP build), or
+        ``None``; survivors land in ``ball_key`` like the mt entry."""
+        lib = self._load_mt()
+        if lib is None:
+            return None
+
+        def call(words, round_ctr, u, ball_key, trial_ids, sent, reg_deg,
+                 indptr, degrees, indices, n_clients, block_clients,
+                 state1, state2, capacity, is_raes, dest, counts, toucheds,
+                 accs, n_acc, out_key, do_compact, cur, seg_start, seg_end,
+                 chunk_starts, n_keep):
+            fn = (
+                lib.repro_round_ph_mt_i64
+                if state1.dtype == np.int64
+                else lib.repro_round_ph_mt_i32
+            )
+            return fn(
+                words, round_ctr, u, ball_key, trial_ids.shape[0],
+                trial_ids, sent, reg_deg, indptr, degrees, indices,
+                n_clients, block_clients, state1, state2, state1.shape[1],
+                capacity, is_raes, dest, counts, toucheds, accs, n_acc,
+                out_key, do_compact, cur, seg_start, seg_end,
+                chunk_starts.shape[0] - 1, chunk_starts, n_keep, threads,
+            )
+
+        return call
+
+
+class CupyKernel(Kernel):
+    """GPU twin of the fused philox round, gated on an importable cupy.
+
+    Only meaningful with the philox seed lineage — counter-based draws
+    are what make a device-resident round reproducible without
+    streaming per-trial PCG64 state through the GPU; the engine rejects
+    ``kernel="cupy"`` under the PCG64 modes outright.  The round itself
+    lives in :mod:`repro.batch.device` as an xp-agnostic twin that runs
+    on numpy or cupy arrays identically, so CI parity-pins the GPU
+    semantics against the CPU gates without a GPU.  ``available()``
+    requires cupy to import *and* see a device; anything else takes the
+    standard warn-once fallback to numpy in :func:`resolve_kernel`.
+    """
+
+    name = "cupy"
+    compiled = False
+
+    def __init__(self) -> None:
+        self._cupy = None
+        self._checked = False
+
+    def module(self):
+        """The cupy module (probed once), or ``None``.  Tests inject a
+        fake by setting ``_cupy``/``_checked`` directly."""
+        if not self._checked:
+            self._checked = True
+            try:
+                import cupy
+
+                cupy.cuda.runtime.getDeviceCount()
+                self._cupy = cupy
+            except Exception:
+                self._cupy = None
+        return self._cupy
+
+    def available(self) -> bool:
+        return self.module() is not None
+
 
 def _cc_candidates() -> list[str]:
     env = os.environ.get("CC")
@@ -734,22 +925,32 @@ def _load_cext_library(openmp: bool = False):
     so = cache / f"{stem}_{tag}.so"
     if not so.exists():
         last_err: Exception | None = None
+        done = False
+        # -march=native first (the SIMD philox fill needs AVX2 to beat
+        # the PCG64 fill; bit-safe here because the kernels are integer
+        # arithmetic plus isolated double multiplies — no fuseable
+        # multiply-add chains exist for -mfma to contract), plain -O3
+        # as the portable fallback.
         for cc in _cc_candidates():
-            tmp = so.with_name(f"{so.stem}.{os.getpid()}.tmp.so")
-            cmd = [cc, "-O3", "-shared", "-fPIC"]
-            if openmp:
-                cmd.append("-fopenmp")
-            cmd += ["-o", str(tmp), str(src)]
-            try:
-                subprocess.run(
-                    cmd, check=True, capture_output=True, timeout=120
-                )
-                os.replace(tmp, so)  # atomic: concurrent workers race safely
-                last_err = None
+            for extra in (["-march=native"], []):
+                tmp = so.with_name(f"{so.stem}.{os.getpid()}.tmp.so")
+                cmd = [cc, "-O3", *extra, "-shared", "-fPIC"]
+                if openmp:
+                    cmd.append("-fopenmp")
+                cmd += ["-o", str(tmp), str(src)]
+                try:
+                    subprocess.run(
+                        cmd, check=True, capture_output=True, timeout=120
+                    )
+                    os.replace(tmp, so)  # atomic: workers race safely
+                    last_err = None
+                    done = True
+                    break
+                except Exception as exc:
+                    last_err = exc
+                    tmp.unlink(missing_ok=True)
+            if done:
                 break
-            except Exception as exc:
-                last_err = exc
-                tmp.unlink(missing_ok=True)
         if last_err is not None:
             raise RuntimeError(
                 f"C kernel build failed ({'OpenMP' if openmp else 'sequential'}): "
@@ -760,6 +961,11 @@ def _load_cext_library(openmp: bool = False):
     _declare(lib.repro_round_i64, np.int64)
     _declare_mt(lib.repro_round_mt_i32, np.int32)
     _declare_mt(lib.repro_round_mt_i64, np.int64)
+    _declare_ph(lib.repro_round_ph_i32, np.int32)
+    _declare_ph(lib.repro_round_ph_i64, np.int64)
+    _declare_ph_mt(lib.repro_round_ph_mt_i32, np.int32)
+    _declare_ph_mt(lib.repro_round_ph_mt_i64, np.int64)
+    _declare_fill(lib.repro_philox_fill)
     return lib
 
 
@@ -837,6 +1043,39 @@ def _declare_mt(fn, state_dtype) -> None:
     ]
 
 
+def _declare_ph(fn, state_dtype) -> None:
+    # The fused philox sequential round: repro_round prefixed with
+    # (words, round_ctr); the u slab stays as chunk scratch.
+    _declare(fn, state_dtype)
+    fn.argtypes = [
+        np.ctypeslib.ndpointer(np.uint32, flags="C_CONTIGUOUS"),  # words
+        ctypes.c_uint32,                                          # round_ctr
+    ] + fn.argtypes
+
+
+def _declare_ph_mt(fn, state_dtype) -> None:
+    # The fused philox threaded round; same tail as _declare_mt.
+    _declare_mt(fn, state_dtype)
+    fn.argtypes = [
+        np.ctypeslib.ndpointer(np.uint32, flags="C_CONTIGUOUS"),  # words
+        ctypes.c_uint32,                                          # round_ctr
+    ] + fn.argtypes
+
+
+def _declare_fill(fn) -> None:
+    ptr = np.ctypeslib.ndpointer
+    c = dict(flags="C_CONTIGUOUS")
+    fn.restype = None
+    fn.argtypes = [
+        ptr(np.float64, **c),   # u (canonical packed layout)
+        ptr(np.int64, **c),     # sent (per active trial)
+        ctypes.c_int64,         # n_active
+        ptr(np.uint32, **c),    # words [n_active, 4]
+        ctypes.c_uint32,        # round_ctr
+        ctypes.c_int64,         # n_threads
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Registry / gate
 # ---------------------------------------------------------------------------
@@ -846,6 +1085,7 @@ _REGISTRY: dict[str, Kernel] = {
     "python": PythonKernel(),
     "numba": NumbaKernel(),
     "cext": CextKernel(),
+    "cupy": CupyKernel(),
 }
 
 # Warn-once state for fallback warnings, keyed per (gate, threads):
@@ -919,6 +1159,22 @@ def resolve_threads(threads: int | None = None) -> int:
     if threads < 1:
         raise ValueError(f"kernel threads must be >= 1; got {threads}")
     return threads
+
+
+def resolve_seed_mode(mode: str | None = None) -> str:
+    """Resolve the seed-lineage gate: argument > ``REPRO_SEED_MODE`` > pair.
+
+    Plan execution always passes the plan's mode explicitly, so the
+    environment variable can steer ad-hoc engine calls but never alter
+    the bits of a plan run.
+    """
+    requested = mode or os.environ.get(SEED_MODE_ENV) or "pair"
+    requested = requested.strip().lower()
+    if requested not in SEED_MODES:
+        raise ValueError(
+            f"unknown seed mode {requested!r}; known: {list(SEED_MODES)}"
+        )
+    return requested
 
 
 def resolve_threaded_round(kern: Kernel, threads: int) -> Callable | None:

@@ -54,6 +54,7 @@ def run_experiment(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ):
     """Invoke the registered runner for ``exp_id``; returns (rows, meta).
 
@@ -78,6 +79,7 @@ def run_experiment(
         "kernel_threads": kernel_threads,
         "spool": spool,
         "resume": resume,
+        "seed_mode": seed_mode,
     }
     for name, value in overrides.items():
         if value is None:
@@ -96,6 +98,10 @@ def run_experiment(
         ) == str(value):
             # Same story for the thread budget: already exported via
             # REPRO_KERNEL_THREADS for serial kernel-agnostic runners.
+            continue
+        if name == "seed_mode" and os.environ.get("REPRO_SEED_MODE") == value:
+            # And for the seed lineage: REPRO_SEED_MODE reaches every
+            # batched-engine call regardless of plan capabilities.
             continue
         warnings.warn(
             f"{spec.id} does not support the {name!r} override "
@@ -153,6 +159,10 @@ def _cmd_run(args) -> int:
         # exactly what kernel-capable experiments get via
         # BackendSpec.threads below.
         os.environ["REPRO_KERNEL_THREADS"] = str(args.kernel_threads)
+    if args.seed_mode:
+        # Like --kernel: the batched engine resolves the seed lineage at
+        # call time from REPRO_SEED_MODE, and forked workers inherit it.
+        os.environ["REPRO_SEED_MODE"] = args.seed_mode
     target = args.experiment.lower()
     if target == "all" and (args.spool or args.resume):
         # One spool directory belongs to one plan fingerprint; spreading
@@ -189,6 +199,7 @@ def _cmd_run(args) -> int:
             kernel_threads=args.kernel_threads,
             spool=args.spool,
             resume=args.resume,
+            seed_mode=args.seed_mode,
         )
         print(format_table(rows, title=f"{spec.id} — {spec.title}"))
         printable = {k: v for k, v in meta.items() if k != "records"}
@@ -273,16 +284,31 @@ def main(argv=None) -> int:
     )
     p_run.add_argument(
         "--kernel",
-        choices=("numpy", "cext", "numba", "python"),
+        choices=("numpy", "cext", "numba", "python", "cupy"),
         default=None,
         help="round-kernel implementation for the batched engine: numpy "
-        "reference (default), fused C (cext), numba JIT, or the "
+        "reference (default), fused C (cext), numba JIT, the "
         "interpreted compiled-algorithm loops (python; debugging "
-        "only).  Maps onto the plan's BackendSpec.kernel for "
-        "kernel-capable experiments (travels inside the pickled "
+        "only), or the GPU device twin (cupy; needs CuPy and "
+        "--seed-mode philox).  Maps onto the plan's BackendSpec.kernel "
+        "for kernel-capable experiments (travels inside the pickled "
         "worker) and sets REPRO_KERNELS for everything else.  All "
         "are bit-identical; unavailable ones fall back to numpy "
         "with a warning.",
+    )
+    p_run.add_argument(
+        "--seed-mode",
+        choices=("pair", "direct", "philox"),
+        default=None,
+        help="per-trial seed lineage: 'pair' spawns a child "
+        "SeedSequence per trial (default, matches the reference "
+        "engine), 'direct' seeds each trial's generator with the raw "
+        "entry, 'philox' derives counter-based Philox4x32 streams "
+        "(batched engine only; its own golden lineage — distinct bits "
+        "from pair/direct — enabling vectorized, chunking-invariant "
+        "fills and the GPU twin).  Maps onto the plan's SeedSpec.mode "
+        "for sweep experiments and sets REPRO_SEED_MODE for "
+        "everything else.",
     )
     p_run.add_argument(
         "--kernel-threads",

@@ -83,7 +83,13 @@ def seed_token(seeds) -> object | None:
         toks = [_canonical_seed(s) for s in seeds.seeds]
         if any(t is None for t in toks):
             return None
-        return ["explicit", toks]
+        # The derivation mode changes bits even for explicit seeds
+        # (philox derives counter words from each seed's SeedSequence),
+        # so it must be part of the token.  Keep the historical 2-element
+        # shape for "pair" so pre-existing spools still resume.
+        if seeds.mode == "pair":
+            return ["explicit", toks]
+        return ["explicit", toks, seeds.mode]
     if seeds.root is None:
         return None
     tok = _canonical_seed(seeds.root)

@@ -29,7 +29,7 @@ _COMMON = ("trials", "seed", "processes")
 #: a crash-survivable on-disk spool, resume an interrupted sweep.
 _SWEEP = _COMMON + (
     "backend", "graph_cache", "results", "kernel", "kernel_threads",
-    "spool", "resume",
+    "spool", "resume", "seed_mode",
 )
 
 

@@ -126,7 +126,7 @@ def _saer_run_record(graph, point: Mapping, p_seed) -> dict:
 
 def _saer_batch_block(
     graph, point: Mapping, p_seeds, kernel: str | None = None,
-    threads: int | None = None,
+    threads: int | None = None, seed_mode: str | None = None,
 ) -> ResultBlock:
     """One batched-engine trial block on ``graph`` → a columnar
     :class:`~repro.batch.results.ResultBlock` (field-for-field the
@@ -140,6 +140,8 @@ def _saer_batch_block(
     RNG read-ahead once.  ``kernel`` pins the round-kernel gate and
     ``threads`` the compiled kernel's trial-partitioned thread budget
     (``None`` defers to ``REPRO_KERNELS`` / ``REPRO_KERNEL_THREADS``).
+    ``seed_mode="philox"`` switches the per-trial draw stream to the
+    counter-based Philox lineage (distinct bits from the default PCG64).
     """
     opts = RunOptions(max_rounds=point.get("max_rounds"))
     p_seeds = list(p_seeds)
@@ -151,6 +153,7 @@ def _saer_batch_block(
         options=opts,
         kernel=kernel,
         threads=threads,
+        seed_mode=seed_mode,
         buffers=worker_state().engine_buffers,
     )
     rep = degree_report(graph)
@@ -180,7 +183,7 @@ _SAER_WORK = WorkSpec(record=_saer_run_record, batch=_saer_batch_block, name="sa
 def _saer_plan(
     grid, *, trials, seed, processes, backend="reference", graph=None,
     graph_cache=None, results="columnar", kernel=None, kernel_threads=None,
-    spool=None,
+    spool=None, seed_mode=None,
 ) -> RunPlan:
     """Map the historical SAER-runner kwargs onto a :class:`RunPlan`.
 
@@ -193,7 +196,9 @@ def _saer_plan(
     (bit-identical at every count; capped by ``execute`` so threads ×
     processes stays within the core budget).  ``spool`` switches the
     results sink to the durable on-disk spool at that directory
-    (crash-supervised, resumable; see :mod:`repro.durable`).
+    (crash-supervised, resumable; see :mod:`repro.durable`).  ``seed_mode``
+    selects the trial seed lineage (``"pair"`` default; ``"philox"``
+    needs the batched backend — see :class:`repro.plan.SeedSpec`).
     """
     if backend not in ("reference", "batched"):
         raise ExperimentError(f"unknown backend {backend!r}; known: reference, batched")
@@ -211,7 +216,7 @@ def _saer_plan(
         grid=grid,
         work=_SAER_WORK,
         trials=trials,
-        seeds=SeedSpec(root=seed),
+        seeds=SeedSpec(root=seed, mode=seed_mode or "pair"),
         # The kernel gate and thread budget only exist on the batched
         # engine; reference runs ignore them (matching the old
         # REPRO_KERNELS / REPRO_KERNEL_THREADS env behaviour).
@@ -274,13 +279,14 @@ def run_e01_completion(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E1: median completion rounds vs n, with the log fit and horizon."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
-        kernel_threads=kernel_threads, spool=spool,
+        kernel_threads=kernel_threads, spool=spool, seed_mode=seed_mode,
     ), resume=resume)
     table = as_table(recs)  # row assembly reads typed columns, not dicts
     rows = []
@@ -331,13 +337,14 @@ def run_e02_work(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E2: work per client vs n (flat ⇔ Θ(n) total), plus power-law fit."""
     grid = ParameterGrid(n=list(ns), c=[c], d=[d])
     recs = execute(_saer_plan(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
-        kernel_threads=kernel_threads, spool=spool,
+        kernel_threads=kernel_threads, spool=spool, seed_mode=seed_mode,
     ), resume=resume)
     table = as_table(recs)
     rows = []
@@ -591,6 +598,7 @@ def run_e06_c_threshold(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E6: completion rate / speed as c sweeps from starvation to paper-scale.
 
@@ -621,6 +629,7 @@ def run_e06_c_threshold(
         kernel=kernel,
         kernel_threads=kernel_threads,
         spool=spool,
+        seed_mode=seed_mode,
     ), resume=resume)
     table = as_table(recs)
     rows = []
@@ -675,6 +684,7 @@ def run_e07_degree_sweep(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E7: completion vs degree, from o(log² n) up to the complete graph."""
     log2n = math.log2(n)
@@ -695,6 +705,7 @@ def run_e07_degree_sweep(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
             kernel_threads=kernel_threads, spool=_part_dir(spool, part),
+            seed_mode=seed_mode,
         ), resume=_part_dir(resume, part)))
         all_recs.extend(table)
         completed = table.column("completed").astype(bool)
@@ -737,6 +748,7 @@ def run_e08_almost_regular(
     kernel_threads: int | None = None,
     spool: str | None = None,
     resume: str | None = None,
+    seed_mode: str | None = None,
 ) -> tuple[list[dict], dict]:
     """E8: the ρ allowance — near-regular ratio sweep plus paper_extremal."""
     rows = []
@@ -770,6 +782,7 @@ def run_e08_almost_regular(
             grid, trials=trials, seed=seed, processes=processes, backend=backend,
             graph_cache=graph_cache, results=results, kernel=kernel,
             kernel_threads=kernel_threads, spool=_part_dir(spool, part),
+            seed_mode=seed_mode,
         ), resume=_part_dir(resume, part)))
         all_recs.extend(table)
         rows.append(
@@ -781,6 +794,7 @@ def run_e08_almost_regular(
         grid, trials=trials, seed=seed, processes=processes, backend=backend,
         graph_cache=graph_cache, results=results, kernel=kernel,
         kernel_threads=kernel_threads, spool=_part_dir(spool, len(ratios)),
+        seed_mode=seed_mode,
     ), resume=_part_dir(resume, len(ratios))))
     all_recs.extend(table)
     rows.append(_row("paper_extremal (√n clients, O(1) servers)", table))

@@ -52,7 +52,15 @@ protocol seed)`` pair — so a given (point, trial) sees bit-identical
 randomness under every backend × graph × dispatch × results
 combination.  ``mode="direct"`` hands the task seed straight to the
 record function (no pair spawn); it requires a pinned graph, since
-there is then no graph seed to build from.
+there is then no graph seed to build from.  ``mode="philox"`` keeps
+the pair spawn but switches the batched engine to the counter-based
+Philox lineage (:func:`repro.rng.philox_trial_words`): each trial's
+protocol stream becomes a pure function of its spawned words and the
+(round, slot) counter — its own golden lineage, deliberately NOT
+bit-compatible with the PCG64 modes — which unlocks the fused
+generate-at-consumption kernels and the ``cupy`` device gate.  It
+requires the batched backend (``work.batch`` must accept
+``seed_mode=``).
 """
 
 from __future__ import annotations
@@ -84,7 +92,7 @@ __all__ = [
 _BACKENDS = ("reference", "batched")
 _KERNELS = ("numpy", "cext", "numba", "python")
 _GRAPH_MODES = ("generate", "cached", "pinned")
-_SEED_MODES = ("pair", "direct")
+_SEED_MODES = ("pair", "direct", "philox")
 _EXEC_MODES = ("auto", "serial", "pool")
 _RESULT_MODES = ("records", "columnar")
 _RESULT_SINKS = ("memory", "spool")
@@ -184,7 +192,10 @@ class SeedSpec:
     supplies the task seeds explicitly (length = points × trials).
     ``mode="pair"`` (default) makes the worker split each task seed
     into a ``(graph, protocol)`` pair; ``mode="direct"`` hands it to
-    the record function unsplit (requires a pinned graph).
+    the record function unsplit (requires a pinned graph);
+    ``mode="philox"`` spawns pairs like ``"pair"`` but runs the
+    batched engine under the counter-based Philox lineage (a distinct
+    golden stream — see the module docstring).
     """
 
     root: object = None
@@ -368,6 +379,7 @@ class RunPlan:
             "points": len(self.points()),
             "trials": self.trials,
             "backend": self.backend.name,
+            "seed_mode": self.seeds.mode,
             "kernel": self.backend.kernel,
             "threads": self.backend.threads,
             "graph": self.graph.mode,
@@ -420,6 +432,20 @@ class RunPlan:
                 "seed mode 'direct' needs a pinned graph (there is no graph "
                 "seed to build one from)"
             )
+        if self.seeds.mode == "philox":
+            if self.backend.name != "batched":
+                raise PlanError(
+                    "seed mode 'philox' needs backend 'batched' (the counter "
+                    "lineage lives in the batched engine)"
+                )
+            if self.work.batch is not None and not _accepts_kw(
+                self.work.batch, "seed_mode"
+            ):
+                raise PlanError(
+                    "seed mode 'philox' is set but work.batch "
+                    f"({getattr(self.work.batch, '__name__', self.work.batch)!r}) "
+                    "does not accept a seed_mode= keyword"
+                )
         if self.seeds.seeds is not None and len(self.seeds.seeds) != self.n_tasks():
             raise PlanError(
                 f"explicit seeds: got {len(self.seeds.seeds)} for "
@@ -512,6 +538,7 @@ class BatchWorker:
         cache_dir: str | None = None,
         kernel: str | None = None,
         threads: int | None = None,
+        seed_mode: str | None = None,
     ):
         self.batch = batch
         self.pinned = pinned
@@ -520,6 +547,7 @@ class BatchWorker:
         self.cache_dir = cache_dir
         self.kernel = kernel
         self.threads = threads
+        self.seed_mode = seed_mode
 
     def __call__(self, *task):
         if self.pinned:
@@ -543,6 +571,8 @@ class BatchWorker:
             # thread budget reaches pool processes even though their
             # REPRO_KERNEL_THREADS environment half is reset to 1.
             kwargs["threads"] = self.threads
+        if self.seed_mode is not None:
+            kwargs["seed_mode"] = self.seed_mode
         return self.batch(graph, point, p_seeds, **kwargs)
 
 
@@ -578,7 +608,9 @@ def _capped_threads(plan: RunPlan) -> int | None:
 def _build_worker(plan: RunPlan):
     """The plan's canonical picklable worker + its sweep backend name."""
     pinned = plan.graph.mode == "pinned"
-    pair = plan.seeds.mode == "pair"
+    # philox keeps the (graph, protocol) pair spawn — only the protocol
+    # halves' interpretation changes, inside the engine
+    pair = plan.seeds.mode in ("pair", "philox")
     cache_dir = plan.graph.cache_dir if plan.graph.mode == "cached" else None
     if plan.backend.name == "batched":
         worker = BatchWorker(
@@ -589,6 +621,16 @@ def _build_worker(plan: RunPlan):
             cache_dir=cache_dir,
             kernel=plan.backend.kernel,
             threads=_capped_threads(plan),
+            # Pin the plan's seed mode whenever the batch fn can take it:
+            # a plan's bits must not depend on REPRO_SEED_MODE in the
+            # worker's environment.  Legacy batch fns without the keyword
+            # are only valid for non-philox modes (validate() enforces
+            # this), where the engine default already matches "pair".
+            seed_mode=(
+                plan.seeds.mode
+                if _accepts_kw(plan.work.batch, "seed_mode")
+                else None
+            ),
         )
         return worker, "batched"
     worker = PerTrialWorker(
