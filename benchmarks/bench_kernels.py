@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.batch import EngineBuffers, ResultBlock, available_kernels, run_trials_batched
+from repro.parallel.pool import available_cpus
 from repro.core.config import ProtocolParams
 from repro.graphs import random_regular_bipartite
 from repro.rng import spawn_seeds
@@ -186,7 +187,7 @@ def measure_kernels_mt(
         "workload": {
             "n": n, "R": n_trials, "c": c, "d": d, "degree": degree,
             "rounds_total": int(ref.rounds.sum()),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpus(),
         },
         "kernels_available": kernels,
         "thread_counts": thread_counts,
@@ -322,7 +323,7 @@ def main(argv=None) -> int:
 
     if args.threads:
         thread_counts = [int(t) for t in args.threads.split(",") if t.strip()]
-        cores = os.cpu_count() or 1
+        cores = available_cpus()
         print(f"cpu_count={cores}" + (" — thread sweep will be flat" if cores <= 1 else ""))
         report = measure_kernels_mt(
             n=n, n_trials=trials, thread_counts=thread_counts, repeats=repeats

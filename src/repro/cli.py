@@ -392,14 +392,15 @@ def main(argv=None) -> int:
     )
     sub.add_parser(
         "serve",
-        help="serve live SAER assignment traffic over NDJSON/TCP "
+        help="serve live SAER assignment traffic over NDJSON/TCP, optionally "
+        "sharded across --workers N processes "
         "(repro-lb serve --help for its options)",
     )
     sub.add_parser(
         "loadgen",
         help="replay an arrival trace against the serving layer, in-process "
-        "or over TCP, and write BENCH_serve.json "
-        "(repro-lb loadgen --help for its options)",
+        "(single service or a --workers N fleet) or over TCP, and write "
+        "BENCH_serve.json (repro-lb loadgen --help for its options)",
     )
     args = parser.parse_args(argv)
     try:

@@ -1196,6 +1196,29 @@ def run_e12_dynamic(
 # ---------------------------------------------------------------------------
 
 
+def _s1_row(trace_kind: str, run: dict, workers: int) -> dict:
+    """One S1 table row from a driven loadgen run's raw tallies."""
+    tally = run["tally"]
+    lat = run["latencies"]
+    return {
+        "trace": trace_kind,
+        "workers": workers,
+        "balls": run["submitted"],
+        "assigned": tally["assigned"],
+        "dropped": tally["dropped"],
+        "retried": tally["retry"],
+        "assign_rate": round(tally["assigned"] / run["submitted"], 4)
+        if run["submitted"]
+        else float("nan"),
+        "latency_p50": float(np.quantile(lat, 0.5)) if lat.size else float("nan"),
+        "latency_p95": float(np.quantile(lat, 0.95)) if lat.size else float("nan"),
+        "rounds": run["rounds"],
+        "assigned_per_s": round(tally["assigned"] / run["wall_s"], 1)
+        if run["wall_s"] > 0
+        else float("nan"),
+    }
+
+
 def run_s1_serve(
     n: int = 1024,
     c: float = 2.0,
@@ -1206,6 +1229,7 @@ def run_s1_serve(
     max_wait_rounds: int = 64,
     traces=("poisson", "hotspot"),
     seed=2024,
+    fleet_workers: int = 2,
 ) -> tuple[list[dict], dict]:
     """S1: replay arrival traces through the live serving stack.
 
@@ -1220,11 +1244,18 @@ def run_s1_serve(
     ``max_wait_rounds`` policy sheds the excess as ``Retry`` instead of
     queueing it forever — the request/response behaviours the offline
     simulator has no analogue for.
+
+    With ``fleet_workers >= 2`` a final row replays the poisson trace
+    through the multi-process :class:`~repro.serve.fleet.FleetService`
+    (``workers`` column > 1) — same offered load, servers sharded
+    across worker processes, so the table shows the fleet's accounting
+    staying consistent with the single-process rows.
     """
-    from ..serve import SaerService, ServeConfig, ServingState
+    from ..serve import FleetConfig, FleetService, SaerService, ServeConfig, ServingState
     from ..serve.loadgen import make_arrivals, run_inprocess, sample_trace
 
-    g_seed, t_seed, *p_seeds = np.random.SeedSequence(seed).spawn(2 + len(traces))
+    g_seed, t_seed, *p_seeds = np.random.SeedSequence(seed).spawn(3 + len(traces))
+    fleet_seed = p_seeds.pop()
     graph = build_point_graph(
         {"family": "trust", "n": n, "degree": _regular_degree(n)}, g_seed
     )
@@ -1242,26 +1273,24 @@ def run_s1_serve(
             make_arrivals(trace_kind, rate), n, rounds, t_seed
         )
         run = run_inprocess(service, trace)
-        tally = run["tally"]
-        lat = run["latencies"]
-        rows.append(
-            {
-                "trace": trace_kind,
-                "balls": run["submitted"],
-                "assigned": tally["assigned"],
-                "dropped": tally["dropped"],
-                "retried": tally["retry"],
-                "assign_rate": round(tally["assigned"] / run["submitted"], 4)
-                if run["submitted"]
-                else float("nan"),
-                "latency_p50": float(np.quantile(lat, 0.5)) if lat.size else float("nan"),
-                "latency_p95": float(np.quantile(lat, 0.95)) if lat.size else float("nan"),
-                "rounds": run["rounds"],
-                "assigned_per_s": round(tally["assigned"] / run["wall_s"], 1)
-                if run["wall_s"] > 0
-                else float("nan"),
-            }
+        rows.append(_s1_row(trace_kind, run, workers=1))
+    if fleet_workers >= 2:
+        fleet = FleetService(
+            graph,
+            c,
+            d,
+            config=FleetConfig(
+                workers=fleet_workers, max_wait_rounds=max_wait_rounds
+            ),
+            recovery=recovery,
+            seed=fleet_seed,
         )
+        try:
+            trace = sample_trace(make_arrivals("poisson", rate), n, rounds, t_seed)
+            run = run_inprocess(fleet, trace)
+        finally:
+            fleet.close()
+        rows.append(_s1_row("poisson", run, workers=fleet_workers))
     meta = {
         "n": n,
         "c": c,
@@ -1270,6 +1299,7 @@ def run_s1_serve(
         "recovery": recovery,
         "max_wait_rounds": max_wait_rounds,
         "kernel": kernel_name,
+        "fleet_workers": fleet_workers,
     }
     return rows, meta
 

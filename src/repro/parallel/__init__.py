@@ -27,11 +27,12 @@ shared-memory mapping — instead of pickling the graph into every task
 """
 
 from .aggregate import ResultTable, aggregate_records, as_table, assemble_blocks, summarize
-from .pool import WorkerState, map_parallel, monte_carlo, worker_state
+from .pool import WorkerState, available_cpus, map_parallel, monte_carlo, worker_state
 from .shared import SharedGraph, current_task_graph, graph_context
 from .sweep import ParameterGrid, run_sweep
 
 __all__ = [
+    "available_cpus",
     "map_parallel",
     "monte_carlo",
     "ParameterGrid",

@@ -68,7 +68,25 @@ from ..rng import spawn_seeds
 from .aggregate import ResultTable
 from .shared import current_task_graph, graph_context
 
-__all__ = ["map_parallel", "monte_carlo", "default_processes", "worker_state", "WorkerState"]
+__all__ = [
+    "map_parallel", "monte_carlo", "available_cpus", "default_processes",
+    "worker_state", "WorkerState",
+]
+
+
+def available_cpus() -> int:
+    """Cores this process may actually run on, at least 1.
+
+    ``os.cpu_count()`` reports the machine; a container pinned to 2 of
+    64 cores (cgroup cpusets, taskset, SLURM) still sees 64 from it and
+    every sizing heuristic oversubscribes 32×.  The scheduler affinity
+    mask is the real budget — fall back to ``cpu_count`` only where the
+    call does not exist (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -107,7 +125,7 @@ def worker_state() -> WorkerState:
 
 def default_processes(n_tasks: int) -> int:
     """All-but-two cores, at least 1, never more than the task count."""
-    cores = os.cpu_count() or 1
+    cores = available_cpus()
     return max(1, min(n_tasks, cores - 2 if cores > 2 else 1))
 
 

@@ -268,13 +268,15 @@ def _warn_oversubscribed(processes: int | None) -> None:
     on production sweeps it usually means a copy-pasted process count,
     so the first offending plan gets a heads-up.
     """
+    from .parallel.pool import available_cpus
+
     global _OVERSUB_WARNED
-    cores = os.cpu_count() or 1
+    cores = available_cpus()
     if _OVERSUB_WARNED or processes is None or processes <= cores:
         return
     _OVERSUB_WARNED = True
     warnings.warn(
-        f"ExecSpec.processes={processes} exceeds os.cpu_count()={cores}; "
+        f"ExecSpec.processes={processes} exceeds available cpus={cores}; "
         "workers will time-slice cores (this warning is shown once)",
         stacklevel=3,
     )
@@ -593,7 +595,7 @@ def _capped_threads(plan: RunPlan) -> int | None:
     threads = plan.backend.threads
     if threads is None or threads <= 1:
         return threads
-    from .parallel.pool import default_processes
+    from .parallel.pool import available_cpus, default_processes
 
     nproc = plan.execution.resolve_processes()
     if nproc is None:
@@ -601,7 +603,7 @@ def _capped_threads(plan: RunPlan) -> int | None:
         nproc = default_processes(len(plan.points()))
     if nproc <= 1:
         return threads
-    cores = os.cpu_count() or 1
+    cores = available_cpus()
     return max(1, min(threads, cores // nproc))
 
 

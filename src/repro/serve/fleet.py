@@ -1,0 +1,852 @@
+"""Multi-process sharded serving: a fleet of :class:`SaerService` workers.
+
+:class:`FleetService` duck-types the single-process service — same
+``submit`` / ``run_round`` / ``drain`` / ``stats`` surface — but the
+server set is split across ``workers`` OS processes by a
+:class:`~repro.serve.router.ShardMap`.  Each worker owns a
+shard-restricted :class:`~repro.serve.state.ServingState` (shard-local
+server ids, all clients global) and runs the full per-shard protocol —
+burn clocks, epoch recovery, health quarantine, fault injection —
+while the parent only routes balls and merges outcomes.
+
+Round protocol (lock-step, one pipe per shard)::
+
+    parent → worker : ("round", owners, tags, want_checkpoint)
+    worker → parent : ("ok", packed_outcomes, info, checkpoint|None)
+    parent → worker : ("metrics",)          → ("metrics", state_dict)
+    parent → worker : ("stop",)             → ("stopped", state_dict)
+
+``packed_outcomes`` is ``{"a": (tags, servers, latencies), "r":
+{reason: tags}, "d": {reason: tags}}`` — parallel primitive lists, not
+per-ball objects, so a round's reply pickles in one pass and the fleet
+stays kernel-bound instead of pipe-bound on multi-core hosts.
+
+Every live shard gets a ``round`` message every fleet round (an empty
+one when no balls landed there) so burn/heal clocks advance in step.
+
+Accounting invariants (pinned by ``tests/test_serve_fleet.py``):
+
+* A ball is dropped at the router iff its client is isolated in the
+  *full* graph — identical to single-process ``admit_balls``.
+* Shard choice is sub-degree-proportional over live shards, and the
+  worker draws uniformly inside the shard, so the composed destination
+  law equals the single-process uniform-over-neighborhood draw.
+* ``submitted == assigned + retried + dropped`` at the fleet level;
+  on a fully drained fault-free trace the totals match the
+  single-process run exactly.
+
+Failure handling: a shard that dies mid-round (crash, or a
+``FaultSchedule`` SIGKILL via ``process_faults``) has all its
+outstanding balls resolved as ``Retry("unavailable")``; a shard-level
+:class:`~repro.faults.HealthTracker` quarantines it, the router routes
+around it (dead columns zeroed before the cumulative sub-degree), and
+on readmission the shard is respawned from its last pipelined
+checkpoint.  Fleet metrics merge per-shard registries bucket-wise via
+:func:`~repro.serve.metrics.merge_registry_states`, plus router-side
+``fleet_*`` series (disjoint names — no double counting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServeError
+from ..faults.health import HealthPolicy, HealthTracker
+from ..faults.spec import FaultSchedule
+from ..graphs.bipartite import BipartiteGraph
+from ..parallel.shared import SharedGraph
+from .metrics import MetricsRegistry, merge_registry_states
+from .protocol import (
+    REASON_ISOLATED,
+    REASON_SHUTDOWN,
+    REASON_UNAVAILABLE,
+    Assigned,
+    Dropped,
+    Retry,
+)
+from .router import ShardMap
+from .router import choose_shards as _choose_shards
+from .service import BallFuture, SaerService, ServeConfig
+from .state import ServingState
+
+__all__ = ["FleetConfig", "FleetService", "shard_worker_main"]
+
+#: Shard-granularity health default: one missed reply is decisive (a
+#: dead process never recovers on its own), short probation.
+SHARD_HEALTH = HealthPolicy(
+    fail_streak=1, quarantine_rounds=16, max_quarantine_fraction=0.5
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Topology and queue-policy knobs of :class:`FleetService`.
+
+    ``workers`` / ``strategy`` / ``vnodes`` / ``map_seed``
+        The :class:`~repro.serve.router.ShardMap` parameters (both the
+        router and every worker rebuild the same map from these).
+    ``tick`` / ``max_batch`` / ``max_wait_rounds``
+        Same meaning as :class:`~repro.serve.service.ServeConfig`;
+        ``max_wait_rounds`` is enforced inside each worker.
+    ``checkpoint_every``
+        Every this many fleet rounds each worker pipelines a checkpoint
+        back with its reply; the latest one seeds the respawn after a
+        shard quarantine (0 disables — respawns start fresh).
+    ``reply_timeout``
+        Seconds the router waits for a shard's round reply before
+        declaring the shard failed (a dead process fails fast via EOF;
+        this bounds *stalls*).
+    ``shard_health``
+        :class:`HealthPolicy` applied at shard granularity (one
+        "server" per worker process).
+    ``server_health``
+        Optional per-server policy forwarded into each worker's
+        :class:`~repro.serve.service.ServeConfig`.
+    ``start_method``
+        multiprocessing start method; ``None`` picks ``fork`` when
+        available (zero-copy spec inheritance) else the default.
+    """
+
+    workers: int = 2
+    strategy: str = "hash"
+    vnodes: int = 64
+    map_seed: int = 0
+    tick: float = 0.05
+    max_batch: int = 4096
+    max_wait_rounds: int | None = None
+    checkpoint_every: int = 32
+    reply_timeout: float = 60.0
+    shard_health: HealthPolicy = field(default_factory=lambda: SHARD_HEALTH)
+    server_health: HealthPolicy | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1; got {self.workers}")
+        if self.tick <= 0:
+            raise ServeError("tick must be > 0 seconds")
+        if self.max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if self.max_wait_rounds is not None and self.max_wait_rounds < 1:
+            raise ServeError("max_wait_rounds must be >= 1 when given")
+        if self.checkpoint_every < 0:
+            raise ServeError("checkpoint_every must be >= 0")
+        if self.reply_timeout <= 0:
+            raise ServeError("reply_timeout must be > 0 seconds")
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _shard_faults(schedule, graph, smap, shard, sub):
+    """Materialize ``schedule`` globally, then translate to shard-local ids.
+
+    Member sets must be drawn over the *global* id space — every worker
+    materializes the same schedule over the same sizes and keeps only
+    its slice — or shard k's "5% crashed" would name different servers
+    than the single-process run.  Server-kind members are filtered to
+    the shard and re-indexed; client-kind members pass through (clients
+    keep global ids in the subgraph).
+    """
+    if schedule is None:
+        return None
+    gmat = schedule.materialize(graph.n_clients, graph.n_servers)
+    lmat = schedule.materialize(sub.n_clients, sub.n_servers)
+    members = []
+    for spec, m in zip(schedule.specs, gmat.members):
+        if spec.is_server_kind:
+            mine = m[smap.shard_of[m] == shard]
+            members.append(smap.local_of[mine])
+        else:
+            members.append(m.copy())
+    lmat.members = members
+    return lmat
+
+
+def shard_worker_main(conn, spec: dict) -> None:  # pragma: no cover - subprocess
+    """Entry point of one shard worker (top-level for spawn picklability).
+
+    Builds the shard-restricted service from ``spec``, then serves
+    lock-step round messages on ``conn`` until ``stop`` or EOF.
+    """
+    graph_src = spec["graph"]
+    graph = graph_src.graph if isinstance(graph_src, SharedGraph) else graph_src
+    shard = spec["shard"]
+    smap = ShardMap(
+        graph.n_servers,
+        spec["n_shards"],
+        strategy=spec["strategy"],
+        seed=spec["map_seed"],
+        vnodes=spec["vnodes"],
+    )
+    sub, _members = smap.subgraph(graph, shard)
+    faults = _shard_faults(spec["faults"], graph, smap, shard, sub)
+    config = ServeConfig(
+        max_batch=1 << 30,  # the router batches; never fire early
+        max_wait_rounds=spec["max_wait_rounds"],
+        health=spec["server_health"],
+    )
+    if spec["checkpoint"] is not None:
+        service = SaerService.from_checkpoint(
+            spec["checkpoint"], config, kernel=spec["kernel"]
+        )
+        # from_checkpoint re-materializes faults over *local* sizes,
+        # drawing the wrong member sets; re-apply the translated ones.
+        if service.state.faults is not None and faults is not None:
+            service.state.faults.members = faults.members
+    else:
+        rng = np.random.Generator(np.random.Philox(spec["seed"]))
+        state = ServingState(
+            sub,
+            spec["c"],
+            spec["d"],
+            recovery=spec["recovery"],
+            seed=rng,
+            kernel=spec["kernel"],
+            track_tags=True,
+            faults=faults,
+        )
+        service = SaerService(state, config)
+
+    def new_box():
+        return {"a": ([], [], []), "r": {}, "d": {}}
+
+    box = new_box()
+
+    def watch(fut, rtag):
+        # `box` is read at resolution time (a ball may wait several
+        # rounds), so the callback always lands in the current round's
+        # reply, never the one it was submitted in.
+        def cb(f):
+            out = f.result()
+            kind = out.outcome
+            if kind == "assigned":
+                a_tags, a_servers, a_lats = box["a"]
+                a_tags.append(rtag)
+                a_servers.append(out.server)
+                a_lats.append(out.latency_rounds)
+            elif kind == "retry":
+                box["r"].setdefault(out.reason, []).append(rtag)
+            else:
+                box["d"].setdefault(out.reason, []).append(rtag)
+
+        fut.add_done_callback(cb)
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        if op == "round":
+            owners, tags, want_ckpt = msg[1], msg[2], msg[3]
+            if owners.size:
+                # Group balls by owner so submit() is called once per
+                # (client, burst) instead of once per ball.
+                order = np.argsort(owners, kind="stable")
+                so = owners[order]
+                st = tags[order]
+                cuts = np.flatnonzero(np.diff(so)) + 1
+                starts = np.concatenate(([0], cuts))
+                ends = np.concatenate((cuts, [so.size]))
+                for s, e in zip(starts.tolist(), ends.tolist()):
+                    futs = service.submit(int(so[s]), e - s)
+                    for fut, rtag in zip(futs, st[s:e].tolist()):
+                        watch(fut, int(rtag))
+            service.run_round()
+            state = service.state
+            info = {
+                "round": state.round_no,
+                "backlog": state.backlog,
+                "n_servers": state.n_servers,
+                "burned": state.burned_count,
+                "quarantined": state.quarantined_count,
+                "assigned_total": state.assigned_total,
+                "dropped": state.dropped,
+                "byz_absorbed": state.byz_absorbed,
+                "kernel": state.kernel_name,
+            }
+            ckpt = service.checkpoint() if want_ckpt else None
+            sent, box = box, new_box()
+            conn.send(("ok", sent, info, ckpt))
+        elif op == "metrics":
+            conn.send(("metrics", service.metrics.state_dict()))
+        elif op == "stop":
+            try:
+                conn.send(("stopped", service.metrics.state_dict()))
+            except (OSError, ValueError):
+                pass
+            break
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Router / supervisor
+# ---------------------------------------------------------------------------
+
+
+def _default_start_method() -> str | None:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else None
+
+
+class FleetService:
+    """Supervisor + consistent-hash router over ``workers`` shard processes.
+
+    Duck-types :class:`SaerService` (``submit`` / ``run_round`` /
+    ``pending`` / ``in_flight`` / ``start`` / ``drain`` / ``shutdown``
+    / ``stats``) so the TCP front end and the load generator drive
+    either interchangeably.  Additionally offers :meth:`close` (also a
+    context manager) — worker processes are real resources.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        c: float,
+        d: int,
+        *,
+        config: FleetConfig | None = None,
+        recovery: int | None = None,
+        seed=None,
+        kernel: str | None = None,
+        faults: FaultSchedule | None = None,
+        process_faults: FaultSchedule | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or FleetConfig()
+        cfg = self.config
+        if process_faults is not None and not process_faults.server_kinds_only:
+            raise ServeError(
+                "process_faults must use server kinds (crash/stall) — each "
+                "'server' is one shard process"
+            )
+        self.n_clients = graph.n_clients
+        self.n_servers = graph.n_servers
+        self.workers = cfg.workers
+        self.shard_map = ShardMap(
+            graph.n_servers,
+            cfg.workers,
+            strategy=cfg.strategy,
+            seed=cfg.map_seed,
+            vnodes=cfg.vnodes,
+        )
+        self._sub_deg = self.shard_map.sub_degrees(graph)
+        self._deg = self._sub_deg.sum(axis=1)
+        self._live = np.ones(cfg.workers, dtype=bool)
+        self._recompute_cum()
+
+        ss = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        children = ss.spawn(cfg.workers + 1)
+        self._shard_seeds = children[: cfg.workers]
+        self.rng = np.random.Generator(np.random.Philox(children[-1]))
+
+        self._c = c
+        self._d = d
+        self._recovery = recovery
+        self._kernel = kernel
+        self._faults = faults
+        self._pmat = (
+            process_faults.materialize(0, cfg.workers)
+            if process_faults is not None
+            else None
+        )
+
+        self._tags = itertools.count()
+        self._pending_owners: list[int] = []
+        self._pending_tags: list[int] = []
+        self._futures: dict[int, BallFuture] = {}
+        self._outstanding: list[set[int]] = [set() for _ in range(cfg.workers)]
+        self._health = HealthTracker(cfg.shard_health, cfg.workers)
+        self._round = 0
+        self._assigned = 0
+        self._dropped = 0
+        self._accepting = True
+        self._closed = False
+        self._kick = asyncio.Event()
+        self._ticker: asyncio.Task | None = None
+        self._ckpts: dict[int, dict] = {}
+        self._info: list[dict | None] = [None] * cfg.workers
+
+        self.metrics = registry or MetricsRegistry()
+        m = self.metrics
+        self._m_requests = m.counter("fleet_requests_total", "assign requests received")
+        self._m_balls = m.counter("fleet_balls_total", "balls submitted")
+        self._m_assigned = m.counter("fleet_assigned_total", "balls assigned across shards")
+        self._m_retried = m.counter("fleet_retried_total", "balls resolved as retry")
+        self._m_dropped = m.counter("fleet_dropped_total", "balls dropped (unservable)")
+        self._m_rounds = m.counter("fleet_rounds_total", "fleet rounds executed")
+        self._m_unroutable = m.counter(
+            "fleet_unroutable_total", "balls whose every candidate shard was down"
+        )
+        self._m_shard_failures = m.counter(
+            "fleet_shard_failures_total", "rounds a shard failed to reply"
+        )
+        self._m_kills = m.counter(
+            "fleet_shard_kills_total", "shard processes killed by fault injection"
+        )
+        self._m_q_events = m.counter(
+            "fleet_quarantine_events_total", "shards sent to quarantine"
+        )
+        self._m_readmitted = m.counter(
+            "fleet_readmitted_total", "shards readmitted after quarantine"
+        )
+        self._m_respawns = m.counter(
+            "fleet_respawns_total", "shard processes respawned"
+        )
+        self._m_pending = m.gauge("fleet_pending", "balls queued for the next round")
+        self._m_live = m.gauge(
+            "fleet_live_shards", "shards currently live", merge="max"
+        )
+        self._m_live.set(cfg.workers)
+
+        self._ctx = multiprocessing.get_context(
+            cfg.start_method or _default_start_method()
+        )
+        self._shared: SharedGraph | None = None
+        payload: BipartiteGraph | SharedGraph = graph
+        if cfg.workers > 1:
+            self._shared = SharedGraph.share(graph)
+            payload = self._shared
+        self._payload_graph = payload
+        self._procs: list = [None] * cfg.workers
+        self._conns: list = [None] * cfg.workers
+        try:
+            for k in range(cfg.workers):
+                self._spawn(k)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- process management ------------------------------------------------
+
+    def _spawn(self, k: int, checkpoint: dict | None = None) -> None:
+        cfg = self.config
+        spec = {
+            "shard": k,
+            "n_shards": self.workers,
+            "graph": self._payload_graph,
+            "strategy": cfg.strategy,
+            "vnodes": cfg.vnodes,
+            "map_seed": cfg.map_seed,
+            "c": self._c,
+            "d": self._d,
+            "recovery": self._recovery,
+            "kernel": self._kernel,
+            "max_wait_rounds": cfg.max_wait_rounds,
+            "server_health": cfg.server_health,
+            "seed": self._shard_seeds[k],
+            "faults": self._faults,
+            "checkpoint": checkpoint,
+        }
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child, spec),
+            daemon=True,
+            name=f"repro-shard-{k}",
+        )
+        proc.start()
+        child.close()
+        self._procs[k] = proc
+        self._conns[k] = parent
+
+    def _recompute_cum(self) -> None:
+        self._cum_live = np.cumsum(self._sub_deg * self._live[None, :], axis=1)
+
+    def _recv(self, k: int):
+        conn = self._conns[k]
+        try:
+            if not conn.poll(self.config.reply_timeout):
+                return None
+            return conn.recv()
+        except (EOFError, OSError):
+            return None
+
+    def _fail_shard(self, k: int) -> None:
+        """Resolve everything outstanding on a dead/stalled shard as
+        ``Retry("unavailable")`` (late outcomes are ignored — the tag is
+        gone from the futures table)."""
+        stranded = self._outstanding[k]
+        if stranded:
+            arr = np.fromiter(stranded, dtype=np.int64)
+            self._m_retried.inc(arr.size)
+            self._resolve(arr, Retry(REASON_UNAVAILABLE))
+            stranded.clear()
+        proc = self._procs[k]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+
+    def _quarantine(self, k: int) -> None:
+        self._live[k] = False
+        self._m_q_events.inc()
+        self._fail_shard(k)
+        proc = self._procs[k]
+        if proc is not None:
+            proc.join(timeout=1.0)
+        conn = self._conns[k]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._conns[k] = None
+        self._recompute_cum()
+
+    def _readmit(self, k: int) -> None:
+        self._spawn(k, checkpoint=self._ckpts.get(k))
+        self._live[k] = True
+        self._m_readmitted.inc()
+        self._m_respawns.inc()
+        self._recompute_cum()
+
+    def _apply_process_faults(self, t: int) -> None:
+        if self._pmat is None:
+            return
+        ov = self._pmat.server_overlay(t)
+        if ov is None:
+            return
+        for k in ov[0].tolist():
+            proc = self._procs[k]
+            if proc is not None and proc.is_alive() and self._live[k]:
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    self._m_kills.inc()
+                except ProcessLookupError:  # pragma: no cover - lost race
+                    pass
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Balls queued for the next fleet round."""
+        return len(self._pending_tags)
+
+    @property
+    def in_flight(self) -> int:
+        """Balls with unresolved futures (queued + on shards)."""
+        return len(self._futures)
+
+    def submit(self, client: int, balls: int = 1) -> list[BallFuture]:
+        """Queue ``balls`` at ``client``; one future per ball."""
+        if balls < 1:
+            raise ServeError(f"balls must be >= 1; got {balls}")
+        if not (0 <= client < self.n_clients):
+            raise ServeError(
+                f"client must be in [0, {self.n_clients}); got {client}"
+            )
+        self._m_requests.inc()
+        self._m_balls.inc(balls)
+        futs = [BallFuture() for _ in range(balls)]
+        if not self._accepting or self._closed:
+            self._m_retried.inc(balls)
+            for fut in futs:
+                fut.set_result(Retry(REASON_SHUTDOWN))
+            return futs
+        for fut in futs:
+            tag = next(self._tags)
+            self._pending_owners.append(client)
+            self._pending_tags.append(tag)
+            self._futures[tag] = fut
+        if len(self._pending_tags) >= self.config.max_batch:
+            self._kick.set()
+        return futs
+
+    def _resolve(self, tags: np.ndarray, outcome) -> None:
+        futures = self._futures
+        for tag in tags.tolist():
+            fut = futures.pop(int(tag), None)
+            if fut is not None and not fut.done():
+                fut.set_result(outcome)
+
+    # -- the fleet round ---------------------------------------------------
+
+    def run_round(self) -> int:
+        """Route the queued batch, advance every live shard one round.
+
+        Returns balls assigned this round (across all shards).
+        """
+        if self._closed:
+            raise ServeError("FleetService is closed")
+        t = self._round
+        self._round += 1
+        self._apply_process_faults(t)
+
+        owners = np.array(self._pending_owners, dtype=np.int64)
+        tags = np.array(self._pending_tags, dtype=np.int64)
+        self._pending_owners.clear()
+        self._pending_tags.clear()
+
+        # Router-side drop: isolated in the FULL graph — same rule as
+        # single-process admit_balls, independent of shard liveness.
+        if owners.size:
+            isolated = self._deg[owners] == 0
+            if isolated.any():
+                n_iso = int(isolated.sum())
+                self._m_dropped.inc(n_iso)
+                self._dropped += n_iso
+                self._resolve(tags[isolated], Dropped(REASON_ISOLATED))
+                owners = owners[~isolated]
+                tags = tags[~isolated]
+
+        shard = np.empty(0, dtype=np.int64)
+        if owners.size:
+            u = self.rng.random(owners.size)
+            shard = _choose_shards(owners, u, self._cum_live)
+            unroutable = shard >= self.workers
+            if unroutable.any():
+                n_u = int(unroutable.sum())
+                self._m_retried.inc(n_u)
+                self._m_unroutable.inc(n_u)
+                self._resolve(tags[unroutable], Retry(REASON_UNAVAILABLE))
+                keep = ~unroutable
+                owners = owners[keep]
+                tags = tags[keep]
+                shard = shard[keep]
+
+        every = self.config.checkpoint_every
+        want_ckpt = bool(every) and (t + 1) % every == 0
+        live_idx = np.flatnonzero(self._live).tolist()
+        sent_ok = np.zeros(self.workers, dtype=bool)
+        replied = np.zeros(self.workers, dtype=bool)
+        for k in live_idx:
+            mask = shard == k
+            k_tags = tags[mask]
+            try:
+                self._conns[k].send(("round", owners[mask], k_tags, want_ckpt))
+            except (OSError, ValueError, BrokenPipeError):
+                # Balls meant for k are still in outstanding accounting
+                # below via the k_tags update — add them first so the
+                # failure path retries them.
+                self._outstanding[k].update(k_tags.tolist())
+                continue
+            sent_ok[k] = True
+            self._outstanding[k].update(k_tags.tolist())
+
+        assigned = 0
+        for k in live_idx:
+            if not sent_ok[k]:
+                continue
+            reply = self._recv(k)
+            if reply is None:
+                continue
+            _op, packed, info, ckpt = reply
+            replied[k] = True
+            self._info[k] = info
+            if ckpt is not None:
+                self._ckpts[k] = ckpt
+            out_k = self._outstanding[k]
+            futures = self._futures
+            a_tags, a_servers, a_lats = packed["a"]
+            for rtag, server, lat in zip(a_tags, a_servers, a_lats):
+                out_k.discard(rtag)
+                fut = futures.pop(rtag, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(Assigned(server, lat))
+            assigned += len(a_tags)
+            for reason, rtags in packed["r"].items():
+                outcome = Retry(reason)
+                self._m_retried.inc(len(rtags))
+                for rtag in rtags:
+                    out_k.discard(rtag)
+                    fut = futures.pop(rtag, None)
+                    if fut is not None and not fut.done():
+                        fut.set_result(outcome)
+            for reason, rtags in packed["d"].items():
+                outcome = Dropped(reason)
+                self._m_dropped.inc(len(rtags))
+                self._dropped += len(rtags)
+                for rtag in rtags:
+                    out_k.discard(rtag)
+                    fut = futures.pop(rtag, None)
+                    if fut is not None and not fut.done():
+                        fut.set_result(outcome)
+
+        self._assigned += assigned
+        if assigned:
+            self._m_assigned.inc(assigned)
+
+        for k in live_idx:
+            if not replied[k]:
+                self._m_shard_failures.inc()
+                self._fail_shard(k)
+
+        # Shard-granularity health: every live shard we messaged is one
+        # unit of evidence; a reply is an accept.
+        received = np.zeros(self.workers, dtype=np.int64)
+        received[np.flatnonzero(self._live)] = 1
+        to_q, to_r = self._health.observe(received, replied.astype(np.int64))
+        for k in to_q.tolist():
+            self._quarantine(k)
+        for k in to_r.tolist():
+            self._readmit(k)
+
+        self._m_rounds.inc()
+        self._m_pending.set(self.pending)
+        self._m_live.set(int(self._live.sum()))
+        return assigned
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the tick loop (idempotent)."""
+        if self._ticker is None or self._ticker.done():
+            self._accepting = True
+            self._ticker = asyncio.get_running_loop().create_task(self._tick_loop())
+
+    async def _tick_loop(self) -> None:
+        while self._accepting:
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=self.config.tick)
+            except asyncio.TimeoutError:
+                pass
+            self._kick.clear()
+            if not self._accepting:
+                break
+            self.run_round()
+
+    async def drain(self, max_rounds: int = 10_000) -> int:
+        """Run rounds back-to-back until no ball is in flight."""
+        rounds = 0
+        while self._futures and rounds < max_rounds:
+            self.run_round()
+            rounds += 1
+            if rounds % 64 == 0:
+                await asyncio.sleep(0)
+        return rounds
+
+    async def shutdown(self, final_rounds: int = 0) -> None:
+        """Stop ticking, optionally run extra rounds, then close the fleet."""
+        self._accepting = False
+        self._kick.set()
+        if self._ticker is not None:
+            try:
+                await self._ticker
+            except asyncio.CancelledError:  # pragma: no cover - defensive
+                pass
+            self._ticker = None
+        for _ in range(final_rounds):
+            if not self._futures:
+                break
+            self.run_round()
+        self.close()
+
+    def close(self) -> None:
+        """Stop workers, resolve leftovers as ``Retry("shutdown")``, free
+        the shared graph.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._accepting = False
+        if self._futures:
+            leftovers = np.fromiter(self._futures, dtype=np.int64)
+            self._m_retried.inc(leftovers.size)
+            self._resolve(leftovers, Retry(REASON_SHUTDOWN))
+        self._pending_owners.clear()
+        self._pending_tags.clear()
+        for k in range(self.workers):
+            conn = self._conns[k]
+            proc = self._procs[k]
+            if (
+                conn is not None
+                and proc is not None
+                and self._live[k]
+                and proc.is_alive()
+            ):
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                self._procs[k] = None
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                self._conns[k] = None
+        if self._shared is not None:
+            self._shared.unlink()
+            self._shared = None
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- observability -----------------------------------------------------
+
+    def fleet_metrics(self) -> MetricsRegistry:
+        """Merged view: every live shard's registry + the router's own.
+
+        Counters sum, gauges follow their declared merge semantics,
+        histograms merge bucket-wise — see
+        :func:`~repro.serve.metrics.merge_registry_states`.
+        """
+        states = []
+        if not self._closed:
+            for k in np.flatnonzero(self._live).tolist():
+                conn = self._conns[k]
+                try:
+                    conn.send(("metrics",))
+                    if conn.poll(self.config.reply_timeout):
+                        msg = conn.recv()
+                        if msg and msg[0] == "metrics":
+                            states.append(msg[1])
+                except (OSError, EOFError, ValueError, BrokenPipeError):
+                    continue
+        merged = merge_registry_states(states)
+        merged.merge_state(self.metrics.state_dict())
+        return merged
+
+    def stats(self) -> dict:
+        """One-shot fleet snapshot (same shape as ``SaerService.stats``
+        plus ``workers`` / shard fields)."""
+        infos = [i for i in self._info if i]
+        backlog = sum(i["backlog"] for i in infos)
+        burned = sum(i["burned"] for i in infos)
+        quarantined = sum(i["quarantined"] for i in infos)
+        shard_servers = sum(i["n_servers"] for i in infos)
+        merged = self.fleet_metrics()
+        return {
+            "round": self._round,
+            "backlog": backlog,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
+            "burned_fraction": burned / shard_servers if shard_servers else 0.0,
+            "quarantined": quarantined,
+            "quarantined_shards": int(self.workers - self._live.sum()),
+            "live_shards": int(self._live.sum()),
+            "dropped_total": self._dropped,
+            "assigned_total": self._assigned,
+            "byz_absorbed": sum(i["byz_absorbed"] for i in infos),
+            "n_clients": self.n_clients,
+            "n_servers": self.n_servers,
+            "workers": self.workers,
+            "kernel": infos[0]["kernel"] if infos else None,
+            "metrics": merged.snapshot(),
+        }

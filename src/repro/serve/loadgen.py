@@ -16,7 +16,11 @@ Three modes:
     :meth:`~repro.serve.service.SaerService.run_round` directly, repeat,
     then drain.  This measures the serving stack's real per-round cost
     (submission + micro-batch + kernel + future resolution) at full
-    speed — the throughput figure ``BENCH_serve.json`` records.
+    speed — the throughput figure ``BENCH_serve.json`` records.  With
+    ``--workers N`` the service is a multi-process
+    :class:`~repro.serve.fleet.FleetService` sharding the servers
+    across N workers; ``--check-conservation`` then gates on the
+    fleet-level accounting identity.
 ``tcp``
     Open-loop NDJSON client against a running ``repro-lb serve``:
     writes each round's requests, sleeps one tick, never waits for
@@ -64,6 +68,7 @@ from ..errors import ServeError
 from ..faults import FaultSchedule, FaultSpec, HealthPolicy
 from ..graphs.families import build_point_graph
 from ..rng import make_rng
+from .fleet import FleetConfig, FleetService
 from .protocol import decode_response, encode_response
 from .service import SaerService, ServeConfig, serve_tcp
 from .state import ServingState
@@ -530,6 +535,18 @@ def build_report(mode: str, config: dict, trace_meta: dict, run: dict) -> dict:
             "balls_per_s": round(submitted / wall, 1) if wall > 0 else math.nan,
             "rounds_per_s": round(run["rounds"] / wall, 1) if wall > 0 else math.nan,
         },
+        "conservation": {
+            # Fleet-critical invariant: every submitted ball resolves to
+            # exactly one of assigned/retry/dropped — a lost future
+            # (e.g. a routing bug eating a ball) shows up as unresolved.
+            "resolved": assigned + tally["retry"] + tally["dropped"],
+            "unresolved": tally["unresolved"],
+            "service_assigned_total": run["stats"].get("assigned_total"),
+            "conserved": (
+                tally["unresolved"] == 0
+                and assigned + tally["retry"] + tally["dropped"] == submitted
+            ),
+        },
         "service": run["stats"],
     }
 
@@ -543,6 +560,7 @@ def check_report(
     max_retry_rate: float | None = None,
     max_p99_retries: float | None = None,
     max_lost: int | None = None,
+    check_conservation: bool = False,
 ) -> list[str]:
     """The CI gate: list of violated bounds (empty = pass).
 
@@ -550,9 +568,19 @@ def check_report(
     bounds resubmissions per submitted ball, ``max_p99_retries`` bounds
     the p99 of end-to-end latency *including* backoff rounds, and
     ``max_lost`` bounds balls that ran out of attempts (``0`` asserts no
-    ball was ever lost).
+    ball was ever lost).  ``check_conservation`` asserts the accounting
+    identity ``assigned + retry + dropped == submitted`` with zero
+    unresolved futures — the invariant the sharded fleet must preserve.
     """
     failures = []
+    if check_conservation:
+        cons = report.get("conservation", {})
+        if not cons.get("conserved", False):
+            failures.append(
+                "accounting not conserved: resolved "
+                f"{cons.get('resolved')} of {report['totals'].get('submitted')} "
+                f"submitted, {cons.get('unresolved')} unresolved"
+            )
     if min_assign_rate is not None:
         rate = report["assignment_rate"]
         if not rate >= min_assign_rate:
@@ -611,6 +639,9 @@ def main(argv=None) -> int:
                         choices=("numpy", "cext", "numba", "python"))
     parser.add_argument("--seed", type=int, default=None, help="protocol RNG seed")
     parser.add_argument("--graph-seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the servers across this many worker "
+                             "processes (FleetService; inprocess mode only)")
     parser.add_argument("--max-batch", type=int, default=1 << 30,
                         help="service max_batch (driven mode never ticks)")
     parser.add_argument("--max-pending", type=int, default=None)
@@ -683,6 +714,9 @@ def main(argv=None) -> int:
                         help="allowed p99 latency including retries (rounds)")
     parser.add_argument("--max-lost", type=int, default=None,
                         help="allowed balls that exhausted all retry attempts")
+    parser.add_argument("--check-conservation", action="store_true",
+                        help="fail unless assigned+retry+dropped == submitted "
+                             "with zero unresolved futures")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -738,45 +772,78 @@ def main(argv=None) -> int:
         max_wait = args.max_wait_rounds
         if chaos and max_wait is None:
             max_wait = 8
-        state = ServingState(
-            graph,
-            args.c,
-            args.d,
-            recovery=args.recovery or None,
-            churn=RewireChurn(args.churn) if args.churn else None,
-            seed=args.seed,
-            kernel=args.kernel,
-            track_tags=True,
-            faults=faults,
-        )
-        service = SaerService(
-            state,
-            ServeConfig(
-                tick=args.tick if chaos else 0.05,
-                max_batch=args.max_batch,
-                max_pending=args.max_pending,
-                max_wait_rounds=max_wait,
-                snapshot_every=args.snapshot_every if args.snapshot_out else 0,
-                health=health,
-                brownout_threshold=args.brownout_threshold,
-                brownout_shed=args.brownout_shed,
-            ),
-        )
-        if args.snapshot_out:
-            from .metrics import ndjson_snapshot_hook
-
-            service.metrics.add_snapshot_hook(ndjson_snapshot_hook(args.snapshot_out))
-        trace = sample_trace(arrivals, graph.n_clients, args.rounds, args.trace_seed)
-        if chaos:
-            run = asyncio.run(
-                run_chaos(service, trace, args.tick, args.settle, retry=retry)
+        fleet = None
+        if args.workers > 1:
+            if chaos:
+                parser.error("--workers > 1 supports --mode inprocess only")
+            if args.churn or args.max_pending or args.brownout_threshold \
+                    or args.snapshot_out:
+                parser.error(
+                    "--workers > 1 does not support churn / max-pending / "
+                    "brownout / snapshot-out"
+                )
+            service = fleet = FleetService(
+                graph,
+                args.c,
+                args.d,
+                config=FleetConfig(
+                    workers=args.workers,
+                    max_batch=args.max_batch,
+                    max_wait_rounds=max_wait,
+                    server_health=health,
+                ),
+                recovery=args.recovery or None,
+                seed=args.seed,
+                kernel=args.kernel,
+                faults=faults,
             )
         else:
-            run = run_inprocess(service, trace, args.drain_rounds, retry=retry)
+            state = ServingState(
+                graph,
+                args.c,
+                args.d,
+                recovery=args.recovery or None,
+                churn=RewireChurn(args.churn) if args.churn else None,
+                seed=args.seed,
+                kernel=args.kernel,
+                track_tags=True,
+                faults=faults,
+            )
+            service = SaerService(
+                state,
+                ServeConfig(
+                    tick=args.tick if chaos else 0.05,
+                    max_batch=args.max_batch,
+                    max_pending=args.max_pending,
+                    max_wait_rounds=max_wait,
+                    snapshot_every=args.snapshot_every if args.snapshot_out else 0,
+                    health=health,
+                    brownout_threshold=args.brownout_threshold,
+                    brownout_shed=args.brownout_shed,
+                ),
+            )
+            if args.snapshot_out:
+                from .metrics import ndjson_snapshot_hook
+
+                service.metrics.add_snapshot_hook(
+                    ndjson_snapshot_hook(args.snapshot_out)
+                )
+        trace = sample_trace(arrivals, graph.n_clients, args.rounds, args.trace_seed)
+        try:
+            if chaos:
+                run = asyncio.run(
+                    run_chaos(service, trace, args.tick, args.settle, retry=retry)
+                )
+            else:
+                run = run_inprocess(service, trace, args.drain_rounds, retry=retry)
+        finally:
+            if fleet is not None:
+                fleet.close()
         config = {
             "n": args.n, "family": args.family, "degree": args.degree,
             "c": args.c, "d": args.d, "recovery": args.recovery or None,
-            "churn": args.churn, "kernel": state.kernel_name, "seed": args.seed,
+            "churn": args.churn, "kernel": run["stats"].get("kernel"),
+            "seed": args.seed, "workers": args.workers,
             "graph_seed": args.graph_seed, "max_wait_rounds": max_wait,
             "faults": {
                 "kind": fault_kind, "fraction": args.fault_fraction,
@@ -824,6 +891,7 @@ def main(argv=None) -> int:
         max_retry_rate=args.max_retry_rate,
         max_p99_retries=args.max_p99_retries,
         max_lost=args.max_lost,
+        check_conservation=args.check_conservation,
     )
     report["gates"] = {
         "min_assign_rate": args.min_assign_rate,
@@ -832,6 +900,7 @@ def main(argv=None) -> int:
         "max_retry_rate": args.max_retry_rate,
         "max_p99_retries": args.max_p99_retries,
         "max_lost": args.max_lost,
+        "check_conservation": args.check_conservation,
         "passed": not failures,
         "failures": failures,
     }

@@ -19,7 +19,20 @@ Histograms use fixed bucket upper bounds chosen at registration;
 quantiles come from linear interpolation within the bucket that crosses
 the target rank — the standard Prometheus ``histogram_quantile``
 estimate, which is exact at bucket edges and never off by more than a
-bucket width in between.
+bucket width in between.  The boundary ranks are exact: ``quantile(0)``
+is the observed minimum and ``quantile(1)`` the observed maximum.
+Non-finite observations (NaN/±inf) are counted in a separate
+``nonfinite`` ledger and never touch the buckets or ``sum`` — a single
+poisoned sample cannot make ``mean`` or the rendered exposition
+non-finite.
+
+For the multi-process fleet (:mod:`repro.serve.fleet`), every metric
+serializes to a plain dict via ``state_dict()`` and registries merge
+with :meth:`MetricsRegistry.merge_state`: counters sum, gauges combine
+by their declared ``merge`` semantics (``"sum"`` for totals like
+backlog, ``"max"`` for high-water marks), and histograms merge
+bucket-wise (exact — the merged quantiles equal those of one combined
+histogram with the same bounds).
 """
 
 from __future__ import annotations
@@ -35,8 +48,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_registry_states",
     "ndjson_snapshot_hook",
 ]
+
+#: Valid gauge merge semantics for the fleet view.
+GAUGE_MERGES = ("sum", "max")
 
 #: Default latency-style buckets (rounds or seconds — callers choose units).
 DEFAULT_BUCKETS = (
@@ -66,15 +83,31 @@ class Counter:
     def snapshot(self):
         return self.value
 
+    def state_dict(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        self.value += state["value"]
+
 
 class Gauge:
-    """A value that goes up and down (backlog, burned fraction, …)."""
+    """A value that goes up and down (backlog, burned fraction, …).
+
+    ``merge`` declares how per-shard values combine into a fleet view:
+    ``"sum"`` (default — backlogs, pending counts) or ``"max"``
+    (high-water marks, boolean flags).
+    """
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", merge: str = "sum") -> None:
+        if merge not in GAUGE_MERGES:
+            raise ValueError(
+                f"gauge {name!r} merge must be one of {GAUGE_MERGES}; got {merge!r}"
+            )
         self.name = name
         self.help = help
+        self.merge = merge
         self.value: float = 0.0
 
     def set(self, v: float) -> None:
@@ -91,6 +124,18 @@ class Gauge:
 
     def snapshot(self):
         return self.value
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": self.kind, "help": self.help,
+            "value": self.value, "merge": self.merge,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        if self.merge == "max":
+            self.value = max(self.value, state["value"])
+        else:
+            self.value += state["value"]
 
 
 class Histogram:
@@ -112,8 +157,15 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # NaN/±inf observations: counted here, never in the buckets —
+        # bisect on NaN (all comparisons False) would file it in bucket
+        # 0 and one `sum += nan` poisons mean/sum forever.
+        self.nonfinite = 0
 
     def observe(self, v: float) -> None:
+        if not math.isfinite(v):
+            self.nonfinite += 1
+            return
         self.counts[bisect_left(self.bounds, v)] += 1
         self.total += 1
         self.sum += v
@@ -132,6 +184,13 @@ class Histogram:
             raise ValueError(f"quantile must be in [0, 1]; got {q}")
         if self.total == 0:
             return math.nan
+        # Boundary ranks are exact, not interpolated: rank 0 lands in
+        # the first bucket even when it is empty (the cnt == 0 branch
+        # below would return bounds[0] instead of the observed min).
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.total
         cum = 0
         for i, cnt in enumerate(self.counts):
@@ -160,6 +219,8 @@ class Histogram:
         lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.total}')
         lines.append(f"{self.name}_sum {self.sum}")
         lines.append(f"{self.name}_count {self.total}")
+        if self.nonfinite:
+            lines.append(f"{self.name}_nonfinite {self.nonfinite}")
         return lines
 
     def snapshot(self):
@@ -172,7 +233,36 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "nonfinite": self.nonfinite,
         }
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "nonfinite": self.nonfinite,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's state in, bucket-wise (exact)."""
+        if tuple(state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket "
+                f"bounds {tuple(state['bounds'])} into {self.bounds}"
+            )
+        for i, cnt in enumerate(state["counts"]):
+            self.counts[i] += cnt
+        self.total += state["total"]
+        self.sum += state["sum"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+        self.nonfinite += state.get("nonfinite", 0)
 
 
 class MetricsRegistry:
@@ -196,8 +286,8 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "") -> Counter:
         return self._register(Counter(name, help))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._register(Gauge(name, help))
+    def gauge(self, name: str, help: str = "", merge: str = "sum") -> Gauge:
+        return self._register(Gauge(name, help, merge))
 
     def histogram(
         self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
@@ -234,6 +324,49 @@ class MetricsRegistry:
         for hook in self._hooks:
             hook(snap)
         return snap
+
+    # -- fleet merge ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable full state of every metric (the fleet-merge wire
+        format — unlike :meth:`snapshot` it keeps raw bucket counts)."""
+        return {name: m.state_dict() for name, m in sorted(self._metrics.items())}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state_dict` payload in, creating metrics on
+        first sight: counters sum, gauges combine by declared ``merge``
+        semantics, histograms merge bucket-wise."""
+        for name, st in state.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                kind = st["kind"]
+                if kind == "counter":
+                    metric = Counter(name, st.get("help", ""))
+                    metric.value = st["value"]
+                elif kind == "gauge":
+                    metric = Gauge(name, st.get("help", ""), st.get("merge", "sum"))
+                    metric.value = st["value"]
+                elif kind == "histogram":
+                    metric = Histogram(name, st.get("help", ""), st["bounds"])
+                    metric.merge_state(st)
+                else:
+                    raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+                self._metrics[name] = metric
+                continue
+            if metric.kind != st["kind"]:
+                raise ValueError(
+                    f"metric {name!r} is a {metric.kind} here but a "
+                    f"{st['kind']} in the merged state"
+                )
+            metric.merge_state(st)
+
+
+def merge_registry_states(states: Iterable[dict]) -> MetricsRegistry:
+    """One fleet-view registry from per-shard ``state_dict`` payloads."""
+    reg = MetricsRegistry()
+    for state in states:
+        reg.merge_state(state)
+    return reg
 
 
 def ndjson_snapshot_hook(path: str, *, clock: Callable[[], float] = time.time):

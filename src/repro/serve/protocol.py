@@ -54,6 +54,9 @@ REASON_TIMEOUT = "timeout"
 REASON_BACKPRESSURE = "backpressure"
 REASON_SHUTDOWN = "shutdown"
 REASON_BROWNOUT = "brownout"
+#: Every shard holding the ball's candidate servers is down/quarantined
+#: (fleet mode); the caller should retry after backoff.
+REASON_UNAVAILABLE = "unavailable"
 
 
 class ProtocolError(ValueError):

@@ -1,0 +1,222 @@
+"""Shard routing for the multi-process serving fleet.
+
+:class:`ShardMap` assigns every server id to one of ``n_shards`` shards,
+either by **consistent hashing** (a splitmix64 ring with ``vnodes``
+virtual nodes per shard — growing the fleet from ``k`` to ``k+1``
+shards moves only ≈ ``1/(k+1)`` of the servers, so shard-local state
+like burn clocks and checkpoints survives resizes mostly intact) or by
+a **contiguous** declared partition (equal index blocks — the right
+choice when the graph's community structure already groups servers).
+
+The router side of the fleet uses two derived artifacts:
+
+``subgraph(graph, shard)``
+    The client→server CSR restricted to one shard's servers, with
+    server ids **re-indexed to shard-local** ``0..n_k-1`` — exactly what
+    a worker's :class:`~repro.serve.state.ServingState` needs.  Clients
+    keep their global ids (every shard sees every client), so client-
+    kind faults and arrival traces need no translation.
+
+``sub_degrees(graph)``
+    The ``(n_clients, n_shards)`` matrix of per-client neighborhood
+    sizes within each shard.  :func:`choose_shards` picks a shard per
+    ball with probability proportional to the owner's sub-degree in
+    that shard; the worker then draws uniformly inside the shard's
+    slice of the neighborhood, so the *composed* destination law is
+    uniform over the client's full neighborhood — the same Phase-1
+    marginal as the single-process path.
+
+Accounting invariants (pinned by ``tests/test_serve_fleet.py``): a
+client isolated in the full graph is dropped at the router exactly as
+``admit_balls`` would drop it, every routed ball lands in exactly one
+shard, and the per-shard tallies sum to the single-process totals on a
+fully drained trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ServeError
+from ..graphs.bipartite import BipartiteGraph
+
+__all__ = ["ShardMap", "choose_shards", "merge_tallies"]
+
+STRATEGIES = ("hash", "contiguous")
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64 in, uint64 out)."""
+    z = x.astype(np.uint64, copy=True)
+    z += np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+class ShardMap:
+    """A deterministic server-id → shard assignment (picklable-by-args).
+
+    Both sides of the fleet build the *same* map from the same
+    ``(n_servers, n_shards, strategy, seed, vnodes)`` tuple — the
+    router to split balls, each worker to carve out its own subgraph —
+    so only those five scalars ever travel between processes.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        n_shards: int,
+        *,
+        strategy: str = "hash",
+        seed: int = 0,
+        vnodes: int = 64,
+    ) -> None:
+        if n_shards < 1:
+            raise ServeError(f"n_shards must be >= 1; got {n_shards}")
+        if n_servers < 0:
+            raise ServeError(f"n_servers must be >= 0; got {n_servers}")
+        if strategy not in STRATEGIES:
+            raise ServeError(
+                f"unknown shard strategy {strategy!r}; known: {STRATEGIES}"
+            )
+        if vnodes < 1:
+            raise ServeError(f"vnodes must be >= 1; got {vnodes}")
+        self.n_servers = int(n_servers)
+        self.n_shards = int(n_shards)
+        self.strategy = strategy
+        self.seed = int(seed)
+        self.vnodes = int(vnodes)
+        if strategy == "contiguous" or n_shards == 1:
+            ids = np.arange(self.n_servers, dtype=np.int64)
+            self.shard_of = (ids * n_shards) // max(self.n_servers, 1)
+        else:
+            self.shard_of = self._hash_assign()
+        # Local (within-shard) index of each server, in ascending global
+        # order — so a shard's local ids enumerate its sorted global ids.
+        self.local_of = np.zeros(self.n_servers, dtype=np.int64)
+        self.counts = np.bincount(self.shard_of, minlength=n_shards).astype(np.int64)
+        for k in range(n_shards):
+            members = np.flatnonzero(self.shard_of == k)
+            self.local_of[members] = np.arange(members.size, dtype=np.int64)
+
+    def _hash_assign(self) -> np.ndarray:
+        # Ring positions: one point per (shard, vnode).  Point ids are a
+        # pure function of (shard, vnode) — independent of n_shards — so
+        # growing the fleet only *adds* points, never moves existing
+        # ones: that is the consistent-hashing stability property.
+        mix = np.uint64((self.seed * _GOLDEN + 1) & _MASK64)
+        point_ids = np.arange(self.n_shards * self.vnodes, dtype=np.uint64)
+        pos = _splitmix64(point_ids ^ mix)
+        order = np.argsort(pos, kind="stable")
+        ring_pos = pos[order]
+        ring_shard = (point_ids // np.uint64(self.vnodes)).astype(np.int64)[order]
+        # Servers hash onto the same ring (a different stream via the
+        # high bit so server 3 never collides with point 3 by identity).
+        server_ids = np.arange(self.n_servers, dtype=np.uint64) | np.uint64(1 << 63)
+        spos = _splitmix64(server_ids ^ mix)
+        idx = np.searchsorted(ring_pos, spos, side="right") % ring_pos.size
+        return ring_shard[idx]
+
+    # -- queries -------------------------------------------------------------
+
+    def servers_of(self, shard: int) -> np.ndarray:
+        """Global server ids of ``shard``, ascending (= local id order)."""
+        self._check_shard(shard)
+        return np.flatnonzero(self.shard_of == shard).astype(np.int64)
+
+    def _check_shard(self, shard: int) -> None:
+        if not (0 <= shard < self.n_shards):
+            raise ServeError(
+                f"shard must be in [0, {self.n_shards}); got {shard}"
+            )
+
+    def sub_degrees(self, graph: BipartiteGraph) -> np.ndarray:
+        """Per-client neighborhood size within each shard: ``(n_clients,
+        n_shards)`` int64; rows sum to the client's full degree."""
+        self._check_graph(graph)
+        indptr = graph.client_indptr
+        indices = graph.client_indices
+        degs = np.diff(indptr)
+        edge_client = np.repeat(
+            np.arange(graph.n_clients, dtype=np.int64), degs
+        )
+        edge_shard = self.shard_of[indices]
+        flat = np.bincount(
+            edge_client * self.n_shards + edge_shard,
+            minlength=graph.n_clients * self.n_shards,
+        )
+        return flat.reshape(graph.n_clients, self.n_shards).astype(np.int64)
+
+    def subgraph(self, graph: BipartiteGraph, shard: int) -> tuple[BipartiteGraph, np.ndarray]:
+        """``(local_graph, global_server_ids)`` for one shard.
+
+        The local graph keeps all clients and re-indexes the shard's
+        servers to ``0..n_k-1``; ``global_server_ids[local]`` maps back.
+        Rows stay strictly sorted (local order follows global order), so
+        the cheap ``from_csr`` path applies.
+        """
+        self._check_graph(graph)
+        self._check_shard(shard)
+        indptr = graph.client_indptr
+        indices = graph.client_indices
+        keep = self.shard_of[indices] == shard
+        # Prefix-sum of kept edges gathered at the old row boundaries
+        # gives the new indptr in one pass.
+        cs = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(keep, out=cs[1:])
+        new_indptr = cs[indptr]
+        new_indices = self.local_of[indices[keep]]
+        members = np.flatnonzero(self.shard_of == shard).astype(np.int64)
+        sub = BipartiteGraph.from_csr(
+            graph.n_clients,
+            members.size,
+            new_indptr,
+            new_indices,
+            name=f"{graph.name}/shard{shard}of{self.n_shards}",
+            validate=False,
+        )
+        return sub, members
+
+    def _check_graph(self, graph: BipartiteGraph) -> None:
+        if graph.n_servers != self.n_servers:
+            raise ServeError(
+                f"graph has {graph.n_servers} servers but the shard map "
+                f"was built for {self.n_servers}"
+            )
+
+
+def choose_shards(
+    owners: np.ndarray, u: np.ndarray, cum_sub_deg: np.ndarray
+) -> np.ndarray:
+    """Pick a shard per ball, sub-degree-proportionally, from one uniform.
+
+    ``cum_sub_deg`` is the row-cumulative ``(n_clients, n_shards)``
+    sub-degree matrix (live shards only — zero dead columns *before*
+    cumsum).  A ball at client ``v`` goes to shard ``k`` with
+    probability ``sub_deg[v, k] / sum_live(sub_deg[v])``, which composes
+    with the worker's uniform in-shard draw to the single-process
+    uniform-over-neighborhood marginal.
+
+    Balls whose owner has zero live sub-degree get shard ``n_shards``
+    (out of range) — callers must resolve those as dropped/unavailable
+    before dispatch.
+    """
+    rows = cum_sub_deg[owners]
+    tot = rows[:, -1]
+    r = np.minimum((u * tot).astype(np.int64), np.maximum(tot - 1, 0))
+    shard = np.sum(rows <= r[:, None], axis=1, dtype=np.int64)
+    shard[tot == 0] = cum_sub_deg.shape[1]
+    return shard
+
+
+def merge_tallies(per_shard: list[dict]) -> dict:
+    """Sum per-shard numeric tallies key-wise (missing keys count 0)."""
+    out: dict = {}
+    for tally in per_shard:
+        for key, val in tally.items():
+            out[key] = out.get(key, 0) + val
+    return out

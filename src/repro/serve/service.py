@@ -586,7 +586,11 @@ async def serve_tcp(
                     for i, fut in enumerate(futs):
                         fut.add_done_callback(on_ball(req.id, i))
                 elif op == "metrics":
-                    send({"id": msg["id"], "metrics": service.metrics.render_text()})
+                    # A fleet exposes the merged per-shard view; a plain
+                    # service just renders its own registry.
+                    fleet_view = getattr(service, "fleet_metrics", None)
+                    reg = fleet_view() if fleet_view is not None else service.metrics
+                    send({"id": msg["id"], "metrics": reg.render_text()})
                 elif op == "stats":
                     send({"id": msg["id"], "stats": service.stats()})
                 elif op == "ping":
@@ -634,37 +638,62 @@ def main(argv=None) -> int:  # pragma: no cover - exercised via CLI tests
                         choices=("numpy", "cext", "numba", "python"))
     parser.add_argument("--seed", type=int, default=None, help="protocol RNG seed")
     parser.add_argument("--graph-seed", type=int, default=1, help="topology seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the servers across this many worker "
+                             "processes (FleetService)")
     args = parser.parse_args(argv)
 
     point = {"family": args.family, "n": args.n}
     if args.degree:
         point["degree"] = args.degree
     graph = build_point_graph(point, args.graph_seed)
-    state = ServingState(
-        graph,
-        args.c,
-        args.d,
-        recovery=args.recovery or None,
-        churn=RewireChurn(args.churn) if args.churn else None,
-        seed=args.seed,
-        kernel=args.kernel,
-        track_tags=True,
-    )
-    config = ServeConfig(
-        tick=args.tick,
-        max_batch=args.max_batch,
-        max_pending=args.max_pending,
-        max_wait_rounds=args.max_wait_rounds,
-    )
-    service = SaerService(state, config)
+    if args.workers > 1:
+        from .fleet import FleetConfig, FleetService
+
+        if args.churn or args.max_pending:
+            parser.error("--workers > 1 does not support churn / max-pending")
+        service = FleetService(
+            graph,
+            args.c,
+            args.d,
+            config=FleetConfig(
+                workers=args.workers,
+                tick=args.tick,
+                max_batch=args.max_batch,
+                max_wait_rounds=args.max_wait_rounds,
+            ),
+            recovery=args.recovery or None,
+            seed=args.seed,
+            kernel=args.kernel,
+        )
+        kernel_banner = args.kernel or "auto"
+    else:
+        state = ServingState(
+            graph,
+            args.c,
+            args.d,
+            recovery=args.recovery or None,
+            churn=RewireChurn(args.churn) if args.churn else None,
+            seed=args.seed,
+            kernel=args.kernel,
+            track_tags=True,
+        )
+        config = ServeConfig(
+            tick=args.tick,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            max_wait_rounds=args.max_wait_rounds,
+        )
+        service = SaerService(state, config)
+        kernel_banner = state.kernel_name
 
     async def run():
         server = await serve_tcp(service, args.host, args.port)
         addr = server.sockets[0].getsockname()
         print(
             f"repro-serve listening on {addr[0]}:{addr[1]} — n={args.n} "
-            f"family={args.family} c={args.c} d={args.d} kernel={state.kernel_name} "
-            f"tick={args.tick}s max_batch={args.max_batch}",
+            f"family={args.family} c={args.c} d={args.d} kernel={kernel_banner} "
+            f"workers={args.workers} tick={args.tick}s max_batch={args.max_batch}",
             flush=True,
         )
         try:

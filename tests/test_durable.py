@@ -524,9 +524,11 @@ class TestDurableExecute:
 
 class TestOversubscriptionWarning:
     def test_warns_once(self, monkeypatch):
+        from repro.parallel.pool import available_cpus
+
         monkeypatch.setattr(plan_mod, "_OVERSUB_WARNED", False)
-        over = (os.cpu_count() or 1) + 2
-        with pytest.warns(UserWarning, match="exceeds os.cpu_count"):
+        over = available_cpus() + 2
+        with pytest.warns(UserWarning, match="exceeds available cpus"):
             ExecSpec(processes=over).validate()
         with warnings_none():
             ExecSpec(processes=over).validate()

@@ -411,11 +411,11 @@ class TestKernelThreadsDispatch:
         assert recs and all(r["eff_threads"] == 4 for r in recs)
 
     def test_explicit_plan_budget_reaches_pool_workers_capped(self, monkeypatch):
-        import os
+        from repro.parallel.pool import available_cpus
 
         monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
         recs = execute(self._probe_plan(threads=4, mode="pool", processes=2))
-        want = max(1, min(4, (os.cpu_count() or 1) // 2))
+        want = max(1, min(4, available_cpus() // 2))
         assert recs and all(r["eff_threads"] == want for r in recs)
 
     def test_explicit_budget_uncapped_when_serial(self, monkeypatch):

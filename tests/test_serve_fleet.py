@@ -1,0 +1,363 @@
+"""Tests for repro.serve.router + repro.serve.fleet — sharded serving.
+
+The load-bearing invariants: the shard map is a deterministic partition
+with consistent-hash stability, the router's shard choice composes with
+the worker's in-shard draw to the single-process destination law, and
+fleet-level accounting (assigned + retried + dropped == submitted)
+matches the single-process run *exactly* on a drained trace.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.faults import FaultSchedule, FaultSpec
+from repro.graphs.bipartite import BipartiteGraph
+from repro.serve import (
+    FleetConfig,
+    FleetService,
+    SaerService,
+    ServeConfig,
+    ServingState,
+    ShardMap,
+    choose_shards,
+    merge_tallies,
+)
+from repro.serve.protocol import REASON_UNAVAILABLE
+
+
+def _drain(service):
+    return asyncio.run(service.drain())
+
+
+def _tally(futures):
+    out = {"assigned": 0, "retry": 0, "dropped": 0, "unresolved": 0}
+    for fut in futures:
+        if not fut.done():
+            out["unresolved"] += 1
+        else:
+            out[fut.result().outcome] += 1
+    return out
+
+
+def _graph_with_isolated(n, k, seed, isolated):
+    """A trust graph with the given clients' neighborhoods emptied."""
+    g = repro.graphs.trust_subsets(n, n, k, seed=seed)
+    indptr = g.client_indptr.copy()
+    indices = g.client_indices
+    keep = np.ones(indices.size, dtype=bool)
+    for v in isolated:
+        keep[indptr[v]: indptr[v + 1]] = False
+    cs = np.zeros(indices.size + 1, dtype=np.int64)
+    np.cumsum(keep, out=cs[1:])
+    return BipartiteGraph.from_csr(
+        n, n, cs[indptr], indices[keep], name="isolated-test"
+    )
+
+
+def _replay(service, trace_arrivals):
+    """Submit per-round arrival lists, run rounds, drain; return futures."""
+    futures = []
+    for batch in trace_arrivals:
+        for client, balls in batch:
+            futures.extend(service.submit(int(client), int(balls)))
+        service.run_round()
+    _drain(service)
+    return futures
+
+
+def _poisson_arrivals(n, rounds, rate, seed):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(rounds):
+        vs, ks = np.unique(
+            rng.integers(0, n, size=rng.poisson(rate * n)), return_counts=True
+        )
+        out.append(list(zip(vs.tolist(), ks.tolist())))
+    return out
+
+
+class TestShardMap:
+    def test_partition_covers_every_server_once(self):
+        smap = ShardMap(500, 4, seed=3)
+        assert smap.shard_of.shape == (500,)
+        assert smap.shard_of.min() >= 0 and smap.shard_of.max() < 4
+        assert int(smap.counts.sum()) == 500
+        # local ids enumerate 0..count-1 within each shard
+        for k in range(4):
+            members = smap.servers_of(k)
+            assert members.size == smap.counts[k]
+            assert np.array_equal(
+                np.sort(smap.local_of[members]), np.arange(members.size)
+            )
+
+    def test_contiguous_blocks(self):
+        smap = ShardMap(10, 2, strategy="contiguous")
+        assert smap.shard_of.tolist() == [0] * 5 + [1] * 5
+
+    def test_hash_stability_under_growth(self):
+        # Consistent hashing: growing k -> k+1 moves ≈ 1/(k+1) of the
+        # servers, far below the ~(k)/(k+1) a naive modulo remap moves.
+        n = 4000
+        a = ShardMap(n, 4, seed=9)
+        b = ShardMap(n, 5, seed=9)
+        moved = float(np.mean(a.shard_of != b.shard_of))
+        assert moved < 0.40  # ideal 0.20; generous slack for vnode variance
+
+    def test_deterministic_across_builds(self):
+        a = ShardMap(300, 3, seed=5)
+        b = ShardMap(300, 3, seed=5)
+        assert np.array_equal(a.shard_of, b.shard_of)
+        c = ShardMap(300, 3, seed=6)
+        assert not np.array_equal(a.shard_of, c.shard_of)
+
+    def test_sub_degrees_rows_sum_to_degree(self):
+        g = repro.graphs.trust_subsets(128, 128, 8, seed=2)
+        smap = ShardMap(128, 3, seed=1)
+        sub = smap.sub_degrees(g)
+        assert sub.shape == (128, 3)
+        degs = np.diff(g.client_indptr)
+        assert np.array_equal(sub.sum(axis=1), degs)
+
+    def test_subgraph_preserves_edges(self):
+        g = repro.graphs.trust_subsets(64, 64, 6, seed=4)
+        smap = ShardMap(64, 2, seed=0)
+        for shard in range(2):
+            sub, members = smap.subgraph(g, shard)
+            assert sub.n_clients == 64
+            assert sub.n_servers == members.size
+            for v in range(64):
+                local = sub.neighbors_of_client(v)
+                back = members[local]
+                expect = [
+                    s for s in g.neighbors_of_client(v).tolist()
+                    if smap.shard_of[s] == shard
+                ]
+                assert back.tolist() == expect
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ShardMap(10, 0)
+        with pytest.raises(ValueError):
+            ShardMap(10, 2, strategy="modulo")
+        g = repro.graphs.trust_subsets(16, 16, 4, seed=1)
+        with pytest.raises(ValueError):
+            ShardMap(8, 2).sub_degrees(g)
+
+
+class TestChooseShards:
+    def test_marginal_proportional_to_sub_degree(self):
+        # owner 0 has sub-degrees (2, 3): shard 1 must get exactly the
+        # u >= 0.4 mass under the inverse-CDF construction.
+        cum = np.cumsum(np.array([[2, 3]]), axis=1)
+        owners = np.zeros(1000, dtype=np.int64)
+        u = np.linspace(0.0, 0.999, 1000)
+        shard = choose_shards(owners, u, cum)
+        frac1 = float(np.mean(shard == 1))
+        assert frac1 == pytest.approx(3 / 5, abs=0.01)
+
+    def test_empty_or_dead_shard_never_chosen(self):
+        # middle column zeroed (dead shard) — never selected
+        sub = np.array([[4, 0, 4]])
+        cum = np.cumsum(sub, axis=1)
+        shard = choose_shards(
+            np.zeros(64, dtype=np.int64), np.linspace(0, 0.999, 64), cum
+        )
+        assert set(shard.tolist()) == {0, 2}
+
+    def test_zero_live_degree_flagged_out_of_range(self):
+        cum = np.cumsum(np.array([[0, 0]]), axis=1)
+        shard = choose_shards(
+            np.zeros(3, dtype=np.int64), np.array([0.1, 0.5, 0.9]), cum
+        )
+        assert shard.tolist() == [2, 2, 2]
+
+
+class TestMergeTallies:
+    def test_keywise_sum_with_missing_keys(self):
+        merged = merge_tallies([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+
+class TestFleetConservation:
+    def test_fleet_matches_single_process_exactly(self):
+        # Same graph (with genuinely isolated clients), same trace, same
+        # protocol parameters: single process vs 2- and 3-worker fleets
+        # must produce the *same* accounting totals — drops are a
+        # router-side function of trace + graph, and everything else
+        # assigns on a drained recovery-on trace.
+        n = 256
+        isolated = [7, 100]
+        g = _graph_with_isolated(n, 6, seed=3, isolated=isolated)
+        arrivals = _poisson_arrivals(n, rounds=40, rate=0.2, seed=5)
+
+        state = ServingState(g, 2.0, 4, recovery=8, seed=77, track_tags=True)
+        single = SaerService(state, ServeConfig(max_batch=1 << 30))
+        base = _tally(_replay(single, arrivals))
+        assert base["dropped"] > 0  # the isolated clients saw traffic
+        assert base["unresolved"] == 0
+
+        for workers in (2, 3):
+            fleet = FleetService(
+                g, 2.0, 4,
+                config=FleetConfig(workers=workers),
+                recovery=8, seed=77,
+            )
+            try:
+                got = _tally(_replay(fleet, arrivals))
+            finally:
+                fleet.close()
+            assert got == base, f"workers={workers} diverged from single"
+
+    def test_fleet_byz_conservation_identity(self):
+        # With Byzantine servers the totals need not match the honest
+        # run, but every submitted ball still resolves exactly once and
+        # the absorbed ledger is only additive.
+        n = 128
+        g = repro.graphs.trust_subsets(n, n, 8, seed=2)
+        faults = FaultSchedule(
+            [FaultSpec(kind="byz_server", fraction=0.1, start=0)], seed=4
+        )
+        arrivals = _poisson_arrivals(n, rounds=30, rate=0.2, seed=9)
+        fleet = FleetService(
+            g, 2.0, 4,
+            config=FleetConfig(workers=2, max_wait_rounds=32),
+            recovery=8, seed=21, faults=faults,
+        )
+        try:
+            tally = _tally(_replay(fleet, arrivals))
+            stats = fleet.stats()
+        finally:
+            fleet.close()
+        submitted = sum(tally.values())
+        assert tally["unresolved"] == 0
+        assert tally["assigned"] + tally["retry"] + tally["dropped"] == submitted
+        assert stats["byz_absorbed"] > 0
+
+    def test_fleet_metrics_merge_matches_outcomes(self):
+        n = 128
+        g = repro.graphs.trust_subsets(n, n, 8, seed=6)
+        arrivals = _poisson_arrivals(n, rounds=20, rate=0.2, seed=1)
+        fleet = FleetService(
+            g, 2.0, 4, config=FleetConfig(workers=2), recovery=8, seed=8
+        )
+        try:
+            tally = _tally(_replay(fleet, arrivals))
+            merged = fleet.fleet_metrics()
+        finally:
+            fleet.close()
+        # Router-side counters agree with the futures...
+        assert merged.get("fleet_assigned_total").value == tally["assigned"]
+        # ...and so does the merged sum of the per-shard services.
+        assert merged.get("serve_assigned_total").value == tally["assigned"]
+        # Per-shard latency histograms merged bucket-wise into one.
+        lat = merged.get("serve_assign_latency_rounds")
+        assert lat.total == tally["assigned"]
+
+
+class TestFleetChaos:
+    def test_shard_sigkill_quarantine_readmit_recovers(self):
+        # Kill one of two shard processes mid-replay via the process
+        # fault schedule.  The router must quarantine the shard, route
+        # around it, respawn it from checkpoint after the sit-out, and
+        # — with the caller resubmitting Retry("unavailable") balls —
+        # recover at least 95% assignment.
+        n = 256
+        g = repro.graphs.trust_subsets(n, n, 8, seed=2)
+        process_faults = FaultSchedule(
+            [FaultSpec(kind="crash", fraction=0.5, start=10, end=11)], seed=5
+        )
+        cfg = FleetConfig(workers=2, checkpoint_every=4, reply_timeout=10.0)
+        fleet = FleetService(
+            g, 2.0, 4, config=cfg, recovery=8, seed=13,
+            process_faults=process_faults,
+        )
+        rng = np.random.default_rng(1)
+        submitted = 0
+        assigned = 0
+        reasons = set()
+        pending = []  # (future, client) — retries resubmit the same client
+
+        def settle():
+            nonlocal assigned
+            still = []
+            for fut, client in pending:
+                if not fut.done():
+                    still.append((fut, client))
+                    continue
+                out = fut.result()
+                if out.outcome == "assigned":
+                    assigned += 1
+                elif out.outcome == "retry":
+                    reasons.add(out.reason)
+                    still.append((fleet.submit(client, 1)[0], client))
+            pending[:] = still
+
+        try:
+            for _ in range(40):
+                for v in rng.integers(0, n, size=20).tolist():
+                    pending.append((fleet.submit(v, 1)[0], v))
+                    submitted += 1
+                fleet.run_round()
+                settle()
+            for _ in range(200):
+                settle()
+                if not pending:
+                    break
+                fleet.run_round()
+            snap = fleet.metrics.snapshot()
+        finally:
+            fleet.close()
+        assert snap["fleet_shard_kills_total"] >= 1
+        assert snap["fleet_quarantine_events_total"] >= 1
+        assert snap["fleet_respawns_total"] >= 1
+        assert not pending
+        assert assigned / submitted >= 0.95
+        if reasons:
+            assert reasons <= {REASON_UNAVAILABLE, "timeout"}
+
+
+class TestFleetLifecycle:
+    def test_close_idempotent_and_context_manager(self):
+        g = repro.graphs.trust_subsets(64, 64, 4, seed=1)
+        with FleetService(g, 2.0, 4, config=FleetConfig(workers=2), seed=0) as fleet:
+            fleet.submit(3, 2)
+            fleet.run_round()
+        fleet.close()  # second close is a no-op
+        with pytest.raises(ValueError):
+            fleet.run_round()
+
+    def test_shutdown_resolves_leftovers(self):
+        g = repro.graphs.trust_subsets(64, 64, 4, seed=1)
+        fleet = FleetService(
+            g, 2.0, 4, config=FleetConfig(workers=2), recovery=None, seed=0
+        )
+        futs = fleet.submit(5, 3)
+        asyncio.run(fleet.shutdown())
+        assert all(f.done() for f in futs)
+        # post-shutdown submissions resolve immediately as Retry
+        extra = fleet.submit(5, 1)[0]
+        assert extra.done() and extra.result().outcome == "retry"
+
+    def test_validates_args(self):
+        g = repro.graphs.trust_subsets(32, 32, 4, seed=1)
+        with pytest.raises(ValueError):
+            FleetConfig(workers=0)
+        client_faults = FaultSchedule(
+            [FaultSpec(kind="byz_client_dup", fraction=0.1)], seed=0
+        )
+        with pytest.raises(ValueError):
+            FleetService(
+                g, 2.0, 4, config=FleetConfig(workers=2),
+                process_faults=client_faults,
+            )
+        fleet = FleetService(g, 2.0, 4, config=FleetConfig(workers=2), seed=0)
+        try:
+            with pytest.raises(ValueError):
+                fleet.submit(99, 1)
+            with pytest.raises(ValueError):
+                fleet.submit(0, 0)
+        finally:
+            fleet.close()
